@@ -1,0 +1,119 @@
+// E9 — ADHD diagnosis from tracker motion speed (paper Sec. 2.1).
+//
+// Paper claim: "in our preliminary experiments, we successfully (with 86%
+// accuracy) distinguished hyperactive kids from normal ones by using a
+// Support Vector Machine (SVM) on the motion speed of different trackers."
+// Also exercised: the alternative feature vector built from task answers
+// ("the set of answers to task questions may be represented as a feature
+// vector per subject").
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/table_printer.h"
+#include "recognition/classifiers.h"
+#include "recognition/features.h"
+#include "synth/virtual_classroom.h"
+
+namespace aims {
+namespace {
+
+using recognition::CrossValidate;
+using recognition::FeatureScaler;
+using recognition::LinearSvm;
+using recognition::NearestNeighbor;
+
+std::vector<int> SvmTrainPredict(
+    const std::vector<std::vector<double>>& train_rows,
+    const std::vector<int>& train_labels,
+    const std::vector<std::vector<double>>& test_rows) {
+  FeatureScaler scaler = FeatureScaler::Fit(train_rows);
+  std::vector<std::vector<double>> scaled;
+  scaled.reserve(train_rows.size());
+  for (const auto& row : train_rows) scaled.push_back(scaler.Transform(row));
+  LinearSvm svm;
+  AIMS_CHECK(svm.Train(scaled, train_labels).ok());
+  std::vector<int> out;
+  for (const auto& row : test_rows) {
+    out.push_back(svm.Predict(scaler.Transform(row)));
+  }
+  return out;
+}
+
+template <size_t K>
+std::vector<int> NnTrainPredict(
+    const std::vector<std::vector<double>>& train_rows,
+    const std::vector<int>& train_labels,
+    const std::vector<std::vector<double>>& test_rows) {
+  FeatureScaler scaler = FeatureScaler::Fit(train_rows);
+  std::vector<std::vector<double>> scaled;
+  for (const auto& row : train_rows) scaled.push_back(scaler.Transform(row));
+  NearestNeighbor nn(K);
+  AIMS_CHECK(nn.Train(scaled, train_labels).ok());
+  std::vector<int> out;
+  for (const auto& row : test_rows) {
+    out.push_back(nn.Predict(scaler.Transform(row)).ValueOrDie());
+  }
+  return out;
+}
+
+void Run() {
+  synth::ClassroomConfig config;
+  config.session_duration_s = 90.0;
+  synth::VirtualClassroomSimulator sim(config, 77);
+  auto cohort = sim.GenerateCohort(/*per_group=*/25);  // 50 subjects
+
+  TablePrinter table({"features", "classifier", "cv accuracy",
+                      "fold min", "fold max"});
+  struct Variant {
+    const char* name;
+    bool include_task;
+  };
+  for (const Variant& variant :
+       {Variant{"motion speed (24)", false},
+        Variant{"motion + task answers (27)", true}}) {
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (const auto& row :
+         recognition::BuildAdhdDataset(cohort, variant.include_task)) {
+      rows.push_back(row.features);
+      labels.push_back(row.label);
+    }
+    for (int classifier = 0; classifier < 3; ++classifier) {
+      auto result = CrossValidate(
+          rows, labels, 5, 13,
+          classifier == 0   ? SvmTrainPredict
+          : classifier == 1 ? NnTrainPredict<1>
+                            : NnTrainPredict<3>);
+      double fold_min = 1.0, fold_max = 0.0;
+      for (double f : result.fold_accuracies) {
+        fold_min = std::min(fold_min, f);
+        fold_max = std::max(fold_max, f);
+      }
+      table.AddRow();
+      table.Cell(variant.name);
+      table.Cell(classifier == 0   ? "linear SVM"
+                 : classifier == 1 ? "1-NN"
+                                   : "3-NN");
+      table.Cell(result.accuracy, 3);
+      table.Cell(fold_min, 3);
+      table.Cell(fold_max, 3);
+    }
+  }
+  table.Print(
+      "E9: ADHD vs control classification, 50 subjects, 5-fold CV "
+      "(paper: SVM ~0.86)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E9: ADHD diagnosis from motion speed (Sec. 2.1) ===\n");
+  std::printf(
+      "Expected shape: SVM on motion-speed features in the mid-80%% range\n"
+      "(the paper reports 86%%); task-answer features add a little; 1-NN\n"
+      "slightly behind the SVM.\n");
+  aims::Run();
+  return 0;
+}

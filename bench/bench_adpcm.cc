@@ -1,0 +1,138 @@
+// E2 — Combining ADPCM with adaptive sampling (paper Sec. 3.1).
+//
+// Paper claim: "we only get marginal improvement by combining ADPCM with
+// adaptive sampling" — once the sample count already tracks the Nyquist
+// rate, delta-coding the survivors buys little compared to what either
+// technique achieves on its own.
+
+#include <cstdio>
+
+#include "acquisition/codec.h"
+#include "acquisition/sampler.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+namespace aims {
+namespace {
+
+struct TechniqueReport {
+  const char* name;
+  size_t bytes;
+  double nmse;
+};
+
+/// Energy-weighted NMSE between the session and per-channel reconstructions.
+double SessionNmse(const streams::Recording& session,
+                   const std::vector<std::vector<double>>& reconstructed) {
+  double total_mse = 0.0, total_var = 0.0;
+  for (size_t c = 0; c < session.num_channels(); ++c) {
+    std::vector<double> original = session.Channel(c);
+    total_mse += MeanSquaredError(original, reconstructed[c]);
+    RunningStats stats;
+    for (double x : original) stats.Add(x);
+    total_var += stats.variance();
+  }
+  return total_var > 0.0 ? total_mse / total_var : 0.0;
+}
+
+void Run(uint64_t seed) {
+  streams::Recording session = benchutil::MakeGloveSession(seed, 24, 0.4);
+  const size_t channels = session.num_channels();
+  const size_t frames = session.num_frames();
+  double duration = static_cast<double>(frames) / session.sample_rate_hz;
+  std::vector<TechniqueReport> reports;
+
+  // Raw.
+  reports.push_back({"raw 16-bit", frames * channels * 2, 0.0});
+
+  // ADPCM alone on the full-rate stream (4 bits/sample).
+  {
+    acquisition::AdpcmCodec codec(0.5);
+    size_t bytes = 0;
+    std::vector<std::vector<double>> reconstructed(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      std::vector<double> channel = session.Channel(c);
+      std::vector<uint8_t> encoded = codec.Encode(channel);
+      bytes += encoded.size();
+      reconstructed[c] = codec.Decode(encoded, channel.size());
+    }
+    reports.push_back({"adpcm alone", bytes, SessionNmse(session, reconstructed)});
+  }
+
+  // Adaptive sampling alone.
+  acquisition::SamplerConfig config;
+  config.spectral.noise_floor_variance = 4.0;  // degrees^2, see bench_sampling
+  config.pilot_seconds = 10.0;
+  acquisition::AdaptiveSampler adaptive(config);
+  auto sampled = adaptive.Sample(session);
+  AIMS_CHECK(sampled.ok());
+  {
+    std::vector<std::vector<double>> reconstructed(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      reconstructed[c] = sampled.ValueOrDie().ReconstructChannel(c, frames);
+    }
+    reports.push_back({"adaptive alone", sampled.ValueOrDie().payload_bytes(),
+                       SessionNmse(session, reconstructed)});
+  }
+
+  // Adaptive + ADPCM: delta-code the retained samples per channel.
+  {
+    acquisition::AdpcmCodec codec(0.5);
+    size_t bytes = 0;
+    std::vector<std::vector<double>> reconstructed(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      const auto& retained = sampled.ValueOrDie().channels[c];
+      std::vector<double> values;
+      values.reserve(retained.size());
+      for (const auto& s : retained) values.push_back(s.value);
+      std::vector<uint8_t> encoded = codec.Encode(values);
+      bytes += encoded.size();
+      std::vector<double> decoded = codec.Decode(encoded, values.size());
+      // Rebuild a SampledStream channel with decoded values to reconstruct.
+      acquisition::SampledStream stream;
+      stream.source_rate_hz = session.sample_rate_hz;
+      stream.channels.resize(1);
+      for (size_t i = 0; i < retained.size(); ++i) {
+        stream.channels[0].push_back({retained[i].timestamp, decoded[i]});
+      }
+      reconstructed[c] = stream.ReconstructChannel(0, frames);
+    }
+    reports.push_back({"adaptive + adpcm", bytes,
+                       SessionNmse(session, reconstructed)});
+  }
+
+  TablePrinter table({"technique", "bytes", "bytes/s", "vs-raw", "nmse",
+                      "marginal-gain"});
+  double raw_bytes = static_cast<double>(reports[0].bytes);
+  double adaptive_bytes = 0.0;
+  for (const TechniqueReport& r : reports) {
+    table.AddRow();
+    table.Cell(r.name);
+    table.Cell(r.bytes);
+    table.Cell(static_cast<double>(r.bytes) / duration, 0);
+    table.Cell(static_cast<double>(r.bytes) / raw_bytes, 3);
+    table.Cell(r.nmse, 4);
+    if (std::string(r.name) == "adaptive alone") {
+      adaptive_bytes = static_cast<double>(r.bytes);
+      table.Cell("-");
+    } else if (std::string(r.name) == "adaptive + adpcm") {
+      table.Cell(1.0 - static_cast<double>(r.bytes) / adaptive_bytes, 3);
+    } else {
+      table.Cell("-");
+    }
+  }
+  table.Print("E2: ADPCM vs adaptive sampling vs their combination");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E2: quantization + sampling combinations (Sec. 3.1) ===\n");
+  std::printf(
+      "Expected shape: adaptive+adpcm only marginally better than adaptive\n"
+      "alone (the paper: 'only marginal improvement').\n");
+  aims::Run(21);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E14 — Batch (GROUP BY) evaluation with shared I/O (paper Sec. 3.3.1):
+// "queries that require the simultaneous evaluation of multiple related
+// range aggregates ... act as linear maps ... we have developed query
+// evaluation algorithms which share I/O maximally and retrieve the most
+// important data first", with the error measured either in L2 or in a
+// norm that emphasizes differences between related ranges.
+//
+// Series: shared vs independent coefficient fetches as the group count
+// grows, and the progressive error trajectories of the two orderings.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "propolyne/batch.h"
+#include "synth/olap_data.h"
+
+namespace aims {
+namespace {
+
+using propolyne::BatchErrorMeasure;
+using propolyne::BatchEvaluator;
+using propolyne::DataCube;
+using propolyne::GroupByQuery;
+using propolyne::RangeSumQuery;
+
+DataCube MakeCube() {
+  Rng rng(14);
+  synth::GridDataset field = synth::MakeSmoothField({64, 128}, 7, &rng);
+  propolyne::CubeSchema schema{{"sensor", "time"}, field.shape};
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  AIMS_CHECK(cube.ok());
+  return std::move(cube).ValueOrDie();
+}
+
+void RunSharing() {
+  DataCube cube = MakeCube();
+  BatchEvaluator batch(&cube);
+  TablePrinter table({"groups", "independent fetches", "shared fetches",
+                      "sharing gain"});
+  for (size_t bucket : {32u, 16u, 8u, 4u, 2u}) {
+    GroupByQuery query;
+    query.base = RangeSumQuery::Count({0, 9}, {63, 120});
+    query.group_dim = 0;
+    query.bucket_width = bucket;
+    auto result = batch.Evaluate(query);
+    AIMS_CHECK(result.ok());
+    table.AddRow();
+    table.Cell(64 / bucket);
+    table.Cell(result.ValueOrDie().independent_coefficients);
+    table.Cell(result.ValueOrDie().shared_coefficients);
+    table.Cell(static_cast<double>(
+                   result.ValueOrDie().independent_coefficients) /
+                   static_cast<double>(std::max<size_t>(
+                       result.ValueOrDie().shared_coefficients, 1)),
+               2);
+  }
+  table.Print("E14a: I/O sharing across GROUP BY sensor buckets");
+}
+
+void RunProgressive() {
+  DataCube cube = MakeCube();
+  BatchEvaluator batch(&cube);
+  GroupByQuery query;
+  query.base = RangeSumQuery::Count({0, 9}, {63, 120});
+  query.group_dim = 0;
+  query.bucket_width = 8;  // 8 groups
+  TablePrinter table({"measure", "coeff budget", "mean rel.err",
+                      "worst rel.err", "guaranteed bound"});
+  for (BatchErrorMeasure measure :
+       {BatchErrorMeasure::kL2, BatchErrorMeasure::kMax}) {
+    auto result = batch.EvaluateProgressive(query, measure, 1);
+    AIMS_CHECK(result.ok());
+    const auto& r = result.ValueOrDie();
+    for (double frac : {0.1, 0.25, 0.5, 1.0}) {
+      size_t idx =
+          std::max<size_t>(1, static_cast<size_t>(frac * r.steps.size())) - 1;
+      RunningStats rel;
+      double worst = 0.0;
+      for (size_t g = 0; g < r.exact.size(); ++g) {
+        double e = RelativeError(r.exact[g], r.steps[idx].estimates[g]);
+        rel.Add(e);
+        worst = std::max(worst, e);
+      }
+      table.AddRow();
+      table.Cell(measure == BatchErrorMeasure::kL2 ? "L2" : "max");
+      table.Cell(r.steps[idx].coefficients_used);
+      table.Cell(rel.mean(), 5);
+      table.Cell(worst, 5);
+      table.Cell(r.steps[idx].max_error_bound, 1);
+    }
+  }
+  table.Print("E14b: progressive GROUP BY (8 groups), two error measures");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E14: multiple related range aggregates (Sec. 3.3.1) ===\n");
+  std::printf(
+      "Expected shape: sharing gain grows with the group count (the\n"
+      "non-group dimensions' coefficients are fetched once instead of per\n"
+      "group); both orderings converge, the max ordering keeping the worst\n"
+      "group tighter early.\n");
+  aims::RunSharing();
+  aims::RunProgressive();
+  return 0;
+}

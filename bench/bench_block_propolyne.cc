@@ -1,0 +1,120 @@
+// E13 — ProPolyne over block wavelets (paper Sec. 3.2.1, last paragraph):
+// "define a query dependent importance function on disk blocks ...
+// perform the most valuable I/O's first and deliver approximate results
+// progressively during query evaluation. In other words, this extends our
+// ProPolyne technique ... to work with block wavelets."
+//
+// Series: relative error and guaranteed bound vs blocks read, for the two
+// importance functions, plus how few of the cube's blocks a query needs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "propolyne/block_propolyne.h"
+#include "synth/olap_data.h"
+
+namespace aims {
+namespace {
+
+using propolyne::BlockedCube;
+using propolyne::BlockImportance;
+using propolyne::DataCube;
+using propolyne::RangeSumQuery;
+
+void Run() {
+  Rng rng(13);
+  synth::GridDataset field = synth::MakeSmoothField({128, 128}, 8, &rng);
+  propolyne::CubeSchema schema{{"lat", "lon"}, field.shape};
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  AIMS_CHECK(cube.ok());
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube.ValueOrDie(), &device, {8, 8});
+  AIMS_CHECK(blocked.ok());
+  std::printf("cube: 128x128, %zu blocks of %zu coefficients\n\n",
+              blocked.ValueOrDie().num_blocks(),
+              blocked.ValueOrDie().block_size_items());
+
+  // Error trajectory for one representative query.
+  RangeSumQuery query = RangeSumQuery::Count({11, 23}, {100, 119});
+  TablePrinter trajectory({"blocks read", "energy-order rel.err",
+                           "energy-order bound", "max-order rel.err"});
+  auto energy = blocked.ValueOrDie()
+                    .EvaluateProgressive(query, BlockImportance::kQueryEnergy)
+                    .ValueOrDie();
+  auto maxord = blocked.ValueOrDie()
+                    .EvaluateProgressive(query, BlockImportance::kMaxQueryCoeff)
+                    .ValueOrDie();
+  double exact = energy.exact;
+  size_t total = energy.total_blocks_needed;
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    size_t idx = std::max<size_t>(1, static_cast<size_t>(frac * total)) - 1;
+    idx = std::min(idx, energy.steps.size() - 1);
+    trajectory.AddRow();
+    trajectory.Cell(energy.steps[idx].blocks_read);
+    trajectory.Cell(RelativeError(exact, energy.steps[idx].estimate), 5);
+    trajectory.Cell(energy.steps[idx].error_bound / std::fabs(exact), 5);
+    size_t midx = std::min(idx, maxord.steps.size() - 1);
+    trajectory.Cell(RelativeError(exact, maxord.steps[midx].estimate), 5);
+  }
+  trajectory.Print(
+      "E13a: error vs block I/O (COUNT over lat[11,100] x lon[23,119])");
+  std::printf("query needs %zu of %zu blocks; relative bound is the "
+              "guaranteed Cauchy-Schwarz bound / |exact|\n",
+              total, blocked.ValueOrDie().num_blocks());
+
+  // Aggregate over a workload: blocks needed and early accuracy.
+  TablePrinter agg({"range width", "blocks needed", "of total",
+                    "rel.err @25% I/O", "rel.err @50% I/O"});
+  for (size_t width : {16u, 40u, 90u}) {
+    RunningStats needed, err25, err50;
+    for (int q = 0; q < 20; ++q) {
+      size_t a = static_cast<size_t>(rng.UniformInt(0, 127 - static_cast<int64_t>(width)));
+      size_t b = static_cast<size_t>(rng.UniformInt(0, 127 - static_cast<int64_t>(width)));
+      RangeSumQuery range_query =
+          RangeSumQuery::Count({a, b}, {a + width - 1, b + width - 1});
+      auto result = blocked.ValueOrDie()
+                        .EvaluateProgressive(range_query)
+                        .ValueOrDie();
+      if (std::fabs(result.exact) < 1.0) continue;
+      needed.Add(static_cast<double>(result.total_blocks_needed));
+      auto at = [&](double frac) {
+        size_t idx = std::max<size_t>(
+                         1, static_cast<size_t>(frac * result.steps.size())) -
+                     1;
+        return RelativeError(result.exact, result.steps[idx].estimate);
+      };
+      err25.Add(at(0.25));
+      err50.Add(at(0.50));
+    }
+    agg.AddRow();
+    agg.Cell(width);
+    agg.Cell(needed.mean(), 1);
+    agg.Cell(needed.mean() /
+                 static_cast<double>(blocked.ValueOrDie().num_blocks()),
+             3);
+    agg.Cell(err25.mean(), 5);
+    agg.Cell(err50.mean(), 5);
+  }
+  agg.Print("E13b: workload summary (20 random square ranges per width)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E13: block-progressive ProPolyne (Sec. 3.2.1 extension) ===\n");
+  std::printf(
+      "Expected shape: a query touches a small fraction of the cube's\n"
+      "blocks; with energy-ordered fetches the estimate is accurate after\n"
+      "~25%% of the needed I/Os and the guaranteed bound shrinks\n"
+      "monotonically to zero.\n");
+  aims::Run();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// E20 — Wavelet denoising at acquisition (paper Sec. 3.1: immersidata
+// "needs to be cleaned from noise (filtered) and be abstracted for
+// analysis (transformed)").
+//
+// Measured: (a) how many nonzero coefficients survive the universal
+// threshold — the storage-side payoff of cleaning before storing — and the
+// reconstruction cost; (b) whether cleaning the stream helps downstream
+// recognition, per similarity measure, as sensor noise grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "recognition/similarity.h"
+#include "recognition/vocabulary.h"
+#include "signal/denoise.h"
+#include "signal/dwt.h"
+
+namespace aims {
+namespace {
+
+signal::WaveletFilter Db3() {
+  return signal::WaveletFilter::Make(signal::WaveletKind::kDb3);
+}
+
+/// Per-channel denoise of a segment matrix (pads to a power of two).
+linalg::Matrix DenoiseSegment(const linalg::Matrix& segment) {
+  size_t padded = 1;
+  while (padded < segment.rows()) padded <<= 1;
+  linalg::Matrix out(segment.rows(), segment.cols());
+  for (size_t c = 0; c < segment.cols(); ++c) {
+    std::vector<double> channel = segment.Col(c);
+    double last = channel.back();
+    channel.resize(padded, last);
+    auto denoised = signal::Denoise(Db3(), channel);
+    AIMS_CHECK(denoised.ok());
+    for (size_t r = 0; r < segment.rows(); ++r) {
+      out.At(r, c) = denoised.ValueOrDie()[r];
+    }
+  }
+  return out;
+}
+
+void RunCompaction() {
+  TablePrinter table({"sensor noise", "nonzero before", "nonzero after",
+                      "compaction", "reconstruction nmse"});
+  for (double noise : {0.5, 1.0, 2.0}) {
+    synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 990, noise);
+    synth::SubjectProfile subject = sim.MakeSubject();
+    auto recording = sim.GenerateSign(12, subject).ValueOrDie();
+    size_t padded = 1;
+    while (padded < recording.num_frames()) padded <<= 1;
+    size_t nz_before = 0, nz_after = 0;
+    double total_mse = 0.0, total_var = 0.0;
+    for (size_t c = 0; c < recording.num_channels(); ++c) {
+      std::vector<double> channel = recording.Channel(c);
+      double mean = 0.0;
+      for (double v : channel) mean += v;
+      mean /= static_cast<double>(channel.size());
+      std::vector<double> padded_channel(padded, 0.0);
+      for (size_t i = 0; i < channel.size(); ++i) {
+        padded_channel[i] = channel[i] - mean;
+      }
+      auto coeffs = signal::ForwardDwt(Db3(), padded_channel).ValueOrDie();
+      for (double v : coeffs) {
+        if (std::fabs(v) > 1e-9) ++nz_before;
+      }
+      double sigma = signal::EstimateNoiseSigma(coeffs);
+      double threshold =
+          sigma * std::sqrt(2.0 * std::log(static_cast<double>(padded)));
+      signal::ThresholdCoefficients(&coeffs, threshold,
+                                    signal::DenoiseOptions{});
+      for (double v : coeffs) {
+        if (std::fabs(v) > 1e-9) ++nz_after;
+      }
+      auto back = signal::InverseDwt(Db3(), coeffs).ValueOrDie();
+      back.resize(channel.size());
+      for (double& v : back) v += mean;
+      total_mse += MeanSquaredError(channel, back);
+      RunningStats stats;
+      for (double v : channel) stats.Add(v);
+      total_var += stats.variance();
+    }
+    table.AddRow();
+    table.Cell(noise, 2);
+    table.Cell(nz_before);
+    table.Cell(nz_after);
+    table.Cell(static_cast<double>(nz_before) /
+                   static_cast<double>(std::max<size_t>(nz_after, 1)),
+               1);
+    table.Cell(total_var > 0 ? total_mse / total_var : 0.0, 4);
+  }
+  table.Print("E20a: coefficient compaction from acquisition-time cleaning "
+              "(28 channels, one sign)");
+}
+
+void RunRecognition() {
+  TablePrinter table({"noise", "measure", "raw accuracy",
+                      "denoised accuracy"});
+  for (double noise : {1.5, 3.0}) {
+    synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 991, noise);
+    synth::SubjectProfile reference = sim.MakeSubject();
+    recognition::Vocabulary raw_vocab, clean_vocab;
+    for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+      linalg::Matrix templ =
+          benchutil::ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie());
+      raw_vocab.Add(sim.vocabulary()[sign].name, templ);
+      clean_vocab.Add(sim.vocabulary()[sign].name, DenoiseSegment(templ));
+    }
+    std::vector<std::pair<size_t, linalg::Matrix>> tests;
+    for (int subject_id = 0; subject_id < 8; ++subject_id) {
+      synth::SubjectProfile subject = sim.MakeSubject();
+      for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+        tests.emplace_back(sign, benchutil::ToMatrix(
+                                     sim.GenerateSign(sign, subject)
+                                         .ValueOrDie()));
+      }
+    }
+    recognition::WeightedSvdSimilarity svd;
+    recognition::EuclideanSimilarity euclid;
+    recognition::DwtSimilarity dwt;
+    for (const recognition::SimilarityMeasure* measure :
+         std::initializer_list<const recognition::SimilarityMeasure*>{
+             &svd, &euclid, &dwt}) {
+      size_t raw_correct = 0, clean_correct = 0;
+      for (const auto& [sign, segment] : tests) {
+        auto raw = raw_vocab.Classify(segment, *measure);
+        AIMS_CHECK(raw.ok());
+        if (raw.ValueOrDie().label == sim.vocabulary()[sign].name) {
+          ++raw_correct;
+        }
+        auto clean = clean_vocab.Classify(DenoiseSegment(segment), *measure);
+        AIMS_CHECK(clean.ok());
+        if (clean.ValueOrDie().label == sim.vocabulary()[sign].name) {
+          ++clean_correct;
+        }
+      }
+      table.AddRow();
+      table.Cell(noise, 1);
+      table.Cell(measure->name());
+      table.Cell(static_cast<double>(raw_correct) / tests.size(), 3);
+      table.Cell(static_cast<double>(clean_correct) / tests.size(), 3);
+    }
+  }
+  table.Print("E20b: recognition with and without acquisition-time "
+              "denoising (18 signs x 8 subjects)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E20: acquisition-time wavelet denoising (Sec. 3.1) ===\n");
+  std::printf(
+      "Expected shape: cleaning zeroes most coefficients (storage win) at\n"
+      "tiny reconstruction cost; the covariance-based weighted-svd is\n"
+      "already noise-robust, while the fixed-length baselines gain more\n"
+      "from cleaning as noise grows.\n");
+  aims::RunCompaction();
+  aims::RunRecognition();
+  return 0;
+}

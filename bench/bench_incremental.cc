@@ -1,0 +1,195 @@
+// E15 — Incremental SVD for the online recognizer (paper Sec. 3.4.1):
+// "explore techniques for computing SVD incrementally ... reducing the
+// overall computation cost considerably", and the related effectiveness
+// metric: "our information-theory based heuristic can be evolved into a
+// metric to measure the effectiveness of different similarity measures."
+//
+// Measured: (a) wall time per streamed frame for the baseline recognizer
+// (rebuilds the segment matrix and re-diagonalizes every template at every
+// evaluation) vs the incremental one (running covariance + cached template
+// spectra), with matching recognition output; (b) the effectiveness
+// metric ranking all similarity measures.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "common/table_printer.h"
+#include "recognition/effectiveness.h"
+#include "recognition/incremental.h"
+#include "recognition/isolator.h"
+#include "recognition/similarity.h"
+
+namespace aims {
+namespace {
+
+using recognition::IncrementalStreamRecognizer;
+using recognition::RecognitionEvent;
+using recognition::SpectralVocabulary;
+using recognition::StreamRecognizer;
+using recognition::StreamRecognizerConfig;
+using recognition::Vocabulary;
+using recognition::WeightedSvdSimilarity;
+
+struct StreamSetup {
+  Vocabulary vocab;
+  streams::Recording stream;
+  std::vector<synth::SignSegment> truth;
+  std::vector<std::string> script_names;
+};
+
+StreamSetup MakeSetup(size_t num_signs) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 151, 0.5);
+  synth::SubjectProfile reference = sim.MakeSubject();
+  StreamSetup setup;
+  std::vector<size_t> motion_signs = {12, 13, 14, 15, 16, 17};
+  for (size_t sign : motion_signs) {
+    setup.vocab.Add(
+        sim.vocabulary()[sign].name,
+        benchutil::ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie()));
+  }
+  Rng rng(8);
+  std::vector<size_t> script;
+  for (size_t i = 0; i < num_signs; ++i) {
+    script.push_back(motion_signs[static_cast<size_t>(rng.UniformInt(0, 5))]);
+  }
+  synth::SubjectProfile subject = sim.MakeSubject();
+  setup.stream =
+      sim.GenerateSequence(script, subject, 0.9, &setup.truth).ValueOrDie();
+  for (size_t s : script) {
+    setup.script_names.push_back(sim.vocabulary()[s].name);
+  }
+  return setup;
+}
+
+void RunThroughput() {
+  StreamSetup setup = MakeSetup(16);
+  StreamRecognizerConfig config;
+  WeightedSvdSimilarity measure;
+
+  // Baseline.
+  StreamRecognizer baseline(&setup.vocab, &measure, config);
+  std::vector<RecognitionEvent> baseline_events;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const streams::Frame& frame : setup.stream.frames) {
+    auto event = baseline.Push(frame);
+    AIMS_CHECK(event.ok());
+    if (event.ValueOrDie().has_value()) {
+      baseline_events.push_back(*event.ValueOrDie());
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  // Incremental.
+  auto spectral = SpectralVocabulary::Make(&setup.vocab);
+  AIMS_CHECK(spectral.ok());
+  IncrementalStreamRecognizer incremental(&spectral.ValueOrDie(), config);
+  std::vector<RecognitionEvent> incremental_events;
+  auto t2 = std::chrono::steady_clock::now();
+  for (const streams::Frame& frame : setup.stream.frames) {
+    auto event = incremental.Push(frame);
+    AIMS_CHECK(event.ok());
+    if (event.ValueOrDie().has_value()) {
+      incremental_events.push_back(*event.ValueOrDie());
+    }
+  }
+  auto t3 = std::chrono::steady_clock::now();
+
+  double frames = static_cast<double>(setup.stream.num_frames());
+  double baseline_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / frames;
+  double incremental_us =
+      std::chrono::duration<double, std::micro>(t3 - t2).count() / frames;
+
+  auto accuracy = [&](const std::vector<RecognitionEvent>& events) {
+    size_t correct = 0;
+    std::vector<bool> used(events.size(), false);
+    for (size_t t = 0; t < setup.truth.size(); ++t) {
+      for (size_t e = 0; e < events.size(); ++e) {
+        if (used[e]) continue;
+        if (events[e].start_frame < setup.truth[t].end_frame &&
+            events[e].end_frame > setup.truth[t].start_frame) {
+          used[e] = true;
+          if (events[e].label == setup.script_names[t]) ++correct;
+          break;
+        }
+      }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(setup.truth.size());
+  };
+
+  TablePrinter table({"recognizer", "us/frame", "events", "recognition",
+                      "speedup"});
+  table.AddRow();
+  table.Cell("baseline (rebuild)");
+  table.Cell(baseline_us, 2);
+  table.Cell(baseline_events.size());
+  table.Cell(accuracy(baseline_events), 3);
+  table.Cell("-");
+  table.AddRow();
+  table.Cell("incremental SVD");
+  table.Cell(incremental_us, 2);
+  table.Cell(incremental_events.size());
+  table.Cell(accuracy(incremental_events), 3);
+  table.Cell(baseline_us / incremental_us, 1);
+  table.Print("E15a: per-frame cost on a 16-sign stream (28 channels, "
+              "100 Hz; real-time budget is 10000 us/frame)");
+}
+
+void RunEffectiveness() {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 252, 0.75);
+  synth::SubjectProfile reference = sim.MakeSubject();
+  Vocabulary vocab;
+  for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+    vocab.Add(sim.vocabulary()[sign].name,
+              benchutil::ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie()));
+  }
+  std::vector<recognition::LabelledSegment> test_set;
+  for (int subject_id = 0; subject_id < 8; ++subject_id) {
+    synth::SubjectProfile subject = sim.MakeSubject();
+    for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+      test_set.push_back(recognition::LabelledSegment{
+          sim.vocabulary()[sign].name,
+          benchutil::ToMatrix(sim.GenerateSign(sign, subject).ValueOrDie())});
+    }
+  }
+  WeightedSvdSimilarity svd;
+  WeightedSvdSimilarity svd5(5);
+  recognition::EuclideanSimilarity euclid;
+  recognition::DftSimilarity dft;
+  recognition::DwtSimilarity dwt;
+  TablePrinter table({"measure", "ranking acc", "mean margin", "margin SNR",
+                      "info gain (nats)"});
+  for (const recognition::SimilarityMeasure* measure :
+       std::initializer_list<const recognition::SimilarityMeasure*>{
+           &svd, &svd5, &euclid, &dft, &dwt}) {
+    auto report =
+        recognition::MeasureEffectiveness(vocab, *measure, test_set);
+    AIMS_CHECK(report.ok());
+    table.AddRow();
+    table.Cell(report.ValueOrDie().measure);
+    table.Cell(report.ValueOrDie().ranking_accuracy, 3);
+    table.Cell(report.ValueOrDie().mean_margin, 4);
+    table.Cell(report.ValueOrDie().margin_snr, 2);
+    table.Cell(report.ValueOrDie().information_gain, 4);
+  }
+  table.Print("E15b: similarity-measure effectiveness metric "
+              "(18 signs x 8 subjects)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E15: incremental SVD + measure effectiveness (Sec. 3.4.1) ===\n");
+  std::printf(
+      "Expected shape: the incremental recognizer emits the same events at\n"
+      "a small fraction of the per-frame cost; the effectiveness metric\n"
+      "ranks weighted-svd above the fixed-length baselines, mirroring E7.\n");
+  aims::RunThroughput();
+  aims::RunEffectiveness();
+  return 0;
+}

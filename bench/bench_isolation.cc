@@ -1,0 +1,155 @@
+// E8 — Real-time pattern isolation + recognition over streams (Sec. 3.4).
+//
+// Paper claim: the accumulated-similarity heuristic "in real-time
+// investigates the accumulated values and simultaneously recognizes and
+// isolates the input patterns" for variable-length motions in a continuous
+// stream. Reported: isolation precision/recall (boundary overlap with the
+// scripted ground truth), recognition accuracy on isolated segments, and
+// detection latency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "recognition/isolator.h"
+#include "recognition/similarity.h"
+#include "recognition/sliding_matcher.h"
+
+namespace aims {
+namespace {
+
+struct StreamResult {
+  size_t true_patterns = 0;
+  size_t emitted = 0;
+  size_t isolated = 0;     ///< Events overlapping a true segment.
+  size_t recognized = 0;   ///< Isolated events with the right label.
+  RunningStats latency_frames;
+};
+
+StreamResult RunStream(uint64_t seed, size_t num_signs, double rest_gap_s,
+                       bool use_sliding_baseline = false) {
+  // Motion signs only: static alphabet poses have no sustained dynamics for
+  // a stream segmenter to latch onto (indexes 12..17 in the vocabulary).
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), seed, 0.5);
+  synth::SubjectProfile reference = sim.MakeSubject();
+  recognition::Vocabulary vocab;
+  std::vector<size_t> motion_signs = {12, 13, 14, 15, 16, 17};
+  for (size_t sign : motion_signs) {
+    vocab.Add(sim.vocabulary()[sign].name,
+              benchutil::ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie()));
+  }
+  Rng rng(seed + 1);
+  std::vector<size_t> script;
+  for (size_t i = 0; i < num_signs; ++i) {
+    script.push_back(
+        motion_signs[static_cast<size_t>(rng.UniformInt(0, 5))]);
+  }
+  synth::SubjectProfile subject = sim.MakeSubject();
+  std::vector<synth::SignSegment> truth;
+  auto recording = sim.GenerateSequence(script, subject, rest_gap_s, &truth);
+  AIMS_CHECK(recording.ok());
+
+  recognition::WeightedSvdSimilarity measure;
+  recognition::StreamRecognizerConfig config;
+  recognition::StreamRecognizer recognizer(&vocab, &measure, config);
+  recognition::SlidingMatcherConfig baseline_config;
+  recognition::SlidingTemplateMatcher baseline(&vocab, baseline_config);
+  std::vector<recognition::RecognitionEvent> events;
+  size_t frame_index = 0;
+  std::vector<size_t> emit_frame;
+  for (const streams::Frame& frame : recording.ValueOrDie().frames) {
+    auto event = use_sliding_baseline ? baseline.Push(frame)
+                                      : recognizer.Push(frame);
+    AIMS_CHECK(event.ok());
+    if (event.ValueOrDie().has_value()) {
+      events.push_back(*event.ValueOrDie());
+      emit_frame.push_back(frame_index);
+    }
+    ++frame_index;
+  }
+  if (!use_sliding_baseline) {
+    auto last = recognizer.Finish();
+    AIMS_CHECK(last.ok());
+    if (last.ValueOrDie().has_value()) {
+      events.push_back(*last.ValueOrDie());
+      emit_frame.push_back(frame_index);
+    }
+  }
+
+  StreamResult result;
+  result.true_patterns = truth.size();
+  result.emitted = events.size();
+  std::vector<bool> matched(truth.size(), false);
+  for (size_t e = 0; e < events.size(); ++e) {
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (matched[t]) continue;
+      bool overlaps = events[e].start_frame < truth[t].end_frame &&
+                      events[e].end_frame > truth[t].start_frame;
+      if (overlaps) {
+        matched[t] = true;
+        ++result.isolated;
+        if (events[e].label == sim.vocabulary()[script[t]].name) {
+          ++result.recognized;
+        }
+        result.latency_frames.Add(static_cast<double>(emit_frame[e]) -
+                                  static_cast<double>(truth[t].end_frame));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+void Run(double rest_gap_s) {
+  TablePrinter table({"method", "rest gap s", "patterns", "events", "recall",
+                      "precision", "recognition", "latency ms"});
+  for (bool baseline : {false, true}) {
+    StreamResult total;
+    for (uint64_t seed : {301u, 302u, 303u, 304u}) {
+      StreamResult r = RunStream(seed, 12, rest_gap_s, baseline);
+      total.true_patterns += r.true_patterns;
+      total.emitted += r.emitted;
+      total.isolated += r.isolated;
+      total.recognized += r.recognized;
+      total.latency_frames.Merge(r.latency_frames);
+    }
+    table.AddRow();
+    table.Cell(baseline ? "sliding-euclid [6]" : "accumulated-SVD (AIMS)");
+    table.Cell(rest_gap_s, 2);
+    table.Cell(total.true_patterns);
+    table.Cell(total.emitted);
+    table.Cell(static_cast<double>(total.isolated) /
+                   static_cast<double>(total.true_patterns),
+               3);
+    table.Cell(static_cast<double>(total.isolated) /
+                   static_cast<double>(std::max<size_t>(total.emitted, 1)),
+               3);
+    table.Cell(static_cast<double>(total.recognized) /
+                   static_cast<double>(std::max<size_t>(total.isolated, 1)),
+               3);
+    table.Cell(total.latency_frames.mean() * 10.0, 1);  // 100 Hz -> ms
+  }
+  table.Print("E8: stream isolation + recognition (48 patterns, 6-sign "
+              "motion vocabulary)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E8: online pattern isolation over continuous streams (Sec. 3.4) "
+      "===\n");
+  std::printf(
+      "Expected shape: recall/precision near 1.0 with comfortable rest\n"
+      "gaps, degrading gracefully as gaps shrink; recognition accuracy\n"
+      "close to the isolated-sign accuracy of E7; latency ~ the debounce\n"
+      "window (a quarter second).\n");
+  aims::Run(1.2);
+  aims::Run(0.8);
+  aims::Run(0.5);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E11 — Multi-basis (DWPT best-basis) transformation per dimension
+// (paper Sec. 3.1.1).
+//
+// Paper claim: AIMS should "select a transformation basis per dimension
+// from a general transformation library, Discrete Wavelet Packet Transform
+// (DWPT)" because different sensors have different space/frequency
+// structure — one fixed basis is not best for all. Measured: information
+// cost (Shannon entropy) and compaction (coefficients needed for 99% of
+// the energy) of the standard basis, the plain DWT, and the selected best
+// basis, per representative glove channel.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "signal/dwpt.h"
+
+namespace aims {
+namespace {
+
+/// Coefficients needed to capture `fraction` of the energy.
+size_t CompactionCount(std::vector<double> coeffs, double fraction) {
+  for (double& c : coeffs) c = c * c;
+  std::sort(coeffs.begin(), coeffs.end(), std::greater<double>());
+  double total = 0.0;
+  for (double c : coeffs) total += c;
+  if (total <= 0.0) return 0;
+  double acc = 0.0;
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    acc += coeffs[i];
+    if (acc >= fraction * total) return i + 1;
+  }
+  return coeffs.size();
+}
+
+void Run() {
+  streams::Recording session = benchutil::MakeGloveSession(606, 20, 0.5);
+  signal::WaveletFilter db2 =
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb2);
+
+  // Pad/trim each channel to a power of two.
+  size_t n = 1;
+  while (n * 2 <= session.num_frames()) n *= 2;
+  n = std::min<size_t>(n, 4096);
+
+  TablePrinter table({"channel", "basis", "signif coeffs", "coeffs for 99%",
+                      "basis nodes"});
+  RunningStats std_gain, dwt_gain;
+  std::vector<size_t> channels_to_show = {4, 20, 21, 22, 27};
+  for (size_t c = 0; c < session.num_channels(); ++c) {
+    std::vector<double> channel = session.Channel(c);
+    channel.resize(n);
+    // Mean-center so the DC offset does not dominate the entropy.
+    double mean = 0.0;
+    for (double v : channel) mean += v;
+    mean /= static_cast<double>(n);
+    for (double& v : channel) v -= mean;
+    auto tree = signal::WaveletPacketTree::Build(db2, channel, 8);
+    AIMS_CHECK(tree.ok());
+    const auto& t = tree.ValueOrDie();
+    // Select by significant-coefficient count: the storage-relevant cost.
+    // (Shannon entropy is dominated by broadband sensor noise, which is
+    // incompressible in any basis.)
+    const double kThreshold = 4.0;  // ~5x the sensor noise floor
+    auto best = t.BestBasis(signal::BasisCost::kThresholdCount, kThreshold);
+    struct Row {
+      const char* name;
+      std::vector<signal::PacketNode> basis;
+    };
+    std::vector<Row> rows = {{"standard", t.StandardBasis()},
+                             {"dwt", t.DwtBasis()},
+                             {"best (DWPT)", best}};
+    double std_compaction = 0.0, dwt_compaction = 0.0, best_compaction = 0.0;
+    for (const Row& row : rows) {
+      std::vector<double> coeffs = t.BasisCoefficients(row.basis);
+      double cost =
+          t.CostOf(row.basis, signal::BasisCost::kThresholdCount, kThreshold);
+      size_t compaction = CompactionCount(coeffs, 0.99);
+      if (row.name[0] == 's') std_compaction = static_cast<double>(compaction);
+      if (row.name[0] == 'd') dwt_compaction = static_cast<double>(compaction);
+      if (row.name[0] == 'b') best_compaction = static_cast<double>(compaction);
+      if (std::find(channels_to_show.begin(), channels_to_show.end(), c) !=
+          channels_to_show.end()) {
+        table.AddRow();
+        table.Cell("ch" + std::to_string(c) + " (" +
+                   (c < synth::kGloveSensors
+                        ? synth::GloveSensorDescription(c)
+                        : "tracker") +
+                   ")");
+        table.Cell(row.name);
+        table.Cell(cost, 2);
+        table.Cell(compaction);
+        table.Cell(row.basis.size());
+      }
+    }
+    if (best_compaction > 0.0) {
+      std_gain.Add(std_compaction / best_compaction);
+      dwt_gain.Add(dwt_compaction / best_compaction);
+    }
+  }
+  table.Print("E11: basis comparison on representative glove channels "
+              "(4096 samples)");
+  std::printf(
+      "Across all 28 channels: best-basis compaction gain vs standard = "
+      "%.2fx (mean), vs plain DWT = %.2fx (mean)\n",
+      std_gain.mean(), dwt_gain.mean());
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E11: multi-basis DWPT selection (Sec. 3.1.1) ===\n");
+  std::printf(
+      "Expected shape: best-basis entropy <= dwt <= standard on every\n"
+      "channel (guaranteed by the search), with the 99%%-energy coefficient\n"
+      "count dropping by a large factor vs the standard basis and a\n"
+      "modest one vs the plain DWT, varying per channel.\n");
+  aims::Run();
+  return 0;
+}

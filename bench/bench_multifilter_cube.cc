@@ -1,0 +1,102 @@
+// E19 — Per-dimension bases in ProPolyne (paper Sec. 3.3.1, generalization):
+// "ProPolyne does not yet know how to deal with transformed data where each
+// dimension is transformed through a different basis" — this harness runs
+// the implementation that does. On the immersidata schema, the sensor-id
+// dimension only ever carries COUNT restrictions (degree 0) while the
+// measure dimension needs VARIANCE (degree 2); giving each dimension the
+// cheapest sufficient filter cuts append and query cost without giving up
+// any query capability.
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "propolyne/datacube.h"
+#include "propolyne/evaluator.h"
+
+namespace aims {
+namespace {
+
+using propolyne::DataCube;
+using propolyne::RangeSumQuery;
+using signal::WaveletFilter;
+using signal::WaveletKind;
+
+struct Config {
+  const char* name;
+  std::vector<WaveletKind> kinds;  // sensor, time, value
+};
+
+void Run() {
+  propolyne::CubeSchema schema{{"sensor", "time", "value"}, {32, 64, 64}};
+  const std::vector<Config> configs = {
+      {"db3 everywhere", {WaveletKind::kDb3, WaveletKind::kDb3,
+                          WaveletKind::kDb3}},
+      {"haar/db2/db3 (matched)", {WaveletKind::kHaar, WaveletKind::kDb2,
+                                  WaveletKind::kDb3}},
+      {"haar everywhere", {WaveletKind::kHaar, WaveletKind::kHaar,
+                           WaveletKind::kHaar}},
+  };
+  TablePrinter table({"filters (sensor/time/value)", "append cells",
+                      "COUNT coeffs", "SUM(value) coeffs",
+                      "VARIANCE support", "exactness"});
+  for (const Config& config : configs) {
+    std::vector<WaveletFilter> filters;
+    for (WaveletKind kind : config.kinds) {
+      filters.push_back(WaveletFilter::Make(kind));
+    }
+    auto cube = DataCube::MakeMultiFilter(schema, filters);
+    AIMS_CHECK(cube.ok());
+    Rng rng(20);
+    size_t append_total = 0;
+    for (int i = 0; i < 200; ++i) {
+      std::vector<size_t> idx = {
+          static_cast<size_t>(rng.UniformInt(0, 31)),
+          static_cast<size_t>(rng.UniformInt(0, 63)),
+          static_cast<size_t>(rng.UniformInt(0, 63))};
+      auto touched = cube.ValueOrDie().Append(idx);
+      AIMS_CHECK(touched.ok());
+      append_total += touched.ValueOrDie();
+    }
+    propolyne::Evaluator evaluator(&cube.ValueOrDie());
+    std::vector<size_t> lo = {3, 9, 5}, hi = {28, 60, 59};
+    auto count = evaluator.QueryCoefficientCount(RangeSumQuery::Count(lo, hi));
+    AIMS_CHECK(count.ok());
+    auto sum_result =
+        evaluator.QueryCoefficientCount(RangeSumQuery::Sum(lo, hi, 2));
+    auto variance_result =
+        evaluator.Evaluate(RangeSumQuery::SumOfSquares(lo, hi, 2));
+    // Exactness cross-check against the scan.
+    double scan = evaluator.EvaluateByScan(RangeSumQuery::Count(lo, hi))
+                      .ValueOrDie();
+    double wavelet =
+        evaluator.Evaluate(RangeSumQuery::Count(lo, hi)).ValueOrDie();
+    table.AddRow();
+    table.Cell(config.name);
+    table.Cell(append_total / 200);
+    table.Cell(count.ValueOrDie());
+    table.Cell(sum_result.ok() ? std::to_string(sum_result.ValueOrDie())
+                               : std::string("n/a"));
+    table.Cell(variance_result.ok() ? "yes" : "no");
+    table.Cell(RelativeError(scan, wavelet) < 1e-6 ? "exact" : "BROKEN");
+  }
+  table.Print("E19: per-dimension filter choice on the immersidata cube "
+              "(sensor x time x value, 200 appends)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E19: multi-basis ProPolyne — a different filter per dimension "
+      "(Sec. 3.3.1) ===\n");
+  std::printf(
+      "Expected shape: the matched mix keeps full query capability\n"
+      "(VARIANCE on the measure dimension) at a fraction of the uniform\n"
+      "db3 cost; uniform haar is cheapest but loses SUM/VARIANCE support.\n");
+  aims::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E4 — Progressive ProPolyne vs data approximation (paper Sec. 3.3).
+//
+// Paper claims: "the approximate results produced by ProPolyne are very
+// accurate long before the exact query evaluation is complete" and "the
+// performance of wavelet based data approximation methods varies wildly
+// with the dataset, while query approximation based ProPolyne delivers
+// consistent, and consistently better, results."
+//
+// Series reproduced: mean relative error vs number of coefficients
+// consumed, for both methods, across four datasets spanning the
+// compressibility spectrum.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "propolyne/data_approximation.h"
+#include "propolyne/evaluator.h"
+#include "synth/olap_data.h"
+
+namespace aims {
+namespace {
+
+using propolyne::DataCube;
+using propolyne::RangeSumQuery;
+
+DataCube CubeFrom(const synth::GridDataset& dataset) {
+  propolyne::CubeSchema schema;
+  schema.extents = dataset.shape;
+  for (size_t d = 0; d < dataset.shape.size(); ++d) {
+    schema.names.push_back("d" + std::to_string(d));
+  }
+  auto cube = DataCube::FromDense(
+      std::move(schema),
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb2), dataset.values);
+  AIMS_CHECK(cube.ok());
+  return std::move(cube).ValueOrDie();
+}
+
+std::vector<RangeSumQuery> MakeWorkload(const propolyne::CubeSchema& schema,
+                                        int count, Rng* rng) {
+  std::vector<RangeSumQuery> workload;
+  for (int q = 0; q < count; ++q) {
+    std::vector<size_t> lo(schema.num_dims()), hi(schema.num_dims());
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      // Mid-sized ranges: 1/4 to 3/4 of the extent.
+      size_t e = schema.extents[d];
+      size_t width = e / 4 + static_cast<size_t>(rng->UniformInt(
+                                 0, static_cast<int64_t>(e) / 2));
+      size_t start = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(e - width)));
+      lo[d] = start;
+      hi[d] = start + width - 1;
+    }
+    workload.push_back(RangeSumQuery::Count(lo, hi));
+  }
+  return workload;
+}
+
+void Run() {
+  Rng rng(17);
+  std::vector<synth::GridDataset> zoo = synth::MakeDatasetZoo({64, 64}, &rng);
+  const std::vector<double> budget_fractions = {0.02, 0.05, 0.10, 0.25,
+                                                0.50, 1.00};
+  TablePrinter table({"dataset", "method", "2%", "5%", "10%", "25%", "50%",
+                      "100%"});
+  for (const synth::GridDataset& dataset : zoo) {
+    DataCube cube = CubeFrom(dataset);
+    propolyne::Evaluator evaluator(&cube);
+    propolyne::DataApproximation approx(&cube);
+    std::vector<RangeSumQuery> workload =
+        MakeWorkload(cube.schema(), 25, &rng);
+
+    std::vector<RunningStats> query_err(budget_fractions.size());
+    std::vector<RunningStats> data_err(budget_fractions.size());
+    for (const RangeSumQuery& query : workload) {
+      auto progressive = evaluator.EvaluateProgressive(query, 1);
+      AIMS_CHECK(progressive.ok());
+      const auto& steps = progressive.ValueOrDie().steps;
+      double exact = progressive.ValueOrDie().exact;
+      if (std::fabs(exact) < 1.0) continue;
+      size_t total_query_coeffs = steps.back().coefficients_used;
+      for (size_t b = 0; b < budget_fractions.size(); ++b) {
+        // Query-progressive: consume the given fraction of the query's own
+        // coefficients.
+        size_t budget = std::max<size_t>(
+            1, static_cast<size_t>(budget_fractions[b] *
+                                   static_cast<double>(total_query_coeffs)));
+        size_t idx = std::min(budget, steps.size()) - 1;
+        query_err[b].Add(RelativeError(exact, steps[idx].estimate));
+        // Data approximation: the same *fraction of the full synopsis*,
+        // scaled so both methods spend comparable coefficient budgets.
+        size_t data_budget = std::max<size_t>(
+            1, static_cast<size_t>(budget_fractions[b] *
+                                   static_cast<double>(total_query_coeffs)));
+        auto estimate = approx.EvaluateWithBudget(query, data_budget * 8);
+        AIMS_CHECK(estimate.ok());
+        data_err[b].Add(RelativeError(exact, estimate.ValueOrDie()));
+      }
+    }
+    for (int method = 0; method < 2; ++method) {
+      table.AddRow();
+      table.Cell(dataset.name);
+      table.Cell(method == 0 ? "propolyne-query" : "data-approx(8x)");
+      for (size_t b = 0; b < budget_fractions.size(); ++b) {
+        table.Cell((method == 0 ? query_err : data_err)[b].mean(), 4);
+      }
+    }
+  }
+  table.Print(
+      "E4: mean relative error vs coefficient budget (COUNT queries, 64x64)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E4: progressive query approximation (Sec. 3.3) ===\n");
+  std::printf(
+      "Expected shape: propolyne-query error is small by ~25%% budget and\n"
+      "nearly flat ACROSS datasets; data-approx error is tiny on 'smooth'\n"
+      "but large on 'zipf'/'noise' — it 'varies wildly with the dataset'.\n");
+  aims::Run();
+  return 0;
+}

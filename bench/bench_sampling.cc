@@ -1,0 +1,108 @@
+// E1 — Immersidata sampling techniques (paper Sec. 3.1).
+//
+// Paper claim: "adaptive sampling requires far less bandwidth (and storage)
+// as compared to the other techniques. When compared with a block-based
+// compression technique, e.g., Unix zip software (based on Hoffman coding),
+// adaptive sampling provides superior savings."
+//
+// This harness records synthetic CyberGlove sessions at three activity
+// levels, runs the four samplers, and compares their payload bandwidth with
+// a Huffman-compressed full-rate stream.
+
+#include <cstdio>
+
+#include "acquisition/codec.h"
+#include "acquisition/sampler.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace aims {
+namespace {
+
+void RunActivityLevel(double activity, uint64_t seed) {
+  streams::Recording session =
+      benchutil::MakeGloveSession(seed, /*num_signs=*/24, activity);
+  double duration =
+      static_cast<double>(session.num_frames()) / session.sample_rate_hz;
+
+  acquisition::SamplerConfig config;
+  // The glove reports degrees with ~1 degree of sensor noise + tremor;
+  // anything below 2 degrees of standard deviation is noise, not motion.
+  config.spectral.noise_floor_variance = 4.0;
+  // The pilot must cover actual signing, not just the lead-in rest.
+  config.pilot_seconds = 10.0;
+  acquisition::FixedSampler fixed(config);
+  acquisition::ModifiedFixedSampler modified(config);
+  acquisition::GroupedSampler grouped(config);
+  acquisition::AdaptiveSampler adaptive(config);
+  acquisition::SamplerConfig aa_config = config;
+  aa_config.anti_alias = true;
+  acquisition::AdaptiveSampler adaptive_aa(aa_config);
+
+  TablePrinter table({"technique", "samples", "bytes", "bytes/s",
+                      "vs-raw", "nmse"});
+  // Raw full-rate stream at 16-bit quantization.
+  size_t raw_bytes = session.num_frames() * session.num_channels() * 2;
+  table.AddRow();
+  table.Cell("raw 100Hz");
+  table.Cell(session.num_frames() * session.num_channels());
+  table.Cell(raw_bytes);
+  table.Cell(static_cast<double>(raw_bytes) / duration, 0);
+  table.Cell(1.0, 2);
+  table.Cell(0.0, 4);
+
+  // The paper's "zip" baseline: Huffman over the quantized raw stream.
+  acquisition::Quantizer quantizer;
+  std::vector<uint8_t> raw_stream;
+  for (size_t c = 0; c < session.num_channels(); ++c) {
+    std::vector<uint8_t> bytes = acquisition::PackInt16(
+        quantizer.EncodeAll(session.Channel(c)));
+    raw_stream.insert(raw_stream.end(), bytes.begin(), bytes.end());
+  }
+  size_t huffman_bytes = acquisition::HuffmanCodec::CompressedBytes(raw_stream);
+  table.AddRow();
+  table.Cell("huffman (zip)");
+  table.Cell(session.num_frames() * session.num_channels());
+  table.Cell(huffman_bytes);
+  table.Cell(static_cast<double>(huffman_bytes) / duration, 0);
+  table.Cell(static_cast<double>(huffman_bytes) / raw_bytes, 2);
+  table.Cell(0.0, 4);
+
+  for (const acquisition::Sampler* sampler :
+       std::initializer_list<const acquisition::Sampler*>{
+           &fixed, &modified, &grouped, &adaptive, &adaptive_aa}) {
+    auto report = acquisition::EvaluateSampler(*sampler, session);
+    AIMS_CHECK(report.ok());
+    if (sampler == &adaptive_aa) {
+      report.ValueOrDie().technique = "adaptive+antialias";
+    }
+    table.AddRow();
+    table.Cell(report.ValueOrDie().technique);
+    table.Cell(report.ValueOrDie().retained_samples);
+    table.Cell(report.ValueOrDie().payload_bytes);
+    table.Cell(report.ValueOrDie().bytes_per_second, 0);
+    table.Cell(static_cast<double>(report.ValueOrDie().payload_bytes) /
+                   raw_bytes,
+               2);
+    table.Cell(report.ValueOrDie().nmse, 4);
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "E1: sampling bandwidth, session activity %.0f%% (%.0fs)",
+                activity * 100.0, duration);
+  table.Print(title);
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf("=== E1: acquisition sampling techniques (Sec. 3.1) ===\n");
+  std::printf(
+      "Expected shape: adaptive << grouped < modified-fixed <= fixed, and\n"
+      "adaptive beats the Huffman'd raw stream; gap widens at low activity.\n");
+  aims::RunActivityLevel(0.8, 11);
+  aims::RunActivityLevel(0.4, 12);
+  aims::RunActivityLevel(0.15, 13);
+  return 0;
+}

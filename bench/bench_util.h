@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "common/macros.h"
+#include "linalg/matrix.h"
+#include "streams/sample.h"
+#include "synth/cyberglove.h"
+
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harness (E1-E12).
+
+namespace aims::benchutil {
+
+/// A realistic glove session: signs with rest gaps. \p activity in (0, 1]
+/// scales how much of the session is spent signing.
+inline streams::Recording MakeGloveSession(uint64_t seed, size_t num_signs,
+                                           double activity) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), seed);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  Rng rng(seed * 77 + 1);
+  std::vector<size_t> script;
+  for (size_t i = 0; i < num_signs; ++i) {
+    script.push_back(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(sim.vocabulary().size()) - 1)));
+  }
+  double rest = 0.8 * (1.0 - activity) / std::max(activity, 0.05);
+  auto rec = sim.GenerateSequence(script, subject, rest, nullptr);
+  AIMS_CHECK(rec.ok());
+  return rec.MoveValueUnsafe();
+}
+
+/// Converts a recording into a segment matrix (frames x channels).
+inline linalg::Matrix ToMatrix(const streams::Recording& rec) {
+  linalg::Matrix m(rec.num_frames(), rec.num_channels());
+  for (size_t r = 0; r < rec.num_frames(); ++r) {
+    m.SetRow(r, rec.frames[r].values);
+  }
+  return m;
+}
+
+}  // namespace aims::benchutil

@@ -1,0 +1,122 @@
+// E10 — SVD similarity computed in the wavelet (transformed) domain
+// (paper Sec. 3.4.1).
+//
+// Paper claim: second-order statistics (covariance, PCA/SVD) derive from
+// SUMs of second-order polynomials (Shao), so "ProPolyne's class of
+// polynomial range-sum aggregates can be used directly to compute our
+// SVD-based similarity function on wavelets". Verified here: (a) exact
+// parity of the covariance from transformed channels, (b) similarity
+// parity, (c) graceful degradation when only the top-k stored coefficients
+// are read (the progressive/approximate path that makes the storage
+// subsystem's block fetches pay off).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "recognition/similarity.h"
+#include "recognition/vocabulary.h"
+#include "recognition/wavelet_svd.h"
+
+namespace aims {
+namespace {
+
+signal::WaveletFilter Db2() {
+  return signal::WaveletFilter::Make(signal::WaveletKind::kDb2);
+}
+
+void RunParity() {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 404, 0.5);
+  recognition::WeightedSvdSimilarity raw_measure;
+  TablePrinter table({"pair", "raw-domain sim", "wavelet-domain sim",
+                      "abs diff"});
+  RunningStats diffs;
+  Rng rng(9);
+  for (int pair = 0; pair < 8; ++pair) {
+    synth::SubjectProfile s1 = sim.MakeSubject();
+    synth::SubjectProfile s2 = sim.MakeSubject();
+    size_t sign_a = static_cast<size_t>(rng.UniformInt(0, 17));
+    size_t sign_b = static_cast<size_t>(rng.UniformInt(0, 17));
+    linalg::Matrix a =
+        benchutil::ToMatrix(sim.GenerateSign(sign_a, s1).ValueOrDie());
+    linalg::Matrix b =
+        benchutil::ToMatrix(sim.GenerateSign(sign_b, s2).ValueOrDie());
+    double raw = raw_measure.Similarity(a, b).ValueOrDie();
+    double wavelet =
+        recognition::WaveletDomainSimilarity(Db2(), a, b).ValueOrDie();
+    diffs.Add(std::fabs(raw - wavelet));
+    table.AddRow();
+    table.Cell(sim.vocabulary()[sign_a].name + "/" +
+               sim.vocabulary()[sign_b].name);
+    table.Cell(raw, 4);
+    table.Cell(wavelet, 4);
+    table.Cell(std::fabs(raw - wavelet), 5);
+  }
+  table.Print("E10a: raw vs wavelet-domain weighted-SVD similarity");
+  std::printf("mean |diff| = %.6f (padding-induced; exact on power-of-two "
+              "lengths)\n",
+              diffs.mean());
+}
+
+void RunTruncation() {
+  // Recognition accuracy when the similarity uses only the k largest
+  // stored coefficients per segment.
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 505, 0.75);
+  synth::SubjectProfile reference = sim.MakeSubject();
+  std::vector<linalg::Matrix> templates;
+  for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+    templates.push_back(
+        benchutil::ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie()));
+  }
+  std::vector<std::pair<size_t, linalg::Matrix>> tests;
+  for (int subject_id = 0; subject_id < 8; ++subject_id) {
+    synth::SubjectProfile subject = sim.MakeSubject();
+    for (size_t sign = 0; sign < sim.vocabulary().size(); ++sign) {
+      tests.emplace_back(sign, benchutil::ToMatrix(
+                                   sim.GenerateSign(sign, subject).ValueOrDie()));
+    }
+  }
+  TablePrinter table({"coefficients kept", "accuracy"});
+  for (size_t keep : {4u, 8u, 16u, 32u, 64u, 0u}) {
+    size_t correct = 0;
+    for (const auto& [sign, segment] : tests) {
+      size_t best = 0;
+      double best_sim = -1.0;
+      for (size_t t = 0; t < templates.size(); ++t) {
+        double sim_value = recognition::WaveletDomainSimilarity(
+                               Db2(), segment, templates[t], 0, keep)
+                               .ValueOrDie();
+        if (sim_value > best_sim) {
+          best_sim = sim_value;
+          best = t;
+        }
+      }
+      if (best == sign) ++correct;
+    }
+    table.AddRow();
+    table.Cell(keep == 0 ? std::string("all") : std::to_string(keep));
+    table.Cell(static_cast<double>(correct) / static_cast<double>(tests.size()),
+               3);
+  }
+  table.Print(
+      "E10b: recognition accuracy vs stored-coefficient budget "
+      "(18 signs x 8 subjects)");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E10: SVD similarity on wavelet-transformed data (Sec. 3.4.1) "
+      "===\n");
+  std::printf(
+      "Expected shape: wavelet-domain similarity ~= raw similarity; with\n"
+      "coefficient truncation, accuracy rises quickly and saturates well\n"
+      "before 'all' — the progressive I/O win.\n");
+  aims::RunParity();
+  aims::RunTruncation();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E16 — Workload-aware data approximation (paper Sec. 3.3.1, refinement):
+// "some information about query workloads can be used to dramatically
+// improve the performance of [the] data approximation version of
+// ProPolyne."
+//
+// Series: mean relative error vs synopsis budget for the magnitude-ranked
+// synopsis (Vitter-Wang style) vs the workload-aware ranking, on a
+// workload concentrated in one quadrant and on a held-out workload
+// elsewhere (the failure mode: the ranking can overfit its workload).
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "propolyne/data_approximation.h"
+#include "synth/olap_data.h"
+
+namespace aims {
+namespace {
+
+using propolyne::DataApproximation;
+using propolyne::DataCube;
+using propolyne::RangeSumQuery;
+using propolyne::WorkloadAwareSynopsis;
+
+std::vector<RangeSumQuery> QuadrantWorkload(size_t x0, size_t y0, int count,
+                                            Rng* rng) {
+  std::vector<RangeSumQuery> workload;
+  for (int i = 0; i < count; ++i) {
+    size_t a = x0 + static_cast<size_t>(rng->UniformInt(0, 20));
+    size_t b = x0 + static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(a - x0) + 5, 31));
+    size_t c = y0 + static_cast<size_t>(rng->UniformInt(0, 20));
+    size_t d = y0 + static_cast<size_t>(rng->UniformInt(static_cast<int64_t>(c - y0) + 5, 31));
+    workload.push_back(RangeSumQuery::Count({a, c}, {b, d}));
+  }
+  return workload;
+}
+
+void Run() {
+  Rng rng(16);
+  synth::GridDataset field = synth::MakeSmoothField({64, 64}, 6, &rng);
+  propolyne::CubeSchema schema{{"x", "y"}, field.shape};
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  AIMS_CHECK(cube.ok());
+
+  Rng qrng(17);
+  std::vector<RangeSumQuery> train = QuadrantWorkload(0, 0, 10, &qrng);
+  std::vector<RangeSumQuery> in_domain = QuadrantWorkload(0, 0, 10, &qrng);
+  std::vector<RangeSumQuery> held_out = QuadrantWorkload(32, 32, 10, &qrng);
+
+  auto synopsis = WorkloadAwareSynopsis::Make(&cube.ValueOrDie(), train);
+  AIMS_CHECK(synopsis.ok());
+  DataApproximation magnitude(&cube.ValueOrDie());
+  propolyne::Evaluator evaluator(&cube.ValueOrDie());
+
+  auto mean_error = [&](const std::vector<RangeSumQuery>& queries,
+                        size_t budget, bool aware) {
+    RunningStats err;
+    for (const RangeSumQuery& query : queries) {
+      double exact = evaluator.Evaluate(query).ValueOrDie();
+      double estimate =
+          aware ? synopsis.ValueOrDie()
+                      .EvaluateWithBudget(query, budget)
+                      .ValueOrDie()
+                : magnitude.EvaluateWithBudget(query, budget).ValueOrDie();
+      err.Add(RelativeError(exact, estimate));
+    }
+    return err.mean();
+  };
+
+  TablePrinter table({"budget", "in-domain aware", "in-domain magnitude",
+                      "held-out aware", "held-out magnitude"});
+  for (size_t budget : {8u, 16u, 32u, 64u, 128u}) {
+    table.AddRow();
+    table.Cell(budget);
+    table.Cell(mean_error(in_domain, budget, true), 4);
+    table.Cell(mean_error(in_domain, budget, false), 4);
+    table.Cell(mean_error(held_out, budget, true), 4);
+    table.Cell(mean_error(held_out, budget, false), 4);
+  }
+  table.Print(
+      "E16: synopsis error vs budget (train: x,y in [0,31]; held-out: "
+      "[32,63])");
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  std::printf(
+      "=== E16: workload-aware wavelet synopses (Sec. 3.3.1) ===\n");
+  std::printf(
+      "Expected shape: on in-domain queries the workload-aware ranking\n"
+      "dominates the magnitude ranking at every budget; on held-out\n"
+      "queries it falls back to near the magnitude ranking (its tail is\n"
+      "magnitude-ordered) — informative, not catastrophic.\n");
+  aims::Run();
+  return 0;
+}

@@ -1,0 +1,352 @@
+#include "acquisition/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace aims::acquisition {
+
+int16_t Quantizer::Encode(double value) const {
+  double scaled = value / lsb;
+  scaled = std::clamp(scaled, -32768.0, 32767.0);
+  return static_cast<int16_t>(std::lround(scaled));
+}
+
+double Quantizer::Decode(int16_t code) const {
+  return static_cast<double>(code) * lsb;
+}
+
+std::vector<int16_t> Quantizer::EncodeAll(
+    const std::vector<double>& values) const {
+  std::vector<int16_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Encode(values[i]);
+  return out;
+}
+
+std::vector<double> Quantizer::DecodeAll(
+    const std::vector<int16_t>& codes) const {
+  std::vector<double> out(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) out[i] = Decode(codes[i]);
+  return out;
+}
+
+namespace {
+
+// IMA ADPCM step table, normalized in the codec to the configured initial
+// step (stepTable[0] corresponds to initial_step).
+const int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+const int kIndexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+struct AdpcmState {
+  double predictor = 0.0;
+  int index = 0;
+  double scale = 1.0;  // initial_step / kStepTable[0]
+
+  double step() const { return scale * kStepTable[index]; }
+
+  /// Quantizes diff to a 4-bit code and updates the state, returning the
+  /// code; used identically by encoder and decoder (via Apply).
+  uint8_t Quantize(double diff) {
+    uint8_t code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    double s = step();
+    if (diff >= s) {
+      code |= 4;
+      diff -= s;
+    }
+    if (diff >= s / 2) {
+      code |= 2;
+      diff -= s / 2;
+    }
+    if (diff >= s / 4) {
+      code |= 1;
+    }
+    Apply(code);
+    return code;
+  }
+
+  /// Advances the state for one code (reconstruction side).
+  void Apply(uint8_t code) {
+    double s = step();
+    double diffq = s / 8.0;
+    if (code & 4) diffq += s;
+    if (code & 2) diffq += s / 2;
+    if (code & 1) diffq += s / 4;
+    predictor += (code & 8) ? -diffq : diffq;
+    index += kIndexTable[code & 7];
+    index = std::clamp(index, 0, 88);
+  }
+};
+
+void PutDouble(std::vector<uint8_t>* out, double v) {
+  uint8_t buf[8];
+  std::memcpy(buf, &v, 8);
+  out->insert(out->end(), buf, buf + 8);
+}
+
+double GetDouble(const std::vector<uint8_t>& in, size_t offset) {
+  double v = 0.0;
+  AIMS_CHECK(offset + 8 <= in.size());
+  std::memcpy(&v, in.data() + offset, 8);
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> AdpcmCodec::Encode(
+    const std::vector<double>& samples) const {
+  std::vector<uint8_t> out;
+  out.reserve(EncodedBytes(samples.size()));
+  // Header: the exact first sample seeds the predictor on both sides.
+  PutDouble(&out, samples.empty() ? 0.0 : samples[0]);
+  AdpcmState state;
+  state.scale = initial_step_ / kStepTable[0];
+  state.predictor = samples.empty() ? 0.0 : samples[0];
+  uint8_t packed = 0;
+  bool half = false;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    uint8_t code = state.Quantize(samples[i] - state.predictor);
+    if (!half) {
+      packed = code;
+      half = true;
+    } else {
+      packed = static_cast<uint8_t>(packed | (code << 4));
+      out.push_back(packed);
+      half = false;
+    }
+  }
+  if (half) out.push_back(packed);
+  return out;
+}
+
+std::vector<double> AdpcmCodec::Decode(const std::vector<uint8_t>& bytes,
+                                       size_t num_samples) const {
+  std::vector<double> out;
+  if (num_samples == 0) return out;
+  out.reserve(num_samples);
+  AdpcmState state;
+  state.scale = initial_step_ / kStepTable[0];
+  state.predictor = GetDouble(bytes, 0);
+  out.push_back(state.predictor);
+  size_t byte_index = 8;
+  bool half = false;
+  for (size_t i = 1; i < num_samples; ++i) {
+    AIMS_CHECK(byte_index < bytes.size());
+    uint8_t code = half ? (bytes[byte_index] >> 4) & 0x0F
+                        : bytes[byte_index] & 0x0F;
+    if (half) ++byte_index;
+    half = !half;
+    state.Apply(code);
+    out.push_back(state.predictor);
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds Huffman code lengths for the 256 byte symbols.
+std::vector<uint8_t> HuffmanCodeLengths(const std::vector<uint8_t>& input) {
+  std::vector<uint64_t> freq(256, 0);
+  for (uint8_t b : input) ++freq[b];
+  // Nodes: (weight, node id); ids < 256 are leaves.
+  using Entry = std::pair<uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<std::pair<int, int>> children;  // internal node id - 256
+  int next_id = 256;
+  int present = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) {
+      heap.push({freq[s], s});
+      ++present;
+    }
+  }
+  std::vector<uint8_t> lengths(256, 0);
+  if (present == 0) return lengths;
+  if (present == 1) {
+    lengths[heap.top().second] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    Entry a = heap.top();
+    heap.pop();
+    Entry b = heap.top();
+    heap.pop();
+    children.emplace_back(a.second, b.second);
+    heap.push({a.first + b.first, next_id++});
+  }
+  // Depth-first depth assignment.
+  std::vector<std::pair<int, int>> stack = {{heap.top().second, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    if (id < 256) {
+      lengths[id] = static_cast<uint8_t>(std::max(depth, 1));
+    } else {
+      const auto& [left, right] = children[static_cast<size_t>(id - 256)];
+      stack.push_back({left, depth + 1});
+      stack.push_back({right, depth + 1});
+    }
+  }
+  return lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, symbol).
+void CanonicalCodes(const std::vector<uint8_t>& lengths,
+                    std::vector<uint32_t>* codes) {
+  codes->assign(256, 0);
+  std::vector<int> order;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  uint32_t code = 0;
+  uint8_t prev_len = 0;
+  for (int s : order) {
+    code <<= (lengths[s] - prev_len);
+    (*codes)[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> HuffmanCodec::Encode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> lengths = HuffmanCodeLengths(input);
+  std::vector<uint32_t> codes;
+  CanonicalCodes(lengths, &codes);
+  std::vector<uint8_t> out;
+  // Header: 8-byte count + 256 code lengths.
+  uint64_t n = input.size();
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(n >> (8 * i)));
+  }
+  out.insert(out.end(), lengths.begin(), lengths.end());
+  uint64_t bitbuf = 0;
+  int bits = 0;
+  for (uint8_t b : input) {
+    bitbuf = (bitbuf << lengths[b]) | codes[b];
+    bits += lengths[b];
+    while (bits >= 8) {
+      out.push_back(static_cast<uint8_t>(bitbuf >> (bits - 8)));
+      bits -= 8;
+    }
+  }
+  if (bits > 0) {
+    out.push_back(static_cast<uint8_t>(bitbuf << (8 - bits)));
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> HuffmanCodec::Decode(
+    const std::vector<uint8_t>& input) {
+  if (input.size() < 8 + 256) {
+    return Status::InvalidArgument("HuffmanCodec::Decode: truncated header");
+  }
+  uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) {
+    n |= static_cast<uint64_t>(input[static_cast<size_t>(i)]) << (8 * i);
+  }
+  std::vector<uint8_t> lengths(input.begin() + 8, input.begin() + 8 + 256);
+  std::vector<uint32_t> codes;
+  CanonicalCodes(lengths, &codes);
+  // Build a (length, code) -> symbol lookup.
+  struct Key {
+    uint8_t len;
+    uint32_t code;
+    bool operator<(const Key& o) const {
+      return len != o.len ? len < o.len : code < o.code;
+    }
+  };
+  std::vector<std::pair<Key, uint8_t>> table;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) {
+      table.push_back({{lengths[s], codes[s]}, static_cast<uint8_t>(s)});
+    }
+  }
+  std::sort(table.begin(), table.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<uint8_t> out;
+  out.reserve(n);
+  size_t byte_index = 8 + 256;
+  int bit_index = 7;
+  uint32_t acc = 0;
+  uint8_t acc_len = 0;
+  while (out.size() < n) {
+    if (byte_index >= input.size()) {
+      return Status::InvalidArgument("HuffmanCodec::Decode: truncated stream");
+    }
+    acc = (acc << 1) | ((input[byte_index] >> bit_index) & 1);
+    ++acc_len;
+    if (--bit_index < 0) {
+      bit_index = 7;
+      ++byte_index;
+    }
+    // Canonical codes are prefix-free: linear scan over the sorted table is
+    // fine for 256 symbols.
+    for (const auto& [key, symbol] : table) {
+      if (key.len == acc_len && key.code == acc) {
+        out.push_back(symbol);
+        acc = 0;
+        acc_len = 0;
+        break;
+      }
+    }
+    if (acc_len > 32) {
+      return Status::InvalidArgument("HuffmanCodec::Decode: bad code stream");
+    }
+  }
+  return out;
+}
+
+size_t HuffmanCodec::CompressedBytes(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> lengths = HuffmanCodeLengths(input);
+  uint64_t bits = 0;
+  std::vector<uint64_t> freq(256, 0);
+  for (uint8_t b : input) ++freq[b];
+  for (int s = 0; s < 256; ++s) bits += freq[s] * lengths[s];
+  return 8 + 256 + (bits + 7) / 8;
+}
+
+std::vector<uint8_t> PackInt16(const std::vector<int16_t>& codes) {
+  std::vector<uint8_t> out;
+  out.reserve(codes.size() * 2);
+  for (int16_t c : codes) {
+    uint16_t u = static_cast<uint16_t>(c);
+    out.push_back(static_cast<uint8_t>(u & 0xFF));
+    out.push_back(static_cast<uint8_t>(u >> 8));
+  }
+  return out;
+}
+
+std::vector<int16_t> UnpackInt16(const std::vector<uint8_t>& bytes) {
+  AIMS_CHECK(bytes.size() % 2 == 0);
+  std::vector<int16_t> out(bytes.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint16_t u = static_cast<uint16_t>(bytes[2 * i]) |
+                 (static_cast<uint16_t>(bytes[2 * i + 1]) << 8);
+    out[i] = static_cast<int16_t>(u);
+  }
+  return out;
+}
+
+}  // namespace aims::acquisition

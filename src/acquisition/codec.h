@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file codec.h
+/// \brief Compression codecs for immersidata acquisition (Sec. 3.1):
+/// an IMA-style ADPCM quantizer (the "quantization techniques, e.g.
+/// Adaptive DPCM" of the paper's follow-up study) and a Huffman coder (the
+/// paper's "Unix zip software (based on Hoffman coding)" block-compression
+/// baseline).
+
+namespace aims::acquisition {
+
+/// \brief Quantizes doubles to signed 16-bit integers with a fixed scale
+/// (value = code * lsb). The glove's native resolution is ~0.01 degree.
+struct Quantizer {
+  double lsb = 0.01;
+  int16_t Encode(double value) const;
+  double Decode(int16_t code) const;
+  std::vector<int16_t> EncodeAll(const std::vector<double>& values) const;
+  std::vector<double> DecodeAll(const std::vector<int16_t>& codes) const;
+};
+
+/// \brief IMA-ADPCM-style codec: 4 bits per sample, adaptive step size.
+///
+/// Predicts each sample with the previous reconstruction and quantizes the
+/// residual to a 4-bit code whose step adapts by the standard IMA tables.
+class AdpcmCodec {
+ public:
+  /// \param initial_step initial quantizer step in value units.
+  explicit AdpcmCodec(double initial_step = 0.5)
+      : initial_step_(initial_step) {}
+
+  /// Encodes one channel; 2 samples per output byte (4-bit codes).
+  std::vector<uint8_t> Encode(const std::vector<double>& samples) const;
+
+  /// Decodes \p num_samples values.
+  std::vector<double> Decode(const std::vector<uint8_t>& bytes,
+                             size_t num_samples) const;
+
+  /// Payload size in bytes for n samples (plus a small header).
+  static size_t EncodedBytes(size_t num_samples) {
+    return (num_samples + 1) / 2 + 8;
+  }
+
+ private:
+  double initial_step_;
+};
+
+/// \brief Canonical Huffman coder over bytes.
+class HuffmanCodec {
+ public:
+  /// Encodes; the output embeds the code table (256 lengths) and the bit
+  /// stream. Empty input encodes to a header only.
+  static std::vector<uint8_t> Encode(const std::vector<uint8_t>& input);
+
+  /// Inverse of Encode.
+  static Result<std::vector<uint8_t>> Decode(const std::vector<uint8_t>& input);
+
+  /// Compressed size in bytes without materializing the stream (used for
+  /// bandwidth accounting in the sampling benchmarks).
+  static size_t CompressedBytes(const std::vector<uint8_t>& input);
+};
+
+/// \brief Serializes 16-bit codes little-endian for byte-level compression.
+std::vector<uint8_t> PackInt16(const std::vector<int16_t>& codes);
+std::vector<int16_t> UnpackInt16(const std::vector<uint8_t>& bytes);
+
+}  // namespace aims::acquisition

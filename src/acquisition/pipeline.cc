@@ -1,0 +1,75 @@
+#include "acquisition/pipeline.h"
+
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace aims::acquisition {
+
+AcquisitionPipeline::AcquisitionPipeline(
+    size_t buffer_capacity,
+    std::function<void(const std::vector<streams::Sample>&)> consumer)
+    : buffer_capacity_(buffer_capacity), consumer_(std::move(consumer)) {
+  AIMS_CHECK(buffer_capacity_ > 0);
+}
+
+Result<PipelineStats> AcquisitionPipeline::Run(
+    const streams::Recording& recording, bool realtime, double time_scale) {
+  if (recording.num_frames() == 0) {
+    return Status::InvalidArgument("AcquisitionPipeline: empty recording");
+  }
+  if (recording.sample_rate_hz <= 0.0) {
+    return Status::InvalidArgument("AcquisitionPipeline: missing sample rate");
+  }
+
+  streams::DoubleBuffer<streams::Sample> buffer(buffer_capacity_);
+  PipelineStats stats;
+  std::atomic<size_t> consumed{0};
+
+  auto start = std::chrono::steady_clock::now();
+
+  std::thread consumer_thread([&] {
+    std::vector<streams::Sample> batch;
+    while (buffer.Consume(&batch)) {
+      if (consumer_) consumer_(batch);
+      consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      batch.clear();
+    }
+  });
+
+  // Producer: the "sampling interrupt handler". It never blocks — a full
+  // buffer means a dropped sample, exactly like a missed interrupt.
+  const double frame_interval_s =
+      time_scale / recording.sample_rate_hz;
+  size_t produced = 0;
+  for (size_t f = 0; f < recording.num_frames(); ++f) {
+    const streams::Frame& frame = recording.frames[f];
+    for (size_t c = 0; c < frame.values.size(); ++c) {
+      streams::Sample s;
+      s.sensor_id = static_cast<streams::SensorId>(c);
+      s.timestamp = frame.timestamp;
+      s.value = frame.values[c];
+      buffer.Produce(std::move(s));
+      ++produced;
+    }
+    if (realtime && f + 1 < recording.num_frames()) {
+      auto deadline =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(f + 1) * frame_interval_s));
+      std::this_thread::sleep_until(deadline);
+    }
+  }
+  buffer.Close();
+  consumer_thread.join();
+
+  auto end = std::chrono::steady_clock::now();
+  stats.produced = produced;
+  stats.consumed = consumed.load();
+  stats.dropped = buffer.dropped();
+  stats.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+}  // namespace aims::acquisition

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "streams/double_buffer.h"
+#include "streams/sample.h"
+
+/// \file pipeline.h
+/// \brief The acquisition pipeline of Sec. 3.1: a producer thread plays the
+/// role of the CyberGlove SDK sampling interrupt (copying sensor data into
+/// system memory at the device clock) and a consumer thread asynchronously
+/// processes and stores the data — the paper's "simple multi-threaded
+/// double buffering approach".
+
+namespace aims::acquisition {
+
+/// \brief Pipeline counters for the E12 throughput experiment.
+struct PipelineStats {
+  size_t produced = 0;
+  size_t consumed = 0;
+  size_t dropped = 0;
+  double wall_seconds = 0.0;
+
+  double samples_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(consumed) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// \brief Runs a recording through the double-buffered producer/consumer
+/// pair.
+class AcquisitionPipeline {
+ public:
+  /// \param buffer_capacity per-buffer sample capacity.
+  /// \param consumer processes each drained batch (e.g. transform + store).
+  AcquisitionPipeline(size_t buffer_capacity,
+                      std::function<void(const std::vector<streams::Sample>&)>
+                          consumer);
+
+  /// Plays every frame of \p recording through the pipeline as
+  /// per-sensor samples. When \p realtime is true, the producer sleeps to
+  /// honor the recording clock (scaled by \p time_scale: 0.1 = 10x faster
+  /// than real time); otherwise it runs flat out, which stress-tests the
+  /// consumer.
+  Result<PipelineStats> Run(const streams::Recording& recording,
+                            bool realtime = false, double time_scale = 1.0);
+
+ private:
+  size_t buffer_capacity_;
+  std::function<void(const std::vector<streams::Sample>&)> consumer_;
+};
+
+}  // namespace aims::acquisition

@@ -1,0 +1,297 @@
+#include "acquisition/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "signal/resample.h"
+
+namespace aims::acquisition {
+
+size_t SampledStream::total_samples() const {
+  size_t n = 0;
+  for (const auto& ch : channels) n += ch.size();
+  return n;
+}
+
+std::vector<double> SampledStream::ReconstructChannel(
+    size_t channel, size_t num_frames) const {
+  AIMS_CHECK(channel < channels.size());
+  const auto& retained = channels[channel];
+  std::vector<double> out(num_frames, 0.0);
+  if (retained.empty()) return out;
+  const double dt = 1.0 / source_rate_hz;
+  size_t cursor = 0;
+  for (size_t f = 0; f < num_frames; ++f) {
+    double t = static_cast<double>(f) * dt;
+    while (cursor + 1 < retained.size() &&
+           retained[cursor + 1].timestamp <= t) {
+      ++cursor;
+    }
+    if (cursor + 1 >= retained.size() || t <= retained[0].timestamp) {
+      // Before the first or after the last retained sample: hold.
+      out[f] = t <= retained[0].timestamp ? retained[0].value
+                                          : retained.back().value;
+      continue;
+    }
+    const RetainedSample& a = retained[cursor];
+    const RetainedSample& b = retained[cursor + 1];
+    double span = b.timestamp - a.timestamp;
+    double frac = span > 0.0 ? (t - a.timestamp) / span : 0.0;
+    out[f] = a.value * (1.0 - frac) + b.value * frac;
+  }
+  return out;
+}
+
+namespace {
+
+/// Keeps every `decimation`-th frame of one channel within [first, last),
+/// optionally low-pass prefiltered so the retained stream is alias-free.
+void RetainDecimated(const streams::Recording& recording, size_t channel,
+                     size_t first_frame, size_t last_frame, size_t decimation,
+                     bool anti_alias, std::vector<RetainedSample>* out) {
+  decimation = std::max<size_t>(decimation, 1);
+  if (anti_alias && decimation > 1 && last_frame - first_frame > 8) {
+    std::vector<double> window;
+    window.reserve(last_frame - first_frame);
+    for (size_t f = first_frame; f < last_frame; ++f) {
+      window.push_back(recording.frames[f].values[channel]);
+    }
+    auto filtered = signal::DecimateAntiAliased(window, decimation);
+    AIMS_CHECK(filtered.ok());
+    size_t i = 0;
+    for (size_t f = first_frame; f < last_frame; f += decimation, ++i) {
+      out->push_back(RetainedSample{recording.frames[f].timestamp,
+                                    filtered.ValueOrDie()[i]});
+    }
+    return;
+  }
+  for (size_t f = first_frame; f < last_frame; f += decimation) {
+    out->push_back(RetainedSample{recording.frames[f].timestamp,
+                                  recording.frames[f].values[channel]});
+  }
+}
+
+/// Decimation factor realizing `rate_hz` against the source clock.
+size_t DecimationFor(double rate_hz, double source_rate_hz) {
+  if (rate_hz <= 0.0) return 1;
+  double d = source_rate_hz / rate_hz;
+  return std::max<size_t>(1, static_cast<size_t>(std::floor(d)));
+}
+
+/// Nyquist rate of one channel over a frame range.
+double RateOverRange(const streams::Recording& recording, size_t channel,
+                     size_t first_frame, size_t last_frame,
+                     const SamplerConfig& config) {
+  std::vector<double> window;
+  window.reserve(last_frame - first_frame);
+  for (size_t f = first_frame; f < last_frame; ++f) {
+    window.push_back(recording.frames[f].values[channel]);
+  }
+  return signal::EstimateNyquistRate(window, recording.sample_rate_hz,
+                                     config.spectral, config.min_rate_hz);
+}
+
+Status ValidateRecording(const streams::Recording& recording) {
+  if (recording.num_frames() == 0) {
+    return Status::InvalidArgument("Sampler: empty recording");
+  }
+  if (recording.sample_rate_hz <= 0.0) {
+    return Status::InvalidArgument("Sampler: recording has no sample rate");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SampledStream> FixedSampler::Sample(
+    const streams::Recording& recording) const {
+  AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  const size_t channels = recording.num_channels();
+  const size_t frames = recording.num_frames();
+  size_t pilot_frames = std::min(
+      frames, static_cast<size_t>(config_.pilot_seconds *
+                                  recording.sample_rate_hz));
+  pilot_frames = std::max<size_t>(pilot_frames, 2);
+  // The session rate is the highest per-sensor Nyquist rate: nothing may
+  // alias, so everything pays for the busiest sensor. A positive override
+  // pins the rate instead (device- or contract-mandated).
+  double max_rate = config_.min_rate_hz;
+  if (config_.rate_override_hz > 0.0) {
+    max_rate = config_.rate_override_hz;
+  } else {
+    for (size_t c = 0; c < channels; ++c) {
+      max_rate = std::max(
+          max_rate, RateOverRange(recording, c, 0, pilot_frames, config_));
+    }
+  }
+  size_t decimation = DecimationFor(max_rate, recording.sample_rate_hz);
+  SampledStream out;
+  out.source_rate_hz = recording.sample_rate_hz;
+  out.channels.resize(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    RetainDecimated(recording, c, 0, frames, decimation,
+                    config_.anti_alias, &out.channels[c]);
+  }
+  return out;
+}
+
+Result<SampledStream> ModifiedFixedSampler::Sample(
+    const streams::Recording& recording) const {
+  AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  const size_t channels = recording.num_channels();
+  const size_t frames = recording.num_frames();
+  size_t segment_frames = std::max<size_t>(
+      4, static_cast<size_t>(config_.segment_seconds *
+                             recording.sample_rate_hz));
+  SampledStream out;
+  out.source_rate_hz = recording.sample_rate_hz;
+  out.channels.resize(channels);
+  for (size_t start = 0; start < frames; start += segment_frames) {
+    size_t end = std::min(frames, start + segment_frames);
+    double max_rate = config_.min_rate_hz;
+    for (size_t c = 0; c < channels; ++c) {
+      max_rate =
+          std::max(max_rate, RateOverRange(recording, c, start, end, config_));
+    }
+    size_t decimation = DecimationFor(max_rate, recording.sample_rate_hz);
+    for (size_t c = 0; c < channels; ++c) {
+      RetainDecimated(recording, c, start, end, decimation,
+                      config_.anti_alias, &out.channels[c]);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> GroupedSampler::ClusterRates(
+    const std::vector<double>& rates, size_t k) {
+  const size_t n = rates.size();
+  k = std::max<size_t>(1, std::min(k, n));
+  // 1-D k-means with quantile initialization; converges in a few rounds.
+  std::vector<double> sorted = rates;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> centers(k);
+  for (size_t i = 0; i < k; ++i) {
+    centers[i] = sorted[(2 * i + 1) * n / (2 * k)];
+  }
+  std::vector<size_t> assignment(n, 0);
+  for (int round = 0; round < 32; ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::fabs(rates[i] - centers[0]);
+      for (size_t c = 1; c < k; ++c) {
+        double d = std::fabs(rates[i] - centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      double sum = 0.0;
+      size_t count = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] == c) {
+          sum += rates[i];
+          ++count;
+        }
+      }
+      if (count > 0) centers[c] = sum / static_cast<double>(count);
+    }
+    if (!changed) break;
+  }
+  return assignment;
+}
+
+Result<SampledStream> GroupedSampler::Sample(
+    const streams::Recording& recording) const {
+  AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  const size_t channels = recording.num_channels();
+  const size_t frames = recording.num_frames();
+  size_t pilot_frames = std::min(
+      frames, static_cast<size_t>(config_.pilot_seconds *
+                                  recording.sample_rate_hz));
+  pilot_frames = std::max<size_t>(pilot_frames, 2);
+  std::vector<double> rates(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    rates[c] = RateOverRange(recording, c, 0, pilot_frames, config_);
+  }
+  std::vector<size_t> groups = ClusterRates(rates, config_.num_groups);
+  // Each cluster is sampled at its own maximum member rate.
+  std::vector<double> group_rate(config_.num_groups, config_.min_rate_hz);
+  for (size_t c = 0; c < channels; ++c) {
+    group_rate[groups[c]] = std::max(group_rate[groups[c]], rates[c]);
+  }
+  SampledStream out;
+  out.source_rate_hz = recording.sample_rate_hz;
+  out.channels.resize(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    size_t decimation =
+        DecimationFor(group_rate[groups[c]], recording.sample_rate_hz);
+    RetainDecimated(recording, c, 0, frames, decimation,
+                    config_.anti_alias, &out.channels[c]);
+  }
+  return out;
+}
+
+Result<SampledStream> AdaptiveSampler::Sample(
+    const streams::Recording& recording) const {
+  AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  const size_t channels = recording.num_channels();
+  const size_t frames = recording.num_frames();
+  size_t window_frames = std::max<size_t>(
+      4, static_cast<size_t>(config_.window_seconds *
+                             recording.sample_rate_hz));
+  SampledStream out;
+  out.source_rate_hz = recording.sample_rate_hz;
+  out.channels.resize(channels);
+  // Per sensor AND per window: the rate follows the activity level inside
+  // the current session window, so an idle sensor costs almost nothing.
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t start = 0; start < frames; start += window_frames) {
+      size_t end = std::min(frames, start + window_frames);
+      double rate = RateOverRange(recording, c, start, end, config_);
+      size_t decimation = DecimationFor(rate, recording.sample_rate_hz);
+      RetainDecimated(recording, c, start, end, decimation,
+                      config_.anti_alias, &out.channels[c]);
+    }
+  }
+  return out;
+}
+
+Result<SamplingReport> EvaluateSampler(const Sampler& sampler,
+                                       const streams::Recording& recording) {
+  AIMS_ASSIGN_OR_RETURN(SampledStream stream, sampler.Sample(recording));
+  SamplingReport report;
+  report.technique = sampler.name();
+  report.retained_samples = stream.total_samples();
+  report.payload_bytes = stream.payload_bytes();
+  double duration =
+      static_cast<double>(recording.num_frames()) / recording.sample_rate_hz;
+  report.bytes_per_second =
+      duration > 0.0 ? static_cast<double>(report.payload_bytes) / duration
+                     : 0.0;
+  // Energy-weighted NMSE: total squared error over total signal variance,
+  // so a near-constant noise channel cannot dominate the quality score.
+  double total_mse = 0.0;
+  double total_var = 0.0;
+  for (size_t c = 0; c < recording.num_channels(); ++c) {
+    std::vector<double> original = recording.Channel(c);
+    std::vector<double> reconstructed =
+        stream.ReconstructChannel(c, recording.num_frames());
+    RunningStats stats;
+    for (double x : original) stats.Add(x);
+    total_mse += MeanSquaredError(original, reconstructed);
+    total_var += stats.variance();
+  }
+  report.nmse = total_var > 0.0 ? total_mse / total_var : 0.0;
+  return report;
+}
+
+}  // namespace aims::acquisition

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/spectral.h"
+#include "streams/sample.h"
+
+/// \file sampler.h
+/// \brief The paper's four immersidata sampling techniques (Sec. 3.1):
+/// Fixed, Modified Fixed, Grouped, and Adaptive. All are Nyquist-based —
+/// each sensor signal's maximum frequency is estimated (signal/spectral.h)
+/// and the sensor is sampled at r = 2 f_max — and they differ in *when* and
+/// *at what granularity* that calculation is made:
+///
+///  - Fixed: one rate for every sensor for the whole session (the highest
+///    per-sensor Nyquist rate, so nothing aliases).
+///  - Modified Fixed: one shared rate, but re-estimated per time segment.
+///  - Grouped: sensors are clustered by their Nyquist rates; each cluster
+///    gets one fixed rate (its maximum).
+///  - Adaptive: per-sensor, per-sliding-window rates that track the level
+///    of activity within the immersive session.
+
+namespace aims::acquisition {
+
+/// \brief One retained sample of one channel.
+struct RetainedSample {
+  double timestamp = 0.0;
+  double value = 0.0;
+};
+
+/// \brief The output of a sampling technique: per-channel retained samples.
+struct SampledStream {
+  double source_rate_hz = 0.0;
+  std::vector<std::vector<RetainedSample>> channels;
+
+  size_t total_samples() const;
+  /// Bytes at 16-bit quantization per retained value (the glove's native
+  /// resolution), ignoring timestamps (reconstructible from the schedule).
+  size_t payload_bytes() const { return total_samples() * 2; }
+
+  /// Reconstructs one channel back onto the source clock (linear
+  /// interpolation, constant extrapolation at the ends).
+  std::vector<double> ReconstructChannel(size_t channel,
+                                         size_t num_frames) const;
+};
+
+/// \brief Configuration shared by all techniques.
+struct SamplerConfig {
+  signal::SpectralOptions spectral;
+  /// Pilot prefix (seconds) used by Fixed/Grouped for rate estimation.
+  double pilot_seconds = 2.0;
+  /// Segment length for Modified Fixed re-estimation.
+  double segment_seconds = 4.0;
+  /// Sliding window for Adaptive.
+  double window_seconds = 1.0;
+  /// Number of rate clusters for Grouped.
+  size_t num_groups = 4;
+  /// Rates never drop below this (Hz).
+  double min_rate_hz = 2.0;
+  /// Low-pass prefilter before decimating (signal/resample.h), so energy
+  /// above the reduced Nyquist limit is removed instead of aliased into
+  /// the retained samples. Costs one FIR pass per channel per segment.
+  bool anti_alias = false;
+  /// When positive, FixedSampler skips rate estimation and samples at this
+  /// rate — for deployments where the rate is mandated by the device or a
+  /// bandwidth contract rather than measured.
+  double rate_override_hz = 0.0;
+};
+
+/// \brief Interface of a sampling technique.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual const char* name() const = 0;
+  /// Subsamples \p recording; all channels share the recording's clock.
+  virtual Result<SampledStream> Sample(
+      const streams::Recording& recording) const = 0;
+};
+
+/// \brief Fixed: every sensor at the session-wide maximum Nyquist rate.
+class FixedSampler : public Sampler {
+ public:
+  explicit FixedSampler(SamplerConfig config) : config_(config) {}
+  const char* name() const override { return "fixed"; }
+  Result<SampledStream> Sample(
+      const streams::Recording& recording) const override;
+
+ private:
+  SamplerConfig config_;
+};
+
+/// \brief Modified Fixed: the shared rate is re-estimated per segment.
+class ModifiedFixedSampler : public Sampler {
+ public:
+  explicit ModifiedFixedSampler(SamplerConfig config) : config_(config) {}
+  const char* name() const override { return "modified-fixed"; }
+  Result<SampledStream> Sample(
+      const streams::Recording& recording) const override;
+
+ private:
+  SamplerConfig config_;
+};
+
+/// \brief Grouped: sensors clustered by rate; one fixed rate per cluster.
+class GroupedSampler : public Sampler {
+ public:
+  explicit GroupedSampler(SamplerConfig config) : config_(config) {}
+  const char* name() const override { return "grouped"; }
+  Result<SampledStream> Sample(
+      const streams::Recording& recording) const override;
+
+  /// 1-D k-means on rates; returns cluster id per channel (exposed for
+  /// tests).
+  static std::vector<size_t> ClusterRates(const std::vector<double>& rates,
+                                          size_t k);
+
+ private:
+  SamplerConfig config_;
+};
+
+/// \brief Adaptive: per-sensor, per-window rates following session activity.
+class AdaptiveSampler : public Sampler {
+ public:
+  explicit AdaptiveSampler(SamplerConfig config) : config_(config) {}
+  const char* name() const override { return "adaptive"; }
+  Result<SampledStream> Sample(
+      const streams::Recording& recording) const override;
+
+ private:
+  SamplerConfig config_;
+};
+
+/// \brief Quality/cost summary of one technique on one recording.
+struct SamplingReport {
+  std::string technique;
+  size_t retained_samples = 0;
+  size_t payload_bytes = 0;
+  double bytes_per_second = 0.0;
+  double nmse = 0.0;  ///< Reconstruction error vs the full-rate recording.
+};
+
+/// \brief Runs a sampler and scores its output against the source.
+Result<SamplingReport> EvaluateSampler(const Sampler& sampler,
+                                       const streams::Recording& recording);
+
+}  // namespace aims::acquisition

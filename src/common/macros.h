@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file macros.h
+/// \brief Error-propagation and invariant-checking macros used throughout
+/// the AIMS codebase.
+
+/// Propagates a non-OK Status to the caller.
+#define AIMS_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::aims::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define AIMS_CONCAT_IMPL(x, y) x##y
+#define AIMS_CONCAT(x, y) AIMS_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error status.
+#define AIMS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  AIMS_ASSIGN_OR_RETURN_IMPL(AIMS_CONCAT(_aims_result_, __LINE__), lhs, rexpr)
+
+#define AIMS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = result_name.MoveValueUnsafe()
+
+/// Hard invariant: aborts the process with a message when violated.
+/// Use for programmer errors, not for recoverable conditions.
+#define AIMS_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "AIMS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define AIMS_DCHECK(cond) AIMS_CHECK(cond)

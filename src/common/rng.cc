@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+#include "common/macros.h"
+
+namespace aims {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  AIMS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  AIMS_CHECK(total > 0.0);
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace aims

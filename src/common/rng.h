@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file rng.h
+/// \brief Deterministic random number generation. Every stochastic component
+/// in AIMS (simulators, samplers, benchmarks) draws from an explicitly
+/// seeded Rng so runs are reproducible.
+
+namespace aims {
+
+/// \brief Seeded pseudo-random generator with the distributions the
+/// simulators and benchmarks need.
+class Rng {
+ public:
+  /// Constructs a generator with the given \p seed.
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given rate.
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aims

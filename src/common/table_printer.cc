@@ -1,0 +1,88 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace aims {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow() { rows_.emplace_back(); }
+
+void TablePrinter::Cell(const std::string& value) {
+  AIMS_CHECK(!rows_.empty());
+  AIMS_CHECK(rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+}
+
+void TablePrinter::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  Cell(std::string(buf));
+}
+
+void TablePrinter::Cell(int64_t value) {
+  Cell(std::to_string(value));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out << ',';
+      std::string cell = c < cells.size() ? cells[c] : "";
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char ch : cell) {
+          if (ch == '"') quoted += '"';
+          quoted += ch;
+        }
+        quoted += '"';
+        cell = quoted;
+      }
+      out << cell;
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%s", ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace aims

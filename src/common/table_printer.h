@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// \brief Fixed-width ASCII table output used by the benchmark harness to
+/// print paper-style result tables.
+
+namespace aims {
+
+/// \brief Accumulates rows of strings/numbers and prints an aligned table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended with Cell() until the next
+  /// AddRow()/Print().
+  void AddRow();
+
+  /// Appends a string cell to the current row.
+  void Cell(const std::string& value);
+  /// Appends a numeric cell formatted with \p precision decimals.
+  void Cell(double value, int precision = 3);
+  /// Appends an integer cell.
+  void Cell(int64_t value);
+  void Cell(size_t value) { Cell(static_cast<int64_t>(value)); }
+  void Cell(int value) { Cell(static_cast<int64_t>(value)); }
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders as CSV (header row + data rows; cells containing commas or
+  /// quotes are quoted) for downstream plotting.
+  std::string ToCsv() const;
+
+  /// Prints the table to stdout with an optional title line.
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aims

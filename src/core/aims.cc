@@ -1,0 +1,403 @@
+#include "core/aims.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+#include "signal/lazy_wavelet.h"
+#include "signal/polynomial.h"
+#include "storage/allocation.h"
+#include "streams/recording_io.h"
+
+namespace aims::core {
+
+AimsSystem::AimsSystem(AimsConfig config)
+    : config_(config),
+      filter_(signal::WaveletFilter::Make(config.filter)),
+      device_(std::make_unique<storage::BlockDevice>(config.block_size_bytes)),
+      measure_(/*rank=*/0) {}
+
+Result<SessionId> AimsSystem::IngestRecording(
+    const std::string& name, const streams::Recording& recording) {
+  if (recording.num_frames() < 2) {
+    return Status::InvalidArgument("IngestRecording: too few frames");
+  }
+  StoredSession session;
+  session.info.id = static_cast<SessionId>(sessions_.size());
+  session.info.name = name;
+  session.info.num_channels = recording.num_channels();
+  session.info.num_frames = recording.num_frames();
+  session.info.sample_rate_hz = recording.sample_rate_hz;
+
+  size_t padded = 1;
+  while (padded < recording.num_frames()) padded <<= 1;
+
+  const size_t block_items = config_.block_size_bytes / sizeof(double);
+  if (block_items == 0) {
+    return Status::InvalidArgument("IngestRecording: block size too small");
+  }
+
+  for (size_t c = 0; c < recording.num_channels(); ++c) {
+    std::vector<double> channel = recording.Channel(c);
+    StoredChannel stored;
+    stored.padded_len = padded;
+    // Mean-center so zero padding does not create an artificial step; the
+    // mean goes to the catalog and is added back at query time.
+    double mean = 0.0;
+    for (double v : channel) mean += v;
+    mean /= static_cast<double>(channel.size());
+    stored.mean = mean;
+    std::vector<double> padded_channel(padded, 0.0);
+    for (size_t i = 0; i < channel.size(); ++i) {
+      padded_channel[i] = channel[i] - mean;
+    }
+
+    // Multi-basis transformation report: which DWPT basis the cost
+    // functional would pick for this channel (Sec. 3.1.1).
+    AIMS_ASSIGN_OR_RETURN(
+        signal::WaveletPacketTree tree,
+        signal::WaveletPacketTree::Build(filter_, padded_channel,
+                                         /*max_depth=*/6));
+    session.info.best_basis_nodes.push_back(
+        tree.BestBasis(config_.basis_cost).size());
+
+    // Storage: plain DWT coefficients (lazy-transform compatible) placed by
+    // error-tree tiling.
+    AIMS_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                          signal::ForwardDwt(filter_, padded_channel));
+    stored.store = std::make_unique<storage::WaveletStore>(
+        device_.get(),
+        std::make_unique<storage::SubtreeTilingAllocator>(padded, block_items),
+        padded);
+    for (double v : coeffs) stored.energy += v * v;
+    AIMS_RETURN_NOT_OK(stored.store->Put(coeffs));
+    session.channels.push_back(std::move(stored));
+  }
+  sessions_.push_back(std::move(session));
+  return sessions_.back().info.id;
+}
+
+Result<SessionInfo> AimsSystem::GetSession(SessionId id) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("GetSession: unknown session id");
+  }
+  return sessions_[id].info;
+}
+
+std::vector<SessionInfo> AimsSystem::ListSessions() const {
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const StoredSession& s : sessions_) out.push_back(s.info);
+  return out;
+}
+
+Result<std::vector<double>> AimsSystem::ReadChannel(SessionId id,
+                                                    size_t channel) {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ReadChannel: unknown session id");
+  }
+  StoredSession& session = sessions_[id];
+  if (channel >= session.channels.size()) {
+    return Status::OutOfRange("ReadChannel: channel out of range");
+  }
+  StoredChannel& stored = session.channels[channel];
+  std::vector<size_t> all(stored.padded_len);
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  AIMS_ASSIGN_OR_RETURN(auto fetched, stored.store->Fetch(all));
+  std::vector<double> coeffs(stored.padded_len, 0.0);
+  for (const auto& [idx, value] : fetched) coeffs[idx] = value;
+  AIMS_ASSIGN_OR_RETURN(std::vector<double> padded_channel,
+                        signal::InverseDwt(filter_, coeffs));
+  std::vector<double> out(session.info.num_frames);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = padded_channel[i] + stored.mean;
+  }
+  return out;
+}
+
+Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
+                                               size_t first_frame,
+                                               size_t last_frame) {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("QueryRange: unknown session id");
+  }
+  StoredSession& session = sessions_[id];
+  if (channel >= session.channels.size()) {
+    return Status::OutOfRange("QueryRange: channel out of range");
+  }
+  if (first_frame > last_frame || last_frame >= session.info.num_frames) {
+    return Status::OutOfRange("QueryRange: bad frame range");
+  }
+  StoredChannel& stored = session.channels[channel];
+
+  // sum_{i in [a,b]} x[i] = <1_[a,b], x> = <Q, X> by Parseval; the lazy
+  // transform selects the O(lg n) nonzero Q entries and the store reads
+  // only the blocks holding them.
+  AIMS_ASSIGN_OR_RETURN(
+      signal::SparseCoefficients query,
+      signal::LazyWaveletTransform(filter_, stored.padded_len, first_frame,
+                                   last_frame,
+                                   signal::Polynomial::Constant(1.0)));
+  std::vector<size_t> needed;
+  needed.reserve(query.entries.size());
+  for (const auto& [idx, value] : query.entries) {
+    (void)value;
+    needed.push_back(idx);
+  }
+  size_t reads_before = device_->reads();
+  AIMS_ASSIGN_OR_RETURN(auto fetched, stored.store->Fetch(needed));
+  RangeStatistics stats;
+  stats.blocks_read = device_->reads() - reads_before;
+  stats.count = last_frame - first_frame + 1;
+  double centered_sum = 0.0;
+  for (const auto& [idx, qv] : query.entries) {
+    auto it = fetched.find(idx);
+    if (it != fetched.end()) centered_sum += qv * it->second;
+  }
+  stats.sum = centered_sum + stored.mean * static_cast<double>(stats.count);
+  stats.mean = stats.sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
+    SessionId id, size_t channel, size_t first_frame, size_t last_frame) {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("QueryRangeProgressive: unknown session id");
+  }
+  StoredSession& session = sessions_[id];
+  if (channel >= session.channels.size()) {
+    return Status::OutOfRange("QueryRangeProgressive: channel out of range");
+  }
+  if (first_frame > last_frame || last_frame >= session.info.num_frames) {
+    return Status::OutOfRange("QueryRangeProgressive: bad frame range");
+  }
+  StoredChannel& stored = session.channels[channel];
+  AIMS_ASSIGN_OR_RETURN(
+      signal::SparseCoefficients query,
+      signal::LazyWaveletTransform(filter_, stored.padded_len, first_frame,
+                                   last_frame,
+                                   signal::Polynomial::Constant(1.0)));
+  // Group the query coefficients by the block holding their partner and
+  // score each block by its query energy (the "importance function").
+  struct BlockWork {
+    std::vector<std::pair<size_t, double>> coefficients;
+    double query_energy = 0.0;
+  };
+  std::map<size_t, BlockWork> per_block;
+  double remaining_query_energy = 0.0;
+  for (const auto& [idx, q] : query.entries) {
+    std::vector<size_t> blocks = stored.store->BlocksFor({idx});
+    AIMS_CHECK(blocks.size() == 1);
+    BlockWork& work = per_block[blocks[0]];
+    work.coefficients.emplace_back(idx, q);
+    work.query_energy += q * q;
+    remaining_query_energy += q * q;
+  }
+  std::vector<std::pair<size_t, const BlockWork*>> order;
+  for (const auto& [block, work] : per_block) {
+    order.emplace_back(block, &work);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second->query_energy > b.second->query_energy;
+  });
+
+  const double count = static_cast<double>(last_frame - first_frame + 1);
+  double remaining_data_energy = stored.energy;
+  double centered_sum = 0.0;
+  std::vector<ProgressiveRangeStep> steps;
+  size_t blocks_read = 0;
+  for (const auto& [block, work] : order) {
+    AIMS_ASSIGN_OR_RETURN(auto contents, stored.store->FetchBlock(block));
+    ++blocks_read;
+    for (const auto& [idx, value] : contents) {
+      remaining_data_energy -= value * value;
+      for (const auto& [qidx, q] : work->coefficients) {
+        if (qidx == idx) centered_sum += q * value;
+      }
+    }
+    remaining_query_energy -= work->query_energy;
+    ProgressiveRangeStep step;
+    step.blocks_read = blocks_read;
+    step.sum_estimate = centered_sum + stored.mean * count;
+    step.mean_estimate = step.sum_estimate / count;
+    step.sum_error_bound =
+        std::sqrt(std::max(remaining_query_energy, 0.0)) *
+        std::sqrt(std::max(remaining_data_energy, 0.0));
+    steps.push_back(step);
+  }
+  if (!steps.empty()) steps.back().sum_error_bound = 0.0;
+  return steps;
+}
+
+Result<propolyne::DataCube> AimsSystem::BuildChannelCube(
+    const std::vector<SessionId>& ids, const CubeSpec& spec) {
+  if (ids.empty()) {
+    return Status::InvalidArgument("BuildChannelCube: no sessions given");
+  }
+  if (!signal::IsPowerOfTwo(spec.time_buckets) ||
+      !signal::IsPowerOfTwo(spec.value_buckets)) {
+    return Status::InvalidArgument(
+        "BuildChannelCube: bucket counts must be powers of two");
+  }
+  // Read every channel once (through the wavelet block store).
+  std::vector<std::vector<double>> series(ids.size());
+  double lo = spec.value_lo, hi = spec.value_hi;
+  const bool auto_range = spec.value_lo == spec.value_hi;
+  bool range_initialized = false;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    AIMS_ASSIGN_OR_RETURN(series[s], ReadChannel(ids[s], spec.channel));
+    if (auto_range) {
+      for (double v : series[s]) {
+        if (!range_initialized) {
+          lo = hi = v;
+          range_initialized = true;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  size_t session_extent = 1;
+  while (session_extent < ids.size()) session_extent <<= 1;
+  propolyne::CubeSchema schema{{"session", "time", "value"},
+                               {session_extent, spec.time_buckets,
+                                spec.value_buckets}};
+  // Cheapest sufficient bases per dimension: session and time are only ever
+  // COUNT-restricted, value carries polynomial measures (Sec. 3.3.1).
+  std::vector<signal::WaveletFilter> filters = {
+      signal::WaveletFilter::Make(signal::WaveletKind::kHaar),
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb3)};
+  AIMS_ASSIGN_OR_RETURN(propolyne::DataCube cube,
+                        propolyne::DataCube::MakeMultiFilter(schema, filters));
+  std::vector<double> dense(schema.total_size(), 0.0);
+  for (size_t s = 0; s < series.size(); ++s) {
+    const std::vector<double>& values = series[s];
+    for (size_t f = 0; f < values.size(); ++f) {
+      size_t time_bucket =
+          std::min(spec.time_buckets - 1,
+                   f * spec.time_buckets / std::max<size_t>(values.size(), 1));
+      double normalized = (values[f] - lo) / (hi - lo);
+      normalized = std::clamp(normalized, 0.0, 1.0);
+      size_t value_bucket =
+          std::min(spec.value_buckets - 1,
+                   static_cast<size_t>(normalized *
+                                       static_cast<double>(spec.value_buckets)));
+      dense[(s * spec.time_buckets + time_bucket) * spec.value_buckets +
+            value_bucket] += 1.0;
+    }
+  }
+  return propolyne::DataCube::FromDenseMultiFilter(schema, filters,
+                                                   std::move(dense));
+}
+
+Status AimsSystem::ExportSession(SessionId id, const std::string& path) {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ExportSession: unknown session id");
+  }
+  const SessionInfo& info = sessions_[id].info;
+  streams::Recording recording;
+  recording.sample_rate_hz = info.sample_rate_hz;
+  std::vector<std::vector<double>> channels(info.num_channels);
+  for (size_t c = 0; c < info.num_channels; ++c) {
+    AIMS_ASSIGN_OR_RETURN(channels[c], ReadChannel(id, c));
+  }
+  double dt = info.sample_rate_hz > 0.0 ? 1.0 / info.sample_rate_hz : 0.0;
+  for (size_t f = 0; f < info.num_frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) * dt;
+    frame.values.resize(info.num_channels);
+    for (size_t c = 0; c < info.num_channels; ++c) {
+      frame.values[c] = channels[c][f];
+    }
+    recording.Append(std::move(frame));
+  }
+  return streams::WriteBinary(recording, path);
+}
+
+Result<SessionId> AimsSystem::ImportSession(const std::string& name,
+                                            const std::string& path) {
+  AIMS_ASSIGN_OR_RETURN(streams::Recording recording,
+                        streams::ReadBinary(path));
+  return IngestRecording(name, recording);
+}
+
+Status AimsSystem::SaveCatalog(const std::string& directory) {
+  std::ofstream index(directory + "/catalog.txt");
+  if (!index) {
+    return Status::IoError("SaveCatalog: cannot open index in " + directory);
+  }
+  for (const StoredSession& session : sessions_) {
+    std::string file = "session_" + std::to_string(session.info.id) + ".aimr";
+    AIMS_RETURN_NOT_OK(ExportSession(session.info.id, directory + "/" + file));
+    index << file << '\t' << session.info.name << '\n';
+  }
+  if (!index) {
+    return Status::IoError("SaveCatalog: index write failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SessionId>> AimsSystem::LoadCatalog(
+    const std::string& directory) {
+  std::ifstream index(directory + "/catalog.txt");
+  if (!index) {
+    return Status::IoError("LoadCatalog: cannot open index in " + directory);
+  }
+  std::vector<SessionId> ids;
+  std::string line;
+  while (std::getline(index, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("LoadCatalog: malformed index line");
+    }
+    std::string file = line.substr(0, tab);
+    std::string name = line.substr(tab + 1);
+    AIMS_ASSIGN_OR_RETURN(SessionId id,
+                          ImportSession(name, directory + "/" + file));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void AimsSystem::AddVocabularyEntry(std::string label,
+                                    linalg::Matrix segment) {
+  vocabulary_.Add(std::move(label), std::move(segment));
+}
+
+Status AimsSystem::StartRecognizer(
+    recognition::StreamRecognizerConfig config) {
+  if (vocabulary_.size() == 0) {
+    return Status::FailedPrecondition(
+        "StartRecognizer: register a vocabulary first");
+  }
+  recognizer_ = std::make_unique<recognition::StreamRecognizer>(
+      &vocabulary_, &measure_, config);
+  return Status::OK();
+}
+
+Result<std::optional<recognition::RecognitionEvent>> AimsSystem::PushLiveFrame(
+    const streams::Frame& frame) {
+  if (!recognizer_) {
+    return Status::FailedPrecondition("PushLiveFrame: recognizer not started");
+  }
+  return recognizer_->Push(frame);
+}
+
+Result<std::optional<recognition::RecognitionEvent>>
+AimsSystem::FinishLiveStream() {
+  if (!recognizer_) {
+    return Status::FailedPrecondition(
+        "FinishLiveStream: recognizer not started");
+  }
+  return recognizer_->Finish();
+}
+
+}  // namespace aims::core

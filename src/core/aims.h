@@ -1,0 +1,196 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "propolyne/evaluator.h"
+#include "recognition/isolator.h"
+#include "recognition/vocabulary.h"
+#include "signal/dwpt.h"
+#include "signal/wavelet_filter.h"
+#include "storage/block_device.h"
+#include "storage/wavelet_store.h"
+#include "streams/sample.h"
+
+/// \file aims.h
+/// \brief AimsSystem: the integrated immersidata management system of
+/// Fig. 1. It wires the four subsystems together:
+///
+///   acquisition  -> multi-basis transformation of incoming recordings,
+///   storage      -> wavelet coefficients placed on blocks via error-tree
+///                   tiling on a counting block device,
+///   off-line     -> range statistics answered in the wavelet domain with
+///                   block-granular I/O (and full ProPolyne cubes for
+///                   multidimensional analysis),
+///   on-line      -> vocabulary registration + streaming recognition.
+
+namespace aims::core {
+
+/// \brief Identifier of one stored session.
+using SessionId = uint32_t;
+
+/// \brief System-wide configuration.
+struct AimsConfig {
+  /// Wavelet family used for storage and offline queries. db2+ enables SUM
+  /// queries, db3+ enables VARIANCE.
+  signal::WaveletKind filter = signal::WaveletKind::kDb2;
+  /// Disk block size for the wavelet store.
+  size_t block_size_bytes = 512;
+  /// Basis-selection cost functional for the per-channel DWPT report.
+  signal::BasisCost basis_cost = signal::BasisCost::kShannonEntropy;
+};
+
+/// \brief Catalog entry for a stored session.
+struct SessionInfo {
+  SessionId id = 0;
+  std::string name;
+  size_t num_channels = 0;
+  size_t num_frames = 0;     ///< Original (unpadded) frame count.
+  double sample_rate_hz = 0.0;
+  /// Best DWPT basis size chosen per channel during ingest (reported by the
+  /// multi-basis transformation step; storage itself uses the plain DWT so
+  /// that offline queries can use the lazy transform).
+  std::vector<size_t> best_basis_nodes;
+};
+
+/// \brief Aggregate over a frame range of one stored channel.
+struct RangeStatistics {
+  double mean = 0.0;
+  double sum = 0.0;
+  size_t count = 0;
+  /// Blocks read from the device to answer this query.
+  size_t blocks_read = 0;
+};
+
+/// \brief One step of a progressive facade range query (one block I/O).
+struct ProgressiveRangeStep {
+  size_t blocks_read = 0;
+  double sum_estimate = 0.0;
+  double mean_estimate = 0.0;
+  /// Guaranteed bound on |sum_estimate - exact sum| (Cauchy-Schwarz over
+  /// the unread query coefficients and the channel's stored energy).
+  double sum_error_bound = 0.0;
+};
+
+/// \brief The integrated system.
+class AimsSystem {
+ public:
+  explicit AimsSystem(AimsConfig config = {});
+
+  // ---- Acquisition + storage -------------------------------------------
+
+  /// \brief Ingests a multi-channel recording: per-channel mean-centering,
+  /// DWT, best-basis report, and block placement on the shared device.
+  Result<SessionId> IngestRecording(const std::string& name,
+                                    const streams::Recording& recording);
+
+  /// Catalog lookup.
+  Result<SessionInfo> GetSession(SessionId id) const;
+  std::vector<SessionInfo> ListSessions() const;
+
+  // ---- Off-line query ---------------------------------------------------
+
+  /// \brief Reconstructs one channel (exact, reads all its blocks).
+  Result<std::vector<double>> ReadChannel(SessionId id, size_t channel);
+
+  /// \brief SUM/AVERAGE over a frame range, evaluated in the wavelet domain
+  /// from only the O(lg n) coefficients the lazy transform selects, reading
+  /// only the blocks that hold them.
+  Result<RangeStatistics> QueryRange(SessionId id, size_t channel,
+                                     size_t first_frame, size_t last_frame);
+
+  /// \brief Progressive variant of QueryRange: fetches the needed blocks in
+  /// decreasing query-energy order and reports the running estimate with a
+  /// guaranteed bound after every block — the Fig. 4 experience, served
+  /// from block storage (Sec. 3.2.1's "most valuable I/O's first").
+  Result<std::vector<ProgressiveRangeStep>> QueryRangeProgressive(
+      SessionId id, size_t channel, size_t first_frame, size_t last_frame);
+
+  /// \brief How BuildChannelCube buckets a channel into a ProPolyne cube.
+  struct CubeSpec {
+    size_t channel = 0;
+    size_t time_buckets = 64;   ///< Power of two.
+    size_t value_buckets = 64;  ///< Power of two.
+    /// Value range mapped onto the buckets; when lo == hi the range is
+    /// taken from the data (min/max across the selected sessions).
+    double value_lo = 0.0;
+    double value_hi = 0.0;
+  };
+
+  /// \brief Builds the (session, time-bucket, value-bucket) frequency cube
+  /// for one channel across the given sessions — the paper's off-line
+  /// analysis substrate ("polynomial range-sum queries" over collected
+  /// immersidata, Sec. 2.1). Channels are read back through block storage.
+  /// The session dimension is padded to a power of two; sessions beyond
+  /// the list contribute nothing.
+  Result<propolyne::DataCube> BuildChannelCube(
+      const std::vector<SessionId>& ids, const CubeSpec& spec);
+
+  /// \brief Exports a stored session to the binary recording container
+  /// (reconstructing every channel from its wavelet blocks).
+  Status ExportSession(SessionId id, const std::string& path);
+
+  /// \brief Ingests a recording previously written by ExportSession (or
+  /// any AIMR file).
+  Result<SessionId> ImportSession(const std::string& name,
+                                  const std::string& path);
+
+  /// \brief Persists the whole catalog: one AIMR file per session plus a
+  /// `catalog.txt` index in \p directory (which must exist).
+  Status SaveCatalog(const std::string& directory);
+
+  /// \brief Re-ingests every session of a saved catalog, in the saved
+  /// order. Returns the new ids (session ids are assigned afresh).
+  Result<std::vector<SessionId>> LoadCatalog(const std::string& directory);
+
+  /// Device-level I/O counters (shared across sessions).
+  const storage::BlockDevice& device() const { return *device_; }
+  storage::BlockDevice* mutable_device() { return device_.get(); }
+
+  // ---- On-line query ----------------------------------------------------
+
+  /// \brief Registers a motion template for online recognition.
+  void AddVocabularyEntry(std::string label, linalg::Matrix segment);
+
+  /// \brief Starts (or restarts) the online recognizer with the registered
+  /// vocabulary.
+  Status StartRecognizer(recognition::StreamRecognizerConfig config = {});
+
+  /// \brief Feeds one live frame; returns an event when a motion was just
+  /// isolated and recognized.
+  Result<std::optional<recognition::RecognitionEvent>> PushLiveFrame(
+      const streams::Frame& frame);
+
+  /// \brief Flushes the recognizer at end of stream.
+  Result<std::optional<recognition::RecognitionEvent>> FinishLiveStream();
+
+  const recognition::Vocabulary& vocabulary() const { return vocabulary_; }
+
+ private:
+  struct StoredChannel {
+    std::unique_ptr<storage::WaveletStore> store;
+    double mean = 0.0;
+    size_t padded_len = 0;
+    /// Total energy of the stored (mean-centered) coefficients; the
+    /// progressive bound's data-side term.
+    double energy = 0.0;
+  };
+  struct StoredSession {
+    SessionInfo info;
+    std::vector<StoredChannel> channels;
+  };
+
+  AimsConfig config_;
+  signal::WaveletFilter filter_;
+  std::unique_ptr<storage::BlockDevice> device_;
+  std::vector<StoredSession> sessions_;
+
+  recognition::Vocabulary vocabulary_;
+  recognition::WeightedSvdSimilarity measure_;
+  std::unique_ptr<recognition::StreamRecognizer> recognizer_;
+};
+
+}  // namespace aims::core

@@ -1,0 +1,125 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::linalg {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  AIMS_CHECK(data_.size() == rows * cols);
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  AIMS_CHECK(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                             data_.begin() +
+                                 static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  AIMS_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  AIMS_CHECK(r < rows_ && values.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = values[c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  AIMS_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = At(r, i);
+      if (a == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out.At(i, j) += a * At(r, j);
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+  }
+  return out;
+}
+
+Matrix Matrix::CenterColumns() const {
+  Matrix out = *this;
+  for (size_t c = 0; c < cols_; ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < rows_; ++r) mean += At(r, c);
+    mean /= static_cast<double>(std::max<size_t>(rows_, 1));
+    for (size_t r = 0; r < rows_; ++r) out.At(r, c) -= mean;
+  }
+  return out;
+}
+
+Matrix Matrix::ColumnCovariance() const {
+  AIMS_CHECK(rows_ >= 2);
+  Matrix centered = CenterColumns();
+  Matrix cov = centered.Gram();
+  double scale = 1.0 / static_cast<double>(rows_ - 1);
+  for (double& x : cov.data()) x *= scale;
+  return cov;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  AIMS_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  AIMS_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace aims::linalg

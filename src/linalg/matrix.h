@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file matrix.h
+/// \brief Minimal dense row-major matrix used by the recognition subsystem
+/// (multi-sensor segments are matrices; similarity is computed from their
+/// SVD / covariance spectra).
+
+namespace aims::linalg {
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// From row-major data.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns row \p r as a vector.
+  std::vector<double> Row(size_t r) const;
+  /// Returns column \p c as a vector.
+  std::vector<double> Col(size_t c) const;
+  /// Overwrites row \p r.
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  Matrix Transpose() const;
+  /// Matrix product; dies on shape mismatch.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this^T * this (Gram matrix), the cols x cols second-moment matrix.
+  Matrix Gram() const;
+
+  /// Column-mean-centered copy.
+  Matrix CenterColumns() const;
+
+  /// Sample covariance of the columns: centered Gram / (rows - 1).
+  Matrix ColumnCovariance() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Identity matrix.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief Euclidean inner product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+/// \brief Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace aims::linalg

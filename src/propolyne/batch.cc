@@ -1,0 +1,168 @@
+#include "propolyne/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace aims::propolyne {
+
+BatchEvaluator::BatchEvaluator(const DataCube* cube)
+    : cube_(cube), evaluator_(cube) {
+  AIMS_CHECK(cube != nullptr);
+}
+
+Result<std::vector<RangeSumQuery>> BatchEvaluator::ExpandGroups(
+    const GroupByQuery& query) const {
+  const CubeSchema& schema = cube_->schema();
+  if (query.base.terms.size() != schema.num_dims()) {
+    return Status::InvalidArgument("BatchEvaluator: query arity mismatch");
+  }
+  if (query.group_dim >= schema.num_dims()) {
+    return Status::OutOfRange("BatchEvaluator: group dimension out of range");
+  }
+  if (query.bucket_width == 0) {
+    return Status::InvalidArgument("BatchEvaluator: zero bucket width");
+  }
+  const DimensionTerm& group_term = query.base.terms[query.group_dim];
+  std::vector<RangeSumQuery> groups;
+  for (size_t lo = group_term.lo; lo <= group_term.hi;
+       lo += query.bucket_width) {
+    RangeSumQuery g = query.base;
+    g.terms[query.group_dim].lo = lo;
+    g.terms[query.group_dim].hi =
+        std::min(group_term.hi, lo + query.bucket_width - 1);
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+namespace {
+
+/// Per-coefficient work item across groups.
+struct SharedCoefficient {
+  size_t flat = 0;
+  /// (group index, query coefficient) pairs.
+  std::vector<std::pair<size_t, double>> group_coeffs;
+  double importance = 0.0;
+};
+
+}  // namespace
+
+Result<BatchResult> BatchEvaluator::Evaluate(const GroupByQuery& query) const {
+  AIMS_ASSIGN_OR_RETURN(std::vector<RangeSumQuery> groups,
+                        ExpandGroups(query));
+  BatchResult result;
+  result.exact.assign(groups.size(), 0.0);
+  std::unordered_map<size_t, bool> touched;
+  const std::vector<double>& data = cube_->wavelet();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    AIMS_ASSIGN_OR_RETURN(auto product,
+                          evaluator_.ProductCoefficients(groups[g]));
+    result.independent_coefficients += product.size();
+    for (const auto& [flat, q] : product) {
+      result.exact[g] += q * data[flat];
+      touched.emplace(flat, true);
+    }
+  }
+  result.shared_coefficients = touched.size();
+  return result;
+}
+
+Result<BatchResult> BatchEvaluator::EvaluateProgressive(
+    const GroupByQuery& query, BatchErrorMeasure measure,
+    size_t stride) const {
+  if (stride == 0) {
+    return Status::InvalidArgument("EvaluateProgressive: stride must be > 0");
+  }
+  AIMS_ASSIGN_OR_RETURN(std::vector<RangeSumQuery> groups,
+                        ExpandGroups(query));
+  const size_t num_groups = groups.size();
+
+  // Build the shared coefficient table: flat index -> per-group weights.
+  std::unordered_map<size_t, size_t> index_of;
+  std::vector<SharedCoefficient> shared;
+  size_t independent = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    AIMS_ASSIGN_OR_RETURN(auto product,
+                          evaluator_.ProductCoefficients(groups[g]));
+    independent += product.size();
+    for (const auto& [flat, q] : product) {
+      auto [it, inserted] = index_of.try_emplace(flat, shared.size());
+      if (inserted) {
+        shared.push_back(SharedCoefficient{flat, {}, 0.0});
+      }
+      shared[it->second].group_coeffs.emplace_back(g, q);
+    }
+  }
+  for (SharedCoefficient& c : shared) {
+    switch (measure) {
+      case BatchErrorMeasure::kL2:
+        for (const auto& [g, q] : c.group_coeffs) {
+          (void)g;
+          c.importance += q * q;
+        }
+        break;
+      case BatchErrorMeasure::kMax:
+        for (const auto& [g, q] : c.group_coeffs) {
+          (void)g;
+          c.importance = std::max(c.importance, std::fabs(q));
+        }
+        break;
+    }
+  }
+  std::sort(shared.begin(), shared.end(),
+            [](const SharedCoefficient& a, const SharedCoefficient& b) {
+              return a.importance > b.importance;
+            });
+
+  // Per-group suffix query energies for the guaranteed bounds.
+  std::vector<std::vector<double>> suffix(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    suffix[g].assign(shared.size() + 1, 0.0);
+  }
+  for (size_t i = shared.size(); i-- > 0;) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      suffix[g][i] = suffix[g][i + 1];
+    }
+    for (const auto& [g, q] : shared[i].group_coeffs) {
+      suffix[g][i] += q * q;
+    }
+  }
+
+  BatchResult result;
+  result.independent_coefficients = independent;
+  result.shared_coefficients = shared.size();
+  result.exact.assign(num_groups, 0.0);
+  const std::vector<double>& data = cube_->wavelet();
+  double remaining_data_energy = cube_->wavelet_energy();
+  std::vector<double> estimates(num_groups, 0.0);
+  for (size_t i = 0; i < shared.size(); ++i) {
+    double v = data[shared[i].flat];
+    for (const auto& [g, q] : shared[i].group_coeffs) {
+      estimates[g] += q * v;
+    }
+    remaining_data_energy -= v * v;
+    if ((i + 1) % stride == 0 || i + 1 == shared.size()) {
+      BatchStep step;
+      step.coefficients_used = i + 1;
+      step.estimates = estimates;
+      double worst = 0.0;
+      for (size_t g = 0; g < num_groups; ++g) {
+        worst = std::max(worst,
+                         std::sqrt(suffix[g][i + 1]) *
+                             std::sqrt(std::max(remaining_data_energy, 0.0)));
+      }
+      step.max_error_bound = worst;
+      result.steps.push_back(std::move(step));
+    }
+  }
+  if (shared.empty()) {
+    result.steps.push_back(BatchStep{0, estimates, 0.0});
+  }
+  result.exact = estimates;
+  return result;
+}
+
+}  // namespace aims::propolyne

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "propolyne/datacube.h"
+#include "propolyne/evaluator.h"
+
+/// \file batch.h
+/// \brief Simultaneous evaluation of multiple related range aggregates
+/// (Sec. 3.3.1): "These queries are very common and include SQL group-by
+/// queries, drill-down queries, or general MDX expressions. The key
+/// observation here is that these queries act as linear maps where range
+/// queries act as linear functionals. Thus, where we approximate a vector
+/// to estimate a range query result, we must approximate a matrix to
+/// estimate a general query result. ... we have developed query evaluation
+/// algorithms which share I/O maximally and retrieve the most important
+/// data first."
+///
+/// A GROUP BY over dimension g is a stack of range-sums differing only in
+/// the g-range; their wavelet transforms overlap heavily in every other
+/// dimension, so one pass over the *union* of needed data coefficients
+/// answers all groups ("shares I/O maximally"). Progressively, the
+/// coefficients are consumed in decreasing importance under either the L2
+/// norm across groups (minimize rms error) or the max norm (capture large
+/// differences between related ranges early — the paper's Sobolev/Besov
+/// motivation).
+
+namespace aims::propolyne {
+
+/// \brief Which error measure orders the shared coefficient stream.
+enum class BatchErrorMeasure {
+  kL2,   ///< importance = sum over groups of q_g^2 (rms error).
+  kMax,  ///< importance = max over groups of |q_g| (worst-group error).
+};
+
+/// \brief A GROUP BY: the base query's range on dimension `group_dim` is
+/// split into consecutive buckets of width `bucket_width`, one output per
+/// bucket.
+struct GroupByQuery {
+  RangeSumQuery base;
+  size_t group_dim = 0;
+  size_t bucket_width = 1;
+};
+
+/// \brief One step of a progressive batch evaluation.
+struct BatchStep {
+  size_t coefficients_used = 0;
+  std::vector<double> estimates;  ///< One per group.
+  double max_error_bound = 0.0;   ///< Worst per-group guaranteed bound.
+};
+
+/// \brief Complete batch result.
+struct BatchResult {
+  std::vector<double> exact;  ///< One per group.
+  /// Data coefficients fetched once for all groups.
+  size_t shared_coefficients = 0;
+  /// What independent per-group evaluation would have fetched in total.
+  size_t independent_coefficients = 0;
+  std::vector<BatchStep> steps;  ///< Populated by EvaluateProgressive.
+};
+
+/// \brief Evaluates group-by queries with maximal I/O sharing.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const DataCube* cube);
+
+  /// Exact evaluation of every group, sharing data-coefficient accesses.
+  Result<BatchResult> Evaluate(const GroupByQuery& query) const;
+
+  /// Progressive evaluation: one shared coefficient stream ordered by the
+  /// chosen error measure, recording a step every \p stride coefficients.
+  Result<BatchResult> EvaluateProgressive(
+      const GroupByQuery& query,
+      BatchErrorMeasure measure = BatchErrorMeasure::kL2,
+      size_t stride = 16) const;
+
+  /// The individual range-sums a GroupByQuery expands to.
+  Result<std::vector<RangeSumQuery>> ExpandGroups(
+      const GroupByQuery& query) const;
+
+ private:
+  const DataCube* cube_;
+  Evaluator evaluator_;
+};
+
+}  // namespace aims::propolyne

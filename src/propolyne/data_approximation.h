@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "propolyne/evaluator.h"
+
+/// \file data_approximation.h
+/// \brief The *data approximation* baseline ProPolyne is contrasted with
+/// (Sec. 3.3, citing Vitter & Wang): keep only the largest-magnitude C
+/// wavelet coefficients of the data and answer every query from that
+/// synopsis. Its accuracy is "highly data dependent; it only works when the
+/// data have a concise wavelet approximation" — the property benchmark E4
+/// demonstrates against query-side approximation.
+
+namespace aims::propolyne {
+
+/// \brief Wavelet synopsis of a cube: the top-C coefficients by magnitude.
+class DataApproximation {
+ public:
+  /// \param cube source cube (not owned; must outlive this object).
+  DataApproximation(const DataCube* cube);
+
+  /// \brief Answer using only the top \p budget data coefficients.
+  Result<double> EvaluateWithBudget(const RangeSumQuery& query,
+                                    size_t budget) const;
+
+  /// \brief Progressive trajectory: estimates after each multiple of
+  /// \p stride retained data coefficients (largest first), mirroring the
+  /// shape of Evaluator::EvaluateProgressive for side-by-side comparison.
+  Result<ProgressiveResult> EvaluateProgressive(const RangeSumQuery& query,
+                                                size_t stride = 1,
+                                                size_t max_budget = 0) const;
+
+ private:
+  const DataCube* cube_;
+  Evaluator evaluator_;
+  /// Data coefficient flat indices ordered by decreasing magnitude.
+  std::vector<size_t> magnitude_order_;
+};
+
+/// \brief Workload-aware wavelet synopsis (Sec. 3.3.1, first refinement):
+/// "some information about query workloads can be used to dramatically
+/// improve the performance of [the] data approximation version of
+/// ProPolyne." Instead of ranking data coefficients by magnitude alone,
+/// they are ranked by their expected contribution to the workload:
+/// |D_i|^2 * (expected query energy at i), estimated from a sample of
+/// representative queries.
+class WorkloadAwareSynopsis {
+ public:
+  /// \param workload representative queries used to estimate per-
+  /// coefficient demand (they need not equal the evaluation queries).
+  static Result<WorkloadAwareSynopsis> Make(
+      const DataCube* cube, const std::vector<RangeSumQuery>& workload);
+
+  /// Answer using only the top \p budget coefficients under the
+  /// workload-aware ranking.
+  Result<double> EvaluateWithBudget(const RangeSumQuery& query,
+                                    size_t budget) const;
+
+ private:
+  WorkloadAwareSynopsis(const DataCube* cube) : cube_(cube), evaluator_(cube) {}
+
+  const DataCube* cube_;
+  Evaluator evaluator_;
+  /// Flat indices ordered by decreasing workload-weighted importance.
+  std::vector<size_t> order_;
+  /// Rank of each flat index in `order_` (SIZE_MAX when never demanded).
+  std::vector<size_t> rank_;
+};
+
+}  // namespace aims::propolyne

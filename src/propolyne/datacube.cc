@@ -1,0 +1,140 @@
+#include "propolyne/datacube.h"
+
+#include "common/macros.h"
+#include "signal/lazy_wavelet.h"
+#include "signal/polynomial.h"
+
+namespace aims::propolyne {
+
+size_t CubeSchema::total_size() const {
+  size_t n = 1;
+  for (size_t e : extents) n *= e;
+  return n;
+}
+
+DataCube::DataCube(CubeSchema schema,
+                   std::vector<signal::WaveletFilter> filters)
+    : schema_(std::move(schema)),
+      filters_(std::move(filters)),
+      transform_(filters_, schema_.extents),
+      values_(schema_.total_size(), 0.0),
+      wavelet_(schema_.total_size(), 0.0) {}
+
+const signal::WaveletFilter& DataCube::filter(size_t dim) const {
+  AIMS_CHECK(dim < filters_.size());
+  return filters_[dim];
+}
+
+Result<DataCube> DataCube::Make(CubeSchema schema,
+                                signal::WaveletFilter filter) {
+  size_t dims = schema.extents.size();
+  return MakeMultiFilter(std::move(schema),
+                         std::vector<signal::WaveletFilter>(dims, filter));
+}
+
+Result<DataCube> DataCube::MakeMultiFilter(
+    CubeSchema schema, std::vector<signal::WaveletFilter> filters) {
+  if (schema.extents.empty()) {
+    return Status::InvalidArgument("DataCube: schema needs dimensions");
+  }
+  if (schema.names.size() != schema.extents.size()) {
+    return Status::InvalidArgument("DataCube: names/extents mismatch");
+  }
+  if (filters.size() != schema.extents.size()) {
+    return Status::InvalidArgument("DataCube: one filter per dimension");
+  }
+  for (size_t e : schema.extents) {
+    if (!signal::IsPowerOfTwo(e)) {
+      return Status::InvalidArgument(
+          "DataCube: extents must be powers of two");
+    }
+  }
+  return DataCube(std::move(schema), std::move(filters));
+}
+
+Result<DataCube> DataCube::FromDense(CubeSchema schema,
+                                     signal::WaveletFilter filter,
+                                     std::vector<double> values) {
+  size_t dims = schema.extents.size();
+  return FromDenseMultiFilter(
+      std::move(schema), std::vector<signal::WaveletFilter>(dims, filter),
+      std::move(values));
+}
+
+Result<DataCube> DataCube::FromDenseMultiFilter(
+    CubeSchema schema, std::vector<signal::WaveletFilter> filters,
+    std::vector<double> values) {
+  AIMS_ASSIGN_OR_RETURN(
+      DataCube cube, MakeMultiFilter(std::move(schema), std::move(filters)));
+  if (values.size() != cube.schema_.total_size()) {
+    return Status::InvalidArgument("DataCube::FromDense: value count");
+  }
+  cube.values_ = std::move(values);
+  AIMS_RETURN_NOT_OK(cube.RebuildWavelet());
+  return cube;
+}
+
+size_t DataCube::FlatIndex(const std::vector<size_t>& idx) const {
+  AIMS_CHECK(idx.size() == schema_.num_dims());
+  size_t flat = 0;
+  for (size_t d = 0; d < idx.size(); ++d) {
+    AIMS_CHECK(idx[d] < schema_.extents[d]);
+    flat = flat * schema_.extents[d] + idx[d];
+  }
+  return flat;
+}
+
+Result<size_t> DataCube::Append(const std::vector<size_t>& idx, double delta) {
+  if (idx.size() != schema_.num_dims()) {
+    return Status::InvalidArgument("DataCube::Append: index arity");
+  }
+  for (size_t d = 0; d < schema_.num_dims(); ++d) {
+    if (idx[d] >= schema_.extents[d]) {
+      return Status::OutOfRange("DataCube::Append: index out of range");
+    }
+  }
+  values_[FlatIndex(idx)] += delta;
+
+  // Per-dimension point transforms (transform of the unit impulse e_i).
+  std::vector<signal::SparseCoefficients> point(schema_.num_dims());
+  for (size_t d = 0; d < schema_.num_dims(); ++d) {
+    AIMS_ASSIGN_OR_RETURN(
+        point[d],
+        signal::LazyWaveletTransform(filters_[d], schema_.extents[d],
+                                     idx[d], idx[d],
+                                     signal::Polynomial::Constant(1)));
+  }
+  // Outer product: every combination of per-dimension nonzeros.
+  size_t touched = 0;
+  std::vector<size_t> choice(schema_.num_dims(), 0);
+  while (true) {
+    size_t flat = 0;
+    double coeff = delta;
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      const auto& [ci, cv] = point[d].entries[choice[d]];
+      flat = flat * schema_.extents[d] + ci;
+      coeff *= cv;
+    }
+    wavelet_energy_ -= wavelet_[flat] * wavelet_[flat];
+    wavelet_[flat] += coeff;
+    wavelet_energy_ += wavelet_[flat] * wavelet_[flat];
+    ++touched;
+    // Advance the mixed-radix counter over per-dimension entries.
+    size_t d = schema_.num_dims();
+    while (d-- > 0) {
+      if (++choice[d] < point[d].entries.size()) break;
+      choice[d] = 0;
+      if (d == 0) return touched;
+    }
+  }
+}
+
+Status DataCube::RebuildWavelet() {
+  wavelet_ = values_;
+  AIMS_RETURN_NOT_OK(transform_.Forward(&wavelet_));
+  wavelet_energy_ = 0.0;
+  for (double w : wavelet_) wavelet_energy_ += w * w;
+  return Status::OK();
+}
+
+}  // namespace aims::propolyne

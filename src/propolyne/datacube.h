@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/dwt.h"
+#include "signal/wavelet_filter.h"
+
+/// \file datacube.h
+/// \brief The multidimensional frequency-distribution cube ProPolyne
+/// operates on (Sec. 3.3). Every attribute — including measures — is a
+/// dimension of the cube and the cell value is the number of records at
+/// that coordinate; polynomial range-sums of any measure then become inner
+/// products of the cube with separable polynomial query functions, which
+/// is what makes the symmetric treatment of dimensions work.
+
+namespace aims::propolyne {
+
+/// \brief Dimension names and power-of-two extents, row-major storage.
+struct CubeSchema {
+  std::vector<std::string> names;
+  std::vector<size_t> extents;
+
+  size_t num_dims() const { return extents.size(); }
+  size_t total_size() const;
+};
+
+/// \brief Frequency cube holding both the raw cell counts and their tensor
+/// wavelet transform, kept in sync under appends.
+///
+/// Each dimension may use its own wavelet filter — the multi-basis setting
+/// of Sec. 3.3.1 ("transformed data where each dimension is transformed
+/// through a different basis"): e.g. a cheap Haar on an id-like dimension
+/// that only ever sees COUNT restrictions, and db3 on measure dimensions
+/// that must support VARIANCE.
+class DataCube {
+ public:
+  /// Builds an empty cube with one shared filter.
+  static Result<DataCube> Make(CubeSchema schema,
+                               signal::WaveletFilter filter);
+
+  /// Builds an empty cube with a filter per dimension.
+  static Result<DataCube> MakeMultiFilter(
+      CubeSchema schema, std::vector<signal::WaveletFilter> filters);
+
+  /// Builds a cube from dense cell values (e.g. a synth::GridDataset).
+  static Result<DataCube> FromDense(CubeSchema schema,
+                                    signal::WaveletFilter filter,
+                                    std::vector<double> values);
+
+  /// Dense build with per-dimension filters.
+  static Result<DataCube> FromDenseMultiFilter(
+      CubeSchema schema, std::vector<signal::WaveletFilter> filters,
+      std::vector<double> values);
+
+  const CubeSchema& schema() const { return schema_; }
+  /// Filter of dimension \p dim.
+  const signal::WaveletFilter& filter(size_t dim) const;
+  /// Convenience for single-filter cubes: the dimension-0 filter.
+  const signal::WaveletFilter& filter() const { return filter(0); }
+
+  /// Raw cell values (frequencies).
+  const std::vector<double>& values() const { return values_; }
+  /// Tensor wavelet transform of the cell values.
+  const std::vector<double>& wavelet() const { return wavelet_; }
+  /// Total energy (sum of squares) of the wavelet representation — used by
+  /// the progressive evaluator's guaranteed error bound.
+  double wavelet_energy() const { return wavelet_energy_; }
+
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+  /// \brief Appends one record at coordinate \p idx with weight \p delta.
+  ///
+  /// The raw cell is bumped and the wavelet representation is updated
+  /// *incrementally*: the tensor transform of a unit impulse is the outer
+  /// product of per-dimension point transforms, each with O(lg n) nonzero
+  /// entries, so an append costs O((lg n)^d) — the low-cost streaming
+  /// update the paper relies on (Sec. 3.1.1, reason two).
+  /// Returns the number of wavelet cells touched.
+  Result<size_t> Append(const std::vector<size_t>& idx, double delta = 1.0);
+
+  /// \brief Recomputes the full transform from the raw values (O(N lg N));
+  /// used after bulk loads.
+  Status RebuildWavelet();
+
+ private:
+  DataCube(CubeSchema schema, std::vector<signal::WaveletFilter> filters);
+
+  CubeSchema schema_;
+  std::vector<signal::WaveletFilter> filters_;  // one per dimension
+  signal::TensorDwt transform_;
+  std::vector<double> values_;
+  std::vector<double> wavelet_;
+  double wavelet_energy_ = 0.0;
+};
+
+}  // namespace aims::propolyne

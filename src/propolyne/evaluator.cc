@@ -1,0 +1,192 @@
+#include "propolyne/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::propolyne {
+
+Evaluator::Evaluator(const DataCube* cube) : cube_(cube) {
+  AIMS_CHECK(cube_ != nullptr);
+}
+
+Status Evaluator::Validate(const RangeSumQuery& query) const {
+  const CubeSchema& schema = cube_->schema();
+  if (query.terms.size() != schema.num_dims()) {
+    return Status::InvalidArgument("Evaluator: query arity mismatch");
+  }
+  for (size_t d = 0; d < query.terms.size(); ++d) {
+    if (query.terms[d].lo > query.terms[d].hi ||
+        query.terms[d].hi >= schema.extents[d]) {
+      return Status::OutOfRange("Evaluator: query range out of bounds");
+    }
+    if (query.terms[d].poly.degree() >=
+        cube_->filter(d).vanishing_moments()) {
+      return Status::InvalidArgument(
+          "Evaluator: polynomial degree requires a filter with more "
+          "vanishing moments on this dimension (choose db2+ for SUM, db3+ "
+          "for VARIANCE)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<signal::SparseCoefficients>>
+Evaluator::PerDimensionTransforms(const RangeSumQuery& query) const {
+  std::vector<signal::SparseCoefficients> out(query.terms.size());
+  for (size_t d = 0; d < query.terms.size(); ++d) {
+    const DimensionTerm& term = query.terms[d];
+    AIMS_ASSIGN_OR_RETURN(
+        out[d], signal::LazyWaveletTransform(cube_->filter(d),
+                                             cube_->schema().extents[d],
+                                             term.lo, term.hi, term.poly));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<size_t, double>>> Evaluator::ProductCoefficients(
+    const RangeSumQuery& query) const {
+  AIMS_RETURN_NOT_OK(Validate(query));
+  AIMS_ASSIGN_OR_RETURN(std::vector<signal::SparseCoefficients> dims,
+                        PerDimensionTransforms(query));
+  std::vector<std::pair<size_t, double>> product;
+  size_t expected = 1;
+  for (const auto& d : dims) expected *= std::max<size_t>(d.size(), 1);
+  product.reserve(expected);
+  if (expected == 0) return product;
+  for (const auto& d : dims) {
+    if (d.entries.empty()) return product;  // Query function is zero.
+  }
+  const auto& extents = cube_->schema().extents;
+  std::vector<size_t> choice(dims.size(), 0);
+  while (true) {
+    size_t flat = 0;
+    double coeff = 1.0;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      const auto& [ci, cv] = dims[d].entries[choice[d]];
+      flat = flat * extents[d] + ci;
+      coeff *= cv;
+    }
+    product.emplace_back(flat, coeff);
+    size_t d = dims.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++choice[d] < dims[d].entries.size()) {
+        done = false;
+        break;
+      }
+      choice[d] = 0;
+    }
+    if (done) break;
+  }
+  return product;
+}
+
+Result<double> Evaluator::Evaluate(const RangeSumQuery& query) const {
+  AIMS_ASSIGN_OR_RETURN(auto product, ProductCoefficients(query));
+  const std::vector<double>& data = cube_->wavelet();
+  double acc = 0.0;
+  for (const auto& [flat, coeff] : product) {
+    acc += coeff * data[flat];
+  }
+  return acc;
+}
+
+Result<ProgressiveResult> Evaluator::EvaluateProgressive(
+    const RangeSumQuery& query, size_t stride) const {
+  if (stride == 0) {
+    return Status::InvalidArgument("EvaluateProgressive: stride must be > 0");
+  }
+  AIMS_ASSIGN_OR_RETURN(auto product, ProductCoefficients(query));
+  // Largest query coefficients first: they carry the most of the answer
+  // regardless of the data (this is the data-independence property).
+  std::sort(product.begin(), product.end(),
+            [](const auto& a, const auto& b) {
+              return std::fabs(a.second) > std::fabs(b.second);
+            });
+  const std::vector<double>& data = cube_->wavelet();
+
+  ProgressiveResult result;
+  // Suffix sums of query energy, computed back-to-front so the bound hits
+  // exactly zero at the final step (a running subtraction accumulates
+  // floating error that would leave a spurious residual bound).
+  std::vector<double> suffix_query_energy(product.size() + 1, 0.0);
+  for (size_t i = product.size(); i-- > 0;) {
+    suffix_query_energy[i] =
+        suffix_query_energy[i + 1] + product[i].second * product[i].second;
+  }
+  double remaining_data_energy = cube_->wavelet_energy();
+
+  double acc = 0.0;
+  for (size_t i = 0; i < product.size(); ++i) {
+    const auto& [flat, coeff] = product[i];
+    acc += coeff * data[flat];
+    remaining_data_energy -= data[flat] * data[flat];
+    if ((i + 1) % stride == 0 || i + 1 == product.size()) {
+      ProgressiveStep step;
+      step.coefficients_used = i + 1;
+      step.estimate = acc;
+      step.error_bound = std::sqrt(suffix_query_energy[i + 1]) *
+                         std::sqrt(std::max(remaining_data_energy, 0.0));
+      result.steps.push_back(step);
+    }
+  }
+  if (product.empty()) {
+    result.steps.push_back(ProgressiveStep{0, 0.0, 0.0});
+  }
+  result.exact = acc;
+  return result;
+}
+
+Result<double> Evaluator::EvaluateByScan(const RangeSumQuery& query) const {
+  AIMS_RETURN_NOT_OK(Validate(query));
+  const CubeSchema& schema = cube_->schema();
+  const std::vector<double>& values = cube_->values();
+  std::vector<size_t> idx(schema.num_dims());
+  for (size_t d = 0; d < idx.size(); ++d) idx[d] = query.terms[d].lo;
+  double acc = 0.0;
+  while (true) {
+    size_t flat = 0;
+    double q = 1.0;
+    for (size_t d = 0; d < idx.size(); ++d) {
+      flat = flat * schema.extents[d] + idx[d];
+      q *= query.terms[d].poly.Eval(static_cast<double>(idx[d]));
+    }
+    acc += q * values[flat];
+    size_t d = idx.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++idx[d] <= query.terms[d].hi) {
+        done = false;
+        break;
+      }
+      idx[d] = query.terms[d].lo;
+    }
+    if (done) break;
+  }
+  return acc;
+}
+
+Result<size_t> Evaluator::QueryCoefficientCount(
+    const RangeSumQuery& query) const {
+  AIMS_ASSIGN_OR_RETURN(auto product, ProductCoefficients(query));
+  return product.size();
+}
+
+Result<DerivedStatistics> ComputeStatistics(const Evaluator& evaluator,
+                                            const std::vector<size_t>& lo,
+                                            const std::vector<size_t>& hi,
+                                            size_t measure_dim) {
+  DerivedStatistics stats;
+  AIMS_ASSIGN_OR_RETURN(stats.count,
+                        evaluator.Evaluate(RangeSumQuery::Count(lo, hi)));
+  AIMS_ASSIGN_OR_RETURN(
+      stats.sum, evaluator.Evaluate(RangeSumQuery::Sum(lo, hi, measure_dim)));
+  AIMS_ASSIGN_OR_RETURN(
+      stats.sum_squares,
+      evaluator.Evaluate(RangeSumQuery::SumOfSquares(lo, hi, measure_dim)));
+  return stats;
+}
+
+}  // namespace aims::propolyne

@@ -1,0 +1,270 @@
+#include "propolyne/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "signal/lazy_wavelet.h"
+
+namespace aims::propolyne {
+
+size_t HybridDecomposition::num_standard() const {
+  size_t n = 0;
+  for (bool s : standard) n += s ? 1 : 0;
+  return n;
+}
+
+std::string HybridDecomposition::ToString() const {
+  std::string out;
+  for (bool s : standard) out += s ? 'S' : 'W';
+  return out;
+}
+
+HybridEvaluator::HybridEvaluator(const DataCube* cube,
+                                 HybridDecomposition decomposition)
+    : cube_(cube), decomposition_(std::move(decomposition)) {}
+
+Result<HybridEvaluator> HybridEvaluator::Make(
+    const DataCube* cube, HybridDecomposition decomposition) {
+  AIMS_CHECK(cube != nullptr);
+  if (decomposition.standard.size() != cube->schema().num_dims()) {
+    return Status::InvalidArgument("HybridEvaluator: decomposition arity");
+  }
+  HybridEvaluator evaluator(cube, std::move(decomposition));
+  AIMS_RETURN_NOT_OK(evaluator.Build());
+  return evaluator;
+}
+
+size_t HybridEvaluator::StandardKey(const std::vector<size_t>& coords) const {
+  size_t key = 0;
+  for (size_t i = 0; i < standard_dims_.size(); ++i) {
+    key = key * cube_->schema().extents[standard_dims_[i]] + coords[i];
+  }
+  return key;
+}
+
+Status HybridEvaluator::Build() {
+  const CubeSchema& schema = cube_->schema();
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    if (decomposition_.standard[d]) {
+      standard_dims_.push_back(d);
+    } else {
+      wavelet_dims_.push_back(d);
+      wavelet_shape_.push_back(schema.extents[d]);
+    }
+  }
+  size_t sub_size = 1;
+  for (size_t e : wavelet_shape_) sub_size *= e;
+
+  // Gather each occupied standard slice, then transform it.
+  const std::vector<double>& values = cube_->values();
+  std::vector<size_t> idx(schema.num_dims(), 0);
+  const size_t total = schema.total_size();
+  std::unordered_map<size_t, std::vector<double>> slices;
+  for (size_t flat = 0; flat < total; ++flat) {
+    double v = values[flat];
+    if (v != 0.0) {
+      std::vector<size_t> std_coords(standard_dims_.size());
+      for (size_t i = 0; i < standard_dims_.size(); ++i) {
+        std_coords[i] = idx[standard_dims_[i]];
+      }
+      size_t key = StandardKey(std_coords);
+      auto [it, inserted] = slices.try_emplace(key);
+      if (inserted) it->second.assign(sub_size, 0.0);
+      size_t sub_flat = 0;
+      for (size_t i = 0; i < wavelet_dims_.size(); ++i) {
+        sub_flat = sub_flat * wavelet_shape_[i] + idx[wavelet_dims_[i]];
+      }
+      it->second[sub_flat] = v;
+    }
+    for (size_t d = schema.num_dims(); d-- > 0;) {
+      if (++idx[d] < schema.extents[d]) break;
+      idx[d] = 0;
+    }
+  }
+  if (!wavelet_shape_.empty()) {
+    std::vector<signal::WaveletFilter> filters;
+    for (size_t d : wavelet_dims_) filters.push_back(cube_->filter(d));
+    signal::TensorDwt transform(std::move(filters), wavelet_shape_);
+    for (auto& [key, slice] : slices) {
+      (void)key;
+      AIMS_RETURN_NOT_OK(transform.Forward(&slice));
+    }
+  }
+  sub_wavelets_ = std::move(slices);
+  return Status::OK();
+}
+
+namespace {
+
+/// Product coefficients over the wavelet dimensions only.
+Result<std::vector<std::pair<size_t, double>>> WaveletProduct(
+    const DataCube& cube, const RangeSumQuery& query,
+    const std::vector<size_t>& wavelet_dims,
+    const std::vector<size_t>& wavelet_shape) {
+  std::vector<signal::SparseCoefficients> transforms(wavelet_dims.size());
+  for (size_t i = 0; i < wavelet_dims.size(); ++i) {
+    size_t d = wavelet_dims[i];
+    const DimensionTerm& term = query.terms[d];
+    AIMS_ASSIGN_OR_RETURN(
+        transforms[i],
+        signal::LazyWaveletTransform(cube.filter(d),
+                                     cube.schema().extents[d], term.lo,
+                                     term.hi, term.poly));
+  }
+  std::vector<std::pair<size_t, double>> product;
+  if (wavelet_dims.empty()) {
+    product.emplace_back(0, 1.0);
+    return product;
+  }
+  for (const auto& t : transforms) {
+    if (t.entries.empty()) return product;
+  }
+  std::vector<size_t> choice(transforms.size(), 0);
+  while (true) {
+    size_t flat = 0;
+    double coeff = 1.0;
+    for (size_t i = 0; i < transforms.size(); ++i) {
+      const auto& [ci, cv] = transforms[i].entries[choice[i]];
+      flat = flat * wavelet_shape[i] + ci;
+      coeff *= cv;
+    }
+    product.emplace_back(flat, coeff);
+    size_t i = transforms.size();
+    bool done = true;
+    while (i-- > 0) {
+      if (++choice[i] < transforms[i].entries.size()) {
+        done = false;
+        break;
+      }
+      choice[i] = 0;
+    }
+    if (done) break;
+  }
+  return product;
+}
+
+}  // namespace
+
+Result<double> HybridEvaluator::Evaluate(const RangeSumQuery& query) const {
+  const CubeSchema& schema = cube_->schema();
+  if (query.terms.size() != schema.num_dims()) {
+    return Status::InvalidArgument("HybridEvaluator: query arity mismatch");
+  }
+  for (size_t i = 0; i < wavelet_dims_.size(); ++i) {
+    if (query.terms[wavelet_dims_[i]].poly.degree() >=
+        cube_->filter(wavelet_dims_[i]).vanishing_moments()) {
+      return Status::InvalidArgument(
+          "HybridEvaluator: degree too high for the filter on a wavelet "
+          "dimension");
+    }
+  }
+  AIMS_ASSIGN_OR_RETURN(
+      auto product,
+      WaveletProduct(*cube_, query, wavelet_dims_, wavelet_shape_));
+
+  // Relational iteration over the *occupied* standard cells — the hybrid's
+  // standard dimensions act like an index, so empty coordinates cost
+  // nothing (this is what makes projecting away a sparse dimension pay).
+  double acc = 0.0;
+  for (const auto& [key, slice] : sub_wavelets_) {
+    // Decode the key into standard coordinates and test range membership.
+    size_t rest = key;
+    double standard_weight = 1.0;
+    bool in_range = true;
+    for (size_t i = standard_dims_.size(); i-- > 0;) {
+      size_t extent = cube_->schema().extents[standard_dims_[i]];
+      size_t coord = rest % extent;
+      rest /= extent;
+      const DimensionTerm& term = query.terms[standard_dims_[i]];
+      if (coord < term.lo || coord > term.hi) {
+        in_range = false;
+        break;
+      }
+      standard_weight *= term.poly.Eval(static_cast<double>(coord));
+    }
+    if (!in_range || standard_weight == 0.0) continue;
+    double sub = 0.0;
+    for (const auto& [flat, coeff] : product) {
+      sub += coeff * slice[flat];
+    }
+    acc += standard_weight * sub;
+  }
+  return acc;
+}
+
+Result<HybridCost> HybridEvaluator::MeasureCost(
+    const RangeSumQuery& query) const {
+  if (query.terms.size() != cube_->schema().num_dims()) {
+    return Status::InvalidArgument("HybridEvaluator: query arity mismatch");
+  }
+  AIMS_ASSIGN_OR_RETURN(
+      auto product,
+      WaveletProduct(*cube_, query, wavelet_dims_, wavelet_shape_));
+  HybridCost cost;
+  cost.wavelet_coefficients = product.size();
+  // Count only *occupied* standard cells inside the range: the relational
+  // operator skips empty ones via its index.
+  size_t occupied_in_range = 0;
+  std::vector<size_t> coords(standard_dims_.size());
+  for (size_t i = 0; i < standard_dims_.size(); ++i) {
+    coords[i] = query.terms[standard_dims_[i]].lo;
+  }
+  while (true) {
+    if (sub_wavelets_.count(StandardKey(coords))) ++occupied_in_range;
+    if (standard_dims_.empty()) break;
+    size_t i = standard_dims_.size();
+    bool done = true;
+    while (i-- > 0) {
+      if (++coords[i] <= query.terms[standard_dims_[i]].hi) {
+        done = false;
+        break;
+      }
+      coords[i] = query.terms[standard_dims_[i]].lo;
+    }
+    if (done) break;
+  }
+  cost.standard_cells = standard_dims_.empty() ? 1 : occupied_in_range;
+  cost.total_operations = cost.standard_cells * cost.wavelet_coefficients;
+  return cost;
+}
+
+Result<HybridDecomposition> ChooseDecomposition(
+    const DataCube& cube, const std::vector<RangeSumQuery>& workload) {
+  const size_t dims = cube.schema().num_dims();
+  if (dims > 16) {
+    return Status::InvalidArgument("ChooseDecomposition: too many dimensions");
+  }
+  HybridDecomposition best;
+  size_t best_cost = SIZE_MAX;
+  for (size_t mask = 0; mask < (size_t{1} << dims); ++mask) {
+    HybridDecomposition candidate;
+    candidate.standard.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      candidate.standard[d] = (mask >> d) & 1;
+    }
+    auto evaluator_result = HybridEvaluator::Make(&cube, candidate);
+    if (!evaluator_result.ok()) continue;
+    const HybridEvaluator& evaluator = evaluator_result.ValueOrDie();
+    size_t total = 0;
+    bool feasible = true;
+    for (const RangeSumQuery& query : workload) {
+      auto cost = evaluator.MeasureCost(query);
+      if (!cost.ok()) {
+        feasible = false;
+        break;
+      }
+      total += cost.ValueOrDie().total_operations;
+    }
+    if (feasible && total < best_cost) {
+      best_cost = total;
+      best = candidate;
+    }
+  }
+  if (best.standard.empty()) {
+    return Status::Internal("ChooseDecomposition: no feasible decomposition");
+  }
+  return best;
+}
+
+}  // namespace aims::propolyne

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "propolyne/datacube.h"
+#include "propolyne/query.h"
+
+/// \file hybrid.h
+/// \brief Hybrid ProPolyne (Sec. 3.3.1): "uses the standard basis in a
+/// subset of the dimensions (the standard dimensions) and uses wavelets in
+/// all other dimensions. Given this decomposition ... relational selection
+/// and aggregation operators can be used in the standard dimensions to
+/// accumulate the results of ProPolyne queries in the other dimensions."
+///
+/// When a dimension such as sensor-id has few occupied values and queries
+/// select narrow ranges of it, iterating those cells relationally beats
+/// paying that dimension's O(lg n) wavelet factor in every product term —
+/// "for many realistic datasets and query patterns, hybridizations can
+/// perform dramatically better".
+
+namespace aims::propolyne {
+
+/// \brief Which dimensions use the standard (identity) basis.
+struct HybridDecomposition {
+  std::vector<bool> standard;  ///< One flag per cube dimension.
+
+  size_t num_standard() const;
+  std::string ToString() const;
+};
+
+/// \brief Cost of one evaluation, in coefficient-touch operations — the
+/// unit both pure strategies share (a relational touch reads one cell, a
+/// wavelet touch reads one coefficient).
+struct HybridCost {
+  size_t standard_cells = 0;       ///< Relational cells visited.
+  size_t wavelet_coefficients = 0; ///< Product coefficients per cell.
+  size_t total_operations = 0;
+};
+
+/// \brief Evaluator for one fixed decomposition of one cube.
+class HybridEvaluator {
+ public:
+  /// Builds the hybrid representation: for every occupied coordinate of the
+  /// standard dimensions, the wavelet transform of the remaining sub-cube.
+  static Result<HybridEvaluator> Make(const DataCube* cube,
+                                      HybridDecomposition decomposition);
+
+  /// Exact evaluation: relational iteration over standard cells, wavelet
+  /// dot products in the other dimensions.
+  Result<double> Evaluate(const RangeSumQuery& query) const;
+
+  /// Operation-count cost of evaluating \p query under this decomposition.
+  Result<HybridCost> MeasureCost(const RangeSumQuery& query) const;
+
+  const HybridDecomposition& decomposition() const { return decomposition_; }
+  /// Number of occupied standard-coordinate cells.
+  size_t occupied_cells() const { return sub_wavelets_.size(); }
+
+ private:
+  HybridEvaluator(const DataCube* cube, HybridDecomposition decomposition);
+
+  Status Build();
+  /// Flattens a standard-coordinate tuple.
+  size_t StandardKey(const std::vector<size_t>& coords) const;
+
+  const DataCube* cube_;
+  HybridDecomposition decomposition_;
+  std::vector<size_t> standard_dims_;
+  std::vector<size_t> wavelet_dims_;
+  std::vector<size_t> wavelet_shape_;
+  /// standard key -> wavelet transform of that slice.
+  std::unordered_map<size_t, std::vector<double>> sub_wavelets_;
+};
+
+/// \brief Exhaustively scores every decomposition on a sample workload and
+/// returns the cheapest — "one algorithm which efficiently identifies good
+/// dimension decompositions as part of the database population process".
+/// Practical for the ≤ 4-dimension immersidata schemas it is meant for.
+Result<HybridDecomposition> ChooseDecomposition(
+    const DataCube& cube, const std::vector<RangeSumQuery>& workload);
+
+}  // namespace aims::propolyne

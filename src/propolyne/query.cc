@@ -1,0 +1,64 @@
+#include "propolyne/query.h"
+
+#include "common/macros.h"
+
+namespace aims::propolyne {
+
+namespace {
+RangeSumQuery MakeBase(const std::vector<size_t>& lo,
+                       const std::vector<size_t>& hi) {
+  AIMS_CHECK(lo.size() == hi.size());
+  RangeSumQuery q;
+  q.terms.resize(lo.size());
+  for (size_t d = 0; d < lo.size(); ++d) {
+    AIMS_CHECK(lo[d] <= hi[d]);
+    q.terms[d].lo = lo[d];
+    q.terms[d].hi = hi[d];
+  }
+  return q;
+}
+}  // namespace
+
+RangeSumQuery RangeSumQuery::Count(const std::vector<size_t>& lo,
+                                   const std::vector<size_t>& hi) {
+  return MakeBase(lo, hi);
+}
+
+RangeSumQuery RangeSumQuery::Sum(const std::vector<size_t>& lo,
+                                 const std::vector<size_t>& hi,
+                                 size_t measure_dim) {
+  RangeSumQuery q = MakeBase(lo, hi);
+  AIMS_CHECK(measure_dim < q.terms.size());
+  q.terms[measure_dim].poly = signal::Polynomial::Monomial(1);
+  return q;
+}
+
+RangeSumQuery RangeSumQuery::SumOfSquares(const std::vector<size_t>& lo,
+                                          const std::vector<size_t>& hi,
+                                          size_t measure_dim) {
+  RangeSumQuery q = MakeBase(lo, hi);
+  AIMS_CHECK(measure_dim < q.terms.size());
+  q.terms[measure_dim].poly = signal::Polynomial::Monomial(2);
+  return q;
+}
+
+RangeSumQuery RangeSumQuery::CrossMoment(const std::vector<size_t>& lo,
+                                         const std::vector<size_t>& hi,
+                                         size_t dim_a, size_t dim_b) {
+  RangeSumQuery q = MakeBase(lo, hi);
+  AIMS_CHECK(dim_a < q.terms.size() && dim_b < q.terms.size());
+  AIMS_CHECK(dim_a != dim_b);
+  q.terms[dim_a].poly = signal::Polynomial::Monomial(1);
+  q.terms[dim_b].poly = signal::Polynomial::Monomial(1);
+  return q;
+}
+
+int RangeSumQuery::max_degree() const {
+  int deg = 0;
+  for (const DimensionTerm& t : terms) {
+    deg = std::max(deg, t.poly.degree());
+  }
+  return deg;
+}
+
+}  // namespace aims::propolyne

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/polynomial.h"
+
+/// \file query.h
+/// \brief Polynomial range-sum queries (Sec. 3.3). A query is a separable
+/// function q(x) = prod_d p_d(x_d) * 1_{[lo_d, hi_d]}(x_d) and its answer is
+/// sum_x q(x) * cube(x). With degree-0 polynomials everywhere this is
+/// COUNT; raising the degree on measure dimensions yields SUM, SUM of
+/// squares, cross moments, and hence AVERAGE, VARIANCE, and COVARIANCE —
+/// "not only COUNT, SUM and AVERAGE, but also VARIANCE, COVARIANCE and
+/// more".
+
+namespace aims::propolyne {
+
+/// \brief Per-dimension restriction: a range and a polynomial in the
+/// dimension's coordinate.
+struct DimensionTerm {
+  size_t lo = 0;
+  size_t hi = 0;               ///< Inclusive.
+  signal::Polynomial poly = signal::Polynomial::Constant(1.0);
+};
+
+/// \brief A polynomial range-sum over a DataCube.
+struct RangeSumQuery {
+  std::vector<DimensionTerm> terms;  ///< One per cube dimension.
+
+  /// COUNT over a range: degree-0 polynomials everywhere.
+  static RangeSumQuery Count(const std::vector<size_t>& lo,
+                             const std::vector<size_t>& hi);
+
+  /// SUM of dimension \p measure_dim over a range (degree-1 there).
+  static RangeSumQuery Sum(const std::vector<size_t>& lo,
+                           const std::vector<size_t>& hi, size_t measure_dim);
+
+  /// SUM of squares of \p measure_dim (degree 2).
+  static RangeSumQuery SumOfSquares(const std::vector<size_t>& lo,
+                                    const std::vector<size_t>& hi,
+                                    size_t measure_dim);
+
+  /// SUM of x_a * x_b (the cross moment for COVARIANCE).
+  static RangeSumQuery CrossMoment(const std::vector<size_t>& lo,
+                                   const std::vector<size_t>& hi, size_t dim_a,
+                                   size_t dim_b);
+
+  /// Highest polynomial degree across dimensions.
+  int max_degree() const;
+};
+
+/// \brief Second-order statistics assembled from range-sums (Shao's
+/// observation, used by Sec. 3.4.1): AVERAGE = SUM/COUNT,
+/// VARIANCE = E[x^2] - E[x]^2, COVARIANCE = E[xy] - E[x]E[y].
+struct DerivedStatistics {
+  double count = 0.0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  double Average() const { return count > 0 ? sum / count : 0.0; }
+  double Variance() const {
+    if (count <= 0) return 0.0;
+    double mean = Average();
+    return sum_squares / count - mean * mean;
+  }
+};
+
+}  // namespace aims::propolyne

@@ -1,0 +1,198 @@
+#include "recognition/classifiers.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace aims::recognition {
+
+FeatureScaler FeatureScaler::Fit(
+    const std::vector<std::vector<double>>& rows) {
+  FeatureScaler scaler;
+  if (rows.empty()) return scaler;
+  const size_t d = rows.front().size();
+  scaler.mean.assign(d, 0.0);
+  scaler.stddev.assign(d, 0.0);
+  for (const auto& row : rows) {
+    AIMS_CHECK(row.size() == d);
+    for (size_t i = 0; i < d; ++i) scaler.mean[i] += row[i];
+  }
+  for (size_t i = 0; i < d; ++i) {
+    scaler.mean[i] /= static_cast<double>(rows.size());
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      double delta = row[i] - scaler.mean[i];
+      scaler.stddev[i] += delta * delta;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    scaler.stddev[i] =
+        std::sqrt(scaler.stddev[i] / static_cast<double>(rows.size()));
+    if (scaler.stddev[i] < 1e-12) scaler.stddev[i] = 1.0;
+  }
+  return scaler;
+}
+
+std::vector<double> FeatureScaler::Transform(
+    const std::vector<double>& row) const {
+  AIMS_CHECK(row.size() == mean.size());
+  std::vector<double> out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = (row[i] - mean[i]) / stddev[i];
+  }
+  return out;
+}
+
+Status LinearSvm::Train(const std::vector<std::vector<double>>& rows,
+                        const std::vector<int>& labels, Options options) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    return Status::InvalidArgument("LinearSvm::Train: bad inputs");
+  }
+  const size_t d = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("LinearSvm::Train: ragged features");
+    }
+  }
+  for (int y : labels) {
+    if (y != 1 && y != -1) {
+      return Status::InvalidArgument("LinearSvm::Train: labels must be +/-1");
+    }
+  }
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  Rng rng(options.seed);
+  size_t t = 0;
+  const size_t n = rows.size();
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      ++t;
+      double eta = 1.0 / (options.lambda * static_cast<double>(t));
+      double margin =
+          static_cast<double>(labels[i]) *
+          (linalg::Dot(weights_, rows[i]) + bias_);
+      // Pegasos step: shrink, and also pull toward a violating example.
+      for (double& w : weights_) w *= (1.0 - eta * options.lambda);
+      if (margin < 1.0) {
+        double y = static_cast<double>(labels[i]);
+        for (size_t j = 0; j < d; ++j) {
+          weights_[j] += eta * y * rows[i][j];
+        }
+        bias_ += eta * y;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Decision(const std::vector<double>& row) const {
+  AIMS_CHECK(row.size() == weights_.size());
+  return linalg::Dot(weights_, row) + bias_;
+}
+
+int LinearSvm::Predict(const std::vector<double>& row) const {
+  return Decision(row) >= 0.0 ? 1 : -1;
+}
+
+Status NearestNeighbor::Train(std::vector<std::vector<double>> rows,
+                              std::vector<int> labels) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    return Status::InvalidArgument("NearestNeighbor::Train: bad inputs");
+  }
+  rows_ = std::move(rows);
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Result<int> NearestNeighbor::Predict(const std::vector<double>& row) const {
+  if (rows_.empty()) {
+    return Status::FailedPrecondition("NearestNeighbor::Predict before Train");
+  }
+  // Partial sort of (distance, index) up to k neighbours.
+  std::vector<std::pair<double, size_t>> ranked(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    ranked[i] = {linalg::EuclideanDistance(row, rows_[i]), i};
+  }
+  size_t k = std::min(std::max<size_t>(k_, 1), rows_.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<ptrdiff_t>(k), ranked.end());
+  // Majority vote; the nearest member breaks ties.
+  std::map<int, size_t> votes;
+  for (size_t i = 0; i < k; ++i) ++votes[labels_[ranked[i].second]];
+  int best_label = labels_[ranked[0].second];
+  size_t best_votes = votes[best_label];
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+CrossValidationResult CrossValidate(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels, size_t folds, uint64_t seed,
+    const std::function<std::vector<int>(
+        const std::vector<std::vector<double>>&, const std::vector<int>&,
+        const std::vector<std::vector<double>>&)>& train_and_predict) {
+  AIMS_CHECK(rows.size() == labels.size());
+  AIMS_CHECK(folds >= 2 && rows.size() >= folds);
+  // Stratified assignment: shuffle within each class, deal round-robin.
+  Rng rng(seed);
+  std::vector<size_t> fold_of(rows.size(), 0);
+  for (int cls : {-1, 1}) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == cls) members.push_back(i);
+    }
+    rng.Shuffle(&members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      fold_of[members[j]] = j % folds;
+    }
+  }
+  CrossValidationResult result;
+  size_t total_correct = 0;
+  size_t total_tested = 0;
+  for (size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::vector<double>> train_rows, test_rows;
+    std::vector<int> train_labels, test_labels;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_rows.push_back(rows[i]);
+        test_labels.push_back(labels[i]);
+      } else {
+        train_rows.push_back(rows[i]);
+        train_labels.push_back(labels[i]);
+      }
+    }
+    if (test_rows.empty()) continue;
+    std::vector<int> predicted =
+        train_and_predict(train_rows, train_labels, test_rows);
+    AIMS_CHECK(predicted.size() == test_labels.size());
+    size_t correct = 0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      if (predicted[i] == test_labels[i]) ++correct;
+    }
+    result.fold_accuracies.push_back(static_cast<double>(correct) /
+                                     static_cast<double>(test_labels.size()));
+    total_correct += correct;
+    total_tested += test_labels.size();
+  }
+  result.accuracy = total_tested
+                        ? static_cast<double>(total_correct) /
+                              static_cast<double>(total_tested)
+                        : 0.0;
+  return result;
+}
+
+}  // namespace aims::recognition

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file classifiers.h
+/// \brief Classifiers for the off-line immersidata analyses: the linear SVM
+/// the ADHD study uses ("we successfully (with 86% accuracy) distinguished
+/// hyperactive kids from normal ones by using a Support Vector Machine on
+/// the motion speed of different trackers", Sec. 2.1) and a 1-NN baseline.
+
+namespace aims::recognition {
+
+/// \brief Feature standardization fitted on training data (z-scores).
+struct FeatureScaler {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  static FeatureScaler Fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> Transform(const std::vector<double>& row) const;
+};
+
+/// \brief Training hyper-parameters for LinearSvm.
+struct SvmOptions {
+  double lambda = 0.01;  ///< L2 regularization strength.
+  size_t epochs = 200;
+  uint64_t seed = 7;
+};
+
+/// \brief Linear soft-margin SVM trained with Pegasos (stochastic
+/// subgradient on the hinge loss).
+class LinearSvm {
+ public:
+  using Options = SvmOptions;
+
+  /// \param labels +1 / -1 per row.
+  Status Train(const std::vector<std::vector<double>>& rows,
+               const std::vector<int>& labels, Options options = {});
+
+  /// Signed decision value w.x + b.
+  double Decision(const std::vector<double>& row) const;
+  /// Predicted label in {-1, +1}.
+  int Predict(const std::vector<double>& row) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// \brief k-nearest-neighbour under Euclidean distance (majority vote,
+/// ties broken toward the closest member). k = 1 is the classic 1-NN.
+class NearestNeighbor {
+ public:
+  explicit NearestNeighbor(size_t k = 1) : k_(k) {}
+
+  Status Train(std::vector<std::vector<double>> rows, std::vector<int> labels);
+  Result<int> Predict(const std::vector<double>& row) const;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+/// \brief Stratified k-fold cross-validated accuracy of a train/predict
+/// pair. \p train_and_predict receives (train_rows, train_labels,
+/// test_rows) and returns predicted labels.
+struct CrossValidationResult {
+  double accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+CrossValidationResult CrossValidate(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& labels, size_t folds, uint64_t seed,
+    const std::function<std::vector<int>(
+        const std::vector<std::vector<double>>&, const std::vector<int>&,
+        const std::vector<std::vector<double>>&)>& train_and_predict);
+
+}  // namespace aims::recognition

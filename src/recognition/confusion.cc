@@ -1,0 +1,117 @@
+#include "recognition/confusion.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace aims::recognition {
+
+size_t ConfusionMatrix::IndexOf(const std::string& label) {
+  auto [it, inserted] = index_.try_emplace(label, labels_.size());
+  if (inserted) {
+    labels_.push_back(label);
+    for (auto& row : counts_) row.resize(labels_.size(), 0);
+    counts_.emplace_back(labels_.size(), 0);
+  }
+  return it->second;
+}
+
+void ConfusionMatrix::Add(const std::string& truth,
+                          const std::string& predicted) {
+  size_t t = IndexOf(truth);
+  size_t p = IndexOf(predicted);
+  // IndexOf may have grown the matrix after fetching t's row.
+  counts_[t].resize(labels_.size(), 0);
+  ++counts_[t][p];
+  ++total_;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t diagonal = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < counts_[i].size()) diagonal += counts_[i][i];
+  }
+  return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+size_t ConfusionMatrix::Count(const std::string& truth,
+                              const std::string& predicted) const {
+  auto t = index_.find(truth);
+  auto p = index_.find(predicted);
+  if (t == index_.end() || p == index_.end()) return 0;
+  if (t->second >= counts_.size()) return 0;
+  if (p->second >= counts_[t->second].size()) return 0;
+  return counts_[t->second][p->second];
+}
+
+double ConfusionMatrix::Recall(const std::string& label) const {
+  auto it = index_.find(label);
+  if (it == index_.end() || it->second >= counts_.size()) return 0.0;
+  const auto& row = counts_[it->second];
+  size_t row_total = 0;
+  for (size_t c : row) row_total += c;
+  if (row_total == 0) return 0.0;
+  size_t hit = it->second < row.size() ? row[it->second] : 0;
+  return static_cast<double>(hit) / static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::Precision(const std::string& label) const {
+  auto it = index_.find(label);
+  if (it == index_.end()) return 0.0;
+  size_t column_total = 0;
+  size_t hit = 0;
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    if (it->second < counts_[t].size()) {
+      column_total += counts_[t][it->second];
+      if (t == it->second) hit = counts_[t][it->second];
+    }
+  }
+  if (column_total == 0) return 0.0;
+  return static_cast<double>(hit) / static_cast<double>(column_total);
+}
+
+std::vector<std::tuple<std::string, std::string, size_t>>
+ConfusionMatrix::TopConfusions(size_t k) const {
+  std::vector<std::tuple<std::string, std::string, size_t>> cells;
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    for (size_t p = 0; p < counts_[t].size(); ++p) {
+      if (t != p && counts_[t][p] > 0) {
+        cells.emplace_back(labels_[t], labels_[p], counts_[t][p]);
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    return std::get<2>(a) > std::get<2>(b);
+  });
+  if (cells.size() > k) cells.resize(k);
+  return cells;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  size_t width = 5;
+  for (const std::string& label : labels_) {
+    width = std::max(width, label.size() + 1);
+  }
+  std::ostringstream out;
+  auto pad = [&](const std::string& s) {
+    out << s << std::string(width - std::min(width, s.size()), ' ');
+  };
+  pad("t\\p");
+  for (const std::string& label : labels_) pad(label);
+  out << "\n";
+  for (size_t t = 0; t < labels_.size(); ++t) {
+    pad(labels_[t]);
+    for (size_t p = 0; p < labels_.size(); ++p) {
+      size_t count = t < counts_.size() && p < counts_[t].size()
+                         ? counts_[t][p]
+                         : 0;
+      pad(count == 0 ? (t == p ? "0" : ".") : std::to_string(count));
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aims::recognition

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file confusion.h
+/// \brief Confusion-matrix bookkeeping for the recognition experiments:
+/// which signs get mistaken for which is the actionable detail behind an
+/// accuracy number (e.g. GREEN/G confusions reveal that a measure ignores
+/// motion, YES/A confusions that it ignores pose).
+
+namespace aims::recognition {
+
+/// \brief Label-by-label confusion counts with derived statistics.
+class ConfusionMatrix {
+ public:
+  /// Registers one (truth, predicted) observation; labels are created on
+  /// first use.
+  void Add(const std::string& truth, const std::string& predicted);
+
+  size_t total() const { return total_; }
+  /// Overall fraction of observations on the diagonal.
+  double Accuracy() const;
+  /// Recall of one label (0 when the label was never the truth).
+  double Recall(const std::string& label) const;
+  /// Precision of one label (0 when the label was never predicted).
+  double Precision(const std::string& label) const;
+  /// Labels in first-seen order.
+  const std::vector<std::string>& labels() const { return labels_; }
+  /// Count of (truth, predicted).
+  size_t Count(const std::string& truth, const std::string& predicted) const;
+
+  /// \brief The most frequent off-diagonal cells, worst first, as
+  /// (truth, predicted, count).
+  std::vector<std::tuple<std::string, std::string, size_t>> TopConfusions(
+      size_t k) const;
+
+  /// \brief Renders the full matrix as an aligned ASCII table (rows =
+  /// truth, columns = predicted).
+  std::string ToString() const;
+
+ private:
+  size_t IndexOf(const std::string& label);
+
+  std::vector<std::string> labels_;
+  std::map<std::string, size_t> index_;
+  /// counts_[truth][predicted], grown on demand.
+  std::vector<std::vector<size_t>> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace aims::recognition

@@ -1,0 +1,64 @@
+#include "recognition/effectiveness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace aims::recognition {
+
+Result<EffectivenessReport> MeasureEffectiveness(
+    const Vocabulary& vocabulary, const SimilarityMeasure& measure,
+    const std::vector<LabelledSegment>& test_set) {
+  if (test_set.empty()) {
+    return Status::InvalidArgument("MeasureEffectiveness: empty test set");
+  }
+  EffectivenessReport report;
+  report.measure = measure.name();
+  RunningStats margins;
+  RunningStats gains;
+  size_t ranked_correctly = 0;
+  for (const LabelledSegment& item : test_set) {
+    AIMS_ASSIGN_OR_RETURN(std::vector<double> scores,
+                          vocabulary.Scores(item.segment, measure));
+    double correct = -1.0;
+    double best_wrong = -1.0;
+    double wrong_sum = 0.0;
+    size_t wrong_count = 0;
+    bool label_found = false;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      if (vocabulary.entries()[i].label == item.label) {
+        correct = std::max(correct, scores[i]);
+        label_found = true;
+      } else {
+        best_wrong = std::max(best_wrong, scores[i]);
+        wrong_sum += scores[i];
+        ++wrong_count;
+      }
+    }
+    if (!label_found) {
+      return Status::InvalidArgument(
+          "MeasureEffectiveness: test label missing from vocabulary: " +
+          item.label);
+    }
+    if (wrong_count == 0) {
+      return Status::InvalidArgument(
+          "MeasureEffectiveness: vocabulary needs at least two labels");
+    }
+    if (correct > best_wrong) ++ranked_correctly;
+    margins.Add(correct - best_wrong);
+    double mean_wrong = wrong_sum / static_cast<double>(wrong_count);
+    gains.Add(std::log(std::max(correct, 1e-9) /
+                       std::max(mean_wrong, 1e-9)));
+  }
+  report.ranking_accuracy = static_cast<double>(ranked_correctly) /
+                            static_cast<double>(test_set.size());
+  report.mean_margin = margins.mean();
+  report.margin_snr =
+      margins.stddev() > 1e-12 ? margins.mean() / margins.stddev() : 0.0;
+  report.information_gain = gains.mean();
+  return report;
+}
+
+}  // namespace aims::recognition

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "recognition/similarity.h"
+#include "recognition/vocabulary.h"
+
+/// \file effectiveness.h
+/// \brief Measuring the effectiveness of similarity measures (Sec. 3.4.1):
+/// "we believe that our information-theory based heuristic can be evolved
+/// into a metric to measure the effectiveness of different similarity
+/// measures." A measure is effective when, for labelled inputs, its score
+/// for the true class separates cleanly from its scores for every other
+/// class — before any threshold is chosen.
+
+namespace aims::recognition {
+
+/// \brief Separability statistics of one measure on one labelled test set.
+struct EffectivenessReport {
+  std::string measure;
+  /// P(correct-template score > best-wrong-template score): the
+  /// ranking-accuracy / AUC-style headline number in [0, 1].
+  double ranking_accuracy = 0.0;
+  /// Mean margin between the correct score and the best wrong score.
+  double mean_margin = 0.0;
+  /// Margin normalized by its own spread (a d'-style signal-to-noise
+  /// figure; > 1 means the decision boundary is comfortably wide).
+  double margin_snr = 0.0;
+  /// Mean information gain per observation, in nats: the average
+  /// log-likelihood ratio log(s_correct / mean(s_wrong)) — the
+  /// "accumulation of information about the pattern currently present"
+  /// per evaluation of the stream heuristic.
+  double information_gain = 0.0;
+};
+
+/// \brief One labelled test item.
+struct LabelledSegment {
+  std::string label;
+  linalg::Matrix segment;
+};
+
+/// \brief Scores a measure against a vocabulary on labelled segments.
+/// Every test label must exist in the vocabulary.
+Result<EffectivenessReport> MeasureEffectiveness(
+    const Vocabulary& vocabulary, const SimilarityMeasure& measure,
+    const std::vector<LabelledSegment>& test_set);
+
+}  // namespace aims::recognition

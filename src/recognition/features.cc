@@ -1,0 +1,99 @@
+#include "recognition/features.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace aims::recognition {
+
+namespace {
+std::vector<double> SpeedSeries(const synth::ClassroomSession& session,
+                                size_t tracker, size_t channel_offset,
+                                size_t channel_count) {
+  const auto& frames = session.recording.frames;
+  std::vector<double> speeds;
+  if (frames.size() < 2) return speeds;
+  speeds.reserve(frames.size() - 1);
+  const double rate = session.recording.sample_rate_hz;
+  const size_t base = tracker * synth::kTrackerDims + channel_offset;
+  for (size_t f = 1; f < frames.size(); ++f) {
+    double acc = 0.0;
+    for (size_t c = 0; c < channel_count; ++c) {
+      double d = frames[f].values[base + c] - frames[f - 1].values[base + c];
+      acc += d * d;
+    }
+    speeds.push_back(std::sqrt(acc) * rate);
+  }
+  return speeds;
+}
+}  // namespace
+
+std::vector<double> TrackerSpeedSeries(const synth::ClassroomSession& session,
+                                       size_t tracker) {
+  AIMS_CHECK(tracker < synth::kNumTrackers);
+  return SpeedSeries(session, tracker, 0, 3);  // X, Y, Z
+}
+
+std::vector<double> TrackerRotationSpeedSeries(
+    const synth::ClassroomSession& session, size_t tracker) {
+  AIMS_CHECK(tracker < synth::kNumTrackers);
+  return SpeedSeries(session, tracker, 3, 3);  // H, P, R
+}
+
+std::vector<double> MotionSpeedFeatures(
+    const synth::ClassroomSession& session) {
+  std::vector<double> features;
+  for (size_t tracker = 0; tracker < synth::kNumTrackers; ++tracker) {
+    std::vector<double> speed = TrackerSpeedSeries(session, tracker);
+    RunningStats stats;
+    for (double s : speed) stats.Add(s);
+    features.push_back(stats.mean());
+    features.push_back(stats.stddev());
+    features.push_back(stats.max());
+    features.push_back(Percentile(speed, 95.0));
+    std::vector<double> rotation = TrackerRotationSpeedSeries(session, tracker);
+    RunningStats rot_stats;
+    for (double s : rotation) rot_stats.Add(s);
+    features.push_back(rot_stats.mean());
+    features.push_back(rot_stats.stddev());
+  }
+  return features;
+}
+
+std::vector<double> TaskPerformanceFeatures(
+    const synth::ClassroomSession& session) {
+  size_t hits = 0;
+  RunningStats reaction;
+  for (const synth::Response& r : session.responses) {
+    if (r.hit) {
+      ++hits;
+      reaction.Add(r.reaction_time_s);
+    }
+  }
+  double hit_rate =
+      session.responses.empty()
+          ? 0.0
+          : static_cast<double>(hits) /
+                static_cast<double>(session.responses.size());
+  return {hit_rate, reaction.mean(), reaction.stddev()};
+}
+
+std::vector<LabelledFeatures> BuildAdhdDataset(
+    const std::vector<synth::ClassroomSession>& cohort, bool include_task) {
+  std::vector<LabelledFeatures> dataset;
+  dataset.reserve(cohort.size());
+  for (const synth::ClassroomSession& session : cohort) {
+    LabelledFeatures row;
+    row.features = MotionSpeedFeatures(session);
+    if (include_task) {
+      std::vector<double> task = TaskPerformanceFeatures(session);
+      row.features.insert(row.features.end(), task.begin(), task.end());
+    }
+    row.label = session.group == synth::SubjectGroup::kAdhd ? 1 : -1;
+    dataset.push_back(std::move(row));
+  }
+  return dataset;
+}
+
+}  // namespace aims::recognition

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "synth/virtual_classroom.h"
+
+/// \file features.h
+/// \brief Feature extraction for the ADHD study (Sec. 2.1): the paper's SVM
+/// operates on "the motion speed of different trackers". Each session is
+/// summarized by per-tracker speed statistics (translation and rotation)
+/// plus task-performance features.
+
+namespace aims::recognition {
+
+/// \brief Per-session feature vector + binary label (+1 = ADHD, -1 =
+/// control).
+struct LabelledFeatures {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// \brief Translation-speed series of one tracker within a session:
+/// ||delta position|| * sample rate, one value per frame transition.
+std::vector<double> TrackerSpeedSeries(const synth::ClassroomSession& session,
+                                       size_t tracker);
+
+/// \brief Rotation-speed series (degrees/s) of one tracker.
+std::vector<double> TrackerRotationSpeedSeries(
+    const synth::ClassroomSession& session, size_t tracker);
+
+/// \brief Motion-speed statistics per tracker: for each of the 4 trackers,
+/// {mean, stddev, max, 95th percentile} of translation speed and
+/// {mean, stddev} of rotation speed — 24 features.
+std::vector<double> MotionSpeedFeatures(const synth::ClassroomSession& session);
+
+/// \brief Task-performance features: hit rate, mean/stddev reaction time —
+/// "the set of answers to task questions ... represented as a feature
+/// vector per subject".
+std::vector<double> TaskPerformanceFeatures(
+    const synth::ClassroomSession& session);
+
+/// \brief Builds the labelled dataset for a cohort; \p include_task adds
+/// TaskPerformanceFeatures to the motion features.
+std::vector<LabelledFeatures> BuildAdhdDataset(
+    const std::vector<synth::ClassroomSession>& cohort,
+    bool include_task = false);
+
+}  // namespace aims::recognition

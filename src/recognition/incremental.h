@@ -1,0 +1,119 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "recognition/isolator.h"
+#include "recognition/vocabulary.h"
+#include "streams/sample.h"
+
+/// \file incremental.h
+/// \brief Incremental SVD for the online recognizer (Sec. 3.4.1): "we would
+/// like to explore techniques for computing SVD incrementally, i.e.,
+/// computation of SVD utilizing results that have already been computed in
+/// the earlier steps thus reducing the overall computation cost
+/// considerably."
+///
+/// Two pieces:
+///  - IncrementalCovariance maintains the running first and second moments
+///    of the open segment, so the covariance after every new frame costs
+///    O(k^2) instead of O(frames * k^2).
+///  - SpectralVocabulary pre-diagonalizes every template once, so a
+///    periodic evaluation costs one eigen-decomposition of the *segment*
+///    (O(k^3)) plus O(|vocab| * k^2) dot products — independent of the
+///    segment length and of the number of frames since the last evaluation.
+
+namespace aims::recognition {
+
+/// \brief Streaming mean/second-moment accumulator over k channels.
+class IncrementalCovariance {
+ public:
+  explicit IncrementalCovariance(size_t channels);
+
+  /// Adds one frame (O(k^2)).
+  void Add(const std::vector<double>& values);
+
+  size_t count() const { return count_; }
+  size_t channels() const { return channels_; }
+
+  /// Sample covariance of everything added so far. Requires count() >= 2.
+  Result<linalg::Matrix> Covariance() const;
+
+  /// Eigen-decomposition of the covariance (recomputed on demand).
+  Result<linalg::EigenDecomposition> Spectrum() const;
+
+  /// Clears the accumulator; with \p channels != 0, also resizes it.
+  void Reset(size_t channels = 0);
+
+ private:
+  size_t channels_;
+  size_t count_ = 0;
+  std::vector<double> sum_;
+  linalg::Matrix second_moment_;  ///< Sum of x x^T.
+};
+
+/// \brief A vocabulary whose template spectra are computed once.
+class SpectralVocabulary {
+ public:
+  /// Diagonalizes every entry of \p vocabulary (which must outlive this).
+  static Result<SpectralVocabulary> Make(const Vocabulary* vocabulary,
+                                         size_t rank = 0);
+
+  size_t size() const { return spectra_.size(); }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+
+  /// Weighted-SVD similarity of a segment spectrum to every template.
+  std::vector<double> Scores(const linalg::EigenDecomposition& segment) const;
+
+ private:
+  SpectralVocabulary(const Vocabulary* vocabulary, size_t rank)
+      : vocabulary_(vocabulary), rank_(rank) {}
+
+  const Vocabulary* vocabulary_;
+  size_t rank_;
+  std::vector<linalg::EigenDecomposition> spectra_;
+};
+
+/// \brief Drop-in variant of StreamRecognizer that uses the incremental
+/// covariance and the pre-diagonalized vocabulary. Behaviour matches
+/// StreamRecognizer with WeightedSvdSimilarity up to the covariance of the
+/// open segment being computed over all frames since the segment opened
+/// (identical), at a per-evaluation cost independent of segment length.
+class IncrementalStreamRecognizer {
+ public:
+  IncrementalStreamRecognizer(const SpectralVocabulary* vocabulary,
+                              StreamRecognizerConfig config);
+
+  Result<std::optional<RecognitionEvent>> Push(const streams::Frame& frame);
+  Result<std::optional<RecognitionEvent>> Finish();
+
+  bool segment_open() const { return in_segment_; }
+  size_t frames_seen() const { return frames_seen_; }
+  const std::vector<double>& accumulated_evidence() const {
+    return evidence_;
+  }
+
+ private:
+  double CurrentActivity() const;
+  Result<std::optional<RecognitionEvent>> CloseSegment();
+  Status AccumulateEvidence();
+
+  const SpectralVocabulary* vocabulary_;
+  StreamRecognizerConfig config_;
+  std::deque<streams::Frame> recent_;
+  IncrementalCovariance covariance_;
+  size_t segment_frames_ = 0;
+  std::vector<double> evidence_;
+  bool in_segment_ = false;
+  bool evidence_accumulated_ = false;
+  size_t segment_start_ = 0;
+  size_t frames_seen_ = 0;
+  size_t frames_since_eval_ = 0;
+  size_t low_activity_run_ = 0;
+};
+
+}  // namespace aims::recognition

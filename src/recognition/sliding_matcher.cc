@@ -1,0 +1,71 @@
+#include "recognition/sliding_matcher.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "recognition/similarity.h"
+
+namespace aims::recognition {
+
+SlidingTemplateMatcher::SlidingTemplateMatcher(const Vocabulary* vocabulary,
+                                               SlidingMatcherConfig config)
+    : vocabulary_(vocabulary), config_(config) {
+  AIMS_CHECK(vocabulary_ != nullptr);
+  AIMS_CHECK(config_.evaluation_stride >= 1);
+  for (const VocabularyEntry& entry : vocabulary_->entries()) {
+    template_lengths_.push_back(entry.segment.rows());
+    max_window_ = std::max(max_window_, entry.segment.rows());
+  }
+}
+
+Result<std::optional<RecognitionEvent>> SlidingTemplateMatcher::Push(
+    const streams::Frame& frame) {
+  ++frames_seen_;
+  window_.push_back(frame);
+  if (window_.size() > max_window_) window_.pop_front();
+  ++frames_since_eval_;
+  if (frames_since_eval_ < config_.evaluation_stride ||
+      frames_seen_ < refractory_until_) {
+    return std::optional<RecognitionEvent>{};
+  }
+  frames_since_eval_ = 0;
+
+  double best_distance = 1e300;
+  size_t best_template = 0;
+  for (size_t t = 0; t < template_lengths_.size(); ++t) {
+    size_t len = template_lengths_[t];
+    if (window_.size() < len) continue;
+    const linalg::Matrix& templ = vocabulary_->entries()[t].segment;
+    // Trailing window of the template's own length, compared frame by
+    // frame (the equal-length requirement Euclidean imposes).
+    double acc = 0.0;
+    size_t start = window_.size() - len;
+    for (size_t r = 0; r < len; ++r) {
+      const std::vector<double>& values = window_[start + r].values;
+      AIMS_CHECK(values.size() == templ.cols());
+      for (size_t c = 0; c < templ.cols(); ++c) {
+        double d = values[c] - templ.At(r, c);
+        acc += d * d;
+      }
+    }
+    double per_entry = std::sqrt(acc / static_cast<double>(len * templ.cols()));
+    if (per_entry < best_distance) {
+      best_distance = per_entry;
+      best_template = t;
+    }
+  }
+  if (best_distance > config_.distance_threshold) {
+    return std::optional<RecognitionEvent>{};
+  }
+  RecognitionEvent event;
+  event.label = vocabulary_->entries()[best_template].label;
+  size_t len = template_lengths_[best_template];
+  event.end_frame = frames_seen_;
+  event.start_frame = frames_seen_ >= len ? frames_seen_ - len : 0;
+  event.confidence =
+      1.0 / (1.0 + best_distance / config_.distance_threshold);
+  refractory_until_ = frames_seen_ + config_.refractory_frames;
+  return std::optional<RecognitionEvent>{event};
+}
+
+}  // namespace aims::recognition

@@ -1,0 +1,64 @@
+#include "recognition/vocabulary.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace aims::recognition {
+
+void Vocabulary::Add(std::string label, linalg::Matrix segment) {
+  AIMS_CHECK(!segment.empty());
+  if (!entries_.empty()) {
+    AIMS_CHECK(segment.cols() == entries_.front().segment.cols());
+  }
+  entries_.push_back(VocabularyEntry{std::move(label), std::move(segment)});
+}
+
+std::vector<std::string> Vocabulary::Labels() const {
+  std::vector<std::string> labels;
+  for (const VocabularyEntry& e : entries_) {
+    if (std::find(labels.begin(), labels.end(), e.label) == labels.end()) {
+      labels.push_back(e.label);
+    }
+  }
+  return labels;
+}
+
+Result<std::vector<double>> Vocabulary::Scores(
+    const linalg::Matrix& segment, const SimilarityMeasure& measure) const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("Vocabulary::Scores: empty vocabulary");
+  }
+  std::vector<double> scores(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    AIMS_ASSIGN_OR_RETURN(scores[i],
+                          measure.Similarity(segment, entries_[i].segment));
+  }
+  return scores;
+}
+
+Result<Classification> Vocabulary::Classify(
+    const linalg::Matrix& segment, const SimilarityMeasure& measure) const {
+  AIMS_ASSIGN_OR_RETURN(std::vector<double> scores, Scores(segment, measure));
+  // Best score per label (multiple exemplars vote by their maximum).
+  std::map<std::string, double> per_label;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    auto [it, inserted] = per_label.try_emplace(entries_[i].label, scores[i]);
+    if (!inserted) it->second = std::max(it->second, scores[i]);
+  }
+  Classification out;
+  out.score = -1.0;
+  for (const auto& [label, score] : per_label) {
+    if (score > out.score) {
+      out.runner_up = out.score;
+      out.score = score;
+      out.label = label;
+    } else {
+      out.runner_up = std::max(out.runner_up, score);
+    }
+  }
+  return out;
+}
+
+}  // namespace aims::recognition

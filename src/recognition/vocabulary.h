@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "recognition/similarity.h"
+
+/// \file vocabulary.h
+/// \brief The "library of known motions, termed vocabulary" (Sec. 2.2):
+/// labelled template segments plus nearest-template classification under a
+/// pluggable similarity measure.
+
+namespace aims::recognition {
+
+/// \brief One labelled template.
+struct VocabularyEntry {
+  std::string label;
+  linalg::Matrix segment;  ///< frames x channels exemplar.
+};
+
+/// \brief Classification outcome.
+struct Classification {
+  std::string label;
+  double score = 0.0;        ///< Similarity to the winning template.
+  double runner_up = 0.0;    ///< Best score among other labels.
+
+  /// Margin between the winner and the best other label; small margins
+  /// flag ambiguous inputs.
+  double margin() const { return score - runner_up; }
+};
+
+/// \brief A labelled template library with nearest-template queries.
+class Vocabulary {
+ public:
+  /// Adds a template (multiple exemplars per label are allowed).
+  void Add(std::string label, linalg::Matrix segment);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<VocabularyEntry>& entries() const { return entries_; }
+  /// Distinct labels, in insertion order.
+  std::vector<std::string> Labels() const;
+
+  /// \brief Classifies \p segment by the highest-similarity template.
+  Result<Classification> Classify(const linalg::Matrix& segment,
+                                  const SimilarityMeasure& measure) const;
+
+  /// \brief Similarity of \p segment to every entry (for the stream
+  /// recognizer's accumulation scheme).
+  Result<std::vector<double>> Scores(const linalg::Matrix& segment,
+                                     const SimilarityMeasure& measure) const;
+
+ private:
+  std::vector<VocabularyEntry> entries_;
+};
+
+}  // namespace aims::recognition

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "signal/wavelet_filter.h"
+
+/// \file wavelet_svd.h
+/// \brief Computing the SVD-based similarity *in the wavelet domain*
+/// (Sec. 3.4.1). Shao's observation: every second-order statistical
+/// aggregate — covariance, PCA/SVD, ANOVA — derives from SUMs of
+/// second-order polynomials of the measures. Because the DWT is
+/// orthonormal, those sums are preserved under transformation (Parseval):
+///
+///   sum_t a(t) b(t) = sum_w A(w) B(w)
+///
+/// so the per-channel wavelet coefficients AIMS already stores for
+/// acquisition/storage/ProPolyne suffice to build the exact covariance
+/// matrix — no inverse transform at query time — and truncating to the
+/// top-k coefficients yields a cheap approximate covariance whose SVD
+/// similarity degrades gracefully (the progressive flavor).
+
+namespace aims::recognition {
+
+/// \brief Per-channel full-depth DWT of a segment (frames x channels).
+/// Frames are zero-padded to the next power of two after mean-centering
+/// each channel (padding with the channel mean leaves covariance intact up
+/// to the scale factor, which cancels in the similarity).
+Result<linalg::Matrix> TransformSegment(const signal::WaveletFilter& filter,
+                                        const linalg::Matrix& segment);
+
+/// \brief Exact column covariance computed from transformed channels only.
+/// With keep_top_k > 0, only the k globally largest-magnitude coefficient
+/// rows participate (the approximate path).
+Result<linalg::Matrix> CovarianceFromWavelets(
+    const linalg::Matrix& transformed, size_t keep_top_k = 0);
+
+/// \brief Weighted-SVD similarity of two segments evaluated entirely from
+/// their wavelet transforms; with keep_top_k > 0 uses the truncated
+/// covariance on both sides.
+Result<double> WaveletDomainSimilarity(const signal::WaveletFilter& filter,
+                                       const linalg::Matrix& segment_a,
+                                       const linalg::Matrix& segment_b,
+                                       size_t rank = 0,
+                                       size_t keep_top_k = 0);
+
+}  // namespace aims::recognition

@@ -1,0 +1,67 @@
+#include "signal/denoise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::signal {
+
+double EstimateNoiseSigma(const std::vector<double>& coeffs) {
+  const size_t n = coeffs.size();
+  AIMS_CHECK(IsPowerOfTwo(n));
+  if (n < 2) return 0.0;
+  // Finest-scale details occupy [n/2, n); at that scale almost everything
+  // is noise, so their median absolute value is a robust sigma proxy.
+  std::vector<double> finest(coeffs.begin() + static_cast<ptrdiff_t>(n / 2),
+                             coeffs.end());
+  for (double& v : finest) v = std::fabs(v);
+  std::nth_element(finest.begin(), finest.begin() + static_cast<ptrdiff_t>(
+                                       finest.size() / 2),
+                   finest.end());
+  double mad = finest[finest.size() / 2];
+  return mad / 0.6745;
+}
+
+size_t ThresholdCoefficients(std::vector<double>* coeffs, double threshold,
+                             const DenoiseOptions& options) {
+  const size_t n = coeffs->size();
+  AIMS_CHECK(IsPowerOfTwo(n));
+  int levels = MaxLevels(n);
+  size_t zeroed = 0;
+  // Details of level l occupy [n >> l, n >> (l-1)); level `levels` is the
+  // coarsest. Protect the top `protect_levels` detail bands and the
+  // scaling coefficient at index 0.
+  for (int level = 1; level <= levels - options.protect_levels; ++level) {
+    size_t base = n >> level;
+    for (size_t k = base; k < 2 * base; ++k) {
+      double& c = (*coeffs)[k];
+      if (std::fabs(c) <= threshold) {
+        if (c != 0.0) ++zeroed;
+        c = 0.0;
+      } else if (options.rule == ThresholdRule::kSoft) {
+        c = c > 0.0 ? c - threshold : c + threshold;
+      }
+    }
+  }
+  return zeroed;
+}
+
+Result<std::vector<double>> Denoise(const WaveletFilter& filter,
+                                    const std::vector<double>& signal,
+                                    const DenoiseOptions& options) {
+  if (!IsPowerOfTwo(signal.size())) {
+    return Status::InvalidArgument("Denoise: length must be a power of two");
+  }
+  AIMS_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                        ForwardDwt(filter, signal));
+  double sigma = EstimateNoiseSigma(coeffs);
+  double threshold = options.threshold_scale * sigma *
+                     std::sqrt(2.0 * std::log(
+                                         static_cast<double>(signal.size())));
+  ThresholdCoefficients(&coeffs, threshold, options);
+  return InverseDwt(filter, coeffs);
+}
+
+}  // namespace aims::signal

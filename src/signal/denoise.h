@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/wavelet_filter.h"
+
+/// \file denoise.h
+/// \brief Wavelet-domain denoising for acquisition (Sec. 3.1): immersidata
+/// "needs to be cleaned from noise (filtered) and be abstracted for
+/// analysis (transformed)". Since AIMS stores wavelet coefficients anyway,
+/// cleaning is a thresholding pass over the detail coefficients —
+/// Donoho-Johnstone shrinkage with the universal threshold
+/// sigma * sqrt(2 ln n), sigma estimated robustly from the finest-scale
+/// details (median absolute deviation / 0.6745).
+
+namespace aims::signal {
+
+/// \brief Thresholding rule.
+enum class ThresholdRule {
+  kHard,  ///< Zero below the threshold, keep above.
+  kSoft,  ///< Zero below; shrink the rest toward zero by the threshold.
+};
+
+/// \brief Tuning for Denoise.
+///
+/// Hard thresholding is the default: on band-limited sensor signals, whose
+/// energy is spread across a dyadic band of moderate coefficients, soft
+/// shrinkage biases every kept coefficient by the threshold and typically
+/// loses more signal than it removes noise (measured in the denoise tests);
+/// it remains available for its smoothness.
+struct DenoiseOptions {
+  ThresholdRule rule = ThresholdRule::kHard;
+  /// Multiplies the universal threshold (1 = VisuShrink).
+  double threshold_scale = 1.0;
+  /// Coarsest detail levels this many and above are never touched (they
+  /// carry the signal's gross shape).
+  int protect_levels = 2;
+};
+
+/// \brief Robust noise-sigma estimate from the finest-scale detail
+/// coefficients: MAD / 0.6745. \p coeffs is a pyramid-layout transform of
+/// length n (power of two).
+double EstimateNoiseSigma(const std::vector<double>& coeffs);
+
+/// \brief Thresholds the detail coefficients of a pyramid-layout transform
+/// in place; returns the number of coefficients zeroed.
+size_t ThresholdCoefficients(std::vector<double>* coeffs, double threshold,
+                             const DenoiseOptions& options);
+
+/// \brief Denoises a signal (power-of-two length): forward DWT, universal
+/// threshold on details, inverse DWT.
+Result<std::vector<double>> Denoise(const WaveletFilter& filter,
+                                    const std::vector<double>& signal,
+                                    const DenoiseOptions& options = {});
+
+}  // namespace aims::signal

@@ -1,0 +1,99 @@
+#include "signal/dft.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::signal {
+
+Status Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  const size_t n = data->size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("Fft: length must be a power of two");
+  }
+  auto& a = *data;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1 : -1);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = a[i + k];
+        std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal) {
+  size_t n = NextPowerOfTwo(std::max<size_t>(signal.size(), 1));
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = {signal[i], 0.0};
+  AIMS_CHECK(Fft(&data).ok());
+  return data;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& signal) {
+  std::vector<std::complex<double>> spectrum = RealFft(signal);
+  size_t half = spectrum.size() / 2;
+  std::vector<double> power(half + 1);
+  for (size_t k = 0; k <= half; ++k) power[k] = std::norm(spectrum[k]);
+  return power;
+}
+
+std::vector<double> Autocorrelation(const std::vector<double>& signal,
+                                    size_t max_lag) {
+  const size_t n = signal.size();
+  if (n == 0) return {};
+  max_lag = std::min(max_lag, n - 1);
+  // Zero-pad to at least 2n to avoid circular wrap-around.
+  size_t padded = NextPowerOfTwo(2 * n);
+  std::vector<std::complex<double>> data(padded, {0.0, 0.0});
+  double mean = 0.0;
+  for (double x : signal) mean += x;
+  mean /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) data[i] = {signal[i] - mean, 0.0};
+  AIMS_CHECK(Fft(&data).ok());
+  for (auto& x : data) x = std::norm(x);
+  AIMS_CHECK(Fft(&data, /*inverse=*/true).ok());
+  std::vector<double> out(max_lag + 1);
+  double r0 = data[0].real();
+  if (r0 <= 0.0) r0 = 1.0;
+  for (size_t k = 0; k <= max_lag; ++k) out[k] = data[k].real() / r0;
+  return out;
+}
+
+std::vector<double> DftFeatures(const std::vector<double>& signal, size_t k) {
+  std::vector<std::complex<double>> spectrum = RealFft(signal);
+  std::vector<double> features(k, 0.0);
+  double norm = 1.0 / std::sqrt(static_cast<double>(spectrum.size()));
+  for (size_t i = 0; i < k && i < spectrum.size(); ++i) {
+    features[i] = std::abs(spectrum[i]) * norm;
+  }
+  return features;
+}
+
+}  // namespace aims::signal

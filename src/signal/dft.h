@@ -1,0 +1,35 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file dft.h
+/// \brief Radix-2 FFT and spectrum utilities used by the acquisition
+/// subsystem (Nyquist rate estimation) and by the DFT similarity baseline.
+
+namespace aims::signal {
+
+/// \brief In-place iterative radix-2 Cooley-Tukey FFT.
+/// Fails unless the length is a power of two.
+Status Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+/// \brief FFT of a real signal (zero-padded to the next power of two).
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal);
+
+/// \brief One-sided power spectrum |X_k|^2 for k in [0, n/2], where n is the
+/// padded length. Entry k corresponds to frequency k * sample_rate / n.
+std::vector<double> PowerSpectrum(const std::vector<double>& signal);
+
+/// \brief Biased autocorrelation r[k] for lags 0..max_lag, computed via FFT.
+std::vector<double> Autocorrelation(const std::vector<double>& signal,
+                                    size_t max_lag);
+
+/// \brief Magnitudes of the first \p k DFT coefficients of \p signal —
+/// the classic F-index feature vector of Agrawal/Faloutsos/Swami used as the
+/// DFT similarity baseline in the recognition benchmarks.
+std::vector<double> DftFeatures(const std::vector<double>& signal, size_t k);
+
+}  // namespace aims::signal

@@ -1,0 +1,248 @@
+#include "signal/dwpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::signal {
+
+double InformationCost(const std::vector<double>& coeffs, BasisCost cost,
+                       double threshold) {
+  switch (cost) {
+    case BasisCost::kShannonEntropy: {
+      double energy = 0.0;
+      for (double c : coeffs) energy += c * c;
+      if (energy <= 1e-300) return 0.0;
+      double h = 0.0;
+      for (double c : coeffs) {
+        double p = c * c / energy;
+        if (p > 1e-300) h -= p * std::log(p);
+      }
+      return h;
+    }
+    case BasisCost::kLogEnergy: {
+      double s = 0.0;
+      for (double c : coeffs) {
+        double c2 = c * c;
+        s += std::log(std::max(c2, 1e-300));
+      }
+      return s;
+    }
+    case BasisCost::kThresholdCount: {
+      double count = 0.0;
+      for (double c : coeffs) {
+        if (std::fabs(c) > threshold) count += 1.0;
+      }
+      return count;
+    }
+    case BasisCost::kL1Norm: {
+      double s = 0.0;
+      for (double c : coeffs) s += std::fabs(c);
+      return s;
+    }
+  }
+  return 0.0;
+}
+
+Result<WaveletPacketTree> WaveletPacketTree::Build(
+    const WaveletFilter& filter, const std::vector<double>& signal,
+    int max_depth) {
+  const size_t n = signal.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "WaveletPacketTree: length must be a power of two");
+  }
+  int limit = MaxLevels(n);
+  int depth = (max_depth < 0) ? limit : std::min(max_depth, limit);
+  WaveletPacketTree tree(filter, n, depth);
+  // Row-by-row storage: level l has 2^l nodes.
+  size_t total_nodes = (size_t{2} << depth) - 1;  // 2^(depth+1) - 1
+  tree.nodes_.resize(total_nodes);
+  tree.nodes_[0] = signal;
+  for (int level = 0; level < depth; ++level) {
+    size_t blocks = size_t{1} << level;
+    for (size_t b = 0; b < blocks; ++b) {
+      const std::vector<double>& parent =
+          tree.nodes_[tree.NodeSlot({level, b})];
+      std::vector<double> low, high;
+      DwtStep(filter, parent, &low, &high);
+      tree.nodes_[tree.NodeSlot({level + 1, 2 * b})] = std::move(low);
+      tree.nodes_[tree.NodeSlot({level + 1, 2 * b + 1})] = std::move(high);
+    }
+  }
+  return tree;
+}
+
+size_t WaveletPacketTree::NodeSlot(const PacketNode& node) const {
+  AIMS_CHECK(node.level >= 0 && node.level <= depth_);
+  size_t blocks = size_t{1} << node.level;
+  AIMS_CHECK(node.block < blocks);
+  return (blocks - 1) + node.block;
+}
+
+const std::vector<double>& WaveletPacketTree::NodeCoefficients(
+    const PacketNode& node) const {
+  return nodes_[NodeSlot(node)];
+}
+
+double WaveletPacketTree::NodeCost(const PacketNode& node, BasisCost cost,
+                                   double threshold) const {
+  return InformationCost(nodes_[NodeSlot(node)], cost, threshold);
+}
+
+std::vector<PacketNode> WaveletPacketTree::BestBasis(BasisCost cost,
+                                                     double threshold) const {
+  // Bottom-up DP: best[slot] = min(own cost, sum of children's best costs).
+  size_t total_nodes = nodes_.size();
+  std::vector<double> best(total_nodes);
+  std::vector<bool> keep_self(total_nodes, true);
+  for (int level = depth_; level >= 0; --level) {
+    size_t blocks = size_t{1} << level;
+    for (size_t b = 0; b < blocks; ++b) {
+      PacketNode node{level, b};
+      size_t slot = NodeSlot(node);
+      double own = NodeCost(node, cost, threshold);
+      if (level == depth_) {
+        best[slot] = own;
+        continue;
+      }
+      double children = best[NodeSlot({level + 1, 2 * b})] +
+                        best[NodeSlot({level + 1, 2 * b + 1})];
+      if (own <= children) {
+        best[slot] = own;
+        keep_self[slot] = true;
+      } else {
+        best[slot] = children;
+        keep_self[slot] = false;
+      }
+    }
+  }
+  // Walk down from the root collecting kept nodes.
+  std::vector<PacketNode> basis;
+  std::vector<PacketNode> stack = {{0, 0}};
+  while (!stack.empty()) {
+    PacketNode node = stack.back();
+    stack.pop_back();
+    if (keep_self[NodeSlot(node)] || node.level == depth_) {
+      basis.push_back(node);
+    } else {
+      stack.push_back({node.level + 1, 2 * node.block});
+      stack.push_back({node.level + 1, 2 * node.block + 1});
+    }
+  }
+  std::sort(basis.begin(), basis.end(),
+            [](const PacketNode& a, const PacketNode& b) {
+              // Order by position of the subband in the final layout.
+              double a_pos = static_cast<double>(a.block) /
+                             static_cast<double>(size_t{1} << a.level);
+              double b_pos = static_cast<double>(b.block) /
+                             static_cast<double>(size_t{1} << b.level);
+              return a_pos < b_pos;
+            });
+  return basis;
+}
+
+std::vector<PacketNode> WaveletPacketTree::DwtBasis() const {
+  std::vector<PacketNode> basis;
+  // DWT keeps the highpass node at every level plus the deepest lowpass.
+  for (int level = 1; level <= depth_; ++level) {
+    basis.push_back({level, 1});
+  }
+  basis.push_back({depth_, 0});
+  std::sort(basis.begin(), basis.end(),
+            [](const PacketNode& a, const PacketNode& b) {
+              double a_pos = static_cast<double>(a.block) /
+                             static_cast<double>(size_t{1} << a.level);
+              double b_pos = static_cast<double>(b.block) /
+                             static_cast<double>(size_t{1} << b.level);
+              return a_pos < b_pos;
+            });
+  return basis;
+}
+
+std::vector<PacketNode> WaveletPacketTree::StandardBasis() const {
+  return {{0, 0}};
+}
+
+std::vector<double> WaveletPacketTree::BasisCoefficients(
+    const std::vector<PacketNode>& basis) const {
+  std::vector<double> out;
+  out.reserve(n_);
+  for (const PacketNode& node : basis) {
+    const std::vector<double>& c = nodes_[NodeSlot(node)];
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+double WaveletPacketTree::CostOf(const std::vector<PacketNode>& basis,
+                                 BasisCost cost, double threshold) const {
+  double total = 0.0;
+  for (const PacketNode& node : basis) {
+    total += NodeCost(node, cost, threshold);
+  }
+  return total;
+}
+
+bool WaveletPacketTree::IsValidBasis(
+    const std::vector<PacketNode>& basis) const {
+  // A valid basis covers [0,1) exactly once with dyadic subbands.
+  size_t covered = 0;
+  std::vector<std::pair<size_t, size_t>> spans;  // in units of 1/2^depth
+  for (const PacketNode& node : basis) {
+    if (node.level < 0 || node.level > depth_) return false;
+    if (node.block >= (size_t{1} << node.level)) return false;
+    size_t unit = size_t{1} << (depth_ - node.level);
+    spans.emplace_back(node.block * unit, (node.block + 1) * unit);
+    covered += unit;
+  }
+  if (covered != (size_t{1} << depth_)) return false;
+  std::sort(spans.begin(), spans.end());
+  size_t cursor = 0;
+  for (const auto& [lo, hi] : spans) {
+    if (lo != cursor) return false;
+    cursor = hi;
+  }
+  return cursor == (size_t{1} << depth_);
+}
+
+Result<std::vector<double>> WaveletPacketTree::Reconstruct(
+    const std::vector<PacketNode>& basis,
+    const std::vector<double>& coeffs) const {
+  if (!IsValidBasis(basis)) {
+    return Status::InvalidArgument("Reconstruct: invalid basis cover");
+  }
+  if (coeffs.size() != n_) {
+    return Status::InvalidArgument("Reconstruct: coefficient count mismatch");
+  }
+  // Place each node's coefficients, then merge bottom-up with IdwtStep.
+  // scratch maps (level, block) -> reconstructed-so-far coefficients.
+  std::vector<std::vector<double>> scratch(nodes_.size());
+  size_t offset = 0;
+  for (const PacketNode& node : basis) {
+    size_t len = n_ >> node.level;
+    scratch[NodeSlot(node)] =
+        std::vector<double>(coeffs.begin() + static_cast<ptrdiff_t>(offset),
+                            coeffs.begin() + static_cast<ptrdiff_t>(offset + len));
+    offset += len;
+  }
+  for (int level = depth_; level >= 1; --level) {
+    size_t blocks = size_t{1} << level;
+    for (size_t b = 0; b + 1 < blocks + 1; b += 2) {
+      auto& low = scratch[NodeSlot({level, b})];
+      auto& high = scratch[NodeSlot({level, b + 1})];
+      if (low.empty() && high.empty()) continue;
+      AIMS_CHECK(!low.empty() && !high.empty());
+      std::vector<double> merged;
+      IdwtStep(filter_, low, high, &merged);
+      scratch[NodeSlot({level - 1, b / 2})] = std::move(merged);
+      low.clear();
+      high.clear();
+    }
+  }
+  return scratch[0];
+}
+
+}  // namespace aims::signal

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/wavelet_filter.h"
+
+/// \file dwpt.h
+/// \brief Discrete Wavelet Packet Transform with Coifman-Wickerhauser
+/// best-basis selection (Sec. 3.1.1 of the paper). AIMS selects a
+/// transformation basis per dimension from this general basis library; the
+/// plain DWT, the standard (identity) basis, and the "DFT-like" full-depth
+/// decomposition are all members.
+
+namespace aims::signal {
+
+/// \brief Additive information cost used to compare candidate bases.
+enum class BasisCost {
+  kShannonEntropy,   ///< -sum p_i log p_i of normalized squared coefficients.
+  kLogEnergy,        ///< sum log(c_i^2).
+  kThresholdCount,   ///< Number of coefficients above a fixed threshold.
+  kL1Norm,           ///< sum |c_i| (sparsity proxy).
+};
+
+/// \brief Identifies one node of the packet tree: \p level in [0, depth],
+/// \p block in [0, 2^level). Node (0,0) is the untransformed signal; block 0
+/// children are lowpass, block 1 children highpass.
+struct PacketNode {
+  int level = 0;
+  size_t block = 0;
+
+  bool operator==(const PacketNode& other) const {
+    return level == other.level && block == other.block;
+  }
+};
+
+/// \brief Full wavelet packet decomposition of one signal.
+class WaveletPacketTree {
+ public:
+  /// Decomposes \p signal (power-of-two length) down to \p max_depth levels
+  /// (-1 = as deep as possible).
+  static Result<WaveletPacketTree> Build(const WaveletFilter& filter,
+                                         const std::vector<double>& signal,
+                                         int max_depth = -1);
+
+  int depth() const { return depth_; }
+  size_t signal_length() const { return n_; }
+
+  /// Coefficients of node (level, block); length n / 2^level.
+  const std::vector<double>& NodeCoefficients(const PacketNode& node) const;
+
+  /// \brief Selects the minimum-cost basis by bottom-up dynamic programming
+  /// over the packet tree (Coifman-Wickerhauser).
+  std::vector<PacketNode> BestBasis(BasisCost cost,
+                                    double threshold = 1e-3) const;
+
+  /// \brief The basis corresponding to the ordinary DWT (the leftmost path).
+  std::vector<PacketNode> DwtBasis() const;
+
+  /// \brief The standard (no transform) basis: just the root node.
+  std::vector<PacketNode> StandardBasis() const;
+
+  /// \brief Concatenated coefficients of the given basis, ordered by block.
+  /// The result always has exactly signal_length() entries for any valid
+  /// basis (the transform is orthonormal, so energy is preserved).
+  std::vector<double> BasisCoefficients(
+      const std::vector<PacketNode>& basis) const;
+
+  /// \brief Additive cost of a basis under the given cost functional.
+  double CostOf(const std::vector<PacketNode>& basis, BasisCost cost,
+                double threshold = 1e-3) const;
+
+  /// \brief Reconstructs the signal from basis coefficients (inverse of
+  /// BasisCoefficients for the same basis).
+  Result<std::vector<double>> Reconstruct(
+      const std::vector<PacketNode>& basis,
+      const std::vector<double>& coeffs) const;
+
+  /// \brief True if \p basis is a valid disjoint cover of the tree.
+  bool IsValidBasis(const std::vector<PacketNode>& basis) const;
+
+ private:
+  WaveletPacketTree(WaveletFilter filter, size_t n, int depth)
+      : filter_(std::move(filter)), n_(n), depth_(depth) {}
+
+  size_t NodeSlot(const PacketNode& node) const;
+  double NodeCost(const PacketNode& node, BasisCost cost,
+                  double threshold) const;
+
+  WaveletFilter filter_;
+  size_t n_;
+  int depth_;
+  // nodes_[slot] where slot enumerates (level, block) row by row.
+  std::vector<std::vector<double>> nodes_;
+};
+
+/// \brief Cost value of one coefficient vector (exposed for tests).
+double InformationCost(const std::vector<double>& coeffs, BasisCost cost,
+                       double threshold = 1e-3);
+
+}  // namespace aims::signal

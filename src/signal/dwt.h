@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/wavelet_filter.h"
+
+/// \file dwt.h
+/// \brief Periodic discrete wavelet transform (1-D and tensor-product N-D).
+///
+/// Coefficient layout for a full J-level transform of n = 2^J samples:
+///   index 0            : coarsest scaling coefficient s_J
+///   index 1            : coarsest detail d_J
+///   indices [2,4)      : details d_{J-1}
+///   ...
+///   indices [n/2, n)   : finest details d_1
+/// i.e. details of level l (1 = finest) occupy [n/2^l, n/2^(l-1)).
+/// A partial transform of depth L keeps s_L in the first n/2^L slots.
+
+namespace aims::signal {
+
+/// \brief Number of complete transform levels for a length (log2 when the
+/// length is a power of two).
+int MaxLevels(size_t n);
+
+/// \brief True iff n is a power of two (and nonzero).
+bool IsPowerOfTwo(size_t n);
+
+/// \brief One analysis step: splits \p input (even length) into scaling and
+/// detail halves using periodic convolution.
+void DwtStep(const WaveletFilter& filter, const std::vector<double>& input,
+             std::vector<double>* scaling, std::vector<double>* detail);
+
+/// \brief One synthesis step, the exact inverse of DwtStep.
+void IdwtStep(const WaveletFilter& filter, const std::vector<double>& scaling,
+              const std::vector<double>& detail, std::vector<double>* output);
+
+/// \brief Full (or depth-limited) forward DWT.
+///
+/// \param levels number of levels to apply; -1 means as many as possible.
+/// Fails if the signal length is not a power of two.
+Result<std::vector<double>> ForwardDwt(const WaveletFilter& filter,
+                                       const std::vector<double>& signal,
+                                       int levels = -1);
+
+/// \brief Inverse of ForwardDwt with the same filter and depth.
+Result<std::vector<double>> InverseDwt(const WaveletFilter& filter,
+                                       const std::vector<double>& coeffs,
+                                       int levels = -1);
+
+/// \brief Flat index of detail coefficient \p k at \p level (1 = finest) in
+/// the pyramid layout, for a signal of length \p n.
+size_t DetailIndex(size_t n, int level, size_t k);
+
+/// \brief Flat index of scaling coefficient \p k at the coarsest level of a
+/// depth-\p levels transform.
+size_t ScalingIndex(size_t n, int levels, size_t k);
+
+/// \brief Tensor-product multidimensional DWT over a dense row-major array.
+///
+/// Applies the full 1-D transform independently along each axis (the
+/// "standard" tensor construction ProPolyne uses). Each axis may use its
+/// own filter — the "each dimension transformed through a different basis"
+/// setting of Sec. 3.3.1. All extents must be powers of two.
+class TensorDwt {
+ public:
+  /// \param shape extent of each dimension (row-major storage).
+  TensorDwt(WaveletFilter filter, std::vector<size_t> shape);
+
+  /// Per-axis filters; `filters.size()` must equal `shape.size()`.
+  TensorDwt(std::vector<WaveletFilter> filters, std::vector<size_t> shape);
+
+  /// Filter used on \p axis.
+  const WaveletFilter& filter(size_t axis) const;
+
+  /// Transforms \p data in place; data.size() must equal the shape product.
+  Status Forward(std::vector<double>* data) const;
+  /// Inverts Forward.
+  Status Inverse(std::vector<double>* data) const;
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t total_size() const { return total_size_; }
+
+  /// Flattens a multidimensional index (row-major).
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+ private:
+  enum class Direction { kForward, kInverse };
+  Status TransformAxis(std::vector<double>* data, size_t axis,
+                       Direction dir) const;
+
+  std::vector<WaveletFilter> filters_;  // one per axis
+  std::vector<size_t> shape_;
+  size_t total_size_;
+};
+
+/// \brief Incremental ("append-only") 1-D Haar transformer for continuous
+/// data streams.
+///
+/// Samples are pushed one at a time; wavelet coefficients are emitted as
+/// soon as their support is complete, so a level-l detail appears 2^l
+/// samples after its support opens. This is the low-cost incremental-update
+/// property the paper relies on for storing immersidata as wavelets
+/// (amortized O(1) work per sample).
+class StreamingHaarDwt {
+ public:
+  StreamingHaarDwt() = default;
+
+  /// \brief A coefficient emitted by Push.
+  struct Emitted {
+    int level;     ///< 1 = finest detail level.
+    size_t index;  ///< Position within its level.
+    double value;
+    bool is_scaling;  ///< True for carried scaling values (only at Finish).
+  };
+
+  /// Pushes one sample; appends completed detail coefficients to \p out.
+  void Push(double sample, std::vector<Emitted>* out);
+
+  /// Flushes the pending scaling values (the coarsest summaries). After
+  /// Finish, the emitted set matches ForwardDwt(haar) of the pushed signal
+  /// when its length is a power of two.
+  void Finish(std::vector<Emitted>* out);
+
+  size_t samples_seen() const { return samples_seen_; }
+
+ private:
+  // pending_[l] holds the unpaired scaling value at level l, if any.
+  std::vector<double> pending_;
+  std::vector<bool> has_pending_;
+  std::vector<size_t> emitted_per_level_;
+  size_t samples_seen_ = 0;
+};
+
+/// \brief Incremental 1-D DWT for *any* orthonormal filter over an
+/// append-only stream, treating the signal as unbounded (linear, not
+/// periodic, convolution). A level-l coefficient is emitted as soon as the
+/// last sample of its analysis window arrives, so the per-sample work is
+/// amortized O(L) per level — the paper's "complexity of wavelet
+/// transformation for incremental update (append) is low".
+///
+/// Emitted coefficients agree exactly with the non-periodic (valid-region)
+/// cascade; for Haar, whose windows never wrap, they also equal the
+/// periodic ForwardDwt output.
+class StreamingDwt {
+ public:
+  /// \param max_levels cascade depth (1 = finest details only).
+  StreamingDwt(WaveletFilter filter, int max_levels);
+
+  struct Emitted {
+    int level;     ///< 1 = finest detail level.
+    size_t index;  ///< Output position within its level.
+    double value;
+    bool is_scaling;  ///< True for the coarsest-level scaling outputs.
+  };
+
+  /// Pushes one sample; appends every coefficient whose window completed.
+  void Push(double sample, std::vector<Emitted>* out);
+
+  size_t samples_seen() const { return samples_seen_; }
+  const WaveletFilter& filter() const { return filter_; }
+  int max_levels() const { return max_levels_; }
+
+ private:
+  void PushToLevel(int level, double value, std::vector<Emitted>* out);
+
+  WaveletFilter filter_;
+  int max_levels_;
+  /// Per level: sliding window of the most recent scaling inputs plus the
+  /// absolute index of the first retained input.
+  struct LevelState {
+    std::vector<double> window;
+    size_t first_index = 0;   ///< Absolute index of window.front().
+    size_t next_output = 0;   ///< Next output position j.
+  };
+  std::vector<LevelState> levels_;
+  size_t samples_seen_ = 0;
+};
+
+/// \brief Reference for StreamingDwt: the valid-region (non-periodic)
+/// cascade of \p signal. Returns per-level detail vectors (index 0 =
+/// finest) and the coarsest scaling vector.
+void LinearDwtReference(const WaveletFilter& filter,
+                        const std::vector<double>& signal, int levels,
+                        std::vector<std::vector<double>>* details,
+                        std::vector<double>* coarsest_scaling);
+
+}  // namespace aims::signal

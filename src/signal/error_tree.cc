@@ -1,0 +1,107 @@
+#include "signal/error_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::signal {
+
+HaarErrorTree::HaarErrorTree(size_t n) : n_(n) {
+  AIMS_CHECK(IsPowerOfTwo(n));
+  levels_ = MaxLevels(n);
+}
+
+int HaarErrorTree::LevelOf(size_t flat_index) const {
+  AIMS_CHECK(flat_index < n_);
+  if (flat_index == 0) return 0;  // root scaling
+  // Details of level l occupy [n/2^l, n/2^(l-1)).
+  for (int l = levels_; l >= 1; --l) {
+    size_t base = n_ >> l;
+    if (flat_index >= base && flat_index < 2 * base) return l;
+  }
+  AIMS_CHECK(false);
+  return -1;
+}
+
+size_t HaarErrorTree::Parent(size_t flat_index) const {
+  if (flat_index <= 1) return 0;
+  int level = LevelOf(flat_index);
+  size_t base = n_ >> level;
+  size_t k = flat_index - base;
+  if (level == levels_) return 0;  // coarsest detail hangs off the root
+  size_t parent_base = n_ >> (level + 1);
+  return parent_base + k / 2;
+}
+
+std::vector<size_t> HaarErrorTree::Children(size_t flat_index) const {
+  if (flat_index == 0) return {1};
+  int level = LevelOf(flat_index);
+  if (level == 1) return {};
+  size_t base = n_ >> level;
+  size_t k = flat_index - base;
+  size_t child_base = n_ >> (level - 1);
+  return {child_base + 2 * k, child_base + 2 * k + 1};
+}
+
+std::pair<size_t, size_t> HaarErrorTree::SupportOf(size_t flat_index) const {
+  if (flat_index == 0) return {0, n_ - 1};
+  int level = LevelOf(flat_index);
+  size_t base = n_ >> level;
+  size_t k = flat_index - base;
+  size_t width = size_t{1} << level;
+  return {k * width, (k + 1) * width - 1};
+}
+
+std::vector<size_t> HaarErrorTree::PointQuerySupport(size_t i) const {
+  AIMS_CHECK(i < n_);
+  std::vector<size_t> support;
+  support.push_back(0);
+  for (int l = 1; l <= levels_; ++l) {
+    size_t base = n_ >> l;
+    support.push_back(base + (i >> l));
+  }
+  return support;
+}
+
+std::vector<size_t> HaarErrorTree::RangeSumSupport(size_t lo, size_t hi) const {
+  AIMS_CHECK(lo <= hi && hi < n_);
+  std::set<size_t> support;
+  support.insert(0);
+  // A detail coefficient contributes to sum_{i in [lo,hi]} iff its support
+  // straddles a boundary of the range (fully-inside supports cancel: the
+  // Haar detail integrates to zero over its support).
+  for (int l = 1; l <= levels_; ++l) {
+    size_t base = n_ >> l;
+    size_t width = size_t{1} << l;
+    for (size_t boundary : {lo, hi + 1}) {
+      if (boundary == 0 || boundary >= n_) continue;
+      // The coefficient whose support contains positions boundary-1 and
+      // boundary is split by the range edge.
+      size_t k_left = (boundary - 1) / width;
+      size_t k_right = boundary / width;
+      if (k_left == k_right) {
+        // boundary cuts through the interior of this support
+        support.insert(base + k_left);
+      }
+    }
+  }
+  return {support.begin(), support.end()};
+}
+
+std::vector<size_t> HaarErrorTree::RangeScanSupport(size_t lo,
+                                                    size_t hi) const {
+  AIMS_CHECK(lo <= hi && hi < n_);
+  std::set<size_t> support;
+  support.insert(0);
+  for (int l = 1; l <= levels_; ++l) {
+    size_t base = n_ >> l;
+    for (size_t k = lo >> l; k <= hi >> l; ++k) {
+      support.insert(base + k);
+    }
+  }
+  return {support.begin(), support.end()};
+}
+
+}  // namespace aims::signal

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file error_tree.h
+/// \brief The Haar wavelet *error tree* (Sec. 3.2.1): the dependency
+/// structure between wavelet coefficients and reconstructed data values.
+///
+/// For a length-n = 2^J Haar transform in the pyramid layout of dwt.h, the
+/// error tree has the overall scaling coefficient (flat index 0) as root,
+/// the coarsest detail (flat index 1) below it, and detail (level l, k)'s
+/// children are details (level l-1, 2k) and (level l-1, 2k+1). Reconstructing
+/// data value i requires exactly the root plus the J details on the
+/// root-to-leaf path above position i — so if a coefficient is needed, *all
+/// of its ancestors are needed too*. This is the access-pattern locality the
+/// storage subsystem exploits, and the reason the expected number of useful
+/// items on a retrieved block is bounded by 1 + lg B.
+
+namespace aims::signal {
+
+/// \brief Static view of the Haar error tree for a signal of length n
+/// (power of two).
+class HaarErrorTree {
+ public:
+  explicit HaarErrorTree(size_t n);
+
+  size_t n() const { return n_; }
+  int levels() const { return levels_; }
+
+  /// Flat coefficient indices needed to reconstruct data value \p i:
+  /// the root scaling coefficient plus the detail path. Size = 1 + lg n.
+  std::vector<size_t> PointQuerySupport(size_t i) const;
+
+  /// Flat indices of the nonzero Haar coefficients of the range-sum query
+  /// vector 1_{[lo,hi]}: the root plus details whose support straddles a
+  /// range boundary. Size is O(lg n).
+  std::vector<size_t> RangeSumSupport(size_t lo, size_t hi) const;
+
+  /// Coefficients needed to reconstruct every value in [lo, hi] (a range
+  /// *scan*): union of the point supports.
+  std::vector<size_t> RangeScanSupport(size_t lo, size_t hi) const;
+
+  /// Parent of a flat coefficient index in the error tree; 0 is the root
+  /// (returns 0 for the root itself and for index 1 whose parent is the
+  /// root).
+  size_t Parent(size_t flat_index) const;
+
+  /// Children of a flat index (empty at the finest level; the root has the
+  /// single child 1).
+  std::vector<size_t> Children(size_t flat_index) const;
+
+  /// Detail level (1 = finest) of a flat index; 0 for the root scaling.
+  int LevelOf(size_t flat_index) const;
+
+  /// Support interval [first, last] of data positions influenced by the
+  /// coefficient at \p flat_index.
+  std::pair<size_t, size_t> SupportOf(size_t flat_index) const;
+
+ private:
+  size_t n_;
+  int levels_;
+};
+
+}  // namespace aims::signal

@@ -1,0 +1,253 @@
+#include "signal/lazy_wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::signal {
+
+double SparseCoefficients::Dot(const std::vector<double>& dense) const {
+  double acc = 0.0;
+  for (const auto& [idx, val] : entries) {
+    AIMS_CHECK(idx < dense.size());
+    acc += val * dense[idx];
+  }
+  return acc;
+}
+
+std::vector<std::pair<size_t, double>> SparseCoefficients::ByMagnitude()
+    const {
+  std::vector<std::pair<size_t, double>> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return std::fabs(a.second) > std::fabs(b.second);
+            });
+  return sorted;
+}
+
+double SparseCoefficients::EnergySquared() const {
+  double acc = 0.0;
+  for (const auto& [idx, val] : entries) {
+    (void)idx;
+    acc += val * val;
+  }
+  return acc;
+}
+
+namespace {
+
+/// Mutable state of one analysis level: value(i) = explicit_[i] if present,
+/// else poly_(i) when i lies in [interior_lo_, interior_hi_], else 0.
+struct LevelState {
+  size_t n = 0;
+  bool has_interior = false;
+  size_t interior_lo = 0;
+  size_t interior_hi = 0;
+  Polynomial poly;
+  std::map<size_t, double> explicit_values;
+
+  double ValueAt(size_t i) const {
+    auto it = explicit_values.find(i);
+    if (it != explicit_values.end()) return it->second;
+    if (has_interior && i >= interior_lo && i <= interior_hi) {
+      return poly.Eval(static_cast<double>(i));
+    }
+    return 0.0;
+  }
+
+  /// Folds the symbolic interior into the explicit map.
+  void MaterializeInterior() {
+    if (!has_interior) return;
+    for (size_t i = interior_lo; i <= interior_hi; ++i) {
+      explicit_values[i] = poly.Eval(static_cast<double>(i));
+    }
+    has_interior = false;
+  }
+};
+
+double MaxAbsCoeff(const Polynomial& p) {
+  double m = 0.0;
+  for (double c : p.coeffs()) m = std::max(m, std::fabs(c));
+  return m;
+}
+
+}  // namespace
+
+Result<SparseCoefficients> LazyWaveletTransform(const WaveletFilter& filter,
+                                                size_t n, size_t lo, size_t hi,
+                                                const Polynomial& poly) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "LazyWaveletTransform: n must be a power of two");
+  }
+  if (lo > hi || hi >= n) {
+    return Status::InvalidArgument("LazyWaveletTransform: bad range");
+  }
+  if (poly.degree() >= filter.vanishing_moments()) {
+    return Status::InvalidArgument(
+        "LazyWaveletTransform: polynomial degree must be below the filter's "
+        "vanishing moments for a sparse transform");
+  }
+
+  const auto& h = filter.lowpass();
+  const auto& g = filter.highpass();
+  const size_t L = filter.length();
+  const int levels = MaxLevels(n);
+
+  SparseCoefficients result;
+  LevelState state;
+  state.n = n;
+  state.has_interior = true;
+  state.interior_lo = lo;
+  state.interior_hi = hi;
+  state.poly = poly;
+
+  // Precompute the one-level symbolic maps once: they do not depend on the
+  // level, only on the filter and on the current interior polynomial, which
+  // changes each level — so compute inside the loop instead.
+  for (int level = 1; level <= levels; ++level) {
+    const size_t n_cur = state.n;
+    const size_t n_half = n_cur / 2;
+
+    // Small signals: give up on symbolics, go fully explicit.
+    if (state.has_interior && n_cur <= std::max<size_t>(4 * L, 8)) {
+      state.MaterializeInterior();
+    }
+
+    // New symbolic interior output range: windows fully inside the interior.
+    bool out_has_interior = false;
+    size_t out_lo = 0, out_hi = 0;
+    Polynomial out_poly;
+    if (state.has_interior) {
+      size_t jlo = (state.interior_lo + 1) / 2;  // ceil(ilo / 2)
+      // 2j + L - 1 <= ihi  =>  j <= (ihi - L + 1) / 2, if representable.
+      if (state.interior_hi + 1 >= L) {
+        size_t jhi_num = state.interior_hi - (L - 1);
+        size_t jhi = jhi_num / 2;
+        if (jlo <= jhi && jhi < n_half) {
+          out_has_interior = true;
+          out_lo = jlo;
+          out_hi = jhi;
+        }
+      }
+      if (!out_has_interior) {
+        // Interior too small to carry symbolically; make it explicit.
+        state.MaterializeInterior();
+      }
+    }
+
+    if (out_has_interior) {
+      // Symbolic lowpass: p'(j) = sum_t h[t] p(2j + t); symbolic highpass
+      // must vanish by the moment condition — verified numerically.
+      Polynomial detail_poly;
+      for (size_t t = 0; t < L; ++t) {
+        Polynomial shifted =
+            state.poly.ComposeAffine(2.0, static_cast<double>(t));
+        out_poly.AddScaled(shifted, h[t]);
+        detail_poly.AddScaled(shifted, g[t]);
+      }
+      double scale = std::max(1.0, MaxAbsCoeff(out_poly));
+      if (MaxAbsCoeff(detail_poly) > 1e-6 * scale) {
+        return Status::Internal(
+            "LazyWaveletTransform: interior details did not vanish; filter "
+            "moment condition violated");
+      }
+    }
+
+    // Candidate explicit outputs: any j (outside the symbolic interior)
+    // whose analysis window touches an explicit value or the boundary zone
+    // of the interior.
+    std::set<size_t> touched_inputs;
+    for (const auto& [i, v] : state.explicit_values) {
+      (void)v;
+      touched_inputs.insert(i);
+    }
+    if (state.has_interior) {
+      size_t zone = L;  // windows reach at most L-1 past an edge
+      size_t lo_end = std::min(state.interior_lo + zone, state.interior_hi);
+      for (size_t i = state.interior_lo; i <= lo_end; ++i) {
+        touched_inputs.insert(i);
+      }
+      size_t hi_start = state.interior_hi >= zone
+                            ? std::max(state.interior_hi - zone,
+                                       state.interior_lo)
+                            : state.interior_lo;
+      for (size_t i = hi_start; i <= state.interior_hi; ++i) {
+        touched_inputs.insert(i);
+      }
+    }
+    std::set<size_t> candidates;
+    for (size_t i : touched_inputs) {
+      for (size_t t = 0; t < L; ++t) {
+        // Solve (2j + t) mod n_cur == i for j.
+        size_t m = (i + n_cur - t % n_cur) % n_cur;
+        if (m % 2 == 0) {
+          size_t j = m / 2;
+          if (j < n_half) candidates.insert(j);
+        }
+      }
+    }
+
+    LevelState next;
+    next.n = n_half;
+    next.has_interior = out_has_interior;
+    next.interior_lo = out_lo;
+    next.interior_hi = out_hi;
+    next.poly = out_poly;
+
+    for (size_t j : candidates) {
+      if (out_has_interior && j >= out_lo && j <= out_hi) continue;
+      double s = 0.0, d = 0.0;
+      for (size_t t = 0; t < L; ++t) {
+        double v = state.ValueAt((2 * j + t) % n_cur);
+        s += h[t] * v;
+        d += g[t] * v;
+      }
+      if (std::fabs(d) > 1e-12) {
+        result.entries.emplace_back(DetailIndex(n, level, j), d);
+      }
+      if (std::fabs(s) > 1e-14) {
+        next.explicit_values[j] = s;
+      }
+    }
+
+    state = std::move(next);
+  }
+
+  // The single remaining value is the overall scaling coefficient.
+  AIMS_CHECK(state.n == 1);
+  double root = state.ValueAt(0);
+  if (std::fabs(root) > 1e-12) {
+    result.entries.emplace_back(0, root);
+  }
+
+  std::sort(result.entries.begin(), result.entries.end());
+  return result;
+}
+
+Result<SparseCoefficients> DenseQueryTransform(const WaveletFilter& filter,
+                                               size_t n, size_t lo, size_t hi,
+                                               const Polynomial& poly,
+                                               double tol) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "DenseQueryTransform: n must be a power of two");
+  }
+  if (lo > hi || hi >= n) {
+    return Status::InvalidArgument("DenseQueryTransform: bad range");
+  }
+  std::vector<double> q(n, 0.0);
+  for (size_t i = lo; i <= hi; ++i) q[i] = poly.Eval(static_cast<double>(i));
+  AIMS_ASSIGN_OR_RETURN(std::vector<double> t, ForwardDwt(filter, q));
+  SparseCoefficients out;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(t[i]) > tol) out.entries.emplace_back(i, t[i]);
+  }
+  return out;
+}
+
+}  // namespace aims::signal

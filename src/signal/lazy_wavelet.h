@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/polynomial.h"
+#include "signal/wavelet_filter.h"
+
+/// \file lazy_wavelet.h
+/// \brief The *lazy wavelet transform* (Schmidt & Shahabi, EDBT'02; paper
+/// Sec. 3.3): computes the DWT of the query vector
+///
+///     q[i] = p(i) * 1_{[lo, hi]}(i),  i in [0, n)
+///
+/// in polylogarithmic time, without materializing q. ProPolyne evaluates a
+/// polynomial range-sum as the dot product of this sparse query transform
+/// with the stored data transform (Parseval).
+///
+/// Why it is sparse: one analysis level maps an interior stretch where the
+/// scaling coefficients equal a polynomial to (a) detail coefficients that
+/// vanish exactly — the highpass filter annihilates polynomials of degree
+/// below its vanishing-moment count — and (b) scaling coefficients that are
+/// again a polynomial. Only O(filter length) outputs per level, near the
+/// range boundaries, need explicit evaluation. Hence O((deg + L)^2 * lg n)
+/// work and O(L * lg n) nonzero coefficients.
+
+namespace aims::signal {
+
+/// \brief Sparse coefficient vector in the pyramid layout of dwt.h.
+struct SparseCoefficients {
+  /// (flat index, value) pairs, sorted by flat index, deduplicated.
+  std::vector<std::pair<size_t, double>> entries;
+
+  size_t size() const { return entries.size(); }
+
+  /// Dot product with a dense vector.
+  double Dot(const std::vector<double>& dense) const;
+
+  /// Entries reordered by decreasing |value| (for progressive evaluation).
+  std::vector<std::pair<size_t, double>> ByMagnitude() const;
+
+  /// Sum of squared values.
+  double EnergySquared() const;
+};
+
+/// \brief Computes the full-depth DWT of q[i] = p(i)*1_{[lo,hi]}(i).
+///
+/// Requires: n a power of two, lo <= hi < n, and
+/// p.degree() < filter.vanishing_moments() (otherwise the transform is not
+/// sparse and the call fails rather than silently producing O(n) output).
+Result<SparseCoefficients> LazyWaveletTransform(const WaveletFilter& filter,
+                                                size_t n, size_t lo, size_t hi,
+                                                const Polynomial& poly);
+
+/// \brief Reference implementation: materializes q densely and runs
+/// ForwardDwt, then sparsifies. O(n); used by tests and as a fallback.
+Result<SparseCoefficients> DenseQueryTransform(const WaveletFilter& filter,
+                                               size_t n, size_t lo, size_t hi,
+                                               const Polynomial& poly,
+                                               double tol = 1e-9);
+
+}  // namespace aims::signal

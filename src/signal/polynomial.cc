@@ -1,0 +1,78 @@
+#include "signal/polynomial.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::signal {
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+}
+
+Polynomial Polynomial::Monomial(int k, double scale) {
+  AIMS_CHECK(k >= 0);
+  std::vector<double> c(static_cast<size_t>(k) + 1, 0.0);
+  c.back() = scale;
+  return Polynomial(std::move(c));
+}
+
+double Polynomial::Eval(double x) const {
+  double acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::ComposeAffine(double a, double b) const {
+  // Horner in the polynomial ring: result = ((c_d*(ax+b) + c_{d-1})*(ax+b)...
+  Polynomial result = Polynomial::Constant(coeffs_.back());
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    // result = result * (a x + b) + c_i
+    std::vector<double> next(result.coeffs_.size() + 1, 0.0);
+    for (size_t j = 0; j < result.coeffs_.size(); ++j) {
+      next[j] += result.coeffs_[j] * b;
+      next[j + 1] += result.coeffs_[j] * a;
+    }
+    next[0] += coeffs_[i];
+    result.coeffs_ = std::move(next);
+  }
+  result.Trim();
+  return result;
+}
+
+void Polynomial::AddScaled(const Polynomial& other, double scale) {
+  if (other.coeffs_.size() > coeffs_.size()) {
+    coeffs_.resize(other.coeffs_.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.coeffs_.size(); ++i) {
+    coeffs_[i] += scale * other.coeffs_[i];
+  }
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  std::vector<double> out(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  Polynomial p(std::move(out));
+  p.Trim();
+  return p;
+}
+
+bool Polynomial::IsZero(double tol) const {
+  for (double c : coeffs_) {
+    if (std::fabs(c) > tol) return false;
+  }
+  return true;
+}
+
+void Polynomial::Trim(double tol) {
+  while (coeffs_.size() > 1 && std::fabs(coeffs_.back()) < tol) {
+    coeffs_.pop_back();
+  }
+}
+
+}  // namespace aims::signal

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file polynomial.h
+/// \brief Small dense univariate polynomial used to represent the symbolic
+/// interior of a lazily transformed query vector (ProPolyne's query
+/// functions are polynomials restricted to a range).
+
+namespace aims::signal {
+
+/// \brief p(x) = c[0] + c[1] x + ... + c[d] x^d.
+class Polynomial {
+ public:
+  Polynomial() : coeffs_{0.0} {}
+  /// Constructs from coefficients, lowest degree first.
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// The constant polynomial c.
+  static Polynomial Constant(double c) { return Polynomial({c}); }
+  /// The monomial x^k.
+  static Polynomial Monomial(int k, double scale = 1.0);
+
+  double Eval(double x) const;
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// Returns p(a*x + b) as a polynomial in x.
+  Polynomial ComposeAffine(double a, double b) const;
+
+  /// this += scale * other.
+  void AddScaled(const Polynomial& other, double scale);
+
+  /// Product of two polynomials.
+  Polynomial operator*(const Polynomial& other) const;
+
+  /// True if every coefficient is below \p tol in magnitude.
+  bool IsZero(double tol = 1e-9) const;
+
+  /// Drops trailing near-zero coefficients.
+  void Trim(double tol = 1e-12);
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+}  // namespace aims::signal

@@ -1,0 +1,94 @@
+#include "signal/resample.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::signal {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Result<FirFilter> FirFilter::DesignLowPass(double cutoff, size_t taps) {
+  if (cutoff <= 0.0 || cutoff >= 1.0) {
+    return Status::InvalidArgument("DesignLowPass: cutoff must be in (0,1)");
+  }
+  if (taps < 3) {
+    return Status::InvalidArgument("DesignLowPass: need at least 3 taps");
+  }
+  if (taps % 2 == 0) ++taps;
+  std::vector<double> h(taps);
+  const double center = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < taps; ++i) {
+    double m = static_cast<double>(i) - center;
+    // Ideal low-pass impulse response sin(pi fc m)/(pi m), fc in Nyquist
+    // units, with the singularity at m = 0 handled by the limit fc.
+    double ideal = m == 0.0 ? cutoff : std::sin(kPi * cutoff * m) / (kPi * m);
+    // Hamming window.
+    double window =
+        0.54 - 0.46 * std::cos(2.0 * kPi * static_cast<double>(i) /
+                               static_cast<double>(taps - 1));
+    h[i] = ideal * window;
+    sum += h[i];
+  }
+  // Normalize to unit DC gain so constants pass through exactly.
+  AIMS_CHECK(sum > 0.0);
+  for (double& v : h) v /= sum;
+  return FirFilter(std::move(h));
+}
+
+std::vector<double> FirFilter::Apply(const std::vector<double>& signal) const {
+  const size_t n = signal.size();
+  const size_t taps = coefficients_.size();
+  const size_t half = taps / 2;
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  auto reflect = [&](long long idx) -> double {
+    // Symmetric reflection keeps edges flat instead of decaying to zero.
+    while (idx < 0 || idx >= static_cast<long long>(n)) {
+      if (idx < 0) idx = -idx - 1;
+      if (idx >= static_cast<long long>(n)) {
+        idx = 2 * static_cast<long long>(n) - idx - 1;
+      }
+    }
+    return signal[static_cast<size_t>(idx)];
+  };
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t t = 0; t < taps; ++t) {
+      long long idx = static_cast<long long>(i) + static_cast<long long>(t) -
+                      static_cast<long long>(half);
+      acc += coefficients_[t] * reflect(idx);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecimateAntiAliased(
+    const std::vector<double>& signal, size_t factor, size_t taps) {
+  if (factor == 0) {
+    return Status::InvalidArgument("DecimateAntiAliased: zero factor");
+  }
+  if (factor == 1) return signal;
+  AIMS_ASSIGN_OR_RETURN(
+      FirFilter lp,
+      FirFilter::DesignLowPass(1.0 / static_cast<double>(factor), taps));
+  std::vector<double> filtered = lp.Apply(signal);
+  return DecimateNaive(filtered, factor);
+}
+
+std::vector<double> DecimateNaive(const std::vector<double>& signal,
+                                  size_t factor) {
+  AIMS_CHECK(factor >= 1);
+  std::vector<double> out;
+  out.reserve(signal.size() / factor + 1);
+  for (size_t i = 0; i < signal.size(); i += factor) {
+    out.push_back(signal[i]);
+  }
+  return out;
+}
+
+}  // namespace aims::signal

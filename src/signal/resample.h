@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file resample.h
+/// \brief Anti-aliased rate conversion for the acquisition subsystem
+/// (Sec. 3.1). Naive decimation folds any energy above the new Nyquist
+/// limit back into the band (aliasing); a windowed-sinc low-pass applied
+/// before dropping samples removes it — at the cost of a small transition
+/// band. The samplers can optionally run this prefilter so that the
+/// Nyquist-rate guarantees of spectral.h survive the rate change.
+
+namespace aims::signal {
+
+/// \brief Symmetric odd-length FIR low-pass (Hamming-windowed sinc).
+class FirFilter {
+ public:
+  /// Designs a low-pass with the given normalized cutoff (fraction of the
+  /// input Nyquist frequency, in (0, 1)) and \p taps coefficients (odd;
+  /// rounded up when even).
+  static Result<FirFilter> DesignLowPass(double cutoff, size_t taps = 31);
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// Zero-phase filtering: the output has the input's length; edges are
+  /// handled by symmetric reflection.
+  std::vector<double> Apply(const std::vector<double>& signal) const;
+
+ private:
+  explicit FirFilter(std::vector<double> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  std::vector<double> coefficients_;
+};
+
+/// \brief Keeps every `factor`-th sample after low-pass prefiltering at
+/// cutoff 1/factor. factor == 1 returns the input.
+Result<std::vector<double>> DecimateAntiAliased(
+    const std::vector<double>& signal, size_t factor, size_t taps = 31);
+
+/// \brief Naive decimation (no prefilter) — the aliasing-prone comparator.
+std::vector<double> DecimateNaive(const std::vector<double>& signal,
+                                  size_t factor);
+
+}  // namespace aims::signal

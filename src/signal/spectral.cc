@@ -1,0 +1,133 @@
+#include "signal/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "signal/dft.h"
+
+namespace aims::signal {
+
+namespace {
+
+double MaxFreqFromSpectrum(const std::vector<double>& signal,
+                           double sample_rate_hz, double energy_fraction) {
+  std::vector<double> power = PowerSpectrum(signal);
+  if (power.size() <= 1) return 0.0;
+  // Exclude DC: a sensor sitting at a constant offset has no bandwidth.
+  double total = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total <= 1e-12) return 0.0;
+  double target = energy_fraction * total;
+  double acc = 0.0;
+  size_t padded = 2 * (power.size() - 1);
+  for (size_t k = 1; k < power.size(); ++k) {
+    acc += power[k];
+    if (acc >= target) {
+      return static_cast<double>(k) * sample_rate_hz /
+             static_cast<double>(padded);
+    }
+  }
+  return sample_rate_hz / 2.0;
+}
+
+double MaxFreqFromAutocorrelation(const std::vector<double>& signal,
+                                  double sample_rate_hz) {
+  if (signal.size() < 4) return 0.0;
+  RunningStats stats;
+  for (double x : signal) stats.Add(x);
+  if (stats.variance() < 1e-12) return 0.0;  // constant: no bandwidth
+  std::vector<double> r = Autocorrelation(signal, signal.size() / 2);
+  // First zero crossing of the autocorrelation approximates a quarter period
+  // of the dominant oscillation.
+  for (size_t k = 1; k < r.size(); ++k) {
+    if (r[k] <= 0.0) {
+      double quarter_period = static_cast<double>(k) / sample_rate_hz;
+      return 1.0 / (4.0 * quarter_period);
+    }
+  }
+  return 0.0;  // Never decorrelates: effectively DC.
+}
+
+double MaxFreqFromMse(const std::vector<double>& signal, double sample_rate_hz,
+                      double mse_threshold) {
+  if (signal.size() < 4) return sample_rate_hz / 2.0;
+  // Search decimation factors from coarse to fine; pick the coarsest rate
+  // whose linear-interpolation reconstruction stays under the threshold.
+  size_t best_decimation = 1;
+  for (size_t dec = signal.size() / 2; dec >= 2; dec /= 2) {
+    std::vector<double> rec = DecimateAndInterpolate(signal, dec);
+    if (NormalizedMse(signal, rec) <= mse_threshold) {
+      best_decimation = dec;
+      break;
+    }
+  }
+  if (best_decimation == 1) {
+    // Refine linearly among small factors.
+    for (size_t dec = 16; dec >= 2; --dec) {
+      if (dec >= signal.size()) continue;
+      std::vector<double> rec = DecimateAndInterpolate(signal, dec);
+      if (NormalizedMse(signal, rec) <= mse_threshold) {
+        best_decimation = dec;
+        break;
+      }
+    }
+  }
+  double effective_rate = sample_rate_hz / static_cast<double>(best_decimation);
+  return effective_rate / 2.0;
+}
+
+}  // namespace
+
+double EstimateMaxFrequency(const std::vector<double>& signal,
+                            double sample_rate_hz,
+                            const SpectralOptions& options) {
+  AIMS_CHECK(sample_rate_hz > 0.0);
+  if (signal.size() < 2) return 0.0;
+  {
+    RunningStats stats;
+    for (double x : signal) stats.Add(x);
+    if (stats.variance() < options.noise_floor_variance) return 0.0;
+  }
+  switch (options.method) {
+    case MaxFrequencyMethod::kSpectrumEnergy:
+      return MaxFreqFromSpectrum(signal, sample_rate_hz,
+                                 options.energy_fraction);
+    case MaxFrequencyMethod::kAutocorrelation:
+      return MaxFreqFromAutocorrelation(signal, sample_rate_hz);
+    case MaxFrequencyMethod::kMinSquareError:
+      return MaxFreqFromMse(signal, sample_rate_hz, options.mse_threshold);
+  }
+  return 0.0;
+}
+
+double EstimateNyquistRate(const std::vector<double>& signal,
+                           double sample_rate_hz,
+                           const SpectralOptions& options, double min_rate_hz) {
+  double fmax = EstimateMaxFrequency(signal, sample_rate_hz, options);
+  double rate = 2.0 * fmax;
+  return std::clamp(rate, min_rate_hz, sample_rate_hz);
+}
+
+std::vector<double> DecimateAndInterpolate(const std::vector<double>& signal,
+                                           size_t decimation) {
+  AIMS_CHECK(decimation >= 1);
+  const size_t n = signal.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  if (decimation == 1) return signal;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = (i / decimation) * decimation;
+    size_t hi = std::min(lo + decimation, n - 1);
+    if (hi == lo) {
+      out[i] = signal[lo];
+      continue;
+    }
+    double frac = static_cast<double>(i - lo) / static_cast<double>(hi - lo);
+    out[i] = signal[lo] * (1.0 - frac) + signal[hi] * frac;
+  }
+  return out;
+}
+
+}  // namespace aims::signal

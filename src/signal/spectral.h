@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file spectral.h
+/// \brief Maximum-frequency and Nyquist-rate estimation for sensor signals
+/// (Sec. 3.1 of the paper): the acquisition subsystem samples each sensor at
+/// r_nyquist = 2 * f_max, where f_max is identified from the signal spectrum
+/// within a confidence threshold.
+
+namespace aims::signal {
+
+/// \brief How f_max is identified from a pilot recording.
+enum class MaxFrequencyMethod {
+  kSpectrumEnergy,    ///< Smallest f containing `energy_fraction` of power.
+  kAutocorrelation,   ///< 1 / (2 * first-zero-crossing lag).
+  kMinSquareError,    ///< Smallest rate whose decimate+interpolate NMSE is
+                      ///< below `mse_threshold`.
+};
+
+/// \brief Tuning knobs for EstimateMaxFrequency.
+struct SpectralOptions {
+  MaxFrequencyMethod method = MaxFrequencyMethod::kSpectrumEnergy;
+  /// Fraction of total (DC-excluded) spectral energy that must lie below
+  /// f_max for kSpectrumEnergy (the paper's "confidence threshold").
+  double energy_fraction = 0.99;
+  /// Reconstruction NMSE tolerance for kMinSquareError.
+  double mse_threshold = 0.01;
+  /// Signals whose variance falls below this are treated as inactive
+  /// (sensor noise floor): f_max = 0, so the sampler drops to its minimum
+  /// rate instead of chasing white noise at the device rate.
+  double noise_floor_variance = 1e-3;
+};
+
+/// \brief Estimates the maximum significant frequency (Hz) in \p signal
+/// sampled at \p sample_rate_hz. Returns 0 for constant signals.
+double EstimateMaxFrequency(const std::vector<double>& signal,
+                            double sample_rate_hz,
+                            const SpectralOptions& options = {});
+
+/// \brief The Nyquist sampling rate 2 * f_max, clamped to
+/// [min_rate_hz, sample_rate_hz].
+double EstimateNyquistRate(const std::vector<double>& signal,
+                           double sample_rate_hz,
+                           const SpectralOptions& options = {},
+                           double min_rate_hz = 1.0);
+
+/// \brief Reconstructs a uniformly resampled signal back onto the original
+/// clock by linear interpolation. \p decimation >= 1 keeps every
+/// `decimation`-th sample. Used to score how lossy a lower sampling rate is.
+std::vector<double> DecimateAndInterpolate(const std::vector<double>& signal,
+                                           size_t decimation);
+
+}  // namespace aims::signal

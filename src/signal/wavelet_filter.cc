@@ -1,0 +1,87 @@
+#include "signal/wavelet_filter.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::signal {
+
+namespace {
+
+// Daubechies lowpass coefficients, normalized so sum = sqrt(2) and
+// sum of squares = 1 (orthonormal convention).
+std::vector<double> HaarLowpass() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {s, s};
+}
+
+std::vector<double> Db2Lowpass() {
+  const double s = std::sqrt(2.0);
+  const double r3 = std::sqrt(3.0);
+  return {(1 + r3) / (4 * s), (3 + r3) / (4 * s), (3 - r3) / (4 * s),
+          (1 - r3) / (4 * s)};
+}
+
+std::vector<double> Db3Lowpass() {
+  // Canonical db3 coefficients (orthonormal scaling filter).
+  return {0.33267055295095688, 0.80689150931333875, 0.45987750211933132,
+          -0.13501102001039084, -0.08544127388224149, 0.03522629188210562};
+}
+
+std::vector<double> Db4Lowpass() {
+  return {0.23037781330885523,  0.71484657055254153,  0.63088076792959036,
+          -0.02798376941698385, -0.18703481171888114, 0.03084138183598697,
+          0.03288301166698295,  -0.01059740178499728};
+}
+
+}  // namespace
+
+const char* WaveletKindName(WaveletKind kind) {
+  switch (kind) {
+    case WaveletKind::kHaar:
+      return "haar";
+    case WaveletKind::kDb2:
+      return "db2";
+    case WaveletKind::kDb3:
+      return "db3";
+    case WaveletKind::kDb4:
+      return "db4";
+  }
+  return "unknown";
+}
+
+WaveletFilter::WaveletFilter(WaveletKind kind, std::vector<double> lowpass)
+    : kind_(kind), lowpass_(std::move(lowpass)) {
+  AIMS_CHECK(lowpass_.size() % 2 == 0);
+  highpass_.resize(lowpass_.size());
+  const size_t len = lowpass_.size();
+  for (size_t t = 0; t < len; ++t) {
+    double sign = (t % 2 == 0) ? 1.0 : -1.0;
+    highpass_[t] = sign * lowpass_[len - 1 - t];
+  }
+}
+
+WaveletFilter WaveletFilter::Make(WaveletKind kind) {
+  switch (kind) {
+    case WaveletKind::kHaar:
+      return WaveletFilter(kind, HaarLowpass());
+    case WaveletKind::kDb2:
+      return WaveletFilter(kind, Db2Lowpass());
+    case WaveletKind::kDb3:
+      return WaveletFilter(kind, Db3Lowpass());
+    case WaveletKind::kDb4:
+      return WaveletFilter(kind, Db4Lowpass());
+  }
+  AIMS_CHECK(false);
+  return WaveletFilter(WaveletKind::kHaar, HaarLowpass());
+}
+
+Result<WaveletFilter> WaveletFilter::FromName(const std::string& name) {
+  if (name == "haar" || name == "db1") return Make(WaveletKind::kHaar);
+  if (name == "db2") return Make(WaveletKind::kDb2);
+  if (name == "db3") return Make(WaveletKind::kDb3);
+  if (name == "db4") return Make(WaveletKind::kDb4);
+  return Status::InvalidArgument("unknown wavelet filter: " + name);
+}
+
+}  // namespace aims::signal

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file wavelet_filter.h
+/// \brief Orthonormal wavelet filter bank definitions (Haar and the
+/// Daubechies family). The detail filter's vanishing moments are what make
+/// ProPolyne's lazy query transform polylogarithmic: a filter with p
+/// vanishing moments annihilates polynomials of degree < p.
+
+namespace aims::signal {
+
+/// \brief Supported orthonormal wavelet families.
+enum class WaveletKind {
+  kHaar,  ///< Daubechies-1: 2 taps, 1 vanishing moment.
+  kDb2,   ///< Daubechies-2: 4 taps, 2 vanishing moments.
+  kDb3,   ///< Daubechies-3: 6 taps, 3 vanishing moments.
+  kDb4,   ///< Daubechies-4: 8 taps, 4 vanishing moments.
+};
+
+/// \brief Human-readable name ("haar", "db2", ...).
+const char* WaveletKindName(WaveletKind kind);
+
+/// \brief An orthonormal two-channel filter bank.
+///
+/// Decomposition convention (periodic, length-n input, n even):
+///   s[j] = sum_t lowpass[t]  * x[(2j + t) mod n]
+///   d[j] = sum_t highpass[t] * x[(2j + t) mod n]
+/// The highpass is the quadrature mirror of the lowpass:
+///   highpass[t] = (-1)^t * lowpass[L-1-t].
+class WaveletFilter {
+ public:
+  /// Builds the filter bank for \p kind.
+  static WaveletFilter Make(WaveletKind kind);
+
+  /// Parses "haar" / "db2" / "db3" / "db4".
+  static Result<WaveletFilter> FromName(const std::string& name);
+
+  WaveletKind kind() const { return kind_; }
+  const std::vector<double>& lowpass() const { return lowpass_; }
+  const std::vector<double>& highpass() const { return highpass_; }
+  size_t length() const { return lowpass_.size(); }
+
+  /// Number of vanishing moments of the highpass filter; the lazy query
+  /// transform is exact-and-sparse for polynomial degrees strictly below
+  /// this.
+  int vanishing_moments() const { return static_cast<int>(lowpass_.size() / 2); }
+
+  const char* name() const { return WaveletKindName(kind_); }
+
+ private:
+  WaveletFilter(WaveletKind kind, std::vector<double> lowpass);
+
+  WaveletKind kind_;
+  std::vector<double> lowpass_;
+  std::vector<double> highpass_;
+};
+
+}  // namespace aims::signal

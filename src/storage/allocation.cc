@@ -1,0 +1,203 @@
+#include "storage/allocation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "signal/dwt.h"
+
+namespace aims::storage {
+
+SequentialAllocator::SequentialAllocator(size_t n, size_t block_size)
+    : n_(n), block_size_(block_size) {
+  AIMS_CHECK(block_size > 0);
+}
+
+size_t SequentialAllocator::BlockOf(size_t flat_index) const {
+  AIMS_CHECK(flat_index < n_);
+  return flat_index / block_size_;
+}
+
+size_t SequentialAllocator::num_blocks() const {
+  return (n_ + block_size_ - 1) / block_size_;
+}
+
+TimeOrderAllocator::TimeOrderAllocator(size_t n, size_t block_size)
+    : n_(n), block_size_(block_size), block_of_(n) {
+  AIMS_CHECK(block_size > 0);
+  signal::HaarErrorTree tree(n);
+  // Order coefficients by the start of their data support, then by level
+  // (finer detail first), so coefficients live near the data they describe.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::pair<size_t, int>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = {tree.SupportOf(i).first, -tree.LevelOf(i)};
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  for (size_t pos = 0; pos < n; ++pos) {
+    block_of_[order[pos]] = pos / block_size_;
+  }
+}
+
+size_t TimeOrderAllocator::BlockOf(size_t flat_index) const {
+  AIMS_CHECK(flat_index < n_);
+  return block_of_[flat_index];
+}
+
+size_t TimeOrderAllocator::num_blocks() const {
+  return (n_ + block_size_ - 1) / block_size_;
+}
+
+RandomAllocator::RandomAllocator(size_t n, size_t block_size, uint64_t seed)
+    : n_(n), block_size_(block_size), block_of_(n) {
+  AIMS_CHECK(block_size > 0);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  for (size_t pos = 0; pos < n; ++pos) {
+    block_of_[order[pos]] = pos / block_size_;
+  }
+}
+
+size_t RandomAllocator::BlockOf(size_t flat_index) const {
+  AIMS_CHECK(flat_index < n_);
+  return block_of_[flat_index];
+}
+
+size_t RandomAllocator::num_blocks() const {
+  return (n_ + block_size_ - 1) / block_size_;
+}
+
+SubtreeTilingAllocator::SubtreeTilingAllocator(size_t n, size_t block_size)
+    : n_(n), block_size_(block_size), block_of_(n, 0) {
+  AIMS_CHECK(block_size > 0);
+  signal::HaarErrorTree tree(n);
+  tile_height_ = 0;
+  {
+    size_t b = block_size + 1;
+    while (b > 1) {
+      b /= 2;
+      ++tile_height_;
+    }
+    tile_height_ = std::max<size_t>(tile_height_, 1);
+  }
+  // Greedy tiling: grow each tile level by level while it fits the block,
+  // then start child tiles at the frontier's children. Tiles are collected
+  // first and then bin-packed into blocks, so the short subtrees near the
+  // leaves (and sibling tiles generally) share blocks instead of wasting
+  // one block per tile.
+  std::vector<std::vector<size_t>> tiles;
+  std::vector<size_t> tile_roots = {0};
+  while (!tile_roots.empty()) {
+    std::vector<size_t> next_roots;
+    for (size_t root : tile_roots) {
+      std::vector<size_t> tile = {root};
+      std::vector<size_t> frontier = {root};
+      while (true) {
+        std::vector<size_t> next_frontier;
+        for (size_t node : frontier) {
+          for (size_t child : tree.Children(node)) {
+            next_frontier.push_back(child);
+          }
+        }
+        if (next_frontier.empty() ||
+            tile.size() + next_frontier.size() > block_size) {
+          // Children of the frontier start new tiles.
+          for (size_t node : next_frontier) next_roots.push_back(node);
+          break;
+        }
+        tile.insert(tile.end(), next_frontier.begin(), next_frontier.end());
+        frontier = std::move(next_frontier);
+      }
+      tiles.push_back(std::move(tile));
+    }
+    tile_roots = std::move(next_roots);
+  }
+  // First-fit packing in generation order: sibling tiles are adjacent in
+  // this order, so packed tiles keep spatial locality.
+  size_t fill = 0;
+  num_blocks_ = 0;
+  for (const std::vector<size_t>& tile : tiles) {
+    if (num_blocks_ == 0 || fill + tile.size() > block_size) {
+      ++num_blocks_;
+      fill = 0;
+    }
+    for (size_t node : tile) block_of_[node] = num_blocks_ - 1;
+    fill += tile.size();
+  }
+  if (num_blocks_ == 0) num_blocks_ = 1;
+}
+
+size_t SubtreeTilingAllocator::BlockOf(size_t flat_index) const {
+  AIMS_CHECK(flat_index < n_);
+  return block_of_[flat_index];
+}
+
+size_t SubtreeTilingAllocator::num_blocks() const { return num_blocks_; }
+
+AccessReport MeasureAccess(
+    const CoefficientAllocator& allocator,
+    const std::vector<std::vector<size_t>>& query_sets) {
+  AccessReport report;
+  report.allocator = allocator.name();
+  report.block_size = allocator.block_size();
+  size_t total_blocks_touched = 0;
+  size_t total_items = 0;
+  for (const std::vector<size_t>& needed : query_sets) {
+    std::unordered_map<size_t, size_t> per_block;
+    for (size_t idx : needed) {
+      ++per_block[allocator.BlockOf(idx)];
+    }
+    total_blocks_touched += per_block.size();
+    total_items += needed.size();
+  }
+  size_t num_queries = query_sets.size();
+  report.mean_blocks_per_query =
+      num_queries ? static_cast<double>(total_blocks_touched) /
+                        static_cast<double>(num_queries)
+                  : 0.0;
+  report.mean_items_per_block =
+      total_blocks_touched
+          ? static_cast<double>(total_items) /
+                static_cast<double>(total_blocks_touched)
+          : 0.0;
+  report.utilization = report.mean_items_per_block /
+                       static_cast<double>(allocator.block_size());
+  return report;
+}
+
+TensorAllocator::TensorAllocator(std::vector<size_t> dims,
+                                 std::vector<size_t> virtual_block_sizes)
+    : dims_(std::move(dims)) {
+  AIMS_CHECK(dims_.size() == virtual_block_sizes.size());
+  block_size_ = 1;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    per_dim_.push_back(std::make_unique<SubtreeTilingAllocator>(
+        dims_[d], virtual_block_sizes[d]));
+    per_dim_blocks_.push_back(per_dim_.back()->num_blocks());
+    block_size_ *= virtual_block_sizes[d];
+  }
+}
+
+size_t TensorAllocator::BlockOf(const std::vector<size_t>& index) const {
+  AIMS_CHECK(index.size() == dims_.size());
+  size_t block = 0;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    block = block * per_dim_blocks_[d] + per_dim_[d]->BlockOf(index[d]);
+  }
+  return block;
+}
+
+size_t TensorAllocator::num_blocks() const {
+  size_t total = 1;
+  for (size_t b : per_dim_blocks_) total *= b;
+  return total;
+}
+
+}  // namespace aims::storage

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "signal/error_tree.h"
+
+/// \file allocation.h
+/// \brief Wavelet-coefficient-to-disk-block allocation strategies
+/// (Sec. 3.2.1). The paper's observation: for point and range queries on
+/// Haar data, "if a wavelet coefficient is retrieved, we are guaranteed
+/// that all of its dependent coefficients will also be retrieved" — the
+/// needed set is a union of root-paths in the error tree. The theoretical
+/// bound: for blocks of size B, the expected number of needed items on a
+/// retrieved block is < 1 + lg B; the optimal allocator tiles the error
+/// tree into height-lg(B) subtrees to approach it.
+
+namespace aims::storage {
+
+/// \brief Maps each coefficient (flat pyramid index, 0..n-1) to a block.
+class CoefficientAllocator {
+ public:
+  virtual ~CoefficientAllocator() = default;
+  virtual const char* name() const = 0;
+  /// Block of a coefficient index.
+  virtual size_t BlockOf(size_t flat_index) const = 0;
+  /// Total number of blocks used.
+  virtual size_t num_blocks() const = 0;
+  /// Items per block.
+  virtual size_t block_size() const = 0;
+};
+
+/// \brief Sequential fill in pyramid (level) order — the natural layout a
+/// naive system would write, used as a baseline.
+class SequentialAllocator : public CoefficientAllocator {
+ public:
+  SequentialAllocator(size_t n, size_t block_size);
+  const char* name() const override { return "sequential"; }
+  size_t BlockOf(size_t flat_index) const override;
+  size_t num_blocks() const override;
+  size_t block_size() const override { return block_size_; }
+
+ private:
+  size_t n_;
+  size_t block_size_;
+};
+
+/// \brief Coefficients ordered by the *time position* of their support
+/// (interleaving levels) — mimics storing coefficients next to the data
+/// they describe.
+class TimeOrderAllocator : public CoefficientAllocator {
+ public:
+  TimeOrderAllocator(size_t n, size_t block_size);
+  const char* name() const override { return "time-order"; }
+  size_t BlockOf(size_t flat_index) const override;
+  size_t num_blocks() const override;
+  size_t block_size() const override { return block_size_; }
+
+ private:
+  size_t n_;
+  size_t block_size_;
+  std::vector<size_t> block_of_;
+};
+
+/// \brief Uniform random placement — the pessimal baseline.
+class RandomAllocator : public CoefficientAllocator {
+ public:
+  RandomAllocator(size_t n, size_t block_size, uint64_t seed);
+  const char* name() const override { return "random"; }
+  size_t BlockOf(size_t flat_index) const override;
+  size_t num_blocks() const override;
+  size_t block_size() const override { return block_size_; }
+
+ private:
+  size_t n_;
+  size_t block_size_;
+  std::vector<size_t> block_of_;
+};
+
+/// \brief The paper's optimal strategy: tile the Haar error tree into
+/// complete subtrees of height h = floor(lg(B+1)), so a root-path of length
+/// 1 + lg n crosses only ~(1 + lg n)/h blocks and every touched block
+/// contributes ~h needed items.
+class SubtreeTilingAllocator : public CoefficientAllocator {
+ public:
+  SubtreeTilingAllocator(size_t n, size_t block_size);
+  const char* name() const override { return "subtree-tiling"; }
+  size_t BlockOf(size_t flat_index) const override;
+  size_t num_blocks() const override;
+  size_t block_size() const override { return block_size_; }
+  size_t tile_height() const { return tile_height_; }
+
+ private:
+  size_t n_;
+  size_t block_size_;
+  size_t tile_height_;
+  std::vector<size_t> block_of_;
+  size_t num_blocks_ = 0;
+};
+
+/// \brief Access-pattern measurement for one allocator.
+struct AccessReport {
+  std::string allocator;
+  size_t block_size = 0;
+  double mean_blocks_per_query = 0.0;
+  /// Mean needed items on each *retrieved* block (the 1 + lg B metric).
+  double mean_items_per_block = 0.0;
+  double utilization = 0.0;  ///< items per block / block size.
+};
+
+/// \brief Replays the given needed-coefficient sets (one per query) against
+/// an allocator and reports block I/O statistics.
+AccessReport MeasureAccess(const CoefficientAllocator& allocator,
+                           const std::vector<std::vector<size_t>>& query_sets);
+
+/// \brief Tensor-product allocation for multidimensional wavelet data: each
+/// dimension is decomposed into 1-D virtual blocks and actual blocks are
+/// Cartesian products of virtual blocks (Sec. 3.2.1).
+class TensorAllocator {
+ public:
+  /// \param dims per-dimension domain sizes (powers of two).
+  /// \param virtual_block_sizes per-dimension virtual block item counts;
+  /// the actual block size is their product.
+  TensorAllocator(std::vector<size_t> dims,
+                  std::vector<size_t> virtual_block_sizes);
+
+  /// Block of a multidimensional coefficient index.
+  size_t BlockOf(const std::vector<size_t>& index) const;
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const;
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<std::unique_ptr<SubtreeTilingAllocator>> per_dim_;
+  std::vector<size_t> per_dim_blocks_;
+  size_t block_size_;
+};
+
+}  // namespace aims::storage

@@ -1,0 +1,59 @@
+#include "storage/block_device.h"
+
+#include "common/macros.h"
+
+namespace aims::storage {
+
+BlockDevice::BlockDevice(size_t block_size_bytes, DiskCostModel cost_model)
+    : block_size_bytes_(block_size_bytes), cost_model_(cost_model) {
+  AIMS_CHECK(block_size_bytes > 0);
+}
+
+BlockId BlockDevice::Allocate() {
+  blocks_.emplace_back();
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("BlockDevice::Write: no such block");
+  }
+  if (payload.size() > block_size_bytes_) {
+    return Status::InvalidArgument("BlockDevice::Write: payload exceeds block");
+  }
+  if (fail_writes_ > 0) {
+    --fail_writes_;
+    ++writes_;
+    return Status::IoError("BlockDevice::Write: injected fault");
+  }
+  blocks_[id] = payload;
+  ++writes_;
+  simulated_ms_ += cost_model_.seek_ms +
+                   cost_model_.transfer_ms_per_kb *
+                       static_cast<double>(block_size_bytes_) / 1024.0;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("BlockDevice::Read: no such block");
+  }
+  if (fail_reads_ > 0) {
+    --fail_reads_;
+    ++reads_;
+    return Status::IoError("BlockDevice::Read: injected fault");
+  }
+  ++reads_;
+  simulated_ms_ += cost_model_.seek_ms +
+                   cost_model_.transfer_ms_per_kb *
+                       static_cast<double>(block_size_bytes_) / 1024.0;
+  return blocks_[id];
+}
+
+void BlockDevice::ResetCounters() {
+  reads_ = 0;
+  writes_ = 0;
+  simulated_ms_ = 0.0;
+}
+
+}  // namespace aims::storage

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file block_device.h
+/// \brief Simulated block storage with I/O accounting. The storage
+/// experiments (Sec. 3.2.1) are about *which coefficients co-reside on a
+/// block* and *how many blocks a query touches* — an in-memory device that
+/// counts block reads measures exactly that, and an optional seek-cost
+/// model turns counts into simulated latency.
+
+namespace aims::storage {
+
+/// \brief Identifier of one disk block.
+using BlockId = uint32_t;
+
+/// \brief Cost model: seek+rotational delay per random block access plus a
+/// per-byte transfer term (defaults approximate a 2003-era disk).
+struct DiskCostModel {
+  double seek_ms = 8.0;
+  double transfer_ms_per_kb = 0.02;
+};
+
+/// \brief Fixed-block in-memory device with read/write counters.
+class BlockDevice {
+ public:
+  /// \param block_size_bytes capacity of each block.
+  explicit BlockDevice(size_t block_size_bytes,
+                       DiskCostModel cost_model = DiskCostModel{});
+
+  size_t block_size_bytes() const { return block_size_bytes_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Allocates a fresh block; returns its id.
+  BlockId Allocate();
+
+  /// Overwrites a block's payload (must fit the block size).
+  Status Write(BlockId id, const std::vector<uint8_t>& payload);
+
+  /// Reads a block, bumping the read counter.
+  Result<std::vector<uint8_t>> Read(BlockId id);
+
+  /// I/O counters since the last ResetCounters.
+  size_t reads() const { return reads_; }
+  size_t writes() const { return writes_; }
+  /// Simulated elapsed I/O time under the cost model.
+  double simulated_ms() const { return simulated_ms_; }
+
+  void ResetCounters();
+
+  /// \brief Fault injection: the next \p count Read calls fail with
+  /// IoError (after bumping the read counter, like a real failed seek).
+  /// Used by the failure-path tests to verify that every layer above the
+  /// device propagates storage errors instead of crashing or mis-answering.
+  void FailNextReads(size_t count) { fail_reads_ = count; }
+  /// Fault injection for writes, analogous to FailNextReads.
+  void FailNextWrites(size_t count) { fail_writes_ = count; }
+
+ private:
+  size_t block_size_bytes_;
+  DiskCostModel cost_model_;
+  std::vector<std::vector<uint8_t>> blocks_;
+  size_t reads_ = 0;
+  size_t writes_ = 0;
+  size_t fail_reads_ = 0;
+  size_t fail_writes_ = 0;
+  double simulated_ms_ = 0.0;
+};
+
+}  // namespace aims::storage

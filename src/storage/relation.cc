@@ -1,0 +1,365 @@
+#include "storage/relation.h"
+
+#include <cstring>
+#include <set>
+
+#include "common/macros.h"
+
+namespace aims::storage {
+
+const char* RepresentationName(RepresentationKind kind) {
+  switch (kind) {
+    case RepresentationKind::kTuplePerSample:
+      return "tuple-per-sample";
+    case RepresentationKind::kTuplePerFrame:
+      return "tuple-per-frame";
+    case RepresentationKind::kChunkPerSensor:
+      return "chunk-per-sensor";
+    case RepresentationKind::kBlobPerChannel:
+      return "blob-per-channel";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* page, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    page->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& page, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(page[offset + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+void PutF64(std::vector<uint8_t>* page, double v) {
+  uint8_t buf[8];
+  std::memcpy(buf, &v, 8);
+  page->insert(page->end(), buf, buf + 8);
+}
+
+double GetF64(const std::vector<uint8_t>& page, size_t offset) {
+  double v = 0.0;
+  std::memcpy(&v, page.data() + offset, 8);
+  return v;
+}
+
+/// Packs fixed-size records into device pages sequentially.
+class PagedFile {
+ public:
+  explicit PagedFile(BlockDevice* device) : device_(device) {}
+
+  /// Appends one encoded record (must fit a page).
+  Status Append(const std::vector<uint8_t>& record) {
+    AIMS_CHECK(record.size() <= device_->block_size_bytes());
+    if (current_.size() + record.size() > device_->block_size_bytes()) {
+      AIMS_RETURN_NOT_OK(FlushPage());
+    }
+    if (record_size_ == 0) record_size_ = record.size();
+    AIMS_CHECK(record.size() == record_size_);
+    current_.insert(current_.end(), record.begin(), record.end());
+    ++num_records_;
+    return Status::OK();
+  }
+
+  Status FlushPage() {
+    if (current_.empty()) return Status::OK();
+    BlockId id = device_->Allocate();
+    AIMS_RETURN_NOT_OK(device_->Write(id, current_));
+    pages_.push_back(id);
+    current_.clear();
+    return Status::OK();
+  }
+
+  size_t records_per_page() const {
+    return record_size_ ? device_->block_size_bytes() / record_size_ : 0;
+  }
+  size_t record_size() const { return record_size_; }
+  size_t num_records() const { return num_records_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Reads the page holding record \p index; sets \p offset to the record's
+  /// byte offset within the page.
+  Result<std::vector<uint8_t>> PageOfRecord(size_t index,
+                                            size_t* offset) const {
+    size_t rpp = records_per_page();
+    AIMS_CHECK(rpp > 0 && index < num_records_);
+    size_t page = index / rpp;
+    *offset = (index % rpp) * record_size_;
+    return device_->Read(pages_[page]);
+  }
+
+  /// Page index of a record, for planning multi-record reads.
+  size_t PageIndexOf(size_t record) const {
+    return record / records_per_page();
+  }
+  Result<std::vector<uint8_t>> ReadPage(size_t page) const {
+    AIMS_CHECK(page < pages_.size());
+    return device_->Read(pages_[page]);
+  }
+
+ private:
+  BlockDevice* device_;
+  std::vector<BlockId> pages_;
+  std::vector<uint8_t> current_;
+  size_t record_size_ = 0;
+  size_t num_records_ = 0;
+};
+
+Status CheckLoaded(size_t num_frames, size_t frame, size_t channels,
+                   size_t channel) {
+  if (num_frames == 0) {
+    return Status::FailedPrecondition("SensorRelation: not loaded");
+  }
+  if (frame >= num_frames) {
+    return Status::OutOfRange("SensorRelation: frame out of range");
+  }
+  if (channel >= channels) {
+    return Status::OutOfRange("SensorRelation: channel out of range");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+class TuplePerSampleRelation : public SensorRelation {
+ public:
+  explicit TuplePerSampleRelation(BlockDevice* device) : file_(device) {}
+  RepresentationKind kind() const override {
+    return RepresentationKind::kTuplePerSample;
+  }
+
+  Status Load(const streams::Recording& recording) override {
+    num_frames_ = recording.num_frames();
+    num_channels_ = recording.num_channels();
+    for (size_t f = 0; f < num_frames_; ++f) {
+      for (size_t c = 0; c < num_channels_; ++c) {
+        std::vector<uint8_t> record;
+        PutU32(&record, static_cast<uint32_t>(f));
+        PutU32(&record, static_cast<uint32_t>(c));
+        PutF64(&record, recording.frames[f].values[c]);
+        AIMS_RETURN_NOT_OK(file_.Append(record));
+      }
+    }
+    return file_.FlushPage();
+  }
+
+  Result<std::vector<double>> FrameLookup(size_t frame) override {
+    AIMS_RETURN_NOT_OK(CheckLoaded(num_frames_, frame, num_channels_, 0));
+    std::vector<double> out(num_channels_);
+    // The frame's tuples are contiguous; read the page span once.
+    size_t first = frame * num_channels_;
+    size_t last = first + num_channels_ - 1;
+    for (size_t page = file_.PageIndexOf(first);
+         page <= file_.PageIndexOf(last); ++page) {
+      AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, file_.ReadPage(page));
+      DecodeInto(data, page, first, last, &out);
+    }
+    return out;
+  }
+
+  Result<std::vector<double>> ChannelScan(size_t channel, size_t first_frame,
+                                          size_t last_frame) override {
+    AIMS_RETURN_NOT_OK(
+        CheckLoaded(num_frames_, last_frame, num_channels_, channel));
+    std::vector<double> out;
+    out.reserve(last_frame - first_frame + 1);
+    // One tuple per frame, strided across pages: touch each page once.
+    size_t previous_page = SIZE_MAX;
+    std::vector<uint8_t> data;
+    for (size_t f = first_frame; f <= last_frame; ++f) {
+      size_t record = f * num_channels_ + channel;
+      size_t page = file_.PageIndexOf(record);
+      if (page != previous_page) {
+        AIMS_ASSIGN_OR_RETURN(data, file_.ReadPage(page));
+        previous_page = page;
+      }
+      size_t offset =
+          (record % file_.records_per_page()) * file_.record_size();
+      out.push_back(GetF64(data, offset + 8));
+    }
+    return out;
+  }
+
+ private:
+  void DecodeInto(const std::vector<uint8_t>& data, size_t page, size_t first,
+                  size_t last, std::vector<double>* out) const {
+    size_t rpp = file_.records_per_page();
+    size_t page_first = page * rpp;
+    for (size_t slot = 0; slot < rpp; ++slot) {
+      size_t record = page_first + slot;
+      if (record < first || record > last) continue;
+      size_t offset = slot * file_.record_size();
+      uint32_t channel = GetU32(data, offset + 4);
+      (*out)[channel] = GetF64(data, offset + 8);
+    }
+  }
+
+  PagedFile file_;
+};
+
+// ---------------------------------------------------------------------------
+
+class TuplePerFrameRelation : public SensorRelation {
+ public:
+  explicit TuplePerFrameRelation(BlockDevice* device) : file_(device) {}
+  RepresentationKind kind() const override {
+    return RepresentationKind::kTuplePerFrame;
+  }
+
+  Status Load(const streams::Recording& recording) override {
+    num_frames_ = recording.num_frames();
+    num_channels_ = recording.num_channels();
+    for (size_t f = 0; f < num_frames_; ++f) {
+      std::vector<uint8_t> record;
+      PutU32(&record, static_cast<uint32_t>(f));
+      for (size_t c = 0; c < num_channels_; ++c) {
+        PutF64(&record, recording.frames[f].values[c]);
+      }
+      AIMS_RETURN_NOT_OK(file_.Append(record));
+    }
+    return file_.FlushPage();
+  }
+
+  Result<std::vector<double>> FrameLookup(size_t frame) override {
+    AIMS_RETURN_NOT_OK(CheckLoaded(num_frames_, frame, num_channels_, 0));
+    size_t offset = 0;
+    AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                          file_.PageOfRecord(frame, &offset));
+    std::vector<double> out(num_channels_);
+    for (size_t c = 0; c < num_channels_; ++c) {
+      out[c] = GetF64(data, offset + 4 + 8 * c);
+    }
+    return out;
+  }
+
+  Result<std::vector<double>> ChannelScan(size_t channel, size_t first_frame,
+                                          size_t last_frame) override {
+    AIMS_RETURN_NOT_OK(
+        CheckLoaded(num_frames_, last_frame, num_channels_, channel));
+    std::vector<double> out;
+    out.reserve(last_frame - first_frame + 1);
+    size_t previous_page = SIZE_MAX;
+    std::vector<uint8_t> data;
+    for (size_t f = first_frame; f <= last_frame; ++f) {
+      size_t page = file_.PageIndexOf(f);
+      if (page != previous_page) {
+        AIMS_ASSIGN_OR_RETURN(data, file_.ReadPage(page));
+        previous_page = page;
+      }
+      size_t offset = (f % file_.records_per_page()) * file_.record_size();
+      out.push_back(GetF64(data, offset + 4 + 8 * channel));
+    }
+    return out;
+  }
+
+ private:
+  PagedFile file_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Chunked channel-major layouts. ChunkPerSensor stores a small frame
+/// header per chunk (supporting irregular streams); BlobPerChannel packs
+/// raw doubles back to back (the Teradata BYTE-column layout).
+class ChannelMajorRelation : public SensorRelation {
+ public:
+  ChannelMajorRelation(BlockDevice* device, bool with_header)
+      : device_(device), with_header_(with_header) {}
+  RepresentationKind kind() const override {
+    return with_header_ ? RepresentationKind::kChunkPerSensor
+                        : RepresentationKind::kBlobPerChannel;
+  }
+
+  Status Load(const streams::Recording& recording) override {
+    num_frames_ = recording.num_frames();
+    num_channels_ = recording.num_channels();
+    size_t header = with_header_ ? 8 : 0;
+    chunk_samples_ = (device_->block_size_bytes() - header) / 8;
+    AIMS_CHECK(chunk_samples_ > 0);
+    pages_.assign(num_channels_, {});
+    for (size_t c = 0; c < num_channels_; ++c) {
+      for (size_t start = 0; start < num_frames_; start += chunk_samples_) {
+        size_t end = std::min(num_frames_, start + chunk_samples_);
+        std::vector<uint8_t> page;
+        if (with_header_) {
+          PutU32(&page, static_cast<uint32_t>(start));
+          PutU32(&page, static_cast<uint32_t>(end - start));
+        }
+        for (size_t f = start; f < end; ++f) {
+          PutF64(&page, recording.frames[f].values[c]);
+        }
+        BlockId id = device_->Allocate();
+        AIMS_RETURN_NOT_OK(device_->Write(id, page));
+        pages_[c].push_back(id);
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<double>> FrameLookup(size_t frame) override {
+    AIMS_RETURN_NOT_OK(CheckLoaded(num_frames_, frame, num_channels_, 0));
+    std::vector<double> out(num_channels_);
+    size_t header = with_header_ ? 8 : 0;
+    for (size_t c = 0; c < num_channels_; ++c) {
+      size_t chunk = frame / chunk_samples_;
+      AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                            device_->Read(pages_[c][chunk]));
+      out[c] = GetF64(data, header + 8 * (frame % chunk_samples_));
+    }
+    return out;
+  }
+
+  Result<std::vector<double>> ChannelScan(size_t channel, size_t first_frame,
+                                          size_t last_frame) override {
+    AIMS_RETURN_NOT_OK(
+        CheckLoaded(num_frames_, last_frame, num_channels_, channel));
+    std::vector<double> out;
+    out.reserve(last_frame - first_frame + 1);
+    size_t header = with_header_ ? 8 : 0;
+    size_t previous_chunk = SIZE_MAX;
+    std::vector<uint8_t> data;
+    for (size_t f = first_frame; f <= last_frame; ++f) {
+      size_t chunk = f / chunk_samples_;
+      if (chunk != previous_chunk) {
+        AIMS_ASSIGN_OR_RETURN(data, device_->Read(pages_[channel][chunk]));
+        previous_chunk = chunk;
+      }
+      out.push_back(GetF64(data, header + 8 * (f % chunk_samples_)));
+    }
+    return out;
+  }
+
+ private:
+  BlockDevice* device_;
+  bool with_header_;
+  size_t chunk_samples_ = 0;
+  std::vector<std::vector<BlockId>> pages_;  // per channel
+};
+
+}  // namespace
+
+std::unique_ptr<SensorRelation> MakeRelation(RepresentationKind kind,
+                                             BlockDevice* device) {
+  switch (kind) {
+    case RepresentationKind::kTuplePerSample:
+      return std::make_unique<TuplePerSampleRelation>(device);
+    case RepresentationKind::kTuplePerFrame:
+      return std::make_unique<TuplePerFrameRelation>(device);
+    case RepresentationKind::kChunkPerSensor:
+      return std::make_unique<ChannelMajorRelation>(device,
+                                                    /*with_header=*/true);
+    case RepresentationKind::kBlobPerChannel:
+      return std::make_unique<ChannelMajorRelation>(device,
+                                                    /*with_header=*/false);
+  }
+  return nullptr;
+}
+
+}  // namespace aims::storage

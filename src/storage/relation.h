@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_device.h"
+#include "streams/sample.h"
+
+/// \file relation.h
+/// \brief The conceptual-level storage study of Sec. 3.2: before moving to
+/// the physical (wavelet-block) level, AIMS' precursor [Eisenstein et al.,
+/// CIKM'01] compared "four different techniques to store immersive sensor
+/// data streams in an object-relational database" and found that "it is
+/// more appropriate to store all the samples from different sensors for a
+/// given time frame in one storage unit". These four representations are
+/// reproduced here over the counting BlockDevice, so the query-time page
+/// I/O of each can be measured (experiment E17).
+///
+/// Representations:
+///  - tuple-per-sample: one (frame, sensor, value) tuple per reading, in
+///    frame-major order — the naive normalized schema.
+///  - tuple-per-frame: one tuple per tick holding all sensors' values —
+///    the winner of the paper's study.
+///  - chunk-per-sensor: per-sensor chunks of consecutive samples — the
+///    time-series-friendly layout.
+///  - blob-per-channel: one BLOB per sensor holding the whole series —
+///    the degenerate chunk layout the AIMS prototype used inside Teradata.
+
+namespace aims::storage {
+
+/// \brief Which representation a relation uses.
+enum class RepresentationKind {
+  kTuplePerSample,
+  kTuplePerFrame,
+  kChunkPerSensor,
+  kBlobPerChannel,
+};
+
+const char* RepresentationName(RepresentationKind kind);
+
+/// \brief A loaded immersidata relation, queryable with page-level I/O
+/// accounting (via the BlockDevice's read counter).
+class SensorRelation {
+ public:
+  virtual ~SensorRelation() = default;
+  virtual RepresentationKind kind() const = 0;
+  const char* name() const { return RepresentationName(kind()); }
+
+  /// Loads a recording, writing pages to the device.
+  virtual Status Load(const streams::Recording& recording) = 0;
+
+  /// All sensors' values at one frame (the playback / "what happened at
+  /// time t" query).
+  virtual Result<std::vector<double>> FrameLookup(size_t frame) = 0;
+
+  /// One sensor's values over [first_frame, last_frame] (the per-sensor
+  /// analysis query).
+  virtual Result<std::vector<double>> ChannelScan(size_t channel,
+                                                  size_t first_frame,
+                                                  size_t last_frame) = 0;
+
+  size_t num_frames() const { return num_frames_; }
+  size_t num_channels() const { return num_channels_; }
+
+ protected:
+  size_t num_frames_ = 0;
+  size_t num_channels_ = 0;
+};
+
+/// \brief Creates a relation of the given kind over \p device (not owned).
+std::unique_ptr<SensorRelation> MakeRelation(RepresentationKind kind,
+                                             BlockDevice* device);
+
+}  // namespace aims::storage

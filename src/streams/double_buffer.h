@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+/// \file double_buffer.h
+/// \brief The paper's acquisition design (Sec. 3.1): "a simple
+/// multi-threaded double buffering approach. One thread was associated with
+/// answering the handler call and copying sensor data into a region of
+/// system memory. A second thread worked asynchronously to process and
+/// store that data to disk." This class is that region of system memory:
+/// the producer appends into the front buffer while the consumer drains the
+/// swapped-out back buffer.
+
+namespace aims::streams {
+
+/// \brief Two-buffer handoff between one producer and one consumer thread.
+template <typename T>
+class DoubleBuffer {
+ public:
+  /// \param capacity per-buffer item limit; Produce drops items (and counts
+  /// them) when the front buffer is full and the consumer is behind.
+  explicit DoubleBuffer(size_t capacity) : capacity_(capacity) {
+    front_.reserve(capacity);
+    back_.reserve(capacity);
+  }
+
+  /// Producer side: appends an item. Returns false (and counts a drop) when
+  /// the front buffer is at capacity — the sensor interrupt can never block.
+  bool Produce(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (front_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    front_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: swaps out everything buffered so far. Blocks until data
+  /// arrives or Close() is called; returns false once closed and drained.
+  bool Consume(std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !front_.empty() || closed_; });
+    if (front_.empty()) return false;
+    back_.clear();
+    back_.swap(front_);
+    lock.unlock();
+    out->swap(back_);
+    return true;
+  }
+
+  /// Non-blocking variant; returns false when nothing was buffered.
+  bool TryConsume(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (front_.empty()) return false;
+    back_.clear();
+    back_.swap(front_);
+    out->swap(back_);
+    return true;
+  }
+
+  /// Producer signals end-of-stream.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> front_;
+  std::vector<T> back_;
+  bool closed_ = false;
+  size_t dropped_ = 0;
+};
+
+}  // namespace aims::streams

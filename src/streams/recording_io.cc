@@ -1,0 +1,159 @@
+#include "streams/recording_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace aims::streams {
+
+namespace {
+constexpr char kMagic[4] = {'A', 'I', 'M', 'R'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteCsv(const Recording& recording, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("WriteCsv: cannot open " + path);
+  }
+  out << "timestamp";
+  for (size_t c = 0; c < recording.num_channels(); ++c) {
+    out << ",ch" << c;
+  }
+  out << "\n";
+  char buf[64];
+  for (const Frame& frame : recording.frames) {
+    std::snprintf(buf, sizeof(buf), "%.17g", frame.timestamp);
+    out << buf;
+    for (double v : frame.values) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out << ',' << buf;
+    }
+    out << "\n";
+  }
+  if (!out) {
+    return Status::IoError("WriteCsv: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<Recording> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("ReadCsv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("ReadCsv: empty file " + path);
+  }
+  // Count channels from the header.
+  size_t channels = 0;
+  for (char c : line) {
+    if (c == ',') ++channels;
+  }
+  if (channels == 0) {
+    return Status::InvalidArgument("ReadCsv: header has no channels");
+  }
+  Recording recording;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    Frame frame;
+    if (!std::getline(row, cell, ',')) {
+      return Status::InvalidArgument("ReadCsv: malformed row");
+    }
+    frame.timestamp = std::strtod(cell.c_str(), nullptr);
+    while (std::getline(row, cell, ',')) {
+      frame.values.push_back(std::strtod(cell.c_str(), nullptr));
+    }
+    if (frame.values.size() != channels) {
+      return Status::InvalidArgument("ReadCsv: ragged row");
+    }
+    recording.Append(std::move(frame));
+  }
+  if (recording.num_frames() >= 2) {
+    double span = recording.frames.back().timestamp -
+                  recording.frames.front().timestamp;
+    if (span > 0.0) {
+      recording.sample_rate_hz =
+          static_cast<double>(recording.num_frames() - 1) / span;
+    }
+  }
+  return recording;
+}
+
+Status WriteBinary(const Recording& recording, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("WriteBinary: cannot open " + path);
+  }
+  out.write(kMagic, 4);
+  uint32_t version = kVersion;
+  uint64_t frames = recording.num_frames();
+  uint64_t channels = recording.num_channels();
+  double rate = recording.sample_rate_hz;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&frames), sizeof(frames));
+  out.write(reinterpret_cast<const char*>(&channels), sizeof(channels));
+  out.write(reinterpret_cast<const char*>(&rate), sizeof(rate));
+  for (const Frame& frame : recording.frames) {
+    out.write(reinterpret_cast<const char*>(&frame.timestamp),
+              sizeof(double));
+    out.write(reinterpret_cast<const char*>(frame.values.data()),
+              static_cast<std::streamsize>(sizeof(double) *
+                                           frame.values.size()));
+  }
+  if (!out) {
+    return Status::IoError("WriteBinary: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<Recording> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("ReadBinary: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("ReadBinary: bad magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t frames = 0, channels = 0;
+  double rate = 0.0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&frames), sizeof(frames));
+  in.read(reinterpret_cast<char*>(&channels), sizeof(channels));
+  in.read(reinterpret_cast<char*>(&rate), sizeof(rate));
+  if (!in) {
+    return Status::InvalidArgument("ReadBinary: truncated header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("ReadBinary: unsupported version");
+  }
+  if (channels == 0 || channels > 1u << 20 || frames > 1u << 30) {
+    return Status::InvalidArgument("ReadBinary: implausible dimensions");
+  }
+  Recording recording;
+  recording.sample_rate_hz = rate;
+  for (uint64_t f = 0; f < frames; ++f) {
+    Frame frame;
+    frame.values.resize(channels);
+    in.read(reinterpret_cast<char*>(&frame.timestamp), sizeof(double));
+    in.read(reinterpret_cast<char*>(frame.values.data()),
+            static_cast<std::streamsize>(sizeof(double) * channels));
+    if (!in) {
+      return Status::InvalidArgument("ReadBinary: truncated frame data");
+    }
+    recording.Append(std::move(frame));
+  }
+  return recording;
+}
+
+}  // namespace aims::streams

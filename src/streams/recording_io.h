@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "streams/sample.h"
+
+/// \file recording_io.h
+/// \brief Serialization of immersidata recordings. The paper's workflow is
+/// explicitly record-then-analyze ("recording and storing immersidata for
+/// future query and analysis"), so recordings need a durable interchange
+/// format: a self-describing binary container for fidelity and CSV for
+/// interoperability with analysis tools.
+
+namespace aims::streams {
+
+/// \brief Writes a recording as CSV: header `timestamp,ch0,ch1,...`, one
+/// row per frame, full double precision.
+Status WriteCsv(const Recording& recording, const std::string& path);
+
+/// \brief Parses a CSV written by WriteCsv (or hand-made with the same
+/// shape). \p sample_rate_hz is taken from the timestamps when positive
+/// rows exist, else left 0.
+Result<Recording> ReadCsv(const std::string& path);
+
+/// \brief Writes the binary container: magic "AIMR", version, frame and
+/// channel counts, sample rate, then row-major little-endian doubles.
+Status WriteBinary(const Recording& recording, const std::string& path);
+
+/// \brief Reads the binary container; validates magic, version, and size.
+Result<Recording> ReadBinary(const std::string& path);
+
+}  // namespace aims::streams

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file ring_buffer.h
+/// \brief Fixed-capacity circular buffer: the continuous-data-stream
+/// constraint that "the data can be looked at only once" means online
+/// operators hold at most a bounded window of recent samples.
+
+namespace aims::streams {
+
+/// \brief Overwriting circular buffer of the most recent `capacity` items.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : buffer_(capacity) {
+    AIMS_CHECK(capacity > 0);
+  }
+
+  /// Appends an item, evicting the oldest when full.
+  void Push(T item) {
+    buffer_[head_] = std::move(item);
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) ++size_;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buffer_.size(); }
+  bool full() const { return size_ == buffer_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Item \p i where 0 is the oldest retained item.
+  const T& At(size_t i) const {
+    AIMS_CHECK(i < size_);
+    size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    return buffer_[(start + i) % buffer_.size()];
+  }
+
+  /// Most recent item.
+  const T& Back() const {
+    AIMS_CHECK(size_ > 0);
+    return At(size_ - 1);
+  }
+
+  /// Copies the retained window, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+    return out;
+  }
+
+  void Clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace aims::streams

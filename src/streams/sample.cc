@@ -1,0 +1,24 @@
+#include "streams/sample.h"
+
+#include "common/macros.h"
+
+namespace aims::streams {
+
+std::vector<double> Recording::Channel(size_t channel) const {
+  std::vector<double> out;
+  out.reserve(frames.size());
+  for (const Frame& f : frames) {
+    AIMS_CHECK(channel < f.values.size());
+    out.push_back(f.values[channel]);
+  }
+  return out;
+}
+
+void Recording::Append(Frame frame) {
+  if (!frames.empty()) {
+    AIMS_CHECK(frame.values.size() == frames.front().values.size());
+  }
+  frames.push_back(std::move(frame));
+}
+
+}  // namespace aims::streams

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file sample.h
+/// \brief Core immersidata sample types. A sensor emits timestamped scalar
+/// readings; a frame is the synchronized vector of all sensors at one tick
+/// (the paper: "data from all sensors together form a meaningful point in
+/// the hand (or body) motion trajectory").
+
+namespace aims::streams {
+
+/// \brief Identifier of one physical sensor channel.
+using SensorId = uint32_t;
+
+/// \brief One scalar reading from one sensor.
+struct Sample {
+  SensorId sensor_id = 0;
+  double timestamp = 0.0;  ///< Seconds since session start.
+  double value = 0.0;
+};
+
+/// \brief The synchronized readings of every sensor at one sampling tick.
+struct Frame {
+  double timestamp = 0.0;
+  std::vector<double> values;  ///< Indexed by channel position.
+};
+
+/// \brief A fully materialized multi-channel recording (frames over time).
+struct Recording {
+  double sample_rate_hz = 0.0;
+  std::vector<Frame> frames;
+
+  size_t num_frames() const { return frames.size(); }
+  size_t num_channels() const {
+    return frames.empty() ? 0 : frames.front().values.size();
+  }
+
+  /// Extracts one channel as a contiguous series.
+  std::vector<double> Channel(size_t channel) const;
+
+  /// Appends a frame; all frames must have the same channel count.
+  void Append(Frame frame);
+};
+
+}  // namespace aims::streams

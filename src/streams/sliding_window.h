@@ -1,0 +1,53 @@
+#pragma once
+
+#include "linalg/matrix.h"
+#include "streams/ring_buffer.h"
+#include "streams/sample.h"
+
+/// \file sliding_window.h
+/// \brief Bounded window of recent frames exposed as a matrix (rows = time,
+/// cols = sensors) — the aggregate representation the weighted-SVD
+/// similarity measure operates on.
+
+namespace aims::streams {
+
+/// \brief Keeps the most recent `capacity` frames of a multi-sensor stream.
+class SlidingWindow {
+ public:
+  SlidingWindow(size_t capacity, size_t num_channels)
+      : frames_(capacity), num_channels_(num_channels) {}
+
+  /// Appends a frame (its channel count must match).
+  void Push(const Frame& frame) {
+    AIMS_CHECK(frame.values.size() == num_channels_);
+    frames_.Push(frame);
+  }
+
+  size_t size() const { return frames_.size(); }
+  bool full() const { return frames_.full(); }
+  size_t num_channels() const { return num_channels_; }
+
+  /// Timestamp of the newest retained frame (0 when empty).
+  double latest_timestamp() const {
+    return frames_.empty() ? 0.0 : frames_.Back().timestamp;
+  }
+
+  /// The retained window as a (size x num_channels) matrix, oldest row
+  /// first.
+  linalg::Matrix AsMatrix() const {
+    linalg::Matrix m(frames_.size(), num_channels_);
+    for (size_t r = 0; r < frames_.size(); ++r) {
+      const Frame& f = frames_.At(r);
+      for (size_t c = 0; c < num_channels_; ++c) m.At(r, c) = f.values[c];
+    }
+    return m;
+  }
+
+  void Clear() { frames_.Clear(); }
+
+ private:
+  RingBuffer<Frame> frames_;
+  size_t num_channels_;
+};
+
+}  // namespace aims::streams

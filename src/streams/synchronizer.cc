@@ -1,0 +1,84 @@
+#include "streams/synchronizer.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::streams {
+
+StreamSynchronizer::StreamSynchronizer(size_t num_channels,
+                                       double tick_interval,
+                                       size_t max_gap_ticks)
+    : num_channels_(num_channels),
+      tick_interval_(tick_interval),
+      max_gap_ticks_(max_gap_ticks),
+      last_value_(num_channels, 0.0),
+      ever_seen_(num_channels, false) {
+  AIMS_CHECK(num_channels > 0);
+  AIMS_CHECK(tick_interval > 0.0);
+}
+
+Status StreamSynchronizer::Push(const Sample& sample,
+                                std::vector<Frame>* out) {
+  if (sample.sensor_id >= num_channels_) {
+    return Status::InvalidArgument("StreamSynchronizer: sensor id out of range");
+  }
+  int64_t tick = static_cast<int64_t>(std::floor(sample.timestamp / tick_interval_));
+  if (tick < next_tick_) {
+    ++samples_dropped_;  // Too late: its frame already shipped.
+    return Status::OK();
+  }
+  Pending& slot = pending_[tick];
+  if (slot.values.empty()) {
+    slot.values.assign(num_channels_, 0.0);
+    slot.filled.assign(num_channels_, false);
+  }
+  if (!slot.filled[sample.sensor_id]) {
+    slot.filled[sample.sensor_id] = true;
+    ++slot.fill_count;
+  }
+  slot.values[sample.sensor_id] = sample.value;  // Last write wins in a tick.
+  last_value_[sample.sensor_id] = sample.value;
+  ever_seen_[sample.sensor_id] = true;
+
+  // Emit every tick that is complete, or old enough to bridge with
+  // zero-order hold.
+  int64_t newest = pending_.rbegin()->first;
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    bool complete = it->second.fill_count == num_channels_;
+    bool stale = newest - it->first >= static_cast<int64_t>(max_gap_ticks_);
+    if (!complete && !stale) break;
+    EmitUpTo(it->first + 1, out);
+  }
+  return Status::OK();
+}
+
+void StreamSynchronizer::EmitUpTo(int64_t tick_exclusive,
+                                  std::vector<Frame>* out) {
+  while (!pending_.empty() && pending_.begin()->first < tick_exclusive) {
+    auto it = pending_.begin();
+    Frame frame;
+    frame.timestamp = static_cast<double>(it->first) * tick_interval_;
+    frame.values.resize(num_channels_);
+    for (size_t c = 0; c < num_channels_; ++c) {
+      frame.values[c] = it->second.filled[c] ? it->second.values[c]
+                                             : last_value_[c];
+    }
+    // Update the hold values so later gaps see this tick's data.
+    for (size_t c = 0; c < num_channels_; ++c) {
+      if (it->second.filled[c]) last_value_[c] = it->second.values[c];
+    }
+    out->push_back(std::move(frame));
+    ++frames_emitted_;
+    next_tick_ = it->first + 1;
+    pending_.erase(it);
+  }
+}
+
+void StreamSynchronizer::Flush(std::vector<Frame>* out) {
+  if (pending_.empty()) return;
+  EmitUpTo(pending_.rbegin()->first + 1, out);
+}
+
+}  // namespace aims::streams

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "streams/sample.h"
+
+/// \file synchronizer.h
+/// \brief Merges per-sensor sample streams into synchronized frames. The
+/// online recognizer needs the *tight aggregation* the paper describes:
+/// a frame is only meaningful once every sensor has reported for its tick.
+
+namespace aims::streams {
+
+/// \brief Aligns samples from `num_channels` sensors into frames on a fixed
+/// tick grid. A frame is emitted once every channel has a sample within the
+/// tick's half-open window [tick*dt, (tick+1)*dt); missing channels hold
+/// their previous value (zero-order hold) after `max_gap_ticks` grace ticks.
+class StreamSynchronizer {
+ public:
+  /// \param num_channels number of sensors to align.
+  /// \param tick_interval seconds per output frame.
+  /// \param max_gap_ticks how many ticks a silent channel may be bridged by
+  ///   zero-order hold before Flush reports it stale.
+  StreamSynchronizer(size_t num_channels, double tick_interval,
+                     size_t max_gap_ticks = 4);
+
+  /// Ingests one sample; emits zero or more completed frames into \p out.
+  Status Push(const Sample& sample, std::vector<Frame>* out);
+
+  /// Emits any frames that can still be completed with zero-order hold.
+  void Flush(std::vector<Frame>* out);
+
+  size_t frames_emitted() const { return frames_emitted_; }
+  size_t samples_dropped() const { return samples_dropped_; }
+
+ private:
+  void EmitUpTo(int64_t tick_exclusive, std::vector<Frame>* out);
+
+  size_t num_channels_;
+  double tick_interval_;
+  size_t max_gap_ticks_;
+  int64_t next_tick_ = 0;
+  // Per pending tick: accumulated values and fill mask.
+  struct Pending {
+    std::vector<double> values;
+    std::vector<bool> filled;
+    size_t fill_count = 0;
+  };
+  std::map<int64_t, Pending> pending_;
+  std::vector<double> last_value_;
+  std::vector<bool> ever_seen_;
+  size_t frames_emitted_ = 0;
+  size_t samples_dropped_ = 0;
+};
+
+}  // namespace aims::streams

@@ -1,0 +1,411 @@
+#include "synth/cyberglove.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::synth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+const char* kSensorDescriptions[kGloveSensors] = {
+    "thumb roll sensor",      "thumb inner joint",     "thumb outer joint",
+    "thumb-index abduction",  "index inner joint",     "index middle joint",
+    "index outer joint",      "middle inner joint",    "middle middle joint",
+    "middle outer joint",     "index-middle abduction", "ring inner joint",
+    "ring middle joint",      "ring outer joint",      "ring-middle abduction",
+    "pinky inner joint",      "pinky middle joint",    "pinky outer joint",
+    "pinky-ring abduction",   "palm arch",             "wrist flexion",
+    "wrist abduction"};
+
+// Per-finger pose builder. Angles in degrees: 0 = extended, 90 = fully
+// curled. The glove layout indices follow Table 1 (0-based):
+//   thumb: 0 roll, 1 inner, 2 outer, 3 thumb-index abduction
+//   index: 4 inner, 5 middle, 6 outer
+//   middle: 7 inner, 8 middle, 9 outer, 10 index-middle abduction
+//   ring: 11 inner, 12 middle, 13 outer, 14 ring-middle abduction
+//   pinky: 15 inner, 16 middle, 17 outer, 18 pinky-ring abduction
+//   palm/wrist: 19 palm arch, 20 wrist flexion, 21 wrist abduction
+struct PoseBuilder {
+  std::vector<double> pose = std::vector<double>(kGloveSensors, 0.0);
+
+  PoseBuilder& Thumb(double roll, double curl) {
+    pose[0] = roll;
+    pose[1] = curl;
+    pose[2] = curl * 0.8;
+    return *this;
+  }
+  PoseBuilder& ThumbAbduction(double a) {
+    pose[3] = a;
+    return *this;
+  }
+  PoseBuilder& Index(double curl) {
+    pose[4] = curl;
+    pose[5] = curl * 1.1;
+    pose[6] = curl * 0.9;
+    return *this;
+  }
+  PoseBuilder& Middle(double curl) {
+    pose[7] = curl;
+    pose[8] = curl * 1.1;
+    pose[9] = curl * 0.9;
+    return *this;
+  }
+  PoseBuilder& Ring(double curl) {
+    pose[11] = curl;
+    pose[12] = curl * 1.1;
+    pose[13] = curl * 0.9;
+    return *this;
+  }
+  PoseBuilder& Pinky(double curl) {
+    pose[15] = curl;
+    pose[16] = curl * 1.1;
+    pose[17] = curl * 0.9;
+    return *this;
+  }
+  PoseBuilder& Spread(double a) {
+    pose[10] = a;
+    pose[14] = a;
+    pose[18] = a;
+    return *this;
+  }
+  PoseBuilder& Palm(double arch, double flex, double abd) {
+    pose[19] = arch;
+    pose[20] = flex;
+    pose[21] = abd;
+    return *this;
+  }
+};
+
+}  // namespace
+
+const char* GloveSensorDescription(size_t sensor_index) {
+  AIMS_CHECK(sensor_index < kGloveSensors);
+  return kSensorDescriptions[sensor_index];
+}
+
+std::vector<SignSpec> DefaultAslVocabulary() {
+  std::vector<SignSpec> vocab;
+  auto add = [&](const std::string& name, PoseBuilder b, MotionKind motion,
+                 double duration) {
+    vocab.push_back(SignSpec{name, std::move(b.pose), motion, duration});
+  };
+
+  // Static alphabet letters: fist-family, point-family, open-family shapes.
+  add("A", PoseBuilder().Thumb(10, 5).Index(85).Middle(85).Ring(85).Pinky(85),
+      MotionKind::kStatic, 0.7);
+  add("B",
+      PoseBuilder().Thumb(60, 45).Index(2).Middle(2).Ring(2).Pinky(2).Spread(2),
+      MotionKind::kStatic, 0.7);
+  add("C",
+      PoseBuilder().Thumb(25, 30).Index(40).Middle(40).Ring(40).Pinky(40).Palm(
+          20, 0, 0),
+      MotionKind::kStatic, 0.7);
+  add("D",
+      PoseBuilder().Thumb(35, 40).Index(3).Middle(75).Ring(75).Pinky(75),
+      MotionKind::kStatic, 0.7);
+  add("F",
+      PoseBuilder().Thumb(40, 35).Index(55).Middle(5).Ring(5).Pinky(5).Spread(
+          8),
+      MotionKind::kStatic, 0.7);
+  add("G",
+      PoseBuilder().Thumb(15, 15).Index(5).Middle(85).Ring(85).Pinky(85).Palm(
+          0, 0, 15),
+      MotionKind::kStatic, 0.7);
+  add("I", PoseBuilder().Thumb(20, 50).Index(85).Middle(85).Ring(85).Pinky(3),
+      MotionKind::kStatic, 0.7);
+  add("L",
+      PoseBuilder().Thumb(70, 5).Index(3).Middle(85).Ring(85).Pinky(85),
+      MotionKind::kStatic, 0.7);
+  add("O",
+      PoseBuilder().Thumb(30, 35).Index(50).Middle(50).Ring(50).Pinky(50).Palm(
+          25, 0, 0),
+      MotionKind::kStatic, 0.7);
+  add("V",
+      PoseBuilder().Thumb(20, 55).Index(3).Middle(3).Ring(85).Pinky(85).Spread(
+          14),
+      MotionKind::kStatic, 0.7);
+  add("W",
+      PoseBuilder().Thumb(25, 60).Index(3).Middle(3).Ring(3).Pinky(85).Spread(
+          10),
+      MotionKind::kStatic, 0.7);
+  add("Y",
+      PoseBuilder().Thumb(75, 3).Index(85).Middle(85).Ring(85).Pinky(3),
+      MotionKind::kStatic, 0.7);
+
+  // Motion signs. Colors: hand shape of a letter with the wrist twisting
+  // twice (paper: GREEN = G + twist, YELLOW = Y + twist).
+  add("GREEN",
+      PoseBuilder().Thumb(15, 15).Index(5).Middle(85).Ring(85).Pinky(85).Palm(
+          0, 0, 15),
+      MotionKind::kWristTwist, 1.0);
+  add("YELLOW",
+      PoseBuilder().Thumb(75, 3).Index(85).Middle(85).Ring(85).Pinky(3),
+      MotionKind::kWristTwist, 1.0);
+  add("BLUE",
+      PoseBuilder().Thumb(60, 45).Index(2).Middle(2).Ring(2).Pinky(2).Spread(2),
+      MotionKind::kWristTwist, 1.0);
+  add("YES", PoseBuilder().Thumb(10, 5).Index(85).Middle(85).Ring(85).Pinky(85),
+      MotionKind::kShake, 1.1);
+  add("WHERE",
+      PoseBuilder().Thumb(35, 40).Index(3).Middle(75).Ring(75).Pinky(75),
+      MotionKind::kShake, 1.0);
+  add("PLEASE",
+      PoseBuilder().Thumb(60, 45).Index(2).Middle(2).Ring(2).Pinky(2).Spread(2),
+      MotionKind::kCircle, 1.2);
+
+  return vocab;
+}
+
+std::vector<SignSpec> ExtendedAslVocabulary() {
+  std::vector<SignSpec> vocab = DefaultAslVocabulary();
+  auto add = [&](const std::string& name, PoseBuilder b, MotionKind motion,
+                 double duration) {
+    vocab.push_back(SignSpec{name, std::move(b.pose), motion, duration});
+  };
+  // Additional static letters, each with a distinct joint configuration.
+  add("E",
+      PoseBuilder().Thumb(20, 60).Index(65).Middle(65).Ring(65).Pinky(65).Palm(
+          10, 0, 0),
+      MotionKind::kStatic, 0.7);
+  add("H",
+      PoseBuilder().Thumb(30, 55).Index(3).Middle(3).Ring(85).Pinky(85).Palm(
+          0, 0, 20),
+      MotionKind::kStatic, 0.7);
+  add("K",
+      PoseBuilder().Thumb(55, 20).Index(3).Middle(35).Ring(85).Pinky(85).Spread(
+          12),
+      MotionKind::kStatic, 0.7);
+  add("M",
+      PoseBuilder().Thumb(15, 70).Index(70).Middle(70).Ring(70).Pinky(85),
+      MotionKind::kStatic, 0.7);
+  add("N", PoseBuilder().Thumb(18, 65).Index(70).Middle(70).Ring(85).Pinky(85),
+      MotionKind::kStatic, 0.7);
+  add("P",
+      PoseBuilder().Thumb(50, 25).Index(10).Middle(40).Ring(85).Pinky(85).Palm(
+          0, 45, 0),
+      MotionKind::kStatic, 0.7);
+  add("R",
+      PoseBuilder().Thumb(25, 55).Index(5).Middle(8).Ring(85).Pinky(85).Spread(
+          -6),
+      MotionKind::kStatic, 0.7);
+  add("S", PoseBuilder().Thumb(5, 45).Index(88).Middle(88).Ring(88).Pinky(88),
+      MotionKind::kStatic, 0.7);
+  add("T",
+      PoseBuilder().Thumb(28, 30).Index(75).Middle(85).Ring(85).Pinky(85),
+      MotionKind::kStatic, 0.7);
+  add("U",
+      PoseBuilder().Thumb(28, 55).Index(3).Middle(3).Ring(85).Pinky(85).Spread(
+          2),
+      MotionKind::kStatic, 0.7);
+  // Additional motion signs.
+  add("RED",
+      PoseBuilder().Thumb(35, 40).Index(3).Middle(75).Ring(75).Pinky(75),
+      MotionKind::kSwipe, 0.9);
+  add("NO",
+      PoseBuilder().Thumb(55, 20).Index(3).Middle(35).Ring(85).Pinky(85),
+      MotionKind::kShake, 0.9);
+  add("THANKYOU",
+      PoseBuilder().Thumb(60, 45).Index(2).Middle(2).Ring(2).Pinky(2).Spread(2),
+      MotionKind::kSwipe, 1.1);
+  add("HELLO",
+      PoseBuilder().Thumb(60, 45).Index(2).Middle(2).Ring(2).Pinky(2).Spread(4),
+      MotionKind::kCircle, 1.0);
+  return vocab;
+}
+
+CyberGloveSimulator::CyberGloveSimulator(std::vector<SignSpec> vocabulary,
+                                         uint64_t seed, double noise_stddev)
+    : vocabulary_(std::move(vocabulary)),
+      rng_(seed),
+      noise_stddev_(noise_stddev) {
+  for (const SignSpec& sign : vocabulary_) {
+    AIMS_CHECK(sign.pose.size() == kGloveSensors);
+  }
+  // Neutral: relaxed half-open hand.
+  neutral_pose_ =
+      PoseBuilder().Thumb(20, 20).Index(25).Middle(25).Ring(25).Pinky(25).pose;
+}
+
+SubjectProfile CyberGloveSimulator::MakeSubject() {
+  SubjectProfile subject;
+  subject.pose_offset.resize(kGloveSensors);
+  for (double& o : subject.pose_offset) o = rng_.Gaussian(0.0, 4.0);
+  subject.speed_factor = std::clamp(rng_.Gaussian(1.0, 0.25), 0.5, 1.8);
+  subject.tremor = std::clamp(rng_.Gaussian(0.5, 0.2), 0.1, 1.5);
+  subject.amplitude_factor = std::clamp(rng_.Gaussian(1.0, 0.15), 0.6, 1.5);
+  subject.warp = std::clamp(rng_.Gaussian(0.15, 0.07), 0.0, 0.3);
+  return subject;
+}
+
+streams::Frame CyberGloveSimulator::MakeFrame(
+    const std::vector<double>& pose, const std::vector<double>& tracker,
+    const SubjectProfile& subject, double timestamp) {
+  streams::Frame frame;
+  frame.timestamp = timestamp;
+  frame.values.resize(kHandChannels);
+  for (size_t i = 0; i < kGloveSensors; ++i) {
+    frame.values[i] = pose[i] + subject.pose_offset[i] +
+                      rng_.Gaussian(0.0, noise_stddev_) +
+                      rng_.Gaussian(0.0, subject.tremor);
+  }
+  AIMS_CHECK(tracker.size() == kTrackerChannels);
+  for (size_t i = 0; i < kTrackerChannels; ++i) {
+    frame.values[kGloveSensors + i] =
+        tracker[i] + rng_.Gaussian(0.0, noise_stddev_ * 0.2);
+  }
+  return frame;
+}
+
+namespace {
+/// Smoothstep ramp in [0,1].
+double Smoothstep(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+/// Tracker trajectory for a motion kind at warped phase u in [0,1], with a
+/// per-rendition oscillation phase and amplitude scale.
+std::vector<double> TrackerAt(MotionKind kind, double u, double phase,
+                              double amplitude) {
+  std::vector<double> tracker(kTrackerChannels, 0.0);
+  switch (kind) {
+    case MotionKind::kStatic:
+      break;
+    case MotionKind::kWristTwist:
+      // Two full twists over the sign: rotation of the palm plane.
+      tracker[5] = amplitude * 35.0 * std::sin(2.0 * kPi * 2.0 * u + phase);
+      tracker[3] =
+          amplitude * 10.0 * std::sin(2.0 * kPi * 2.0 * u + phase + 0.5);
+      break;
+    case MotionKind::kShake:
+      tracker[1] = amplitude * 4.0 * std::sin(2.0 * kPi * 3.0 * u + phase);
+      tracker[4] = amplitude * 15.0 * std::sin(2.0 * kPi * 3.0 * u + phase);
+      break;
+    case MotionKind::kCircle:
+      tracker[0] = amplitude * 6.0 * std::cos(2.0 * kPi * u + phase);
+      tracker[1] = amplitude * 6.0 * std::sin(2.0 * kPi * u + phase);
+      break;
+    case MotionKind::kSwipe:
+      tracker[0] = amplitude * 14.0 * Smoothstep(u);
+      break;
+  }
+  return tracker;
+}
+
+/// Monotone nonlinear time warp: v(0)=0, v(1)=1, with the interior sped up
+/// or slowed down by `strength` (|strength| < 1/pi keeps it monotone).
+double WarpPhase(double u, double strength) {
+  return u + strength * std::sin(kPi * u) / kPi;
+}
+}  // namespace
+
+void CyberGloveSimulator::AppendSignFrames(size_t sign_index,
+                                           const SubjectProfile& subject,
+                                           std::vector<double>* current_pose,
+                                           streams::Recording* recording) {
+  const SignSpec& sign = vocabulary_[sign_index];
+  double duration = sign.nominal_duration_s * subject.speed_factor *
+                    std::clamp(rng_.Gaussian(1.0, 0.12), 0.7, 1.4);
+  size_t frames = std::max<size_t>(
+      8, static_cast<size_t>(duration * kGloveSampleRateHz));
+  // Per-rendition articulation variation: an oscillation phase, a small
+  // amplitude scale, and a nonlinear time warp — no two renditions of a
+  // sign align frame by frame.
+  double phase = rng_.Uniform(0.0, 2.0 * kPi);
+  double amplitude =
+      subject.amplitude_factor * std::clamp(rng_.Gaussian(1.0, 0.1), 0.7, 1.4);
+  double warp = subject.warp * (rng_.Bernoulli(0.5) ? 1.0 : -1.0) *
+                rng_.Uniform(0.5, 1.0) * kPi;
+  // First 30% of the sign: articulate from the current pose to the target.
+  size_t ramp = std::max<size_t>(2, frames * 3 / 10);
+  std::vector<double> start_pose = *current_pose;
+  double dt = 1.0 / kGloveSampleRateHz;
+  for (size_t f = 0; f < frames; ++f) {
+    double u = static_cast<double>(f) / static_cast<double>(frames);
+    double v = WarpPhase(u, warp / kPi);
+    double blend = Smoothstep(v * static_cast<double>(frames) /
+                              static_cast<double>(ramp));
+    std::vector<double> pose(kGloveSensors);
+    for (size_t i = 0; i < kGloveSensors; ++i) {
+      pose[i] = start_pose[i] * (1.0 - blend) + sign.pose[i] * blend;
+    }
+    std::vector<double> tracker = TrackerAt(sign.motion, v, phase, amplitude);
+    double t = recording->frames.empty()
+                   ? 0.0
+                   : recording->frames.back().timestamp + dt;
+    recording->Append(MakeFrame(pose, tracker, subject, t));
+    *current_pose = pose;
+  }
+}
+
+void CyberGloveSimulator::AppendRestFrames(const SubjectProfile& subject,
+                                           double duration_s,
+                                           std::vector<double>* current_pose,
+                                           streams::Recording* recording) {
+  size_t frames = static_cast<size_t>(duration_s * kGloveSampleRateHz);
+  std::vector<double> start_pose = *current_pose;
+  size_t ramp = std::max<size_t>(2, frames / 2);
+  double dt = 1.0 / kGloveSampleRateHz;
+  std::vector<double> tracker(kTrackerChannels, 0.0);
+  for (size_t f = 0; f < frames; ++f) {
+    double blend =
+        Smoothstep(static_cast<double>(f) / static_cast<double>(ramp));
+    std::vector<double> pose(kGloveSensors);
+    for (size_t i = 0; i < kGloveSensors; ++i) {
+      pose[i] = start_pose[i] * (1.0 - blend) + neutral_pose_[i] * blend;
+    }
+    double t = recording->frames.empty()
+                   ? 0.0
+                   : recording->frames.back().timestamp + dt;
+    recording->Append(MakeFrame(pose, tracker, subject, t));
+    *current_pose = pose;
+  }
+}
+
+Result<streams::Recording> CyberGloveSimulator::GenerateSign(
+    size_t sign_index, const SubjectProfile& subject) {
+  if (sign_index >= vocabulary_.size()) {
+    return Status::OutOfRange("GenerateSign: sign index out of range");
+  }
+  if (subject.pose_offset.size() != kGloveSensors) {
+    return Status::InvalidArgument("GenerateSign: malformed subject profile");
+  }
+  streams::Recording recording;
+  recording.sample_rate_hz = kGloveSampleRateHz;
+  std::vector<double> pose = neutral_pose_;
+  AppendSignFrames(sign_index, subject, &pose, &recording);
+  return recording;
+}
+
+Result<streams::Recording> CyberGloveSimulator::GenerateSequence(
+    const std::vector<size_t>& sign_indices, const SubjectProfile& subject,
+    double rest_gap_s, std::vector<SignSegment>* segments) {
+  if (subject.pose_offset.size() != kGloveSensors) {
+    return Status::InvalidArgument(
+        "GenerateSequence: malformed subject profile");
+  }
+  streams::Recording recording;
+  recording.sample_rate_hz = kGloveSampleRateHz;
+  std::vector<double> pose = neutral_pose_;
+  // Lead-in rest so the first sign has a visible onset.
+  AppendRestFrames(subject, rest_gap_s, &pose, &recording);
+  for (size_t sign_index : sign_indices) {
+    if (sign_index >= vocabulary_.size()) {
+      return Status::OutOfRange("GenerateSequence: sign index out of range");
+    }
+    SignSegment segment;
+    segment.sign_index = sign_index;
+    segment.start_frame = recording.num_frames();
+    AppendSignFrames(sign_index, subject, &pose, &recording);
+    segment.end_frame = recording.num_frames();
+    if (segments != nullptr) segments->push_back(segment);
+    AppendRestFrames(subject, rest_gap_s, &pose, &recording);
+  }
+  return recording;
+}
+
+}  // namespace aims::synth

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "streams/sample.h"
+
+/// \file cyberglove.h
+/// \brief Synthetic CyberGlove + Polhemus tracker (the paper's ASL capture
+/// rig, Sec. 2.2 and Table 1). 22 joint-angle sensors model the hand shape;
+/// 6 tracker channels (x, y, z position and three plane rotations) model the
+/// hand motion trajectory; together the 28 channels "capture the entirety
+/// of a hand motion". Samples are produced at the paper's 100 Hz clock.
+///
+/// The simulator is the substitution for the physical glove: it synthesizes
+/// band-limited joint trajectories with per-subject pose offsets, speed
+/// variation, and additive sensor noise, so the downstream recognition
+/// pipeline faces the same statistical problem (high-dimensional, variable
+/// length, noisy) the paper describes.
+
+namespace aims::synth {
+
+/// Number of joint-angle sensors on the glove (paper Table 1).
+inline constexpr size_t kGloveSensors = 22;
+/// Polhemus tracker channels: x, y, z, and rotations of the palm plane to
+/// the X-Y, Y-Z and Z-X planes.
+inline constexpr size_t kTrackerChannels = 6;
+/// Total immersidata channels per frame.
+inline constexpr size_t kHandChannels = kGloveSensors + kTrackerChannels;
+/// The paper's sensor clock: "about 0.01 second".
+inline constexpr double kGloveSampleRateHz = 100.0;
+
+/// \brief Description of one glove sensor (paper Table 1).
+const char* GloveSensorDescription(size_t sensor_index);
+
+/// \brief How the tracker moves during a sign.
+enum class MotionKind {
+  kStatic,      ///< Alphabet letters: hand shape only, no movement.
+  kWristTwist,  ///< Color signs such as GREEN/YELLOW: the wrist twists twice.
+  kShake,       ///< Small repeated translation (e.g. YES-like signs).
+  kCircle,      ///< Circular hand trajectory.
+  kSwipe,       ///< Straight-line translation.
+};
+
+/// \brief A vocabulary entry: hand pose plus motion profile.
+struct SignSpec {
+  std::string name;
+  /// Target joint angles in degrees for the 22 glove sensors.
+  std::vector<double> pose;
+  MotionKind motion = MotionKind::kStatic;
+  /// Nominal duration in seconds (subjects vary around it).
+  double nominal_duration_s = 0.8;
+};
+
+/// \brief The built-in ASL-like vocabulary: 12 static letters plus 6 motion
+/// signs (colors and words), 18 signs total.
+std::vector<SignSpec> DefaultAslVocabulary();
+
+/// \brief The extended vocabulary: DefaultAslVocabulary() (same entries at
+/// the same indices) followed by 10 more static letters and 4 more motion
+/// signs — 32 signs, for the harder large-vocabulary experiments.
+std::vector<SignSpec> ExtendedAslVocabulary();
+
+/// \brief Per-subject articulation parameters (sampled once per subject).
+struct SubjectProfile {
+  /// Additive per-joint pose offset in degrees.
+  std::vector<double> pose_offset;
+  /// Multiplies every sign duration (different people sign at different
+  /// speeds — the paper's variable-length challenge).
+  double speed_factor = 1.0;
+  /// Amplitude of involuntary tremor, degrees.
+  double tremor = 0.5;
+  /// Scales the motion amplitudes (some people gesture bigger).
+  double amplitude_factor = 1.0;
+  /// Strength of the nonlinear time warp applied per rendition: renditions
+  /// speed up and slow down *within* a sign, not just overall — the
+  /// misalignment that defeats frame-by-frame (Euclidean) comparison.
+  double warp = 0.15;
+};
+
+/// \brief One labelled segment of a generated stream.
+struct SignSegment {
+  size_t sign_index = 0;       ///< Index into the vocabulary.
+  size_t start_frame = 0;      ///< Inclusive.
+  size_t end_frame = 0;        ///< Exclusive.
+};
+
+/// \brief Generates synthetic CyberGlove immersidata.
+class CyberGloveSimulator {
+ public:
+  /// \param vocabulary sign inventory; \p noise_stddev additive Gaussian
+  /// sensor noise in degrees (glove) / centimeters (tracker).
+  CyberGloveSimulator(std::vector<SignSpec> vocabulary, uint64_t seed,
+                      double noise_stddev = 0.75);
+
+  const std::vector<SignSpec>& vocabulary() const { return vocabulary_; }
+
+  /// Draws a random subject.
+  SubjectProfile MakeSubject();
+
+  /// \brief Synthesizes one isolated sign performed by \p subject.
+  /// The recording has kHandChannels channels at 100 Hz.
+  Result<streams::Recording> GenerateSign(size_t sign_index,
+                                          const SubjectProfile& subject);
+
+  /// \brief Synthesizes a continuous stream: the given signs in order,
+  /// separated by rest (neutral pose) gaps, with ground-truth segment
+  /// boundaries for the isolation experiments.
+  Result<streams::Recording> GenerateSequence(
+      const std::vector<size_t>& sign_indices, const SubjectProfile& subject,
+      double rest_gap_s, std::vector<SignSegment>* segments);
+
+ private:
+  void AppendSignFrames(size_t sign_index, const SubjectProfile& subject,
+                        std::vector<double>* current_pose,
+                        streams::Recording* recording);
+  void AppendRestFrames(const SubjectProfile& subject, double duration_s,
+                        std::vector<double>* current_pose,
+                        streams::Recording* recording);
+  streams::Frame MakeFrame(const std::vector<double>& pose,
+                           const std::vector<double>& tracker,
+                           const SubjectProfile& subject, double timestamp);
+
+  std::vector<SignSpec> vocabulary_;
+  Rng rng_;
+  double noise_stddev_;
+  std::vector<double> neutral_pose_;
+};
+
+}  // namespace aims::synth

@@ -1,0 +1,149 @@
+#include "synth/olap_data.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::synth {
+
+size_t GridDataset::total_size() const {
+  size_t n = 1;
+  for (size_t e : shape) n *= e;
+  return n;
+}
+
+size_t GridDataset::FlatIndex(const std::vector<size_t>& idx) const {
+  AIMS_CHECK(idx.size() == shape.size());
+  size_t flat = 0;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    AIMS_CHECK(idx[d] < shape[d]);
+    flat = flat * shape[d] + idx[d];
+  }
+  return flat;
+}
+
+namespace {
+/// Iterates all multi-indices of `shape`, invoking fn(idx, flat).
+template <typename Fn>
+void ForEachCell(const std::vector<size_t>& shape, Fn&& fn) {
+  std::vector<size_t> idx(shape.size(), 0);
+  size_t total = 1;
+  for (size_t e : shape) total *= e;
+  for (size_t flat = 0; flat < total; ++flat) {
+    fn(idx, flat);
+    for (size_t d = shape.size(); d-- > 0;) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+}  // namespace
+
+GridDataset MakeSmoothField(const std::vector<size_t>& shape, size_t num_bumps,
+                            Rng* rng) {
+  GridDataset out;
+  out.name = "smooth";
+  out.shape = shape;
+  out.values.assign(out.total_size(), 0.0);
+  const size_t dims = shape.size();
+  struct Bump {
+    std::vector<double> center;
+    std::vector<double> width;
+    double height;
+  };
+  std::vector<Bump> bumps(num_bumps);
+  for (Bump& b : bumps) {
+    b.center.resize(dims);
+    b.width.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      b.center[d] = rng->Uniform(0.0, static_cast<double>(shape[d]));
+      b.width[d] = rng->Uniform(0.15, 0.45) * static_cast<double>(shape[d]);
+    }
+    b.height = rng->Uniform(10.0, 100.0);
+  }
+  ForEachCell(shape, [&](const std::vector<size_t>& idx, size_t flat) {
+    double v = 0.0;
+    for (const Bump& b : bumps) {
+      double exponent = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        double z = (static_cast<double>(idx[d]) - b.center[d]) / b.width[d];
+        exponent += z * z;
+      }
+      v += b.height * std::exp(-exponent);
+    }
+    out.values[flat] = v;
+  });
+  return out;
+}
+
+GridDataset MakePiecewiseField(const std::vector<size_t>& shape,
+                               size_t num_plateaus, Rng* rng) {
+  GridDataset out;
+  out.name = "piecewise";
+  out.shape = shape;
+  out.values.assign(out.total_size(), 1.0);
+  const size_t dims = shape.size();
+  for (size_t p = 0; p < num_plateaus; ++p) {
+    std::vector<size_t> lo(dims), hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      size_t a = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(shape[d]) - 1));
+      size_t b = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(shape[d]) - 1));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    double level = rng->Uniform(5.0, 80.0);
+    ForEachCell(shape, [&](const std::vector<size_t>& idx, size_t flat) {
+      for (size_t d = 0; d < dims; ++d) {
+        if (idx[d] < lo[d] || idx[d] > hi[d]) return;
+      }
+      out.values[flat] += level;
+    });
+  }
+  return out;
+}
+
+GridDataset MakeNoiseField(const std::vector<size_t>& shape, Rng* rng) {
+  GridDataset out;
+  out.name = "noise";
+  out.shape = shape;
+  out.values.resize(out.total_size());
+  for (double& v : out.values) v = rng->Uniform(0.0, 100.0);
+  return out;
+}
+
+GridDataset MakeZipfField(const std::vector<size_t>& shape,
+                          size_t num_records, double zipf_exponent, Rng* rng) {
+  GridDataset out;
+  out.name = "zipf";
+  out.shape = shape;
+  out.values.assign(out.total_size(), 0.0);
+  const size_t n = out.total_size();
+  // Zipf over a random permutation of cells: rank r gets mass ~ r^-s.
+  std::vector<double> rank_weight(std::min<size_t>(n, 4096));
+  for (size_t r = 0; r < rank_weight.size(); ++r) {
+    rank_weight[r] = std::pow(static_cast<double>(r + 1), -zipf_exponent);
+  }
+  std::vector<size_t> cells(rank_weight.size());
+  for (size_t& c : cells) {
+    c = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  for (size_t rec = 0; rec < num_records; ++rec) {
+    size_t rank = rng->Categorical(rank_weight);
+    out.values[cells[rank]] += 1.0;
+  }
+  return out;
+}
+
+std::vector<GridDataset> MakeDatasetZoo(const std::vector<size_t>& shape,
+                                        Rng* rng) {
+  std::vector<GridDataset> zoo;
+  zoo.push_back(MakeSmoothField(shape, 6, rng));
+  zoo.push_back(MakePiecewiseField(shape, 10, rng));
+  zoo.push_back(MakeZipfField(shape, 50000, 1.1, rng));
+  zoo.push_back(MakeNoiseField(shape, rng));
+  return zoo;
+}
+
+}  // namespace aims::synth

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+/// \file olap_data.h
+/// \brief Multidimensional dataset zoo for the ProPolyne experiments.
+///
+/// The paper's key ProPolyne claim (Sec. 3.3) is that *query* approximation
+/// delivers consistent accuracy regardless of the data, while *data*
+/// approximation "varies wildly with the dataset". Exercising that claim
+/// requires datasets across the compressibility spectrum: a smooth
+/// atmospheric-style field (very compressible — the NASA/JPL stand-in),
+/// piecewise-constant data (compressible), and white noise (incompressible).
+
+namespace aims::synth {
+
+/// \brief A dense multidimensional array with named dimensions.
+struct GridDataset {
+  std::string name;
+  std::vector<size_t> shape;   ///< Power-of-two extents, row-major storage.
+  std::vector<double> values;  ///< Non-negative cell values (frequencies).
+
+  size_t total_size() const;
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+};
+
+/// \brief Smooth field: a sum of random Gaussian bumps (stand-in for the
+/// NASA/JPL atmospheric measurements the AIMS prototype served).
+GridDataset MakeSmoothField(const std::vector<size_t>& shape, size_t num_bumps,
+                            Rng* rng);
+
+/// \brief Piecewise-constant field: random axis-aligned plateaus.
+GridDataset MakePiecewiseField(const std::vector<size_t>& shape,
+                               size_t num_plateaus, Rng* rng);
+
+/// \brief Incompressible field: i.i.d. uniform noise.
+GridDataset MakeNoiseField(const std::vector<size_t>& shape, Rng* rng);
+
+/// \brief Sparse skewed field: Zipf-distributed mass on random cells —
+/// the shape of typical OLAP fact tables.
+GridDataset MakeZipfField(const std::vector<size_t>& shape,
+                          size_t num_records, double zipf_exponent, Rng* rng);
+
+/// \brief The full zoo, one of each, sharing a shape.
+std::vector<GridDataset> MakeDatasetZoo(const std::vector<size_t>& shape,
+                                        Rng* rng);
+
+}  // namespace aims::synth

@@ -1,0 +1,226 @@
+#include "synth/virtual_classroom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace aims::synth {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// A transient motion burst on one tracker: raised-cosine envelope times an
+/// oscillation, the building block for fidgets and orienting responses.
+struct MotionBurst {
+  size_t tracker = 0;
+  size_t channel = 0;  ///< Channel within the tracker (0..5).
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double amplitude = 0.0;
+  double frequency_hz = 0.0;
+
+  double ValueAt(double t) const {
+    if (t < start_s || t > start_s + duration_s) return 0.0;
+    double u = (t - start_s) / duration_s;
+    double envelope = 0.5 * (1.0 - std::cos(2.0 * kPi * u));
+    return amplitude * envelope * std::sin(2.0 * kPi * frequency_hz * (t - start_s));
+  }
+};
+}  // namespace
+
+const char* TrackerSiteName(TrackerSite site) {
+  switch (site) {
+    case TrackerSite::kHead:
+      return "head";
+    case TrackerSite::kLeftHand:
+      return "left-hand";
+    case TrackerSite::kRightHand:
+      return "right-hand";
+    case TrackerSite::kLeg:
+      return "leg";
+  }
+  return "unknown";
+}
+
+VirtualClassroomSimulator::VirtualClassroomSimulator(ClassroomConfig config,
+                                                     uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+ClassroomSession VirtualClassroomSimulator::GenerateSession(
+    SubjectGroup group) {
+  ClassroomSession session;
+  session.group = group;
+  const bool adhd = group == SubjectGroup::kAdhd;
+  const double duration = config_.session_duration_s;
+
+  // --- Schedule stimuli (the AX task). ---
+  char previous_letter = ' ';
+  static const char kLetters[] = "ABCDEFGHKX";
+  for (double t = 1.0; t < duration; t += config_.stimulus_interval_s) {
+    Stimulus s;
+    s.time_s = t + rng_.Gaussian(0.0, 0.05);
+    if (previous_letter == 'A' && rng_.Bernoulli(config_.target_probability /
+                                                 0.25)) {
+      s.letter = 'X';
+      s.is_target = true;
+    } else if (rng_.Bernoulli(0.25)) {
+      s.letter = 'A';
+    } else {
+      s.letter = kLetters[rng_.UniformInt(0, 9)];
+      if (s.letter == 'A' || s.letter == 'X') s.letter = 'B';
+    }
+    previous_letter = s.letter;
+    session.stimuli.push_back(s);
+  }
+
+  // --- Schedule distractions (Poisson). ---
+  static const char* kKinds[] = {"noise", "airplane", "door", "window"};
+  double t = rng_.Exponential(config_.distraction_rate_hz);
+  while (t < duration) {
+    DistractionEvent d;
+    d.time_s = t;
+    d.duration_s = rng_.Uniform(1.5, 5.0);
+    d.kind = kKinds[rng_.UniformInt(0, 3)];
+    session.distractions.push_back(d);
+    t += rng_.Exponential(config_.distraction_rate_hz);
+  }
+
+  // --- Build the motion model as a set of bursts. ---
+  std::vector<MotionBurst> bursts;
+  // Per-subject random effects: the group means differ, but individual
+  // children are spread around them (log-normal), so the groups overlap.
+  const double rate_effect =
+      std::exp(rng_.Gaussian(0.0, config_.subject_variability));
+  const double amp_effect =
+      std::exp(rng_.Gaussian(0.0, config_.subject_variability * 0.7));
+  const double fidget_rate =
+      rate_effect * (adhd ? config_.adhd_fidget_rate_hz
+                          : config_.control_fidget_rate_hz);
+  const double fidget_amp =
+      amp_effect * (adhd ? config_.adhd_fidget_amplitude
+                         : config_.control_fidget_amplitude);
+  // Fidgets: independent Poisson process per tracker, favoring hands/leg.
+  for (size_t tracker = 0; tracker < kNumTrackers; ++tracker) {
+    double site_scale = tracker == 0 ? 0.6 : 1.0;  // heads move less
+    double tb = rng_.Exponential(fidget_rate * site_scale);
+    while (tb < duration) {
+      MotionBurst b;
+      b.tracker = tracker;
+      b.channel = static_cast<size_t>(rng_.UniformInt(0, 5));
+      b.start_s = tb;
+      b.duration_s = rng_.Uniform(0.4, adhd ? 2.5 : 1.2);
+      b.amplitude = fidget_amp * rng_.Uniform(0.5, 1.5);
+      b.frequency_hz = rng_.Uniform(0.8, 3.0);
+      bursts.push_back(b);
+      tb += rng_.Exponential(fidget_rate * site_scale);
+    }
+  }
+  // Orienting responses to distractions: the head (and sometimes torso,
+  // approximated by the leg tracker shifting) turns toward the event.
+  const double orient_p = adhd ? config_.adhd_orient_probability
+                               : config_.control_orient_probability;
+  for (const DistractionEvent& d : session.distractions) {
+    if (!rng_.Bernoulli(orient_p)) continue;
+    MotionBurst head;
+    head.tracker = static_cast<size_t>(TrackerSite::kHead);
+    head.channel = 3;  // H rotation: looking toward the distraction
+    head.start_s = d.time_s + rng_.Uniform(0.1, 0.5);
+    head.duration_s = d.duration_s * (adhd ? rng_.Uniform(0.8, 1.3)
+                                           : rng_.Uniform(0.3, 0.7));
+    head.amplitude = rng_.Uniform(20.0, 45.0);
+    head.frequency_hz = 0.5 / std::max(head.duration_s, 0.5);
+    bursts.push_back(head);
+  }
+
+  // --- Responses to targets (button presses move the right hand). ---
+  const double hit_rate = adhd ? config_.adhd_hit_rate : config_.control_hit_rate;
+  for (const Stimulus& s : session.stimuli) {
+    if (!s.is_target) continue;
+    Response r;
+    r.hit = rng_.Bernoulli(hit_rate);
+    if (r.hit) {
+      r.reaction_time_s = std::max(
+          0.15, rng_.Gaussian(adhd ? 0.55 : 0.42, adhd ? 0.18 : 0.08));
+      r.time_s = s.time_s + r.reaction_time_s;
+      MotionBurst press;
+      press.tracker = static_cast<size_t>(TrackerSite::kRightHand);
+      press.channel = 2;  // Z: pressing down
+      press.start_s = r.time_s - 0.1;
+      press.duration_s = 0.3;
+      press.amplitude = 2.0;
+      press.frequency_hz = 1.5;
+      bursts.push_back(press);
+    } else {
+      r.time_s = s.time_s;
+    }
+    session.responses.push_back(r);
+  }
+
+  // --- Render the 24-channel recording. ---
+  const double dt = 1.0 / kClassroomSampleRateHz;
+  const size_t num_frames = static_cast<size_t>(duration / dt);
+  const size_t channels = kNumTrackers * kTrackerDims;
+  // Resting posture per channel (seated child).
+  std::vector<double> baseline(channels, 0.0);
+  baseline[0 * kTrackerDims + 1] = 110.0;  // head height (cm)
+  baseline[1 * kTrackerDims + 1] = 70.0;   // left hand height
+  baseline[2 * kTrackerDims + 1] = 70.0;   // right hand height
+  baseline[3 * kTrackerDims + 1] = 20.0;   // leg height
+  // Postural sway: slow low-amplitude oscillation per channel.
+  std::vector<double> sway_phase(channels), sway_freq(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    sway_phase[c] = rng_.Uniform(0.0, 2.0 * kPi);
+    sway_freq[c] = rng_.Uniform(0.05, 0.25);
+  }
+
+  session.recording.sample_rate_hz = kClassroomSampleRateHz;
+  for (size_t f = 0; f < num_frames; ++f) {
+    double time = static_cast<double>(f) * dt;
+    streams::Frame frame;
+    frame.timestamp = time;
+    frame.values.assign(channels, 0.0);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] = baseline[c] +
+                        0.4 * std::sin(2.0 * kPi * sway_freq[c] * time +
+                                       sway_phase[c]) +
+                        rng_.Gaussian(0.0, 0.08);
+    }
+    for (const MotionBurst& b : bursts) {
+      frame.values[b.tracker * kTrackerDims + b.channel] += b.ValueAt(time);
+    }
+    session.recording.Append(std::move(frame));
+  }
+  return session;
+}
+
+std::vector<ClassroomSession> VirtualClassroomSimulator::GenerateCohort(
+    size_t per_group) {
+  std::vector<ClassroomSession> cohort;
+  cohort.reserve(2 * per_group);
+  for (size_t i = 0; i < per_group; ++i) {
+    cohort.push_back(GenerateSession(SubjectGroup::kControl));
+    cohort.push_back(GenerateSession(SubjectGroup::kAdhd));
+  }
+  return cohort;
+}
+
+std::vector<streams::Sample> SessionToSamples(
+    const ClassroomSession& session) {
+  std::vector<streams::Sample> samples;
+  const size_t channels = kNumTrackers * kTrackerDims;
+  samples.reserve(session.recording.num_frames() * channels);
+  for (const streams::Frame& frame : session.recording.frames) {
+    AIMS_CHECK(frame.values.size() == channels);
+    for (size_t c = 0; c < channels; ++c) {
+      streams::Sample s;
+      s.sensor_id = static_cast<streams::SensorId>(c);
+      s.timestamp = frame.timestamp;
+      s.value = frame.values[c];
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+}  // namespace aims::synth

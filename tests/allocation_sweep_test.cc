@@ -1,0 +1,103 @@
+// Parameterized property sweep over the coefficient-to-block allocators:
+// for every (domain size, block size) combination, the structural
+// invariants and the 1 + lg B bound must hold, and the tiling must
+// dominate every baseline on dependency-closed query sets.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/error_tree.h"
+#include "storage/allocation.h"
+
+namespace aims::storage {
+namespace {
+
+struct SweepCase {
+  size_t n;
+  size_t block;
+};
+
+class AllocationSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  std::vector<std::vector<size_t>> MixedQueries(size_t n, int count) {
+    signal::HaarErrorTree tree(n);
+    Rng rng(n * 31 + GetParam().block);
+    std::vector<std::vector<size_t>> queries;
+    for (int q = 0; q < count; ++q) {
+      if (rng.Bernoulli(0.5)) {
+        queries.push_back(tree.PointQuerySupport(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1))));
+      } else {
+        size_t a = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+        size_t b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+        queries.push_back(
+            tree.RangeSumSupport(std::min(a, b), std::max(a, b)));
+      }
+    }
+    return queries;
+  }
+};
+
+TEST_P(AllocationSweep, TilingWithinTheBoundAndAheadOfBaselines) {
+  auto [n, block] = GetParam();
+  SubtreeTilingAllocator tiling(n, block);
+  SequentialAllocator sequential(n, block);
+  TimeOrderAllocator time_order(n, block);
+  RandomAllocator random(n, block, 7);
+  auto queries = MixedQueries(n, 120);
+  double bound = 1.0 + std::log2(static_cast<double>(block));
+  AccessReport tiled = MeasureAccess(tiling, queries);
+  EXPECT_LE(tiled.mean_items_per_block, bound + 1e-9)
+      << "n=" << n << " B=" << block;
+  for (const CoefficientAllocator* baseline :
+       std::initializer_list<const CoefficientAllocator*>{
+           &sequential, &time_order, &random}) {
+    AccessReport report = MeasureAccess(*baseline, queries);
+    EXPECT_GE(tiled.mean_items_per_block,
+              report.mean_items_per_block - 1e-9)
+        << baseline->name() << " n=" << n << " B=" << block;
+    EXPECT_LE(tiled.mean_blocks_per_query,
+              report.mean_blocks_per_query + 1e-9)
+        << baseline->name() << " n=" << n << " B=" << block;
+  }
+}
+
+TEST_P(AllocationSweep, TilingKeepsParentWithChildOrAdjacent) {
+  // Locality structure: a coefficient and its parent share a block far
+  // more often under tiling than under random placement.
+  auto [n, block] = GetParam();
+  if (block < 4) return;  // degenerate tiles
+  SubtreeTilingAllocator tiling(n, block);
+  RandomAllocator random(n, block, 11);
+  signal::HaarErrorTree tree(n);
+  size_t tiled_same = 0, random_same = 0, pairs = 0;
+  for (size_t i = 2; i < n; ++i) {
+    size_t parent = tree.Parent(i);
+    ++pairs;
+    if (tiling.BlockOf(i) == tiling.BlockOf(parent)) ++tiled_same;
+    if (random.BlockOf(i) == random.BlockOf(parent)) ++random_same;
+  }
+  EXPECT_GT(tiled_same * 2, pairs)  // most parent links stay in-block
+      << "n=" << n << " B=" << block;
+  EXPECT_GT(tiled_same, random_same * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocationSweep,
+    ::testing::Values(SweepCase{64, 4}, SweepCase{64, 16},
+                      SweepCase{256, 8}, SweepCase{256, 64},
+                      SweepCase{1024, 16}, SweepCase{1024, 128},
+                      SweepCase{4096, 32}, SweepCase{4096, 256},
+                      SweepCase{16384, 64}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_B" +
+             std::to_string(info.param.block);
+    });
+
+}  // namespace
+}  // namespace aims::storage

@@ -1,0 +1,168 @@
+#include "propolyne/batch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/olap_data.h"
+
+namespace aims::propolyne {
+namespace {
+
+DataCube MakeCube(uint64_t seed) {
+  Rng rng(seed);
+  synth::GridDataset field = synth::MakeSmoothField({32, 64}, 5, &rng);
+  CubeSchema schema{{"sensor", "time"}, {32, 64}};
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  return std::move(cube).ValueOrDie();
+}
+
+GroupByQuery MakeGroupBy() {
+  GroupByQuery query;
+  query.base = RangeSumQuery::Count({0, 5}, {31, 58});
+  query.group_dim = 0;
+  query.bucket_width = 4;  // 8 groups of 4 sensors
+  return query;
+}
+
+TEST(BatchExpandTest, BucketsCoverTheRange) {
+  DataCube cube = MakeCube(1);
+  BatchEvaluator batch(&cube);
+  auto groups = batch.ExpandGroups(MakeGroupBy());
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.ValueOrDie().size(), 8u);
+  EXPECT_EQ(groups.ValueOrDie()[0].terms[0].lo, 0u);
+  EXPECT_EQ(groups.ValueOrDie()[0].terms[0].hi, 3u);
+  EXPECT_EQ(groups.ValueOrDie()[7].terms[0].lo, 28u);
+  EXPECT_EQ(groups.ValueOrDie()[7].terms[0].hi, 31u);
+  // Ragged final bucket.
+  GroupByQuery ragged = MakeGroupBy();
+  ragged.bucket_width = 5;
+  auto ragged_groups = batch.ExpandGroups(ragged);
+  ASSERT_TRUE(ragged_groups.ok());
+  EXPECT_EQ(ragged_groups.ValueOrDie().size(), 7u);
+  EXPECT_EQ(ragged_groups.ValueOrDie().back().terms[0].hi, 31u);
+}
+
+TEST(BatchExpandTest, Validation) {
+  DataCube cube = MakeCube(2);
+  BatchEvaluator batch(&cube);
+  GroupByQuery bad = MakeGroupBy();
+  bad.group_dim = 5;
+  EXPECT_FALSE(batch.ExpandGroups(bad).ok());
+  bad = MakeGroupBy();
+  bad.bucket_width = 0;
+  EXPECT_FALSE(batch.ExpandGroups(bad).ok());
+  bad = MakeGroupBy();
+  bad.base = RangeSumQuery::Count({0}, {5});
+  EXPECT_FALSE(batch.ExpandGroups(bad).ok());
+}
+
+TEST(BatchEvaluateTest, GroupAnswersMatchIndividualEvaluation) {
+  DataCube cube = MakeCube(3);
+  BatchEvaluator batch(&cube);
+  Evaluator single(&cube);
+  GroupByQuery query = MakeGroupBy();
+  auto result = batch.Evaluate(query);
+  ASSERT_TRUE(result.ok());
+  auto groups = batch.ExpandGroups(query);
+  ASSERT_TRUE(groups.ok());
+  for (size_t g = 0; g < groups.ValueOrDie().size(); ++g) {
+    double expected = single.Evaluate(groups.ValueOrDie()[g]).ValueOrDie();
+    EXPECT_NEAR(result.ValueOrDie().exact[g], expected,
+                1e-6 * std::max(1.0, std::fabs(expected)))
+        << "group " << g;
+  }
+}
+
+TEST(BatchEvaluateTest, GroupSumsAddUpToTheTotal) {
+  DataCube cube = MakeCube(4);
+  BatchEvaluator batch(&cube);
+  Evaluator single(&cube);
+  GroupByQuery query = MakeGroupBy();
+  auto result = batch.Evaluate(query);
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (double v : result.ValueOrDie().exact) total += v;
+  double expected = single.Evaluate(query.base).ValueOrDie();
+  EXPECT_NEAR(total, expected, 1e-6 * std::fabs(expected));
+}
+
+TEST(BatchEvaluateTest, SharedIoIsSmallerThanIndependent) {
+  DataCube cube = MakeCube(5);
+  BatchEvaluator batch(&cube);
+  auto result = batch.Evaluate(MakeGroupBy());
+  ASSERT_TRUE(result.ok());
+  // Groups share every non-group dimension's coefficients, so the union is
+  // far smaller than the sum.
+  EXPECT_LT(result.ValueOrDie().shared_coefficients,
+            result.ValueOrDie().independent_coefficients / 2);
+}
+
+TEST(BatchProgressiveTest, ConvergesWithValidBounds) {
+  DataCube cube = MakeCube(6);
+  BatchEvaluator batch(&cube);
+  GroupByQuery query = MakeGroupBy();
+  for (BatchErrorMeasure measure :
+       {BatchErrorMeasure::kL2, BatchErrorMeasure::kMax}) {
+    auto result = batch.EvaluateProgressive(query, measure, 8);
+    ASSERT_TRUE(result.ok());
+    const BatchResult& r = result.ValueOrDie();
+    ASSERT_FALSE(r.steps.empty());
+    for (const BatchStep& step : r.steps) {
+      for (size_t g = 0; g < r.exact.size(); ++g) {
+        EXPECT_LE(std::fabs(step.estimates[g] - r.exact[g]),
+                  step.max_error_bound + 1e-6 * std::fabs(r.exact[g]) + 1e-9);
+      }
+    }
+    for (size_t g = 0; g < r.exact.size(); ++g) {
+      EXPECT_NEAR(r.steps.back().estimates[g], r.exact[g], 1e-9);
+    }
+    EXPECT_NEAR(r.steps.back().max_error_bound, 0.0, 1e-9);
+  }
+}
+
+TEST(BatchProgressiveTest, StrideValidation) {
+  DataCube cube = MakeCube(7);
+  BatchEvaluator batch(&cube);
+  EXPECT_FALSE(
+      batch.EvaluateProgressive(MakeGroupBy(), BatchErrorMeasure::kL2, 0)
+          .ok());
+}
+
+TEST(BatchProgressiveTest, MaxMeasureCapturesGroupDifferencesEarlier) {
+  // Build a cube where one group dwarfs the others: the kMax ordering must
+  // pin that group's answer with fewer coefficients than it takes the kL2
+  // ordering to pin the worst group.
+  CubeSchema schema{{"sensor", "time"}, {32, 64}};
+  std::vector<double> values(32 * 64, 1.0);
+  for (size_t t = 0; t < 64; ++t) values[5 * 64 + t] = 500.0;  // hot sensor
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      std::move(values));
+  ASSERT_TRUE(cube.ok());
+  BatchEvaluator batch(&cube.ValueOrDie());
+  GroupByQuery query = MakeGroupBy();
+  auto l2 = batch.EvaluateProgressive(query, BatchErrorMeasure::kL2, 1);
+  auto mx = batch.EvaluateProgressive(query, BatchErrorMeasure::kMax, 1);
+  ASSERT_TRUE(l2.ok() && mx.ok());
+  // Find the first step where the hot group's estimate is within 1%.
+  auto settle_step = [&](const BatchResult& r, size_t group) {
+    for (const BatchStep& step : r.steps) {
+      if (std::fabs(step.estimates[group] - r.exact[group]) <=
+          0.01 * std::fabs(r.exact[group])) {
+        return step.coefficients_used;
+      }
+    }
+    return r.steps.back().coefficients_used + 1;
+  };
+  size_t hot_group = 1;  // sensors 4..7 contain the hot sensor 5
+  EXPECT_LE(settle_step(mx.ValueOrDie(), hot_group),
+            settle_step(l2.ValueOrDie(), hot_group) + 8);
+}
+
+}  // namespace
+}  // namespace aims::propolyne

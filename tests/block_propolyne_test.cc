@@ -1,0 +1,133 @@
+#include "propolyne/block_propolyne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/olap_data.h"
+
+namespace aims::propolyne {
+namespace {
+
+DataCube MakeCube(uint64_t seed, std::vector<size_t> shape = {64, 64}) {
+  Rng rng(seed);
+  synth::GridDataset field = synth::MakeSmoothField(shape, 5, &rng);
+  CubeSchema schema;
+  schema.extents = shape;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    schema.names.push_back("d" + std::to_string(d));
+  }
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  return std::move(cube).ValueOrDie();
+}
+
+TEST(BlockedCubeTest, MakeValidation) {
+  DataCube cube = MakeCube(1);
+  storage::BlockDevice device(64 * sizeof(double));
+  EXPECT_FALSE(BlockedCube::Make(&cube, &device, {8}).ok());  // arity
+  EXPECT_FALSE(
+      BlockedCube::Make(&cube, &device, {16, 16}).ok());  // exceeds device
+  auto ok = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie().block_size_items(), 64u);
+  EXPECT_GT(ok.ValueOrDie().num_blocks(), 0u);
+}
+
+TEST(BlockedCubeTest, ExactMatchesInMemoryEvaluator) {
+  DataCube cube = MakeCube(2);
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  Evaluator reference(&cube);
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t a = static_cast<size_t>(rng.UniformInt(0, 63));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, 63));
+    size_t c = static_cast<size_t>(rng.UniformInt(0, 63));
+    size_t d = static_cast<size_t>(rng.UniformInt(0, 63));
+    RangeSumQuery query = RangeSumQuery::Count(
+        {std::min(a, b), std::min(c, d)}, {std::max(a, b), std::max(c, d)});
+    double expected = reference.Evaluate(query).ValueOrDie();
+    double actual = blocked.ValueOrDie().Evaluate(query).ValueOrDie();
+    EXPECT_NEAR(actual, expected, 1e-6 * std::max(1.0, std::fabs(expected)));
+  }
+}
+
+TEST(BlockedCubeTest, ProgressiveBoundsHoldAndShrink) {
+  DataCube cube = MakeCube(4);
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  RangeSumQuery query = RangeSumQuery::Count({5, 9}, {50, 60});
+  auto result = blocked.ValueOrDie().EvaluateProgressive(query);
+  ASSERT_TRUE(result.ok());
+  const BlockProgressiveResult& r = result.ValueOrDie();
+  ASSERT_FALSE(r.steps.empty());
+  EXPECT_EQ(r.steps.back().blocks_read, r.total_blocks_needed);
+  for (const BlockStep& step : r.steps) {
+    EXPECT_LE(std::fabs(step.estimate - r.exact),
+              step.error_bound + 1e-6 * std::fabs(r.exact) + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(r.steps.back().error_bound, 0.0);
+  EXPECT_NEAR(r.steps.back().estimate, r.exact, 1e-12);
+}
+
+TEST(BlockedCubeTest, ReadsOnlyNeededBlocks) {
+  DataCube cube = MakeCube(5);
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  device.ResetCounters();
+  RangeSumQuery query = RangeSumQuery::Count({10, 10}, {20, 20});
+  auto result = blocked.ValueOrDie().EvaluateProgressive(query);
+  ASSERT_TRUE(result.ok());
+  // The support of a modest range touches a small fraction of all blocks.
+  EXPECT_EQ(device.reads(), result.ValueOrDie().total_blocks_needed);
+  EXPECT_LT(result.ValueOrDie().total_blocks_needed,
+            blocked.ValueOrDie().num_blocks() / 2);
+}
+
+TEST(BlockedCubeTest, ImportanceOrderingFrontLoadsAccuracy) {
+  DataCube cube = MakeCube(6, {128, 128});
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  RangeSumQuery query = RangeSumQuery::Count({7, 13}, {100, 117});
+  auto result = blocked.ValueOrDie().EvaluateProgressive(
+      query, BlockImportance::kQueryEnergy);
+  ASSERT_TRUE(result.ok());
+  const auto& steps = result.ValueOrDie().steps;
+  ASSERT_GE(steps.size(), 4u);
+  double exact = result.ValueOrDie().exact;
+  ASSERT_GT(std::fabs(exact), 1.0);
+  // After a third of the needed blocks, the estimate is already close.
+  size_t third = steps.size() / 3;
+  EXPECT_LT(std::fabs(steps[third].estimate - exact) / std::fabs(exact),
+            0.05);
+  // And the bound decreases monotonically (energy-ordered fetches).
+  for (size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_LE(steps[i].error_bound, steps[i - 1].error_bound + 1e-9);
+  }
+}
+
+TEST(BlockedCubeTest, BothImportanceFunctionsReachExact) {
+  DataCube cube = MakeCube(7);
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  RangeSumQuery query = RangeSumQuery::Count({3, 4}, {55, 61});
+  for (BlockImportance importance :
+       {BlockImportance::kQueryEnergy, BlockImportance::kMaxQueryCoeff}) {
+    auto result =
+        blocked.ValueOrDie().EvaluateProgressive(query, importance);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result.ValueOrDie().steps.back().estimate,
+                result.ValueOrDie().exact, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace aims::propolyne

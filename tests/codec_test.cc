@@ -1,0 +1,153 @@
+#include "acquisition/codec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "test_util.h"
+
+namespace aims::acquisition {
+namespace {
+
+using ::aims::testutil::SineMix;
+
+TEST(QuantizerTest, RoundTripWithinLsb) {
+  Quantizer q{0.01};
+  for (double v : {0.0, 1.234, -5.678, 100.0, -327.0}) {
+    EXPECT_NEAR(q.Decode(q.Encode(v)), v, 0.0051);
+  }
+}
+
+TEST(QuantizerTest, SaturatesAtInt16Range) {
+  Quantizer q{0.01};
+  EXPECT_EQ(q.Encode(1e9), 32767);
+  EXPECT_EQ(q.Encode(-1e9), -32768);
+}
+
+TEST(QuantizerTest, VectorHelpers) {
+  Quantizer q{0.5};
+  std::vector<double> values = {1.0, -2.0, 0.25};
+  auto codes = q.EncodeAll(values);
+  auto back = q.DecodeAll(codes);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_NEAR(back[0], 1.0, 0.26);
+  EXPECT_NEAR(back[2], 0.25, 0.26);
+}
+
+TEST(AdpcmTest, RoundTripSmoothSignal) {
+  AdpcmCodec codec(0.5);
+  std::vector<double> signal = SineMix(500, {0.01}, {20.0});
+  std::vector<uint8_t> encoded = codec.Encode(signal);
+  std::vector<double> decoded = codec.Decode(encoded, signal.size());
+  ASSERT_EQ(decoded.size(), signal.size());
+  EXPECT_LT(aims::NormalizedMse(signal, decoded), 0.01);
+}
+
+TEST(AdpcmTest, FirstSampleExact) {
+  AdpcmCodec codec;
+  std::vector<double> signal = {42.5, 43.0, 43.5};
+  std::vector<double> decoded = codec.Decode(codec.Encode(signal), 3);
+  EXPECT_DOUBLE_EQ(decoded[0], 42.5);
+}
+
+TEST(AdpcmTest, FourBitsPerSample) {
+  std::vector<double> signal(1000, 0.0);
+  AdpcmCodec codec;
+  std::vector<uint8_t> encoded = codec.Encode(signal);
+  // 8-byte header + ceil(999 / 2) nibble bytes.
+  EXPECT_EQ(encoded.size(), 8u + 500u);
+  EXPECT_LE(encoded.size(), AdpcmCodec::EncodedBytes(1000));
+}
+
+TEST(AdpcmTest, StepAdaptsToLargeJumps) {
+  // A step function: ADPCM must catch up within a bounded number of
+  // samples thanks to step-size adaptation.
+  std::vector<double> signal(200, 0.0);
+  for (size_t i = 100; i < 200; ++i) signal[i] = 50.0;
+  AdpcmCodec codec(0.5);
+  std::vector<double> decoded = codec.Decode(codec.Encode(signal), 200);
+  EXPECT_NEAR(decoded[140], 50.0, 2.0);
+}
+
+TEST(AdpcmTest, EmptyAndSingleSample) {
+  AdpcmCodec codec;
+  EXPECT_TRUE(codec.Decode(codec.Encode({}), 0).empty());
+  std::vector<double> one = codec.Decode(codec.Encode({7.0}), 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 7.0);
+}
+
+TEST(HuffmanTest, RoundTripStructuredData) {
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 3000; ++i) {
+    input.push_back(static_cast<uint8_t>(i % 7 == 0 ? 200 : i % 3));
+  }
+  std::vector<uint8_t> encoded = HuffmanCodec::Encode(input);
+  auto decoded = HuffmanCodec::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie(), input);
+}
+
+TEST(HuffmanTest, RoundTripRandomData) {
+  Rng rng(17);
+  std::vector<uint8_t> input(5000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  auto decoded = HuffmanCodec::Decode(HuffmanCodec::Encode(input));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie(), input);
+}
+
+TEST(HuffmanTest, SkewedDataCompresses) {
+  // 95% of bytes are the same symbol: large savings expected.
+  Rng rng(18);
+  std::vector<uint8_t> input(10000);
+  for (auto& b : input) {
+    b = rng.Bernoulli(0.95) ? 0 : static_cast<uint8_t>(rng.UniformInt(1, 255));
+  }
+  std::vector<uint8_t> encoded = HuffmanCodec::Encode(input);
+  EXPECT_LT(encoded.size(), input.size() / 2);
+}
+
+TEST(HuffmanTest, CompressedBytesMatchesEncodeSize) {
+  Rng rng(19);
+  std::vector<uint8_t> input(4000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.UniformInt(0, 15));
+  EXPECT_EQ(HuffmanCodec::CompressedBytes(input),
+            HuffmanCodec::Encode(input).size());
+}
+
+TEST(HuffmanTest, SingleSymbolAndEmptyInputs) {
+  std::vector<uint8_t> same(100, 42);
+  auto decoded = HuffmanCodec::Decode(HuffmanCodec::Encode(same));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie(), same);
+  std::vector<uint8_t> empty;
+  auto decoded_empty = HuffmanCodec::Decode(HuffmanCodec::Encode(empty));
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_TRUE(decoded_empty.ValueOrDie().empty());
+}
+
+TEST(HuffmanTest, TruncatedInputRejected) {
+  std::vector<uint8_t> input(1000, 7);
+  std::vector<uint8_t> encoded = HuffmanCodec::Encode(input);
+  encoded.resize(encoded.size() / 2);
+  if (encoded.size() < 8 + 256) {
+    EXPECT_FALSE(HuffmanCodec::Decode(encoded).ok());
+  } else {
+    EXPECT_FALSE(HuffmanCodec::Decode(encoded).ok());
+  }
+  std::vector<uint8_t> tiny(10, 0);
+  EXPECT_FALSE(HuffmanCodec::Decode(tiny).ok());
+}
+
+TEST(PackInt16Test, RoundTrip) {
+  std::vector<int16_t> codes = {0, 1, -1, 32767, -32768, 1234};
+  auto bytes = PackInt16(codes);
+  EXPECT_EQ(bytes.size(), codes.size() * 2);
+  EXPECT_EQ(UnpackInt16(bytes), codes);
+}
+
+}  // namespace
+}  // namespace aims::acquisition

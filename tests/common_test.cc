@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace aims {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  AIMS_ASSIGN_OR_RETURN(int half, Half(x));
+  AIMS_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = Half(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.ValueOrDie(), 4);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSinglePass) {
+  Rng rng(5);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.Add(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 0.0);
+}
+
+TEST(ErrorMetricsTest, MseAndNmse) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedMse(a, b), 0.0);
+  b[3] = 6.0;
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 1.0);
+  EXPECT_GT(NormalizedMse(a, b), 0.0);
+}
+
+TEST(ErrorMetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 11.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_GT(RelativeError(0.0, 1.0), 1.0);  // guarded by eps
+}
+
+TEST(ErrorMetricsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(ErrorMetricsTest, Percentile) {
+  std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90.0), 7.0);
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+  // Roughly proportional for mixed weights.
+  std::vector<double> mixed = {1.0, 3.0};
+  size_t ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.Categorical(mixed);
+  EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork();
+  // Child and parent should not produce identical streams.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != child.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCells) {
+  TablePrinter table({"name", "value"});
+  table.AddRow();
+  table.Cell("plain");
+  table.Cell(int64_t{1});
+  table.AddRow();
+  table.Cell("with,comma");
+  table.Cell("say \"hi\"");
+  std::string csv = table.ToCsv();
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow();
+  table.Cell("alpha");
+  table.Cell(3.14159, 2);
+  table.AddRow();
+  table.Cell("b");
+  table.Cell(int64_t{42});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("3.14"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(rendered.find("|--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aims

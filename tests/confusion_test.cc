@@ -1,0 +1,140 @@
+#include "recognition/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include "recognition/sliding_matcher.h"
+#include "recognition/similarity.h"
+#include "synth/cyberglove.h"
+
+namespace aims::recognition {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm;
+  cm.Add("A", "A");
+  cm.Add("A", "A");
+  cm.Add("A", "B");
+  cm.Add("B", "B");
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+  EXPECT_EQ(cm.Count("A", "A"), 2u);
+  EXPECT_EQ(cm.Count("A", "B"), 1u);
+  EXPECT_EQ(cm.Count("B", "A"), 0u);
+  EXPECT_EQ(cm.Count("Z", "A"), 0u);
+}
+
+TEST(ConfusionMatrixTest, RecallAndPrecision) {
+  ConfusionMatrix cm;
+  cm.Add("A", "A");
+  cm.Add("A", "B");
+  cm.Add("B", "B");
+  cm.Add("B", "B");
+  EXPECT_DOUBLE_EQ(cm.Recall("A"), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall("B"), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision("A"), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Precision("B"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Recall("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision("missing"), 0.0);
+}
+
+TEST(ConfusionMatrixTest, TopConfusionsOrdered) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 5; ++i) cm.Add("X", "Y");
+  for (int i = 0; i < 2; ++i) cm.Add("Y", "Z");
+  cm.Add("Z", "X");
+  auto top = cm.TopConfusions(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(std::get<0>(top[0]), "X");
+  EXPECT_EQ(std::get<1>(top[0]), "Y");
+  EXPECT_EQ(std::get<2>(top[0]), 5u);
+  EXPECT_EQ(std::get<2>(top[1]), 2u);
+}
+
+TEST(ConfusionMatrixTest, ToStringListsAllLabels) {
+  ConfusionMatrix cm;
+  cm.Add("GREEN", "GREEN");
+  cm.Add("YELLOW", "GREEN");
+  std::string rendered = cm.ToString();
+  EXPECT_NE(rendered.find("GREEN"), std::string::npos);
+  EXPECT_NE(rendered.find("YELLOW"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_TRUE(cm.TopConfusions(3).empty());
+}
+
+linalg::Matrix ToMatrix(const streams::Recording& rec) {
+  linalg::Matrix m(rec.num_frames(), rec.num_channels());
+  for (size_t r = 0; r < rec.num_frames(); ++r) {
+    m.SetRow(r, rec.frames[r].values);
+  }
+  return m;
+}
+
+TEST(SlidingMatcherTest, FiresOnItsOwnTemplate) {
+  // The baseline must at least detect an exact replay of a template.
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 71, 0.2);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  auto recording = sim.GenerateSign(12, subject).ValueOrDie();
+  Vocabulary vocab;
+  vocab.Add("GREEN", ToMatrix(recording));
+  SlidingMatcherConfig config;
+  config.distance_threshold = 2.0;
+  config.evaluation_stride = 1;  // the exact match exists only at the last
+                                 // frame; do not stride past it
+  SlidingTemplateMatcher matcher(&vocab, config);
+  bool fired = false;
+  for (const streams::Frame& frame : recording.frames) {
+    auto event = matcher.Push(frame);
+    ASSERT_TRUE(event.ok());
+    if (event.ValueOrDie().has_value()) {
+      fired = true;
+      EXPECT_EQ(event.ValueOrDie()->label, "GREEN");
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(SlidingMatcherTest, RefractoryPeriodLimitsRepeats) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 72, 0.2);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  auto recording = sim.GenerateSign(12, subject).ValueOrDie();
+  Vocabulary vocab;
+  vocab.Add("GREEN", ToMatrix(recording));
+  SlidingMatcherConfig config;
+  config.distance_threshold = 50.0;  // fires immediately and often
+  config.refractory_frames = 1000;
+  SlidingTemplateMatcher matcher(&vocab, config);
+  size_t events = 0;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const streams::Frame& frame : recording.frames) {
+      auto event = matcher.Push(frame);
+      ASSERT_TRUE(event.ok());
+      if (event.ValueOrDie().has_value()) ++events;
+    }
+  }
+  EXPECT_LE(events, 1u);
+}
+
+TEST(SlidingMatcherTest, SilentWhenNothingIsClose) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 73, 0.2);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  Vocabulary vocab;
+  vocab.Add("GREEN", ToMatrix(sim.GenerateSign(12, subject).ValueOrDie()));
+  SlidingMatcherConfig config;
+  config.distance_threshold = 0.5;
+  SlidingTemplateMatcher matcher(&vocab, config);
+  streams::Frame flat;
+  flat.values.assign(synth::kHandChannels, 500.0);  // far from everything
+  for (int i = 0; i < 300; ++i) {
+    auto event = matcher.Push(flat);
+    ASSERT_TRUE(event.ok());
+    EXPECT_FALSE(event.ValueOrDie().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace aims::recognition

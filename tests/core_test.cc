@@ -1,0 +1,317 @@
+#include "core/aims.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "synth/cyberglove.h"
+#include "test_util.h"
+
+namespace aims::core {
+namespace {
+
+streams::Recording GloveRecording(uint64_t seed, size_t sign = 12) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), seed);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  return sim.GenerateSign(sign, subject).ValueOrDie();
+}
+
+linalg::Matrix ToMatrix(const streams::Recording& rec) {
+  linalg::Matrix m(rec.num_frames(), rec.num_channels());
+  for (size_t r = 0; r < rec.num_frames(); ++r) {
+    m.SetRow(r, rec.frames[r].values);
+  }
+  return m;
+}
+
+TEST(AimsSystemTest, IngestAndCatalog) {
+  AimsSystem system;
+  streams::Recording rec = GloveRecording(1);
+  auto id = system.IngestRecording("session-1", rec);
+  ASSERT_TRUE(id.ok());
+  auto info = system.GetSession(id.ValueOrDie());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.ValueOrDie().name, "session-1");
+  EXPECT_EQ(info.ValueOrDie().num_channels, synth::kHandChannels);
+  EXPECT_EQ(info.ValueOrDie().num_frames, rec.num_frames());
+  EXPECT_EQ(info.ValueOrDie().best_basis_nodes.size(), synth::kHandChannels);
+  EXPECT_EQ(system.ListSessions().size(), 1u);
+  EXPECT_FALSE(system.GetSession(99).ok());
+}
+
+TEST(AimsSystemTest, ReadChannelRoundTripsThroughStorage) {
+  AimsSystem system;
+  streams::Recording rec = GloveRecording(2);
+  auto id = system.IngestRecording("rt", rec);
+  ASSERT_TRUE(id.ok());
+  for (size_t channel : {size_t{0}, size_t{10}, synth::kHandChannels - 1}) {
+    auto read = system.ReadChannel(id.ValueOrDie(), channel);
+    ASSERT_TRUE(read.ok());
+    EXPECT_LT(testutil::MaxAbsDiff(read.ValueOrDie(), rec.Channel(channel)),
+              1e-6);
+  }
+  EXPECT_FALSE(system.ReadChannel(id.ValueOrDie(), 999).ok());
+}
+
+TEST(AimsSystemTest, QueryRangeMatchesDirectAverage) {
+  AimsSystem system;
+  streams::Recording rec = GloveRecording(3);
+  auto id = system.IngestRecording("qr", rec);
+  ASSERT_TRUE(id.ok());
+  const size_t channel = 5;
+  const size_t first = 10, last = rec.num_frames() - 10;
+  auto stats = system.QueryRange(id.ValueOrDie(), channel, first, last);
+  ASSERT_TRUE(stats.ok());
+  std::vector<double> values = rec.Channel(channel);
+  double direct_sum = 0.0;
+  for (size_t i = first; i <= last; ++i) direct_sum += values[i];
+  EXPECT_NEAR(stats.ValueOrDie().sum, direct_sum,
+              1e-6 * std::max(1.0, std::fabs(direct_sum)));
+  EXPECT_NEAR(stats.ValueOrDie().mean,
+              direct_sum / static_cast<double>(last - first + 1), 1e-6);
+  EXPECT_EQ(stats.ValueOrDie().count, last - first + 1);
+}
+
+TEST(AimsSystemTest, QueryRangeReadsFarFewerBlocksThanFullScan) {
+  AimsSystem system;
+  // Long recording so the channel spans many blocks (a sequence of signs
+  // runs a few thousand frames).
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 4);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  auto rec =
+      sim.GenerateSequence({0, 5, 12, 13, 16, 17, 2, 9, 12, 16}, subject,
+                           /*rest=*/1.0, nullptr);
+  ASSERT_TRUE(rec.ok());
+  auto id = system.IngestRecording("io", rec.ValueOrDie());
+  ASSERT_TRUE(id.ok());
+  size_t frames = rec.ValueOrDie().num_frames();
+  auto stats = system.QueryRange(id.ValueOrDie(), 0, 5, frames - 5);
+  ASSERT_TRUE(stats.ok());
+  // Full channel storage spans many blocks; the range query needs O(lg n).
+  size_t padded = 1;
+  while (padded < frames) padded <<= 1;
+  size_t total_blocks = padded * sizeof(double) / 512;
+  ASSERT_GE(total_blocks, 16u);
+  EXPECT_LT(stats.ValueOrDie().blocks_read, total_blocks / 2);
+  EXPECT_GT(stats.ValueOrDie().blocks_read, 0u);
+}
+
+TEST(AimsSystemTest, QueryRangeValidation) {
+  AimsSystem system;
+  auto id = system.IngestRecording("v", GloveRecording(5));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(system.QueryRange(id.ValueOrDie(), 0, 10, 5).ok());
+  EXPECT_FALSE(system.QueryRange(id.ValueOrDie(), 0, 0, 1u << 20).ok());
+  EXPECT_FALSE(system.QueryRange(77, 0, 0, 5).ok());
+}
+
+TEST(AimsSystemTest, IngestRejectsDegenerateRecording) {
+  AimsSystem system;
+  streams::Recording tiny;
+  tiny.sample_rate_hz = 100.0;
+  tiny.Append(streams::Frame{0.0, {1.0}});
+  EXPECT_FALSE(system.IngestRecording("tiny", tiny).ok());
+}
+
+TEST(AimsSystemTest, OnlineRecognitionEndToEnd) {
+  AimsSystem system;
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 6,
+                                 /*noise=*/0.5);
+  synth::SubjectProfile reference = sim.MakeSubject();
+  for (size_t sign : {12u, 13u, 16u, 17u}) {
+    system.AddVocabularyEntry(
+        sim.vocabulary()[sign].name,
+        ToMatrix(sim.GenerateSign(sign, reference).ValueOrDie()));
+  }
+  ASSERT_TRUE(system.StartRecognizer().ok());
+
+  synth::SubjectProfile user = sim.MakeSubject();
+  std::vector<synth::SignSegment> truth;
+  auto stream = sim.GenerateSequence({13, 16}, user, 1.0, &truth);
+  ASSERT_TRUE(stream.ok());
+  std::vector<recognition::RecognitionEvent> events;
+  for (const streams::Frame& frame : stream.ValueOrDie().frames) {
+    auto event = system.PushLiveFrame(frame);
+    ASSERT_TRUE(event.ok());
+    if (event.ValueOrDie().has_value()) events.push_back(*event.ValueOrDie());
+  }
+  auto last = system.FinishLiveStream();
+  ASSERT_TRUE(last.ok());
+  if (last.ValueOrDie().has_value()) events.push_back(*last.ValueOrDie());
+  // Time-warped renditions may split once; both scripted signs must be
+  // found with the right labels, matched by boundary overlap.
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_LE(events.size(), 3u);
+  for (size_t t = 0; t < truth.size(); ++t) {
+    bool found = false;
+    for (const auto& event : events) {
+      bool overlaps = event.start_frame < truth[t].end_frame &&
+                      event.end_frame > truth[t].start_frame;
+      if (overlaps &&
+          event.label == sim.vocabulary()[truth[t].sign_index].name) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "sign " << t << " not recognized";
+  }
+}
+
+TEST(AimsSystemTest, RecognizerRequiresVocabulary) {
+  AimsSystem system;
+  EXPECT_FALSE(system.StartRecognizer().ok());
+  streams::Frame frame;
+  frame.values.assign(4, 0.0);
+  EXPECT_FALSE(system.PushLiveFrame(frame).ok());
+  EXPECT_FALSE(system.FinishLiveStream().ok());
+}
+
+TEST(AimsSystemTest, ExportImportRoundTrip) {
+  AimsSystem system;
+  streams::Recording rec = GloveRecording(9);
+  auto id = system.IngestRecording("to-export", rec);
+  ASSERT_TRUE(id.ok());
+  std::string path = std::string(::testing::TempDir()) + "/session.aimr";
+  ASSERT_TRUE(system.ExportSession(id.ValueOrDie(), path).ok());
+  auto imported = system.ImportSession("re-imported", path);
+  ASSERT_TRUE(imported.ok());
+  // The round trip is loss-free up to the transform's numerics.
+  for (size_t c : {size_t{0}, size_t{20}}) {
+    auto original = system.ReadChannel(id.ValueOrDie(), c);
+    auto reimported = system.ReadChannel(imported.ValueOrDie(), c);
+    ASSERT_TRUE(original.ok() && reimported.ok());
+    EXPECT_LT(testutil::MaxAbsDiff(original.ValueOrDie(),
+                                   reimported.ValueOrDie()),
+              1e-6);
+  }
+  EXPECT_FALSE(system.ExportSession(999, path).ok());
+  EXPECT_FALSE(system.ImportSession("x", "/nonexistent.aimr").ok());
+  std::remove(path.c_str());
+}
+
+TEST(AimsSystemTest, ProgressiveRangeQueryConvergesWithValidBounds) {
+  AimsSystem system;
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 10);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  auto rec = sim.GenerateSequence({12, 16, 13, 17}, subject, 1.0, nullptr);
+  ASSERT_TRUE(rec.ok());
+  auto id = system.IngestRecording("prog", rec.ValueOrDie());
+  ASSERT_TRUE(id.ok());
+  const size_t channel = 4;
+  size_t first = 20, last = rec.ValueOrDie().num_frames() - 20;
+  auto exact = system.QueryRange(id.ValueOrDie(), channel, first, last);
+  ASSERT_TRUE(exact.ok());
+  auto steps =
+      system.QueryRangeProgressive(id.ValueOrDie(), channel, first, last);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_FALSE(steps.ValueOrDie().empty());
+  // Bounds hold at every step; the last step is exact.
+  for (const ProgressiveRangeStep& step : steps.ValueOrDie()) {
+    EXPECT_LE(std::fabs(step.sum_estimate - exact.ValueOrDie().sum),
+              step.sum_error_bound +
+                  1e-6 * std::max(1.0, std::fabs(exact.ValueOrDie().sum)));
+  }
+  EXPECT_NEAR(steps.ValueOrDie().back().sum_estimate,
+              exact.ValueOrDie().sum,
+              1e-6 * std::max(1.0, std::fabs(exact.ValueOrDie().sum)));
+  EXPECT_NEAR(steps.ValueOrDie().back().mean_estimate,
+              exact.ValueOrDie().mean, 1e-6);
+  // Block count matches the non-progressive query's I/O.
+  EXPECT_EQ(steps.ValueOrDie().back().blocks_read,
+            exact.ValueOrDie().blocks_read);
+  // Validation.
+  EXPECT_FALSE(system.QueryRangeProgressive(99, 0, 0, 5).ok());
+  EXPECT_FALSE(
+      system.QueryRangeProgressive(id.ValueOrDie(), channel, 10, 5).ok());
+}
+
+TEST(AimsSystemTest, BuildChannelCubeMatchesDirectStatistics) {
+  AimsSystem system;
+  std::vector<SessionId> ids;
+  std::vector<streams::Recording> recordings;
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    recordings.push_back(GloveRecording(seed));
+    auto id = system.IngestRecording("s" + std::to_string(seed),
+                                     recordings.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.ValueOrDie());
+  }
+  AimsSystem::CubeSpec spec;
+  spec.channel = 20;  // wrist flexion
+  spec.time_buckets = 32;
+  spec.value_buckets = 64;
+  auto cube = system.BuildChannelCube(ids, spec);
+  ASSERT_TRUE(cube.ok());
+  // COUNT over everything equals the total frame count.
+  propolyne::Evaluator evaluator(&cube.ValueOrDie());
+  const auto& extents = cube.ValueOrDie().schema().extents;
+  auto count = evaluator.Evaluate(propolyne::RangeSumQuery::Count(
+      {0, 0, 0}, {extents[0] - 1, extents[1] - 1, extents[2] - 1}));
+  ASSERT_TRUE(count.ok());
+  size_t total_frames = 0;
+  for (const auto& rec : recordings) total_frames += rec.num_frames();
+  EXPECT_NEAR(count.ValueOrDie(), static_cast<double>(total_frames), 1e-6);
+  // Per-session COUNT equals that session's frames.
+  auto per_session = evaluator.Evaluate(propolyne::RangeSumQuery::Count(
+      {1, 0, 0}, {1, extents[1] - 1, extents[2] - 1}));
+  ASSERT_TRUE(per_session.ok());
+  EXPECT_NEAR(per_session.ValueOrDie(),
+              static_cast<double>(recordings[1].num_frames()), 1e-6);
+  // VARIANCE over the value dimension is supported (db3 there).
+  auto stats = propolyne::ComputeStatistics(
+      evaluator, {0, 0, 0}, {extents[0] - 1, extents[1] - 1, extents[2] - 1},
+      /*measure_dim=*/2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.ValueOrDie().Variance(), 0.0);
+  // Validation.
+  EXPECT_FALSE(system.BuildChannelCube({}, spec).ok());
+  AimsSystem::CubeSpec bad = spec;
+  bad.time_buckets = 33;
+  EXPECT_FALSE(system.BuildChannelCube(ids, bad).ok());
+}
+
+TEST(AimsSystemTest, CatalogSaveAndLoadRoundTrip) {
+  AimsSystem original;
+  std::vector<SessionId> ids;
+  for (uint64_t seed : {21u, 22u}) {
+    auto id = original.IngestRecording("sess" + std::to_string(seed),
+                                       GloveRecording(seed));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.ValueOrDie());
+  }
+  std::string dir = std::string(::testing::TempDir()) + "/aims_catalog";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(original.SaveCatalog(dir).ok());
+
+  AimsSystem restored;
+  auto loaded = restored.LoadCatalog(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.ValueOrDie().size(), 2u);
+  for (size_t s = 0; s < 2; ++s) {
+    auto info = restored.GetSession(loaded.ValueOrDie()[s]);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.ValueOrDie().name, "sess" + std::to_string(21 + s));
+    auto a = original.ReadChannel(ids[s], 3);
+    auto b = restored.ReadChannel(loaded.ValueOrDie()[s], 3);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_LT(testutil::MaxAbsDiff(a.ValueOrDie(), b.ValueOrDie()), 1e-6);
+  }
+  EXPECT_FALSE(restored.LoadCatalog("/nonexistent-dir").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AimsSystemTest, MultipleSessionsShareTheDevice) {
+  AimsSystem system;
+  auto id1 = system.IngestRecording("a", GloveRecording(7));
+  auto id2 = system.IngestRecording("b", GloveRecording(8));
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_NE(id1.ValueOrDie(), id2.ValueOrDie());
+  EXPECT_EQ(system.ListSessions().size(), 2u);
+  EXPECT_GT(system.device().num_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace aims::core

@@ -1,0 +1,165 @@
+#include "propolyne/data_approximation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "synth/olap_data.h"
+
+namespace aims::propolyne {
+namespace {
+
+DataCube MakeCube(const synth::GridDataset& dataset) {
+  CubeSchema schema;
+  schema.extents = dataset.shape;
+  for (size_t d = 0; d < dataset.shape.size(); ++d) {
+    schema.names.push_back("d" + std::to_string(d));
+  }
+  auto cube = DataCube::FromDense(
+      std::move(schema),
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb2), dataset.values);
+  return std::move(cube).ValueOrDie();
+}
+
+TEST(DataApproximationTest, FullBudgetIsExact) {
+  Rng rng(1);
+  DataCube cube = MakeCube(synth::MakeSmoothField({32, 32}, 4, &rng));
+  Evaluator evaluator(&cube);
+  DataApproximation approx(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({3, 5}, {28, 30});
+  auto exact = evaluator.Evaluate(query);
+  auto full = approx.EvaluateWithBudget(query, 32 * 32);
+  ASSERT_TRUE(exact.ok() && full.ok());
+  EXPECT_NEAR(full.ValueOrDie(), exact.ValueOrDie(),
+              1e-6 * std::fabs(exact.ValueOrDie()));
+}
+
+TEST(DataApproximationTest, ZeroBudgetIsZero) {
+  Rng rng(2);
+  DataCube cube = MakeCube(synth::MakeSmoothField({32, 32}, 4, &rng));
+  DataApproximation approx(&cube);
+  auto result =
+      approx.EvaluateWithBudget(RangeSumQuery::Count({0, 0}, {31, 31}), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.ValueOrDie(), 0.0);
+}
+
+TEST(DataApproximationTest, AccuracyImprovesWithBudget) {
+  Rng rng(3);
+  DataCube cube = MakeCube(synth::MakeSmoothField({64, 64}, 6, &rng));
+  Evaluator evaluator(&cube);
+  DataApproximation approx(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({10, 10}, {50, 55});
+  double exact = evaluator.Evaluate(query).ValueOrDie();
+  double prev_err = 1e300;
+  for (size_t budget : {16u, 256u, 4096u}) {
+    double estimate = approx.EvaluateWithBudget(query, budget).ValueOrDie();
+    double err = RelativeError(exact, estimate);
+    EXPECT_LE(err, prev_err + 1e-9) << budget;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.01);
+}
+
+TEST(DataApproximationTest, SmoothDataCompressesNoiseDoesNot) {
+  // The data-dependence the paper criticizes: at the same small budget the
+  // smooth field answers well, white noise does not.
+  Rng rng(4);
+  DataCube smooth = MakeCube(synth::MakeSmoothField({64, 64}, 6, &rng));
+  DataCube noise = MakeCube(synth::MakeNoiseField({64, 64}, &rng));
+  RangeSumQuery query = RangeSumQuery::Count({13, 7}, {49, 41});
+  const size_t budget = 64;  // 1.5% of the coefficients
+  double smooth_exact = Evaluator(&smooth).Evaluate(query).ValueOrDie();
+  double noise_exact = Evaluator(&noise).Evaluate(query).ValueOrDie();
+  double smooth_err = RelativeError(
+      smooth_exact,
+      DataApproximation(&smooth).EvaluateWithBudget(query, budget).ValueOrDie());
+  double noise_err = RelativeError(
+      noise_exact,
+      DataApproximation(&noise).EvaluateWithBudget(query, budget).ValueOrDie());
+  EXPECT_LT(smooth_err, 0.1);
+  EXPECT_GT(noise_err, smooth_err);
+}
+
+TEST(DataApproximationProgressive, TrajectoryEndsNearExact) {
+  Rng rng(5);
+  DataCube cube = MakeCube(synth::MakeSmoothField({32, 32}, 4, &rng));
+  DataApproximation approx(&cube);
+  Evaluator evaluator(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({2, 2}, {29, 29});
+  auto progressive = approx.EvaluateProgressive(query, 8);
+  ASSERT_TRUE(progressive.ok());
+  const ProgressiveResult& result = progressive.ValueOrDie();
+  ASSERT_FALSE(result.steps.empty());
+  EXPECT_NEAR(result.exact, evaluator.Evaluate(query).ValueOrDie(),
+              1e-6 * std::fabs(result.exact));
+  EXPECT_NEAR(result.steps.back().estimate, result.exact,
+              1e-6 * std::fabs(result.exact));
+  EXPECT_FALSE(
+      approx.EvaluateProgressive(query, 0).ok());  // stride validation
+}
+
+TEST(WorkloadAwareSynopsisTest, ValidationAndExactness) {
+  Rng rng(6);
+  DataCube cube = MakeCube(synth::MakeSmoothField({32, 32}, 4, &rng));
+  EXPECT_FALSE(WorkloadAwareSynopsis::Make(&cube, {}).ok());
+  std::vector<RangeSumQuery> workload = {
+      RangeSumQuery::Count({0, 0}, {15, 15}),
+      RangeSumQuery::Count({8, 8}, {30, 30})};
+  auto synopsis = WorkloadAwareSynopsis::Make(&cube, workload);
+  ASSERT_TRUE(synopsis.ok());
+  // With an unbounded budget the synopsis answers workload-style queries
+  // exactly.
+  Evaluator evaluator(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({2, 3}, {14, 13});
+  double exact = evaluator.Evaluate(query).ValueOrDie();
+  double full = synopsis.ValueOrDie()
+                    .EvaluateWithBudget(query, 32 * 32)
+                    .ValueOrDie();
+  EXPECT_NEAR(full, exact, 1e-6 * std::max(1.0, std::fabs(exact)));
+}
+
+TEST(WorkloadAwareSynopsisTest, BeatsMagnitudeRankingOnItsWorkload) {
+  // A smooth field queried only inside one quadrant: the workload-aware
+  // ranking concentrates the budget on the coefficients those queries read
+  // while the magnitude ranking spreads it over the whole domain — at every
+  // budget the aware synopsis should answer the workload more accurately.
+  Rng rng(7);
+  synth::GridDataset field = synth::MakeSmoothField({64, 64}, 6, &rng);
+  CubeSchema schema{{"x", "y"}, {64, 64}};
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  ASSERT_TRUE(cube.ok());
+  std::vector<RangeSumQuery> workload;
+  Rng qrng(9);
+  for (int i = 0; i < 8; ++i) {
+    size_t a = static_cast<size_t>(qrng.UniformInt(0, 20));
+    size_t b = static_cast<size_t>(qrng.UniformInt(static_cast<int64_t>(a) + 5, 31));
+    size_t c = static_cast<size_t>(qrng.UniformInt(0, 20));
+    size_t d = static_cast<size_t>(qrng.UniformInt(static_cast<int64_t>(c) + 5, 31));
+    workload.push_back(RangeSumQuery::Count({a, c}, {b, d}));
+  }
+  auto synopsis = WorkloadAwareSynopsis::Make(&cube.ValueOrDie(), workload);
+  ASSERT_TRUE(synopsis.ok());
+  DataApproximation magnitude(&cube.ValueOrDie());
+  Evaluator evaluator(&cube.ValueOrDie());
+  for (size_t budget : {8u, 16u, 24u, 96u}) {
+    RunningStats aware_err, magnitude_err;
+    for (const RangeSumQuery& query : workload) {
+      double exact = evaluator.Evaluate(query).ValueOrDie();
+      aware_err.Add(RelativeError(
+          exact, synopsis.ValueOrDie()
+                     .EvaluateWithBudget(query, budget)
+                     .ValueOrDie()));
+      magnitude_err.Add(RelativeError(
+          exact, magnitude.EvaluateWithBudget(query, budget).ValueOrDie()));
+    }
+    EXPECT_LT(aware_err.mean(), magnitude_err.mean()) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace aims::propolyne

@@ -1,0 +1,115 @@
+#include "propolyne/datacube.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace aims::propolyne {
+namespace {
+
+using ::aims::testutil::MaxAbsDiff;
+
+signal::WaveletFilter Db2() {
+  return signal::WaveletFilter::Make(signal::WaveletKind::kDb2);
+}
+
+CubeSchema SmallSchema() {
+  return CubeSchema{{"time", "sensor", "value"}, {16, 8, 16}};
+}
+
+TEST(CubeSchemaTest, TotalSize) {
+  EXPECT_EQ(SmallSchema().total_size(), 16u * 8u * 16u);
+  EXPECT_EQ(SmallSchema().num_dims(), 3u);
+}
+
+TEST(DataCubeMake, ValidatesSchema) {
+  EXPECT_TRUE(DataCube::Make(SmallSchema(), Db2()).ok());
+  CubeSchema bad_extent{{"a"}, {12}};
+  EXPECT_FALSE(DataCube::Make(bad_extent, Db2()).ok());
+  CubeSchema mismatch{{"a", "b"}, {8}};
+  EXPECT_FALSE(DataCube::Make(mismatch, Db2()).ok());
+  CubeSchema empty{{}, {}};
+  EXPECT_FALSE(DataCube::Make(empty, Db2()).ok());
+}
+
+TEST(DataCubeAppend, MatchesRebuildFromScratch) {
+  auto cube_result = DataCube::Make(SmallSchema(), Db2());
+  ASSERT_TRUE(cube_result.ok());
+  DataCube cube = std::move(cube_result).ValueOrDie();
+
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<size_t> idx = {
+        static_cast<size_t>(rng.UniformInt(0, 15)),
+        static_cast<size_t>(rng.UniformInt(0, 7)),
+        static_cast<size_t>(rng.UniformInt(0, 15)),
+    };
+    auto touched = cube.Append(idx);
+    ASSERT_TRUE(touched.ok());
+    EXPECT_GT(touched.ValueOrDie(), 0u);
+  }
+  // The incrementally maintained transform must equal a full rebuild.
+  std::vector<double> incremental = cube.wavelet();
+  double incremental_energy = cube.wavelet_energy();
+  ASSERT_TRUE(cube.RebuildWavelet().ok());
+  EXPECT_LT(MaxAbsDiff(incremental, cube.wavelet()), 1e-8);
+  EXPECT_NEAR(incremental_energy, cube.wavelet_energy(),
+              1e-6 * std::max(1.0, cube.wavelet_energy()));
+}
+
+TEST(DataCubeAppend, TouchedCellsArePolylogarithmic) {
+  auto cube_result = DataCube::Make(CubeSchema{{"x", "y"}, {1024, 1024}},
+                                    Db2());
+  ASSERT_TRUE(cube_result.ok());
+  DataCube cube = std::move(cube_result).ValueOrDie();
+  auto touched = cube.Append({513, 100});
+  ASSERT_TRUE(touched.ok());
+  // Each dimension contributes O(filter_len * lg n) nonzeros; the product
+  // must stay far below the cube size (2^20).
+  EXPECT_LT(touched.ValueOrDie(), 10000u);
+  EXPECT_GT(touched.ValueOrDie(), 10u);
+}
+
+TEST(DataCubeAppend, WeightsAccumulate) {
+  auto cube_result =
+      DataCube::Make(CubeSchema{{"x"}, {16}}, Db2());
+  ASSERT_TRUE(cube_result.ok());
+  DataCube cube = std::move(cube_result).ValueOrDie();
+  ASSERT_TRUE(cube.Append({5}, 2.0).ok());
+  ASSERT_TRUE(cube.Append({5}, 3.0).ok());
+  EXPECT_DOUBLE_EQ(cube.values()[5], 5.0);
+}
+
+TEST(DataCubeAppend, RejectsBadIndices) {
+  auto cube_result = DataCube::Make(SmallSchema(), Db2());
+  ASSERT_TRUE(cube_result.ok());
+  DataCube cube = std::move(cube_result).ValueOrDie();
+  EXPECT_FALSE(cube.Append({1, 2}).ok());          // wrong arity
+  EXPECT_FALSE(cube.Append({1, 2, 99}).ok());      // out of range
+}
+
+TEST(DataCubeFromDense, RoundTripsValues) {
+  Rng rng(4);
+  std::vector<double> values(16 * 8 * 16);
+  for (double& v : values) v = rng.Uniform(0.0, 10.0);
+  auto cube = DataCube::FromDense(SmallSchema(), Db2(), values);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube.ValueOrDie().values(), values);
+  EXPECT_GT(cube.ValueOrDie().wavelet_energy(), 0.0);
+  auto bad = DataCube::FromDense(SmallSchema(), Db2(),
+                                 std::vector<double>(10, 0.0));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DataCubeFlatIndex, RowMajorOrder) {
+  auto cube = DataCube::Make(SmallSchema(), Db2());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube.ValueOrDie().FlatIndex({0, 0, 0}), 0u);
+  EXPECT_EQ(cube.ValueOrDie().FlatIndex({0, 0, 1}), 1u);
+  EXPECT_EQ(cube.ValueOrDie().FlatIndex({0, 1, 0}), 16u);
+  EXPECT_EQ(cube.ValueOrDie().FlatIndex({1, 0, 0}), 128u);
+}
+
+}  // namespace
+}  // namespace aims::propolyne

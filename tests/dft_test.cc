@@ -1,0 +1,118 @@
+#include "signal/dft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace aims::signal {
+namespace {
+
+using ::aims::testutil::RandomSignal;
+using ::aims::testutil::SineMix;
+
+TEST(FftTest, RoundTrip) {
+  Rng rng(4);
+  std::vector<double> signal = RandomSignal(256, &rng);
+  std::vector<std::complex<double>> data(256);
+  for (size_t i = 0; i < 256; ++i) data[i] = {signal[i], 0.0};
+  ASSERT_TRUE(Fft(&data).ok());
+  ASSERT_TRUE(Fft(&data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < 256; ++i) {
+    EXPECT_NEAR(data[i].real(), signal[i], 1e-9);
+    EXPECT_NEAR(data[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(100);
+  EXPECT_FALSE(Fft(&data).ok());
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(64, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  ASSERT_TRUE(Fft(&data).ok());
+  for (const auto& x : data) {
+    EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesAtItsBin) {
+  const size_t n = 128;
+  const size_t bin = 10;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = std::cos(2.0 * M_PI * static_cast<double>(bin) *
+                         static_cast<double>(i) / static_cast<double>(n));
+  }
+  std::vector<double> power = PowerSpectrum(signal);
+  size_t peak = 0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, bin);
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(6);
+  std::vector<double> signal = RandomSignal(128, &rng);
+  std::vector<std::complex<double>> data(128);
+  for (size_t i = 0; i < 128; ++i) data[i] = {signal[i], 0.0};
+  ASSERT_TRUE(Fft(&data).ok());
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (double x : signal) time_energy += x * x;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(time_energy, freq_energy / 128.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, PeriodicSignal) {
+  // Period-16 cosine: autocorrelation should return to ~1 at lag 16 and be
+  // negative at the half period.
+  const size_t n = 256;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = std::cos(2.0 * M_PI * static_cast<double>(i) / 16.0);
+  }
+  std::vector<double> r = Autocorrelation(signal, 32);
+  ASSERT_GE(r.size(), 17u);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  EXPECT_GT(r[16], 0.7);
+  EXPECT_LT(r[8], -0.5);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseDecorrelates) {
+  Rng rng(7);
+  std::vector<double> signal = RandomSignal(4096, &rng);
+  std::vector<double> r = Autocorrelation(signal, 10);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  for (size_t k = 1; k <= 10; ++k) {
+    EXPECT_LT(std::fabs(r[k]), 0.1) << "lag " << k;
+  }
+}
+
+TEST(AutocorrelationTest, EmptyAndShortInputs) {
+  EXPECT_TRUE(Autocorrelation({}, 5).empty());
+  std::vector<double> r = Autocorrelation({1.0, 2.0, 1.0}, 10);
+  EXPECT_EQ(r.size(), 3u);  // clamped to n-1 lags
+}
+
+TEST(DftFeaturesTest, FixedLengthAndStability) {
+  std::vector<double> features = DftFeatures(SineMix(100, {0.05}, {1.0}), 8);
+  EXPECT_EQ(features.size(), 8u);
+  // Similar signals give similar features; different frequencies differ.
+  std::vector<double> same = DftFeatures(SineMix(100, {0.05}, {1.0}), 8);
+  std::vector<double> other = DftFeatures(SineMix(100, {0.25}, {1.0}), 8);
+  double d_same = 0.0, d_other = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    d_same += std::fabs(features[i] - same[i]);
+    d_other += std::fabs(features[i] - other[i]);
+  }
+  EXPECT_LT(d_same, 1e-9);
+  EXPECT_GT(d_other, 0.1);
+}
+
+}  // namespace
+}  // namespace aims::signal

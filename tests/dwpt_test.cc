@@ -1,0 +1,179 @@
+#include "signal/dwpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/dwt.h"
+#include "test_util.h"
+
+namespace aims::signal {
+namespace {
+
+using ::aims::testutil::MaxAbsDiff;
+using ::aims::testutil::RandomSignal;
+using ::aims::testutil::SineMix;
+
+WaveletFilter Db2() { return WaveletFilter::Make(WaveletKind::kDb2); }
+
+TEST(DwptBuild, NodeSizesAndDepth) {
+  Rng rng(1);
+  std::vector<double> signal = RandomSignal(64, &rng);
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.ValueOrDie().depth(), 6);
+  EXPECT_EQ(tree.ValueOrDie().NodeCoefficients({0, 0}).size(), 64u);
+  EXPECT_EQ(tree.ValueOrDie().NodeCoefficients({3, 5}).size(), 8u);
+  EXPECT_EQ(tree.ValueOrDie().NodeCoefficients({6, 63}).size(), 1u);
+}
+
+TEST(DwptBuild, DepthLimitAndErrors) {
+  Rng rng(2);
+  auto limited = WaveletPacketTree::Build(Db2(), RandomSignal(64, &rng), 3);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.ValueOrDie().depth(), 3);
+  EXPECT_FALSE(WaveletPacketTree::Build(Db2(), RandomSignal(60, &rng)).ok());
+}
+
+TEST(DwptBasis, StandardAndDwtBasesAreValid) {
+  Rng rng(3);
+  auto tree = WaveletPacketTree::Build(Db2(), RandomSignal(64, &rng));
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  EXPECT_TRUE(t.IsValidBasis(t.StandardBasis()));
+  EXPECT_TRUE(t.IsValidBasis(t.DwtBasis()));
+  EXPECT_EQ(t.DwtBasis().size(), 7u);  // 6 detail bands + deepest lowpass
+}
+
+TEST(DwptBasis, InvalidBasesRejected) {
+  Rng rng(4);
+  auto tree = WaveletPacketTree::Build(Db2(), RandomSignal(16, &rng));
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  EXPECT_FALSE(t.IsValidBasis({}));                       // covers nothing
+  EXPECT_FALSE(t.IsValidBasis({{1, 0}}));                 // half coverage
+  EXPECT_FALSE(t.IsValidBasis({{0, 0}, {1, 0}}));         // overlap
+  EXPECT_FALSE(t.IsValidBasis({{1, 0}, {1, 0}, {1, 1}})); // duplicate
+}
+
+TEST(DwptBasis, BestBasisIsValidAndBeatsFixedBases) {
+  // A pure tone away from dyadic frequencies: packets should beat the DWT.
+  std::vector<double> signal = SineMix(256, {0.19}, {1.0});
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  auto best = t.BestBasis(BasisCost::kShannonEntropy);
+  EXPECT_TRUE(t.IsValidBasis(best));
+  double best_cost = t.CostOf(best, BasisCost::kShannonEntropy);
+  EXPECT_LE(best_cost, t.CostOf(t.DwtBasis(), BasisCost::kShannonEntropy) + 1e-9);
+  EXPECT_LE(best_cost,
+            t.CostOf(t.StandardBasis(), BasisCost::kShannonEntropy) + 1e-9);
+}
+
+class BasisCostTest : public ::testing::TestWithParam<BasisCost> {};
+
+TEST_P(BasisCostTest, BestBasisMinimizesAmongProbes) {
+  Rng rng(5);
+  std::vector<double> signal = SineMix(128, {0.11, 0.23}, {1.0, 0.4});
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  auto best = t.BestBasis(GetParam());
+  ASSERT_TRUE(t.IsValidBasis(best));
+  double best_cost = t.CostOf(best, GetParam());
+  EXPECT_LE(best_cost, t.CostOf(t.DwtBasis(), GetParam()) + 1e-9);
+  EXPECT_LE(best_cost, t.CostOf(t.StandardBasis(), GetParam()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCosts, BasisCostTest,
+                         ::testing::Values(BasisCost::kShannonEntropy,
+                                           BasisCost::kLogEnergy,
+                                           BasisCost::kThresholdCount,
+                                           BasisCost::kL1Norm));
+
+TEST(DwptReconstruct, RoundTripThroughSeveralBases) {
+  Rng rng(6);
+  std::vector<double> signal = RandomSignal(64, &rng);
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  for (const auto& basis :
+       {t.StandardBasis(), t.DwtBasis(),
+        t.BestBasis(BasisCost::kShannonEntropy)}) {
+    std::vector<double> coeffs = t.BasisCoefficients(basis);
+    ASSERT_EQ(coeffs.size(), 64u);
+    auto back = t.Reconstruct(basis, coeffs);
+    ASSERT_TRUE(back.ok());
+    EXPECT_LT(MaxAbsDiff(signal, back.ValueOrDie()), 1e-9);
+  }
+}
+
+TEST(DwptReconstruct, EnergyPreservedInAnyBasis) {
+  Rng rng(7);
+  std::vector<double> signal = RandomSignal(128, &rng);
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  double signal_energy = 0.0;
+  for (double x : signal) signal_energy += x * x;
+  for (const auto& basis :
+       {t.DwtBasis(), t.BestBasis(BasisCost::kL1Norm)}) {
+    double coeff_energy = 0.0;
+    for (double c : t.BasisCoefficients(basis)) coeff_energy += c * c;
+    EXPECT_NEAR(coeff_energy, signal_energy, 1e-9 * signal_energy);
+  }
+}
+
+TEST(DwptReconstruct, RejectsBadInputs) {
+  Rng rng(8);
+  auto tree = WaveletPacketTree::Build(Db2(), RandomSignal(32, &rng));
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  EXPECT_FALSE(t.Reconstruct({{1, 0}}, std::vector<double>(16, 0.0)).ok());
+  EXPECT_FALSE(
+      t.Reconstruct(t.DwtBasis(), std::vector<double>(31, 0.0)).ok());
+}
+
+TEST(InformationCostTest, EntropyExtremes) {
+  // Energy concentrated in one coefficient: entropy 0.
+  EXPECT_NEAR(InformationCost({5.0, 0.0, 0.0, 0.0},
+                              BasisCost::kShannonEntropy),
+              0.0, 1e-12);
+  // Spread evenly over k coefficients: entropy log(k).
+  EXPECT_NEAR(InformationCost({1.0, 1.0, 1.0, 1.0},
+                              BasisCost::kShannonEntropy),
+              std::log(4.0), 1e-12);
+}
+
+TEST(InformationCostTest, ThresholdCount) {
+  EXPECT_DOUBLE_EQ(
+      InformationCost({0.5, 2.0, -3.0, 0.0}, BasisCost::kThresholdCount, 1.0),
+      2.0);
+}
+
+TEST(InformationCostTest, L1Norm) {
+  EXPECT_DOUBLE_EQ(InformationCost({1.0, -2.0, 3.0}, BasisCost::kL1Norm),
+                   6.0);
+}
+
+TEST(DwptAsDft, DwtBasisMatchesForwardDwtAsMultiset) {
+  // The DWT basis of the packet tree contains exactly the ForwardDwt
+  // coefficients (ordering differs between the two layouts).
+  Rng rng(9);
+  std::vector<double> signal = RandomSignal(32, &rng);
+  auto tree = WaveletPacketTree::Build(Db2(), signal);
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> packet =
+      tree.ValueOrDie().BasisCoefficients(tree.ValueOrDie().DwtBasis());
+  auto pyramid = ForwardDwt(Db2(), signal);
+  ASSERT_TRUE(pyramid.ok());
+  std::vector<double> expected = pyramid.ValueOrDie();
+  std::sort(packet.begin(), packet.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_LT(MaxAbsDiff(packet, expected), 1e-9);
+}
+
+}  // namespace
+}  // namespace aims::signal

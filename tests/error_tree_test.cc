@@ -1,0 +1,152 @@
+#include "signal/error_tree.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/dwt.h"
+#include "signal/wavelet_filter.h"
+#include "test_util.h"
+
+namespace aims::signal {
+namespace {
+
+using ::aims::testutil::RandomSignal;
+
+TEST(ErrorTreeStructure, LevelsAndLevelOf) {
+  HaarErrorTree tree(16);
+  EXPECT_EQ(tree.levels(), 4);
+  EXPECT_EQ(tree.LevelOf(0), 0);
+  EXPECT_EQ(tree.LevelOf(1), 4);   // coarsest detail
+  EXPECT_EQ(tree.LevelOf(2), 3);
+  EXPECT_EQ(tree.LevelOf(4), 2);
+  EXPECT_EQ(tree.LevelOf(8), 1);   // finest details at [8, 16)
+  EXPECT_EQ(tree.LevelOf(15), 1);
+}
+
+TEST(ErrorTreeStructure, ParentChildConsistency) {
+  HaarErrorTree tree(64);
+  for (size_t i = 1; i < 64; ++i) {
+    for (size_t child : tree.Children(i)) {
+      EXPECT_EQ(tree.Parent(child), i);
+    }
+  }
+  // Root's child is the coarsest detail; its parent is the root.
+  EXPECT_EQ(tree.Children(0), std::vector<size_t>{1});
+  EXPECT_EQ(tree.Parent(1), 0u);
+  // Finest level has no children.
+  EXPECT_TRUE(tree.Children(40).empty());
+}
+
+TEST(ErrorTreeStructure, SupportsNestAlongPaths) {
+  HaarErrorTree tree(64);
+  for (size_t i = 2; i < 64; ++i) {
+    auto [lo, hi] = tree.SupportOf(i);
+    auto [plo, phi] = tree.SupportOf(tree.Parent(i));
+    EXPECT_LE(plo, lo);
+    EXPECT_GE(phi, hi);
+  }
+}
+
+TEST(ErrorTreePointQuery, SupportSizeIsOnePlusLgN) {
+  for (size_t n : {8, 64, 1024}) {
+    HaarErrorTree tree(n);
+    size_t lg = static_cast<size_t>(std::log2(static_cast<double>(n)));
+    for (size_t i : {size_t{0}, n / 3, n - 1}) {
+      EXPECT_EQ(tree.PointQuerySupport(i).size(), 1 + lg);
+    }
+  }
+}
+
+TEST(ErrorTreePointQuery, SupportReconstructsExactValue) {
+  // Zeroing every coefficient outside the point support must still
+  // reconstruct data[i] exactly — the dependency-set property.
+  const size_t n = 64;
+  WaveletFilter haar = WaveletFilter::Make(WaveletKind::kHaar);
+  Rng rng(13);
+  std::vector<double> data = RandomSignal(n, &rng);
+  auto coeffs = ForwardDwt(haar, data);
+  ASSERT_TRUE(coeffs.ok());
+  HaarErrorTree tree(n);
+  for (size_t i : {size_t{0}, size_t{17}, size_t{63}}) {
+    std::vector<size_t> support = tree.PointQuerySupport(i);
+    std::set<size_t> keep(support.begin(), support.end());
+    std::vector<double> truncated(n, 0.0);
+    for (size_t k : keep) truncated[k] = coeffs.ValueOrDie()[k];
+    auto back = InverseDwt(haar, truncated);
+    ASSERT_TRUE(back.ok());
+    EXPECT_NEAR(back.ValueOrDie()[i], data[i], 1e-9) << "point " << i;
+  }
+}
+
+TEST(ErrorTreeRangeSum, SupportComputesExactRangeSum) {
+  const size_t n = 128;
+  WaveletFilter haar = WaveletFilter::Make(WaveletKind::kHaar);
+  Rng rng(14);
+  std::vector<double> data = RandomSignal(n, &rng);
+  auto coeffs = ForwardDwt(haar, data);
+  ASSERT_TRUE(coeffs.ok());
+  HaarErrorTree tree(n);
+  for (auto [lo, hi] : std::vector<std::pair<size_t, size_t>>{
+           {0, n - 1}, {5, 90}, {31, 32}, {64, 127}, {0, 0}}) {
+    // Build the query vector transform densely, then check only supported
+    // coefficients are needed to reproduce the range sum.
+    std::vector<size_t> support = tree.RangeSumSupport(lo, hi);
+    std::set<size_t> keep(support.begin(), support.end());
+    std::vector<double> query(n, 0.0);
+    for (size_t i = lo; i <= hi; ++i) query[i] = 1.0;
+    auto tq = ForwardDwt(haar, query);
+    ASSERT_TRUE(tq.ok());
+    double via_support = 0.0, direct = 0.0;
+    for (size_t k : keep) {
+      via_support += tq.ValueOrDie()[k] * coeffs.ValueOrDie()[k];
+    }
+    for (size_t i = lo; i <= hi; ++i) direct += data[i];
+    EXPECT_NEAR(via_support, direct, 1e-9) << lo << ".." << hi;
+    // And the support is logarithmic, not linear.
+    EXPECT_LE(support.size(),
+              2 * static_cast<size_t>(std::log2(n)) + 2);
+  }
+}
+
+TEST(ErrorTreeRangeSum, AlignedRangeNeedsOnlyCoarseCoefficients) {
+  HaarErrorTree tree(64);
+  // [0, 31] splits exactly at the top: only the root and the coarsest
+  // detail are needed.
+  std::vector<size_t> support = tree.RangeSumSupport(0, 31);
+  EXPECT_LE(support.size(), 2u);
+}
+
+TEST(ErrorTreeRangeScan, CoversUnionOfPointSupports) {
+  HaarErrorTree tree(64);
+  std::set<size_t> expected;
+  for (size_t i = 10; i <= 20; ++i) {
+    for (size_t k : tree.PointQuerySupport(i)) expected.insert(k);
+  }
+  std::vector<size_t> scan = tree.RangeScanSupport(10, 20);
+  std::set<size_t> actual(scan.begin(), scan.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ErrorTreeAncestorClosure, NeededSetsAreAncestorClosed) {
+  // "If a wavelet coefficient is retrieved, all of its dependent
+  // (ancestor) coefficients will also be retrieved."
+  HaarErrorTree tree(256);
+  std::vector<size_t> support = tree.PointQuerySupport(100);
+  std::set<size_t> set(support.begin(), support.end());
+  for (size_t k : support) {
+    if (k == 0) continue;
+    EXPECT_TRUE(set.count(tree.Parent(k))) << k;
+  }
+  std::vector<size_t> scan = tree.RangeScanSupport(50, 150);
+  std::set<size_t> scan_set(scan.begin(), scan.end());
+  for (size_t k : scan) {
+    if (k == 0) continue;
+    EXPECT_TRUE(scan_set.count(tree.Parent(k))) << k;
+  }
+}
+
+}  // namespace
+}  // namespace aims::signal

@@ -1,0 +1,206 @@
+#include "propolyne/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "synth/olap_data.h"
+
+namespace aims::propolyne {
+namespace {
+
+DataCube MakeRandomCube(signal::WaveletKind kind, uint64_t seed,
+                        std::vector<size_t> extents = {32, 16, 32}) {
+  Rng rng(seed);
+  CubeSchema schema;
+  schema.extents = extents;
+  for (size_t d = 0; d < extents.size(); ++d) {
+    schema.names.push_back("dim" + std::to_string(d));
+  }
+  std::vector<double> values(schema.total_size());
+  for (double& v : values) {
+    v = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 5.0) : 0.0;
+  }
+  auto cube = DataCube::FromDense(std::move(schema),
+                                  signal::WaveletFilter::Make(kind),
+                                  std::move(values));
+  return std::move(cube).ValueOrDie();
+}
+
+RangeSumQuery RandomRangeQuery(const CubeSchema& schema, Rng* rng) {
+  std::vector<size_t> lo(schema.num_dims()), hi(schema.num_dims());
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    size_t a = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(schema.extents[d]) - 1));
+    size_t b = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(schema.extents[d]) - 1));
+    lo[d] = std::min(a, b);
+    hi[d] = std::max(a, b);
+  }
+  return RangeSumQuery::Count(lo, hi);
+}
+
+class EvaluatorAgreementTest
+    : public ::testing::TestWithParam<signal::WaveletKind> {};
+
+TEST_P(EvaluatorAgreementTest, CountMatchesScanOnRandomRanges) {
+  DataCube cube = MakeRandomCube(GetParam(), 11);
+  Evaluator evaluator(&cube);
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    RangeSumQuery query = RandomRangeQuery(cube.schema(), &rng);
+    auto wavelet = evaluator.Evaluate(query);
+    auto scan = evaluator.EvaluateByScan(query);
+    ASSERT_TRUE(wavelet.ok() && scan.ok());
+    EXPECT_NEAR(wavelet.ValueOrDie(), scan.ValueOrDie(),
+                1e-6 * std::max(1.0, std::fabs(scan.ValueOrDie())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Filters, EvaluatorAgreementTest,
+                         ::testing::Values(signal::WaveletKind::kHaar,
+                                           signal::WaveletKind::kDb2,
+                                           signal::WaveletKind::kDb3),
+                         [](const auto& info) {
+                           return signal::WaveletKindName(info.param);
+                         });
+
+TEST(EvaluatorPolynomial, SumAndSumOfSquaresMatchScan) {
+  DataCube cube = MakeRandomCube(signal::WaveletKind::kDb3, 21, {32, 32});
+  Evaluator evaluator(&cube);
+  std::vector<size_t> lo = {4, 3}, hi = {27, 30};
+  for (const RangeSumQuery& query :
+       {RangeSumQuery::Sum(lo, hi, 0), RangeSumQuery::Sum(lo, hi, 1),
+        RangeSumQuery::SumOfSquares(lo, hi, 1),
+        RangeSumQuery::CrossMoment(lo, hi, 0, 1)}) {
+    auto wavelet = evaluator.Evaluate(query);
+    auto scan = evaluator.EvaluateByScan(query);
+    ASSERT_TRUE(wavelet.ok() && scan.ok());
+    EXPECT_NEAR(wavelet.ValueOrDie(), scan.ValueOrDie(),
+                1e-6 * std::max(1.0, std::fabs(scan.ValueOrDie())));
+  }
+}
+
+TEST(EvaluatorValidation, DegreeNeedsEnoughVanishingMoments) {
+  DataCube haar_cube = MakeRandomCube(signal::WaveletKind::kHaar, 31, {16, 16});
+  Evaluator evaluator(&haar_cube);
+  std::vector<size_t> lo = {0, 0}, hi = {15, 15};
+  EXPECT_TRUE(evaluator.Evaluate(RangeSumQuery::Count(lo, hi)).ok());
+  // SUM needs degree 1 < vanishing moments; Haar has only 1.
+  auto sum = evaluator.Evaluate(RangeSumQuery::Sum(lo, hi, 0));
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluatorValidation, RejectsBadQueries) {
+  DataCube cube = MakeRandomCube(signal::WaveletKind::kDb2, 41, {16, 16});
+  Evaluator evaluator(&cube);
+  RangeSumQuery wrong_arity = RangeSumQuery::Count({0}, {5});
+  EXPECT_FALSE(evaluator.Evaluate(wrong_arity).ok());
+  RangeSumQuery out_of_range = RangeSumQuery::Count({0, 0}, {15, 16});
+  EXPECT_FALSE(evaluator.Evaluate(out_of_range).ok());
+}
+
+TEST(EvaluatorProgressive, ConvergesToExactWithValidBounds) {
+  DataCube cube = MakeRandomCube(signal::WaveletKind::kDb2, 51, {64, 64});
+  Evaluator evaluator(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({5, 10}, {50, 60});
+  auto progressive = evaluator.EvaluateProgressive(query, 4);
+  ASSERT_TRUE(progressive.ok());
+  const ProgressiveResult& result = progressive.ValueOrDie();
+  auto exact = evaluator.EvaluateByScan(query);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_FALSE(result.steps.empty());
+  EXPECT_NEAR(result.exact, exact.ValueOrDie(),
+              1e-6 * std::max(1.0, std::fabs(exact.ValueOrDie())));
+  // The guaranteed bound must hold at every step, and the final estimate
+  // must equal the exact answer.
+  for (const ProgressiveStep& step : result.steps) {
+    EXPECT_LE(std::fabs(step.estimate - result.exact),
+              step.error_bound + 1e-6 * std::fabs(result.exact) + 1e-9);
+  }
+  EXPECT_NEAR(result.steps.back().estimate, result.exact, 1e-9);
+  EXPECT_NEAR(result.steps.back().error_bound, 0.0, 1e-9);
+  // Steps are monotone in coefficients used.
+  for (size_t i = 1; i < result.steps.size(); ++i) {
+    EXPECT_GT(result.steps[i].coefficients_used,
+              result.steps[i - 1].coefficients_used);
+  }
+}
+
+TEST(EvaluatorProgressive, EarlyStepsAlreadyAccurate) {
+  // The headline ProPolyne property: low relative error long before all
+  // coefficients are consumed, on a smooth dataset.
+  Rng rng(61);
+  synth::GridDataset smooth = synth::MakeSmoothField({64, 64}, 6, &rng);
+  auto cube = DataCube::FromDense(
+      CubeSchema{{"x", "y"}, smooth.shape},
+      signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      smooth.values);
+  ASSERT_TRUE(cube.ok());
+  Evaluator evaluator(&cube.ValueOrDie());
+  RangeSumQuery query = RangeSumQuery::Count({8, 8}, {55, 50});
+  auto progressive = evaluator.EvaluateProgressive(query, 1);
+  ASSERT_TRUE(progressive.ok());
+  const ProgressiveResult& result = progressive.ValueOrDie();
+  double exact = result.exact;
+  ASSERT_GT(std::fabs(exact), 1.0);
+  // After 25% of the coefficients the relative error should be small.
+  size_t quarter = result.steps.size() / 4;
+  double rel = RelativeError(exact, result.steps[quarter].estimate);
+  EXPECT_LT(rel, 0.05);
+}
+
+TEST(EvaluatorProgressive, StrideValidation) {
+  DataCube cube = MakeRandomCube(signal::WaveletKind::kDb2, 71, {16, 16});
+  Evaluator evaluator(&cube);
+  EXPECT_FALSE(
+      evaluator.EvaluateProgressive(RangeSumQuery::Count({0, 0}, {5, 5}), 0)
+          .ok());
+}
+
+TEST(EvaluatorCost, QueryCoefficientCountIsPolylog) {
+  DataCube cube = MakeRandomCube(signal::WaveletKind::kDb2, 81, {1024});
+  Evaluator evaluator(&cube);
+  auto count =
+      evaluator.QueryCoefficientCount(RangeSumQuery::Count({100}, {900}));
+  ASSERT_TRUE(count.ok());
+  EXPECT_LT(count.ValueOrDie(), 200u);   // << 1024
+  EXPECT_GT(count.ValueOrDie(), 2u);
+}
+
+TEST(ComputeStatisticsTest, MatchesDirectComputation) {
+  // One-dimensional frequency distribution over "value"; statistics of the
+  // underlying population must match hand computation.
+  CubeSchema schema{{"value"}, {16}};
+  std::vector<double> freq(16, 0.0);
+  // Population: {2, 2, 3, 7}: count 4, sum 14, sumsq 66.
+  freq[2] = 2;
+  freq[3] = 1;
+  freq[7] = 1;
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb3), freq);
+  ASSERT_TRUE(cube.ok());
+  Evaluator evaluator(&cube.ValueOrDie());
+  auto stats = ComputeStatistics(evaluator, {0}, {15}, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats.ValueOrDie().count, 4.0, 1e-6);
+  EXPECT_NEAR(stats.ValueOrDie().sum, 14.0, 1e-6);
+  EXPECT_NEAR(stats.ValueOrDie().sum_squares, 66.0, 1e-6);
+  EXPECT_NEAR(stats.ValueOrDie().Average(), 3.5, 1e-6);
+  // Population variance: 66/4 - 3.5^2 = 16.5 - 12.25 = 4.25.
+  EXPECT_NEAR(stats.ValueOrDie().Variance(), 4.25, 1e-6);
+}
+
+TEST(QueryBuilders, MaxDegree) {
+  std::vector<size_t> lo = {0, 0}, hi = {7, 7};
+  EXPECT_EQ(RangeSumQuery::Count(lo, hi).max_degree(), 0);
+  EXPECT_EQ(RangeSumQuery::Sum(lo, hi, 1).max_degree(), 1);
+  EXPECT_EQ(RangeSumQuery::SumOfSquares(lo, hi, 0).max_degree(), 2);
+  EXPECT_EQ(RangeSumQuery::CrossMoment(lo, hi, 0, 1).max_degree(), 1);
+}
+
+}  // namespace
+}  // namespace aims::propolyne

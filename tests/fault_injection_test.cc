@@ -1,0 +1,127 @@
+// Failure injection: storage faults must surface as clean IoError statuses
+// through every layer — WaveletStore, BlockedCube, the AimsSystem facade —
+// never as crashes, silent wrong answers, or corrupted state.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aims.h"
+#include "propolyne/block_propolyne.h"
+#include "storage/allocation.h"
+#include "storage/block_device.h"
+#include "storage/wavelet_store.h"
+#include "synth/cyberglove.h"
+#include "synth/olap_data.h"
+#include "test_util.h"
+
+namespace aims {
+namespace {
+
+TEST(FaultInjection, DeviceReadFaultSurfacesAsIoError) {
+  storage::BlockDevice device(64);
+  storage::BlockId id = device.Allocate();
+  ASSERT_TRUE(device.Write(id, {1, 2, 3}).ok());
+  device.FailNextReads(1);
+  auto first = device.Read(id);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kIoError);
+  // The fault is transient: the next read succeeds.
+  auto second = device.Read(id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ValueOrDie(), (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(FaultInjection, DeviceWriteFaultSurfacesAsIoError) {
+  storage::BlockDevice device(64);
+  storage::BlockId id = device.Allocate();
+  device.FailNextWrites(1);
+  EXPECT_EQ(device.Write(id, {9}).code(), StatusCode::kIoError);
+  EXPECT_TRUE(device.Write(id, {9}).ok());
+}
+
+TEST(FaultInjection, WaveletStorePropagatesFetchFaults) {
+  const size_t n = 256;
+  storage::BlockDevice device(64 * sizeof(double));
+  storage::WaveletStore store(
+      &device, std::make_unique<storage::SubtreeTilingAllocator>(n, 64), n);
+  Rng rng(1);
+  ASSERT_TRUE(store.Put(testutil::RandomSignal(n, &rng)).ok());
+  device.FailNextReads(1);
+  auto fetched = store.Fetch({0, 1, 200});
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kIoError);
+  // Recovery: the same fetch works once the fault clears.
+  EXPECT_TRUE(store.Fetch({0, 1, 200}).ok());
+}
+
+TEST(FaultInjection, WaveletStorePutFaultLeavesStatusClean) {
+  const size_t n = 64;
+  storage::BlockDevice device(64 * sizeof(double));
+  storage::WaveletStore store(
+      &device, std::make_unique<storage::SubtreeTilingAllocator>(n, 16), n);
+  device.FailNextWrites(1);
+  EXPECT_EQ(store.Put(std::vector<double>(n, 1.0)).code(),
+            StatusCode::kIoError);
+}
+
+TEST(FaultInjection, BlockedCubePropagatesProgressiveFaults) {
+  Rng rng(2);
+  synth::GridDataset field = synth::MakeSmoothField({32, 32}, 4, &rng);
+  propolyne::CubeSchema schema{{"x", "y"}, field.shape};
+  auto cube = propolyne::DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      field.values);
+  ASSERT_TRUE(cube.ok());
+  storage::BlockDevice device(64 * sizeof(double));
+  auto blocked =
+      propolyne::BlockedCube::Make(&cube.ValueOrDie(), &device, {8, 8});
+  ASSERT_TRUE(blocked.ok());
+  device.FailNextReads(1);
+  auto result = blocked.ValueOrDie().EvaluateProgressive(
+      propolyne::RangeSumQuery::Count({3, 3}, {28, 28}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  // The evaluation aborts on the first failed block; once the fault is
+  // consumed, the same query succeeds.
+  auto retry = blocked.ValueOrDie().EvaluateProgressive(
+      propolyne::RangeSumQuery::Count({3, 3}, {28, 28}));
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST(FaultInjection, FacadeQueriesPropagateFaults) {
+  core::AimsSystem system;
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 3);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  auto id = system.IngestRecording(
+      "faulty", sim.GenerateSign(12, subject).ValueOrDie());
+  ASSERT_TRUE(id.ok());
+  system.mutable_device()->FailNextReads(1);
+  auto stats = system.QueryRange(id.ValueOrDie(), 0, 5, 50);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+  // The store is intact: retry succeeds and matches a clean query.
+  auto retry = system.QueryRange(id.ValueOrDie(), 0, 5, 50);
+  ASSERT_TRUE(retry.ok());
+  system.mutable_device()->FailNextReads(1);
+  EXPECT_FALSE(system.ReadChannel(id.ValueOrDie(), 0).ok());
+  auto clean = system.ReadChannel(id.ValueOrDie(), 0);
+  EXPECT_TRUE(clean.ok());
+}
+
+TEST(FaultInjection, IngestSurvivesWriteFaultWithCleanError) {
+  core::AimsSystem system;
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 4);
+  synth::SubjectProfile subject = sim.MakeSubject();
+  streams::Recording rec = sim.GenerateSign(12, subject).ValueOrDie();
+  system.mutable_device()->FailNextWrites(1);
+  auto id = system.IngestRecording("will-fail", rec);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kIoError);
+  // The system remains usable: a clean ingest afterwards works fully.
+  auto retry = system.IngestRecording("ok", rec);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(system.ReadChannel(retry.ValueOrDie(), 0).ok());
+}
+
+}  // namespace
+}  // namespace aims

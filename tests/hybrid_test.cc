@@ -1,0 +1,150 @@
+#include "propolyne/hybrid.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "propolyne/evaluator.h"
+
+namespace aims::propolyne {
+namespace {
+
+/// Immersidata-shaped cube: a sensor-id dimension with only a few occupied
+/// values, plus two wavelet-friendly dimensions.
+DataCube MakeImmersidataCube(uint64_t seed) {
+  CubeSchema schema{{"sensor", "time", "value"}, {16, 32, 32}};
+  Rng rng(seed);
+  std::vector<double> values(schema.total_size(), 0.0);
+  // Only sensors 2, 5, 9 ever report.
+  for (size_t sensor : {2u, 5u, 9u}) {
+    for (int rec = 0; rec < 200; ++rec) {
+      size_t t = static_cast<size_t>(rng.UniformInt(0, 31));
+      size_t v = static_cast<size_t>(rng.UniformInt(0, 31));
+      values[(sensor * 32 + t) * 32 + v] += 1.0;
+    }
+  }
+  auto cube = DataCube::FromDense(
+      schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
+      std::move(values));
+  return std::move(cube).ValueOrDie();
+}
+
+TEST(HybridDecompositionTest, Helpers) {
+  HybridDecomposition d;
+  d.standard = {true, false, true};
+  EXPECT_EQ(d.num_standard(), 2u);
+  EXPECT_EQ(d.ToString(), "SWS");
+}
+
+TEST(HybridEvaluatorTest, AllDecompositionsMatchScan) {
+  DataCube cube = MakeImmersidataCube(7);
+  Evaluator reference(&cube);
+  RangeSumQuery query = RangeSumQuery::Count({2, 4, 0}, {9, 28, 31});
+  double expected = reference.EvaluateByScan(query).ValueOrDie();
+  for (size_t mask = 0; mask < 8; ++mask) {
+    HybridDecomposition decomp;
+    decomp.standard = {(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0};
+    auto evaluator = HybridEvaluator::Make(&cube, decomp);
+    ASSERT_TRUE(evaluator.ok()) << decomp.ToString();
+    auto result = evaluator.ValueOrDie().Evaluate(query);
+    ASSERT_TRUE(result.ok()) << decomp.ToString();
+    EXPECT_NEAR(result.ValueOrDie(), expected,
+                1e-6 * std::max(1.0, std::fabs(expected)))
+        << decomp.ToString();
+  }
+}
+
+TEST(HybridEvaluatorTest, PolynomialQueriesMatchScan) {
+  DataCube cube = MakeImmersidataCube(8);
+  Evaluator reference(&cube);
+  RangeSumQuery query = RangeSumQuery::Sum({0, 0, 3}, {15, 31, 29}, 2);
+  double expected = reference.EvaluateByScan(query).ValueOrDie();
+  HybridDecomposition decomp;
+  decomp.standard = {true, false, false};  // sensor relational
+  auto evaluator = HybridEvaluator::Make(&cube, decomp);
+  ASSERT_TRUE(evaluator.ok());
+  EXPECT_NEAR(evaluator.ValueOrDie().Evaluate(query).ValueOrDie(), expected,
+              1e-6 * std::max(1.0, std::fabs(expected)));
+}
+
+TEST(HybridEvaluatorTest, OccupiedCellsReflectSparsity) {
+  DataCube cube = MakeImmersidataCube(9);
+  HybridDecomposition sensor_standard;
+  sensor_standard.standard = {true, false, false};
+  auto evaluator = HybridEvaluator::Make(&cube, sensor_standard);
+  ASSERT_TRUE(evaluator.ok());
+  // Only 3 sensors ever reported.
+  EXPECT_EQ(evaluator.ValueOrDie().occupied_cells(), 3u);
+}
+
+TEST(HybridEvaluatorTest, CostModelFavorsStandardOnSparseDimension) {
+  DataCube cube = MakeImmersidataCube(10);
+  // Deliberately unaligned ranges: an aligned full-domain COUNT collapses
+  // to one wavelet coefficient per dimension and nothing can beat it.
+  RangeSumQuery query = RangeSumQuery::Count({0, 2, 3}, {14, 29, 30});
+  HybridDecomposition pure_wavelet;
+  pure_wavelet.standard = {false, false, false};
+  HybridDecomposition sensor_standard;
+  sensor_standard.standard = {true, false, false};
+  auto pure = HybridEvaluator::Make(&cube, pure_wavelet);
+  auto hybrid = HybridEvaluator::Make(&cube, sensor_standard);
+  ASSERT_TRUE(pure.ok() && hybrid.ok());
+  auto pure_cost = pure.ValueOrDie().MeasureCost(query);
+  auto hybrid_cost = hybrid.ValueOrDie().MeasureCost(query);
+  ASSERT_TRUE(pure_cost.ok() && hybrid_cost.ok());
+  // 3 occupied sensors x wavelet coefficients of 2 dims is far cheaper than
+  // the 3-dim wavelet coefficient product.
+  EXPECT_LT(hybrid_cost.ValueOrDie().total_operations,
+            pure_cost.ValueOrDie().total_operations);
+}
+
+TEST(HybridEvaluatorTest, MeasureCostCountsOccupiedCellsInRange) {
+  DataCube cube = MakeImmersidataCube(11);
+  HybridDecomposition decomp;
+  decomp.standard = {true, false, false};
+  auto evaluator = HybridEvaluator::Make(&cube, decomp);
+  ASSERT_TRUE(evaluator.ok());
+  // Range covering only sensor 2.
+  RangeSumQuery narrow = RangeSumQuery::Count({2, 0, 0}, {2, 31, 31});
+  auto cost = evaluator.ValueOrDie().MeasureCost(narrow);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost.ValueOrDie().standard_cells, 1u);
+}
+
+TEST(ChooseDecompositionTest, PicksSensorAsStandard) {
+  DataCube cube = MakeImmersidataCube(12);
+  std::vector<RangeSumQuery> workload = {
+      RangeSumQuery::Count({0, 0, 0}, {15, 31, 31}),
+      RangeSumQuery::Count({2, 5, 0}, {9, 30, 31}),
+      RangeSumQuery::Sum({0, 0, 0}, {15, 31, 31}, 2),
+  };
+  auto best = ChooseDecomposition(cube, workload);
+  ASSERT_TRUE(best.ok());
+  // The sensor dimension is nearly empty: relational wins there.
+  EXPECT_TRUE(best.ValueOrDie().standard[0]) << best.ValueOrDie().ToString();
+  // Chosen decomposition evaluates correctly.
+  auto evaluator = HybridEvaluator::Make(&cube, best.ValueOrDie());
+  ASSERT_TRUE(evaluator.ok());
+  Evaluator reference(&cube);
+  for (const RangeSumQuery& query : workload) {
+    EXPECT_NEAR(evaluator.ValueOrDie().Evaluate(query).ValueOrDie(),
+                reference.EvaluateByScan(query).ValueOrDie(), 1e-6);
+  }
+}
+
+TEST(HybridEvaluatorTest, RejectsBadInputs) {
+  DataCube cube = MakeImmersidataCube(13);
+  HybridDecomposition wrong_arity;
+  wrong_arity.standard = {true};
+  EXPECT_FALSE(HybridEvaluator::Make(&cube, wrong_arity).ok());
+  HybridDecomposition ok_decomp;
+  ok_decomp.standard = {true, false, false};
+  auto evaluator = HybridEvaluator::Make(&cube, ok_decomp);
+  ASSERT_TRUE(evaluator.ok());
+  EXPECT_FALSE(
+      evaluator.ValueOrDie().Evaluate(RangeSumQuery::Count({0}, {5})).ok());
+}
+
+}  // namespace
+}  // namespace aims::propolyne

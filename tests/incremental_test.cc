@@ -1,0 +1,169 @@
+#include "recognition/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "recognition/similarity.h"
+#include "synth/cyberglove.h"
+
+namespace aims::recognition {
+namespace {
+
+linalg::Matrix ToMatrix(const streams::Recording& rec) {
+  linalg::Matrix m(rec.num_frames(), rec.num_channels());
+  for (size_t r = 0; r < rec.num_frames(); ++r) {
+    m.SetRow(r, rec.frames[r].values);
+  }
+  return m;
+}
+
+TEST(IncrementalCovarianceTest, MatchesBatchCovariance) {
+  Rng rng(1);
+  linalg::Matrix segment(50, 4);
+  for (double& x : segment.data()) x = rng.Uniform(-3.0, 3.0);
+  IncrementalCovariance inc(4);
+  for (size_t r = 0; r < 50; ++r) inc.Add(segment.Row(r));
+  auto cov = inc.Covariance();
+  ASSERT_TRUE(cov.ok());
+  linalg::Matrix expected = segment.ColumnCovariance();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(cov.ValueOrDie()(i, j), expected(i, j), 1e-9);
+    }
+  }
+  EXPECT_EQ(inc.count(), 50u);
+}
+
+TEST(IncrementalCovarianceTest, NeedsTwoFrames) {
+  IncrementalCovariance inc(3);
+  EXPECT_FALSE(inc.Covariance().ok());
+  inc.Add({1.0, 2.0, 3.0});
+  EXPECT_FALSE(inc.Covariance().ok());
+  inc.Add({2.0, 1.0, 0.0});
+  EXPECT_TRUE(inc.Covariance().ok());
+}
+
+TEST(IncrementalCovarianceTest, ResetAndResize) {
+  IncrementalCovariance inc(2);
+  inc.Add({1.0, 2.0});
+  inc.Add({3.0, 4.0});
+  inc.Reset();
+  EXPECT_EQ(inc.count(), 0u);
+  EXPECT_EQ(inc.channels(), 2u);
+  inc.Reset(5);
+  EXPECT_EQ(inc.channels(), 5u);
+  inc.Add(std::vector<double>(5, 1.0));
+  EXPECT_EQ(inc.count(), 1u);
+}
+
+TEST(IncrementalCovarianceTest, SpectrumMatchesDirectEigen) {
+  Rng rng(2);
+  linalg::Matrix segment(80, 5);
+  for (double& x : segment.data()) x = rng.Gaussian(0.0, 2.0);
+  IncrementalCovariance inc(5);
+  for (size_t r = 0; r < 80; ++r) inc.Add(segment.Row(r));
+  auto spectrum = inc.Spectrum();
+  ASSERT_TRUE(spectrum.ok());
+  auto expected = WeightedSvdSimilarity::SegmentSpectrum(segment);
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(spectrum.ValueOrDie().values[i],
+                expected.ValueOrDie().values[i], 1e-8);
+  }
+}
+
+class IncrementalRecognizerFixture : public ::testing::Test {
+ protected:
+  IncrementalRecognizerFixture()
+      : sim_(synth::DefaultAslVocabulary(), 31, 0.5) {
+    synth::SubjectProfile reference = sim_.MakeSubject();
+    for (size_t sign : {12u, 13u, 16u, 17u}) {
+      vocab_.Add(sim_.vocabulary()[sign].name,
+                 ToMatrix(sim_.GenerateSign(sign, reference).ValueOrDie()));
+    }
+  }
+
+  synth::CyberGloveSimulator sim_;
+  Vocabulary vocab_;
+};
+
+TEST_F(IncrementalRecognizerFixture, SpectralVocabularyScoresMatchDirect) {
+  auto spectral = SpectralVocabulary::Make(&vocab_);
+  ASSERT_TRUE(spectral.ok());
+  EXPECT_EQ(spectral.ValueOrDie().size(), 4u);
+  synth::SubjectProfile subject = sim_.MakeSubject();
+  linalg::Matrix segment =
+      ToMatrix(sim_.GenerateSign(13, subject).ValueOrDie());
+  WeightedSvdSimilarity measure;
+  std::vector<double> direct = vocab_.Scores(segment, measure).ValueOrDie();
+  auto segment_spectrum = WeightedSvdSimilarity::SegmentSpectrum(segment);
+  ASSERT_TRUE(segment_spectrum.ok());
+  std::vector<double> cached =
+      spectral.ValueOrDie().Scores(segment_spectrum.ValueOrDie());
+  ASSERT_EQ(cached.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(cached[i], direct[i], 1e-9);
+  }
+}
+
+TEST_F(IncrementalRecognizerFixture, EmptyVocabularyRejected) {
+  Vocabulary empty;
+  EXPECT_FALSE(SpectralVocabulary::Make(&empty).ok());
+}
+
+TEST_F(IncrementalRecognizerFixture, RecognizesStreamLikeBaseline) {
+  auto spectral = SpectralVocabulary::Make(&vocab_);
+  ASSERT_TRUE(spectral.ok());
+  synth::SubjectProfile subject = sim_.MakeSubject();
+  std::vector<size_t> script = {12, 16, 13};
+  std::vector<synth::SignSegment> truth;
+  auto recording =
+      sim_.GenerateSequence(script, subject, 1.0, &truth).ValueOrDie();
+
+  StreamRecognizerConfig config;
+  IncrementalStreamRecognizer recognizer(&spectral.ValueOrDie(), config);
+  std::vector<RecognitionEvent> events;
+  for (const streams::Frame& frame : recording.frames) {
+    auto event = recognizer.Push(frame);
+    ASSERT_TRUE(event.ok());
+    if (event.ValueOrDie().has_value()) events.push_back(*event.ValueOrDie());
+  }
+  auto last = recognizer.Finish();
+  ASSERT_TRUE(last.ok());
+  if (last.ValueOrDie().has_value()) events.push_back(*last.ValueOrDie());
+
+  // All three signs isolated and labelled correctly (overlap matching).
+  size_t correct = 0;
+  std::vector<bool> used(events.size(), false);
+  for (size_t t = 0; t < truth.size(); ++t) {
+    for (size_t e = 0; e < events.size(); ++e) {
+      if (used[e]) continue;
+      if (events[e].start_frame < truth[t].end_frame &&
+          events[e].end_frame > truth[t].start_frame) {
+        used[e] = true;
+        if (events[e].label == sim_.vocabulary()[script[t]].name) ++correct;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(correct, 2u) << "only " << correct << "/3 recognized";
+}
+
+TEST_F(IncrementalRecognizerFixture, QuietStreamStaysSilent) {
+  auto spectral = SpectralVocabulary::Make(&vocab_);
+  ASSERT_TRUE(spectral.ok());
+  StreamRecognizerConfig config;
+  IncrementalStreamRecognizer recognizer(&spectral.ValueOrDie(), config);
+  streams::Frame frame;
+  frame.values.assign(synth::kHandChannels, 0.0);
+  for (int i = 0; i < 300; ++i) {
+    frame.timestamp = i * 0.01;
+    auto event = recognizer.Push(frame);
+    ASSERT_TRUE(event.ok());
+    EXPECT_FALSE(event.ValueOrDie().has_value());
+  }
+  EXPECT_FALSE(recognizer.segment_open());
+}
+
+}  // namespace
+}  // namespace aims::recognition

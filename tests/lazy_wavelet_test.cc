@@ -1,0 +1,193 @@
+#include "signal/lazy_wavelet.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/dwt.h"
+#include "test_util.h"
+
+namespace aims::signal {
+namespace {
+
+using ::aims::testutil::RandomSignal;
+
+double MaxEntryDiff(const SparseCoefficients& a, const SparseCoefficients& b) {
+  std::map<size_t, double> merged;
+  for (const auto& [i, v] : a.entries) merged[i] += v;
+  for (const auto& [i, v] : b.entries) merged[i] -= v;
+  double m = 0.0;
+  for (const auto& [i, v] : merged) {
+    (void)i;
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+struct LazyCase {
+  WaveletKind kind;
+  size_t n;
+  int degree;
+};
+
+class LazyWaveletTest : public ::testing::TestWithParam<LazyCase> {};
+
+TEST_P(LazyWaveletTest, MatchesDenseTransformOnRandomRanges) {
+  const LazyCase& c = GetParam();
+  WaveletFilter filter = WaveletFilter::Make(c.kind);
+  Rng rng(static_cast<uint64_t>(c.n) * 7 + static_cast<uint64_t>(c.degree));
+  Polynomial poly = Polynomial::Monomial(c.degree);
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(c.n) - 1));
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(c.n) - 1));
+    size_t lo = std::min(a, b), hi = std::max(a, b);
+    auto lazy = LazyWaveletTransform(filter, c.n, lo, hi, poly);
+    ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+    auto dense = DenseQueryTransform(filter, c.n, lo, hi, poly, 1e-7);
+    ASSERT_TRUE(dense.ok());
+    // Tolerance scales with coefficient magnitude (x^k queries grow large).
+    double scale = 1.0;
+    for (const auto& [i, v] : dense.ValueOrDie().entries) {
+      (void)i;
+      scale = std::max(scale, std::fabs(v));
+    }
+    EXPECT_LT(MaxEntryDiff(lazy.ValueOrDie(), dense.ValueOrDie()),
+              1e-7 * scale)
+        << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(LazyWaveletTest, RangeSumViaParsevalMatchesDirectSum) {
+  const LazyCase& c = GetParam();
+  WaveletFilter filter = WaveletFilter::Make(c.kind);
+  Rng rng(static_cast<uint64_t>(c.n) * 13 + 1);
+  std::vector<double> data = RandomSignal(c.n, &rng);
+  auto transformed = ForwardDwt(filter, data);
+  ASSERT_TRUE(transformed.ok());
+  Polynomial poly = Polynomial::Monomial(c.degree);
+  size_t lo = c.n / 8, hi = c.n - c.n / 8 - 1;
+  auto lazy = LazyWaveletTransform(filter, c.n, lo, hi, poly);
+  ASSERT_TRUE(lazy.ok());
+  double via_wavelets = lazy.ValueOrDie().Dot(transformed.ValueOrDie());
+  double direct = 0.0;
+  for (size_t i = lo; i <= hi; ++i) {
+    direct += poly.Eval(static_cast<double>(i)) * data[i];
+  }
+  EXPECT_NEAR(via_wavelets, direct,
+              1e-7 * std::max(1.0, std::fabs(direct)));
+}
+
+TEST_P(LazyWaveletTest, SparsityIsPolylogarithmic) {
+  const LazyCase& c = GetParam();
+  WaveletFilter filter = WaveletFilter::Make(c.kind);
+  Polynomial poly = Polynomial::Monomial(c.degree);
+  size_t lo = 3, hi = c.n - 5;
+  auto lazy = LazyWaveletTransform(filter, c.n, lo, hi, poly);
+  ASSERT_TRUE(lazy.ok());
+  double lg = std::log2(static_cast<double>(c.n));
+  // Generous constant: ~4 boundary coefficients per filter tap per level.
+  double bound = 4.0 * static_cast<double>(filter.length()) * lg + 16.0;
+  EXPECT_LE(static_cast<double>(lazy.ValueOrDie().size()), bound)
+      << "n=" << c.n << " filter=" << filter.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LazyWaveletTest,
+    ::testing::Values(LazyCase{WaveletKind::kHaar, 64, 0},
+                      LazyCase{WaveletKind::kHaar, 1024, 0},
+                      LazyCase{WaveletKind::kDb2, 64, 0},
+                      LazyCase{WaveletKind::kDb2, 256, 1},
+                      LazyCase{WaveletKind::kDb2, 1024, 1},
+                      LazyCase{WaveletKind::kDb3, 256, 2},
+                      LazyCase{WaveletKind::kDb3, 1024, 2},
+                      LazyCase{WaveletKind::kDb4, 256, 3},
+                      LazyCase{WaveletKind::kDb4, 4096, 2}),
+    [](const auto& info) {
+      return std::string(WaveletKindName(info.param.kind)) + "_n" +
+             std::to_string(info.param.n) + "_deg" +
+             std::to_string(info.param.degree);
+    });
+
+TEST(LazyWaveletEdge, PointQuery) {
+  WaveletFilter filter = WaveletFilter::Make(WaveletKind::kDb2);
+  const size_t n = 256;
+  auto lazy = LazyWaveletTransform(filter, n, 100, 100,
+                                   Polynomial::Constant(1.0));
+  ASSERT_TRUE(lazy.ok());
+  auto dense =
+      DenseQueryTransform(filter, n, 100, 100, Polynomial::Constant(1.0));
+  ASSERT_TRUE(dense.ok());
+  EXPECT_LT(MaxEntryDiff(lazy.ValueOrDie(), dense.ValueOrDie()), 1e-9);
+}
+
+TEST(LazyWaveletEdge, FullDomainConstantIsSingleCoefficient) {
+  WaveletFilter haar = WaveletFilter::Make(WaveletKind::kHaar);
+  const size_t n = 512;
+  auto lazy =
+      LazyWaveletTransform(haar, n, 0, n - 1, Polynomial::Constant(1.0));
+  ASSERT_TRUE(lazy.ok());
+  // The constant function is pure scaling: only index 0 survives.
+  ASSERT_EQ(lazy.ValueOrDie().size(), 1u);
+  EXPECT_EQ(lazy.ValueOrDie().entries[0].first, 0u);
+  EXPECT_NEAR(lazy.ValueOrDie().entries[0].second,
+              std::sqrt(static_cast<double>(n)), 1e-9);
+}
+
+TEST(LazyWaveletEdge, BoundaryRanges) {
+  WaveletFilter db2 = WaveletFilter::Make(WaveletKind::kDb2);
+  const size_t n = 128;
+  for (auto [lo, hi] : std::vector<std::pair<size_t, size_t>>{
+           {0, 0}, {n - 1, n - 1}, {0, n - 1}, {0, 63}, {64, n - 1}}) {
+    auto lazy =
+        LazyWaveletTransform(db2, n, lo, hi, Polynomial::Monomial(1));
+    ASSERT_TRUE(lazy.ok());
+    auto dense = DenseQueryTransform(db2, n, lo, hi, Polynomial::Monomial(1));
+    ASSERT_TRUE(dense.ok());
+    double scale = 1.0;
+    for (const auto& [i, v] : dense.ValueOrDie().entries) {
+      (void)i;
+      scale = std::max(scale, std::fabs(v));
+    }
+    EXPECT_LT(MaxEntryDiff(lazy.ValueOrDie(), dense.ValueOrDie()),
+              1e-8 * scale)
+        << lo << ".." << hi;
+  }
+}
+
+TEST(LazyWaveletEdge, DegreeTooHighForFilterFails) {
+  WaveletFilter haar = WaveletFilter::Make(WaveletKind::kHaar);
+  auto result =
+      LazyWaveletTransform(haar, 64, 0, 31, Polynomial::Monomial(1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LazyWaveletEdge, BadArgumentsFail) {
+  WaveletFilter db2 = WaveletFilter::Make(WaveletKind::kDb2);
+  EXPECT_FALSE(
+      LazyWaveletTransform(db2, 100, 0, 10, Polynomial::Constant(1)).ok());
+  EXPECT_FALSE(
+      LazyWaveletTransform(db2, 64, 10, 5, Polynomial::Constant(1)).ok());
+  EXPECT_FALSE(
+      LazyWaveletTransform(db2, 64, 0, 64, Polynomial::Constant(1)).ok());
+}
+
+TEST(SparseCoefficientsTest, ByMagnitudeAndEnergy) {
+  SparseCoefficients sparse;
+  sparse.entries = {{0, 1.0}, {3, -5.0}, {7, 2.0}};
+  auto sorted = sparse.ByMagnitude();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 3u);
+  EXPECT_EQ(sorted[1].first, 7u);
+  EXPECT_EQ(sorted[2].first, 0u);
+  EXPECT_NEAR(sparse.EnergySquared(), 1.0 + 25.0 + 4.0, 1e-12);
+  std::vector<double> dense(8, 1.0);
+  EXPECT_NEAR(sparse.Dot(dense), -2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aims::signal

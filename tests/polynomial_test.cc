@@ -1,0 +1,78 @@
+#include "signal/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace aims::signal {
+namespace {
+
+TEST(PolynomialTest, DefaultIsZero) {
+  Polynomial p;
+  EXPECT_TRUE(p.IsZero());
+  EXPECT_DOUBLE_EQ(p.Eval(5.0), 0.0);
+  EXPECT_EQ(p.degree(), 0);
+}
+
+TEST(PolynomialTest, EvalHorner) {
+  Polynomial p({1.0, -2.0, 3.0});  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p.Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Eval(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Eval(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p.Eval(-1.0), 6.0);
+}
+
+TEST(PolynomialTest, MonomialAndConstant) {
+  EXPECT_DOUBLE_EQ(Polynomial::Constant(7.0).Eval(123.0), 7.0);
+  Polynomial x3 = Polynomial::Monomial(3, 2.0);
+  EXPECT_EQ(x3.degree(), 3);
+  EXPECT_DOUBLE_EQ(x3.Eval(2.0), 16.0);
+}
+
+TEST(PolynomialTest, ComposeAffineMatchesDirectEval) {
+  Polynomial p({1.0, 2.0, -1.0, 0.5});
+  Polynomial composed = p.ComposeAffine(2.0, 3.0);  // p(2x + 3)
+  for (double x : {-2.0, 0.0, 0.7, 5.0}) {
+    EXPECT_NEAR(composed.Eval(x), p.Eval(2.0 * x + 3.0), 1e-9);
+  }
+  EXPECT_EQ(composed.degree(), 3);
+}
+
+TEST(PolynomialTest, ComposeAffineDegenerate) {
+  Polynomial p({4.0});  // constant
+  Polynomial composed = p.ComposeAffine(10.0, -1.0);
+  EXPECT_EQ(composed.degree(), 0);
+  EXPECT_DOUBLE_EQ(composed.Eval(99.0), 4.0);
+}
+
+TEST(PolynomialTest, AddScaled) {
+  Polynomial p({1.0, 1.0});
+  p.AddScaled(Polynomial({0.0, 0.0, 2.0}), 0.5);  // + x^2
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_DOUBLE_EQ(p.Eval(2.0), 1.0 + 2.0 + 4.0);
+}
+
+TEST(PolynomialTest, Multiply) {
+  Polynomial a({1.0, 1.0});   // 1 + x
+  Polynomial b({-1.0, 1.0});  // -1 + x
+  Polynomial c = a * b;       // x^2 - 1
+  EXPECT_EQ(c.degree(), 2);
+  EXPECT_DOUBLE_EQ(c.Eval(3.0), 8.0);
+  EXPECT_DOUBLE_EQ(c.Eval(1.0), 0.0);
+}
+
+TEST(PolynomialTest, IsZeroAndTrim) {
+  Polynomial p({0.0, 1e-15, 0.0});
+  EXPECT_TRUE(p.IsZero(1e-9));
+  EXPECT_FALSE(p.IsZero(1e-20));
+  Polynomial q({1.0, 2.0, 1e-15});
+  q.Trim();
+  EXPECT_EQ(q.degree(), 1);
+}
+
+TEST(PolynomialTest, CancellationToZero) {
+  Polynomial p({1.0, 2.0});
+  p.AddScaled(Polynomial({1.0, 2.0}), -1.0);
+  EXPECT_TRUE(p.IsZero());
+}
+
+}  // namespace
+}  // namespace aims::signal

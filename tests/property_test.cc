@@ -1,0 +1,251 @@
+// Randomized property tests: system-wide invariants exercised on many
+// random inputs per run (fixed seeds, so failures are reproducible).
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "acquisition/codec.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "propolyne/datacube.h"
+#include "propolyne/evaluator.h"
+#include "signal/dwpt.h"
+#include "signal/dwt.h"
+#include "signal/lazy_wavelet.h"
+#include "storage/allocation.h"
+#include "streams/synchronizer.h"
+#include "test_util.h"
+
+namespace aims {
+namespace {
+
+using signal::WaveletFilter;
+using signal::WaveletKind;
+
+TEST(PropertyDwt, RandomSignalsRoundTripUnderRandomFilters) {
+  Rng rng(1001);
+  const WaveletKind kinds[] = {WaveletKind::kHaar, WaveletKind::kDb2,
+                               WaveletKind::kDb3, WaveletKind::kDb4};
+  for (int trial = 0; trial < 40; ++trial) {
+    WaveletFilter filter =
+        WaveletFilter::Make(kinds[rng.UniformInt(0, 3)]);
+    size_t n = size_t{1} << rng.UniformInt(3, 11);
+    std::vector<double> signal(n);
+    for (double& x : signal) x = rng.Gaussian(0.0, 100.0);
+    int levels = static_cast<int>(
+        rng.UniformInt(1, signal::MaxLevels(n)));
+    auto fwd = signal::ForwardDwt(filter, signal, levels);
+    ASSERT_TRUE(fwd.ok());
+    auto back = signal::InverseDwt(filter, fwd.ValueOrDie(), levels);
+    ASSERT_TRUE(back.ok());
+    EXPECT_LT(testutil::MaxAbsDiff(signal, back.ValueOrDie()), 1e-7)
+        << filter.name() << " n=" << n << " levels=" << levels;
+  }
+}
+
+TEST(PropertyLazy, RandomPolynomialRangesMatchDense) {
+  Rng rng(1002);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Pick a filter with enough moments for a random degree.
+    int degree = static_cast<int>(rng.UniformInt(0, 3));
+    WaveletKind kind = degree == 0   ? WaveletKind::kDb2
+                       : degree == 1 ? WaveletKind::kDb2
+                       : degree == 2 ? WaveletKind::kDb3
+                                     : WaveletKind::kDb4;
+    WaveletFilter filter = WaveletFilter::Make(kind);
+    size_t n = size_t{1} << rng.UniformInt(4, 10);
+    size_t a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t lo = std::min(a, b), hi = std::max(a, b);
+    std::vector<double> coeffs(static_cast<size_t>(degree) + 1);
+    for (double& c : coeffs) c = rng.Uniform(-2.0, 2.0);
+    signal::Polynomial poly(coeffs);
+    auto lazy = signal::LazyWaveletTransform(filter, n, lo, hi, poly);
+    ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+    auto dense = signal::DenseQueryTransform(filter, n, lo, hi, poly, 1e-8);
+    ASSERT_TRUE(dense.ok());
+    std::map<size_t, double> merged;
+    for (const auto& [i, v] : lazy.ValueOrDie().entries) merged[i] += v;
+    for (const auto& [i, v] : dense.ValueOrDie().entries) merged[i] -= v;
+    double scale = 1.0;
+    for (const auto& [i, v] : dense.ValueOrDie().entries) {
+      (void)i;
+      scale = std::max(scale, std::fabs(v));
+    }
+    for (const auto& [i, v] : merged) {
+      EXPECT_LT(std::fabs(v), 1e-7 * scale)
+          << "index " << i << " n=" << n << " deg=" << degree;
+    }
+  }
+}
+
+TEST(PropertyCube, RandomAppendsKeepTransformConsistent) {
+  Rng rng(1003);
+  for (int trial = 0; trial < 5; ++trial) {
+    propolyne::CubeSchema schema{{"a", "b"},
+                                 {size_t{1} << rng.UniformInt(3, 5),
+                                  size_t{1} << rng.UniformInt(3, 5)}};
+    auto cube = propolyne::DataCube::Make(
+        schema, WaveletFilter::Make(WaveletKind::kDb2));
+    ASSERT_TRUE(cube.ok());
+    for (int i = 0; i < 30; ++i) {
+      std::vector<size_t> idx = {
+          static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(schema.extents[0]) - 1)),
+          static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(schema.extents[1]) - 1))};
+      ASSERT_TRUE(cube.ValueOrDie().Append(idx, rng.Uniform(0.5, 3.0)).ok());
+    }
+    std::vector<double> incremental = cube.ValueOrDie().wavelet();
+    ASSERT_TRUE(cube.ValueOrDie().RebuildWavelet().ok());
+    EXPECT_LT(
+        testutil::MaxAbsDiff(incremental, cube.ValueOrDie().wavelet()),
+        1e-8);
+  }
+}
+
+TEST(PropertyCube, WaveletAndScanAgreeOnRandomQueries) {
+  Rng rng(1004);
+  propolyne::CubeSchema schema{{"a", "b"}, {32, 32}};
+  std::vector<double> values(32 * 32);
+  for (double& v : values) v = rng.Uniform(0.0, 20.0);
+  auto cube = propolyne::DataCube::FromDense(
+      schema, WaveletFilter::Make(WaveletKind::kDb3), values);
+  ASSERT_TRUE(cube.ok());
+  propolyne::Evaluator evaluator(&cube.ValueOrDie());
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<size_t> lo(2), hi(2);
+    for (size_t d = 0; d < 2; ++d) {
+      size_t a = static_cast<size_t>(rng.UniformInt(0, 31));
+      size_t b = static_cast<size_t>(rng.UniformInt(0, 31));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    int which = static_cast<int>(rng.UniformInt(0, 2));
+    propolyne::RangeSumQuery query =
+        which == 0   ? propolyne::RangeSumQuery::Count(lo, hi)
+        : which == 1 ? propolyne::RangeSumQuery::Sum(lo, hi, 0)
+                     : propolyne::RangeSumQuery::SumOfSquares(lo, hi, 1);
+    auto wavelet = evaluator.Evaluate(query);
+    auto scan = evaluator.EvaluateByScan(query);
+    ASSERT_TRUE(wavelet.ok() && scan.ok());
+    EXPECT_NEAR(wavelet.ValueOrDie(), scan.ValueOrDie(),
+                1e-6 * std::max(1.0, std::fabs(scan.ValueOrDie())));
+  }
+}
+
+TEST(PropertyCodec, HuffmanRoundTripsArbitraryByteStrings) {
+  Rng rng(1005);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 3000));
+    std::vector<uint8_t> input(len);
+    // Mix of skew profiles.
+    int mode = static_cast<int>(rng.UniformInt(0, 2));
+    for (auto& b : input) {
+      if (mode == 0) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      } else if (mode == 1) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 3));
+      } else {
+        b = rng.Bernoulli(0.9) ? 7 : static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+    }
+    auto decoded =
+        acquisition::HuffmanCodec::Decode(acquisition::HuffmanCodec::Encode(input));
+    ASSERT_TRUE(decoded.ok()) << "len=" << len << " mode=" << mode;
+    EXPECT_EQ(decoded.ValueOrDie(), input);
+  }
+}
+
+TEST(PropertyCodec, AdpcmTracksBoundedDerivativeSignals) {
+  Rng rng(1006);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t len = 200 + static_cast<size_t>(rng.UniformInt(0, 500));
+    std::vector<double> signal(len);
+    double x = rng.Uniform(-20.0, 20.0);
+    for (double& v : signal) {
+      x += rng.Gaussian(0.0, 0.4);  // bounded steps
+      v = x;
+    }
+    acquisition::AdpcmCodec codec(0.5);
+    std::vector<double> decoded = codec.Decode(codec.Encode(signal), len);
+    EXPECT_LT(NormalizedMse(signal, decoded), 0.05) << "trial " << trial;
+  }
+}
+
+TEST(PropertyAllocation, TilingAlwaysCoversAndRespectsCapacity) {
+  Rng rng(1007);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = size_t{1} << rng.UniformInt(4, 13);
+    size_t block = static_cast<size_t>(rng.UniformInt(2, 300));
+    storage::SubtreeTilingAllocator tiling(n, block);
+    std::vector<size_t> fill(tiling.num_blocks(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = tiling.BlockOf(i);
+      ASSERT_LT(b, tiling.num_blocks());
+      ++fill[b];
+    }
+    for (size_t b = 0; b < fill.size(); ++b) {
+      EXPECT_LE(fill[b], block) << "n=" << n << " B=" << block;
+    }
+  }
+}
+
+TEST(PropertySynchronizer, RandomArrivalOrderWithinTickStillAligns) {
+  Rng rng(1008);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t channels = 1 + static_cast<size_t>(rng.UniformInt(0, 5));
+    streams::StreamSynchronizer sync(channels, 0.1);
+    std::vector<streams::Frame> frames;
+    const int ticks = 20;
+    for (int tick = 0; tick < ticks; ++tick) {
+      // Shuffle channel arrival order within the tick.
+      std::vector<size_t> order(channels);
+      for (size_t c = 0; c < channels; ++c) order[c] = c;
+      rng.Shuffle(&order);
+      for (size_t c : order) {
+        streams::Sample s;
+        s.sensor_id = static_cast<streams::SensorId>(c);
+        s.timestamp = tick * 0.1 + rng.Uniform(0.0, 0.099);
+        s.value = static_cast<double>(tick * 100 + c);
+        ASSERT_TRUE(sync.Push(s, &frames).ok());
+      }
+    }
+    sync.Flush(&frames);
+    ASSERT_EQ(frames.size(), static_cast<size_t>(ticks));
+    for (int tick = 0; tick < ticks; ++tick) {
+      for (size_t c = 0; c < channels; ++c) {
+        EXPECT_DOUBLE_EQ(frames[static_cast<size_t>(tick)].values[c],
+                         static_cast<double>(tick * 100 + c));
+      }
+    }
+  }
+}
+
+TEST(PropertyDwpt, BestBasisNeverWorseThanFixedBases) {
+  Rng rng(1009);
+  const signal::BasisCost costs[] = {
+      signal::BasisCost::kShannonEntropy, signal::BasisCost::kLogEnergy,
+      signal::BasisCost::kThresholdCount, signal::BasisCost::kL1Norm};
+  for (int trial = 0; trial < 12; ++trial) {
+    size_t n = size_t{1} << rng.UniformInt(4, 8);
+    std::vector<double> signal = testutil::SineMix(
+        n, {rng.Uniform(0.01, 0.45), rng.Uniform(0.01, 0.45)},
+        {rng.Uniform(0.1, 2.0), rng.Uniform(0.1, 2.0)});
+    auto tree = signal::WaveletPacketTree::Build(
+        WaveletFilter::Make(WaveletKind::kDb2), signal);
+    ASSERT_TRUE(tree.ok());
+    const auto& t = tree.ValueOrDie();
+    signal::BasisCost cost = costs[rng.UniformInt(0, 3)];
+    auto best = t.BestBasis(cost);
+    ASSERT_TRUE(t.IsValidBasis(best));
+    EXPECT_LE(t.CostOf(best, cost), t.CostOf(t.DwtBasis(), cost) + 1e-9);
+    EXPECT_LE(t.CostOf(best, cost),
+              t.CostOf(t.StandardBasis(), cost) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace aims

@@ -1,0 +1,119 @@
+#include "streams/recording_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace aims::streams {
+namespace {
+
+Recording MakeRecording(size_t frames, size_t channels, uint64_t seed) {
+  Rng rng(seed);
+  Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (double& v : frame.values) v = rng.Gaussian(0.0, 12.3);
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(RecordingCsvTest, RoundTripExact) {
+  Recording rec = MakeRecording(120, 5, 1);
+  std::string path = TempPath("rec.csv");
+  ASSERT_TRUE(WriteCsv(rec, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.ValueOrDie().num_frames(), 120u);
+  ASSERT_EQ(back.ValueOrDie().num_channels(), 5u);
+  for (size_t f = 0; f < 120; ++f) {
+    EXPECT_DOUBLE_EQ(back.ValueOrDie().frames[f].timestamp,
+                     rec.frames[f].timestamp);
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(back.ValueOrDie().frames[f].values[c],
+                       rec.frames[f].values[c]);
+    }
+  }
+  EXPECT_NEAR(back.ValueOrDie().sample_rate_hz, 100.0, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(RecordingCsvTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").ok());
+  std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0,ch1\n0.0,1.0\n";  // ragged row
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "timestamp\n";  // no channels
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordingBinaryTest, RoundTripExact) {
+  Recording rec = MakeRecording(333, 28, 2);
+  std::string path = TempPath("rec.aimr");
+  ASSERT_TRUE(WriteBinary(rec, path).ok());
+  auto back = ReadBinary(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.ValueOrDie().num_frames(), 333u);
+  ASSERT_EQ(back.ValueOrDie().num_channels(), 28u);
+  EXPECT_DOUBLE_EQ(back.ValueOrDie().sample_rate_hz, 100.0);
+  for (size_t c = 0; c < 28; ++c) {
+    EXPECT_LT(testutil::MaxAbsDiff(back.ValueOrDie().Channel(c),
+                                   rec.Channel(c)),
+              1e-300);  // bit-exact
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordingBinaryTest, RejectsCorruptFiles) {
+  std::string path = TempPath("corrupt.aimr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE";
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  Recording rec = MakeRecording(10, 2, 3);
+  ASSERT_TRUE(WriteBinary(rec, path).ok());
+  // Truncate mid-data.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  EXPECT_FALSE(ReadBinary("/nonexistent/file.aimr").ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordingBinaryTest, EmptyRecording) {
+  Recording rec;
+  rec.sample_rate_hz = 50.0;
+  // Zero frames is representable: write needs at least the channel count,
+  // which is 0 here — ReadBinary rejects 0 channels as implausible.
+  std::string path = TempPath("empty.aimr");
+  ASSERT_TRUE(WriteBinary(rec, path).ok());
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aims::streams

@@ -1,0 +1,128 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "streams/sample.h"
+
+namespace aims::storage {
+namespace {
+
+streams::Recording MakeRecording(size_t frames, size_t channels,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] = rng.Uniform(-50.0, 50.0);
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+class RelationTest : public ::testing::TestWithParam<RepresentationKind> {};
+
+TEST_P(RelationTest, FrameLookupReturnsExactValues) {
+  streams::Recording rec = MakeRecording(300, 28, 1);
+  BlockDevice device(512);
+  auto relation = MakeRelation(GetParam(), &device);
+  ASSERT_TRUE(relation->Load(rec).ok());
+  EXPECT_EQ(relation->num_frames(), 300u);
+  EXPECT_EQ(relation->num_channels(), 28u);
+  for (size_t frame : {size_t{0}, size_t{137}, size_t{299}}) {
+    auto values = relation->FrameLookup(frame);
+    ASSERT_TRUE(values.ok()) << relation->name();
+    ASSERT_EQ(values.ValueOrDie().size(), 28u);
+    for (size_t c = 0; c < 28; ++c) {
+      EXPECT_DOUBLE_EQ(values.ValueOrDie()[c], rec.frames[frame].values[c])
+          << relation->name() << " frame " << frame << " channel " << c;
+    }
+  }
+}
+
+TEST_P(RelationTest, ChannelScanReturnsExactValues) {
+  streams::Recording rec = MakeRecording(257, 7, 2);  // odd sizes on purpose
+  BlockDevice device(512);
+  auto relation = MakeRelation(GetParam(), &device);
+  ASSERT_TRUE(relation->Load(rec).ok());
+  auto scan = relation->ChannelScan(3, 10, 200);
+  ASSERT_TRUE(scan.ok()) << relation->name();
+  ASSERT_EQ(scan.ValueOrDie().size(), 191u);
+  for (size_t i = 0; i < scan.ValueOrDie().size(); ++i) {
+    EXPECT_DOUBLE_EQ(scan.ValueOrDie()[i], rec.frames[10 + i].values[3]);
+  }
+}
+
+TEST_P(RelationTest, QueryValidation) {
+  streams::Recording rec = MakeRecording(50, 4, 3);
+  BlockDevice device(512);
+  auto relation = MakeRelation(GetParam(), &device);
+  EXPECT_FALSE(relation->FrameLookup(0).ok());  // before Load
+  ASSERT_TRUE(relation->Load(rec).ok());
+  EXPECT_FALSE(relation->FrameLookup(50).ok());
+  EXPECT_FALSE(relation->ChannelScan(9, 0, 10).ok());
+  EXPECT_FALSE(relation->ChannelScan(0, 0, 99).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRepresentations, RelationTest,
+    ::testing::Values(RepresentationKind::kTuplePerSample,
+                      RepresentationKind::kTuplePerFrame,
+                      RepresentationKind::kChunkPerSensor,
+                      RepresentationKind::kBlobPerChannel),
+    [](const auto& info) {
+      std::string name = RepresentationName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(RelationIoPattern, TuplePerFrameWinsFrameLookups) {
+  // The paper's finding: frame-oriented queries favor storing all sensors
+  // of a tick together.
+  streams::Recording rec = MakeRecording(400, 28, 4);
+  BlockDevice frame_device(512), sample_device(512), chunk_device(512);
+  auto per_frame =
+      MakeRelation(RepresentationKind::kTuplePerFrame, &frame_device);
+  auto per_sample =
+      MakeRelation(RepresentationKind::kTuplePerSample, &sample_device);
+  auto per_chunk =
+      MakeRelation(RepresentationKind::kChunkPerSensor, &chunk_device);
+  ASSERT_TRUE(per_frame->Load(rec).ok());
+  ASSERT_TRUE(per_sample->Load(rec).ok());
+  ASSERT_TRUE(per_chunk->Load(rec).ok());
+  frame_device.ResetCounters();
+  sample_device.ResetCounters();
+  chunk_device.ResetCounters();
+  for (size_t f = 0; f < 400; f += 13) {
+    ASSERT_TRUE(per_frame->FrameLookup(f).ok());
+    ASSERT_TRUE(per_sample->FrameLookup(f).ok());
+    ASSERT_TRUE(per_chunk->FrameLookup(f).ok());
+  }
+  EXPECT_LT(frame_device.reads(), sample_device.reads());
+  EXPECT_LT(frame_device.reads(), chunk_device.reads());
+}
+
+TEST(RelationIoPattern, ChannelMajorWinsChannelScans) {
+  streams::Recording rec = MakeRecording(400, 28, 5);
+  BlockDevice frame_device(512), blob_device(512);
+  auto per_frame =
+      MakeRelation(RepresentationKind::kTuplePerFrame, &frame_device);
+  auto blob = MakeRelation(RepresentationKind::kBlobPerChannel, &blob_device);
+  ASSERT_TRUE(per_frame->Load(rec).ok());
+  ASSERT_TRUE(blob->Load(rec).ok());
+  frame_device.ResetCounters();
+  blob_device.ResetCounters();
+  ASSERT_TRUE(per_frame->ChannelScan(5, 0, 399).ok());
+  ASSERT_TRUE(blob->ChannelScan(5, 0, 399).ok());
+  EXPECT_LT(blob_device.reads(), frame_device.reads());
+}
+
+}  // namespace
+}  // namespace aims::storage

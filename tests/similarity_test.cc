@@ -1,0 +1,185 @@
+#include "recognition/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "recognition/vocabulary.h"
+#include "synth/cyberglove.h"
+
+namespace aims::recognition {
+namespace {
+
+/// Converts a recording to a segment matrix.
+linalg::Matrix ToMatrix(const streams::Recording& rec) {
+  linalg::Matrix m(rec.num_frames(), rec.num_channels());
+  for (size_t r = 0; r < rec.num_frames(); ++r) {
+    m.SetRow(r, rec.frames[r].values);
+  }
+  return m;
+}
+
+class GloveFixture : public ::testing::Test {
+ protected:
+  GloveFixture() : sim_(synth::DefaultAslVocabulary(), 42) {}
+
+  linalg::Matrix Sign(size_t index, const synth::SubjectProfile& subject) {
+    return ToMatrix(sim_.GenerateSign(index, subject).ValueOrDie());
+  }
+
+  synth::CyberGloveSimulator sim_;
+};
+
+TEST_F(GloveFixture, SelfSimilarityIsHigh) {
+  WeightedSvdSimilarity measure;
+  synth::SubjectProfile subject = sim_.MakeSubject();
+  linalg::Matrix a = Sign(12, subject);  // GREEN (motion sign)
+  auto self = measure.Similarity(a, a);
+  ASSERT_TRUE(self.ok());
+  EXPECT_GT(self.ValueOrDie(), 0.99);
+}
+
+TEST_F(GloveFixture, SymmetricMeasure) {
+  WeightedSvdSimilarity measure;
+  synth::SubjectProfile subject = sim_.MakeSubject();
+  linalg::Matrix a = Sign(0, subject);
+  linalg::Matrix b = Sign(5, subject);
+  double ab = measure.Similarity(a, b).ValueOrDie();
+  double ba = measure.Similarity(b, a).ValueOrDie();
+  EXPECT_NEAR(ab, ba, 1e-9);
+}
+
+TEST_F(GloveFixture, SameSignBeatsDifferentSign) {
+  WeightedSvdSimilarity measure;
+  synth::SubjectProfile s1 = sim_.MakeSubject();
+  synth::SubjectProfile s2 = sim_.MakeSubject();
+  // GREEN by two subjects vs GREEN-vs-PLEASE (different motion class).
+  double same =
+      measure.Similarity(Sign(12, s1), Sign(12, s2)).ValueOrDie();
+  double different =
+      measure.Similarity(Sign(12, s1), Sign(17, s2)).ValueOrDie();
+  EXPECT_GT(same, different);
+}
+
+TEST_F(GloveFixture, HandlesDifferentDurationsNatively) {
+  // The paper's key advantage over Euclidean distance: sequences of
+  // different length compare directly.
+  WeightedSvdSimilarity measure;
+  synth::SubjectProfile fast = sim_.MakeSubject();
+  fast.speed_factor = 0.6;
+  synth::SubjectProfile slow = sim_.MakeSubject();
+  slow.speed_factor = 1.5;
+  linalg::Matrix a = Sign(13, fast);
+  linalg::Matrix b = Sign(13, slow);
+  ASSERT_NE(a.rows(), b.rows());
+  auto sim = measure.Similarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GT(sim.ValueOrDie(), 0.6);
+}
+
+TEST_F(GloveFixture, RankTruncationStillDiscriminates) {
+  WeightedSvdSimilarity truncated(/*rank=*/5);
+  synth::SubjectProfile s1 = sim_.MakeSubject();
+  synth::SubjectProfile s2 = sim_.MakeSubject();
+  double same = truncated.Similarity(Sign(12, s1), Sign(12, s2)).ValueOrDie();
+  double diff = truncated.Similarity(Sign(12, s1), Sign(17, s2)).ValueOrDie();
+  EXPECT_GT(same, diff);
+}
+
+class BaselineMeasures
+    : public GloveFixture,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_F(GloveFixture, BaselinesAreSaneSimilarities) {
+  EuclideanSimilarity euclid;
+  DftSimilarity dft;
+  DwtSimilarity dwt;
+  synth::SubjectProfile subject = sim_.MakeSubject();
+  linalg::Matrix a = Sign(1, subject);
+  linalg::Matrix b = Sign(9, subject);
+  for (const SimilarityMeasure* m :
+       std::initializer_list<const SimilarityMeasure*>{&euclid, &dft, &dwt}) {
+    double self = m->Similarity(a, a).ValueOrDie();
+    double cross = m->Similarity(a, b).ValueOrDie();
+    EXPECT_GT(self, 0.99) << m->name();
+    EXPECT_GE(self, cross) << m->name();
+    EXPECT_GE(cross, 0.0) << m->name();
+    EXPECT_LE(cross, 1.0) << m->name();
+  }
+}
+
+TEST(SimilarityErrors, MismatchedChannelsRejected) {
+  WeightedSvdSimilarity svd;
+  EuclideanSimilarity euclid;
+  linalg::Matrix a(10, 3);
+  linalg::Matrix b(10, 4);
+  EXPECT_FALSE(svd.Similarity(a, b).ok());
+  EXPECT_FALSE(euclid.Similarity(a, b).ok());
+  linalg::Matrix empty;
+  EXPECT_FALSE(svd.Similarity(a, empty).ok());
+}
+
+TEST(ResampleRowsTest, InterpolatesLinearly) {
+  linalg::Matrix m(3, 1, {0.0, 10.0, 20.0});
+  linalg::Matrix r = ResampleRows(m, 5);
+  ASSERT_EQ(r.rows(), 5u);
+  EXPECT_NEAR(r(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(r(1, 0), 5.0, 1e-9);
+  EXPECT_NEAR(r(2, 0), 10.0, 1e-9);
+  EXPECT_NEAR(r(4, 0), 20.0, 1e-12);
+}
+
+TEST(ResampleRowsTest, DownsamplesKeepingEndpoints) {
+  linalg::Matrix m(100, 2);
+  for (size_t r = 0; r < 100; ++r) {
+    m(r, 0) = static_cast<double>(r);
+    m(r, 1) = 99.0 - static_cast<double>(r);
+  }
+  linalg::Matrix down = ResampleRows(m, 10);
+  EXPECT_NEAR(down(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(down(9, 0), 99.0, 1e-12);
+  EXPECT_NEAR(down(9, 1), 0.0, 1e-12);
+}
+
+TEST(VocabularyTest, ClassifiesNearestTemplate) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 7);
+  synth::SubjectProfile templ_subject = sim.MakeSubject();
+  Vocabulary vocab;
+  for (size_t sign = 0; sign < 6; ++sign) {
+    vocab.Add(sim.vocabulary()[sign].name,
+              ToMatrix(sim.GenerateSign(sign, templ_subject).ValueOrDie()));
+  }
+  EXPECT_EQ(vocab.size(), 6u);
+  EXPECT_EQ(vocab.Labels().size(), 6u);
+  WeightedSvdSimilarity measure;
+  synth::SubjectProfile query_subject = sim.MakeSubject();
+  linalg::Matrix query =
+      ToMatrix(sim.GenerateSign(2, query_subject).ValueOrDie());
+  auto result = vocab.Classify(query, measure);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().label, sim.vocabulary()[2].name);
+  EXPECT_GE(result.ValueOrDie().margin(), 0.0);
+}
+
+TEST(VocabularyTest, MultipleExemplarsPerLabel) {
+  Vocabulary vocab;
+  Rng rng(8);
+  linalg::Matrix a(16, 2), b(16, 2);
+  for (double& x : a.data()) x = rng.Uniform(-1, 1);
+  for (double& x : b.data()) x = rng.Uniform(-1, 1);
+  vocab.Add("X", a);
+  vocab.Add("X", b);
+  vocab.Add("Y", a);
+  EXPECT_EQ(vocab.size(), 3u);
+  EXPECT_EQ(vocab.Labels(), (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(VocabularyTest, EmptyVocabularyRejected) {
+  Vocabulary vocab;
+  WeightedSvdSimilarity measure;
+  linalg::Matrix query(10, 2);
+  EXPECT_FALSE(vocab.Classify(query, measure).ok());
+  EXPECT_FALSE(vocab.Scores(query, measure).ok());
+}
+
+}  // namespace
+}  // namespace aims::recognition

@@ -1,0 +1,109 @@
+#include "signal/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "test_util.h"
+
+namespace aims::signal {
+namespace {
+
+using ::aims::testutil::SineMix;
+
+class MaxFrequencyTest : public ::testing::TestWithParam<MaxFrequencyMethod> {
+};
+
+TEST_P(MaxFrequencyTest, PureToneEstimatesNearTrueFrequency) {
+  const double sample_rate = 100.0;
+  const double f0 = 5.0;  // Hz
+  const size_t n = 1024;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * M_PI * f0 * static_cast<double>(i) /
+                         sample_rate);
+  }
+  SpectralOptions options;
+  options.method = GetParam();
+  double fmax = EstimateMaxFrequency(signal, sample_rate, options);
+  // Each method has a different bias; all should land within a small
+  // multiple of the true bandwidth.
+  EXPECT_GT(fmax, 1.0);
+  EXPECT_LE(fmax, 25.0);  // the MSE method conservatively lands at rate/4
+}
+
+TEST_P(MaxFrequencyTest, ConstantSignalHasNoBandwidth) {
+  SpectralOptions options;
+  options.method = GetParam();
+  std::vector<double> flat(512, 3.5);
+  double fmax = EstimateMaxFrequency(flat, 100.0, options);
+  EXPECT_LE(fmax, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MaxFrequencyTest,
+    ::testing::Values(MaxFrequencyMethod::kSpectrumEnergy,
+                      MaxFrequencyMethod::kAutocorrelation,
+                      MaxFrequencyMethod::kMinSquareError));
+
+TEST(MaxFrequencyOrdering, FasterSignalsGetHigherEstimates) {
+  const double rate = 100.0;
+  const size_t n = 2048;
+  SpectralOptions options;  // spectrum energy
+  std::vector<double> slow(n), fast(n);
+  for (size_t i = 0; i < n; ++i) {
+    slow[i] = std::sin(2.0 * M_PI * 2.0 * static_cast<double>(i) / rate);
+    fast[i] = std::sin(2.0 * M_PI * 20.0 * static_cast<double>(i) / rate);
+  }
+  EXPECT_LT(EstimateMaxFrequency(slow, rate, options),
+            EstimateMaxFrequency(fast, rate, options));
+}
+
+TEST(NyquistRateTest, TwiceMaxFrequencyAndClamped) {
+  const double rate = 100.0;
+  const size_t n = 1024;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * M_PI * 8.0 * static_cast<double>(i) / rate);
+  }
+  double nyquist = EstimateNyquistRate(signal, rate);
+  EXPECT_GT(nyquist, 10.0);   // at least ~2 * 8 with spectral slack
+  EXPECT_LE(nyquist, rate);   // never above the source rate
+  // Constant signal clamps to the floor.
+  std::vector<double> flat(256, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateNyquistRate(flat, rate, {}, 2.0), 2.0);
+}
+
+TEST(DecimateInterpolateTest, IdentityAtFactorOne) {
+  std::vector<double> signal = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(DecimateAndInterpolate(signal, 1), signal);
+}
+
+TEST(DecimateInterpolateTest, ExactForPiecewiseLinearSignals) {
+  // A globally linear signal survives any decimation exactly.
+  std::vector<double> signal(64);
+  for (size_t i = 0; i < 64; ++i) signal[i] = 3.0 * static_cast<double>(i);
+  for (size_t dec : {2, 4, 8}) {
+    std::vector<double> rec = DecimateAndInterpolate(signal, dec);
+    for (size_t i = 0; i < 64; ++i) {
+      EXPECT_NEAR(rec[i], signal[i], 1e-9) << "dec " << dec << " i " << i;
+    }
+  }
+}
+
+TEST(DecimateInterpolateTest, ErrorGrowsWithDecimation) {
+  std::vector<double> signal = SineMix(512, {0.05}, {1.0});
+  double prev = 0.0;
+  for (size_t dec : {2, 8, 32}) {
+    std::vector<double> rec = DecimateAndInterpolate(signal, dec);
+    double err = aims::NormalizedMse(signal, rec);
+    EXPECT_GE(err, prev);
+    prev = err;
+  }
+  EXPECT_GT(prev, 0.01);
+}
+
+}  // namespace
+}  // namespace aims::signal

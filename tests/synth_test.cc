@@ -1,0 +1,276 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "synth/cyberglove.h"
+#include "synth/olap_data.h"
+#include "synth/virtual_classroom.h"
+
+namespace aims::synth {
+namespace {
+
+TEST(GloveSensorTable, TwentyTwoSensorsDescribed) {
+  // Table 1 of the paper.
+  for (size_t i = 0; i < kGloveSensors; ++i) {
+    EXPECT_NE(GloveSensorDescription(i), nullptr);
+    EXPECT_GT(std::string(GloveSensorDescription(i)).size(), 3u);
+  }
+  EXPECT_STREQ(GloveSensorDescription(0), "thumb roll sensor");
+  EXPECT_STREQ(GloveSensorDescription(21), "wrist abduction");
+}
+
+TEST(AslVocabulary, EighteenDistinctSigns) {
+  std::vector<SignSpec> vocab = DefaultAslVocabulary();
+  EXPECT_EQ(vocab.size(), 18u);
+  for (const SignSpec& sign : vocab) {
+    EXPECT_EQ(sign.pose.size(), kGloveSensors) << sign.name;
+    EXPECT_GT(sign.nominal_duration_s, 0.0);
+  }
+  // Color signs use the letter pose with a twist motion.
+  auto find = [&](const std::string& name) -> const SignSpec& {
+    for (const SignSpec& s : vocab) {
+      if (s.name == name) return s;
+    }
+    static SignSpec none;
+    return none;
+  };
+  EXPECT_EQ(find("GREEN").pose, find("G").pose);
+  EXPECT_EQ(find("YELLOW").pose, find("Y").pose);
+  EXPECT_EQ(find("GREEN").motion, MotionKind::kWristTwist);
+  EXPECT_EQ(find("G").motion, MotionKind::kStatic);
+}
+
+TEST(AslVocabulary, ExtendedSupersetPreservesIndices) {
+  std::vector<SignSpec> base = DefaultAslVocabulary();
+  std::vector<SignSpec> extended = ExtendedAslVocabulary();
+  ASSERT_EQ(extended.size(), 32u);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(extended[i].name, base[i].name) << i;
+    EXPECT_EQ(extended[i].pose, base[i].pose) << i;
+    EXPECT_EQ(extended[i].motion, base[i].motion) << i;
+  }
+  // All names distinct.
+  std::set<std::string> names;
+  for (const SignSpec& sign : extended) names.insert(sign.name);
+  EXPECT_EQ(names.size(), extended.size());
+  // All poses valid and pairwise distinct.
+  for (size_t a = 0; a < extended.size(); ++a) {
+    EXPECT_EQ(extended[a].pose.size(), kGloveSensors);
+    for (size_t b = a + 1; b < extended.size(); ++b) {
+      bool same_pose = extended[a].pose == extended[b].pose;
+      bool same_motion = extended[a].motion == extended[b].motion;
+      EXPECT_FALSE(same_pose && same_motion)
+          << extended[a].name << " duplicates " << extended[b].name;
+    }
+  }
+}
+
+TEST(CyberGloveSimulator, GeneratesCorrectShape) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 1);
+  SubjectProfile subject = sim.MakeSubject();
+  auto recording = sim.GenerateSign(0, subject);
+  ASSERT_TRUE(recording.ok());
+  EXPECT_EQ(recording.ValueOrDie().num_channels(), kHandChannels);
+  EXPECT_DOUBLE_EQ(recording.ValueOrDie().sample_rate_hz, kGloveSampleRateHz);
+  EXPECT_GT(recording.ValueOrDie().num_frames(), 20u);
+  // Timestamps advance at the device clock.
+  const auto& frames = recording.ValueOrDie().frames;
+  EXPECT_NEAR(frames[1].timestamp - frames[0].timestamp, 0.01, 1e-9);
+}
+
+TEST(CyberGloveSimulator, SubjectsVaryInSpeed) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 2);
+  std::vector<double> speeds;
+  for (int i = 0; i < 20; ++i) {
+    speeds.push_back(sim.MakeSubject().speed_factor);
+  }
+  RunningStats stats;
+  for (double s : speeds) stats.Add(s);
+  EXPECT_GT(stats.stddev(), 0.05);  // genuinely variable
+  EXPECT_GT(stats.min(), 0.4);
+  EXPECT_LT(stats.max(), 2.0);
+}
+
+TEST(CyberGloveSimulator, VariableDurationsAcrossSubjects) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 3);
+  SubjectProfile slow = sim.MakeSubject();
+  slow.speed_factor = 1.6;
+  SubjectProfile fast = sim.MakeSubject();
+  fast.speed_factor = 0.6;
+  size_t slow_frames = sim.GenerateSign(0, slow).ValueOrDie().num_frames();
+  size_t fast_frames = sim.GenerateSign(0, fast).ValueOrDie().num_frames();
+  EXPECT_GT(slow_frames, fast_frames);
+}
+
+TEST(CyberGloveSimulator, MotionSignsMoveTheTracker) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 4, /*noise=*/0.1);
+  SubjectProfile subject = sim.MakeSubject();
+  auto vocab = sim.vocabulary();
+  size_t static_idx = 0, twist_idx = 12;  // "A" and "GREEN"
+  ASSERT_EQ(vocab[twist_idx].motion, MotionKind::kWristTwist);
+  auto energy_of = [&](size_t sign) {
+    auto rec = sim.GenerateSign(sign, subject).ValueOrDie();
+    RunningStats stats;
+    for (double v : rec.Channel(kGloveSensors + 5)) stats.Add(v);
+    return stats.stddev();
+  };
+  EXPECT_GT(energy_of(twist_idx), 5.0 * energy_of(static_idx));
+}
+
+TEST(CyberGloveSimulator, SequenceSegmentsAreAccurate) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 5);
+  SubjectProfile subject = sim.MakeSubject();
+  std::vector<SignSegment> segments;
+  auto recording =
+      sim.GenerateSequence({0, 3, 7}, subject, 0.5, &segments);
+  ASSERT_TRUE(recording.ok());
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].sign_index, 0u);
+  EXPECT_EQ(segments[2].sign_index, 7u);
+  for (const SignSegment& s : segments) {
+    EXPECT_LT(s.start_frame, s.end_frame);
+    EXPECT_LE(s.end_frame, recording.ValueOrDie().num_frames());
+  }
+  // Segments are disjoint and ordered, separated by rest gaps.
+  EXPECT_LE(segments[0].end_frame, segments[1].start_frame);
+  EXPECT_LE(segments[1].end_frame, segments[2].start_frame);
+}
+
+TEST(CyberGloveSimulator, InvalidSignIndexRejected) {
+  CyberGloveSimulator sim(DefaultAslVocabulary(), 6);
+  SubjectProfile subject = sim.MakeSubject();
+  EXPECT_FALSE(sim.GenerateSign(99, subject).ok());
+  std::vector<SignSegment> segments;
+  EXPECT_FALSE(sim.GenerateSequence({0, 99}, subject, 0.3, &segments).ok());
+}
+
+TEST(VirtualClassroom, SessionShape) {
+  VirtualClassroomSimulator sim(ClassroomConfig{}, 1);
+  ClassroomSession session = sim.GenerateSession(SubjectGroup::kControl);
+  EXPECT_EQ(session.recording.num_channels(),
+            kNumTrackers * kTrackerDims);
+  EXPECT_GT(session.recording.num_frames(), 1000u);
+  EXPECT_FALSE(session.stimuli.empty());
+  EXPECT_FALSE(session.distractions.empty());
+}
+
+TEST(VirtualClassroom, ResponsesOnlyForTargets) {
+  VirtualClassroomSimulator sim(ClassroomConfig{}, 2);
+  ClassroomSession session = sim.GenerateSession(SubjectGroup::kControl);
+  size_t targets = 0;
+  for (const Stimulus& s : session.stimuli) {
+    if (s.is_target) ++targets;
+  }
+  EXPECT_EQ(session.responses.size(), targets);
+  EXPECT_GT(targets, 0u);
+}
+
+TEST(VirtualClassroom, AdhdSubjectsMoveMore) {
+  VirtualClassroomSimulator sim(ClassroomConfig{}, 3);
+  auto motion_energy = [](const ClassroomSession& s) {
+    double energy = 0.0;
+    const auto& frames = s.recording.frames;
+    for (size_t f = 1; f < frames.size(); ++f) {
+      for (size_t c = 0; c < frames[f].values.size(); ++c) {
+        double d = frames[f].values[c] - frames[f - 1].values[c];
+        energy += d * d;
+      }
+    }
+    return energy;
+  };
+  double adhd = 0.0, control = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    adhd += motion_energy(sim.GenerateSession(SubjectGroup::kAdhd));
+    control += motion_energy(sim.GenerateSession(SubjectGroup::kControl));
+  }
+  EXPECT_GT(adhd, 1.5 * control);
+}
+
+TEST(VirtualClassroom, AdhdHitRateLower) {
+  VirtualClassroomSimulator sim(ClassroomConfig{}, 4);
+  auto hit_rate = [&](SubjectGroup group) {
+    size_t hits = 0, total = 0;
+    for (int i = 0; i < 10; ++i) {
+      ClassroomSession s = sim.GenerateSession(group);
+      for (const Response& r : s.responses) {
+        ++total;
+        if (r.hit) ++hits;
+      }
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+  };
+  EXPECT_GT(hit_rate(SubjectGroup::kControl),
+            hit_rate(SubjectGroup::kAdhd) + 0.05);
+}
+
+TEST(VirtualClassroom, CohortBalanced) {
+  VirtualClassroomSimulator sim(ClassroomConfig{}, 5);
+  auto cohort = sim.GenerateCohort(3);
+  ASSERT_EQ(cohort.size(), 6u);
+  size_t adhd = 0;
+  for (const auto& s : cohort) {
+    if (s.group == SubjectGroup::kAdhd) ++adhd;
+  }
+  EXPECT_EQ(adhd, 3u);
+}
+
+TEST(VirtualClassroom, SessionToSamplesEmitsTupleStream) {
+  ClassroomConfig config;
+  config.session_duration_s = 4.0;
+  VirtualClassroomSimulator sim(config, 6);
+  ClassroomSession session = sim.GenerateSession(SubjectGroup::kControl);
+  std::vector<streams::Sample> samples = SessionToSamples(session);
+  EXPECT_EQ(samples.size(),
+            session.recording.num_frames() * kNumTrackers * kTrackerDims);
+  EXPECT_EQ(samples[0].sensor_id, 0u);
+  EXPECT_EQ(samples[1].sensor_id, 1u);
+}
+
+TEST(TrackerSiteNames, AllNamed) {
+  EXPECT_STREQ(TrackerSiteName(TrackerSite::kHead), "head");
+  EXPECT_STREQ(TrackerSiteName(TrackerSite::kLeg), "leg");
+}
+
+TEST(OlapDataTest, ShapesAndNames) {
+  Rng rng(7);
+  auto zoo = MakeDatasetZoo({16, 16}, &rng);
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].name, "smooth");
+  EXPECT_EQ(zoo[3].name, "noise");
+  for (const GridDataset& d : zoo) {
+    EXPECT_EQ(d.values.size(), 256u);
+    EXPECT_EQ(d.total_size(), 256u);
+  }
+}
+
+TEST(OlapDataTest, ZipfMassAndFlatIndex) {
+  Rng rng(8);
+  GridDataset zipf = MakeZipfField({32, 32}, 10000, 1.1, &rng);
+  double total = 0.0;
+  for (double v : zipf.values) total += v;
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+  EXPECT_EQ(zipf.FlatIndex({1, 2}), 34u);
+}
+
+TEST(OlapDataTest, SmoothFieldIsSmoother) {
+  // Neighbor differences of the smooth field are small relative to range;
+  // for noise they are comparable to the range.
+  Rng rng(9);
+  GridDataset smooth = MakeSmoothField({64, 64}, 5, &rng);
+  GridDataset noise = MakeNoiseField({64, 64}, &rng);
+  auto roughness = [](const GridDataset& d) {
+    RunningStats diffs, values;
+    for (size_t i = 0; i + 1 < d.values.size(); ++i) {
+      diffs.Add(std::fabs(d.values[i + 1] - d.values[i]));
+      values.Add(d.values[i]);
+    }
+    return diffs.mean() / (values.stddev() + 1e-12);
+  };
+  EXPECT_LT(roughness(smooth), 0.5 * roughness(noise));
+}
+
+}  // namespace
+}  // namespace aims::synth

@@ -1,0 +1,97 @@
+#include "signal/wavelet_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aims::signal {
+namespace {
+
+class WaveletFilterTest : public ::testing::TestWithParam<WaveletKind> {};
+
+TEST_P(WaveletFilterTest, LowpassIsNormalized) {
+  WaveletFilter f = WaveletFilter::Make(GetParam());
+  double sum = 0.0, energy = 0.0;
+  for (double h : f.lowpass()) {
+    sum += h;
+    energy += h * h;
+  }
+  EXPECT_NEAR(sum, std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(energy, 1.0, 1e-10);
+}
+
+TEST_P(WaveletFilterTest, HighpassIsQuadratureMirror) {
+  WaveletFilter f = WaveletFilter::Make(GetParam());
+  const auto& h = f.lowpass();
+  const auto& g = f.highpass();
+  ASSERT_EQ(h.size(), g.size());
+  for (size_t t = 0; t < h.size(); ++t) {
+    double sign = (t % 2 == 0) ? 1.0 : -1.0;
+    EXPECT_DOUBLE_EQ(g[t], sign * h[h.size() - 1 - t]);
+  }
+}
+
+TEST_P(WaveletFilterTest, HighpassOrthogonalToLowpass) {
+  WaveletFilter f = WaveletFilter::Make(GetParam());
+  double dot = 0.0;
+  for (size_t t = 0; t < f.length(); ++t) {
+    dot += f.lowpass()[t] * f.highpass()[t];
+  }
+  EXPECT_NEAR(dot, 0.0, 1e-10);
+}
+
+TEST_P(WaveletFilterTest, VanishingMomentsHold) {
+  WaveletFilter f = WaveletFilter::Make(GetParam());
+  // sum_t g[t] t^m == 0 for every m below the advertised moment count.
+  for (int m = 0; m < f.vanishing_moments(); ++m) {
+    double moment = 0.0;
+    for (size_t t = 0; t < f.length(); ++t) {
+      moment += f.highpass()[t] * std::pow(static_cast<double>(t), m);
+    }
+    EXPECT_NEAR(moment, 0.0, 1e-8)
+        << f.name() << " moment order " << m;
+  }
+}
+
+TEST_P(WaveletFilterTest, DoubleShiftOrthogonality) {
+  // <h, h shifted by 2k> = delta_k: the orthonormality condition.
+  WaveletFilter f = WaveletFilter::Make(GetParam());
+  const auto& h = f.lowpass();
+  for (size_t k = 1; 2 * k < h.size(); ++k) {
+    double dot = 0.0;
+    for (size_t t = 0; t + 2 * k < h.size(); ++t) {
+      dot += h[t] * h[t + 2 * k];
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-10) << f.name() << " shift " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, WaveletFilterTest,
+                         ::testing::Values(WaveletKind::kHaar,
+                                           WaveletKind::kDb2,
+                                           WaveletKind::kDb3,
+                                           WaveletKind::kDb4),
+                         [](const auto& info) {
+                           return WaveletKindName(info.param);
+                         });
+
+TEST(WaveletFilterFromName, ParsesKnownNames) {
+  EXPECT_TRUE(WaveletFilter::FromName("haar").ok());
+  EXPECT_TRUE(WaveletFilter::FromName("db1").ok());
+  EXPECT_TRUE(WaveletFilter::FromName("db2").ok());
+  EXPECT_TRUE(WaveletFilter::FromName("db3").ok());
+  EXPECT_TRUE(WaveletFilter::FromName("db4").ok());
+  EXPECT_FALSE(WaveletFilter::FromName("sym5").ok());
+  EXPECT_EQ(WaveletFilter::FromName("nope").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WaveletFilterProps, VanishingMomentCounts) {
+  EXPECT_EQ(WaveletFilter::Make(WaveletKind::kHaar).vanishing_moments(), 1);
+  EXPECT_EQ(WaveletFilter::Make(WaveletKind::kDb2).vanishing_moments(), 2);
+  EXPECT_EQ(WaveletFilter::Make(WaveletKind::kDb3).vanishing_moments(), 3);
+  EXPECT_EQ(WaveletFilter::Make(WaveletKind::kDb4).vanishing_moments(), 4);
+}
+
+}  // namespace
+}  // namespace aims::signal

@@ -1,0 +1,135 @@
+#include "recognition/wavelet_svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "recognition/similarity.h"
+#include "synth/cyberglove.h"
+
+namespace aims::recognition {
+namespace {
+
+signal::WaveletFilter Db2() {
+  return signal::WaveletFilter::Make(signal::WaveletKind::kDb2);
+}
+
+linalg::Matrix RandomSegment(size_t rows, size_t cols, Rng* rng) {
+  linalg::Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng->Uniform(-2.0, 2.0);
+  return m;
+}
+
+TEST(TransformSegmentTest, PadsToPowerOfTwo) {
+  Rng rng(1);
+  linalg::Matrix segment = RandomSegment(100, 4, &rng);
+  auto transformed = TransformSegment(Db2(), segment);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_EQ(transformed.ValueOrDie().rows(), 128u);
+  EXPECT_EQ(transformed.ValueOrDie().cols(), 4u);
+}
+
+TEST(TransformSegmentTest, RejectsTinySegments) {
+  EXPECT_FALSE(TransformSegment(Db2(), linalg::Matrix(1, 4)).ok());
+}
+
+TEST(CovarianceFromWaveletsTest, ExactlyMatchesTimeDomainCovariance) {
+  // Parseval: the covariance computed from transformed channels must equal
+  // the ordinary column covariance when the frame count is a power of two
+  // (no padding effects at all).
+  Rng rng(2);
+  linalg::Matrix segment = RandomSegment(64, 5, &rng);
+  auto transformed = TransformSegment(Db2(), segment);
+  ASSERT_TRUE(transformed.ok());
+  auto wavelet_cov = CovarianceFromWavelets(transformed.ValueOrDie());
+  ASSERT_TRUE(wavelet_cov.ok());
+  linalg::Matrix direct = segment.ColumnCovariance();
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(wavelet_cov.ValueOrDie()(i, j), direct(i, j), 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(CovarianceFromWaveletsTest, TruncationApproximates) {
+  Rng rng(3);
+  // Smooth segment: low-frequency content, so top coefficients capture it.
+  linalg::Matrix segment(128, 3);
+  for (size_t r = 0; r < 128; ++r) {
+    double t = static_cast<double>(r) / 128.0;
+    segment(r, 0) = std::sin(2.0 * M_PI * 2.0 * t);
+    segment(r, 1) = std::sin(2.0 * M_PI * 2.0 * t + 0.7);
+    segment(r, 2) = std::cos(2.0 * M_PI * 3.0 * t);
+  }
+  auto transformed = TransformSegment(Db2(), segment);
+  ASSERT_TRUE(transformed.ok());
+  auto full = CovarianceFromWavelets(transformed.ValueOrDie());
+  auto truncated = CovarianceFromWavelets(transformed.ValueOrDie(), 16);
+  ASSERT_TRUE(full.ok() && truncated.ok());
+  double err = 0.0, norm = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double d = full.ValueOrDie()(i, j) - truncated.ValueOrDie()(i, j);
+      err += d * d;
+      norm += full.ValueOrDie()(i, j) * full.ValueOrDie()(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.1);
+}
+
+TEST(WaveletDomainSimilarityTest, MatchesRawDomainSimilarity) {
+  // The claim of Sec. 3.4.1: the SVD similarity can be computed on
+  // wavelets with no loss.
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 4);
+  synth::SubjectProfile s1 = sim.MakeSubject();
+  synth::SubjectProfile s2 = sim.MakeSubject();
+  auto to_matrix = [](const streams::Recording& rec) {
+    linalg::Matrix m(rec.num_frames(), rec.num_channels());
+    for (size_t r = 0; r < rec.num_frames(); ++r) {
+      m.SetRow(r, rec.frames[r].values);
+    }
+    return m;
+  };
+  linalg::Matrix a = to_matrix(sim.GenerateSign(12, s1).ValueOrDie());
+  linalg::Matrix b = to_matrix(sim.GenerateSign(12, s2).ValueOrDie());
+  WeightedSvdSimilarity raw_measure;
+  double raw = raw_measure.Similarity(a, b).ValueOrDie();
+  double wavelet = WaveletDomainSimilarity(Db2(), a, b).ValueOrDie();
+  // Zero-padding to a power of two scales the covariance uniformly, which
+  // cancels in the similarity; small numeric drift is acceptable.
+  EXPECT_NEAR(wavelet, raw, 0.05);
+}
+
+TEST(WaveletDomainSimilarityTest, TruncatedStillDiscriminates) {
+  synth::CyberGloveSimulator sim(synth::DefaultAslVocabulary(), 5);
+  synth::SubjectProfile s1 = sim.MakeSubject();
+  synth::SubjectProfile s2 = sim.MakeSubject();
+  auto to_matrix = [](const streams::Recording& rec) {
+    linalg::Matrix m(rec.num_frames(), rec.num_channels());
+    for (size_t r = 0; r < rec.num_frames(); ++r) {
+      m.SetRow(r, rec.frames[r].values);
+    }
+    return m;
+  };
+  linalg::Matrix green1 = to_matrix(sim.GenerateSign(12, s1).ValueOrDie());
+  linalg::Matrix green2 = to_matrix(sim.GenerateSign(12, s2).ValueOrDie());
+  linalg::Matrix please = to_matrix(sim.GenerateSign(17, s2).ValueOrDie());
+  const size_t keep = 24;
+  double same =
+      WaveletDomainSimilarity(Db2(), green1, green2, 0, keep).ValueOrDie();
+  double different =
+      WaveletDomainSimilarity(Db2(), green1, please, 0, keep).ValueOrDie();
+  EXPECT_GT(same, different);
+}
+
+TEST(WaveletDomainSimilarityTest, ChannelMismatchRejected) {
+  EXPECT_FALSE(
+      WaveletDomainSimilarity(Db2(), linalg::Matrix(16, 2),
+                              linalg::Matrix(16, 3))
+          .ok());
+}
+
+}  // namespace
+}  // namespace aims::recognition
