@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adhd"
+  "../bench/bench_adhd.pdb"
+  "CMakeFiles/bench_adhd.dir/bench_adhd.cc.o"
+  "CMakeFiles/bench_adhd.dir/bench_adhd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

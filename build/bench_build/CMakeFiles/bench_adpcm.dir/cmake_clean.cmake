@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adpcm"
+  "../bench/bench_adpcm.pdb"
+  "CMakeFiles/bench_adpcm.dir/bench_adpcm.cc.o"
+  "CMakeFiles/bench_adpcm.dir/bench_adpcm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adpcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batch"
+  "../bench/bench_batch.pdb"
+  "CMakeFiles/bench_batch.dir/bench_batch.cc.o"
+  "CMakeFiles/bench_batch.dir/bench_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

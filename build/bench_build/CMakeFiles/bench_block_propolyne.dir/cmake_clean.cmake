@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_block_propolyne"
+  "../bench/bench_block_propolyne.pdb"
+  "CMakeFiles/bench_block_propolyne.dir/bench_block_propolyne.cc.o"
+  "CMakeFiles/bench_block_propolyne.dir/bench_block_propolyne.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_propolyne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_denoise"
+  "../bench/bench_denoise.pdb"
+  "CMakeFiles/bench_denoise.dir/bench_denoise.cc.o"
+  "CMakeFiles/bench_denoise.dir/bench_denoise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multibasis"
+  "../bench/bench_multibasis.pdb"
+  "CMakeFiles/bench_multibasis.dir/bench_multibasis.cc.o"
+  "CMakeFiles/bench_multibasis.dir/bench_multibasis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

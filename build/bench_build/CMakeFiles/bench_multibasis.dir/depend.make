@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multibasis.
+# This may be replaced when dependencies are built.

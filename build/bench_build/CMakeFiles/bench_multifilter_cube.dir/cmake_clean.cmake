@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multifilter_cube"
+  "../bench/bench_multifilter_cube.pdb"
+  "CMakeFiles/bench_multifilter_cube.dir/bench_multifilter_cube.cc.o"
+  "CMakeFiles/bench_multifilter_cube.dir/bench_multifilter_cube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multifilter_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_propolyne_progressive"
+  "../bench/bench_propolyne_progressive.pdb"
+  "CMakeFiles/bench_propolyne_progressive.dir/bench_propolyne_progressive.cc.o"
+  "CMakeFiles/bench_propolyne_progressive.dir/bench_propolyne_progressive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_propolyne_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_query_cost"
+  "../bench/bench_query_cost.pdb"
+  "CMakeFiles/bench_query_cost.dir/bench_query_cost.cc.o"
+  "CMakeFiles/bench_query_cost.dir/bench_query_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

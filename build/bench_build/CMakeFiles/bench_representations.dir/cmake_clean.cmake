@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_representations"
+  "../bench/bench_representations.pdb"
+  "CMakeFiles/bench_representations.dir/bench_representations.cc.o"
+  "CMakeFiles/bench_representations.dir/bench_representations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wavelet_svd"
+  "../bench/bench_wavelet_svd.pdb"
+  "CMakeFiles/bench_wavelet_svd.dir/bench_wavelet_svd.cc.o"
+  "CMakeFiles/bench_wavelet_svd.dir/bench_wavelet_svd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wavelet_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

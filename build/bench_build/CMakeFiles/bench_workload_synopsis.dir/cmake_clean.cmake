@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_workload_synopsis"
+  "../bench/bench_workload_synopsis.pdb"
+  "CMakeFiles/bench_workload_synopsis.dir/bench_workload_synopsis.cc.o"
+  "CMakeFiles/bench_workload_synopsis.dir/bench_workload_synopsis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

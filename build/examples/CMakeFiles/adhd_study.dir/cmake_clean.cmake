@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhd_study.dir/adhd_study.cpp.o"
+  "CMakeFiles/adhd_study.dir/adhd_study.cpp.o.d"
+  "adhd_study"
+  "adhd_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhd_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_recognition.dir/asl_recognition.cpp.o"
+  "CMakeFiles/asl_recognition.dir/asl_recognition.cpp.o.d"
+  "asl_recognition"
+  "asl_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_olap.dir/progressive_olap.cpp.o"
+  "CMakeFiles/progressive_olap.dir/progressive_olap.cpp.o.d"
+  "progressive_olap"
+  "progressive_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

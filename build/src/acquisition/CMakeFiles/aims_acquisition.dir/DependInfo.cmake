@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acquisition/codec.cc" "src/acquisition/CMakeFiles/aims_acquisition.dir/codec.cc.o" "gcc" "src/acquisition/CMakeFiles/aims_acquisition.dir/codec.cc.o.d"
+  "/root/repo/src/acquisition/pipeline.cc" "src/acquisition/CMakeFiles/aims_acquisition.dir/pipeline.cc.o" "gcc" "src/acquisition/CMakeFiles/aims_acquisition.dir/pipeline.cc.o.d"
+  "/root/repo/src/acquisition/sampler.cc" "src/acquisition/CMakeFiles/aims_acquisition.dir/sampler.cc.o" "gcc" "src/acquisition/CMakeFiles/aims_acquisition.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/aims_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

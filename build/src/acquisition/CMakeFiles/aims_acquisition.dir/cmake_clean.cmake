@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_acquisition.dir/codec.cc.o"
+  "CMakeFiles/aims_acquisition.dir/codec.cc.o.d"
+  "CMakeFiles/aims_acquisition.dir/pipeline.cc.o"
+  "CMakeFiles/aims_acquisition.dir/pipeline.cc.o.d"
+  "CMakeFiles/aims_acquisition.dir/sampler.cc.o"
+  "CMakeFiles/aims_acquisition.dir/sampler.cc.o.d"
+  "libaims_acquisition.a"
+  "libaims_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_common.dir/rng.cc.o"
+  "CMakeFiles/aims_common.dir/rng.cc.o.d"
+  "CMakeFiles/aims_common.dir/stats.cc.o"
+  "CMakeFiles/aims_common.dir/stats.cc.o.d"
+  "CMakeFiles/aims_common.dir/status.cc.o"
+  "CMakeFiles/aims_common.dir/status.cc.o.d"
+  "CMakeFiles/aims_common.dir/table_printer.cc.o"
+  "CMakeFiles/aims_common.dir/table_printer.cc.o.d"
+  "libaims_common.a"
+  "libaims_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_core.dir/aims.cc.o"
+  "CMakeFiles/aims_core.dir/aims.cc.o.d"
+  "libaims_core.a"
+  "libaims_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

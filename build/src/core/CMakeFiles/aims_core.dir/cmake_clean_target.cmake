@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaims_core.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aims_core.
+# This may be replaced when dependencies are built.

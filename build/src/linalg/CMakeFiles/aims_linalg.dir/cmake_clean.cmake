@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_linalg.dir/eigen.cc.o"
+  "CMakeFiles/aims_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/aims_linalg.dir/matrix.cc.o"
+  "CMakeFiles/aims_linalg.dir/matrix.cc.o.d"
+  "libaims_linalg.a"
+  "libaims_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

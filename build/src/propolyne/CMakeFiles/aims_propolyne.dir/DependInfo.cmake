@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propolyne/batch.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/batch.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/batch.cc.o.d"
+  "/root/repo/src/propolyne/block_propolyne.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/block_propolyne.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/block_propolyne.cc.o.d"
+  "/root/repo/src/propolyne/data_approximation.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/data_approximation.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/data_approximation.cc.o.d"
+  "/root/repo/src/propolyne/datacube.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/datacube.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/datacube.cc.o.d"
+  "/root/repo/src/propolyne/evaluator.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/evaluator.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/evaluator.cc.o.d"
+  "/root/repo/src/propolyne/hybrid.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/hybrid.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/hybrid.cc.o.d"
+  "/root/repo/src/propolyne/query.cc" "src/propolyne/CMakeFiles/aims_propolyne.dir/query.cc.o" "gcc" "src/propolyne/CMakeFiles/aims_propolyne.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/aims_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

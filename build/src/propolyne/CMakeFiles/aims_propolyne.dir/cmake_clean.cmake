@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_propolyne.dir/batch.cc.o"
+  "CMakeFiles/aims_propolyne.dir/batch.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/block_propolyne.cc.o"
+  "CMakeFiles/aims_propolyne.dir/block_propolyne.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/data_approximation.cc.o"
+  "CMakeFiles/aims_propolyne.dir/data_approximation.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/datacube.cc.o"
+  "CMakeFiles/aims_propolyne.dir/datacube.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/evaluator.cc.o"
+  "CMakeFiles/aims_propolyne.dir/evaluator.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/hybrid.cc.o"
+  "CMakeFiles/aims_propolyne.dir/hybrid.cc.o.d"
+  "CMakeFiles/aims_propolyne.dir/query.cc.o"
+  "CMakeFiles/aims_propolyne.dir/query.cc.o.d"
+  "libaims_propolyne.a"
+  "libaims_propolyne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_propolyne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

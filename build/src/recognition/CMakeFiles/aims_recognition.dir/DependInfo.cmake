@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recognition/classifiers.cc" "src/recognition/CMakeFiles/aims_recognition.dir/classifiers.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/classifiers.cc.o.d"
+  "/root/repo/src/recognition/confusion.cc" "src/recognition/CMakeFiles/aims_recognition.dir/confusion.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/confusion.cc.o.d"
+  "/root/repo/src/recognition/effectiveness.cc" "src/recognition/CMakeFiles/aims_recognition.dir/effectiveness.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/effectiveness.cc.o.d"
+  "/root/repo/src/recognition/features.cc" "src/recognition/CMakeFiles/aims_recognition.dir/features.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/features.cc.o.d"
+  "/root/repo/src/recognition/incremental.cc" "src/recognition/CMakeFiles/aims_recognition.dir/incremental.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/incremental.cc.o.d"
+  "/root/repo/src/recognition/isolator.cc" "src/recognition/CMakeFiles/aims_recognition.dir/isolator.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/isolator.cc.o.d"
+  "/root/repo/src/recognition/similarity.cc" "src/recognition/CMakeFiles/aims_recognition.dir/similarity.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/similarity.cc.o.d"
+  "/root/repo/src/recognition/sliding_matcher.cc" "src/recognition/CMakeFiles/aims_recognition.dir/sliding_matcher.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/sliding_matcher.cc.o.d"
+  "/root/repo/src/recognition/vocabulary.cc" "src/recognition/CMakeFiles/aims_recognition.dir/vocabulary.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/vocabulary.cc.o.d"
+  "/root/repo/src/recognition/wavelet_svd.cc" "src/recognition/CMakeFiles/aims_recognition.dir/wavelet_svd.cc.o" "gcc" "src/recognition/CMakeFiles/aims_recognition.dir/wavelet_svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/aims_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/aims_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_recognition.dir/classifiers.cc.o"
+  "CMakeFiles/aims_recognition.dir/classifiers.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/confusion.cc.o"
+  "CMakeFiles/aims_recognition.dir/confusion.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/effectiveness.cc.o"
+  "CMakeFiles/aims_recognition.dir/effectiveness.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/features.cc.o"
+  "CMakeFiles/aims_recognition.dir/features.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/incremental.cc.o"
+  "CMakeFiles/aims_recognition.dir/incremental.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/isolator.cc.o"
+  "CMakeFiles/aims_recognition.dir/isolator.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/similarity.cc.o"
+  "CMakeFiles/aims_recognition.dir/similarity.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/sliding_matcher.cc.o"
+  "CMakeFiles/aims_recognition.dir/sliding_matcher.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/vocabulary.cc.o"
+  "CMakeFiles/aims_recognition.dir/vocabulary.cc.o.d"
+  "CMakeFiles/aims_recognition.dir/wavelet_svd.cc.o"
+  "CMakeFiles/aims_recognition.dir/wavelet_svd.cc.o.d"
+  "libaims_recognition.a"
+  "libaims_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

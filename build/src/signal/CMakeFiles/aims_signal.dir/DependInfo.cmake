@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/denoise.cc" "src/signal/CMakeFiles/aims_signal.dir/denoise.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/denoise.cc.o.d"
+  "/root/repo/src/signal/dft.cc" "src/signal/CMakeFiles/aims_signal.dir/dft.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/dft.cc.o.d"
+  "/root/repo/src/signal/dwpt.cc" "src/signal/CMakeFiles/aims_signal.dir/dwpt.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/dwpt.cc.o.d"
+  "/root/repo/src/signal/dwt.cc" "src/signal/CMakeFiles/aims_signal.dir/dwt.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/dwt.cc.o.d"
+  "/root/repo/src/signal/error_tree.cc" "src/signal/CMakeFiles/aims_signal.dir/error_tree.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/error_tree.cc.o.d"
+  "/root/repo/src/signal/lazy_wavelet.cc" "src/signal/CMakeFiles/aims_signal.dir/lazy_wavelet.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/lazy_wavelet.cc.o.d"
+  "/root/repo/src/signal/polynomial.cc" "src/signal/CMakeFiles/aims_signal.dir/polynomial.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/polynomial.cc.o.d"
+  "/root/repo/src/signal/resample.cc" "src/signal/CMakeFiles/aims_signal.dir/resample.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/resample.cc.o.d"
+  "/root/repo/src/signal/spectral.cc" "src/signal/CMakeFiles/aims_signal.dir/spectral.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/spectral.cc.o.d"
+  "/root/repo/src/signal/wavelet_filter.cc" "src/signal/CMakeFiles/aims_signal.dir/wavelet_filter.cc.o" "gcc" "src/signal/CMakeFiles/aims_signal.dir/wavelet_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_signal.dir/denoise.cc.o"
+  "CMakeFiles/aims_signal.dir/denoise.cc.o.d"
+  "CMakeFiles/aims_signal.dir/dft.cc.o"
+  "CMakeFiles/aims_signal.dir/dft.cc.o.d"
+  "CMakeFiles/aims_signal.dir/dwpt.cc.o"
+  "CMakeFiles/aims_signal.dir/dwpt.cc.o.d"
+  "CMakeFiles/aims_signal.dir/dwt.cc.o"
+  "CMakeFiles/aims_signal.dir/dwt.cc.o.d"
+  "CMakeFiles/aims_signal.dir/error_tree.cc.o"
+  "CMakeFiles/aims_signal.dir/error_tree.cc.o.d"
+  "CMakeFiles/aims_signal.dir/lazy_wavelet.cc.o"
+  "CMakeFiles/aims_signal.dir/lazy_wavelet.cc.o.d"
+  "CMakeFiles/aims_signal.dir/polynomial.cc.o"
+  "CMakeFiles/aims_signal.dir/polynomial.cc.o.d"
+  "CMakeFiles/aims_signal.dir/resample.cc.o"
+  "CMakeFiles/aims_signal.dir/resample.cc.o.d"
+  "CMakeFiles/aims_signal.dir/spectral.cc.o"
+  "CMakeFiles/aims_signal.dir/spectral.cc.o.d"
+  "CMakeFiles/aims_signal.dir/wavelet_filter.cc.o"
+  "CMakeFiles/aims_signal.dir/wavelet_filter.cc.o.d"
+  "libaims_signal.a"
+  "libaims_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/allocation.cc" "src/storage/CMakeFiles/aims_storage.dir/allocation.cc.o" "gcc" "src/storage/CMakeFiles/aims_storage.dir/allocation.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/aims_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/aims_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/aims_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/aims_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/wavelet_store.cc" "src/storage/CMakeFiles/aims_storage.dir/wavelet_store.cc.o" "gcc" "src/storage/CMakeFiles/aims_storage.dir/wavelet_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/aims_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_storage.dir/allocation.cc.o"
+  "CMakeFiles/aims_storage.dir/allocation.cc.o.d"
+  "CMakeFiles/aims_storage.dir/block_device.cc.o"
+  "CMakeFiles/aims_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/aims_storage.dir/relation.cc.o"
+  "CMakeFiles/aims_storage.dir/relation.cc.o.d"
+  "CMakeFiles/aims_storage.dir/wavelet_store.cc.o"
+  "CMakeFiles/aims_storage.dir/wavelet_store.cc.o.d"
+  "libaims_storage.a"
+  "libaims_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

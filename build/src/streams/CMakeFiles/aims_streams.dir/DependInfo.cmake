@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streams/recording_io.cc" "src/streams/CMakeFiles/aims_streams.dir/recording_io.cc.o" "gcc" "src/streams/CMakeFiles/aims_streams.dir/recording_io.cc.o.d"
+  "/root/repo/src/streams/sample.cc" "src/streams/CMakeFiles/aims_streams.dir/sample.cc.o" "gcc" "src/streams/CMakeFiles/aims_streams.dir/sample.cc.o.d"
+  "/root/repo/src/streams/synchronizer.cc" "src/streams/CMakeFiles/aims_streams.dir/synchronizer.cc.o" "gcc" "src/streams/CMakeFiles/aims_streams.dir/synchronizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

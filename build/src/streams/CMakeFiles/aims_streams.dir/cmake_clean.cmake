@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_streams.dir/recording_io.cc.o"
+  "CMakeFiles/aims_streams.dir/recording_io.cc.o.d"
+  "CMakeFiles/aims_streams.dir/sample.cc.o"
+  "CMakeFiles/aims_streams.dir/sample.cc.o.d"
+  "CMakeFiles/aims_streams.dir/synchronizer.cc.o"
+  "CMakeFiles/aims_streams.dir/synchronizer.cc.o.d"
+  "libaims_streams.a"
+  "libaims_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

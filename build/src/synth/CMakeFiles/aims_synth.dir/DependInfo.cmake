@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cyberglove.cc" "src/synth/CMakeFiles/aims_synth.dir/cyberglove.cc.o" "gcc" "src/synth/CMakeFiles/aims_synth.dir/cyberglove.cc.o.d"
+  "/root/repo/src/synth/olap_data.cc" "src/synth/CMakeFiles/aims_synth.dir/olap_data.cc.o" "gcc" "src/synth/CMakeFiles/aims_synth.dir/olap_data.cc.o.d"
+  "/root/repo/src/synth/virtual_classroom.cc" "src/synth/CMakeFiles/aims_synth.dir/virtual_classroom.cc.o" "gcc" "src/synth/CMakeFiles/aims_synth.dir/virtual_classroom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aims_synth.dir/cyberglove.cc.o"
+  "CMakeFiles/aims_synth.dir/cyberglove.cc.o.d"
+  "CMakeFiles/aims_synth.dir/olap_data.cc.o"
+  "CMakeFiles/aims_synth.dir/olap_data.cc.o.d"
+  "CMakeFiles/aims_synth.dir/virtual_classroom.cc.o"
+  "CMakeFiles/aims_synth.dir/virtual_classroom.cc.o.d"
+  "libaims_synth.a"
+  "libaims_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aims_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

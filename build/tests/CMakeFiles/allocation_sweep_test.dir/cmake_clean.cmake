@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_sweep_test.dir/allocation_sweep_test.cc.o"
+  "CMakeFiles/allocation_sweep_test.dir/allocation_sweep_test.cc.o.d"
+  "allocation_sweep_test"
+  "allocation_sweep_test.pdb"
+  "allocation_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_propolyne_test.dir/block_propolyne_test.cc.o"
+  "CMakeFiles/block_propolyne_test.dir/block_propolyne_test.cc.o.d"
+  "block_propolyne_test"
+  "block_propolyne_test.pdb"
+  "block_propolyne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_propolyne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwpt_test.dir/dwpt_test.cc.o"
+  "CMakeFiles/dwpt_test.dir/dwpt_test.cc.o.d"
+  "dwpt_test"
+  "dwpt_test.pdb"
+  "dwpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

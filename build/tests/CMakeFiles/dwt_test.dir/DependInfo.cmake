@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dwt_test.cc" "tests/CMakeFiles/dwt_test.dir/dwt_test.cc.o" "gcc" "tests/CMakeFiles/dwt_test.dir/dwt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aims_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/acquisition/CMakeFiles/aims_acquisition.dir/DependInfo.cmake"
+  "/root/repo/build/src/propolyne/CMakeFiles/aims_propolyne.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aims_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/recognition/CMakeFiles/aims_recognition.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/aims_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/aims_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/aims_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aims_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aims_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

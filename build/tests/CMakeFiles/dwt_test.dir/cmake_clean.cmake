@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_test.dir/dwt_test.cc.o"
+  "CMakeFiles/dwt_test.dir/dwt_test.cc.o.d"
+  "dwt_test"
+  "dwt_test.pdb"
+  "dwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectiveness_test.dir/effectiveness_test.cc.o"
+  "CMakeFiles/effectiveness_test.dir/effectiveness_test.cc.o.d"
+  "effectiveness_test"
+  "effectiveness_test.pdb"
+  "effectiveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectiveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

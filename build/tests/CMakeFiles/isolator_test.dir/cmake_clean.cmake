@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolator_test.dir/isolator_test.cc.o"
+  "CMakeFiles/isolator_test.dir/isolator_test.cc.o.d"
+  "isolator_test"
+  "isolator_test.pdb"
+  "isolator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_wavelet_test.dir/lazy_wavelet_test.cc.o"
+  "CMakeFiles/lazy_wavelet_test.dir/lazy_wavelet_test.cc.o.d"
+  "lazy_wavelet_test"
+  "lazy_wavelet_test.pdb"
+  "lazy_wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifilter_test.dir/multifilter_test.cc.o"
+  "CMakeFiles/multifilter_test.dir/multifilter_test.cc.o.d"
+  "multifilter_test"
+  "multifilter_test.pdb"
+  "multifilter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

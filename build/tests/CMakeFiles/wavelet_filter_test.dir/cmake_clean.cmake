@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_filter_test.dir/wavelet_filter_test.cc.o"
+  "CMakeFiles/wavelet_filter_test.dir/wavelet_filter_test.cc.o.d"
+  "wavelet_filter_test"
+  "wavelet_filter_test.pdb"
+  "wavelet_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_svd_test.dir/wavelet_svd_test.cc.o"
+  "CMakeFiles/wavelet_svd_test.dir/wavelet_svd_test.cc.o.d"
+  "wavelet_svd_test"
+  "wavelet_svd_test.pdb"
+  "wavelet_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
