@@ -1,0 +1,225 @@
+// bench_server — shard-scaling of the aims::server runtime.
+//
+// M synthetic clients (CyberGlove signers and virtual-classroom subjects)
+// hammer a ShardedCatalog with a mixed ingest + range-query workload while
+// the disk cost model is in simulate_io_wait mode, so every block access
+// takes real wall-clock time. On a single-core host this is the honest
+// experiment: sharding cannot buy CPU parallelism, but it overlaps the
+// I/O waits that a one-shard catalog serializes behind its writer lock.
+// The bench sweeps the shard count at a fixed client count and reports
+// aggregate throughput per configuration as JSON (stdout); progress notes
+// go to stderr. A final section measures the live recognition path.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "server/server.h"
+#include "synth/cyberglove.h"
+#include "synth/virtual_classroom.h"
+
+namespace aims {
+namespace {
+
+using streams::Recording;
+
+constexpr size_t kClients = 8;
+constexpr size_t kIngestsPerClient = 4;
+constexpr size_t kQueriesPerIngest = 2;
+constexpr size_t kSliceFrames = 64;
+
+/// A \p len-frame window of \p rec starting at \p start.
+Recording Slice(const Recording& rec, size_t start, size_t len) {
+  Recording out;
+  out.sample_rate_hz = rec.sample_rate_hz;
+  for (size_t i = start; i < start + len && i < rec.num_frames(); ++i) {
+    out.frames.push_back(rec.frames[i]);
+  }
+  AIMS_CHECK(out.num_frames() >= 2);
+  return out;
+}
+
+/// Per-client work lists, generated once outside the timed region. Even
+/// clients submit glove sessions, odd clients classroom tracker sessions.
+std::vector<std::vector<Recording>> MakeClientWorkloads() {
+  synth::CyberGloveSimulator glove(synth::DefaultAslVocabulary(), 17);
+  synth::SubjectProfile subject = glove.MakeSubject();
+  auto glove_rec =
+      glove.GenerateSequence({0, 1, 2, 3, 4, 5}, subject, 0.3, nullptr);
+  AIMS_CHECK(glove_rec.ok());
+
+  synth::ClassroomConfig classroom_config;
+  classroom_config.session_duration_s = 30.0;
+  synth::VirtualClassroomSimulator classroom(classroom_config, 17);
+  Recording classroom_rec =
+      classroom.GenerateSession(synth::SubjectGroup::kControl).recording;
+
+  std::vector<std::vector<Recording>> workloads(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    const Recording& source =
+        (c % 2 == 0) ? glove_rec.ValueOrDie() : classroom_rec;
+    for (size_t i = 0; i < kIngestsPerClient; ++i) {
+      size_t start =
+          ((c * kIngestsPerClient + i) * kSliceFrames) %
+          (source.num_frames() - kSliceFrames);
+      workloads[c].push_back(Slice(source, start, kSliceFrames));
+    }
+  }
+  return workloads;
+}
+
+struct SweepPoint {
+  size_t shards = 0;
+  size_t ingests = 0;
+  size_t queries = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+/// Runs the mixed workload against a fresh catalog with \p num_shards
+/// shards; every client is its own thread, as in a real multi-tenant
+/// deployment.
+SweepPoint RunShardConfig(size_t num_shards,
+                          const std::vector<std::vector<Recording>>& work) {
+  core::AimsConfig config;
+  config.disk_cost.seek_ms = 1.0;
+  config.disk_cost.transfer_ms_per_kb = 0.02;
+  config.disk_cost.simulate_io_wait = true;
+  server::MetricsRegistry metrics;
+  server::ShardedCatalog catalog(num_shards, config, &metrics);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &catalog, &work] {
+      for (size_t i = 0; i < work[c].size(); ++i) {
+        const Recording& rec = work[c][i];
+        auto id = catalog.Ingest(c, "bench", rec);
+        AIMS_CHECK(id.ok());
+        for (size_t q = 0; q < kQueriesPerIngest; ++q) {
+          size_t channel = (c + q) % rec.num_channels();
+          auto stats = catalog.QueryRange(id.ValueOrDie(), channel,
+                                          q * (rec.num_frames() / 2),
+                                          rec.num_frames() - 1);
+          AIMS_CHECK(stats.ok());
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  SweepPoint point;
+  point.shards = num_shards;
+  point.ingests = kClients * kIngestsPerClient;
+  point.queries = kClients * kIngestsPerClient * kQueriesPerIngest;
+  point.seconds = seconds;
+  point.ops_per_sec =
+      static_cast<double>(point.ingests + point.queries) / seconds;
+  return point;
+}
+
+struct RecognitionPoint {
+  size_t clients = 0;
+  size_t frames = 0;
+  size_t events = 0;
+  double seconds = 0.0;
+  double frames_per_sec = 0.0;
+};
+
+/// Live recognition through the full AimsServer: every client streams a
+/// signing session into its own recognizer concurrently.
+RecognitionPoint RunRecognition() {
+  server::ServerConfig config;
+  config.num_shards = 4;
+  config.num_threads = 4;
+  server::AimsServer srv(config);
+
+  synth::CyberGloveSimulator glove(synth::DefaultAslVocabulary(), 29);
+  synth::SubjectProfile subject = glove.MakeSubject();
+  for (size_t s = 0; s < 4; ++s) {
+    auto sign = glove.GenerateSign(s, subject);
+    AIMS_CHECK(sign.ok());
+    const Recording& rec = sign.ValueOrDie();
+    linalg::Matrix segment(rec.num_frames(), rec.num_channels());
+    for (size_t r = 0; r < rec.num_frames(); ++r) {
+      segment.SetRow(r, rec.frames[r].values);
+    }
+    srv.AddVocabularyEntry(synth::DefaultAslVocabulary()[s].name,
+                           std::move(segment));
+  }
+  auto stream = glove.GenerateSequence({0, 1, 2, 3}, subject, 0.4, nullptr);
+  AIMS_CHECK(stream.ok());
+  const Recording& frames = stream.ValueOrDie();
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &srv, &frames] {
+      AIMS_CHECK(srv.recognition().OpenStream(c).ok());
+      for (const streams::Frame& frame : frames.frames) {
+        AIMS_CHECK(srv.recognition().PushFrame(c, frame).ok());
+      }
+      AIMS_CHECK(srv.recognition().CloseStream(c).ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RecognitionPoint point;
+  point.clients = kClients;
+  point.frames = kClients * frames.num_frames();
+  point.events = static_cast<size_t>(
+      srv.metrics().GetCounter("recognition.events")->value());
+  point.seconds = seconds;
+  point.frames_per_sec = static_cast<double>(point.frames) / seconds;
+  return point;
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  using aims::RecognitionPoint;
+  using aims::SweepPoint;
+
+  std::fprintf(stderr, "bench_server: generating client workloads...\n");
+  auto work = aims::MakeClientWorkloads();
+
+  std::vector<SweepPoint> sweep;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    std::fprintf(stderr, "bench_server: %zu shard(s), %zu clients...\n",
+                 shards, aims::kClients);
+    sweep.push_back(aims::RunShardConfig(shards, work));
+  }
+  std::fprintf(stderr, "bench_server: live recognition...\n");
+  RecognitionPoint recognition = aims::RunRecognition();
+
+  std::printf("{\n  \"bench\": \"bench_server\",\n  \"clients\": %zu,\n",
+              aims::kClients);
+  std::printf("  \"shard_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    double speedup = p.ops_per_sec / sweep[0].ops_per_sec;
+    std::printf(
+        "    {\"shards\": %zu, \"ingests\": %zu, \"queries\": %zu, "
+        "\"seconds\": %.3f, \"ops_per_sec\": %.2f, "
+        "\"speedup_vs_1_shard\": %.2f}%s\n",
+        p.shards, p.ingests, p.queries, p.seconds, p.ops_per_sec, speedup,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf(
+      "  \"recognition\": {\"clients\": %zu, \"frames\": %zu, "
+      "\"events\": %zu, \"seconds\": %.3f, \"frames_per_sec\": %.1f}\n",
+      recognition.clients, recognition.frames, recognition.events,
+      recognition.seconds, recognition.frames_per_sec);
+  std::printf("}\n");
+  return 0;
+}

@@ -17,7 +17,8 @@ namespace aims::core {
 AimsSystem::AimsSystem(AimsConfig config)
     : config_(config),
       filter_(signal::WaveletFilter::Make(config.filter)),
-      device_(std::make_unique<storage::BlockDevice>(config.block_size_bytes)),
+      device_(std::make_unique<storage::BlockDevice>(config.block_size_bytes,
+                                                     config.disk_cost)),
       measure_(/*rank=*/0) {}
 
 Result<SessionId> AimsSystem::IngestRecording(
@@ -95,15 +96,15 @@ std::vector<SessionInfo> AimsSystem::ListSessions() const {
 }
 
 Result<std::vector<double>> AimsSystem::ReadChannel(SessionId id,
-                                                    size_t channel) {
+                                                    size_t channel) const {
   if (id >= sessions_.size()) {
     return Status::NotFound("ReadChannel: unknown session id");
   }
-  StoredSession& session = sessions_[id];
+  const StoredSession& session = sessions_[id];
   if (channel >= session.channels.size()) {
     return Status::OutOfRange("ReadChannel: channel out of range");
   }
-  StoredChannel& stored = session.channels[channel];
+  const StoredChannel& stored = session.channels[channel];
   std::vector<size_t> all(stored.padded_len);
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   AIMS_ASSIGN_OR_RETURN(auto fetched, stored.store->Fetch(all));
@@ -120,18 +121,18 @@ Result<std::vector<double>> AimsSystem::ReadChannel(SessionId id,
 
 Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
                                                size_t first_frame,
-                                               size_t last_frame) {
+                                               size_t last_frame) const {
   if (id >= sessions_.size()) {
     return Status::NotFound("QueryRange: unknown session id");
   }
-  StoredSession& session = sessions_[id];
+  const StoredSession& session = sessions_[id];
   if (channel >= session.channels.size()) {
     return Status::OutOfRange("QueryRange: channel out of range");
   }
   if (first_frame > last_frame || last_frame >= session.info.num_frames) {
     return Status::OutOfRange("QueryRange: bad frame range");
   }
-  StoredChannel& stored = session.channels[channel];
+  const StoredChannel& stored = session.channels[channel];
 
   // sum_{i in [a,b]} x[i] = <1_[a,b], x> = <Q, X> by Parseval; the lazy
   // transform selects the O(lg n) nonzero Q entries and the store reads
@@ -163,18 +164,19 @@ Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
 }
 
 Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
-    SessionId id, size_t channel, size_t first_frame, size_t last_frame) {
+    SessionId id, size_t channel, size_t first_frame,
+    size_t last_frame) const {
   if (id >= sessions_.size()) {
     return Status::NotFound("QueryRangeProgressive: unknown session id");
   }
-  StoredSession& session = sessions_[id];
+  const StoredSession& session = sessions_[id];
   if (channel >= session.channels.size()) {
     return Status::OutOfRange("QueryRangeProgressive: channel out of range");
   }
   if (first_frame > last_frame || last_frame >= session.info.num_frames) {
     return Status::OutOfRange("QueryRangeProgressive: bad frame range");
   }
-  StoredChannel& stored = session.channels[channel];
+  const StoredChannel& stored = session.channels[channel];
   AIMS_ASSIGN_OR_RETURN(
       signal::SparseCoefficients query,
       signal::LazyWaveletTransform(filter_, stored.padded_len, first_frame,
@@ -233,7 +235,7 @@ Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
 }
 
 Result<propolyne::DataCube> AimsSystem::BuildChannelCube(
-    const std::vector<SessionId>& ids, const CubeSpec& spec) {
+    const std::vector<SessionId>& ids, const CubeSpec& spec) const {
   if (ids.empty()) {
     return Status::InvalidArgument("BuildChannelCube: no sessions given");
   }
@@ -297,7 +299,8 @@ Result<propolyne::DataCube> AimsSystem::BuildChannelCube(
                                                    std::move(dense));
 }
 
-Status AimsSystem::ExportSession(SessionId id, const std::string& path) {
+Status AimsSystem::ExportSession(SessionId id,
+                                 const std::string& path) const {
   if (id >= sessions_.size()) {
     return Status::NotFound("ExportSession: unknown session id");
   }
@@ -328,7 +331,7 @@ Result<SessionId> AimsSystem::ImportSession(const std::string& name,
   return IngestRecording(name, recording);
 }
 
-Status AimsSystem::SaveCatalog(const std::string& directory) {
+Status AimsSystem::SaveCatalog(const std::string& directory) const {
   std::ofstream index(directory + "/catalog.txt");
   if (!index) {
     return Status::IoError("SaveCatalog: cannot open index in " + directory);

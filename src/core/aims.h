@@ -41,6 +41,9 @@ struct AimsConfig {
   size_t block_size_bytes = 512;
   /// Basis-selection cost functional for the per-channel DWPT report.
   signal::BasisCost basis_cost = signal::BasisCost::kShannonEntropy;
+  /// Disk cost model for the block device. Set simulate_io_wait to make
+  /// block I/O take real wall-clock time (server concurrency benches).
+  storage::DiskCostModel disk_cost;
 };
 
 /// \brief Catalog entry for a stored session.
@@ -76,6 +79,13 @@ struct ProgressiveRangeStep {
 };
 
 /// \brief The integrated system.
+///
+/// Concurrency contract: AimsSystem itself holds no locks. The const
+/// methods (catalog lookups and the whole off-line query path) are safe to
+/// call from many threads at once; the mutating methods (ingest, import,
+/// recognizer control) require external exclusive synchronization.
+/// aims::server::ShardedCatalog wraps instances with reader/writer locks
+/// to enforce exactly this.
 class AimsSystem {
  public:
   explicit AimsSystem(AimsConfig config = {});
@@ -94,20 +104,22 @@ class AimsSystem {
   // ---- Off-line query ---------------------------------------------------
 
   /// \brief Reconstructs one channel (exact, reads all its blocks).
-  Result<std::vector<double>> ReadChannel(SessionId id, size_t channel);
+  Result<std::vector<double>> ReadChannel(SessionId id, size_t channel) const;
 
   /// \brief SUM/AVERAGE over a frame range, evaluated in the wavelet domain
   /// from only the O(lg n) coefficients the lazy transform selects, reading
   /// only the blocks that hold them.
   Result<RangeStatistics> QueryRange(SessionId id, size_t channel,
-                                     size_t first_frame, size_t last_frame);
+                                     size_t first_frame,
+                                     size_t last_frame) const;
 
   /// \brief Progressive variant of QueryRange: fetches the needed blocks in
   /// decreasing query-energy order and reports the running estimate with a
   /// guaranteed bound after every block — the Fig. 4 experience, served
   /// from block storage (Sec. 3.2.1's "most valuable I/O's first").
   Result<std::vector<ProgressiveRangeStep>> QueryRangeProgressive(
-      SessionId id, size_t channel, size_t first_frame, size_t last_frame);
+      SessionId id, size_t channel, size_t first_frame,
+      size_t last_frame) const;
 
   /// \brief How BuildChannelCube buckets a channel into a ProPolyne cube.
   struct CubeSpec {
@@ -127,11 +139,11 @@ class AimsSystem {
   /// The session dimension is padded to a power of two; sessions beyond
   /// the list contribute nothing.
   Result<propolyne::DataCube> BuildChannelCube(
-      const std::vector<SessionId>& ids, const CubeSpec& spec);
+      const std::vector<SessionId>& ids, const CubeSpec& spec) const;
 
   /// \brief Exports a stored session to the binary recording container
   /// (reconstructing every channel from its wavelet blocks).
-  Status ExportSession(SessionId id, const std::string& path);
+  Status ExportSession(SessionId id, const std::string& path) const;
 
   /// \brief Ingests a recording previously written by ExportSession (or
   /// any AIMR file).
@@ -140,7 +152,7 @@ class AimsSystem {
 
   /// \brief Persists the whole catalog: one AIMR file per session plus a
   /// `catalog.txt` index in \p directory (which must exist).
-  Status SaveCatalog(const std::string& directory);
+  Status SaveCatalog(const std::string& directory) const;
 
   /// \brief Re-ingests every session of a saved catalog, in the saved
   /// order. Returns the new ids (session ids are assigned afresh).

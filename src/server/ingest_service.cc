@@ -1,0 +1,143 @@
+#include "server/ingest_service.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace aims::server {
+
+IngestService::IngestService(ShardedCatalog* catalog, ThreadPool* pool,
+                             IngestAdmissionPolicy policy,
+                             MetricsRegistry* metrics)
+    : catalog_(catalog), pool_(pool), policy_(policy) {
+  AIMS_CHECK(catalog_ != nullptr);
+  AIMS_CHECK(pool_ != nullptr);
+  AIMS_CHECK(policy_.queue_capacity >= 1);
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+  if (metrics != nullptr) {
+    submitted_ = metrics->GetCounter("ingest.submitted");
+    admitted_ = metrics->GetCounter("ingest.admitted");
+    rejected_queue_ = metrics->GetCounter("ingest.rejected_queue");
+    rejected_capacity_ = metrics->GetCounter("ingest.rejected_capacity");
+    completed_ = metrics->GetCounter("ingest.completed");
+    failed_ = metrics->GetCounter("ingest.failed");
+    retries_ = metrics->GetCounter("ingest.retries");
+    queue_depth_ = metrics->GetGauge("ingest.queue_depth");
+    e2e_latency_ms_ = metrics->GetHistogram(
+        "ingest.e2e_latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+  }
+}
+
+IngestService::ClientState* IngestService::GetOrCreateClient(ClientId client) {
+  {
+    std::shared_lock<std::shared_mutex> lock(clients_mutex_);
+    auto it = clients_.find(client);
+    if (it != clients_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(clients_mutex_);
+  auto& slot = clients_[client];
+  if (!slot) {
+    slot = std::make_unique<ClientState>(client, policy_.queue_capacity);
+  }
+  return slot.get();
+}
+
+Status IngestService::Submit(ClientId client, std::string name,
+                             streams::Recording recording, Callback on_done) {
+  if (submitted_ != nullptr) submitted_->Increment();
+  if (policy_.max_pending_total > 0 &&
+      pending_.load(std::memory_order_relaxed) >= policy_.max_pending_total) {
+    if (rejected_capacity_ != nullptr) rejected_capacity_->Increment();
+    return Status::ResourceExhausted("IngestService: server at capacity");
+  }
+  ClientState* state = GetOrCreateClient(client);
+  PendingItem item;
+  item.name = std::move(name);
+  item.recording = std::move(recording);
+  item.on_done = std::move(on_done);
+  item.enqueued = std::chrono::steady_clock::now();
+  if (!state->queue.Produce(std::move(item))) {
+    if (rejected_queue_ != nullptr) rejected_queue_->Increment();
+    return Status::ResourceExhausted("IngestService: client queue full");
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  tasks_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (queue_depth_ != nullptr) queue_depth_->AddTracked(1);
+  // One drain task per admitted item. A task that loses the race to an
+  // earlier drainer finds the queue empty and returns — cheap, and it
+  // avoids a scheduled-flag handshake with the producer.
+  if (!pool_->Submit([this, state] {
+        DrainClient(state);
+        // Notify while holding the mutex: the destructor may destroy the
+        // condition variable the moment the count hits zero, so the notify
+        // must not outlive the critical section.
+        std::lock_guard<std::mutex> lock(drain_wait_mutex_);
+        tasks_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        drained_cv_.notify_all();
+      })) {
+    // Pool is shutting down; the item stays queued but will never run.
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (queue_depth_ != nullptr) queue_depth_->AddTracked(-1);
+    return Status::FailedPrecondition("IngestService: executor shut down");
+  }
+  if (admitted_ != nullptr) admitted_->Increment();
+  return Status::OK();
+}
+
+void IngestService::DrainClient(ClientState* state) {
+  std::lock_guard<std::mutex> serialize(state->drain_mutex);
+  std::vector<PendingItem> batch;
+  while (state->queue.TryConsume(&batch)) {
+    for (PendingItem& item : batch) {
+      ProcessItem(state, std::move(item));
+    }
+    batch.clear();
+  }
+}
+
+void IngestService::ProcessItem(ClientState* state, PendingItem item) {
+  Result<GlobalSessionId> result =
+      Status::Internal("IngestService: no attempt ran");
+  for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0 && retries_ != nullptr) retries_->Increment();
+    result = catalog_->Ingest(state->client, item.name, item.recording);
+    // Only transient storage faults are worth another attempt.
+    if (result.ok() || result.status().code() != StatusCode::kIoError) break;
+  }
+  if (result.ok()) {
+    if (completed_ != nullptr) completed_->Increment();
+  } else {
+    if (failed_ != nullptr) failed_->Increment();
+  }
+  if (e2e_latency_ms_ != nullptr) {
+    e2e_latency_ms_->Record(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                item.enqueued)
+                                .count());
+  }
+  if (queue_depth_ != nullptr) queue_depth_->AddTracked(-1);
+  if (item.on_done) item.on_done(result);
+  // Completion accounting last, so Drain() returning implies callbacks ran.
+  {
+    std::lock_guard<std::mutex> lock(drain_wait_mutex_);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  drained_cv_.notify_all();
+}
+
+void IngestService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_wait_mutex_);
+  drained_cv_.wait(
+      lock, [&] { return pending_.load(std::memory_order_relaxed) == 0; });
+}
+
+IngestService::~IngestService() {
+  std::unique_lock<std::mutex> lock(drain_wait_mutex_);
+  drained_cv_.wait(lock, [&] {
+    return tasks_in_flight_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+}  // namespace aims::server

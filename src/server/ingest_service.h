@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "server/metrics.h"
+#include "server/sharded_catalog.h"
+#include "server/thread_pool.h"
+#include "streams/double_buffer.h"
+#include "streams/sample.h"
+
+/// \file ingest_service.h
+/// \brief Multi-tenant ingest admission: each client gets a bounded queue
+/// (the acquisition pipeline's DoubleBuffer, reused as-is) drained by the
+/// shared thread pool into the sharded catalog. The backpressure contract
+/// mirrors Sec. 3.1's sensor handler: the producer is NEVER blocked — when
+/// a queue is full the submission is rejected with ResourceExhausted and
+/// counted, exactly like the acquisition pipeline counts drops when the
+/// consumer falls behind. Memory stays bounded no matter how far a
+/// producer outruns the service.
+
+namespace aims::server {
+
+/// \brief Admission and retry policy for ingest submissions.
+struct IngestAdmissionPolicy {
+  /// Per-client bounded queue capacity (recordings awaiting ingest).
+  /// A full queue rejects new submissions with ResourceExhausted.
+  size_t queue_capacity = 8;
+  /// Total in-flight recordings across all clients; 0 disables the global
+  /// cap. Exceeding it rejects with ResourceExhausted before the
+  /// per-client queue is consulted.
+  size_t max_pending_total = 0;
+  /// Ingest attempts per recording (>= 1). Transient storage failures
+  /// (IoError) are retried up to this many attempts; other errors are
+  /// reported immediately.
+  size_t max_attempts = 1;
+};
+
+/// \brief Asynchronous, admission-controlled ingest over a ShardedCatalog.
+class IngestService {
+ public:
+  /// Completion callback: the new global session id, or the error that
+  /// ended the final attempt. Runs on a pool worker thread.
+  using Callback = std::function<void(const Result<GlobalSessionId>&)>;
+
+  /// \param catalog destination catalog (not owned).
+  /// \param pool executor draining the queues (not owned).
+  /// \param metrics optional registry (may be null). Exposes:
+  ///   ingest.submitted / admitted / rejected_queue / rejected_capacity /
+  ///   completed / failed / retries (counters),
+  ///   ingest.queue_depth (gauge with high-water mark),
+  ///   ingest.e2e_latency_ms (submit-to-completion histogram).
+  IngestService(ShardedCatalog* catalog, ThreadPool* pool,
+                IngestAdmissionPolicy policy = {},
+                MetricsRegistry* metrics = nullptr);
+
+  /// Waits for every scheduled drain task to finish (the pool must still
+  /// be running or already drained), so no worker can touch a destroyed
+  /// service.
+  ~IngestService();
+
+  /// \brief Submits a recording for asynchronous ingest. Never blocks:
+  /// returns OK when admitted, ResourceExhausted when the client queue or
+  /// the global cap is full, FailedPrecondition when the pool is shutting
+  /// down. \p on_done (optional) fires once the ingest finishes.
+  Status Submit(ClientId client, std::string name,
+                streams::Recording recording, Callback on_done = nullptr);
+
+  /// \brief Blocks until every admitted submission has completed. Call
+  /// before tearing down the catalog or the pool.
+  void Drain();
+
+  /// Admitted-but-not-completed count.
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+ private:
+  struct PendingItem {
+    std::string name;
+    streams::Recording recording;
+    Callback on_done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct ClientState {
+    explicit ClientState(ClientId id, size_t capacity)
+        : client(id), queue(capacity) {}
+    const ClientId client;
+    streams::DoubleBuffer<PendingItem> queue;
+    /// Serializes drainers so each client's recordings ingest in FIFO
+    /// order even when several pool workers pick up its tasks.
+    std::mutex drain_mutex;
+  };
+
+  ClientState* GetOrCreateClient(ClientId client);
+  void DrainClient(ClientState* state);
+  void ProcessItem(ClientState* state, PendingItem item);
+
+  ShardedCatalog* catalog_;
+  ThreadPool* pool_;
+  IngestAdmissionPolicy policy_;
+
+  mutable std::shared_mutex clients_mutex_;
+  std::unordered_map<ClientId, std::unique_ptr<ClientState>> clients_;
+
+  std::atomic<size_t> pending_{0};
+  /// Drain tasks scheduled on the pool that have not yet returned; the
+  /// destructor blocks until this reaches zero.
+  std::atomic<size_t> tasks_in_flight_{0};
+  std::mutex drain_wait_mutex_;
+  std::condition_variable drained_cv_;
+
+  Counter* submitted_ = nullptr;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_queue_ = nullptr;
+  Counter* rejected_capacity_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* failed_ = nullptr;
+  Counter* retries_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+  Histogram* e2e_latency_ms_ = nullptr;
+};
+
+}  // namespace aims::server

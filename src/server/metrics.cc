@@ -1,0 +1,111 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace aims::server {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  AIMS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+void Histogram::Record(double value) {
+  // First bucket whose upper bound admits the value; past-the-end = +inf.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  AIMS_CHECK(i < buckets_.size());
+  return buckets_[i]->load(std::memory_order_relaxed);
+}
+
+double Histogram::ApproxQuantile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  double target = p * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The +inf bucket has no upper edge; report its lower edge.
+      if (i == bounds_.size()) return lo;
+      double hi = bounds_[i];
+      double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+std::vector<double> MetricsRegistry::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.25; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out << line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld max %lld\n", name.c_str(),
+                  static_cast<long long>(g->value()),
+                  static_cast<long long>(g->max()));
+    out << line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count %llu mean %.3f p50 %.3f p99 %.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->mean(), h->ApproxQuantile(0.5), h->ApproxQuantile(0.99));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace aims::server

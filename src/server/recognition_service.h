@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "recognition/isolator.h"
+#include "recognition/similarity.h"
+#include "recognition/vocabulary.h"
+#include "server/metrics.h"
+#include "server/sharded_catalog.h"
+#include "streams/ring_buffer.h"
+#include "streams/sample.h"
+
+/// \file recognition_service.h
+/// \brief Multi-tenant online recognition: one live StreamRecognizer per
+/// client, all sharing one immutable vocabulary and similarity measure, so
+/// a classroom of gloved subjects runs simultaneous sign recognition
+/// (Sec. 3.4) against the same template library. Per-client state is
+/// guarded by a per-client mutex — different clients' frames never contend.
+
+namespace aims::server {
+
+/// \brief Per-client live recognizers over a shared vocabulary.
+class RecognitionService {
+ public:
+  /// \param vocabulary shared template library (not owned, must outlive
+  /// the service, and must not be mutated while streams are open).
+  /// \param config recognizer tuning applied to every stream.
+  /// \param metrics optional registry (may be null). Exposes:
+  ///   recognition.streams_opened / frames / events (counters),
+  ///   recognition.open_streams (gauge),
+  ///   recognition.frame_latency_ms (histogram).
+  explicit RecognitionService(
+      const recognition::Vocabulary* vocabulary,
+      recognition::StreamRecognizerConfig config = {},
+      MetricsRegistry* metrics = nullptr);
+
+  /// \brief Starts a live stream for \p client. Fails with
+  /// FailedPrecondition when the vocabulary is empty, AlreadyExists when
+  /// the client already has an open stream.
+  Status OpenStream(ClientId client);
+
+  /// \brief Feeds one live frame; returns an event when a motion was just
+  /// isolated and recognized. Safe to call concurrently for different
+  /// clients; calls for one client must come from one producer at a time
+  /// (they are serialized by the per-client lock regardless).
+  Result<std::optional<recognition::RecognitionEvent>> PushFrame(
+      ClientId client, const streams::Frame& frame);
+
+  /// \brief Flushes and closes \p client's stream, returning the final
+  /// event if the tail of the stream completed a motion.
+  Result<std::optional<recognition::RecognitionEvent>> CloseStream(
+      ClientId client);
+
+  /// Most recent events of one client, oldest first (bounded history).
+  std::vector<recognition::RecognitionEvent> RecentEvents(
+      ClientId client) const;
+
+  size_t open_streams() const;
+
+ private:
+  /// Events retained per client for RecentEvents.
+  static constexpr size_t kEventHistory = 16;
+
+  struct ClientStream {
+    ClientStream(const recognition::Vocabulary* vocabulary,
+                 const recognition::SimilarityMeasure* measure,
+                 recognition::StreamRecognizerConfig config)
+        : recognizer(vocabulary, measure, config), history(kEventHistory) {}
+    mutable std::mutex mutex;
+    recognition::StreamRecognizer recognizer;
+    streams::RingBuffer<recognition::RecognitionEvent> history;
+  };
+
+  const recognition::Vocabulary* vocabulary_;
+  recognition::WeightedSvdSimilarity measure_;
+  recognition::StreamRecognizerConfig config_;
+
+  mutable std::shared_mutex streams_mutex_;
+  /// shared_ptr: a PushFrame that resolved a stream keeps it alive across
+  /// a concurrent CloseStream (the closed stream just becomes detached).
+  std::unordered_map<ClientId, std::shared_ptr<ClientStream>> streams_;
+
+  Counter* streams_opened_ = nullptr;
+  Counter* frames_ = nullptr;
+  Counter* events_ = nullptr;
+  Gauge* open_streams_ = nullptr;
+  Histogram* frame_latency_ms_ = nullptr;
+};
+
+}  // namespace aims::server

@@ -1,0 +1,35 @@
+#include "server/server.h"
+
+#include <utility>
+
+namespace aims::server {
+
+AimsServer::AimsServer(ServerConfig config)
+    : config_(config),
+      metrics_(std::make_unique<MetricsRegistry>()),
+      catalog_(std::make_unique<ShardedCatalog>(config.num_shards,
+                                                config.system, metrics_.get())),
+      pool_(std::make_unique<ThreadPool>(config.num_threads)),
+      ingest_(std::make_unique<IngestService>(catalog_.get(), pool_.get(),
+                                              config.admission,
+                                              metrics_.get())),
+      recognition_(std::make_unique<RecognitionService>(
+          &vocabulary_, config.recognizer, metrics_.get())) {}
+
+AimsServer::~AimsServer() { Shutdown(); }
+
+void AimsServer::AddVocabularyEntry(std::string label, linalg::Matrix segment) {
+  vocabulary_.Add(std::move(label), std::move(segment));
+}
+
+void AimsServer::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Order matters: admitted ingests must finish while the pool is still
+  // running; only then may the workers be joined. Services and catalog are
+  // destroyed after the pool, so in-flight tasks never dangle.
+  ingest_->Drain();
+  pool_->Shutdown();
+}
+
+}  // namespace aims::server

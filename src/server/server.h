@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "recognition/vocabulary.h"
+#include "server/ingest_service.h"
+#include "server/metrics.h"
+#include "server/recognition_service.h"
+#include "server/sharded_catalog.h"
+#include "server/thread_pool.h"
+
+/// \file server.h
+/// \brief AimsServer: the concurrent multi-tenant service runtime. Wires
+/// the pieces of aims::server together the way Fig. 1 wires the library's
+/// subsystems:
+///
+///   ThreadPool          -> shared executor for asynchronous work,
+///   ShardedCatalog      -> N AimsSystem shards behind rw-locks,
+///   IngestService       -> bounded-queue admission onto the shards,
+///   RecognitionService  -> per-client live recognizers,
+///   MetricsRegistry     -> counters/gauges/histograms across all of it.
+///
+/// Lifecycle: construct, register vocabulary, serve, Shutdown (or let the
+/// destructor do it). Shutdown drains admitted ingests before stopping the
+/// executor, so no admitted recording is ever silently lost.
+
+namespace aims::server {
+
+/// \brief Server-wide configuration.
+struct ServerConfig {
+  /// Catalog shards; throughput scales with min(shards, cores) for
+  /// CPU-bound work and with overlapped I/O waits for disk-bound work.
+  size_t num_shards = 4;
+  /// Executor width.
+  size_t num_threads = 4;
+  /// Per-shard AimsSystem configuration (wavelet family, block size,
+  /// disk cost model...).
+  core::AimsConfig system;
+  /// Ingest admission/retry policy.
+  IngestAdmissionPolicy admission;
+  /// Recognizer tuning applied to every client stream.
+  recognition::StreamRecognizerConfig recognizer;
+};
+
+/// \brief The integrated service runtime.
+class AimsServer {
+ public:
+  explicit AimsServer(ServerConfig config = {});
+  ~AimsServer();
+
+  AimsServer(const AimsServer&) = delete;
+  AimsServer& operator=(const AimsServer&) = delete;
+
+  /// \brief Registers a motion template shared by all clients' recognizers.
+  /// Must happen before any OpenStream (the vocabulary is immutable while
+  /// streams are open).
+  void AddVocabularyEntry(std::string label, linalg::Matrix segment);
+
+  ShardedCatalog& catalog() { return *catalog_; }
+  IngestService& ingest() { return *ingest_; }
+  RecognitionService& recognition() { return *recognition_; }
+  MetricsRegistry& metrics() { return *metrics_; }
+  ThreadPool& pool() { return *pool_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// \brief Drains admitted ingests and stops the executor. Idempotent.
+  void Shutdown();
+
+ private:
+  ServerConfig config_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<ShardedCatalog> catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<IngestService> ingest_;
+  recognition::Vocabulary vocabulary_;
+  std::unique_ptr<RecognitionService> recognition_;
+  bool shut_down_ = false;
+};
+
+}  // namespace aims::server

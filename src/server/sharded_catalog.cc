@@ -1,0 +1,148 @@
+#include "server/sharded_catalog.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace aims::server {
+
+namespace {
+
+/// Milliseconds elapsed since \p start.
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
+                               MetricsRegistry* metrics) {
+  AIMS_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config));
+  }
+  if (metrics != nullptr) {
+    ingest_count_ = metrics->GetCounter("catalog.ingest.count");
+    query_count_ = metrics->GetCounter("catalog.query.count");
+    blocks_read_ = metrics->GetCounter("catalog.query.blocks_read");
+    ingest_latency_ms_ = metrics->GetHistogram(
+        "catalog.ingest.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+    query_latency_ms_ = metrics->GetHistogram(
+        "catalog.query.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+  }
+}
+
+Result<GlobalSessionId> ShardedCatalog::Ingest(
+    ClientId client, const std::string& name,
+    const streams::Recording& recording) {
+  size_t shard_index = ShardForClient(client);
+  Shard& shard = *shards_[shard_index];
+  auto start = std::chrono::steady_clock::now();
+  core::SessionId local;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    AIMS_ASSIGN_OR_RETURN(local, shard.system.IngestRecording(name, recording));
+  }
+  if (ingest_count_ != nullptr) ingest_count_->Increment();
+  if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
+  return MakeGlobalId(shard_index, local);
+}
+
+const ShardedCatalog::Shard* ShardedCatalog::ShardFor(
+    GlobalSessionId id) const {
+  size_t shard_index = ShardOf(id);
+  if (shard_index >= shards_.size()) return nullptr;
+  return shards_[shard_index].get();
+}
+
+Result<core::SessionInfo> ShardedCatalog::GetSession(GlobalSessionId id) const {
+  const Shard* shard = ShardFor(id);
+  if (shard == nullptr) {
+    return Status::NotFound("ShardedCatalog::GetSession: no such shard");
+  }
+  std::shared_lock<std::shared_mutex> lock(shard->mutex);
+  return shard->system.GetSession(LocalId(id));
+}
+
+Result<std::vector<double>> ShardedCatalog::ReadChannel(GlobalSessionId id,
+                                                        size_t channel) const {
+  const Shard* shard = ShardFor(id);
+  if (shard == nullptr) {
+    return Status::NotFound("ShardedCatalog::ReadChannel: no such shard");
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<std::vector<double>> result = [&]() -> Result<std::vector<double>> {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    return shard->system.ReadChannel(LocalId(id), channel);
+  }();
+  if (result.ok()) {
+    if (query_count_ != nullptr) query_count_->Increment();
+    if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
+  }
+  return result;
+}
+
+Result<core::RangeStatistics> ShardedCatalog::QueryRange(
+    GlobalSessionId id, size_t channel, size_t first_frame,
+    size_t last_frame) const {
+  const Shard* shard = ShardFor(id);
+  if (shard == nullptr) {
+    return Status::NotFound("ShardedCatalog::QueryRange: no such shard");
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<core::RangeStatistics> result =
+      [&]() -> Result<core::RangeStatistics> {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    return shard->system.QueryRange(LocalId(id), channel, first_frame,
+                                    last_frame);
+  }();
+  if (result.ok()) {
+    if (query_count_ != nullptr) query_count_->Increment();
+    if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
+    // Note: under concurrency RangeStatistics::blocks_read is a device-
+    // level delta and may include reads issued by overlapping queries on
+    // the same shard — treat both it and this counter as approximate;
+    // total_blocks_read() reads the exact device counters.
+    if (blocks_read_ != nullptr) blocks_read_->Increment(result->blocks_read);
+  }
+  return result;
+}
+
+std::vector<core::SessionInfo> ShardedCatalog::ListSessions() const {
+  std::vector<core::SessionInfo> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    std::vector<core::SessionInfo> sessions = shard->system.ListSessions();
+    out.insert(out.end(), sessions.begin(), sessions.end());
+  }
+  return out;
+}
+
+size_t ShardedCatalog::total_sessions() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->system.ListSessions().size();
+  }
+  return total;
+}
+
+storage::BlockDevice* ShardedCatalog::mutable_shard_device(size_t shard) {
+  AIMS_CHECK(shard < shards_.size());
+  return shards_[shard]->system.mutable_device();
+}
+
+size_t ShardedCatalog::total_blocks_read() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->system.device().reads();
+  }
+  return total;
+}
+
+}  // namespace aims::server

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/aims.h"
+#include "server/metrics.h"
+
+/// \file sharded_catalog.h
+/// \brief Horizontal partitioning of the session catalog across N
+/// independent AimsSystem instances ("shards"), each guarded by a
+/// reader/writer lock. Ingest takes one shard's exclusive lock; the whole
+/// off-line query path (catalog lookups, channel reads, wavelet-domain
+/// range queries) runs under shared locks on AimsSystem's const read path.
+/// Two properties follow:
+///
+///   * ingests to different shards proceed concurrently, and
+///   * queries never block other queries — only an ingest into the *same*
+///     shard serializes with them,
+///
+/// which is what lets throughput scale with shards/cores (CPU-bound) or
+/// with overlapped block-I/O waits (disk-bound; see
+/// DiskCostModel::simulate_io_wait) instead of serializing every operation
+/// behind one global lock.
+
+namespace aims::server {
+
+/// \brief Identifier of one tenant (client) of the service runtime.
+using ClientId = uint64_t;
+
+/// \brief System-wide session id: shard index in the high 32 bits, the
+/// shard-local core::SessionId in the low 32.
+using GlobalSessionId = uint64_t;
+
+/// \brief N AimsSystem shards behind reader/writer locks.
+class ShardedCatalog {
+ public:
+  /// \param num_shards shard count (at least 1); every shard gets its own
+  /// block device and catalog built from \p config.
+  /// \param metrics optional registry for latency histograms and
+  /// operation counters (may be null).
+  explicit ShardedCatalog(size_t num_shards, core::AimsConfig config = {},
+                          MetricsRegistry* metrics = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Deterministic tenant placement: clients map to shards round-robin by
+  /// id, so a session's shard never depends on arrival order.
+  size_t ShardForClient(ClientId client) const {
+    return static_cast<size_t>(client % shards_.size());
+  }
+
+  static GlobalSessionId MakeGlobalId(size_t shard, core::SessionId local) {
+    return (static_cast<GlobalSessionId>(shard) << 32) |
+           static_cast<GlobalSessionId>(local);
+  }
+  static size_t ShardOf(GlobalSessionId id) {
+    return static_cast<size_t>(id >> 32);
+  }
+  static core::SessionId LocalId(GlobalSessionId id) {
+    return static_cast<core::SessionId>(id & 0xffffffffu);
+  }
+
+  // ---- Write path (exclusive lock on one shard) -------------------------
+
+  /// \brief Ingests a recording into \p client's shard.
+  Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
+                                 const streams::Recording& recording);
+
+  // ---- Read path (shared lock on one shard) -----------------------------
+
+  Result<core::SessionInfo> GetSession(GlobalSessionId id) const;
+  Result<std::vector<double>> ReadChannel(GlobalSessionId id,
+                                          size_t channel) const;
+  Result<core::RangeStatistics> QueryRange(GlobalSessionId id, size_t channel,
+                                           size_t first_frame,
+                                           size_t last_frame) const;
+
+  /// All sessions across all shards (shard order, then local order).
+  std::vector<core::SessionInfo> ListSessions() const;
+
+  size_t total_sessions() const;
+  /// Device read counter summed over shards.
+  size_t total_blocks_read() const;
+
+  /// \brief Test/admin access to one shard's block device (fault
+  /// injection, counter resets). The fault-injection setters are atomic,
+  /// so this is safe to call while the shard is serving traffic.
+  storage::BlockDevice* mutable_shard_device(size_t shard);
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    core::AimsSystem system;
+    explicit Shard(const core::AimsConfig& config) : system(config) {}
+  };
+
+  const Shard* ShardFor(GlobalSessionId id) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Counter* ingest_count_ = nullptr;
+  Counter* query_count_ = nullptr;
+  Counter* blocks_read_ = nullptr;
+  Histogram* ingest_latency_ms_ = nullptr;
+  Histogram* query_latency_ms_ = nullptr;
+};
+
+}  // namespace aims::server

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief Fixed-size task executor for the service runtime. The paper's
+/// acquisition design already uses dedicated threads (Sec. 3.1's double
+/// buffering); the server generalizes that to a shared pool so M clients'
+/// ingest and recognition work multiplex over a bounded number of OS
+/// threads instead of a thread per client.
+
+namespace aims::server {
+
+/// \brief A fixed set of worker threads draining a FIFO task queue.
+///
+/// The queue itself is unbounded: admission control (bounded queues,
+/// reject-when-full) is the job of the services that feed the pool, which
+/// know what a task represents and can account a drop meaningfully.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task. Returns false (task not enqueued) after
+  /// Shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  /// \brief Stops accepting tasks, runs everything already queued to
+  /// completion, and joins the workers. Idempotent; called by the
+  /// destructor if not called explicitly.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks enqueued but not yet started (diagnostic).
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace aims::server

@@ -1,5 +1,8 @@
 #include "storage/block_device.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/macros.h"
 
 namespace aims::storage {
@@ -14,6 +17,29 @@ BlockId BlockDevice::Allocate() {
   return static_cast<BlockId>(blocks_.size() - 1);
 }
 
+void BlockDevice::ChargeAccess() const {
+  double cost_ms = cost_model_.seek_ms +
+                   cost_model_.transfer_ms_per_kb *
+                       static_cast<double>(block_size_bytes_) / 1024.0;
+  // atomic<double>::fetch_add is C++20; relaxed is enough for a statistic.
+  simulated_ms_.fetch_add(cost_ms, std::memory_order_relaxed);
+  if (cost_model_.simulate_io_wait) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(cost_ms));
+  }
+}
+
+bool BlockDevice::ConsumeFault(std::atomic<size_t>* pending) {
+  size_t expected = pending->load(std::memory_order_relaxed);
+  while (expected > 0) {
+    if (pending->compare_exchange_weak(expected, expected - 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
   if (id >= blocks_.size()) {
     return Status::OutOfRange("BlockDevice::Write: no such block");
@@ -21,39 +47,33 @@ Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
   if (payload.size() > block_size_bytes_) {
     return Status::InvalidArgument("BlockDevice::Write: payload exceeds block");
   }
-  if (fail_writes_ > 0) {
-    --fail_writes_;
-    ++writes_;
+  if (ConsumeFault(&fail_writes_)) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("BlockDevice::Write: injected fault");
   }
   blocks_[id] = payload;
-  ++writes_;
-  simulated_ms_ += cost_model_.seek_ms +
-                   cost_model_.transfer_ms_per_kb *
-                       static_cast<double>(block_size_bytes_) / 1024.0;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  ChargeAccess();
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) {
+Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) const {
   if (id >= blocks_.size()) {
     return Status::OutOfRange("BlockDevice::Read: no such block");
   }
-  if (fail_reads_ > 0) {
-    --fail_reads_;
-    ++reads_;
+  if (ConsumeFault(&fail_reads_)) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("BlockDevice::Read: injected fault");
   }
-  ++reads_;
-  simulated_ms_ += cost_model_.seek_ms +
-                   cost_model_.transfer_ms_per_kb *
-                       static_cast<double>(block_size_bytes_) / 1024.0;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  ChargeAccess();
   return blocks_[id];
 }
 
 void BlockDevice::ResetCounters() {
-  reads_ = 0;
-  writes_ = 0;
-  simulated_ms_ = 0.0;
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  simulated_ms_.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace aims::storage

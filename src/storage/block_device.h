@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -12,6 +13,12 @@
 /// block* and *how many blocks a query touches* — an in-memory device that
 /// counts block reads measures exactly that, and an optional seek-cost
 /// model turns counts into simulated latency.
+///
+/// Concurrency contract: Read is const and safe to call from many threads
+/// at once (the counters are atomic); Allocate and Write mutate the block
+/// table and require external exclusive synchronization against all other
+/// calls. The server layer enforces this with per-shard reader/writer
+/// locks.
 
 namespace aims::storage {
 
@@ -23,6 +30,12 @@ using BlockId = uint32_t;
 struct DiskCostModel {
   double seek_ms = 8.0;
   double transfer_ms_per_kb = 0.02;
+  /// When true the device *sleeps* for the modeled duration on every Read
+  /// and Write instead of only accounting it. This turns the cost model
+  /// into real wall-clock latency so concurrency experiments (bench_server)
+  /// can measure how well a configuration overlaps I/O waits — the only
+  /// source of shard-scaling speedup on a single-core host.
+  bool simulate_io_wait = false;
 };
 
 /// \brief Fixed-block in-memory device with read/write counters.
@@ -35,20 +48,24 @@ class BlockDevice {
   size_t block_size_bytes() const { return block_size_bytes_; }
   size_t num_blocks() const { return blocks_.size(); }
 
-  /// Allocates a fresh block; returns its id.
+  /// Allocates a fresh block; returns its id. Requires exclusive access.
   BlockId Allocate();
 
-  /// Overwrites a block's payload (must fit the block size).
+  /// Overwrites a block's payload (must fit the block size). Requires
+  /// exclusive access.
   Status Write(BlockId id, const std::vector<uint8_t>& payload);
 
-  /// Reads a block, bumping the read counter.
-  Result<std::vector<uint8_t>> Read(BlockId id);
+  /// Reads a block, bumping the read counter. Safe to call concurrently
+  /// with other Reads (but not with Allocate/Write).
+  Result<std::vector<uint8_t>> Read(BlockId id) const;
 
   /// I/O counters since the last ResetCounters.
-  size_t reads() const { return reads_; }
-  size_t writes() const { return writes_; }
+  size_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  size_t writes() const { return writes_.load(std::memory_order_relaxed); }
   /// Simulated elapsed I/O time under the cost model.
-  double simulated_ms() const { return simulated_ms_; }
+  double simulated_ms() const {
+    return simulated_ms_.load(std::memory_order_relaxed);
+  }
 
   void ResetCounters();
 
@@ -56,19 +73,28 @@ class BlockDevice {
   /// IoError (after bumping the read counter, like a real failed seek).
   /// Used by the failure-path tests to verify that every layer above the
   /// device propagates storage errors instead of crashing or mis-answering.
-  void FailNextReads(size_t count) { fail_reads_ = count; }
+  void FailNextReads(size_t count) {
+    fail_reads_.store(count, std::memory_order_relaxed);
+  }
   /// Fault injection for writes, analogous to FailNextReads.
-  void FailNextWrites(size_t count) { fail_writes_ = count; }
+  void FailNextWrites(size_t count) {
+    fail_writes_.store(count, std::memory_order_relaxed);
+  }
 
  private:
+  /// Accounts one block access; sleeps when the model simulates waits.
+  void ChargeAccess() const;
+  /// Atomically consumes one pending injected fault, if any.
+  static bool ConsumeFault(std::atomic<size_t>* pending);
+
   size_t block_size_bytes_;
   DiskCostModel cost_model_;
   std::vector<std::vector<uint8_t>> blocks_;
-  size_t reads_ = 0;
-  size_t writes_ = 0;
-  size_t fail_reads_ = 0;
-  size_t fail_writes_ = 0;
-  double simulated_ms_ = 0.0;
+  mutable std::atomic<size_t> reads_{0};
+  mutable std::atomic<size_t> writes_{0};
+  mutable std::atomic<size_t> fail_reads_{0};
+  mutable std::atomic<size_t> fail_writes_{0};
+  mutable std::atomic<double> simulated_ms_{0.0};
 };
 
 }  // namespace aims::storage

@@ -43,7 +43,7 @@ Status WaveletStore::Put(const std::vector<double>& coefficients) {
 }
 
 Result<std::unordered_map<size_t, double>> WaveletStore::Fetch(
-    const std::vector<size_t>& indices) {
+    const std::vector<size_t>& indices) const {
   if (!populated_) {
     return Status::FailedPrecondition("WaveletStore::Fetch before Put");
   }
@@ -86,7 +86,7 @@ std::vector<size_t> WaveletStore::BlocksFor(
 }
 
 Result<std::vector<std::pair<size_t, double>>> WaveletStore::FetchBlock(
-    size_t logical_block) {
+    size_t logical_block) const {
   if (!populated_) {
     return Status::FailedPrecondition("WaveletStore::FetchBlock before Put");
   }

@@ -30,9 +30,10 @@ class WaveletStore {
   Status Put(const std::vector<double>& coefficients);
 
   /// Fetches the requested coefficients, reading each containing block
-  /// exactly once. Returns index -> value.
+  /// exactly once. Returns index -> value. Const: safe for concurrent
+  /// readers once Put has completed (see BlockDevice's contract).
   Result<std::unordered_map<size_t, double>> Fetch(
-      const std::vector<size_t>& indices);
+      const std::vector<size_t>& indices) const;
 
   /// Number of distinct blocks the given index set would touch.
   size_t BlocksNeeded(const std::vector<size_t>& indices) const;
@@ -44,7 +45,7 @@ class WaveletStore {
   /// (coefficient index, value) pair stored on it — the primitive for
   /// block-progressive query evaluation.
   Result<std::vector<std::pair<size_t, double>>> FetchBlock(
-      size_t logical_block);
+      size_t logical_block) const;
 
   const CoefficientAllocator& allocator() const { return *allocator_; }
   size_t n() const { return n_; }

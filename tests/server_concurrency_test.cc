@@ -1,0 +1,450 @@
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/ingest_service.h"
+#include "server/metrics.h"
+#include "server/recognition_service.h"
+#include "server/server.h"
+#include "server/sharded_catalog.h"
+#include "server/thread_pool.h"
+
+/// \file server_concurrency_test.cc
+/// \brief Hammers the aims::server runtime with parallel ingest + query
+/// and verifies the invariants that must hold regardless of interleaving:
+/// every admitted recording lands exactly once, query answers match the
+/// ingested data bit-for-bit (modulo float tolerance), backpressure keeps
+/// queue depth bounded with explicit drop accounting, and shutdown never
+/// loses admitted work. Run with -DAIMS_SANITIZE=thread to check the same
+/// schedule space for data races.
+
+namespace aims::server {
+namespace {
+
+/// Deterministic multi-channel recording; distinct per \p base.
+streams::Recording MakeRecording(size_t frames, size_t channels, double base) {
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] =
+          base + std::sin(0.1 * static_cast<double>(f * (c + 1)));
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+double ChannelSum(const streams::Recording& rec, size_t channel) {
+  double sum = 0.0;
+  for (const auto& frame : rec.frames) sum += frame.values[channel];
+  return sum;
+}
+
+TEST(ShardedCatalogTest, GlobalIdRoundTrip) {
+  GlobalSessionId id = ShardedCatalog::MakeGlobalId(3, 41);
+  EXPECT_EQ(ShardedCatalog::ShardOf(id), 3u);
+  EXPECT_EQ(ShardedCatalog::LocalId(id), 41u);
+}
+
+TEST(ShardedCatalogTest, ClientsSpreadAcrossShards) {
+  ShardedCatalog catalog(4);
+  EXPECT_EQ(catalog.num_shards(), 4u);
+  EXPECT_EQ(catalog.ShardForClient(0), 0u);
+  EXPECT_EQ(catalog.ShardForClient(5), 1u);
+  EXPECT_EQ(catalog.ShardForClient(7), 3u);
+}
+
+TEST(ShardedCatalogTest, ParallelIngestAndQueryConsistent) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPerWriter = 6;
+  constexpr size_t kFrames = 64;
+  constexpr size_t kChannels = 3;
+
+  MetricsRegistry metrics;
+  ShardedCatalog catalog(4, {}, &metrics);
+
+  std::mutex ingested_mutex;
+  std::vector<std::pair<GlobalSessionId, double>> ingested;  // id, sum(ch 0)
+  std::atomic<bool> writers_done{false};
+  std::atomic<size_t> verify_failures{0};
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        double base = static_cast<double>(w * 10 + i);
+        streams::Recording rec = MakeRecording(kFrames, kChannels, base);
+        double expected = ChannelSum(rec, 0);
+        auto id = catalog.Ingest(w, "rec", rec);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        std::lock_guard<std::mutex> lock(ingested_mutex);
+        ingested.emplace_back(*id, expected);
+      }
+    });
+  }
+
+  // Readers race the writers, verifying whatever has already landed.
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      size_t cursor = 0;
+      while (!writers_done.load() || cursor > 0) {
+        std::pair<GlobalSessionId, double> target;
+        {
+          std::lock_guard<std::mutex> lock(ingested_mutex);
+          if (ingested.empty()) {
+            if (writers_done.load()) break;
+            continue;
+          }
+          target = ingested[cursor % ingested.size()];
+          ++cursor;
+        }
+        auto stats = catalog.QueryRange(target.first, 0, 0, kFrames - 1);
+        if (!stats.ok() || std::abs(stats->sum - target.second) > 1e-6) {
+          verify_failures.fetch_add(1);
+        }
+        if (writers_done.load()) break;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  writers_done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(verify_failures.load(), 0u);
+  EXPECT_EQ(catalog.total_sessions(), kWriters * kPerWriter);
+
+  // Post-hoc: every ingested id answers exactly.
+  for (const auto& [id, expected] : ingested) {
+    auto info = catalog.GetSession(id);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->num_frames, kFrames);
+    auto stats = catalog.QueryRange(id, 0, 0, kFrames - 1);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_NEAR(stats->sum, expected, 1e-6);
+  }
+  EXPECT_EQ(metrics.DumpText().find("counter catalog.ingest.count 0"),
+            std::string::npos);
+}
+
+TEST(ShardedCatalogTest, ConcurrentReadersOfOneSessionAgree) {
+  ShardedCatalog catalog(2);
+  streams::Recording rec = MakeRecording(128, 2, 5.0);
+  double expected = ChannelSum(rec, 1);
+  auto id = catalog.Ingest(/*client=*/1, "shared", rec);
+  ASSERT_TRUE(id.ok());
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto stats = catalog.QueryRange(*id, 1, 0, 127);
+        if (!stats.ok() || std::abs(stats->sum - expected) > 1e-6) {
+          failures.fetch_add(1);
+        }
+        auto channel = catalog.ReadChannel(*id, 1);
+        if (!channel.ok() || channel->size() != 128) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(IngestServiceTest, BackpressureIsBoundedAndAccounted) {
+  constexpr size_t kCapacity = 4;
+  constexpr size_t kSubmissions = 50;
+
+  MetricsRegistry metrics;
+  ShardedCatalog catalog(1, {}, &metrics);
+  ThreadPool pool(1);
+
+  // Jam the single worker so nothing drains while we flood the queue.
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  std::promise<void> worker_blocked;
+  ASSERT_TRUE(pool.Submit([&worker_blocked, release_future]() mutable {
+    worker_blocked.set_value();
+    release_future.wait();
+  }));
+  worker_blocked.get_future().wait();
+
+  IngestAdmissionPolicy policy;
+  policy.queue_capacity = kCapacity;
+  IngestService service(&catalog, &pool, policy, &metrics);
+
+  streams::Recording rec = MakeRecording(32, 2, 1.0);
+  size_t accepted = 0;
+  size_t rejected = 0;
+  for (size_t i = 0; i < kSubmissions; ++i) {
+    Status status = service.Submit(0, "flood", rec);
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // The producer outran a fully-stalled consumer: exactly the queue
+  // capacity was admitted, everything else was rejected, not buffered.
+  EXPECT_EQ(accepted, kCapacity);
+  EXPECT_EQ(rejected, kSubmissions - kCapacity);
+  EXPECT_EQ(metrics.GetCounter("ingest.rejected_queue")->value(), rejected);
+  EXPECT_EQ(metrics.GetCounter("ingest.admitted")->value(), accepted);
+  EXPECT_LE(metrics.GetGauge("ingest.queue_depth")->max(),
+            static_cast<int64_t>(kCapacity));
+
+  release.set_value();
+  service.Drain();
+  EXPECT_EQ(metrics.GetCounter("ingest.completed")->value(), accepted);
+  EXPECT_EQ(metrics.GetCounter("ingest.failed")->value(), 0u);
+  EXPECT_EQ(catalog.total_sessions(), accepted);
+  EXPECT_EQ(metrics.GetGauge("ingest.queue_depth")->value(), 0);
+}
+
+TEST(IngestServiceTest, GlobalCapacityCapRejects) {
+  MetricsRegistry metrics;
+  ShardedCatalog catalog(1);
+  ThreadPool pool(1);
+
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(pool.Submit([release_future] { release_future.wait(); }));
+
+  IngestAdmissionPolicy policy;
+  policy.queue_capacity = 8;
+  policy.max_pending_total = 2;
+  IngestService service(&catalog, &pool, policy, &metrics);
+
+  streams::Recording rec = MakeRecording(32, 2, 1.0);
+  EXPECT_TRUE(service.Submit(0, "a", rec).ok());
+  EXPECT_TRUE(service.Submit(1, "b", rec).ok());
+  Status third = service.Submit(2, "c", rec);
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(metrics.GetCounter("ingest.rejected_capacity")->value(), 1u);
+
+  release.set_value();
+  service.Drain();
+  EXPECT_EQ(catalog.total_sessions(), 2u);
+}
+
+TEST(IngestServiceTest, RetriesTransientWriteFaults) {
+  MetricsRegistry metrics;
+  ShardedCatalog catalog(1, {}, &metrics);
+  ThreadPool pool(1);
+  IngestAdmissionPolicy policy;
+  policy.max_attempts = 3;
+  IngestService service(&catalog, &pool, policy, &metrics);
+
+  catalog.mutable_shard_device(0)->FailNextWrites(1);
+  Result<GlobalSessionId> outcome = Status::Internal("callback never ran");
+  std::promise<void> done;
+  ASSERT_TRUE(service
+                  .Submit(0, "flaky", MakeRecording(32, 2, 1.0),
+                          [&](const Result<GlobalSessionId>& result) {
+                            outcome = result;
+                            done.set_value();
+                          })
+                  .ok());
+  done.get_future().wait();
+  service.Drain();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(metrics.GetCounter("ingest.retries")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("ingest.completed")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("ingest.failed")->value(), 0u);
+  EXPECT_TRUE(catalog.GetSession(*outcome).ok());
+}
+
+TEST(IngestServiceTest, PersistentFaultExhaustsAttemptsAndFails) {
+  MetricsRegistry metrics;
+  ShardedCatalog catalog(1, {}, &metrics);
+  ThreadPool pool(1);
+  IngestAdmissionPolicy policy;
+  policy.max_attempts = 2;
+  IngestService service(&catalog, &pool, policy, &metrics);
+
+  catalog.mutable_shard_device(0)->FailNextWrites(1000);
+  Result<GlobalSessionId> outcome = Status::Internal("callback never ran");
+  std::promise<void> done;
+  ASSERT_TRUE(service
+                  .Submit(0, "doomed", MakeRecording(32, 2, 1.0),
+                          [&](const Result<GlobalSessionId>& result) {
+                            outcome = result;
+                            done.set_value();
+                          })
+                  .ok());
+  done.get_future().wait();
+  service.Drain();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(metrics.GetCounter("ingest.retries")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("ingest.failed")->value(), 1u);
+  EXPECT_EQ(catalog.total_sessions(), 0u);
+  catalog.mutable_shard_device(0)->FailNextWrites(0);
+}
+
+TEST(RecognitionServiceTest, ConcurrentClientStreams) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kChannels = 6;
+  constexpr size_t kFramesPerClient = 150;
+
+  recognition::Vocabulary vocabulary;
+  for (int v = 0; v < 2; ++v) {
+    linalg::Matrix segment(40, kChannels);
+    for (size_t r = 0; r < 40; ++r) {
+      for (size_t c = 0; c < kChannels; ++c) {
+        segment(r, c) = 10.0 * std::sin(0.3 * static_cast<double>(r) *
+                                        static_cast<double>(c + v + 1));
+      }
+    }
+    vocabulary.Add(v == 0 ? "wave" : "twist", std::move(segment));
+  }
+
+  MetricsRegistry metrics;
+  RecognitionService service(&vocabulary, {}, &metrics);
+  for (size_t client = 0; client < kClients; ++client) {
+    ASSERT_TRUE(service.OpenStream(client).ok());
+  }
+  EXPECT_EQ(service.open_streams(), kClients);
+  // Double-open is refused.
+  EXPECT_EQ(service.OpenStream(0).code(), StatusCode::kAlreadyExists);
+
+  std::atomic<size_t> push_failures{0};
+  std::vector<std::thread> pushers;
+  for (size_t client = 0; client < kClients; ++client) {
+    pushers.emplace_back([&, client] {
+      for (size_t f = 0; f < kFramesPerClient; ++f) {
+        streams::Frame frame;
+        frame.timestamp = static_cast<double>(f) / 100.0;
+        frame.values.resize(kChannels);
+        // Active motion for the first 100 frames, then rest.
+        double amplitude = f < 100 ? 12.0 : 0.0;
+        for (size_t c = 0; c < kChannels; ++c) {
+          frame.values[c] =
+              amplitude * std::sin(0.3 * static_cast<double>(f * (c + 1)) +
+                                   static_cast<double>(client));
+        }
+        if (!service.PushFrame(client, frame).ok()) push_failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : pushers) t.join();
+  EXPECT_EQ(push_failures.load(), 0u);
+  EXPECT_EQ(metrics.GetCounter("recognition.frames")->value(),
+            kClients * kFramesPerClient);
+
+  for (size_t client = 0; client < kClients; ++client) {
+    EXPECT_TRUE(service.CloseStream(client).ok());
+  }
+  EXPECT_EQ(service.open_streams(), 0u);
+  EXPECT_EQ(service.PushFrame(0, streams::Frame{}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AimsServerTest, EndToEndMultiTenant) {
+  ServerConfig config;
+  config.num_shards = 2;
+  config.num_threads = 2;
+  config.admission.queue_capacity = 16;
+  AimsServer server(config);
+
+  constexpr size_t kClients = 2;
+  constexpr size_t kPerClient = 3;
+  std::mutex ids_mutex;
+  std::vector<GlobalSessionId> ids;
+
+  std::vector<std::thread> clients;
+  for (size_t client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        streams::Recording rec =
+            MakeRecording(64, 3, static_cast<double>(client * 100 + i));
+        Status status = server.ingest().Submit(
+            client, "session", std::move(rec),
+            [&](const Result<GlobalSessionId>& result) {
+              if (result.ok()) {
+                std::lock_guard<std::mutex> lock(ids_mutex);
+                ids.push_back(*result);
+              }
+            });
+        ASSERT_TRUE(status.ok()) << status.ToString();
+      }
+      // Interleave queries with the other tenant's ingests.
+      std::vector<GlobalSessionId> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(ids_mutex);
+        snapshot = ids;
+      }
+      for (GlobalSessionId id : snapshot) {
+        auto stats = server.catalog().QueryRange(id, 0, 0, 63);
+        EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.ingest().Drain();
+
+  EXPECT_EQ(server.catalog().total_sessions(), kClients * kPerClient);
+  {
+    std::lock_guard<std::mutex> lock(ids_mutex);
+    EXPECT_EQ(ids.size(), kClients * kPerClient);
+    for (GlobalSessionId id : ids) {
+      EXPECT_TRUE(server.catalog().GetSession(id).ok());
+    }
+  }
+  std::string dump = server.metrics().DumpText();
+  EXPECT_NE(dump.find("counter ingest.completed 6"), std::string::npos);
+  EXPECT_NE(dump.find("histogram catalog.ingest.latency_ms"),
+            std::string::npos);
+
+  server.Shutdown();
+  server.Shutdown();  // Idempotent.
+  // Post-shutdown submissions are refused, not lost silently.
+  EXPECT_EQ(server.ingest()
+                .Submit(0, "late", MakeRecording(32, 2, 0.0))
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AimsServerTest, ShutdownDrainsAdmittedWork) {
+  ServerConfig config;
+  config.num_shards = 2;
+  config.num_threads = 2;
+  AimsServer server(config);
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.ingest()
+                    .Submit(i, "pending",
+                            MakeRecording(64, 2, static_cast<double>(i)))
+                    .ok());
+  }
+  server.Shutdown();  // Must not drop the 8 admitted recordings.
+  EXPECT_EQ(server.catalog().total_sessions(), 8u);
+  EXPECT_EQ(server.metrics().GetCounter("ingest.completed")->value(), 8u);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_FALSE(pool.Submit([] {}));  // Closed for business.
+  }
+}
+
+}  // namespace
+}  // namespace aims::server
