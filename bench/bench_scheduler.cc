@@ -1,0 +1,268 @@
+// bench_scheduler — deadline/cancellation behavior of the QueryScheduler.
+//
+// All requests go through the typed AimsServer API against a catalog whose
+// disk cost model is in simulate_io_wait mode (64-byte blocks, 8 ms seek),
+// so progressive refinement takes real wall-clock time per block and
+// deadlines/cancellation have something to cut short. The benched query
+// range is deliberately misaligned (a full dyadic range collapses to one
+// scaling coefficient = one block), so its lazy-transform coefficients
+// spread across ~11 subtree tiles. Two experiments:
+//
+//   1. deadline sweep — the same AVERAGE query under growing deadlines.
+//      The guaranteed error bound of the partial answer must shrink
+//      monotonically as the deadline grows, reaching 0 (exact) with no
+//      deadline. Checked with AIMS_CHECK, reported as JSON.
+//   2. cancellation — 16 long queries saturate the executor; cancelling
+//      the 8 in-flight ones must measurably raise the completion
+//      throughput of the 8 survivors versus letting all 16 run.
+//
+// Every request's trace is verified to carry >= 3 spans. JSON goes to
+// stdout (schema_version + the config block actually used); progress notes
+// to stderr.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "server/server.h"
+
+namespace aims {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+constexpr size_t kFrames = 1024;
+// Ragged edges keep O(lg n) nonzero query coefficients at every level.
+constexpr size_t kFirstFrame = 7;
+constexpr size_t kLastFrame = kFrames - 10;
+constexpr size_t kBlockSizeBytes = 64;
+constexpr double kSeekMs = 8.0;
+constexpr size_t kNumThreads = 8;
+constexpr size_t kCancelBatch = 16;  // half cancelled, half survive
+
+server::ServerConfig BenchConfig() {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = kNumThreads;
+  config.system.block_size_bytes = kBlockSizeBytes;
+  config.system.disk_cost.seek_ms = kSeekMs;
+  config.system.disk_cost.transfer_ms_per_kb = 0.0;
+  config.system.disk_cost.simulate_io_wait = true;
+  return config;
+}
+
+streams::Recording MakeRecording() {
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < kFrames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values = {40.0 + 25.0 * std::sin(0.05 * static_cast<double>(f)) +
+                    5.0 * std::sin(0.7 * static_cast<double>(f))};
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+double ChannelSum(const streams::Recording& rec) {
+  double sum = 0.0;
+  for (size_t f = kFirstFrame; f <= kLastFrame; ++f) {
+    sum += rec.frames[f].values[0];
+  }
+  return sum;
+}
+
+server::QueryRequest BenchQuery(server::GlobalSessionId session) {
+  server::QueryRequest query;
+  query.session = session;
+  query.channel = 0;
+  query.first_frame = kFirstFrame;
+  query.last_frame = kLastFrame;
+  return query;
+}
+
+struct DeadlinePoint {
+  double deadline_ms = 0.0;
+  const char* state = "";
+  size_t blocks_read = 0;
+  size_t blocks_needed = 0;
+  double error_bound = 0.0;
+  double mean = 0.0;
+  double abs_error = 0.0;
+};
+
+std::vector<DeadlinePoint> RunDeadlineSweep(server::AimsServer* srv,
+                                            server::ClientId client,
+                                            server::GlobalSessionId session,
+                                            double exact_sum) {
+  std::vector<DeadlinePoint> sweep;
+  for (double deadline_ms : {4.0, 16.0, 64.0, 256.0, 0.0}) {
+    std::fprintf(stderr, "bench_scheduler: deadline %.0f ms...\n",
+                 deadline_ms);
+    server::QueryRequest query = BenchQuery(session);
+    query.deadline_ms = deadline_ms;
+    auto submitted = srv->SubmitQuery({client, query});
+    AIMS_CHECK(submitted.ok());
+    server::QueryOutcome outcome = submitted->ticket->Wait();
+    AIMS_CHECK(outcome.status.ok());
+
+    DeadlinePoint point;
+    point.deadline_ms = deadline_ms;
+    point.state = server::QueryStateName(outcome.state);
+    point.blocks_read = outcome.answer.blocks_read;
+    point.blocks_needed = outcome.answer.blocks_needed;
+    point.error_bound = outcome.answer.error_bound;
+    point.mean = outcome.answer.mean;
+    point.abs_error = std::fabs(outcome.answer.sum - exact_sum);
+    // The partial answer's guarantee holds against the true sum.
+    AIMS_CHECK(point.abs_error <= point.error_bound + 1e-6);
+    sweep.push_back(point);
+  }
+  // Monotonicity: more deadline => an error bound at least as tight. The
+  // last point (no deadline) must be exact.
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    AIMS_CHECK(sweep[i].error_bound <= sweep[i - 1].error_bound + 1e-9);
+  }
+  AIMS_CHECK(sweep.back().error_bound == 0.0);
+  AIMS_CHECK(sweep.back().blocks_read == sweep.back().blocks_needed);
+  return sweep;
+}
+
+struct BatchRun {
+  double survivor_seconds = 0.0;
+  size_t cancelled_blocks_read = 0;
+  size_t cancelled_blocks_needed = 0;
+};
+
+/// Submits kCancelBatch copies of the same long query. When \p cancel_half
+/// is set, the first half — exactly the ones dispatched onto the workers,
+/// since the pool is kCancelBatch/2 wide — is cancelled 30 ms in. Returns
+/// the time until the surviving second half all completed, plus the
+/// cancelled tickets' I/O accounting.
+BatchRun RunBatch(server::AimsServer* srv, server::ClientId client,
+                  server::GlobalSessionId session, bool cancel_half) {
+  const size_t half = kCancelBatch / 2;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<server::QueryTicketPtr> tickets;
+  for (size_t i = 0; i < kCancelBatch; ++i) {
+    auto submitted = srv->SubmitQuery({client, BenchQuery(session)});
+    AIMS_CHECK(submitted.ok());
+    tickets.push_back(submitted->ticket);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  if (cancel_half) {
+    for (size_t i = 0; i < half; ++i) tickets[i]->Cancel();
+  }
+  BatchRun run;
+  for (size_t i = half; i < kCancelBatch; ++i) {
+    server::QueryOutcome outcome = tickets[i]->Wait();
+    AIMS_CHECK(outcome.state == server::QueryState::kComplete);
+  }
+  run.survivor_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (size_t i = 0; i < half; ++i) {
+    server::QueryOutcome outcome = tickets[i]->Wait();
+    if (cancel_half) {
+      AIMS_CHECK(outcome.state == server::QueryState::kCancelled);
+      run.cancelled_blocks_read += outcome.answer.blocks_read;
+      run.cancelled_blocks_needed += outcome.answer.blocks_needed;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  using aims::server::QueryOutcome;
+
+  aims::server::ServerConfig config = aims::BenchConfig();
+  aims::server::AimsServer srv(config);
+  const aims::server::ClientId client = 1;
+  AIMS_CHECK(srv.OpenSession({client}).ok());
+
+  std::fprintf(stderr, "bench_scheduler: ingesting %zu frames...\n",
+               aims::kFrames);
+  aims::streams::Recording rec = aims::MakeRecording();
+  double exact_sum = aims::ChannelSum(rec);
+  auto stored = srv.IngestRecording({client, "sweep", rec});
+  AIMS_CHECK(stored.ok());
+
+  auto sweep = aims::RunDeadlineSweep(&srv, client, stored->session,
+                                      exact_sum);
+
+  std::fprintf(stderr,
+               "bench_scheduler: cancellation baseline (%zu queries)...\n",
+               aims::kCancelBatch);
+  aims::BatchRun baseline =
+      aims::RunBatch(&srv, client, stored->session, /*cancel_half=*/false);
+  std::fprintf(stderr, "bench_scheduler: cancellation run...\n");
+  aims::BatchRun cancelled =
+      aims::RunBatch(&srv, client, stored->session, /*cancel_half=*/true);
+
+  const double half = static_cast<double>(aims::kCancelBatch) / 2.0;
+  double baseline_tp = half / baseline.survivor_seconds;
+  double cancel_tp = half / cancelled.survivor_seconds;
+  double gain = cancel_tp / baseline_tp;
+  // Cancelling half the in-flight batch must measurably speed up the rest.
+  AIMS_CHECK(gain > 1.05);
+  // Cancelled queries stopped early: they read fewer blocks than needed.
+  AIMS_CHECK(cancelled.cancelled_blocks_read <
+             cancelled.cancelled_blocks_needed);
+
+  // Every request in this bench produced a trace with >= 3 spans.
+  auto traces = srv.tracer().Snapshot();
+  size_t min_spans = static_cast<size_t>(-1);
+  for (const auto& trace : traces) {
+    min_spans = std::min(min_spans, trace.spans().size());
+  }
+  AIMS_CHECK(!traces.empty());
+  AIMS_CHECK(min_spans >= 3);
+
+  std::printf("{\n  \"bench\": \"bench_scheduler\",\n");
+  std::printf("  \"schema_version\": %d,\n", aims::kSchemaVersion);
+  std::printf(
+      "  \"config\": {\"num_shards\": %zu, \"num_threads\": %zu, "
+      "\"block_size_bytes\": %zu, \"seek_ms\": %.2f, "
+      "\"transfer_ms_per_kb\": %.3f, \"simulate_io_wait\": %s, "
+      "\"frames\": %zu, \"first_frame\": %zu, \"last_frame\": %zu, "
+      "\"cancel_batch\": %zu},\n",
+      config.num_shards, config.num_threads, config.system.block_size_bytes,
+      config.system.disk_cost.seek_ms,
+      config.system.disk_cost.transfer_ms_per_kb,
+      config.system.disk_cost.simulate_io_wait ? "true" : "false",
+      aims::kFrames, aims::kFirstFrame, aims::kLastFrame, aims::kCancelBatch);
+  std::printf("  \"deadline_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const aims::DeadlinePoint& p = sweep[i];
+    std::printf(
+        "    {\"deadline_ms\": %.1f, \"state\": \"%s\", "
+        "\"blocks_read\": %zu, \"blocks_needed\": %zu, "
+        "\"error_bound\": %.4f, \"mean\": %.4f, \"abs_error\": %.4f}%s\n",
+        p.deadline_ms, p.state, p.blocks_read, p.blocks_needed,
+        p.error_bound, p.mean, p.abs_error,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf(
+      "  \"cancellation\": {\"batch\": %zu, "
+      "\"baseline_survivor_seconds\": %.3f, "
+      "\"cancel_survivor_seconds\": %.3f, "
+      "\"baseline_survivor_tp\": %.2f, \"cancel_survivor_tp\": %.2f, "
+      "\"survivor_throughput_gain\": %.2f, "
+      "\"cancelled_blocks_read\": %zu, "
+      "\"cancelled_blocks_needed\": %zu},\n",
+      aims::kCancelBatch, baseline.survivor_seconds,
+      cancelled.survivor_seconds, baseline_tp, cancel_tp, gain,
+      cancelled.cancelled_blocks_read, cancelled.cancelled_blocks_needed);
+  std::printf("  \"traces\": {\"requests\": %zu, \"min_spans\": %zu}\n",
+              traces.size(), min_spans);
+  std::printf("}\n");
+  return 0;
+}

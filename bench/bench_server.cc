@@ -1,7 +1,7 @@
 // bench_server — shard-scaling of the aims::server runtime.
 //
 // M synthetic clients (CyberGlove signers and virtual-classroom subjects)
-// hammer a ShardedCatalog with a mixed ingest + range-query workload while
+// hammer an AimsServer with a mixed ingest + range-query workload while
 // the disk cost model is in simulate_io_wait mode, so every block access
 // takes real wall-clock time. On a single-core host this is the honest
 // experiment: sharding cannot buy CPU parallelism, but it overlaps the
@@ -9,6 +9,10 @@
 // The bench sweeps the shard count at a fixed client count and reports
 // aggregate throughput per configuration as JSON (stdout); progress notes
 // go to stderr. A final section measures the live recognition path.
+//
+// All client work goes through the typed request/response API
+// (OpenSession / IngestRecording / SubmitQuery / StreamSamples /
+// CloseSession); raw subsystem accessors are used only to read metrics.
 
 #include <chrono>
 #include <cstdio>
@@ -25,10 +29,22 @@ namespace {
 
 using streams::Recording;
 
+constexpr int kSchemaVersion = 2;
+
 constexpr size_t kClients = 8;
 constexpr size_t kIngestsPerClient = 4;
 constexpr size_t kQueriesPerIngest = 2;
 constexpr size_t kSliceFrames = 64;
+
+/// The per-shard system tuning every sweep point runs with (reported in
+/// the JSON config block).
+core::AimsConfig BenchSystemConfig() {
+  core::AimsConfig config;
+  config.disk_cost.seek_ms = 1.0;
+  config.disk_cost.transfer_ms_per_kb = 0.02;
+  config.disk_cost.simulate_io_wait = true;
+  return config;
+}
 
 /// A \p len-frame window of \p rec starting at \p start.
 Recording Slice(const Recording& rec, size_t start, size_t len) {
@@ -78,34 +94,40 @@ struct SweepPoint {
   double ops_per_sec = 0.0;
 };
 
-/// Runs the mixed workload against a fresh catalog with \p num_shards
+/// Runs the mixed workload against a fresh server with \p num_shards
 /// shards; every client is its own thread, as in a real multi-tenant
-/// deployment.
+/// deployment, and speaks the typed API.
 SweepPoint RunShardConfig(size_t num_shards,
                           const std::vector<std::vector<Recording>>& work) {
-  core::AimsConfig config;
-  config.disk_cost.seek_ms = 1.0;
-  config.disk_cost.transfer_ms_per_kb = 0.02;
-  config.disk_cost.simulate_io_wait = true;
-  server::MetricsRegistry metrics;
-  server::ShardedCatalog catalog(num_shards, config, &metrics);
+  server::ServerConfig config;
+  config.num_shards = num_shards;
+  config.num_threads = kClients;
+  config.system = BenchSystemConfig();
+  server::AimsServer srv(config);
 
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
-    clients.emplace_back([c, &catalog, &work] {
+    clients.emplace_back([c, &srv, &work] {
+      server::ClientId client = c;
+      AIMS_CHECK(srv.OpenSession({client}).ok());
       for (size_t i = 0; i < work[c].size(); ++i) {
         const Recording& rec = work[c][i];
-        auto id = catalog.Ingest(c, "bench", rec);
-        AIMS_CHECK(id.ok());
+        auto stored = srv.IngestRecording({client, "bench", rec});
+        AIMS_CHECK(stored.ok());
         for (size_t q = 0; q < kQueriesPerIngest; ++q) {
-          size_t channel = (c + q) % rec.num_channels();
-          auto stats = catalog.QueryRange(id.ValueOrDie(), channel,
-                                          q * (rec.num_frames() / 2),
-                                          rec.num_frames() - 1);
-          AIMS_CHECK(stats.ok());
+          server::QueryRequest query;
+          query.session = stored->session;
+          query.channel = (c + q) % rec.num_channels();
+          query.first_frame = q * (rec.num_frames() / 2);
+          query.last_frame = rec.num_frames() - 1;
+          auto submitted = srv.SubmitQuery({client, query});
+          AIMS_CHECK(submitted.ok());
+          server::QueryOutcome outcome = submitted->ticket->Wait();
+          AIMS_CHECK(outcome.state == server::QueryState::kComplete);
         }
       }
+      AIMS_CHECK(srv.CloseSession({client}).ok());
     });
   }
   for (auto& t : clients) t.join();
@@ -149,8 +171,9 @@ RecognitionPoint RunRecognition() {
     for (size_t r = 0; r < rec.num_frames(); ++r) {
       segment.SetRow(r, rec.frames[r].values);
     }
-    srv.AddVocabularyEntry(synth::DefaultAslVocabulary()[s].name,
-                           std::move(segment));
+    AIMS_CHECK(srv.AddVocabularyEntry(synth::DefaultAslVocabulary()[s].name,
+                                      std::move(segment))
+                   .ok());
   }
   auto stream = glove.GenerateSequence({0, 1, 2, 3}, subject, 0.4, nullptr);
   AIMS_CHECK(stream.ok());
@@ -160,11 +183,11 @@ RecognitionPoint RunRecognition() {
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([c, &srv, &frames] {
-      AIMS_CHECK(srv.recognition().OpenStream(c).ok());
-      for (const streams::Frame& frame : frames.frames) {
-        AIMS_CHECK(srv.recognition().PushFrame(c, frame).ok());
-      }
-      AIMS_CHECK(srv.recognition().CloseStream(c).ok());
+      server::ClientId client = c;
+      AIMS_CHECK(
+          srv.OpenSession({client, /*enable_recognition=*/true}).ok());
+      AIMS_CHECK(srv.StreamSamples({client, frames.frames}).ok());
+      AIMS_CHECK(srv.CloseSession({client}).ok());
     });
   }
   for (auto& t : clients) t.join();
@@ -201,8 +224,19 @@ int main() {
   std::fprintf(stderr, "bench_server: live recognition...\n");
   RecognitionPoint recognition = aims::RunRecognition();
 
-  std::printf("{\n  \"bench\": \"bench_server\",\n  \"clients\": %zu,\n",
-              aims::kClients);
+  aims::core::AimsConfig system = aims::BenchSystemConfig();
+  std::printf("{\n  \"bench\": \"bench_server\",\n");
+  std::printf("  \"schema_version\": %d,\n", aims::kSchemaVersion);
+  std::printf("  \"clients\": %zu,\n", aims::kClients);
+  std::printf(
+      "  \"config\": {\"num_threads\": %zu, \"block_size_bytes\": %zu, "
+      "\"seek_ms\": %.2f, \"transfer_ms_per_kb\": %.3f, "
+      "\"simulate_io_wait\": %s, \"ingests_per_client\": %zu, "
+      "\"queries_per_ingest\": %zu, \"slice_frames\": %zu},\n",
+      aims::kClients, system.block_size_bytes, system.disk_cost.seek_ms,
+      system.disk_cost.transfer_ms_per_kb,
+      system.disk_cost.simulate_io_wait ? "true" : "false",
+      aims::kIngestsPerClient, aims::kQueriesPerIngest, aims::kSliceFrames);
   std::printf("  \"shard_sweep\": [\n");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];

@@ -112,7 +112,8 @@ int main() {
   auto steps = system
                    .QueryRangeProgressive(id, /*channel=*/20, 100,
                                           session.num_frames() - 100)
-                   .ValueOrDie();
+                   .ValueOrDie()
+                   .steps;
   std::printf("%-12s %-16s %s\n", "blocks read", "mean estimate",
               "sum error bound");
   for (size_t i = 0; i < steps.size(); ++i) {

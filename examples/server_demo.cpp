@@ -1,14 +1,16 @@
-// Server demo: the aims::server runtime serving several tenants at once.
+// Server demo: the aims::server runtime serving several tenants at once,
+// spoken entirely through the typed request/response API (api.h).
 //
 // Where quickstart.cpp drives one AimsSystem from one thread, this example
 // stands up the full multi-tenant service runtime:
 //   1. an AimsServer with 2 catalog shards and a 2-thread executor,
-//   2. three clients submitting glove sessions through the admission-
-//      controlled IngestService (bounded queues — a flooding client gets
-//      ResourceExhausted back, never an unbounded buffer),
-//   3. concurrent range queries against the sharded catalog,
-//   4. a live recognition stream per client,
-//   5. the MetricsRegistry dump that ties it all together.
+//   2. three clients opening sessions and storing glove recordings through
+//      the admission-controlled ingest pipeline,
+//   3. deadline-aware progressive queries through the QueryScheduler — the
+//      same query under a tight deadline returns a partial answer with a
+//      guaranteed error bound, under no deadline it runs to exactness,
+//   4. a live recognition stream per client via StreamSamples,
+//   5. the per-request trace timeline and the MetricsRegistry dump.
 
 #include <cstdio>
 #include <vector>
@@ -29,6 +31,11 @@ int main() {
   config.num_shards = 2;
   config.num_threads = 2;
   config.admission.queue_capacity = 4;
+  // Small blocks + simulated I/O waits give the progressive queries enough
+  // real block reads for deadlines to bite.
+  config.system.block_size_bytes = 64;
+  config.system.disk_cost.seek_ms = 2.0;
+  config.system.disk_cost.simulate_io_wait = true;
   AimsServer server(config);
   std::printf("server up: %zu shards, %zu worker threads\n\n",
               server.config().num_shards, server.config().num_threads);
@@ -46,43 +53,8 @@ int main() {
             .ValueOrDie());
   }
 
-  // ---------------------------------------------------------------- ingest
-  // Submissions are asynchronous: the callback fires on a pool worker once
-  // the recording is transformed and placed on its shard's blocks.
-  std::vector<GlobalSessionId> ids(clients.size());
-  for (size_t i = 0; i < clients.size(); ++i) {
-    AIMS_CHECK(server.ingest()
-                   .Submit(clients[i], "session", sessions[i],
-                           [i, &ids](const aims::Result<GlobalSessionId>& r) {
-                             AIMS_CHECK(r.ok());
-                             ids[i] = r.ValueOrDie();
-                           })
-                   .ok());
-  }
-  server.ingest().Drain();
-  for (size_t i = 0; i < clients.size(); ++i) {
-    std::printf("client %llu -> session %llu on shard %zu\n",
-                static_cast<unsigned long long>(clients[i]),
-                static_cast<unsigned long long>(ids[i]),
-                aims::server::ShardedCatalog::ShardOf(ids[i]));
-  }
-
-  // ---------------------------------------------------------------- query
-  // The whole offline query path runs under shared locks: these queries
-  // would proceed concurrently with each other even on one shard.
-  std::printf("\nwrist-flexion means (channel 20):\n");
-  for (size_t i = 0; i < clients.size(); ++i) {
-    aims::core::RangeStatistics stats =
-        server.catalog()
-            .QueryRange(ids[i], 20, 0, sessions[i].num_frames() - 1)
-            .ValueOrDie();
-    std::printf("  session %llu: mean %.2f deg (%zu block reads)\n",
-                static_cast<unsigned long long>(ids[i]), stats.mean,
-                stats.blocks_read);
-  }
-
-  // ----------------------------------------------------------- recognition
-  // One live recognizer per client, all sharing the server vocabulary.
+  // The vocabulary must be registered before any recognition stream opens
+  // (it is immutable while streams are running).
   for (size_t sign : {0u, 1u, 2u, 3u, 4u}) {
     aims::streams::Recording templ =
         glove.GenerateSign(sign, subjects[0]).ValueOrDie();
@@ -90,32 +62,80 @@ int main() {
     for (size_t r = 0; r < templ.num_frames(); ++r) {
       m.SetRow(r, templ.frames[r].values);
     }
-    server.AddVocabularyEntry(glove.vocabulary()[sign].name, std::move(m));
+    AIMS_CHECK(
+        server.AddVocabularyEntry(glove.vocabulary()[sign].name, std::move(m))
+            .ok());
   }
+
+  // ---------------------------------------------------------- open + ingest
+  std::vector<GlobalSessionId> ids(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    auto opened = server.OpenSession({clients[i], /*enable_recognition=*/true});
+    AIMS_CHECK(opened.ok());
+    auto stored = server.IngestRecording({clients[i], "session", sessions[i]});
+    AIMS_CHECK(stored.ok());
+    ids[i] = stored->session;
+    std::printf("client %llu -> session %llu on shard %zu (%zu frames)\n",
+                static_cast<unsigned long long>(clients[i]),
+                static_cast<unsigned long long>(ids[i]), opened->shard,
+                stored->num_frames);
+  }
+
+  // ------------------------------------------------- deadline-aware queries
+  // The same wrist-flexion AVERAGE, first under a 1 ms deadline (partial
+  // answer, guaranteed bound), then with no deadline (exact). The range is
+  // deliberately ragged: a full dyadic range would collapse to a single
+  // scaling coefficient and finish in one block read.
+  std::printf("\nwrist-flexion means (channel 20), progressive:\n");
+  for (double deadline_ms : {1.0, 0.0}) {
+    aims::server::QueryRequest query;
+    query.session = ids[0];
+    query.channel = 20;
+    query.first_frame = 5;
+    query.last_frame = sessions[0].num_frames() - 6;
+    query.deadline_ms = deadline_ms;
+    auto submitted = server.SubmitQuery({clients[0], query});
+    AIMS_CHECK(submitted.ok());
+    aims::server::QueryOutcome outcome = submitted->ticket->Wait();
+    std::printf(
+        "  deadline %4.1f ms -> %s: mean %.2f deg, +/- %.2f on the sum, "
+        "%zu/%zu blocks\n",
+        deadline_ms, aims::server::QueryStateName(outcome.state),
+        outcome.answer.mean, outcome.answer.error_bound,
+        outcome.answer.blocks_read, outcome.answer.blocks_needed);
+  }
+
+  // ----------------------------------------------------------- recognition
   std::printf("\nlive recognition, one stream per client:\n");
   for (size_t i = 0; i < clients.size(); ++i) {
-    AIMS_CHECK(server.recognition().OpenStream(clients[i]).ok());
-    for (const aims::streams::Frame& frame : sessions[i].frames) {
-      AIMS_CHECK(server.recognition().PushFrame(clients[i], frame).ok());
-    }
-    // Bounded per-stream history, available while the stream is open.
-    auto events = server.recognition().RecentEvents(clients[i]);
+    auto streamed = server.StreamSamples({clients[i], sessions[i].frames});
+    AIMS_CHECK(streamed.ok());
     std::printf("  client %llu:",
                 static_cast<unsigned long long>(clients[i]));
-    for (const auto& event : events) {
+    for (const auto& event : streamed->events) {
       std::printf("  %s(%.2f)", event.label.c_str(), event.confidence);
     }
     // Closing flushes the tail of the stream; it may complete one last
     // motion.
-    auto last = server.recognition().CloseStream(clients[i]).ValueOrDie();
-    if (last.has_value()) {
-      std::printf("  %s(%.2f)", last->label.c_str(), last->confidence);
+    auto closed = server.CloseSession({clients[i]});
+    AIMS_CHECK(closed.ok());
+    if (closed->final_event.has_value()) {
+      std::printf("  %s(%.2f)", closed->final_event->label.c_str(),
+                  closed->final_event->confidence);
     }
     std::printf("\n");
   }
 
   // ---------------------------------------------------------------- wrap up
   server.Shutdown();
+  std::printf("\nlast request trace:\n");
+  auto traces = server.tracer().Snapshot();
+  if (!traces.empty()) {
+    for (const auto& span : traces.back().spans()) {
+      std::printf("  %-16s %8.3f ms .. %8.3f ms\n", span.name.c_str(),
+                  span.start_ms, span.end_ms);
+    }
+  }
   std::printf("\nmetrics after shutdown:\n%s",
               server.metrics().DumpText().c_str());
   return 0;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# The same entry point is used locally and by CI, so "it passed CI" and
+# "it passed on my machine" mean the same command ran.
+#
+# Usage:
+#   scripts/check.sh                 # plain build + ctest
+#   AIMS_SANITIZE=thread scripts/check.sh   # TSan build (own build dir)
+#   AIMS_SANITIZE=address scripts/check.sh  # ASan build (own build dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${AIMS_SANITIZE:-}"
+BUILD_DIR="build"
+CMAKE_ARGS=()
+if [[ -n "${SANITIZE}" ]]; then
+  BUILD_DIR="build-${SANITIZE}"
+  CMAKE_ARGS+=("-DAIMS_SANITIZE=${SANITIZE}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

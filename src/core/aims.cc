@@ -163,9 +163,9 @@ Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
   return stats;
 }
 
-Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
-    SessionId id, size_t channel, size_t first_frame,
-    size_t last_frame) const {
+Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
+    SessionId id, size_t channel, size_t first_frame, size_t last_frame,
+    const ProgressiveObserver& observer) const {
   if (id >= sessions_.size()) {
     return Status::NotFound("QueryRangeProgressive: unknown session id");
   }
@@ -209,7 +209,8 @@ Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
   const double count = static_cast<double>(last_frame - first_frame + 1);
   double remaining_data_energy = stored.energy;
   double centered_sum = 0.0;
-  std::vector<ProgressiveRangeStep> steps;
+  ProgressiveRangeResult result;
+  result.total_blocks_needed = order.size();
   size_t blocks_read = 0;
   for (const auto& [block, work] : order) {
     AIMS_ASSIGN_OR_RETURN(auto contents, stored.store->FetchBlock(block));
@@ -228,10 +229,24 @@ Result<std::vector<ProgressiveRangeStep>> AimsSystem::QueryRangeProgressive(
     step.sum_error_bound =
         std::sqrt(std::max(remaining_query_energy, 0.0)) *
         std::sqrt(std::max(remaining_data_energy, 0.0));
-    steps.push_back(step);
+    result.steps.push_back(step);
+    if (observer && observer(step) == StepControl::kStop &&
+        blocks_read < order.size()) {
+      result.complete = false;
+      break;
+    }
   }
-  if (!steps.empty()) steps.back().sum_error_bound = 0.0;
-  return steps;
+  if (result.steps.empty()) {
+    // A degenerate query touching no blocks is already exact: the whole
+    // answer is carried by the channel mean.
+    ProgressiveRangeStep step;
+    step.sum_estimate = stored.mean * count;
+    step.mean_estimate = stored.mean;
+    result.steps.push_back(step);
+  } else if (result.complete) {
+    result.steps.back().sum_error_bound = 0.0;
+  }
+  return result;
 }
 
 Result<propolyne::DataCube> AimsSystem::BuildChannelCube(
@@ -370,9 +385,15 @@ Result<std::vector<SessionId>> AimsSystem::LoadCatalog(
   return ids;
 }
 
-void AimsSystem::AddVocabularyEntry(std::string label,
-                                    linalg::Matrix segment) {
+Status AimsSystem::AddVocabularyEntry(std::string label,
+                                      linalg::Matrix segment) {
+  if (recognizer_ != nullptr) {
+    return Status::FailedPrecondition(
+        "AddVocabularyEntry: vocabulary is immutable while the recognizer "
+        "is running; StopRecognizer first");
+  }
   vocabulary_.Add(std::move(label), std::move(segment));
+  return Status::OK();
 }
 
 Status AimsSystem::StartRecognizer(
@@ -385,6 +406,8 @@ Status AimsSystem::StartRecognizer(
       &vocabulary_, &measure_, config);
   return Status::OK();
 }
+
+void AimsSystem::StopRecognizer() { recognizer_.reset(); }
 
 Result<std::optional<recognition::RecognitionEvent>> AimsSystem::PushLiveFrame(
     const streams::Frame& frame) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,28 @@ struct ProgressiveRangeStep {
   double sum_error_bound = 0.0;
 };
 
+/// \brief Re-export of the progressive evaluators' stop/continue control.
+using StepControl = propolyne::StepControl;
+
+/// \brief Observer invoked after every block I/O step of a progressive
+/// range query. Returning StepControl::kStop ends the evaluation early and
+/// the query returns its best partial answer with the current error bound —
+/// the resumable hook deadline-aware schedulers are built on.
+using ProgressiveObserver =
+    std::function<StepControl(const ProgressiveRangeStep&)>;
+
+/// \brief Trajectory of a progressive range query.
+struct ProgressiveRangeResult {
+  /// One entry per block I/O, estimates refining monotonically in blocks
+  /// read. Never empty for a valid query.
+  std::vector<ProgressiveRangeStep> steps;
+  /// Blocks a run-to-exactness evaluation would read.
+  size_t total_blocks_needed = 0;
+  /// False when an observer stopped the evaluation before every needed
+  /// block was read; the last step then carries a nonzero error bound.
+  bool complete = true;
+};
+
 /// \brief The integrated system.
 ///
 /// Concurrency contract: AimsSystem itself holds no locks. The const
@@ -117,9 +140,13 @@ class AimsSystem {
   /// decreasing query-energy order and reports the running estimate with a
   /// guaranteed bound after every block — the Fig. 4 experience, served
   /// from block storage (Sec. 3.2.1's "most valuable I/O's first").
-  Result<std::vector<ProgressiveRangeStep>> QueryRangeProgressive(
-      SessionId id, size_t channel, size_t first_frame,
-      size_t last_frame) const;
+  /// \p observer (optional) runs after every block I/O and may stop the
+  /// evaluation early; the result then reports `complete == false` with the
+  /// partial trajectory. Const and lock-free like the rest of the read
+  /// path, so schedulers can run it under a shard's shared lock.
+  Result<ProgressiveRangeResult> QueryRangeProgressive(
+      SessionId id, size_t channel, size_t first_frame, size_t last_frame,
+      const ProgressiveObserver& observer = {}) const;
 
   /// \brief How BuildChannelCube buckets a channel into a ProPolyne cube.
   struct CubeSpec {
@@ -164,12 +191,20 @@ class AimsSystem {
 
   // ---- On-line query ----------------------------------------------------
 
-  /// \brief Registers a motion template for online recognition.
-  void AddVocabularyEntry(std::string label, linalg::Matrix segment);
+  /// \brief Registers a motion template for online recognition. Fails with
+  /// FailedPrecondition while a recognizer is running (the recognizer holds
+  /// a pointer into the vocabulary, which must stay immutable); call
+  /// StopRecognizer first.
+  Status AddVocabularyEntry(std::string label, linalg::Matrix segment);
 
   /// \brief Starts (or restarts) the online recognizer with the registered
   /// vocabulary.
   Status StartRecognizer(recognition::StreamRecognizerConfig config = {});
+
+  /// \brief Stops the recognizer (if running), making the vocabulary
+  /// mutable again. Pending stream state is discarded; call
+  /// FinishLiveStream first to flush it.
+  void StopRecognizer();
 
   /// \brief Feeds one live frame; returns an event when a motion was just
   /// isolated and recognized.

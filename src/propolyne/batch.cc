@@ -71,8 +71,8 @@ Result<BatchResult> BatchEvaluator::Evaluate(const GroupByQuery& query) const {
 }
 
 Result<BatchResult> BatchEvaluator::EvaluateProgressive(
-    const GroupByQuery& query, BatchErrorMeasure measure,
-    size_t stride) const {
+    const GroupByQuery& query, BatchErrorMeasure measure, size_t stride,
+    const BatchStepObserver& observer) const {
   if (stride == 0) {
     return Status::InvalidArgument("EvaluateProgressive: stride must be > 0");
   }
@@ -156,6 +156,11 @@ Result<BatchResult> BatchEvaluator::EvaluateProgressive(
       }
       step.max_error_bound = worst;
       result.steps.push_back(std::move(step));
+      if (observer && observer(result.steps.back()) == StepControl::kStop &&
+          i + 1 < shared.size()) {
+        result.complete = false;
+        break;
+      }
     }
   }
   if (shared.empty()) {

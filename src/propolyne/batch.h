@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -52,13 +53,21 @@ struct BatchStep {
 
 /// \brief Complete batch result.
 struct BatchResult {
-  std::vector<double> exact;  ///< One per group.
+  /// Final per-group estimates; exact iff `complete`.
+  std::vector<double> exact;
   /// Data coefficients fetched once for all groups.
   size_t shared_coefficients = 0;
   /// What independent per-group evaluation would have fetched in total.
   size_t independent_coefficients = 0;
+  /// False when an observer stopped the progressive evaluation before the
+  /// shared coefficient stream was exhausted.
+  bool complete = true;
   std::vector<BatchStep> steps;  ///< Populated by EvaluateProgressive.
 };
+
+/// \brief Observer called after each recorded step of EvaluateProgressive;
+/// return StepControl::kStop to end the evaluation with partial estimates.
+using BatchStepObserver = std::function<StepControl(const BatchStep&)>;
 
 /// \brief Evaluates group-by queries with maximal I/O sharing.
 class BatchEvaluator {
@@ -70,10 +79,12 @@ class BatchEvaluator {
 
   /// Progressive evaluation: one shared coefficient stream ordered by the
   /// chosen error measure, recording a step every \p stride coefficients.
+  /// When \p observer is set it runs after every recorded step and may stop
+  /// the evaluation early (deadline/cancellation hooks for schedulers).
   Result<BatchResult> EvaluateProgressive(
       const GroupByQuery& query,
-      BatchErrorMeasure measure = BatchErrorMeasure::kL2,
-      size_t stride = 16) const;
+      BatchErrorMeasure measure = BatchErrorMeasure::kL2, size_t stride = 16,
+      const BatchStepObserver& observer = {}) const;
 
   /// The individual range-sums a GroupByQuery expands to.
   Result<std::vector<RangeSumQuery>> ExpandGroups(

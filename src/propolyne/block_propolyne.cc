@@ -87,7 +87,8 @@ size_t BlockedCube::BlockOfFlat(size_t flat) const {
 }
 
 Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
-    const RangeSumQuery& query, BlockImportance importance) const {
+    const RangeSumQuery& query, BlockImportance importance,
+    const BlockStepObserver& observer) const {
   AIMS_ASSIGN_OR_RETURN(auto product, evaluator_.ProductCoefficients(query));
 
   // Group the query coefficients by the block that stores their partner
@@ -158,10 +159,15 @@ Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
     step.error_bound = std::sqrt(std::max(remaining_query_energy, 0.0)) *
                        std::sqrt(std::max(remaining_data_energy, 0.0));
     result.steps.push_back(step);
+    if (observer && observer(step) == StepControl::kStop &&
+        blocks_read < order.size()) {
+      result.complete = false;
+      break;
+    }
   }
   if (result.steps.empty()) {
     result.steps.push_back(BlockStep{0, 0.0, 0.0});
-  } else {
+  } else if (result.complete) {
     result.steps.back().error_bound = 0.0;  // everything needed was read
   }
   result.exact = acc;

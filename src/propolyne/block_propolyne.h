@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,10 +42,18 @@ struct BlockStep {
 
 /// \brief The trajectory of a block-progressive evaluation.
 struct BlockProgressiveResult {
+  /// Final running estimate; equals the exact answer iff `complete`.
   double exact = 0.0;
   size_t total_blocks_needed = 0;  ///< Blocks intersecting the support.
+  /// False when an observer stopped the evaluation before every needed
+  /// block was read; the last step then carries a nonzero error bound.
+  bool complete = true;
   std::vector<BlockStep> steps;
 };
+
+/// \brief Observer called after each block I/O of EvaluateProgressive;
+/// return StepControl::kStop to end the evaluation with a partial answer.
+using BlockStepObserver = std::function<StepControl(const BlockStep&)>;
 
 /// \brief A DataCube whose wavelet representation is stored on disk blocks.
 class BlockedCube {
@@ -57,10 +66,13 @@ class BlockedCube {
                                   std::vector<size_t> virtual_block_sizes);
 
   /// \brief Evaluates a query progressively at block granularity.
-  /// The device's read counter advances once per fetched block.
+  /// The device's read counter advances once per fetched block. When
+  /// \p observer is set it runs after every fetch and may stop the
+  /// evaluation early (deadline/cancellation hooks for schedulers).
   Result<BlockProgressiveResult> EvaluateProgressive(
       const RangeSumQuery& query,
-      BlockImportance importance = BlockImportance::kQueryEnergy) const;
+      BlockImportance importance = BlockImportance::kQueryEnergy,
+      const BlockStepObserver& observer = {}) const;
 
   /// \brief Exact evaluation; returns the answer and reads every needed
   /// block (equivalent to running the progressive evaluation to the end).

@@ -21,6 +21,19 @@
 
 namespace aims::propolyne {
 
+/// \brief What a progressive-step observer tells the evaluator to do next.
+///
+/// Progressive evaluators accept an optional observer that is invoked after
+/// every refinement step (one block I/O, or one stride of coefficients).
+/// Returning kStop ends the evaluation early with the steps produced so
+/// far — the primitive that lets a scheduler impose deadlines and honor
+/// cancellation mid-evaluation instead of running every query to
+/// exactness.
+enum class StepControl {
+  kContinue,  ///< Keep refining.
+  kStop,      ///< Return the partial trajectory now.
+};
+
 /// \brief One step of a progressive evaluation.
 struct ProgressiveStep {
   size_t coefficients_used = 0;

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "recognition/isolator.h"
+#include "server/query_scheduler.h"
+#include "server/sharded_catalog.h"
+#include "streams/sample.h"
+
+/// \file api.h
+/// \brief The typed request/response envelopes of the AimsServer façade —
+/// the narrow waist every client goes through. Each operation takes one
+/// *Request struct and returns Result<*Response>: inputs and outputs are
+/// named fields (extensible without signature churn), and every failure
+/// travels as a Status whose StatusCode round-trips unchanged from the
+/// subsystem that produced it (catalog NotFound stays NotFound at the
+/// client). The raw subsystem accessors on AimsServer remain available for
+/// tests and benches, but application code is expected to speak this API.
+
+namespace aims::server {
+
+/// \brief Registers a client with the server. A session must be open
+/// before the client can ingest, query, or stream.
+struct OpenSessionRequest {
+  ClientId client = 0;
+  /// Also opens a live recognition stream for this client (requires a
+  /// non-empty vocabulary); StreamSamples then becomes available.
+  bool enable_recognition = false;
+};
+
+struct OpenSessionResponse {
+  ClientId client = 0;
+  /// Catalog shard this client's recordings land on.
+  size_t shard = 0;
+};
+
+/// \brief Stores one fully materialized recording (blocking convenience
+/// over the asynchronous ingest pipeline: admission, queueing, and retry
+/// policy all still apply).
+struct IngestRecordingRequest {
+  ClientId client = 0;
+  std::string name;
+  streams::Recording recording;
+};
+
+struct IngestRecordingResponse {
+  GlobalSessionId session = 0;
+  size_t num_frames = 0;
+  size_t num_channels = 0;
+};
+
+/// \brief Submits a progressive range query to the scheduler.
+struct SubmitQueryRequest {
+  ClientId client = 0;
+  QueryRequest query;
+};
+
+struct SubmitQueryResponse {
+  /// Live handle: poll, Cancel(), or Wait() for the QueryOutcome.
+  QueryTicketPtr ticket;
+};
+
+/// \brief Feeds live frames to the client's recognition stream.
+struct StreamSamplesRequest {
+  ClientId client = 0;
+  std::vector<streams::Frame> frames;
+};
+
+struct StreamSamplesResponse {
+  /// Motions recognized while consuming this batch, in stream order.
+  std::vector<recognition::RecognitionEvent> events;
+  size_t frames_pushed = 0;
+};
+
+/// \brief Closes the client's session (and recognition stream, if open).
+struct CloseSessionRequest {
+  ClientId client = 0;
+};
+
+struct CloseSessionResponse {
+  /// Final recognition event if the stream tail completed a motion.
+  std::optional<recognition::RecognitionEvent> final_event;
+};
+
+}  // namespace aims::server

@@ -1,0 +1,290 @@
+#include "server/query_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace aims::server {
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kPending:
+      return "Pending";
+    case QueryState::kRunning:
+      return "Running";
+    case QueryState::kComplete:
+      return "Complete";
+    case QueryState::kPartialDeadline:
+      return "PartialDeadline";
+    case QueryState::kCancelled:
+      return "Cancelled";
+    case QueryState::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+QueryOutcome QueryTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return outcome_;
+}
+
+std::optional<QueryOutcome> QueryTicket::TryGet() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!done_) return std::nullopt;
+  return outcome_;
+}
+
+QueryScheduler::QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
+                               SchedulerConfig config, Tracer* tracer,
+                               MetricsRegistry* metrics)
+    : catalog_(catalog), pool_(pool), config_(config), tracer_(tracer) {
+  AIMS_CHECK(catalog != nullptr && pool != nullptr);
+  if (metrics != nullptr) {
+    submitted_ = metrics->GetCounter("scheduler.submitted");
+    rejected_ = metrics->GetCounter("scheduler.rejected");
+    completed_ = metrics->GetCounter("scheduler.completed");
+    partial_deadline_ = metrics->GetCounter("scheduler.partial_deadline");
+    cancelled_ = metrics->GetCounter("scheduler.cancelled");
+    failed_ = metrics->GetCounter("scheduler.failed");
+    pending_gauge_ = metrics->GetGauge("scheduler.pending");
+    admission_wait_ms_ = metrics->GetHistogram(
+        "scheduler.admission_wait_ms",
+        MetricsRegistry::DefaultLatencyBoundsMs());
+    exec_ms_ = metrics->GetHistogram("scheduler.exec_ms",
+                                     MetricsRegistry::DefaultLatencyBoundsMs());
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Drain(); }
+
+Result<QueryTicketPtr> QueryScheduler::Submit(QueryRequest request) {
+  QueryTicketPtr ticket(new QueryTicket(
+      next_id_.fetch_add(1, std::memory_order_relaxed), std::move(request)));
+  const QueryRequest& req = ticket->request_;
+  if (req.deadline_ms > 0.0) {
+    ticket->deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(req.deadline_ms));
+  }
+  ticket->trace_.set_label(
+      std::string(req.priority == QueryPriority::kInteractive ? "interactive"
+                                                              : "batch") +
+      " range_query session=" + std::to_string(req.session) +
+      " channel=" + std::to_string(req.channel));
+
+  const bool interactive = req.priority == QueryPriority::kInteractive;
+  {
+    std::lock_guard<std::mutex> lock(queues_mutex_);
+    std::deque<QueryTicketPtr>& lane = interactive ? interactive_ : batch_;
+    const size_t cap = interactive ? config_.max_pending_interactive
+                                   : config_.max_pending_batch;
+    if (lane.size() >= cap) {
+      if (rejected_ != nullptr) rejected_->Increment();
+      return Status::ResourceExhausted(
+          "QueryScheduler::Submit: pending lane full");
+    }
+    lane.push_back(ticket);
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (pending_gauge_ != nullptr) pending_gauge_->AddTracked(1);
+
+  if (!pool_->Submit([this] { RunOne(); })) {
+    // Executor shutting down: retract the admission if the ticket is still
+    // queued. If a concurrent worker already claimed it, its own task will
+    // carry it to completion and the submission stands.
+    std::lock_guard<std::mutex> lock(queues_mutex_);
+    std::deque<QueryTicketPtr>& lane = interactive ? interactive_ : batch_;
+    auto it = std::find(lane.begin(), lane.end(), ticket);
+    if (it != lane.end()) {
+      lane.erase(it);
+      if (pending_gauge_ != nullptr) pending_gauge_->Add(-1);
+      if (rejected_ != nullptr) rejected_->Increment();
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+        drained_cv_.notify_all();
+      }
+      return Status::FailedPrecondition(
+          "QueryScheduler::Submit: executor shutting down");
+    }
+  }
+  if (submitted_ != nullptr) submitted_->Increment();
+  return ticket;
+}
+
+QueryTicketPtr QueryScheduler::PopNext() {
+  std::lock_guard<std::mutex> lock(queues_mutex_);
+  ++pop_counter_;
+  const bool prefer_batch = config_.batch_promotion_period > 0 &&
+                            pop_counter_ % config_.batch_promotion_period == 0;
+  auto pop = [](std::deque<QueryTicketPtr>& lane) -> QueryTicketPtr {
+    if (lane.empty()) return nullptr;
+    QueryTicketPtr ticket = std::move(lane.front());
+    lane.pop_front();
+    return ticket;
+  };
+  if (prefer_batch) {
+    if (QueryTicketPtr ticket = pop(batch_)) return ticket;
+    return pop(interactive_);
+  }
+  if (QueryTicketPtr ticket = pop(interactive_)) return ticket;
+  return pop(batch_);
+}
+
+void QueryScheduler::RunOne() {
+  QueryTicketPtr ticket = PopNext();
+  if (ticket == nullptr) return;  // retracted by a failed Submit
+  Execute(ticket);
+}
+
+void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
+  const QueryRequest& req = ticket->request_;
+  Trace& trace = ticket->trace_;
+
+  QueryOutcome outcome;
+  outcome.dispatch_index =
+      dispatch_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  const double admission_ms = trace.ElapsedMs();
+  trace.AddSpan("admission_wait", 0.0, admission_ms);
+  if (admission_wait_ms_ != nullptr) admission_wait_ms_->Record(admission_ms);
+
+  if (ticket->cancel_requested()) {
+    // Cancelled while pending: release the executor slot without touching
+    // the catalog at all.
+    outcome.state = QueryState::kCancelled;
+    outcome.status = Status::Cancelled("query cancelled before dispatch");
+    Finish(ticket, std::move(outcome));
+    return;
+  }
+  ticket->state_.store(QueryState::kRunning, std::memory_order_release);
+
+  const double exec_start_ms = trace.ElapsedMs();
+  constexpr size_t kNoSpan = static_cast<size_t>(-1);
+  size_t lock_span = trace.BeginSpan("shard_lock");
+  size_t refine_span = kNoSpan;
+  // The interval between observer callbacks is exactly one block fetch, so
+  // each callback stamps the previous fetch as a closed block_io span.
+  double io_start_ms = 0.0;
+  enum class StopReason { kNone, kCancel, kDeadline, kTarget };
+  StopReason stop = StopReason::kNone;
+
+  auto on_shard_locked = [&] {
+    trace.EndSpan(lock_span);
+    refine_span = trace.BeginSpan("refinement");
+    io_start_ms = trace.ElapsedMs();
+  };
+  auto observer =
+      [&](const core::ProgressiveRangeStep& step) -> core::StepControl {
+    const double now_ms = trace.ElapsedMs();
+    trace.AddSpan("block_io", io_start_ms, now_ms);
+    io_start_ms = now_ms;
+    if (ticket->cancel_requested()) {
+      stop = StopReason::kCancel;
+      return core::StepControl::kStop;
+    }
+    if (ticket->deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *ticket->deadline_) {
+      stop = StopReason::kDeadline;
+      return core::StepControl::kStop;
+    }
+    if (req.target_error_bound > 0.0 &&
+        step.sum_error_bound <= req.target_error_bound) {
+      stop = StopReason::kTarget;
+      return core::StepControl::kStop;
+    }
+    return core::StepControl::kContinue;
+  };
+
+  Result<core::ProgressiveRangeResult> result = catalog_->QueryRangeProgressive(
+      req.session, req.channel, req.first_frame, req.last_frame, observer,
+      on_shard_locked);
+
+  if (refine_span != kNoSpan) trace.EndSpan(refine_span);
+  trace.CloseOpenSpans();
+  if (exec_ms_ != nullptr) exec_ms_->Record(trace.ElapsedMs() - exec_start_ms);
+
+  if (!result.ok()) {
+    // The originating StatusCode (NotFound, OutOfRange, IoError, ...)
+    // rides through the outcome envelope unchanged.
+    outcome.state = QueryState::kFailed;
+    outcome.status = result.status();
+    Finish(ticket, std::move(outcome));
+    return;
+  }
+
+  const core::ProgressiveRangeResult& progressive = *result;
+  QueryAnswer& answer = outcome.answer;
+  answer.count = req.last_frame - req.first_frame + 1;
+  answer.blocks_needed = progressive.total_blocks_needed;
+  if (!progressive.steps.empty()) {
+    const core::ProgressiveRangeStep& last = progressive.steps.back();
+    answer.sum = last.sum_estimate;
+    answer.mean = last.mean_estimate;
+    answer.error_bound = last.sum_error_bound;
+    answer.blocks_read = last.blocks_read;
+  }
+
+  if (progressive.complete || stop == StopReason::kTarget) {
+    outcome.state = QueryState::kComplete;
+  } else if (stop == StopReason::kCancel) {
+    outcome.state = QueryState::kCancelled;
+    outcome.status = Status::Cancelled("query cancelled during evaluation");
+  } else if (stop == StopReason::kDeadline) {
+    // Deadline expiry is not an error: the partial answer plus its
+    // guaranteed bound is the contract.
+    outcome.state = QueryState::kPartialDeadline;
+  } else {
+    outcome.state = QueryState::kComplete;
+  }
+  Finish(ticket, std::move(outcome));
+}
+
+void QueryScheduler::Finish(const QueryTicketPtr& ticket,
+                            QueryOutcome outcome) {
+  switch (outcome.state) {
+    case QueryState::kComplete:
+      if (completed_ != nullptr) completed_->Increment();
+      break;
+    case QueryState::kPartialDeadline:
+      if (partial_deadline_ != nullptr) partial_deadline_->Increment();
+      break;
+    case QueryState::kCancelled:
+      if (cancelled_ != nullptr) cancelled_->Increment();
+      break;
+    case QueryState::kFailed:
+      if (failed_ != nullptr) failed_->Increment();
+      break;
+    default:
+      break;
+  }
+  ticket->trace_.CloseOpenSpans();
+  outcome.trace = ticket->trace_;
+  if (tracer_ != nullptr) tracer_->Record(ticket->trace_);
+
+  ticket->state_.store(outcome.state, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(ticket->mutex_);
+    ticket->outcome_ = std::move(outcome);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+
+  if (pending_gauge_ != nullptr) pending_gauge_->Add(-1);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_cv_.notify_all();
+  }
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace aims::server

@@ -1,0 +1,242 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+#include "core/aims.h"
+#include "server/metrics.h"
+#include "server/sharded_catalog.h"
+#include "server/thread_pool.h"
+#include "server/tracer.h"
+
+/// \file query_scheduler.h
+/// \brief Deadline-aware scheduling of progressive offline queries — the
+/// service-level realization of the paper's central promise that range
+/// statistics are answered approximately first and refined as more wavelet
+/// coefficients arrive. A client submits a typed QueryRequest and gets a
+/// QueryTicket back immediately; the query executes on the shared
+/// ThreadPool via the block-granular progressive evaluator, and three
+/// properties hold that a blocking run-to-completion API cannot offer:
+///
+///   * deadlines: a query whose deadline expires mid-evaluation returns
+///     its best partial answer with the current guaranteed error bound
+///     instead of failing — more deadline buys a tighter bound;
+///   * cancellation: a cancelled query stops at the next block-I/O
+///     boundary, releasing its executor slot and its shard read lock
+///     promptly (a cancelled query that never started does zero I/O);
+///   * priority admission: interactive and batch lanes with bounded
+///     pending queues that reject (ResourceExhausted) rather than block,
+///     and a promotion rule that keeps the batch lane starvation-free
+///     under sustained interactive load.
+///
+/// Every request carries a Trace decomposing its latency into spans
+/// (admission wait, shard lock, each block I/O, the refinement loop),
+/// recorded into the server's Tracer on completion.
+
+namespace aims::server {
+
+/// \brief Admission lane of a query.
+enum class QueryPriority {
+  kInteractive,  ///< Latency-sensitive; dispatched first.
+  kBatch,        ///< Throughput work; served by the promotion rule.
+};
+
+/// \brief A typed range-statistics query over one stored channel.
+struct QueryRequest {
+  GlobalSessionId session = 0;
+  size_t channel = 0;
+  size_t first_frame = 0;
+  size_t last_frame = 0;
+  QueryPriority priority = QueryPriority::kInteractive;
+  /// Wall-clock budget measured from submission; 0 disables the deadline.
+  /// On expiry the query returns its best partial answer, never an error.
+  double deadline_ms = 0.0;
+  /// Stop refining once the guaranteed sum error bound is at or below this
+  /// value (0 = run to exactness). A query stopped this way is complete:
+  /// it delivered the accuracy that was asked for.
+  double target_error_bound = 0.0;
+};
+
+/// \brief Terminal (and transient) states of a scheduled query.
+enum class QueryState {
+  kPending,          ///< Admitted, waiting for an executor slot.
+  kRunning,          ///< Evaluating on a pool worker.
+  kComplete,         ///< Exact, or reached the requested error bound.
+  kPartialDeadline,  ///< Deadline expired; best partial answer returned.
+  kCancelled,        ///< Cancelled before or during evaluation.
+  kFailed,           ///< Evaluation failed; see QueryOutcome::status.
+};
+
+/// \brief Human-readable state name (e.g. "PartialDeadline").
+const char* QueryStateName(QueryState state);
+
+/// \brief The (possibly partial) answer of a scheduled query.
+struct QueryAnswer {
+  double sum = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+  /// Guaranteed bound on |sum - exact sum|; 0 when exact.
+  double error_bound = 0.0;
+  size_t blocks_read = 0;
+  /// Blocks a run-to-exactness evaluation would read.
+  size_t blocks_needed = 0;
+};
+
+/// \brief Everything a finished query reports back.
+struct QueryOutcome {
+  QueryState state = QueryState::kPending;
+  /// OK for kComplete and kPartialDeadline (a partial answer is a success);
+  /// Cancelled for kCancelled; the evaluation error for kFailed, with the
+  /// originating StatusCode preserved end to end.
+  Status status;
+  /// Valid whenever at least one refinement step ran (blocks_read > 0) and
+  /// always for kComplete.
+  QueryAnswer answer;
+  /// Global dispatch sequence number (1-based); diagnostic, and the
+  /// starvation-freedom tests' witness.
+  uint64_t dispatch_index = 0;
+  /// Span decomposition of this request's latency.
+  Trace trace;
+};
+
+/// \brief Shared handle to one submitted query. Cheap to copy (shared_ptr
+/// wrapped), safe to poll/cancel/wait from any thread.
+class QueryTicket {
+ public:
+  uint64_t id() const { return id_; }
+  const QueryRequest& request() const { return request_; }
+  QueryState state() const { return state_.load(std::memory_order_acquire); }
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+  }
+
+  /// \brief Requests cancellation (idempotent, never blocks). A pending
+  /// query finishes kCancelled without touching the catalog; a running one
+  /// stops at the next block-I/O boundary.
+  void Cancel() { cancel_requested_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Blocks until the query reaches a terminal state.
+  QueryOutcome Wait() const;
+
+  /// \brief The outcome if the query already finished, else nullopt.
+  std::optional<QueryOutcome> TryGet() const;
+
+ private:
+  friend class QueryScheduler;
+  QueryTicket(uint64_t id, QueryRequest request)
+      : id_(id), request_(std::move(request)), trace_(id) {}
+
+  const uint64_t id_;
+  const QueryRequest request_;
+  /// Absolute deadline derived from deadline_ms at submission.
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::atomic<QueryState> state_{QueryState::kPending};
+  std::atomic<bool> cancel_requested_{false};
+  /// Built by the dispatching worker; epoch = submission time.
+  Trace trace_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  QueryOutcome outcome_;
+};
+
+using QueryTicketPtr = std::shared_ptr<QueryTicket>;
+
+/// \brief Admission and fairness policy.
+struct SchedulerConfig {
+  /// Bounded pending queues; a full lane rejects with ResourceExhausted.
+  size_t max_pending_interactive = 64;
+  size_t max_pending_batch = 256;
+  /// Every Nth dispatch serves the batch lane first (0 disables the rule),
+  /// so batch queries are dispatched within N slots of admission even
+  /// under a saturating interactive stream.
+  size_t batch_promotion_period = 4;
+};
+
+/// \brief Asynchronous executor of progressive queries over the catalog.
+///
+/// Thread-safe. Submit never blocks; results are delivered through the
+/// ticket. Exposes (when given a registry):
+///   scheduler.submitted / rejected / completed / partial_deadline /
+///   cancelled / failed (counters), scheduler.pending (gauge with
+///   high-water mark), scheduler.admission_wait_ms / exec_ms (histograms).
+class QueryScheduler {
+ public:
+  /// \param catalog query target (not owned).
+  /// \param pool shared executor (not owned).
+  /// \param tracer optional span sink (may be null).
+  /// \param metrics optional registry (may be null).
+  QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
+                 SchedulerConfig config = {}, Tracer* tracer = nullptr,
+                 MetricsRegistry* metrics = nullptr);
+
+  /// Waits for every admitted query to finish (the pool must still be
+  /// running or already drained).
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// \brief Admits a query. Returns the ticket, ResourceExhausted when the
+  /// lane is full, FailedPrecondition when the executor is shutting down.
+  /// Never blocks.
+  Result<QueryTicketPtr> Submit(QueryRequest request);
+
+  /// \brief Blocks until every admitted query has finished. Call before
+  /// tearing down the catalog or the pool.
+  void Drain();
+
+  /// Admitted-but-unfinished count.
+  size_t pending() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  void RunOne();
+  QueryTicketPtr PopNext();
+  void Execute(const QueryTicketPtr& ticket);
+  void Finish(const QueryTicketPtr& ticket, QueryOutcome outcome);
+
+  const ShardedCatalog* catalog_;
+  ThreadPool* pool_;
+  SchedulerConfig config_;
+  Tracer* tracer_;
+
+  mutable std::mutex queues_mutex_;
+  std::deque<QueryTicketPtr> interactive_;
+  std::deque<QueryTicketPtr> batch_;
+  uint64_t pop_counter_ = 0;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> dispatch_counter_{0};
+  /// Admitted queries not yet finished; the destructor blocks on zero.
+  std::atomic<size_t> in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_cv_;
+
+  Counter* submitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* partial_deadline_ = nullptr;
+  Counter* cancelled_ = nullptr;
+  Counter* failed_ = nullptr;
+  Gauge* pending_gauge_ = nullptr;
+  Histogram* admission_wait_ms_ = nullptr;
+  Histogram* exec_ms_ = nullptr;
+};
+
+}  // namespace aims::server

@@ -1,6 +1,9 @@
 #include "server/server.h"
 
+#include <condition_variable>
 #include <utility>
+
+#include "common/macros.h"
 
 namespace aims::server {
 
@@ -13,22 +16,150 @@ AimsServer::AimsServer(ServerConfig config)
       ingest_(std::make_unique<IngestService>(catalog_.get(), pool_.get(),
                                               config.admission,
                                               metrics_.get())),
+      tracer_(std::make_unique<Tracer>(config.trace_capacity)),
+      scheduler_(std::make_unique<QueryScheduler>(
+          catalog_.get(), pool_.get(), config.scheduler, tracer_.get(),
+          metrics_.get())),
       recognition_(std::make_unique<RecognitionService>(
           &vocabulary_, config.recognizer, metrics_.get())) {}
 
 AimsServer::~AimsServer() { Shutdown(); }
 
-void AimsServer::AddVocabularyEntry(std::string label, linalg::Matrix segment) {
+Status AimsServer::AddVocabularyEntry(std::string label,
+                                      linalg::Matrix segment) {
+  if (recognition_->open_streams() > 0) {
+    return Status::FailedPrecondition(
+        "AddVocabularyEntry: vocabulary is immutable while recognition "
+        "streams are open");
+  }
   vocabulary_.Add(std::move(label), std::move(segment));
+  return Status::OK();
+}
+
+Result<OpenSessionResponse> AimsServer::OpenSession(
+    const OpenSessionRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.count(request.client) != 0) {
+      return Status::AlreadyExists(
+          "OpenSession: client already has an open session");
+    }
+  }
+  if (request.enable_recognition) {
+    // OpenStream enforces the non-empty-vocabulary precondition and the
+    // one-stream-per-client invariant.
+    AIMS_RETURN_NOT_OK(recognition_->OpenStream(request.client));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_[request.client] =
+        SessionState{/*recognition=*/request.enable_recognition};
+  }
+  OpenSessionResponse response;
+  response.client = request.client;
+  response.shard = catalog_->ShardForClient(request.client);
+  return response;
+}
+
+Result<IngestRecordingResponse> AimsServer::IngestRecording(
+    IngestRecordingRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.count(request.client) == 0) {
+      return Status::NotFound("IngestRecording: no open session for client");
+    }
+  }
+  IngestRecordingResponse response;
+  response.num_frames = request.recording.num_frames();
+  response.num_channels = request.recording.num_channels();
+
+  // Blocking convenience over the asynchronous pipeline: admission and
+  // retry policy still apply, we just wait for the completion callback.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Result<GlobalSessionId> outcome =
+      Status::Internal("ingest did not complete");
+  Status admitted = ingest_->Submit(
+      request.client, std::move(request.name), std::move(request.recording),
+      [&](const Result<GlobalSessionId>& result) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        outcome = result;
+        done = true;
+        done_cv.notify_all();
+      });
+  AIMS_RETURN_NOT_OK(admitted);
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  AIMS_ASSIGN_OR_RETURN(response.session, outcome);
+  return response;
+}
+
+Result<SubmitQueryResponse> AimsServer::SubmitQuery(
+    const SubmitQueryRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.count(request.client) == 0) {
+      return Status::NotFound("SubmitQuery: no open session for client");
+    }
+  }
+  SubmitQueryResponse response;
+  AIMS_ASSIGN_OR_RETURN(response.ticket, scheduler_->Submit(request.query));
+  return response;
+}
+
+Result<StreamSamplesResponse> AimsServer::StreamSamples(
+    StreamSamplesRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(request.client);
+    if (it == sessions_.end()) {
+      return Status::NotFound("StreamSamples: no open session for client");
+    }
+    if (!it->second.recognition) {
+      return Status::FailedPrecondition(
+          "StreamSamples: session was opened without recognition; set "
+          "OpenSessionRequest::enable_recognition");
+    }
+  }
+  StreamSamplesResponse response;
+  for (const streams::Frame& frame : request.frames) {
+    AIMS_ASSIGN_OR_RETURN(auto event,
+                          recognition_->PushFrame(request.client, frame));
+    ++response.frames_pushed;
+    if (event.has_value()) response.events.push_back(std::move(*event));
+  }
+  return response;
+}
+
+Result<CloseSessionResponse> AimsServer::CloseSession(
+    const CloseSessionRequest& request) {
+  SessionState state;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(request.client);
+    if (it == sessions_.end()) {
+      return Status::NotFound("CloseSession: no open session for client");
+    }
+    state = it->second;
+    sessions_.erase(it);
+  }
+  CloseSessionResponse response;
+  if (state.recognition) {
+    AIMS_ASSIGN_OR_RETURN(response.final_event,
+                          recognition_->CloseStream(request.client));
+  }
+  return response;
 }
 
 void AimsServer::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
-  // Order matters: admitted ingests must finish while the pool is still
-  // running; only then may the workers be joined. Services and catalog are
-  // destroyed after the pool, so in-flight tasks never dangle.
+  // Order matters: admitted ingests and queries must finish while the pool
+  // is still running; only then may the workers be joined. Services and
+  // catalog are destroyed after the pool, so in-flight tasks never dangle.
   ingest_->Drain();
+  scheduler_->Drain();
   pool_->Shutdown();
 }
 

@@ -1,14 +1,19 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "recognition/vocabulary.h"
+#include "server/api.h"
 #include "server/ingest_service.h"
 #include "server/metrics.h"
+#include "server/query_scheduler.h"
 #include "server/recognition_service.h"
 #include "server/sharded_catalog.h"
 #include "server/thread_pool.h"
+#include "server/tracer.h"
 
 /// \file server.h
 /// \brief AimsServer: the concurrent multi-tenant service runtime. Wires
@@ -18,12 +23,20 @@
 ///   ThreadPool          -> shared executor for asynchronous work,
 ///   ShardedCatalog      -> N AimsSystem shards behind rw-locks,
 ///   IngestService       -> bounded-queue admission onto the shards,
+///   QueryScheduler      -> deadline-aware progressive offline queries,
 ///   RecognitionService  -> per-client live recognizers,
+///   Tracer              -> per-request span timelines,
 ///   MetricsRegistry     -> counters/gauges/histograms across all of it.
 ///
+/// Clients speak the typed request/response API of api.h:
+/// OpenSession -> IngestRecording / SubmitQuery / StreamSamples ->
+/// CloseSession. Every operation returns Result<*Response>; StatusCodes
+/// propagate unchanged from the subsystem that produced them.
+///
 /// Lifecycle: construct, register vocabulary, serve, Shutdown (or let the
-/// destructor do it). Shutdown drains admitted ingests before stopping the
-/// executor, so no admitted recording is ever silently lost.
+/// destructor do it). Shutdown drains admitted ingests and scheduled
+/// queries before stopping the executor, so no admitted work is ever
+/// silently lost.
 
 namespace aims::server {
 
@@ -39,8 +52,12 @@ struct ServerConfig {
   core::AimsConfig system;
   /// Ingest admission/retry policy.
   IngestAdmissionPolicy admission;
+  /// Query admission/fairness policy.
+  SchedulerConfig scheduler;
   /// Recognizer tuning applied to every client stream.
   recognition::StreamRecognizerConfig recognizer;
+  /// Finished request traces retained for inspection (oldest dropped).
+  size_t trace_capacity = 512;
 };
 
 /// \brief The integrated service runtime.
@@ -53,28 +70,71 @@ class AimsServer {
   AimsServer& operator=(const AimsServer&) = delete;
 
   /// \brief Registers a motion template shared by all clients' recognizers.
-  /// Must happen before any OpenStream (the vocabulary is immutable while
-  /// streams are open).
-  void AddVocabularyEntry(std::string label, linalg::Matrix segment);
+  /// The vocabulary is immutable while recognition streams are open:
+  /// returns FailedPrecondition in that case.
+  Status AddVocabularyEntry(std::string label, linalg::Matrix segment);
+
+  // ---- The typed client API (see api.h for the envelope contracts). ----
+
+  /// \brief Registers \p client. AlreadyExists when the session is already
+  /// open; FailedPrecondition when recognition is requested against an
+  /// empty vocabulary.
+  Result<OpenSessionResponse> OpenSession(const OpenSessionRequest& request);
+
+  /// \brief Stores a recording through the admission-controlled ingest
+  /// pipeline and blocks until it lands. NotFound without an open session;
+  /// ResourceExhausted when admission rejects.
+  Result<IngestRecordingResponse> IngestRecording(
+      IngestRecordingRequest request);
+
+  /// \brief Admits a progressive query; never blocks. The returned ticket
+  /// delivers the (possibly partial) answer. NotFound without an open
+  /// session; ResourceExhausted when the priority lane is full.
+  Result<SubmitQueryResponse> SubmitQuery(const SubmitQueryRequest& request);
+
+  /// \brief Feeds live frames to the client's recognition stream.
+  /// FailedPrecondition when the session was opened without recognition.
+  Result<StreamSamplesResponse> StreamSamples(StreamSamplesRequest request);
+
+  /// \brief Closes the session (flushing the recognition stream, if any).
+  /// The client's stored recordings remain queryable by other sessions.
+  Result<CloseSessionResponse> CloseSession(const CloseSessionRequest& request);
+
+  // ---- Raw subsystem accessors: test/bench instrumentation only. ----
+  // Application code goes through the typed API above; these exist so
+  // tests and benches can reach into shard devices, metrics, and queues.
 
   ShardedCatalog& catalog() { return *catalog_; }
   IngestService& ingest() { return *ingest_; }
+  QueryScheduler& scheduler() { return *scheduler_; }
   RecognitionService& recognition() { return *recognition_; }
   MetricsRegistry& metrics() { return *metrics_; }
+  Tracer& tracer() { return *tracer_; }
   ThreadPool& pool() { return *pool_; }
   const ServerConfig& config() const { return config_; }
 
-  /// \brief Drains admitted ingests and stops the executor. Idempotent.
+  /// \brief Drains admitted ingests and queries, then stops the executor.
+  /// Idempotent.
   void Shutdown();
 
  private:
+  struct SessionState {
+    bool recognition = false;
+  };
+
   ServerConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<ShardedCatalog> catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<IngestService> ingest_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<QueryScheduler> scheduler_;
   recognition::Vocabulary vocabulary_;
   std::unique_ptr<RecognitionService> recognition_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<ClientId, SessionState> sessions_;
+
   bool shut_down_ = false;
 };
 

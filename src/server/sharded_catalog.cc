@@ -112,6 +112,34 @@ Result<core::RangeStatistics> ShardedCatalog::QueryRange(
   return result;
 }
 
+Result<core::ProgressiveRangeResult> ShardedCatalog::QueryRangeProgressive(
+    GlobalSessionId id, size_t channel, size_t first_frame, size_t last_frame,
+    const core::ProgressiveObserver& observer,
+    const std::function<void()>& on_shard_locked) const {
+  const Shard* shard = ShardFor(id);
+  if (shard == nullptr) {
+    return Status::NotFound(
+        "ShardedCatalog::QueryRangeProgressive: no such shard");
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<core::ProgressiveRangeResult> result =
+      [&]() -> Result<core::ProgressiveRangeResult> {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    if (on_shard_locked) on_shard_locked();
+    return shard->system.QueryRangeProgressive(LocalId(id), channel,
+                                               first_frame, last_frame,
+                                               observer);
+  }();
+  if (result.ok()) {
+    if (query_count_ != nullptr) query_count_->Increment();
+    if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
+    if (blocks_read_ != nullptr && !result->steps.empty()) {
+      blocks_read_->Increment(result->steps.back().blocks_read);
+    }
+  }
+  return result;
+}
+
 std::vector<core::SessionInfo> ShardedCatalog::ListSessions() const {
   std::vector<core::SessionInfo> out;
   for (const auto& shard : shards_) {

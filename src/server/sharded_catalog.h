@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -78,6 +79,18 @@ class ShardedCatalog {
   Result<core::RangeStatistics> QueryRange(GlobalSessionId id, size_t channel,
                                            size_t first_frame,
                                            size_t last_frame) const;
+
+  /// \brief Progressive range query under the shard's shared lock.
+  /// \p observer runs after every block I/O (still under the lock — keep it
+  /// cheap) and may stop the evaluation early; stopping releases the
+  /// shard's read lock as soon as the current block completes, which is
+  /// what makes scheduler-level cancellation prompt. \p on_shard_locked
+  /// (optional) fires once the shared lock has been acquired, so callers
+  /// can separate lock-wait time from evaluation time in traces.
+  Result<core::ProgressiveRangeResult> QueryRangeProgressive(
+      GlobalSessionId id, size_t channel, size_t first_frame,
+      size_t last_frame, const core::ProgressiveObserver& observer = {},
+      const std::function<void()>& on_shard_locked = {}) const;
 
   /// All sessions across all shards (shard order, then local order).
   std::vector<core::SessionInfo> ListSessions() const;

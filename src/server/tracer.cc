@@ -1,0 +1,103 @@
+#include "server/tracer.h"
+
+#include <cstdio>
+
+namespace aims::server {
+
+namespace {
+
+/// JSON string escaping for span names/labels (control chars, quote,
+/// backslash — the only things our labels can plausibly contain).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  std::string out = "{\"request_id\":" + std::to_string(request_id_) +
+                    ",\"label\":\"" + JsonEscape(label_) + "\",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(span.name) + "\",\"start_ms\":";
+    AppendDouble(&out, span.start_ms);
+    out += ",\"end_ms\":";
+    AppendDouble(&out, span.end_ms);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Record(Trace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<Trace> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Trace>(traces_.begin(), traces_.end());
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_ - traces_.size();
+}
+
+std::string Tracer::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"total_recorded\":" + std::to_string(total_recorded_) +
+                    ",\"dropped\":" +
+                    std::to_string(total_recorded_ - traces_.size()) +
+                    ",\"traces\":[";
+  bool first = true;
+  for (const Trace& trace : traces_) {
+    if (!first) out += ',';
+    first = false;
+    out += trace.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aims::server

@@ -204,24 +204,24 @@ TEST(AimsSystemTest, ProgressiveRangeQueryConvergesWithValidBounds) {
   size_t first = 20, last = rec.ValueOrDie().num_frames() - 20;
   auto exact = system.QueryRange(id.ValueOrDie(), channel, first, last);
   ASSERT_TRUE(exact.ok());
-  auto steps =
+  auto progressive =
       system.QueryRangeProgressive(id.ValueOrDie(), channel, first, last);
-  ASSERT_TRUE(steps.ok());
-  ASSERT_FALSE(steps.ValueOrDie().empty());
+  ASSERT_TRUE(progressive.ok());
+  const auto& steps = progressive.ValueOrDie().steps;
+  ASSERT_FALSE(steps.empty());
+  EXPECT_TRUE(progressive.ValueOrDie().complete);
+  EXPECT_EQ(progressive.ValueOrDie().total_blocks_needed, steps.size());
   // Bounds hold at every step; the last step is exact.
-  for (const ProgressiveRangeStep& step : steps.ValueOrDie()) {
+  for (const ProgressiveRangeStep& step : steps) {
     EXPECT_LE(std::fabs(step.sum_estimate - exact.ValueOrDie().sum),
               step.sum_error_bound +
                   1e-6 * std::max(1.0, std::fabs(exact.ValueOrDie().sum)));
   }
-  EXPECT_NEAR(steps.ValueOrDie().back().sum_estimate,
-              exact.ValueOrDie().sum,
+  EXPECT_NEAR(steps.back().sum_estimate, exact.ValueOrDie().sum,
               1e-6 * std::max(1.0, std::fabs(exact.ValueOrDie().sum)));
-  EXPECT_NEAR(steps.ValueOrDie().back().mean_estimate,
-              exact.ValueOrDie().mean, 1e-6);
+  EXPECT_NEAR(steps.back().mean_estimate, exact.ValueOrDie().mean, 1e-6);
   // Block count matches the non-progressive query's I/O.
-  EXPECT_EQ(steps.ValueOrDie().back().blocks_read,
-            exact.ValueOrDie().blocks_read);
+  EXPECT_EQ(steps.back().blocks_read, exact.ValueOrDie().blocks_read);
   // Validation.
   EXPECT_FALSE(system.QueryRangeProgressive(99, 0, 0, 5).ok());
   EXPECT_FALSE(
