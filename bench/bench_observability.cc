@@ -1,0 +1,249 @@
+// bench_observability — cost of the aims::obs instrumentation.
+//
+// The same mixed ingest + query + recognition workload is driven through
+// an AimsServer twice: once with metrics, tracing, and the StatsReporter
+// thread all enabled, and once with ObsConfig disabling metrics and
+// tracing so every service runs with null registry/tracer pointers. The
+// disk cost model is NOT in simulate_io_wait mode — with no artificial
+// waits the instrumentation cost is the only difference between the two
+// configurations, which is exactly what this bench measures.
+//
+// Each mode is timed best-of-kReps; the bench asserts the observed
+// overhead stays under kMaxOverheadPct. Results go to stdout as JSON
+// (progress notes to stderr). With an output directory argument the
+// instrumented run's Prometheus dump and Chrome trace JSON are written
+// there so CI can archive them:
+//
+//   bench_observability [output_dir]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/exporters.h"
+#include "obs/profile.h"
+#include "server/server.h"
+#include "synth/cyberglove.h"
+
+namespace aims {
+namespace {
+
+using streams::Recording;
+
+constexpr int kSchemaVersion = 1;
+
+constexpr size_t kClients = 4;
+constexpr size_t kIngestsPerClient = 3;
+constexpr size_t kQueriesPerIngest = 2;
+constexpr size_t kStreamFrames = 96;
+constexpr size_t kSliceFrames = 128;
+constexpr int kReps = 3;
+constexpr double kMaxOverheadPct = 5.0;
+
+/// A \p len-frame window of \p rec starting at \p start.
+Recording Slice(const Recording& rec, size_t start, size_t len) {
+  Recording out;
+  out.sample_rate_hz = rec.sample_rate_hz;
+  for (size_t i = start; i < start + len && i < rec.num_frames(); ++i) {
+    out.frames.push_back(rec.frames[i]);
+  }
+  AIMS_CHECK(out.num_frames() >= 2);
+  return out;
+}
+
+struct Workload {
+  std::vector<std::vector<Recording>> ingests;  // per client
+  Recording stream;                             // shared live-frame source
+  std::vector<std::pair<std::string, linalg::Matrix>> vocabulary;
+};
+
+/// One workload, generated outside every timed region and reused by both
+/// configurations so the work is identical to the frame.
+Workload MakeWorkload() {
+  synth::CyberGloveSimulator glove(synth::DefaultAslVocabulary(), 23);
+  synth::SubjectProfile subject = glove.MakeSubject();
+  auto sequence =
+      glove.GenerateSequence({0, 1, 2, 3, 4, 5}, subject, 0.3, nullptr);
+  AIMS_CHECK(sequence.ok());
+  const Recording& source = sequence.ValueOrDie();
+
+  Workload work;
+  work.ingests.resize(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t i = 0; i < kIngestsPerClient; ++i) {
+      size_t start = ((c * kIngestsPerClient + i) * kSliceFrames) %
+                     (source.num_frames() - kSliceFrames);
+      work.ingests[c].push_back(Slice(source, start, kSliceFrames));
+    }
+  }
+  work.stream = Slice(source, 0, kStreamFrames);
+
+  for (size_t s = 0; s < 4; ++s) {
+    auto sign = glove.GenerateSign(s, subject);
+    AIMS_CHECK(sign.ok());
+    const Recording& rec = sign.ValueOrDie();
+    linalg::Matrix segment(rec.num_frames(), rec.num_channels());
+    for (size_t r = 0; r < rec.num_frames(); ++r) {
+      segment.SetRow(r, rec.frames[r].values);
+    }
+    work.vocabulary.emplace_back(synth::DefaultAslVocabulary()[s].name,
+                                 std::move(segment));
+  }
+  return work;
+}
+
+server::ServerConfig MakeConfig(bool observability) {
+  server::ServerConfig config;
+  config.num_shards = kClients;
+  config.num_threads = kClients;
+  // No simulated I/O wait: the workload is pure CPU, so the delta between
+  // the two modes is the instrumentation itself.
+  config.system.disk_cost.simulate_io_wait = false;
+  config.obs.enable_metrics = observability;
+  config.obs.enable_tracing = observability;
+  if (observability) {
+    // Run the reporter thread at a service-like cadence so its snapshot
+    // cost lands inside the timed region.
+    config.obs.reporter_interval_ms = 10.0;
+    config.obs.reporter.saturation_gauge = "ingest.queue_depth";
+    config.obs.reporter.saturation_capacity =
+        static_cast<double>(config.admission.queue_capacity);
+  }
+  return config;
+}
+
+struct ModeResult {
+  double best_seconds = 0.0;
+  double ops_per_sec = 0.0;
+  size_t ops = 0;
+  size_t traces_recorded = 0;
+  size_t traces_dropped = 0;
+};
+
+/// Drives the full workload through \p srv with one thread per client.
+size_t RunWorkload(server::AimsServer& srv, const Workload& work) {
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &srv, &work] {
+      server::ClientId client = c;
+      AIMS_CHECK(srv.OpenSession({client, /*enable_recognition=*/true}).ok());
+      for (const Recording& rec : work.ingests[c]) {
+        auto stored = srv.IngestRecording({client, "bench", rec});
+        AIMS_CHECK(stored.ok());
+        for (size_t q = 0; q < kQueriesPerIngest; ++q) {
+          server::QueryRequest query;
+          query.session = stored->session;
+          query.channel = (c + q) % rec.num_channels();
+          query.first_frame = q * (rec.num_frames() / 2);
+          query.last_frame = rec.num_frames() - 1;
+          auto submitted = srv.SubmitQuery({client, query});
+          AIMS_CHECK(submitted.ok());
+          server::QueryOutcome outcome = submitted->ticket->Wait();
+          AIMS_CHECK(outcome.state == server::QueryState::kComplete);
+        }
+      }
+      AIMS_CHECK(srv.StreamSamples({client, work.stream.frames}).ok());
+      AIMS_CHECK(srv.CloseSession({client}).ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  return kClients * kIngestsPerClient * (1 + kQueriesPerIngest) + kClients;
+}
+
+/// Best-of-kReps timing of the workload under one ObsConfig mode. When
+/// \p export_dir is non-empty the last instrumented run's Prometheus and
+/// Chrome-trace dumps are written there.
+ModeResult RunMode(bool observability, const Workload& work,
+                   const std::string& export_dir) {
+  ModeResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    server::AimsServer srv(MakeConfig(observability));
+    for (const auto& [label, segment] : work.vocabulary) {
+      AIMS_CHECK(srv.AddVocabularyEntry(label, segment).ok());
+    }
+    auto start = std::chrono::steady_clock::now();
+    result.ops = RunWorkload(srv, work);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+    }
+    if (observability) {
+      result.traces_recorded = srv.tracer().total_recorded();
+      result.traces_dropped = srv.tracer().dropped();
+      if (!export_dir.empty() && rep == kReps - 1) {
+        std::ofstream prom(export_dir + "/observability_metrics.prom");
+        prom << obs::PrometheusExport(srv.metrics());
+        std::ofstream trace(export_dir + "/observability_trace.json");
+        trace << obs::ChromeTraceExport(srv.tracer());
+        AIMS_CHECK(prom.good() && trace.good());
+        std::fprintf(stderr,
+                     "bench_observability: wrote %s/observability_metrics.prom"
+                     " and %s/observability_trace.json\n",
+                     export_dir.c_str(), export_dir.c_str());
+      }
+    }
+    srv.Shutdown();
+  }
+  result.ops_per_sec = static_cast<double>(result.ops) / result.best_seconds;
+  return result;
+}
+
+}  // namespace
+}  // namespace aims
+
+int main(int argc, char** argv) {
+  const std::string export_dir = argc > 1 ? argv[1] : "";
+
+  std::fprintf(stderr, "bench_observability: generating workload...\n");
+  aims::Workload work = aims::MakeWorkload();
+
+  // Warm-up: touch every code path once (allocator, page cache, lazily
+  // built tables) so neither timed mode pays first-run costs.
+  std::fprintf(stderr, "bench_observability: warm-up...\n");
+  aims::RunMode(/*observability=*/false, work, "");
+
+  std::fprintf(stderr, "bench_observability: observability OFF (%d reps)...\n",
+               aims::kReps);
+  aims::ModeResult off = aims::RunMode(false, work, "");
+  std::fprintf(stderr, "bench_observability: observability ON (%d reps)...\n",
+               aims::kReps);
+  aims::ModeResult on = aims::RunMode(true, work, export_dir);
+
+  double overhead_pct =
+      (on.best_seconds - off.best_seconds) / off.best_seconds * 100.0;
+
+  std::printf("{\n  \"bench\": \"bench_observability\",\n");
+  std::printf("  \"schema_version\": %d,\n", aims::kSchemaVersion);
+  std::printf(
+      "  \"config\": {\"clients\": %zu, \"ingests_per_client\": %zu, "
+      "\"queries_per_ingest\": %zu, \"stream_frames\": %zu, "
+      "\"slice_frames\": %zu, \"reps\": %d},\n",
+      aims::kClients, aims::kIngestsPerClient, aims::kQueriesPerIngest,
+      aims::kStreamFrames, aims::kSliceFrames, aims::kReps);
+  std::printf("  \"profile_compiled_in\": %s,\n",
+              aims::obs::Profiler::CompiledIn() ? "true" : "false");
+  std::printf(
+      "  \"off\": {\"best_seconds\": %.4f, \"ops\": %zu, "
+      "\"ops_per_sec\": %.2f},\n",
+      off.best_seconds, off.ops, off.ops_per_sec);
+  std::printf(
+      "  \"on\": {\"best_seconds\": %.4f, \"ops\": %zu, "
+      "\"ops_per_sec\": %.2f, \"traces_recorded\": %zu, "
+      "\"traces_dropped\": %zu},\n",
+      on.best_seconds, on.ops, on.ops_per_sec, on.traces_recorded,
+      on.traces_dropped);
+  std::printf("  \"overhead_pct\": %.2f,\n", overhead_pct);
+  std::printf("  \"overhead_limit_pct\": %.1f\n}\n", aims::kMaxOverheadPct);
+
+  // The contract this bench exists to enforce: full observability (metrics
+  // + tracing + reporter thread) costs less than kMaxOverheadPct of
+  // wall-clock on a CPU-bound mixed workload.
+  AIMS_CHECK(overhead_pct < aims::kMaxOverheadPct);
+  return 0;
+}

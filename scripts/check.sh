@@ -7,6 +7,9 @@
 #   scripts/check.sh                 # plain build + ctest
 #   AIMS_SANITIZE=thread scripts/check.sh   # TSan build (own build dir)
 #   AIMS_SANITIZE=address scripts/check.sh  # ASan build (own build dir)
+#   AIMS_BENCH_SMOKE=1 scripts/check.sh     # also run the server/obs bench
+#                                           # smoke (artifacts in
+#                                           # ${BUILD_DIR}/bench-artifacts)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,3 +25,14 @@ fi
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
+  ARTIFACT_DIR="${BUILD_DIR}/bench-artifacts"
+  mkdir -p "${ARTIFACT_DIR}"
+  echo "== bench smoke: bench_server =="
+  "./${BUILD_DIR}/bench/bench_server" > "${ARTIFACT_DIR}/bench_server.json"
+  echo "== bench smoke: bench_observability =="
+  "./${BUILD_DIR}/bench/bench_observability" "${ARTIFACT_DIR}" \
+    > "${ARTIFACT_DIR}/bench_observability.json"
+  echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
+fi

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "obs/profile.h"
 #include "signal/dwt.h"
 #include "signal/lazy_wavelet.h"
 #include "signal/polynomial.h"
@@ -22,7 +23,8 @@ AimsSystem::AimsSystem(AimsConfig config)
       measure_(/*rank=*/0) {}
 
 Result<SessionId> AimsSystem::IngestRecording(
-    const std::string& name, const streams::Recording& recording) {
+    const std::string& name, const streams::Recording& recording,
+    obs::Trace* trace) {
   if (recording.num_frames() < 2) {
     return Status::InvalidArgument("IngestRecording: too few frames");
   }
@@ -58,6 +60,8 @@ Result<SessionId> AimsSystem::IngestRecording(
 
     // Multi-basis transformation report: which DWPT basis the cost
     // functional would pick for this channel (Sec. 3.1.1).
+    size_t transform_span = 0;
+    if (trace != nullptr) transform_span = trace->BeginSpan("transform");
     AIMS_ASSIGN_OR_RETURN(
         signal::WaveletPacketTree tree,
         signal::WaveletPacketTree::Build(filter_, padded_channel,
@@ -69,12 +73,16 @@ Result<SessionId> AimsSystem::IngestRecording(
     // error-tree tiling.
     AIMS_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                           signal::ForwardDwt(filter_, padded_channel));
+    if (trace != nullptr) trace->EndSpan(transform_span);
+    size_t write_span = 0;
+    if (trace != nullptr) write_span = trace->BeginSpan("block_write");
     stored.store = std::make_unique<storage::WaveletStore>(
         device_.get(),
         std::make_unique<storage::SubtreeTilingAllocator>(padded, block_items),
         padded);
     for (double v : coeffs) stored.energy += v * v;
     AIMS_RETURN_NOT_OK(stored.store->Put(coeffs));
+    if (trace != nullptr) trace->EndSpan(write_span);
     session.channels.push_back(std::move(stored));
   }
   sessions_.push_back(std::move(session));
@@ -166,6 +174,7 @@ Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
 Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
     SessionId id, size_t channel, size_t first_frame, size_t last_frame,
     const ProgressiveObserver& observer) const {
+  AIMS_PROFILE_SCOPE("core.query_progressive");
   if (id >= sessions_.size()) {
     return Status::NotFound("QueryRangeProgressive: unknown session id");
   }

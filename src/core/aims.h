@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/tracer.h"
 #include "propolyne/evaluator.h"
 #include "recognition/isolator.h"
 #include "recognition/vocabulary.h"
@@ -117,8 +118,12 @@ class AimsSystem {
 
   /// \brief Ingests a multi-channel recording: per-channel mean-centering,
   /// DWT, best-basis report, and block placement on the shared device.
+  /// \p trace (optional) gains one "transform" and one "block_write" span
+  /// per channel, nesting under whatever span the caller has open — the
+  /// storage half of an end-to-end ingest trace.
   Result<SessionId> IngestRecording(const std::string& name,
-                                    const streams::Recording& recording);
+                                    const streams::Recording& recording,
+                                    obs::Trace* trace = nullptr);
 
   /// Catalog lookup.
   Result<SessionInfo> GetSession(SessionId id) const;

@@ -1,0 +1,131 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_util.h"
+
+namespace aims::obs {
+
+namespace {
+
+/// Shortest round-ish representation: trailing-zero-free %.6f keeps the
+/// golden files readable and stable ("2.5", not "2.500000").
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last -= 1;  // "2." -> "2"
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const Histogram& h) {
+  *out += "# TYPE " + name + " histogram\n";
+  uint64_t cumulative = 0;
+  const std::vector<double>& bounds = h.upper_bounds();
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    cumulative += h.bucket_count(i);
+    std::string le =
+        i < bounds.size() ? FormatDouble(bounds[i]) : std::string("+Inf");
+    *out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+            "\n";
+  }
+  *out += name + "_sum " + FormatDouble(h.sum()) + "\n";
+  *out += name + "_count " + std::to_string(h.count()) + "\n";
+  // Companion quantile gauges: Prometheus histograms carry no quantiles of
+  // their own, and AIMS dashboards want p50/p95/p99 without a query layer.
+  *out += "# TYPE " + name + "_quantile gauge\n";
+  for (double q : {0.5, 0.95, 0.99}) {
+    *out += name + "_quantile{quantile=\"" + FormatDouble(q) + "\"} " +
+            FormatDouble(h.ApproxQuantile(q)) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "aims_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusExport(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.Counters()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.Gauges()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(g->value()) + "\n";
+    out += "# TYPE " + prom + "_max gauge\n";
+    out += prom + "_max " + std::to_string(g->max()) + "\n";
+  }
+  for (const auto& [name, h] : registry.Histograms()) {
+    AppendHistogram(&out, PrometheusName(name), *h);
+  }
+  return out;
+}
+
+std::string ChromeTraceExport(const Tracer& tracer) {
+  std::vector<Trace> traces = tracer.Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  if (traces.empty()) {
+    out += "]}";
+    return out;
+  }
+  // One absolute timeline: offsets are measured from the earliest retained
+  // trace's epoch, so concurrent requests overlap the way they really did.
+  auto base = traces.front().epoch();
+  for (const Trace& trace : traces) base = std::min(base, trace.epoch());
+
+  bool first = true;
+  char buf[64];
+  auto append_event = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += event;
+  };
+  for (const Trace& trace : traces) {
+    const double trace_offset_us =
+        std::chrono::duration<double, std::micro>(trace.epoch() - base).count();
+    std::string label = trace.label().empty()
+                            ? "request " + std::to_string(trace.request_id())
+                            : trace.label();
+    append_event("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                 std::to_string(trace.request_id()) +
+                 ",\"args\":{\"name\":\"" + JsonEscape(label) + "\"}}");
+    for (const TraceSpan& span : trace.spans()) {
+      double ts_us = trace_offset_us + span.start_ms * 1000.0;
+      double dur_us = std::max(span.end_ms - span.start_ms, 0.0) * 1000.0;
+      std::string event = "{\"name\":\"" + JsonEscape(span.name) +
+                          "\",\"cat\":\"aims\",\"ph\":\"X\",\"ts\":";
+      std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+      event += buf;
+      event += ",\"dur\":";
+      std::snprintf(buf, sizeof(buf), "%.3f", dur_us);
+      event += buf;
+      event += ",\"pid\":1,\"tid\":" + std::to_string(trace.request_id()) +
+               ",\"args\":{\"span_id\":" + std::to_string(span.id) +
+               ",\"parent_id\":" + std::to_string(span.parent_id) +
+               ",\"request_id\":" + std::to_string(trace.request_id()) + "}}";
+      append_event(event);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aims::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+/// \file exporters.h
+/// \brief Standard-format exporters over the obs primitives, so AIMS dumps
+/// plug into existing tooling instead of needing bespoke parsers:
+///
+///   * PrometheusExport — the Prometheus text exposition format for a
+///     MetricsRegistry: counters, gauges (level + high-water mark),
+///     histograms as cumulative `_bucket{le=...}` series with `_sum` /
+///     `_count`, plus companion `_quantile{quantile=...}` gauges carrying
+///     p50/p95/p99 interpolated from the fixed buckets, since AIMS
+///     histograms are bucketed, not sampled.
+///   * ChromeTraceExport — Chrome `trace_event` JSON ("X" complete events)
+///     from a Tracer, loadable directly in Perfetto / chrome://tracing.
+///     Each request becomes its own named track (tid = request id) and
+///     span nesting follows the parent/child ids recorded in the trace.
+
+namespace aims::obs {
+
+/// \brief Prometheus text exposition of every registered metric, in the
+/// registry's stable name-sorted order. Metric names are sanitized
+/// (non-alphanumeric -> '_') and prefixed "aims_".
+std::string PrometheusExport(const MetricsRegistry& registry);
+
+/// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
+/// "aims_scheduler_exec_ms". Exposed for tests and dashboards.
+std::string PrometheusName(const std::string& name);
+
+/// \brief Chrome trace_event JSON for every trace the tracer retains:
+/// {"displayTimeUnit":"ms","traceEvents":[...]}. Timestamps are in
+/// microseconds relative to the earliest retained trace, so concurrent
+/// requests line up on one absolute timeline. Each span becomes a complete
+/// ("ph":"X") event with its span id/parent id in "args"; each request
+/// gets a thread-name metadata event carrying the trace label.
+std::string ChromeTraceExport(const Tracer& tracer);
+
+}  // namespace aims::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+/// \file json_util.h
+/// \brief Tiny JSON emission helpers shared by the tracer and the
+/// exporters. Not a JSON library — just string escaping and fixed-point
+/// number formatting for the hand-rolled dumps.
+
+namespace aims::obs {
+
+/// JSON string escaping for span names/labels (control chars, quote,
+/// backslash — the only things our labels can plausibly contain).
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Appends \p v with three decimals (the tracer's millisecond precision).
+inline void AppendJsonDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace aims::obs

@@ -1,4 +1,4 @@
-#include "server/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -6,7 +6,7 @@
 
 #include "common/macros.h"
 
-namespace aims::server {
+namespace aims::obs {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
@@ -55,6 +55,12 @@ double Histogram::ApproxQuantile(double p) const {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket->store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -83,29 +89,81 @@ std::vector<double> MetricsRegistry::DefaultLatencyBoundsMs() {
   return bounds;
 }
 
+std::vector<double> MetricsRegistry::DefaultProfileBoundsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.001; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<std::pair<std::string, Counter*>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Gauge*>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram*>> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
 std::string MetricsRegistry::DumpText() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ostringstream out;
+  // One globally name-sorted list across kinds: counters, gauges, and
+  // histograms interleave by name, so the dump order is a stable function
+  // of the metric names alone.
+  std::map<std::string, std::string> lines;
   char line[256];
   for (const auto& [name, c] : counters_) {
     std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(c->value()));
-    out << line;
+    lines["c:" + name] = line;
   }
   for (const auto& [name, g] : gauges_) {
     std::snprintf(line, sizeof(line), "gauge %s %lld max %lld\n", name.c_str(),
                   static_cast<long long>(g->value()),
                   static_cast<long long>(g->max()));
-    out << line;
+    lines["g:" + name] = line;
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(line, sizeof(line),
                   "histogram %s count %llu mean %.3f p50 %.3f p99 %.3f\n",
                   name.c_str(), static_cast<unsigned long long>(h->count()),
                   h->mean(), h->ApproxQuantile(0.5), h->ApproxQuantile(0.99));
-    out << line;
+    lines["h:" + name] = line;
   }
+  std::ostringstream out;
+  // Sort by bare name first, kind tag second, so a counter and a gauge that
+  // share a name still dump adjacently and deterministically.
+  std::vector<std::pair<std::string, const std::string*>> ordered;
+  ordered.reserve(lines.size());
+  for (const auto& [key, text] : lines) {
+    ordered.emplace_back(key.substr(2) + "\x01" + key.substr(0, 1), &text);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [key, text] : ordered) out << *text;
   return out.str();
 }
 
-}  // namespace aims::server
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace aims::obs

@@ -1,0 +1,12 @@
+#include "obs/profile.h"
+
+namespace aims::obs {
+
+Profiler& Profiler::Global() {
+  // Leaked on purpose: kernels may record during static destruction of
+  // other objects, so the profiler must outlive everything.
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+}  // namespace aims::obs

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file profile.h
+/// \brief Compile-time-optional profiling hooks for the hot kernels (DWT
+/// transform, ProPolyne block evaluation, weighted-SVD update, ...).
+///
+/// Usage in a kernel:
+///
+///   void HotFunction() {
+///     AIMS_PROFILE_SCOPE("signal.forward_dwt");
+///     ...
+///   }
+///
+/// Built with -DAIMS_PROFILE (CMake option AIMS_PROFILE=ON) the macro
+/// opens a scoped timer that records the elapsed milliseconds into a
+/// per-stage histogram of the process-wide Profiler registry; built
+/// without it the macro expands to nothing, so the default build carries
+/// zero cost — not even a branch — in the kernels.
+///
+/// The per-stage histograms live in their own MetricsRegistry (kernels run
+/// below the server layer and know nothing about servers); dump them with
+/// Profiler::Global().DumpText() or export them via PrometheusExport on
+/// Profiler::Global().registry().
+
+namespace aims::obs {
+
+/// \brief Process-wide directory of per-stage profiling histograms.
+///
+/// Stage() resolution takes the registry mutex; hot code should resolve
+/// once (function-local static) and Record lock-free thereafter — which is
+/// exactly what AIMS_PROFILE_SCOPE does.
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// Per-stage histogram (sub-millisecond buckets), registered on first
+  /// use; the returned pointer stays valid for the process lifetime.
+  Histogram* Stage(const std::string& name) {
+    return registry_.GetHistogram(name,
+                                  MetricsRegistry::DefaultProfileBoundsMs());
+  }
+
+  const MetricsRegistry& registry() const { return registry_; }
+  MetricsRegistry& registry() { return registry_; }
+
+  /// True when the binary was built with -DAIMS_PROFILE; lets benches and
+  /// tests report which mode they measured.
+  static constexpr bool CompiledIn() {
+#ifdef AIMS_PROFILE
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Plain-text dump of every stage histogram (empty without stages).
+  std::string DumpText() const { return registry_.DumpText(); }
+
+  /// Test/bench-only: zeroes every stage histogram between phases.
+  void Reset() { registry_.Reset(); }
+
+ private:
+  Profiler() = default;
+  MetricsRegistry registry_;
+};
+
+/// \brief RAII stage timer: records scope-exit minus construction, in
+/// milliseconds, into \p stage. Use through AIMS_PROFILE_SCOPE so the
+/// default build compiles the timer out entirely.
+class ProfileScope {
+ public:
+  explicit ProfileScope(Histogram* stage)
+      : stage_(stage), start_(std::chrono::steady_clock::now()) {}
+  ~ProfileScope() {
+    stage_->Record(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Histogram* stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aims::obs
+
+#ifdef AIMS_PROFILE
+#define AIMS_PROFILE_CONCAT_INNER(a, b) a##b
+#define AIMS_PROFILE_CONCAT(a, b) AIMS_PROFILE_CONCAT_INNER(a, b)
+/// Times the enclosing scope into the named per-stage histogram. The stage
+/// is resolved once per call site (function-local static), so steady state
+/// is two clock reads plus three relaxed atomic adds.
+#define AIMS_PROFILE_SCOPE(stage_name)                                       \
+  static ::aims::obs::Histogram* AIMS_PROFILE_CONCAT(aims_profile_stage_,    \
+                                                     __LINE__) =             \
+      ::aims::obs::Profiler::Global().Stage(stage_name);                     \
+  ::aims::obs::ProfileScope AIMS_PROFILE_CONCAT(aims_profile_scope_,         \
+                                                __LINE__)(                   \
+      AIMS_PROFILE_CONCAT(aims_profile_stage_, __LINE__))
+#else
+#define AIMS_PROFILE_SCOPE(stage_name) \
+  do {                                 \
+  } while (false)
+#endif

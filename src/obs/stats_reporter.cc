@@ -1,0 +1,155 @@
+#include "obs/stats_reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace aims::obs {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+}  // namespace
+
+const char* HealthLevelName(HealthLevel level) {
+  switch (level) {
+    case HealthLevel::kOk:
+      return "Ok";
+    case HealthLevel::kDegraded:
+      return "Degraded";
+    case HealthLevel::kSaturated:
+      return "Saturated";
+  }
+  return "Unknown";
+}
+
+StatsReporter::StatsReporter(const MetricsRegistry* registry,
+                             StatsReporterConfig config)
+    : registry_(registry),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      prev_time_(epoch_) {
+  AIMS_CHECK(registry_ != nullptr);
+  if (config_.interval_ms <= 0.0) config_.interval_ms = 1000.0;
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    to_join = std::move(thread_);
+    running_ = false;
+  }
+  wake_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool StatsReporter::running() const {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  return running_;
+}
+
+void StatsReporter::Loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.interval_ms));
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_requested_) {
+    // Interruptible interval wait: Stop() returns within one wakeup.
+    if (wake_cv_.wait_for(lock, interval, [&] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    SnapshotNow();
+    lock.lock();
+  }
+}
+
+HealthSnapshot StatsReporter::SnapshotNow() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  latest_ = ComputeLocked();
+  return latest_;
+}
+
+HealthSnapshot StatsReporter::Latest() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (latest_.sequence == 0) latest_ = ComputeLocked();
+  return latest_;
+}
+
+HealthSnapshot StatsReporter::ComputeLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  HealthSnapshot snap;
+  snap.sequence = ++sequence_;
+  snap.uptime_ms = MsSince(epoch_, now);
+  snap.window_ms = MsSince(prev_time_, now);
+
+  // Counter rates: unsigned wrap-around subtraction keeps deltas correct
+  // across a 2^64 wrap; the first snapshot reports rate 0.
+  const double window_s = snap.window_ms / 1000.0;
+  for (const auto& [name, counter] : registry_->Counters()) {
+    CounterRate rate;
+    rate.value = counter->value();
+    auto it = prev_counters_.find(name);
+    if (it != prev_counters_.end() && window_s > 0.0) {
+      rate.per_sec = static_cast<double>(rate.value - it->second) / window_s;
+    }
+    prev_counters_[name] = rate.value;
+    snap.rates[name] = rate;
+  }
+  prev_time_ = now;
+
+  char reason[160];
+  if (config_.saturation_capacity > 0.0) {
+    for (const auto& [name, gauge] : registry_->Gauges()) {
+      if (name != config_.saturation_gauge) continue;
+      snap.queue_saturation = static_cast<double>(gauge->value()) /
+                              config_.saturation_capacity;
+      if (snap.queue_saturation >= 0.75) {
+        std::snprintf(reason, sizeof(reason), "%s at %.0f%% of capacity",
+                      name.c_str(), snap.queue_saturation * 100.0);
+        snap.reasons.push_back(reason);
+        snap.level = snap.queue_saturation >= 1.0 ? HealthLevel::kSaturated
+                                                  : HealthLevel::kDegraded;
+      }
+      break;
+    }
+  }
+  if (config_.p99_target_ms > 0.0) {
+    for (const auto& [name, hist] : registry_->Histograms()) {
+      if (name != config_.latency_histogram) continue;
+      snap.p99_ms = hist->ApproxQuantile(0.99);
+      if (snap.p99_ms > config_.p99_target_ms) {
+        std::snprintf(reason, sizeof(reason),
+                      "%s p99 %.1f ms over target %.1f ms", name.c_str(),
+                      snap.p99_ms, config_.p99_target_ms);
+        snap.reasons.push_back(reason);
+        HealthLevel level = snap.p99_ms > 2.0 * config_.p99_target_ms
+                                ? HealthLevel::kSaturated
+                                : HealthLevel::kDegraded;
+        snap.level = std::max(snap.level, level);
+      }
+      break;
+    }
+  }
+  return snap;
+}
+
+}  // namespace aims::obs

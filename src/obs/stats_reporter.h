@@ -1,0 +1,137 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file stats_reporter.h
+/// \brief Periodic introspection over a MetricsRegistry: a background
+/// thread snapshots the registry on an interval, turns monotonic counters
+/// into rates (delta / elapsed, wrap-safe), and derives a single health
+/// signal — is the ingest queue saturating, is query p99 over target — the
+/// way Aurora's QoS monitor reduces per-operator statistics to "are we
+/// meeting the service contract". The latest snapshot is served lock-cheap
+/// to the typed API's GetHealth and to dashboards.
+
+namespace aims::obs {
+
+/// \brief What the reporter watches and the targets it judges against.
+struct StatsReporterConfig {
+  /// Snapshot cadence of the background thread (Start()); also the rate
+  /// window. Snapshots on demand (SnapshotNow) work regardless.
+  double interval_ms = 1000.0;
+  /// Histogram whose p99 is compared against the target (ignored when the
+  /// histogram is not registered or the target is 0).
+  std::string latency_histogram = "scheduler.exec_ms";
+  /// Degraded when p99 exceeds this; saturated when it exceeds twice this.
+  /// 0 disables the latency check.
+  double p99_target_ms = 0.0;
+  /// Gauge read as a queue depth for the saturation ratio (ignored when
+  /// not registered or capacity is 0).
+  std::string saturation_gauge = "ingest.queue_depth";
+  /// Capacity the gauge is divided by. Degraded at >= 75% of capacity,
+  /// saturated at >= 100%. 0 disables the saturation check.
+  double saturation_capacity = 0.0;
+};
+
+/// \brief Overall judgement of one snapshot.
+enum class HealthLevel {
+  kOk,         ///< All watched signals within target.
+  kDegraded,   ///< A signal is past its soft threshold.
+  kSaturated,  ///< A signal is at/over capacity (or 2x the latency target).
+};
+
+/// \brief Human-readable level name ("Ok" / "Degraded" / "Saturated").
+const char* HealthLevelName(HealthLevel level);
+
+/// \brief Value and rate of one counter at snapshot time.
+struct CounterRate {
+  uint64_t value = 0;
+  /// Delta per second since the previous snapshot (0 on the first).
+  double per_sec = 0.0;
+};
+
+/// \brief One periodic (or on-demand) evaluation of the registry.
+struct HealthSnapshot {
+  /// 1-based snapshot sequence number; 0 means "no snapshot yet".
+  uint64_t sequence = 0;
+  /// Milliseconds since the reporter was constructed.
+  double uptime_ms = 0.0;
+  /// Actual window this snapshot's rates are computed over.
+  double window_ms = 0.0;
+  HealthLevel level = HealthLevel::kOk;
+  /// One entry per threshold breach, e.g. "queue at 112% of capacity".
+  std::vector<std::string> reasons;
+  /// saturation_gauge value / saturation_capacity (0 when disabled).
+  double queue_saturation = 0.0;
+  /// p99 of latency_histogram in ms (0 when disabled/unregistered).
+  double p99_ms = 0.0;
+  /// Every registered counter with its per-second rate over the window.
+  std::map<std::string, CounterRate> rates;
+};
+
+/// \brief Background snapshot thread + on-demand evaluation.
+///
+/// Thread-safe. Start() is optional: without it the reporter is a pure
+/// on-demand evaluator (SnapshotNow). Stop()/destructor join the thread
+/// promptly (the interval wait is interruptible).
+class StatsReporter {
+ public:
+  /// \param registry watched registry (not owned, must outlive this).
+  explicit StatsReporter(const MetricsRegistry* registry,
+                         StatsReporterConfig config = {});
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// \brief Spawns the periodic thread (idempotent).
+  void Start();
+
+  /// \brief Stops and joins the periodic thread (idempotent).
+  void Stop();
+
+  /// \brief Evaluates the registry right now, updates Latest(), and
+  /// returns the fresh snapshot. Safe to call concurrently with the
+  /// background thread.
+  HealthSnapshot SnapshotNow();
+
+  /// \brief Most recent snapshot; computes one first when none exists yet
+  /// (so callers never see an empty sequence-0 report once they ask).
+  HealthSnapshot Latest();
+
+  bool running() const;
+  const StatsReporterConfig& config() const { return config_; }
+
+ private:
+  void Loop();
+  /// Computes a snapshot from current registry state; caller must hold
+  /// snapshot_mutex_ (rate bookkeeping is not concurrent-safe).
+  HealthSnapshot ComputeLocked();
+
+  const MetricsRegistry* registry_;
+  StatsReporterConfig config_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  /// Serializes snapshot computation and guards latest_ + rate history.
+  mutable std::mutex snapshot_mutex_;
+  HealthSnapshot latest_;
+  uint64_t sequence_ = 0;
+  std::map<std::string, uint64_t> prev_counters_;
+  std::chrono::steady_clock::time_point prev_time_;
+
+  mutable std::mutex thread_mutex_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace aims::obs

@@ -1,0 +1,76 @@
+#include "obs/tracer.h"
+
+#include <cstdio>
+
+#include "obs/json_util.h"
+
+namespace aims::obs {
+
+std::string Trace::ToJson() const {
+  std::string out = "{\"request_id\":" + std::to_string(request_id_) +
+                    ",\"label\":\"" + JsonEscape(label_) + "\",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& span = spans_[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(span.name) +
+           "\",\"id\":" + std::to_string(span.id) +
+           ",\"parent_id\":" + std::to_string(span.parent_id) +
+           ",\"start_ms\":";
+    AppendJsonDouble(&out, span.start_ms);
+    out += ",\"end_ms\":";
+    AppendJsonDouble(&out, span.end_ms);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Record(Trace trace) {
+  trace.CloseOpenSpans();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) {
+    traces_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<Trace> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Trace>(traces_.begin(), traces_.end());
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  traces_.clear();
+  total_recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"total_recorded\":" + std::to_string(total_recorded_) +
+                    ",\"dropped\":" + std::to_string(dropped_) +
+                    ",\"traces\":[";
+  bool first = true;
+  for (const Trace& trace : traces_) {
+    if (!first) out += ',';
+    first = false;
+    out += trace.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aims::obs

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file tracer.h
+/// \brief Lightweight request tracing shared by every subsystem. Where the
+/// MetricsRegistry aggregates (how many queries, what p99), a Trace
+/// decomposes ONE request's latency into named spans — ingest admission,
+/// queue wait, shard lock, every block I/O, each recognizer update — so a
+/// slow request is explainable, not just countable. Spans carry parent/
+/// child ids, so one trace follows a request end-to-end through nested
+/// stages and exports as a correctly nested Chrome trace_event timeline
+/// (see obs/exporters.h). Traces are built lock-free by the worker that
+/// owns the request and handed to a bounded, thread-safe Tracer ring
+/// buffer that exports them as JSON next to the metrics dump.
+
+namespace aims::obs {
+
+/// \brief One named interval of a request's life, in milliseconds relative
+/// to the request's submission. Span ids are 1-based within their trace;
+/// parent_id 0 marks a root span.
+struct TraceSpan {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  double start_ms = 0.0;
+  /// Negative while the span is open; EndSpan/CloseOpenSpans stamps it.
+  double end_ms = -1.0;
+};
+
+/// \brief The span timeline of one request. Not thread-safe: a trace is
+/// mutated only by the thread currently driving its request.
+///
+/// Nesting is implicit: a span begun (or added) while another span is open
+/// becomes that span's child, so instrumentation at different layers —
+/// server, catalog, core — composes into one tree without any layer
+/// knowing about the others.
+class Trace {
+ public:
+  /// Starts the clock: all span times are relative to construction.
+  Trace() : epoch_(std::chrono::steady_clock::now()) {}
+  explicit Trace(uint64_t request_id) : Trace() { request_id_ = request_id; }
+
+  uint64_t request_id() const { return request_id_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Milliseconds since construction.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// \brief Opens a span starting now, child of the innermost open span;
+  /// returns its index for EndSpan.
+  size_t BeginSpan(std::string name) {
+    return BeginSpanAt(std::move(name), ElapsedMs());
+  }
+
+  /// \brief Opens a span with an explicit start — e.g. a root span that
+  /// covers the request from submission (start 0) even though the worker
+  /// opens it only at dispatch.
+  size_t BeginSpanAt(std::string name, double start_ms) {
+    spans_.push_back(TraceSpan{std::move(name), NextSpanId(), CurrentParent(),
+                               start_ms, -1.0});
+    open_stack_.push_back(spans_.size() - 1);
+    return spans_.size() - 1;
+  }
+
+  /// \brief Closes span \p index at the current time (idempotent).
+  void EndSpan(size_t index) {
+    if (index < spans_.size() && spans_[index].end_ms < 0.0) {
+      spans_[index].end_ms = ElapsedMs();
+      PopOpen(index);
+    }
+  }
+
+  /// \brief Records a closed span with explicit bounds (e.g. an interval
+  /// that started before the current thread picked the request up), child
+  /// of the innermost open span.
+  void AddSpan(std::string name, double start_ms, double end_ms) {
+    spans_.push_back(
+        TraceSpan{std::move(name), NextSpanId(), CurrentParent(), start_ms,
+                  end_ms});
+  }
+
+  /// \brief Records an instantaneous marker (start == end == now), child of
+  /// the innermost open span — e.g. "classification_event".
+  void AddMarker(std::string name) {
+    double now = ElapsedMs();
+    AddSpan(std::move(name), now, now);
+  }
+
+  /// \brief Stamps every still-open span with the current time; call
+  /// before publishing a trace whose request ended abnormally.
+  void CloseOpenSpans() {
+    for (TraceSpan& span : spans_) {
+      if (span.end_ms < 0.0) span.end_ms = ElapsedMs();
+    }
+    open_stack_.clear();
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// \brief One JSON object:
+  /// {"request_id":7,"label":"...","spans":[{"name":...,"id":...,
+  /// "parent_id":...,"start_ms":...,"end_ms":...},...]}.
+  std::string ToJson() const;
+
+ private:
+  uint64_t NextSpanId() { return static_cast<uint64_t>(spans_.size()) + 1; }
+  uint64_t CurrentParent() const {
+    return open_stack_.empty() ? 0 : spans_[open_stack_.back()].id;
+  }
+  void PopOpen(size_t index) {
+    for (size_t i = open_stack_.size(); i-- > 0;) {
+      if (open_stack_[i] == index) {
+        open_stack_.erase(open_stack_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  uint64_t request_id_ = 0;
+  std::string label_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+  /// Indices of open spans, outermost first: the implicit parent stack.
+  std::vector<size_t> open_stack_;
+};
+
+/// \brief Bounded, thread-safe ring buffer of finished traces. Keeps the
+/// most recent `capacity` traces; recording past capacity explicitly
+/// evicts the oldest trace and increments the dropped-trace counter, so
+/// tracing never grows without bound under sustained load and the loss is
+/// observable instead of silent.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// \brief Stores a finished trace (closing any still-open spans). When
+  /// the ring is full the oldest retained trace is evicted and counted in
+  /// dropped().
+  void Record(Trace trace);
+
+  /// \brief Server-wide request-id source, shared by every traced
+  /// subsystem so exported timelines never collide on id.
+  uint64_t NextRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Retained traces, oldest first.
+  std::vector<Trace> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+  /// Traces evicted by the ring buffer since construction (or Clear).
+  uint64_t dropped() const;
+
+  /// \brief Test/bench-only: forgets retained traces and zeroes the
+  /// recorded/dropped counters (the request-id source keeps advancing).
+  void Clear();
+
+  /// \brief {"total_recorded":N,"dropped":D,"traces":[...]} — the JSON
+  /// companion to MetricsRegistry::DumpText.
+  std::string DumpJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> next_request_id_{1};
+  mutable std::mutex mutex_;
+  std::deque<Trace> traces_;
+  uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace aims::obs

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "obs/profile.h"
 #include "storage/allocation.h"
 
 namespace aims::propolyne {
@@ -89,6 +90,7 @@ size_t BlockedCube::BlockOfFlat(size_t flat) const {
 Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
     const RangeSumQuery& query, BlockImportance importance,
     const BlockStepObserver& observer) const {
+  AIMS_PROFILE_SCOPE("propolyne.block_eval");
   AIMS_ASSIGN_OR_RETURN(auto product, evaluator_.ProductCoefficients(query));
 
   // Group the query coefficients by the block that stores their partner

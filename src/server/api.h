@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats_reporter.h"
 #include "recognition/isolator.h"
 #include "server/query_scheduler.h"
 #include "server/sharded_catalog.h"
@@ -72,6 +73,23 @@ struct StreamSamplesResponse {
   /// Motions recognized while consuming this batch, in stream order.
   std::vector<recognition::RecognitionEvent> events;
   size_t frames_pushed = 0;
+};
+
+/// \brief Asks the server how it is doing: counter rates, queue
+/// saturation, latency-vs-target — the StatsReporter's derived health
+/// signal (see obs/stats_reporter.h). Needs no open session: health is a
+/// property of the server, not of one tenant.
+struct GetHealthRequest {
+  /// Re-evaluate the registry right now instead of returning the
+  /// background thread's most recent periodic snapshot.
+  bool force_refresh = false;
+};
+
+struct GetHealthResponse {
+  obs::HealthSnapshot health;
+  /// Whether the periodic reporter thread is running (false means the
+  /// snapshot was computed on demand).
+  bool reporter_running = false;
 };
 
 /// \brief Closes the client's session (and recognition stream, if open).

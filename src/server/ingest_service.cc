@@ -9,8 +9,8 @@ namespace aims::server {
 
 IngestService::IngestService(ShardedCatalog* catalog, ThreadPool* pool,
                              IngestAdmissionPolicy policy,
-                             MetricsRegistry* metrics)
-    : catalog_(catalog), pool_(pool), policy_(policy) {
+                             MetricsRegistry* metrics, Tracer* tracer)
+    : catalog_(catalog), pool_(pool), policy_(policy), tracer_(tracer) {
   AIMS_CHECK(catalog_ != nullptr);
   AIMS_CHECK(pool_ != nullptr);
   AIMS_CHECK(policy_.queue_capacity >= 1);
@@ -57,6 +57,17 @@ Status IngestService::Submit(ClientId client, std::string name,
   item.recording = std::move(recording);
   item.on_done = std::move(on_done);
   item.enqueued = std::chrono::steady_clock::now();
+  if (tracer_ != nullptr) {
+    // The trace is born at admission; a rejected submission below simply
+    // drops it, so only admitted work is ever recorded.
+    Trace trace(tracer_->NextRequestId());
+    trace.set_label("ingest client=" + std::to_string(client) +
+                    " name=" + item.name);
+    trace.BeginSpan("ingest");  // Root span: closed when Record() stamps it.
+    trace.AddSpan("admission", 0.0, trace.ElapsedMs());
+    item.queue_span = trace.BeginSpan("queue_wait");
+    item.trace = std::move(trace);
+  }
   if (!state->queue.Produce(std::move(item))) {
     if (rejected_queue_ != nullptr) rejected_queue_->Increment();
     return Status::ResourceExhausted("IngestService: client queue full");
@@ -98,13 +109,21 @@ void IngestService::DrainClient(ClientState* state) {
 }
 
 void IngestService::ProcessItem(ClientState* state, PendingItem item) {
+  Trace* trace = item.trace.has_value() ? &*item.trace : nullptr;
+  if (trace != nullptr) trace->EndSpan(item.queue_span);
   Result<GlobalSessionId> result =
       Status::Internal("IngestService: no attempt ran");
   for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
-    if (attempt > 0 && retries_ != nullptr) retries_->Increment();
-    result = catalog_->Ingest(state->client, item.name, item.recording);
+    if (attempt > 0) {
+      if (retries_ != nullptr) retries_->Increment();
+      if (trace != nullptr) trace->AddMarker("retry");
+    }
+    result = catalog_->Ingest(state->client, item.name, item.recording, trace);
     // Only transient storage faults are worth another attempt.
     if (result.ok() || result.status().code() != StatusCode::kIoError) break;
+  }
+  if (trace != nullptr && tracer_ != nullptr) {
+    tracer_->Record(std::move(*item.trace));
   }
   if (result.ok()) {
     if (completed_ != nullptr) completed_->Increment();

@@ -11,8 +11,11 @@
 #include <string>
 #include <unordered_map>
 
+#include <optional>
+
 #include "common/status.h"
 #include "server/metrics.h"
+#include "server/tracer.h"
 #include "server/sharded_catalog.h"
 #include "server/thread_pool.h"
 #include "streams/double_buffer.h"
@@ -59,9 +62,14 @@ class IngestService {
   ///   completed / failed / retries (counters),
   ///   ingest.queue_depth (gauge with high-water mark),
   ///   ingest.e2e_latency_ms (submit-to-completion histogram).
+  /// \param tracer optional span sink (may be null). Every admitted
+  /// submission then carries a Trace — admission, queue_wait, shard_lock,
+  /// and the per-channel transform/block_write spans — recorded when the
+  /// ingest finishes.
   IngestService(ShardedCatalog* catalog, ThreadPool* pool,
                 IngestAdmissionPolicy policy = {},
-                MetricsRegistry* metrics = nullptr);
+                MetricsRegistry* metrics = nullptr,
+                Tracer* tracer = nullptr);
 
   /// Waits for every scheduled drain task to finish (the pool must still
   /// be running or already drained), so no worker can touch a destroyed
@@ -88,6 +96,10 @@ class IngestService {
     streams::Recording recording;
     Callback on_done;
     std::chrono::steady_clock::time_point enqueued;
+    /// End-to-end trace (engaged only when the service has a tracer).
+    std::optional<Trace> trace;
+    /// Index of the open "queue_wait" span inside *trace.
+    size_t queue_span = 0;
   };
 
   struct ClientState {
@@ -107,6 +119,7 @@ class IngestService {
   ShardedCatalog* catalog_;
   ThreadPool* pool_;
   IngestAdmissionPolicy policy_;
+  Tracer* tracer_;
 
   mutable std::shared_mutex clients_mutex_;
   std::unordered_map<ClientId, std::unique_ptr<ClientState>> clients_;

@@ -61,8 +61,13 @@ QueryScheduler::QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
 QueryScheduler::~QueryScheduler() { Drain(); }
 
 Result<QueryTicketPtr> QueryScheduler::Submit(QueryRequest request) {
-  QueryTicketPtr ticket(new QueryTicket(
-      next_id_.fetch_add(1, std::memory_order_relaxed), std::move(request)));
+  // With a tracer attached, ticket ids come from the server-wide request-id
+  // source, so a query's trace never collides with an ingest or stream
+  // trace in the exported timeline. Without one, ids are scheduler-local.
+  const uint64_t id = tracer_ != nullptr
+                          ? tracer_->NextRequestId()
+                          : next_id_.fetch_add(1, std::memory_order_relaxed);
+  QueryTicketPtr ticket(new QueryTicket(id, std::move(request)));
   const QueryRequest& req = ticket->request_;
   if (req.deadline_ms > 0.0) {
     ticket->deadline_ =
@@ -148,6 +153,9 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   outcome.dispatch_index =
       dispatch_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
+  // Root span covering the request from submission; every stage below
+  // nests under it, so the Chrome export shows one tree per query.
+  trace.BeginSpanAt("query", 0.0);
   const double admission_ms = trace.ElapsedMs();
   trace.AddSpan("admission_wait", 0.0, admission_ms);
   if (admission_wait_ms_ != nullptr) admission_wait_ms_->Record(admission_ms);

@@ -37,7 +37,8 @@ Status RecognitionService::OpenStream(ClientId client) {
 }
 
 Result<std::optional<recognition::RecognitionEvent>>
-RecognitionService::PushFrame(ClientId client, const streams::Frame& frame) {
+RecognitionService::PushFrame(ClientId client, const streams::Frame& frame,
+                              Trace* trace) {
   std::shared_ptr<ClientStream> stream;
   {
     std::shared_lock<std::shared_mutex> lock(streams_mutex_);
@@ -49,7 +50,15 @@ RecognitionService::PushFrame(ClientId client, const streams::Frame& frame) {
   }
   auto start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(stream->mutex);
+  size_t update_span = 0;
+  if (trace != nullptr) update_span = trace->BeginSpan("recognizer_update");
   auto result = stream->recognizer.Push(frame);
+  if (trace != nullptr) {
+    trace->EndSpan(update_span);
+    if (result.ok() && result->has_value()) {
+      trace->AddMarker("classification_event");
+    }
+  }
   if (frames_ != nullptr) frames_->Increment();
   if (frame_latency_ms_ != nullptr) {
     frame_latency_ms_->Record(std::chrono::duration<double, std::milli>(

@@ -13,6 +13,7 @@
 #include "recognition/vocabulary.h"
 #include "server/metrics.h"
 #include "server/sharded_catalog.h"
+#include "server/tracer.h"
 #include "streams/ring_buffer.h"
 #include "streams/sample.h"
 
@@ -48,9 +49,11 @@ class RecognitionService {
   /// \brief Feeds one live frame; returns an event when a motion was just
   /// isolated and recognized. Safe to call concurrently for different
   /// clients; calls for one client must come from one producer at a time
-  /// (they are serialized by the per-client lock regardless).
+  /// (they are serialized by the per-client lock regardless). \p trace
+  /// (optional) gains a "recognizer_update" span per frame plus a
+  /// "classification_event" marker whenever a motion is recognized.
   Result<std::optional<recognition::RecognitionEvent>> PushFrame(
-      ClientId client, const streams::Frame& frame);
+      ClientId client, const streams::Frame& frame, Trace* trace = nullptr);
 
   /// \brief Flushes and closes \p client's stream, returning the final
   /// event if the tail of the stream completed a motion.

@@ -9,19 +9,35 @@ namespace aims::server {
 
 AimsServer::AimsServer(ServerConfig config)
     : config_(config),
+      // Registry and tracer are always constructed (the accessors promise a
+      // valid reference); the enable flags only decide whether the services
+      // get a pointer, so disabling observability leaves the services'
+      // null-checks as the entire instrumentation cost.
       metrics_(std::make_unique<MetricsRegistry>()),
-      catalog_(std::make_unique<ShardedCatalog>(config.num_shards,
-                                                config.system, metrics_.get())),
+      tracer_(std::make_unique<Tracer>(config.obs.trace_capacity)),
+      catalog_(std::make_unique<ShardedCatalog>(
+          config.num_shards, config.system,
+          config.obs.enable_metrics ? metrics_.get() : nullptr)),
       pool_(std::make_unique<ThreadPool>(config.num_threads)),
-      ingest_(std::make_unique<IngestService>(catalog_.get(), pool_.get(),
-                                              config.admission,
-                                              metrics_.get())),
-      tracer_(std::make_unique<Tracer>(config.trace_capacity)),
+      ingest_(std::make_unique<IngestService>(
+          catalog_.get(), pool_.get(), config.admission,
+          config.obs.enable_metrics ? metrics_.get() : nullptr,
+          config.obs.enable_tracing ? tracer_.get() : nullptr)),
       scheduler_(std::make_unique<QueryScheduler>(
-          catalog_.get(), pool_.get(), config.scheduler, tracer_.get(),
-          metrics_.get())),
+          catalog_.get(), pool_.get(), config.scheduler,
+          config.obs.enable_tracing ? tracer_.get() : nullptr,
+          config.obs.enable_metrics ? metrics_.get() : nullptr)),
       recognition_(std::make_unique<RecognitionService>(
-          &vocabulary_, config.recognizer, metrics_.get())) {}
+          &vocabulary_, config.recognizer,
+          config.obs.enable_metrics ? metrics_.get() : nullptr)) {
+  obs::StatsReporterConfig reporter_config = config.obs.reporter;
+  if (config.obs.reporter_interval_ms > 0.0) {
+    reporter_config.interval_ms = config.obs.reporter_interval_ms;
+  }
+  reporter_ =
+      std::make_unique<obs::StatsReporter>(metrics_.get(), reporter_config);
+  if (config.obs.reporter_interval_ms > 0.0) reporter_->Start();
+}
 
 AimsServer::~AimsServer() { Shutdown(); }
 
@@ -123,12 +139,37 @@ Result<StreamSamplesResponse> AimsServer::StreamSamples(
     }
   }
   StreamSamplesResponse response;
-  for (const streams::Frame& frame : request.frames) {
-    AIMS_ASSIGN_OR_RETURN(auto event,
-                          recognition_->PushFrame(request.client, frame));
-    ++response.frames_pushed;
-    if (event.has_value()) response.events.push_back(std::move(*event));
+  // One trace per batch: a root span with one recognizer_update child per
+  // frame and a classification_event marker per recognized motion — the
+  // online-query counterpart of the scheduler's query traces.
+  std::optional<Trace> trace;
+  if (config_.obs.enable_tracing) {
+    trace.emplace(tracer_->NextRequestId());
+    trace->set_label("stream_samples client=" + std::to_string(request.client) +
+                     " frames=" + std::to_string(request.frames.size()));
+    trace->BeginSpan("stream_samples");
   }
+  Trace* trace_ptr = trace.has_value() ? &*trace : nullptr;
+  for (const streams::Frame& frame : request.frames) {
+    auto event = recognition_->PushFrame(request.client, frame, trace_ptr);
+    if (!event.ok()) {
+      // Record what the batch did up to the failing frame, then fail.
+      if (trace.has_value()) tracer_->Record(std::move(*trace));
+      return event.status();
+    }
+    ++response.frames_pushed;
+    if (event->has_value()) response.events.push_back(std::move(**event));
+  }
+  if (trace.has_value()) tracer_->Record(std::move(*trace));
+  return response;
+}
+
+Result<GetHealthResponse> AimsServer::GetHealth(
+    const GetHealthRequest& request) {
+  GetHealthResponse response;
+  response.health =
+      request.force_refresh ? reporter_->SnapshotNow() : reporter_->Latest();
+  response.reporter_running = reporter_->running();
   return response;
 }
 
@@ -158,6 +199,9 @@ void AimsServer::Shutdown() {
   // Order matters: admitted ingests and queries must finish while the pool
   // is still running; only then may the workers be joined. Services and
   // catalog are destroyed after the pool, so in-flight tasks never dangle.
+  // The reporter goes first so its thread never reads the registry while
+  // the rest of the teardown is in flight.
+  reporter_->Stop();
   ingest_->Drain();
   scheduler_->Drain();
   pool_->Shutdown();

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/stats_reporter.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
 #include "server/ingest_service.h"
@@ -40,6 +41,26 @@
 
 namespace aims::server {
 
+/// \brief Observability wiring of one server instance.
+struct ObsConfig {
+  /// Record counters/gauges/histograms. Off, every service runs with a
+  /// null registry — the instrumentation reduces to null-pointer checks
+  /// (the "off" side of bench_observability).
+  bool enable_metrics = true;
+  /// Build per-request span traces. Off, every service runs with a null
+  /// tracer and requests carry no trace.
+  bool enable_tracing = true;
+  /// Finished request traces retained for inspection (oldest evicted and
+  /// counted in Tracer::dropped()).
+  size_t trace_capacity = 512;
+  /// What the StatsReporter watches (latency histogram, saturation gauge,
+  /// targets) — see obs/stats_reporter.h.
+  obs::StatsReporterConfig reporter;
+  /// > 0 starts the periodic reporter thread on this cadence (overriding
+  /// reporter.interval_ms); 0 leaves health evaluation on-demand only.
+  double reporter_interval_ms = 0.0;
+};
+
 /// \brief Server-wide configuration.
 struct ServerConfig {
   /// Catalog shards; throughput scales with min(shards, cores) for
@@ -56,8 +77,8 @@ struct ServerConfig {
   SchedulerConfig scheduler;
   /// Recognizer tuning applied to every client stream.
   recognition::StreamRecognizerConfig recognizer;
-  /// Finished request traces retained for inspection (oldest dropped).
-  size_t trace_capacity = 512;
+  /// Metrics/tracing/health wiring.
+  ObsConfig obs;
 };
 
 /// \brief The integrated service runtime.
@@ -100,6 +121,11 @@ class AimsServer {
   /// The client's stored recordings remain queryable by other sessions.
   Result<CloseSessionResponse> CloseSession(const CloseSessionRequest& request);
 
+  /// \brief Reports the derived health signal (counter rates, queue
+  /// saturation, p99 vs. target). Needs no open session. Never fails; the
+  /// Result envelope is for uniformity with the rest of the API.
+  Result<GetHealthResponse> GetHealth(const GetHealthRequest& request);
+
   // ---- Raw subsystem accessors: test/bench instrumentation only. ----
   // Application code goes through the typed API above; these exist so
   // tests and benches can reach into shard devices, metrics, and queues.
@@ -110,6 +136,7 @@ class AimsServer {
   RecognitionService& recognition() { return *recognition_; }
   MetricsRegistry& metrics() { return *metrics_; }
   Tracer& tracer() { return *tracer_; }
+  obs::StatsReporter& reporter() { return *reporter_; }
   ThreadPool& pool() { return *pool_; }
   const ServerConfig& config() const { return config_; }
 
@@ -124,13 +151,14 @@ class AimsServer {
 
   ServerConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<ShardedCatalog> catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<IngestService> ingest_;
-  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<QueryScheduler> scheduler_;
   recognition::Vocabulary vocabulary_;
   std::unique_ptr<RecognitionService> recognition_;
+  std::unique_ptr<obs::StatsReporter> reporter_;
 
   mutable std::mutex sessions_mutex_;
   std::unordered_map<ClientId, SessionState> sessions_;

@@ -38,14 +38,18 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
 
 Result<GlobalSessionId> ShardedCatalog::Ingest(
     ClientId client, const std::string& name,
-    const streams::Recording& recording) {
+    const streams::Recording& recording, obs::Trace* trace) {
   size_t shard_index = ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
   core::SessionId local;
   {
+    size_t lock_span = 0;
+    if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    AIMS_ASSIGN_OR_RETURN(local, shard.system.IngestRecording(name, recording));
+    if (trace != nullptr) trace->EndSpan(lock_span);
+    AIMS_ASSIGN_OR_RETURN(
+        local, shard.system.IngestRecording(name, recording, trace));
   }
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));

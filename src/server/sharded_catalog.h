@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/aims.h"
+#include "obs/tracer.h"
 #include "server/metrics.h"
 
 /// \file sharded_catalog.h
@@ -67,9 +68,12 @@ class ShardedCatalog {
 
   // ---- Write path (exclusive lock on one shard) -------------------------
 
-  /// \brief Ingests a recording into \p client's shard.
+  /// \brief Ingests a recording into \p client's shard. \p trace
+  /// (optional) gains a "shard_lock" span covering the exclusive-lock wait
+  /// plus the per-channel transform/write spans recorded by the system.
   Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
-                                 const streams::Recording& recording);
+                                 const streams::Recording& recording,
+                                 obs::Trace* trace = nullptr);
 
   // ---- Read path (shared lock on one shard) -----------------------------
 

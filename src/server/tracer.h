@@ -1,116 +1,17 @@
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <deque>
-#include <mutex>
-#include <string>
-#include <vector>
+#include "obs/tracer.h"
 
 /// \file tracer.h
-/// \brief Lightweight request tracing for the service runtime. Where the
-/// MetricsRegistry aggregates (how many queries, what p99), a Trace
-/// decomposes ONE request's latency into named spans — admission wait,
-/// shard-lock wait, every block I/O, the refinement loop — so a slow
-/// request is explainable, not just countable. Traces are built lock-free
-/// by the worker that owns the request and handed to a bounded, thread-safe
-/// Tracer that exports them as JSON next to the metrics dump.
+/// \brief Compatibility shim: request tracing moved to the
+/// subsystem-neutral aims::obs layer (obs/tracer.h) so ingest, query, and
+/// recognition paths all record into one span model. Server code and its
+/// tests keep using the aims::server names unchanged.
 
 namespace aims::server {
 
-/// \brief One named interval of a request's life, in milliseconds relative
-/// to the request's submission.
-struct TraceSpan {
-  std::string name;
-  double start_ms = 0.0;
-  /// Negative while the span is open; EndSpan/CloseOpenSpans stamps it.
-  double end_ms = -1.0;
-};
-
-/// \brief The span timeline of one request. Not thread-safe: a trace is
-/// mutated only by the thread currently driving its request.
-class Trace {
- public:
-  /// Starts the clock: all span times are relative to construction.
-  Trace() : epoch_(std::chrono::steady_clock::now()) {}
-  explicit Trace(uint64_t request_id) : Trace() { request_id_ = request_id; }
-
-  uint64_t request_id() const { return request_id_; }
-  void set_label(std::string label) { label_ = std::move(label); }
-  const std::string& label() const { return label_; }
-
-  /// Milliseconds since construction.
-  double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
-  }
-
-  /// \brief Opens a span starting now; returns its index for EndSpan.
-  size_t BeginSpan(std::string name) {
-    spans_.push_back(TraceSpan{std::move(name), ElapsedMs(), -1.0});
-    return spans_.size() - 1;
-  }
-
-  /// \brief Closes span \p index at the current time (idempotent).
-  void EndSpan(size_t index) {
-    if (index < spans_.size() && spans_[index].end_ms < 0.0) {
-      spans_[index].end_ms = ElapsedMs();
-    }
-  }
-
-  /// \brief Records a span with explicit bounds (e.g. an interval that
-  /// started before the current thread picked the request up).
-  void AddSpan(std::string name, double start_ms, double end_ms) {
-    spans_.push_back(TraceSpan{std::move(name), start_ms, end_ms});
-  }
-
-  /// \brief Stamps every still-open span with the current time; call
-  /// before publishing a trace whose request ended abnormally.
-  void CloseOpenSpans() {
-    for (TraceSpan& span : spans_) {
-      if (span.end_ms < 0.0) span.end_ms = ElapsedMs();
-    }
-  }
-
-  const std::vector<TraceSpan>& spans() const { return spans_; }
-
-  /// \brief One JSON object:
-  /// {"request_id":7,"label":"...","spans":[{"name":...,"start_ms":...,
-  /// "end_ms":...},...]}.
-  std::string ToJson() const;
-
- private:
-  uint64_t request_id_ = 0;
-  std::string label_;
-  std::chrono::steady_clock::time_point epoch_;
-  std::vector<TraceSpan> spans_;
-};
-
-/// \brief Bounded, thread-safe collection of finished traces. Keeps the
-/// most recent `capacity` traces; older ones are dropped (and counted), so
-/// tracing never grows without bound under sustained load.
-class Tracer {
- public:
-  explicit Tracer(size_t capacity = 512) : capacity_(capacity) {}
-
-  void Record(Trace trace);
-
-  /// Retained traces, oldest first.
-  std::vector<Trace> Snapshot() const;
-
-  uint64_t total_recorded() const;
-  uint64_t dropped() const;
-
-  /// \brief {"total_recorded":N,"dropped":D,"traces":[...]} — the JSON
-  /// companion to MetricsRegistry::DumpText.
-  std::string DumpJson() const;
-
- private:
-  const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Trace> traces_;
-  uint64_t total_recorded_ = 0;
-};
+using obs::Trace;
+using obs::Tracer;
+using obs::TraceSpan;
 
 }  // namespace aims::server

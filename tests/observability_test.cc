@@ -1,0 +1,684 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/stats_reporter.h"
+#include "obs/tracer.h"
+#include "server/server.h"
+
+/// \file observability_test.cc
+/// \brief The aims::obs contracts: the Prometheus export matches its golden
+/// file byte for byte and exposes interpolated quantiles for every
+/// registered histogram; the Chrome trace export is syntactically valid
+/// trace_event JSON with correctly nested complete events; the tracer ring
+/// buffer evicts oldest-first and counts its drops; one SubmitQuery, one
+/// IngestRecording, and one StreamSamples each produce exactly one
+/// end-to-end trace whose spans nest under a single root; and the
+/// StatsReporter derives rates and health levels from the registry, both on
+/// demand and from its background thread (run with -DAIMS_SANITIZE=thread
+/// to check the reporter against live traffic).
+
+namespace aims::obs {
+namespace {
+
+// ---- Minimal JSON syntax checker ------------------------------------------
+// The exporters hand-build JSON; this recursive-descent validator rejects
+// unbalanced braces, bad escapes, and malformed numbers without needing a
+// JSON library in the image.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+const TraceSpan* FindSpan(const Trace& trace, const std::string& name) {
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+size_t CountSpans(const Trace& trace, const std::string& name) {
+  size_t count = 0;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistryTest, DumpTextIsNameSortedAcrossKinds) {
+  MetricsRegistry registry;
+  // Register deliberately out of name order and across kinds.
+  registry.GetHistogram("zeta.lat", {1.0, 2.0})->Record(0.5);
+  registry.GetCounter("beta.count")->Increment(2);
+  registry.GetGauge("alpha.depth")->AddTracked(3);
+  registry.GetCounter("alpha.count")->Increment();
+
+  std::string dump = registry.DumpText();
+  size_t a_count = dump.find("counter alpha.count 1");
+  size_t a_depth = dump.find("gauge alpha.depth 3 max 3");
+  size_t b_count = dump.find("counter beta.count 2");
+  size_t z_lat = dump.find("histogram zeta.lat");
+  ASSERT_NE(a_count, std::string::npos);
+  ASSERT_NE(a_depth, std::string::npos);
+  ASSERT_NE(b_count, std::string::npos);
+  ASSERT_NE(z_lat, std::string::npos);
+  // One global name-sorted order, regardless of metric kind.
+  EXPECT_LT(a_count, a_depth);
+  EXPECT_LT(a_depth, b_count);
+  EXPECT_LT(b_count, z_lat);
+  // Stable: a second dump is identical.
+  EXPECT_EQ(dump, registry.DumpText());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  c->Increment(5);
+  g->AddTracked(7);
+  h->Record(0.5);
+
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(g->max(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0.0);
+  // The registered objects survive a Reset: old pointers keep recording.
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 1u);
+}
+
+// ---- Prometheus export ----------------------------------------------------
+
+TEST(PrometheusExportTest, MatchesGoldenFile) {
+  MetricsRegistry registry;
+  registry.GetCounter("demo.requests")->Increment(42);
+  Gauge* depth = registry.GetGauge("demo.queue_depth");
+  depth->AddTracked(3);
+  depth->AddTracked(2);
+  depth->AddTracked(-1);
+  Histogram* latency =
+      registry.GetHistogram("demo.latency_ms", {1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 1.5, 3.0, 6.0, 20.0}) latency->Record(v);
+
+  std::ifstream golden(std::string(AIMS_TEST_DATA_DIR) +
+                       "/prometheus_golden.txt");
+  ASSERT_TRUE(golden.good()) << "missing tests/testdata/prometheus_golden.txt";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(PrometheusExport(registry), expected.str());
+}
+
+TEST(PrometheusExportTest, NameSanitization) {
+  EXPECT_EQ(PrometheusName("scheduler.exec_ms"), "aims_scheduler_exec_ms");
+  EXPECT_EQ(PrometheusName("a-b c/d"), "aims_a_b_c_d");
+}
+
+TEST(PrometheusExportTest, EveryRegisteredHistogramExposesQuantiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("one.ms", MetricsRegistry::DefaultLatencyBoundsMs())
+      ->Record(1.0);
+  registry.GetHistogram("two.ms", MetricsRegistry::DefaultProfileBoundsMs());
+
+  std::string out = PrometheusExport(registry);
+  for (const auto& [name, hist] : registry.Histograms()) {
+    (void)hist;
+    std::string prom = PrometheusName(name);
+    for (const char* q : {"0.5", "0.95", "0.99"}) {
+      EXPECT_NE(out.find(prom + "_quantile{quantile=\"" + q + "\"} "),
+                std::string::npos)
+          << prom << " lacks p" << q;
+    }
+    EXPECT_NE(out.find(prom + "_bucket{le=\"+Inf\"} "), std::string::npos);
+    EXPECT_NE(out.find(prom + "_sum "), std::string::npos);
+    EXPECT_NE(out.find(prom + "_count "), std::string::npos);
+  }
+}
+
+TEST(PrometheusExportTest, QuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", {10.0, 20.0});
+  // 100 observations spread evenly through the (10, 20] bucket: p50 should
+  // interpolate to the middle of the bucket, not snap to an edge.
+  for (int i = 0; i < 100; ++i) h->Record(15.0);
+  double p50 = h->ApproxQuantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 20.0);
+}
+
+// ---- Chrome trace export --------------------------------------------------
+
+TEST(ChromeTraceExportTest, EmitsValidJsonWithCompleteEvents) {
+  Tracer tracer(8);
+  Trace trace(tracer.NextRequestId());
+  trace.set_label("test \"quoted\" request");
+  size_t root = trace.BeginSpan("root");
+  size_t child = trace.BeginSpan("child");
+  trace.AddMarker("marker");
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+  tracer.Record(std::move(trace));
+
+  std::string json = ChromeTraceExport(tracer);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  // One complete ("X") event per span, one metadata ("M") event per trace.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"M\""), 1u);
+  // Every complete event carries ts / dur / pid / tid and the span ids.
+  EXPECT_EQ(CountOccurrences(json, "\"ts\":"), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"dur\":"), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"span_id\":"), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"parent_id\":"), 3u);
+  // The label survives JSON escaping.
+  EXPECT_NE(json.find("test \\\"quoted\\\" request"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, EmptyTracerExportsEmptyEventList) {
+  Tracer tracer(4);
+  std::string json = ChromeTraceExport(tracer);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+// ---- Trace nesting + tracer ring buffer -----------------------------------
+
+TEST(TraceTest, ImplicitParentStackNestsSpans) {
+  Trace trace(1);
+  size_t root = trace.BeginSpan("root");
+  size_t child = trace.BeginSpan("child");
+  trace.AddMarker("leaf");
+  trace.EndSpan(child);
+  trace.AddSpan("sibling", 0.0, 0.1);
+  trace.EndSpan(root);
+
+  const std::vector<TraceSpan>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0u);  // root
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].parent_id, spans[1].id);  // child was open
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent_id, spans[0].id);  // child had closed
+  for (const TraceSpan& span : spans) EXPECT_GE(span.end_ms, span.start_ms);
+}
+
+TEST(TracerTest, RingBufferEvictsOldestAndCountsDrops) {
+  Tracer tracer(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    Trace trace(i);
+    trace.BeginSpan("work");
+    tracer.Record(std::move(trace));
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  std::vector<Trace> retained = tracer.Snapshot();
+  ASSERT_EQ(retained.size(), 4u);
+  // Oldest evicted first: ids 7..10 survive, oldest first.
+  for (size_t i = 0; i < retained.size(); ++i) {
+    EXPECT_EQ(retained[i].request_id(), 7u + i);
+  }
+  // Record() closed the open span before storing.
+  EXPECT_GE(retained[0].spans()[0].end_ms, 0.0);
+
+  std::string json = tracer.DumpJson();
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.Snapshot().size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// ---- End-to-end traces through the server ---------------------------------
+
+streams::Recording MakeRecording(size_t frames, size_t channels) {
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] = std::sin(0.1 * static_cast<double>(f * (c + 1)));
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+TEST(EndToEndTraceTest, IngestProducesOneNestedTrace) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+
+  constexpr size_t kChannels = 2;
+  auto response = server.IngestRecording({1, "rec", MakeRecording(64, kChannels)});
+  ASSERT_TRUE(response.ok());
+
+  std::vector<Trace> traces = server.tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 1u) << "one ingest -> exactly one trace";
+  const Trace& trace = traces[0];
+  EXPECT_NE(trace.label().find("ingest"), std::string::npos);
+
+  const TraceSpan* root = FindSpan(trace, "ingest");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  // The full pipeline, every stage nested under the root: admission ->
+  // queue -> shard lock -> per-channel transform + block write.
+  for (const char* stage : {"admission", "queue_wait", "shard_lock"}) {
+    const TraceSpan* span = FindSpan(trace, stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->parent_id, root->id) << stage;
+  }
+  EXPECT_EQ(CountSpans(trace, "transform"), kChannels);
+  EXPECT_EQ(CountSpans(trace, "block_write"), kChannels);
+  for (const TraceSpan& span : trace.spans()) {
+    EXPECT_GE(span.end_ms, span.start_ms) << span.name;
+  }
+
+  // The export of the real trace is valid Chrome trace_event JSON.
+  std::string json = ChromeTraceExport(server.tracer());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(EndToEndTraceTest, QueryProducesOneNestedTrace) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  config.system.block_size_bytes = 64;  // many blocks -> many block_io spans
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  server::QueryRequest query;
+  query.session = ingest->session;
+  query.channel = 0;
+  query.first_frame = 7;
+  query.last_frame = 246;  // ragged range -> multi-step progressive query
+  auto submitted = server.SubmitQuery({1, query});
+  ASSERT_TRUE(submitted.ok());
+  server::QueryOutcome outcome = submitted->ticket->Wait();
+  ASSERT_EQ(outcome.state, server::QueryState::kComplete);
+  ASSERT_GT(outcome.answer.blocks_read, 1u);
+
+  const Trace& trace = outcome.trace;
+  EXPECT_EQ(trace.request_id(), submitted->ticket->id());
+  const TraceSpan* root = FindSpan(trace, "query");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(root->start_ms, 0.0);  // covers the request from submission
+
+  const TraceSpan* refinement = FindSpan(trace, "refinement");
+  ASSERT_NE(refinement, nullptr);
+  for (const char* stage : {"admission_wait", "shard_lock", "refinement"}) {
+    const TraceSpan* span = FindSpan(trace, stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->parent_id, root->id) << stage;
+  }
+  EXPECT_EQ(CountSpans(trace, "block_io"), outcome.answer.blocks_read);
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "block_io") {
+      EXPECT_EQ(span.parent_id, refinement->id);
+    }
+  }
+
+  // Ingest trace + query trace share the server-wide id source: distinct.
+  std::vector<Trace> traces = server.tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_NE(traces[0].request_id(), traces[1].request_id());
+}
+
+TEST(EndToEndTraceTest, StreamSamplesProducesOneNestedTrace) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  server::AimsServer server(config);
+
+  constexpr size_t kChannels = 2;
+  linalg::Matrix segment(8, kChannels);
+  for (size_t r = 0; r < 8; ++r) {
+    segment.SetRow(r, {static_cast<double>(r), 1.0});
+  }
+  ASSERT_TRUE(server.AddVocabularyEntry("wave", segment).ok());
+  ASSERT_TRUE(server.OpenSession({5, /*enable_recognition=*/true}).ok());
+
+  constexpr size_t kFrames = 6;
+  server::StreamSamplesRequest request;
+  request.client = 5;
+  for (size_t f = 0; f < kFrames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values = {12.0 * std::sin(0.3 * static_cast<double>(f)), 1.0};
+    request.frames.push_back(std::move(frame));
+  }
+  auto response = server.StreamSamples(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->frames_pushed, kFrames);
+
+  std::vector<Trace> traces = server.tracer().Snapshot();
+  ASSERT_EQ(traces.size(), 1u) << "one batch -> exactly one trace";
+  const Trace& trace = traces[0];
+  EXPECT_NE(trace.label().find("stream_samples"), std::string::npos);
+  const TraceSpan* root = FindSpan(trace, "stream_samples");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(CountSpans(trace, "recognizer_update"), kFrames);
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "recognizer_update") {
+      EXPECT_EQ(span.parent_id, root->id);
+    }
+  }
+  ASSERT_TRUE(server.CloseSession({5}).ok());
+}
+
+TEST(ObsConfigTest, DisablingObservabilityLeavesServicesWorking) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  config.obs.enable_metrics = false;
+  config.obs.enable_tracing = false;
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(32, 1)});
+  ASSERT_TRUE(ingest.ok());
+  server::QueryRequest query;
+  query.session = ingest->session;
+  query.last_frame = 31;
+  auto submitted = server.SubmitQuery({1, query});
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(submitted->ticket->Wait().state, server::QueryState::kComplete);
+  // Nothing was recorded anywhere.
+  EXPECT_EQ(server.tracer().Snapshot().size(), 0u);
+  EXPECT_EQ(server.metrics().DumpText(), "");
+  // Health still answers (on-demand evaluation over the empty registry).
+  auto health = server.GetHealth({});
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->health.level, HealthLevel::kOk);
+}
+
+// ---- StatsReporter --------------------------------------------------------
+
+TEST(StatsReporterTest, CounterRatesOverTheWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("work.done");
+  c->Increment(10);
+
+  StatsReporter reporter(&registry, {});
+  HealthSnapshot first = reporter.SnapshotNow();
+  EXPECT_EQ(first.sequence, 1u);
+  ASSERT_EQ(first.rates.count("work.done"), 1u);
+  EXPECT_EQ(first.rates.at("work.done").value, 10u);
+  EXPECT_EQ(first.rates.at("work.done").per_sec, 0.0);  // no prior window
+
+  c->Increment(40);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  HealthSnapshot second = reporter.SnapshotNow();
+  EXPECT_EQ(second.sequence, 2u);
+  EXPECT_EQ(second.rates.at("work.done").value, 50u);
+  EXPECT_GT(second.rates.at("work.done").per_sec, 0.0);
+  EXPECT_GT(second.window_ms, 0.0);
+  EXPECT_GE(second.uptime_ms, second.window_ms);
+}
+
+TEST(StatsReporterTest, HealthLevelsFromSaturationAndLatency) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("ingest.queue_depth");
+  Histogram* lat = registry.GetHistogram(
+      "scheduler.exec_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+
+  StatsReporterConfig config;
+  config.p99_target_ms = 1.0;
+  config.saturation_capacity = 4.0;
+  StatsReporter reporter(&registry, config);
+
+  EXPECT_EQ(reporter.SnapshotNow().level, HealthLevel::kOk);
+
+  depth->Set(3);  // 75% of capacity -> degraded
+  HealthSnapshot degraded = reporter.SnapshotNow();
+  EXPECT_EQ(degraded.level, HealthLevel::kDegraded);
+  EXPECT_NEAR(degraded.queue_saturation, 0.75, 1e-9);
+  ASSERT_FALSE(degraded.reasons.empty());
+  EXPECT_NE(degraded.reasons[0].find("capacity"), std::string::npos);
+
+  depth->Set(5);  // over capacity -> saturated
+  EXPECT_EQ(reporter.SnapshotNow().level, HealthLevel::kSaturated);
+
+  depth->Set(0);
+  for (int i = 0; i < 100; ++i) lat->Record(1.6);  // p99 ~1.6x target
+  HealthSnapshot slow = reporter.SnapshotNow();
+  EXPECT_EQ(slow.level, HealthLevel::kDegraded);
+  EXPECT_GT(slow.p99_ms, config.p99_target_ms);
+
+  for (int i = 0; i < 400; ++i) lat->Record(3.0);  // p99 > 2x target
+  EXPECT_EQ(reporter.SnapshotNow().level, HealthLevel::kSaturated);
+
+  EXPECT_STREQ(HealthLevelName(HealthLevel::kOk), "Ok");
+  EXPECT_STREQ(HealthLevelName(HealthLevel::kDegraded), "Degraded");
+  EXPECT_STREQ(HealthLevelName(HealthLevel::kSaturated), "Saturated");
+}
+
+TEST(StatsReporterTest, BackgroundThreadPublishesSnapshots) {
+  MetricsRegistry registry;
+  registry.GetCounter("tick")->Increment();
+  StatsReporterConfig config;
+  config.interval_ms = 2.0;
+  StatsReporter reporter(&registry, config);
+  EXPECT_FALSE(reporter.running());
+  reporter.Start();
+  EXPECT_TRUE(reporter.running());
+
+  // Wait (bounded) for at least two periodic snapshots.
+  for (int i = 0; i < 500 && reporter.Latest().sequence < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(reporter.Latest().sequence, 3u);
+  reporter.Stop();
+  EXPECT_FALSE(reporter.running());
+  reporter.Stop();  // idempotent
+  uint64_t at_stop = reporter.Latest().sequence;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(reporter.Latest().sequence, at_stop);  // thread really stopped
+}
+
+TEST(StatsReporterTest, LatestComputesOnDemandWhenNoThreadRan) {
+  MetricsRegistry registry;
+  StatsReporter reporter(&registry, {});
+  HealthSnapshot snap = reporter.Latest();
+  EXPECT_EQ(snap.sequence, 1u);  // never an empty sequence-0 report
+}
+
+TEST(AimsServerFacadeTest, GetHealthReportsThroughTypedApi) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  config.obs.reporter_interval_ms = 5.0;
+  config.obs.reporter.saturation_capacity =
+      static_cast<double>(config.admission.queue_capacity);
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+
+  // Traffic while the reporter thread snapshots concurrently (TSan food).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.IngestRecording({1, "rec", MakeRecording(64, 1)}).ok());
+  }
+  auto health = server.GetHealth({/*force_refresh=*/true});
+  ASSERT_TRUE(health.ok());
+  EXPECT_GE(health->health.sequence, 1u);
+  EXPECT_TRUE(health->reporter_running);
+  EXPECT_EQ(health->health.level, HealthLevel::kOk);
+  ASSERT_EQ(health->health.rates.count("ingest.completed"), 1u);
+  EXPECT_EQ(health->health.rates.at("ingest.completed").value, 4u);
+
+  server.Shutdown();
+  auto after = server.GetHealth({});
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->reporter_running);
+}
+
+// ---- Profiler -------------------------------------------------------------
+
+TEST(ProfilerTest, StageHistogramsRecordWhenCompiledIn) {
+  Profiler& profiler = Profiler::Global();
+  profiler.Reset();
+  {
+    AIMS_PROFILE_SCOPE("test.stage");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  if (Profiler::CompiledIn()) {
+    auto hists = profiler.registry().Histograms();
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(hists[0].first, "test.stage");
+    EXPECT_EQ(hists[0].second->count(), 1u);
+  } else {
+    // Compiled out: the macro left no registration behind.
+    EXPECT_EQ(profiler.registry().Histograms().size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aims::obs
