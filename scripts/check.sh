@@ -34,5 +34,8 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke: bench_observability =="
   "./${BUILD_DIR}/bench/bench_observability" "${ARTIFACT_DIR}" \
     > "${ARTIFACT_DIR}/bench_observability.json"
+  echo "== bench smoke: bench_query_cost (asserts ledger overhead < 2%) =="
+  "./${BUILD_DIR}/bench/bench_query_cost" "${ARTIFACT_DIR}" \
+    > "${ARTIFACT_DIR}/bench_query_cost.txt"
   echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
 fi

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <set>
 
 #include "common/macros.h"
+#include "obs/json_util.h"
 #include "obs/profile.h"
 #include "signal/dwt.h"
 #include "signal/lazy_wavelet.h"
@@ -127,6 +129,133 @@ Result<std::vector<double>> AimsSystem::ReadChannel(SessionId id,
   return out;
 }
 
+namespace {
+
+/// One block of a query's refinement schedule with the coefficients it
+/// carries — the unit both the planner and the evaluator work in.
+struct ScheduledBlock {
+  size_t block = 0;
+  std::vector<std::pair<size_t, double>> coefficients;
+  double query_energy = 0.0;
+};
+
+/// \brief Groups the query coefficients by the block holding their stored
+/// partner and orders the blocks by decreasing query energy (the
+/// "importance function" of Sec. 3.2.1), ties broken by block index so
+/// the schedule — and therefore EXPLAIN vs. ANALYZE reconciliation — is
+/// fully deterministic. Shared by PlanRangeQuery (no I/O) and
+/// QueryRangeProgressive (fetches in exactly this order).
+std::vector<ScheduledBlock> BuildBlockSchedule(
+    const storage::WaveletStore& store,
+    const signal::SparseCoefficients& query) {
+  std::map<size_t, ScheduledBlock> per_block;
+  for (const auto& [idx, q] : query.entries) {
+    std::vector<size_t> blocks = store.BlocksFor({idx});
+    AIMS_CHECK(blocks.size() == 1);
+    ScheduledBlock& work = per_block[blocks[0]];
+    work.block = blocks[0];
+    work.coefficients.emplace_back(idx, q);
+    work.query_energy += q * q;
+  }
+  std::vector<ScheduledBlock> order;
+  order.reserve(per_block.size());
+  for (auto& [block, work] : per_block) order.push_back(std::move(work));
+  std::sort(order.begin(), order.end(),
+            [](const ScheduledBlock& a, const ScheduledBlock& b) {
+              if (a.query_energy != b.query_energy) {
+                return a.query_energy > b.query_energy;
+              }
+              return a.block < b.block;
+            });
+  return order;
+}
+
+/// Wavelet level of one DWT coefficient index: 0 is the approximation
+/// root, level k >= 1 spans indices [2^(k-1), 2^k) — the error-tree depth,
+/// finer as k grows.
+size_t WaveletLevelOf(size_t index) {
+  size_t level = 0;
+  while (index >> level) ++level;
+  return level;
+}
+
+}  // namespace
+
+std::string QueryPlan::ToJson() const {
+  std::string out = "{\"session\":" + std::to_string(session) +
+                    ",\"channel\":" + std::to_string(channel) +
+                    ",\"first_frame\":" + std::to_string(first_frame) +
+                    ",\"last_frame\":" + std::to_string(last_frame) +
+                    ",\"padded_len\":" + std::to_string(padded_len) +
+                    ",\"num_query_coefficients\":" +
+                    std::to_string(num_query_coefficients) +
+                    ",\"wavelet_levels\":[";
+  for (size_t i = 0; i < wavelet_levels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(wavelet_levels[i]);
+  }
+  out += "],\"predicted_blocks\":" + std::to_string(predicted_blocks) +
+         ",\"block_size_bytes\":" + std::to_string(block_size_bytes) +
+         ",\"predicted_io_ms\":" + obs::TrimmedDouble(predicted_io_ms) +
+         ",\"schedule\":[";
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const QueryPlanBlockFetch& fetch = schedule[i];
+    if (i > 0) out += ',';
+    out += "{\"block\":" + std::to_string(fetch.logical_block) +
+           ",\"coefficients\":" + std::to_string(fetch.num_coefficients) +
+           ",\"query_energy\":" + obs::TrimmedDouble(fetch.query_energy) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Result<QueryPlan> AimsSystem::PlanRangeQuery(SessionId id, size_t channel,
+                                             size_t first_frame,
+                                             size_t last_frame) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("PlanRangeQuery: unknown session id");
+  }
+  const StoredSession& session = sessions_[id];
+  if (channel >= session.channels.size()) {
+    return Status::OutOfRange("PlanRangeQuery: channel out of range");
+  }
+  if (first_frame > last_frame || last_frame >= session.info.num_frames) {
+    return Status::OutOfRange("PlanRangeQuery: bad frame range");
+  }
+  const StoredChannel& stored = session.channels[channel];
+  AIMS_ASSIGN_OR_RETURN(
+      signal::SparseCoefficients query,
+      signal::LazyWaveletTransform(filter_, stored.padded_len, first_frame,
+                                   last_frame,
+                                   signal::Polynomial::Constant(1.0)));
+  std::vector<ScheduledBlock> order = BuildBlockSchedule(*stored.store, query);
+
+  QueryPlan plan;
+  plan.session = id;
+  plan.channel = channel;
+  plan.first_frame = first_frame;
+  plan.last_frame = last_frame;
+  plan.padded_len = stored.padded_len;
+  plan.num_query_coefficients = query.entries.size();
+  std::set<size_t> levels;
+  for (const auto& [idx, q] : query.entries) {
+    (void)q;
+    levels.insert(WaveletLevelOf(idx));
+  }
+  plan.wavelet_levels.assign(levels.begin(), levels.end());
+  plan.predicted_blocks = order.size();
+  plan.block_size_bytes = config_.block_size_bytes;
+  plan.predicted_io_ms =
+      static_cast<double>(order.size()) *
+      config_.disk_cost.AccessCostMs(config_.block_size_bytes);
+  plan.schedule.reserve(order.size());
+  for (const ScheduledBlock& work : order) {
+    plan.schedule.push_back(QueryPlanBlockFetch{
+        work.block, work.coefficients.size(), work.query_energy});
+  }
+  return plan;
+}
+
 Result<RangeStatistics> AimsSystem::QueryRange(SessionId id, size_t channel,
                                                size_t first_frame,
                                                size_t last_frame) const {
@@ -191,29 +320,11 @@ Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
       signal::LazyWaveletTransform(filter_, stored.padded_len, first_frame,
                                    last_frame,
                                    signal::Polynomial::Constant(1.0)));
-  // Group the query coefficients by the block holding their partner and
-  // score each block by its query energy (the "importance function").
-  struct BlockWork {
-    std::vector<std::pair<size_t, double>> coefficients;
-    double query_energy = 0.0;
-  };
-  std::map<size_t, BlockWork> per_block;
+  std::vector<ScheduledBlock> order = BuildBlockSchedule(*stored.store, query);
   double remaining_query_energy = 0.0;
-  for (const auto& [idx, q] : query.entries) {
-    std::vector<size_t> blocks = stored.store->BlocksFor({idx});
-    AIMS_CHECK(blocks.size() == 1);
-    BlockWork& work = per_block[blocks[0]];
-    work.coefficients.emplace_back(idx, q);
-    work.query_energy += q * q;
-    remaining_query_energy += q * q;
+  for (const ScheduledBlock& work : order) {
+    remaining_query_energy += work.query_energy;
   }
-  std::vector<std::pair<size_t, const BlockWork*>> order;
-  for (const auto& [block, work] : per_block) {
-    order.emplace_back(block, &work);
-  }
-  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
-    return a.second->query_energy > b.second->query_energy;
-  });
 
   const double count = static_cast<double>(last_frame - first_frame + 1);
   double remaining_data_energy = stored.energy;
@@ -221,16 +332,16 @@ Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
   ProgressiveRangeResult result;
   result.total_blocks_needed = order.size();
   size_t blocks_read = 0;
-  for (const auto& [block, work] : order) {
-    AIMS_ASSIGN_OR_RETURN(auto contents, stored.store->FetchBlock(block));
+  for (const ScheduledBlock& work : order) {
+    AIMS_ASSIGN_OR_RETURN(auto contents, stored.store->FetchBlock(work.block));
     ++blocks_read;
     for (const auto& [idx, value] : contents) {
       remaining_data_energy -= value * value;
-      for (const auto& [qidx, q] : work->coefficients) {
+      for (const auto& [qidx, q] : work.coefficients) {
         if (qidx == idx) centered_sum += q * value;
       }
     }
-    remaining_query_energy -= work->query_energy;
+    remaining_query_energy -= work.query_energy;
     ProgressiveRangeStep step;
     step.blocks_read = blocks_read;
     step.sum_estimate = centered_sum + stored.mean * count;

@@ -80,6 +80,53 @@ struct ProgressiveRangeStep {
   double sum_error_bound = 0.0;
 };
 
+/// \brief One planned block fetch of a range query, in refinement order.
+struct QueryPlanBlockFetch {
+  /// Logical block index inside the channel's wavelet store.
+  size_t logical_block = 0;
+  /// Query coefficients whose stored partners live on this block.
+  size_t num_coefficients = 0;
+  /// The block's share of the query energy — the "importance" that put it
+  /// at this position in the schedule.
+  double query_energy = 0.0;
+};
+
+/// \brief The EXPLAIN side of a progressive range query: what the lazy
+/// transform selected and what the evaluator WOULD read, computed without
+/// any device I/O. Deterministic for a given stored channel and range, so
+/// an ANALYZE run must reconcile exactly against it (blocks_read ==
+/// predicted_blocks when the query runs to completion).
+struct QueryPlan {
+  /// Session/channel/range the plan was computed for. At the server layer
+  /// `session` carries the GlobalSessionId.
+  uint64_t session = 0;
+  size_t channel = 0;
+  size_t first_frame = 0;
+  size_t last_frame = 0;
+  /// Stored (power-of-two padded) channel length the transform ran over.
+  size_t padded_len = 0;
+  /// Nonzero query coefficients the lazy transform selected — the O(lg n)
+  /// working set of the wavelet-domain evaluation.
+  size_t num_query_coefficients = 0;
+  /// Distinct wavelet levels touched, ascending. Level 0 is the
+  /// approximation root; level k >= 1 is the detail band at depth k
+  /// (coefficient indices [2^(k-1), 2^k)), finer as k grows.
+  std::vector<size_t> wavelet_levels;
+  /// Blocks a run-to-exactness evaluation reads (== schedule.size()).
+  size_t predicted_blocks = 0;
+  /// Block size the store places coefficients on (bytes moved per fetch).
+  size_t block_size_bytes = 0;
+  /// predicted_blocks * DiskCostModel::AccessCostMs(block_size_bytes).
+  double predicted_io_ms = 0.0;
+  /// The refinement schedule: blocks in decreasing query-energy order
+  /// ("most valuable I/O's first"), ties broken by block index.
+  std::vector<QueryPlanBlockFetch> schedule;
+
+  /// \brief One JSON object mirroring the fields above (schedule inline),
+  /// used by EXPLAIN responses and slow-query log records.
+  std::string ToJson() const;
+};
+
 /// \brief Re-export of the progressive evaluators' stop/continue control.
 using StepControl = propolyne::StepControl;
 
@@ -152,6 +199,16 @@ class AimsSystem {
   Result<ProgressiveRangeResult> QueryRangeProgressive(
       SessionId id, size_t channel, size_t first_frame, size_t last_frame,
       const ProgressiveObserver& observer = {}) const;
+
+  /// \brief EXPLAIN: computes the plan a QueryRangeProgressive evaluation
+  /// of the same range would follow — query coefficients, wavelet levels,
+  /// the block schedule in refinement order, and the DiskCostModel's
+  /// predicted I/O cost — without reading a single block. Same validation
+  /// and determinism as the evaluation itself, so predicted and actual
+  /// block counts reconcile exactly on a complete run.
+  Result<QueryPlan> PlanRangeQuery(SessionId id, size_t channel,
+                                   size_t first_frame,
+                                   size_t last_frame) const;
 
   /// \brief How BuildChannelCube buckets a channel into a ProPolyne cube.
   struct CubeSpec {

@@ -1,0 +1,110 @@
+#include "obs/cost_ledger.h"
+
+namespace aims::obs {
+
+void TenantUsage::Accumulate(const TenantUsage& other) {
+  cpu_ns += other.cpu_ns;
+  blocks_read += other.blocks_read;
+  blocks_written += other.blocks_written;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  queue_ms += other.queue_ms;
+  queries += other.queries;
+  ingests += other.ingests;
+  stream_batches += other.stream_batches;
+  slow_queries += other.slow_queries;
+  rejected += other.rejected;
+}
+
+TenantUsage TenantLedger::Snapshot() const {
+  TenantUsage usage;
+  usage.cpu_ns = cpu_ns_.load(kRelaxed);
+  usage.blocks_read = blocks_read_.load(kRelaxed);
+  usage.blocks_written = blocks_written_.load(kRelaxed);
+  usage.bytes_read = bytes_read_.load(kRelaxed);
+  usage.bytes_written = bytes_written_.load(kRelaxed);
+  usage.queue_ms = queue_ms_.load(kRelaxed);
+  usage.queries = queries_.load(kRelaxed);
+  usage.ingests = ingests_.load(kRelaxed);
+  usage.stream_batches = stream_batches_.load(kRelaxed);
+  usage.slow_queries = slow_queries_.load(kRelaxed);
+  usage.rejected = rejected_.load(kRelaxed);
+  return usage;
+}
+
+TenantLedger* CostLedger::FastLookup(TenantId tenant) const {
+  size_t index = static_cast<size_t>(tenant) & (kFastSlots - 1);
+  for (size_t probe = 0; probe < kFastSlots; ++probe) {
+    const FastSlot& slot = fast_[(index + probe) & (kFastSlots - 1)];
+    TenantId id = slot.id.load(std::memory_order_relaxed);
+    if (id == kEmptySlot) return nullptr;  // tenant not in the fast table
+    if (id == tenant) {
+      // The ledger store may not be visible yet right after the slot was
+      // claimed; a null read just falls back to the slow path.
+      return slot.ledger.load(std::memory_order_acquire);
+    }
+  }
+  return nullptr;  // table full of other tenants
+}
+
+void CostLedger::FastPublishLocked(TenantId tenant, TenantLedger* ledger) {
+  size_t index = static_cast<size_t>(tenant) & (kFastSlots - 1);
+  for (size_t probe = 0; probe < kFastSlots; ++probe) {
+    FastSlot& slot = fast_[(index + probe) & (kFastSlots - 1)];
+    TenantId id = slot.id.load(std::memory_order_relaxed);
+    if (id == tenant) return;  // already published
+    if (id == kEmptySlot) {
+      // Writers are serialized by mutex_, so claiming is a plain pair of
+      // stores: id first, then the pointer with release so a reader that
+      // sees the pointer also sees a fully-constructed TenantLedger.
+      slot.id.store(tenant, std::memory_order_relaxed);
+      slot.ledger.store(ledger, std::memory_order_release);
+      return;
+    }
+  }
+  // Table full: this tenant stays on the mutex path. Correct, just slower.
+}
+
+TenantLedger* CostLedger::ForTenant(TenantId tenant) {
+  if (tenant != kEmptySlot) {
+    if (TenantLedger* fast = FastLookup(tenant)) return fast;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = tenants_[tenant];
+  if (!slot) slot = std::make_unique<TenantLedger>();
+  if (tenant != kEmptySlot) FastPublishLocked(tenant, slot.get());
+  return slot.get();
+}
+
+std::optional<TenantUsage> CostLedger::Usage(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return std::nullopt;
+  return it->second->Snapshot();
+}
+
+std::vector<std::pair<TenantId, TenantUsage>> CostLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<TenantId, TenantUsage>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, ledger] : tenants_) {
+    out.emplace_back(tenant, ledger->Snapshot());
+  }
+  return out;
+}
+
+TenantUsage CostLedger::Total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantUsage total;
+  for (const auto& [tenant, ledger] : tenants_) {
+    total.Accumulate(ledger->Snapshot());
+  }
+  return total;
+}
+
+size_t CostLedger::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+}  // namespace aims::obs

@@ -9,21 +9,6 @@ namespace aims::obs {
 
 namespace {
 
-/// Shortest round-ish representation: trailing-zero-free %.6f keeps the
-/// golden files readable and stable ("2.5", not "2.500000").
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  std::string s(buf);
-  size_t dot = s.find('.');
-  if (dot != std::string::npos) {
-    size_t last = s.find_last_not_of('0');
-    if (last == dot) last -= 1;  // "2." -> "2"
-    s.erase(last + 1);
-  }
-  return s;
-}
-
 void AppendHistogram(std::string* out, const std::string& name,
                      const Histogram& h) {
   *out += "# TYPE " + name + " histogram\n";
@@ -32,18 +17,18 @@ void AppendHistogram(std::string* out, const std::string& name,
   for (size_t i = 0; i < h.num_buckets(); ++i) {
     cumulative += h.bucket_count(i);
     std::string le =
-        i < bounds.size() ? FormatDouble(bounds[i]) : std::string("+Inf");
+        i < bounds.size() ? TrimmedDouble(bounds[i]) : std::string("+Inf");
     *out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
             "\n";
   }
-  *out += name + "_sum " + FormatDouble(h.sum()) + "\n";
+  *out += name + "_sum " + TrimmedDouble(h.sum()) + "\n";
   *out += name + "_count " + std::to_string(h.count()) + "\n";
   // Companion quantile gauges: Prometheus histograms carry no quantiles of
   // their own, and AIMS dashboards want p50/p95/p99 without a query layer.
   *out += "# TYPE " + name + "_quantile gauge\n";
   for (double q : {0.5, 0.95, 0.99}) {
-    *out += name + "_quantile{quantile=\"" + FormatDouble(q) + "\"} " +
-            FormatDouble(h.ApproxQuantile(q)) + "\n";
+    *out += name + "_quantile{quantile=\"" + TrimmedDouble(q) + "\"} " +
+            TrimmedDouble(h.ApproxQuantile(q)) + "\n";
   }
 }
 
@@ -76,6 +61,67 @@ std::string PrometheusExport(const MetricsRegistry& registry) {
   for (const auto& [name, h] : registry.Histograms()) {
     AppendHistogram(&out, PrometheusName(name), *h);
   }
+  return out;
+}
+
+namespace {
+
+void AppendTracerFamily(std::string* out, const Tracer& tracer) {
+  *out += "# TYPE aims_tracer_traces_recorded_total counter\n";
+  *out += "aims_tracer_traces_recorded_total " +
+          std::to_string(tracer.total_recorded()) + "\n";
+  *out += "# TYPE aims_tracer_traces_dropped_total counter\n";
+  *out += "aims_tracer_traces_dropped_total " +
+          std::to_string(tracer.dropped()) + "\n";
+  *out += "# TYPE aims_tracer_traces_retained gauge\n";
+  *out += "aims_tracer_traces_retained " + std::to_string(tracer.retained()) +
+          "\n";
+  *out += "# TYPE aims_tracer_oldest_trace_age_ms gauge\n";
+  *out += "aims_tracer_oldest_trace_age_ms " +
+          TrimmedDouble(tracer.OldestRetainedAgeMs()) + "\n";
+}
+
+void AppendTenantFamily(std::string* out, const CostLedger& ledger) {
+  const auto tenants = ledger.Snapshot();
+  // One labelled series per tenant per dimension, family-major so each
+  // family gets exactly one # TYPE header.
+  struct UintDim {
+    const char* name;
+    uint64_t TenantUsage::* field;
+  };
+  static constexpr UintDim kUintDims[] = {
+      {"aims_tenant_cpu_ns_total", &TenantUsage::cpu_ns},
+      {"aims_tenant_blocks_read_total", &TenantUsage::blocks_read},
+      {"aims_tenant_blocks_written_total", &TenantUsage::blocks_written},
+      {"aims_tenant_bytes_read_total", &TenantUsage::bytes_read},
+      {"aims_tenant_bytes_written_total", &TenantUsage::bytes_written},
+      {"aims_tenant_queries_total", &TenantUsage::queries},
+      {"aims_tenant_ingests_total", &TenantUsage::ingests},
+      {"aims_tenant_stream_batches_total", &TenantUsage::stream_batches},
+      {"aims_tenant_slow_queries_total", &TenantUsage::slow_queries},
+      {"aims_tenant_rejected_total", &TenantUsage::rejected},
+  };
+  for (const UintDim& dim : kUintDims) {
+    *out += std::string("# TYPE ") + dim.name + " counter\n";
+    for (const auto& [tenant, usage] : tenants) {
+      *out += std::string(dim.name) + "{tenant=\"" + std::to_string(tenant) +
+              "\"} " + std::to_string(usage.*dim.field) + "\n";
+    }
+  }
+  *out += "# TYPE aims_tenant_queue_ms_total counter\n";
+  for (const auto& [tenant, usage] : tenants) {
+    *out += "aims_tenant_queue_ms_total{tenant=\"" + std::to_string(tenant) +
+            "\"} " + TrimmedDouble(usage.queue_ms) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string PrometheusExport(const MetricsRegistry& registry,
+                             const Tracer* tracer, const CostLedger* ledger) {
+  std::string out = PrometheusExport(registry);
+  if (tracer != nullptr) AppendTracerFamily(&out, *tracer);
+  if (ledger != nullptr) AppendTenantFamily(&out, *ledger);
   return out;
 }
 

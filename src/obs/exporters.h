@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/cost_ledger.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -26,6 +27,16 @@ namespace aims::obs {
 /// registry's stable name-sorted order. Metric names are sanitized
 /// (non-alphanumeric -> '_') and prefixed "aims_".
 std::string PrometheusExport(const MetricsRegistry& registry);
+
+/// \brief Extended exposition: the registry as above, then (when non-null)
+/// the tracer's ring health as `aims_tracer_*` — recorded/dropped totals,
+/// retained count, and the oldest retained trace's age, so dashboards can
+/// see the trace window's actual coverage, not just that eviction happened
+/// — and the cost ledger as the `aims_tenant_*` family, one
+/// `{tenant="<id>"}` labelled series per tenant per cost dimension.
+std::string PrometheusExport(const MetricsRegistry& registry,
+                             const Tracer* tracer,
+                             const CostLedger* ledger = nullptr);
 
 /// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
 /// "aims_scheduler_exec_ms". Exposed for tests and dashboards.

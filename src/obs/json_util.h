@@ -49,4 +49,20 @@ inline void AppendJsonDouble(std::string* out, double v) {
   *out += buf;
 }
 
+/// Shortest round-ish representation: trailing-zero-free %.6f keeps golden
+/// files readable and stable ("2.5", not "2.500000"). Shared by the
+/// Prometheus exporter and the query-plan / slow-query JSON records.
+inline std::string TrimmedDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last -= 1;  // "2." -> "2"
+    s.erase(last + 1);
+  }
+  return s;
+}
+
 }  // namespace aims::obs

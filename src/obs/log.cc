@@ -1,0 +1,171 @@
+#include "obs/log.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace aims::obs {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AsyncLogger::AsyncLogger(std::ostream* sink, AsyncLogConfig config)
+    : sink_(sink),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()) {
+  AIMS_CHECK(sink_ != nullptr);
+  if (config_.ring_capacity < 2) config_.ring_capacity = 2;
+  const size_t capacity = RoundUpPowerOfTwo(config_.ring_capacity);
+  mask_ = capacity - 1;
+  cells_ = std::make_unique<Cell[]>(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+  if (config_.drain_interval_ms <= 0.0) config_.drain_interval_ms = 20.0;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    running_ = true;
+    thread_ = std::thread([this] { DrainLoop(); });
+  }
+}
+
+AsyncLogger::~AsyncLogger() { Stop(); }
+
+bool AsyncLogger::RateAdmit() {
+  if (config_.max_records_per_sec == 0) return true;
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  int64_t window = rate_window_start_ms_.load(std::memory_order_relaxed);
+  if (now_ms - window >= 1000) {
+    // One producer wins the window roll; losers just count against the
+    // fresh window. The limit is approximate at window edges by design —
+    // exactness is not worth a lock on the log path.
+    if (rate_window_start_ms_.compare_exchange_strong(
+            window, now_ms, std::memory_order_relaxed)) {
+      rate_window_count_.store(0, std::memory_order_relaxed);
+    }
+  }
+  return rate_window_count_.fetch_add(1, std::memory_order_relaxed) <
+         config_.max_records_per_sec;
+}
+
+bool AsyncLogger::TryPush(std::string* line) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.line = std::move(*line);
+        cell.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded pos; retry with the new claim point.
+    } else if (dif < 0) {
+      return false;  // Ring full: the consumer has not freed this cell yet.
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool AsyncLogger::TryPop(std::string* line) {
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        *line = std::move(cell.line);
+        cell.line.clear();
+        cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // Ring empty (or the producer has not published yet).
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool AsyncLogger::Log(std::string line) {
+  if (!RateAdmit()) {
+    dropped_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!TryPush(&line)) {
+    dropped_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void AsyncLogger::DrainOnceLocked() {
+  std::string line;
+  bool wrote = false;
+  while (TryPop(&line)) {
+    *sink_ << line << '\n';
+    published_.fetch_add(1, std::memory_order_relaxed);
+    wrote = true;
+  }
+  if (wrote) sink_->flush();
+}
+
+void AsyncLogger::Flush() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  DrainOnceLocked();
+}
+
+void AsyncLogger::DrainLoop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.drain_interval_ms));
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  for (;;) {
+    wake_cv_.wait_for(lock, interval, [&] { return stop_requested_; });
+    const bool stopping = stop_requested_;
+    lock.unlock();
+    Flush();
+    if (stopping) return;
+    lock.lock();
+  }
+}
+
+void AsyncLogger::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    to_join = std::move(thread_);
+    running_ = false;
+  }
+  wake_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  // The drain thread's final Flush ran before it exited; one more pass
+  // catches records published while it was shutting down.
+  Flush();
+}
+
+bool AsyncLogger::running() const {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  return running_;
+}
+
+}  // namespace aims::obs

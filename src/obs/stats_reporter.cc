@@ -132,6 +132,19 @@ HealthSnapshot StatsReporter::ComputeLocked() {
       break;
     }
   }
+  {
+    auto it = snap.rates.find(config_.slow_query_counter);
+    if (it != snap.rates.end()) snap.slow_query_per_sec = it->second.per_sec;
+  }
+  if (config_.slow_query_rate_per_sec > 0.0 &&
+      snap.slow_query_per_sec > config_.slow_query_rate_per_sec) {
+    std::snprintf(reason, sizeof(reason),
+                  "%s at %.1f/s over target %.1f/s",
+                  config_.slow_query_counter.c_str(), snap.slow_query_per_sec,
+                  config_.slow_query_rate_per_sec);
+    snap.reasons.push_back(reason);
+    snap.level = std::max(snap.level, HealthLevel::kDegraded);
+  }
   if (config_.p99_target_ms > 0.0) {
     for (const auto& [name, hist] : registry_->Histograms()) {
       if (name != config_.latency_histogram) continue;

@@ -39,6 +39,14 @@ struct StatsReporterConfig {
   /// Capacity the gauge is divided by. Degraded at >= 75% of capacity,
   /// saturated at >= 100%. 0 disables the saturation check.
   double saturation_capacity = 0.0;
+  /// Counter of queries over the server's slow-query threshold, judged as
+  /// a rate over the snapshot window.
+  std::string slow_query_counter = "scheduler.slow_queries";
+  /// Degraded when the slow-query rate exceeds this many per second. 0
+  /// disables the check. A slow-query burst is a quality-of-service
+  /// breach even while queues and p99 still look healthy (p99 lags a
+  /// window; the rate reacts within one).
+  double slow_query_rate_per_sec = 0.0;
 };
 
 /// \brief Overall judgement of one snapshot.
@@ -73,6 +81,8 @@ struct HealthSnapshot {
   double queue_saturation = 0.0;
   /// p99 of latency_histogram in ms (0 when disabled/unregistered).
   double p99_ms = 0.0;
+  /// Rate of slow_query_counter over the window (0 when unregistered).
+  double slow_query_per_sec = 0.0;
   /// Every registered counter with its per-second rate over the window.
   std::map<std::string, CounterRate> rates;
 };

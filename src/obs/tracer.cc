@@ -51,6 +51,19 @@ uint64_t Tracer::dropped() const {
   return dropped_;
 }
 
+size_t Tracer::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_.size();
+}
+
+double Tracer::OldestRetainedAgeMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (traces_.empty()) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - traces_.front().epoch())
+      .count();
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   traces_.clear();

@@ -164,6 +164,13 @@ class Tracer {
   uint64_t total_recorded() const;
   /// Traces evicted by the ring buffer since construction (or Clear).
   uint64_t dropped() const;
+  /// Traces currently retained (<= capacity).
+  size_t retained() const;
+  /// \brief Age in milliseconds of the oldest retained trace (measured
+  /// from its epoch), or 0 when empty — the trace window's actual
+  /// coverage. A dashboard reading dropped() alone cannot tell whether
+  /// the ring still spans the incident it is investigating; this can.
+  double OldestRetainedAgeMs() const;
 
   /// \brief Test/bench-only: forgets retained traces and zeroes the
   /// recorded/dropped counters (the request-id source keeps advancing).

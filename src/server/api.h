@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cost_ledger.h"
 #include "obs/stats_reporter.h"
 #include "recognition/isolator.h"
 #include "server/query_scheduler.h"
@@ -90,6 +91,28 @@ struct GetHealthResponse {
   /// Whether the periodic reporter thread is running (false means the
   /// snapshot was computed on demand).
   bool reporter_running = false;
+};
+
+/// \brief Asks the server what each tenant has consumed: CPU time, block
+/// I/O, queue occupancy, and operation counts, attributed by the
+/// CostLedger every ingest/query/stream path charges (see
+/// obs/cost_ledger.h). Needs no open session: usage outlives sessions.
+struct GetTenantUsageRequest {
+  /// A specific tenant, or nullopt for every tenant the ledger has seen.
+  std::optional<ClientId> client;
+};
+
+struct TenantUsageEntry {
+  ClientId client = 0;
+  obs::TenantUsage usage;
+};
+
+struct GetTenantUsageResponse {
+  /// Per-tenant usage in ascending client order (one entry when the
+  /// request named a specific client).
+  std::vector<TenantUsageEntry> tenants;
+  /// Sum over \c tenants — the server-wide attributed total.
+  obs::TenantUsage total;
 };
 
 /// \brief Closes the client's session (and recognition stream, if open).

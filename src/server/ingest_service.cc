@@ -9,8 +9,13 @@ namespace aims::server {
 
 IngestService::IngestService(ShardedCatalog* catalog, ThreadPool* pool,
                              IngestAdmissionPolicy policy,
-                             MetricsRegistry* metrics, Tracer* tracer)
-    : catalog_(catalog), pool_(pool), policy_(policy), tracer_(tracer) {
+                             MetricsRegistry* metrics, Tracer* tracer,
+                             obs::CostLedger* ledger)
+    : catalog_(catalog),
+      pool_(pool),
+      policy_(policy),
+      tracer_(tracer),
+      ledger_(ledger) {
   AIMS_CHECK(catalog_ != nullptr);
   AIMS_CHECK(pool_ != nullptr);
   AIMS_CHECK(policy_.queue_capacity >= 1);
@@ -49,6 +54,7 @@ Status IngestService::Submit(ClientId client, std::string name,
   if (policy_.max_pending_total > 0 &&
       pending_.load(std::memory_order_relaxed) >= policy_.max_pending_total) {
     if (rejected_capacity_ != nullptr) rejected_capacity_->Increment();
+    if (ledger_ != nullptr) ledger_->ForTenant(client)->CountRejected();
     return Status::ResourceExhausted("IngestService: server at capacity");
   }
   ClientState* state = GetOrCreateClient(client);
@@ -70,6 +76,7 @@ Status IngestService::Submit(ClientId client, std::string name,
   }
   if (!state->queue.Produce(std::move(item))) {
     if (rejected_queue_ != nullptr) rejected_queue_->Increment();
+    if (ledger_ != nullptr) ledger_->ForTenant(client)->CountRejected();
     return Status::ResourceExhausted("IngestService: client queue full");
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
@@ -111,14 +118,29 @@ void IngestService::DrainClient(ClientState* state) {
 void IngestService::ProcessItem(ClientState* state, PendingItem item) {
   Trace* trace = item.trace.has_value() ? &*item.trace : nullptr;
   if (trace != nullptr) trace->EndSpan(item.queue_span);
+  obs::TenantLedger* tenant =
+      ledger_ != nullptr ? ledger_->ForTenant(state->client) : nullptr;
+  if (tenant != nullptr) {
+    tenant->ChargeQueueMs(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - item.enqueued)
+                              .count());
+    tenant->CountIngest();
+  }
+  // Wall-clock attribution for every attempt (including retries).
+  obs::ScopedCpuCharge cpu_charge(tenant);
   Result<GlobalSessionId> result =
       Status::Internal("IngestService: no attempt ran");
+  ShardedCatalog::IngestIoStats io_stats;
   for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       if (retries_ != nullptr) retries_->Increment();
       if (trace != nullptr) trace->AddMarker("retry");
     }
-    result = catalog_->Ingest(state->client, item.name, item.recording, trace);
+    result = catalog_->Ingest(state->client, item.name, item.recording, trace,
+                              &io_stats);
+    if (tenant != nullptr && io_stats.blocks_written > 0) {
+      tenant->ChargeWrite(io_stats.blocks_written, io_stats.bytes_written);
+    }
     // Only transient storage faults are worth another attempt.
     if (result.ok() || result.status().code() != StatusCode::kIoError) break;
   }

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/status.h"
+#include "obs/cost_ledger.h"
 #include "server/metrics.h"
 #include "server/tracer.h"
 #include "server/sharded_catalog.h"
@@ -66,10 +67,14 @@ class IngestService {
   /// submission then carries a Trace — admission, queue_wait, shard_lock,
   /// and the per-channel transform/block_write spans — recorded when the
   /// ingest finishes.
+  /// \param ledger optional per-tenant cost ledger (may be null). Each
+  /// ingest charges its client's ledger: queue wait, processing CPU time,
+  /// exact blocks/bytes written, plus ingest/rejection counts.
   IngestService(ShardedCatalog* catalog, ThreadPool* pool,
                 IngestAdmissionPolicy policy = {},
                 MetricsRegistry* metrics = nullptr,
-                Tracer* tracer = nullptr);
+                Tracer* tracer = nullptr,
+                obs::CostLedger* ledger = nullptr);
 
   /// Waits for every scheduled drain task to finish (the pool must still
   /// be running or already drained), so no worker can touch a destroyed
@@ -120,6 +125,7 @@ class IngestService {
   ThreadPool* pool_;
   IngestAdmissionPolicy policy_;
   Tracer* tracer_;
+  obs::CostLedger* ledger_;
 
   mutable std::shared_mutex clients_mutex_;
   std::unordered_map<ClientId, std::unique_ptr<ClientState>> clients_;

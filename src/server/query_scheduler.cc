@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/json_util.h"
 
 namespace aims::server {
 
@@ -25,6 +26,57 @@ const char* QueryStateName(QueryState state) {
   return "Unknown";
 }
 
+std::string QueryRecordJson(const QueryRequest& request,
+                            const QueryOutcome& outcome) {
+  using obs::TrimmedDouble;
+  std::string out = "{\"type\":\"query\"";
+  out += ",\"request_id\":" + std::to_string(outcome.trace.request_id());
+  out += ",\"tenant\":" + std::to_string(request.tenant);
+  out += ",\"session\":" + std::to_string(request.session);
+  out += ",\"channel\":" + std::to_string(request.channel);
+  out += ",\"first_frame\":" + std::to_string(request.first_frame);
+  out += ",\"last_frame\":" + std::to_string(request.last_frame);
+  out += ",\"priority\":\"";
+  out += request.priority == QueryPriority::kInteractive ? "interactive"
+                                                         : "batch";
+  out += "\",\"state\":\"";
+  out += QueryStateName(outcome.state);
+  out += "\"";
+  const QueryAnswer& answer = outcome.answer;
+  out += ",\"answer\":{\"sum\":" + TrimmedDouble(answer.sum);
+  out += ",\"mean\":" + TrimmedDouble(answer.mean);
+  out += ",\"count\":" + std::to_string(answer.count);
+  out += ",\"error_bound\":" + TrimmedDouble(answer.error_bound);
+  out += ",\"blocks_read\":" + std::to_string(answer.blocks_read);
+  out += ",\"blocks_needed\":" + std::to_string(answer.blocks_needed) + "}";
+  out += ",\"plan\":";
+  out += outcome.plan.has_value() ? outcome.plan->ToJson() : "null";
+  out += ",\"actuals\":";
+  if (outcome.breakdown.has_value()) {
+    const QueryBreakdown& b = *outcome.breakdown;
+    out += "{\"admission_wait_ms\":" + TrimmedDouble(b.admission_wait_ms);
+    out += ",\"shard_lock_wait_ms\":" + TrimmedDouble(b.shard_lock_wait_ms);
+    out += ",\"refinement_ms\":" + TrimmedDouble(b.refinement_ms);
+    out += ",\"exec_ms\":" + TrimmedDouble(b.exec_ms);
+    out += ",\"total_ms\":" + TrimmedDouble(b.total_ms);
+    out += ",\"blocks_read\":" + std::to_string(b.blocks_read);
+    out += ",\"bytes_read\":" + std::to_string(b.bytes_read);
+    out += ",\"predicted_blocks\":" + std::to_string(b.predicted_blocks);
+    out += ",\"reconciled\":";
+    out += b.reconciled ? "true" : "false";
+    out += ",\"error_bound_trajectory\":[";
+    for (size_t i = 0; i < b.error_bound_trajectory.size(); ++i) {
+      if (i > 0) out += ",";
+      out += TrimmedDouble(b.error_bound_trajectory[i]);
+    }
+    out += "]}";
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
+}
+
 QueryOutcome QueryTicket::Wait() const {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return done_; });
@@ -39,8 +91,17 @@ std::optional<QueryOutcome> QueryTicket::TryGet() const {
 
 QueryScheduler::QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
                                SchedulerConfig config, Tracer* tracer,
-                               MetricsRegistry* metrics)
-    : catalog_(catalog), pool_(pool), config_(config), tracer_(tracer) {
+                               MetricsRegistry* metrics,
+                               obs::CostLedger* ledger,
+                               obs::AsyncLogger* slow_log,
+                               double slow_query_threshold_ms)
+    : catalog_(catalog),
+      pool_(pool),
+      config_(config),
+      tracer_(tracer),
+      ledger_(ledger),
+      slow_log_(slow_log),
+      slow_query_threshold_ms_(slow_query_threshold_ms) {
   AIMS_CHECK(catalog != nullptr && pool != nullptr);
   if (metrics != nullptr) {
     submitted_ = metrics->GetCounter("scheduler.submitted");
@@ -49,6 +110,7 @@ QueryScheduler::QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
     partial_deadline_ = metrics->GetCounter("scheduler.partial_deadline");
     cancelled_ = metrics->GetCounter("scheduler.cancelled");
     failed_ = metrics->GetCounter("scheduler.failed");
+    slow_queries_ = metrics->GetCounter("scheduler.slow_queries");
     pending_gauge_ = metrics->GetGauge("scheduler.pending");
     admission_wait_ms_ = metrics->GetHistogram(
         "scheduler.admission_wait_ms",
@@ -89,6 +151,7 @@ Result<QueryTicketPtr> QueryScheduler::Submit(QueryRequest request) {
                                    : config_.max_pending_batch;
     if (lane.size() >= cap) {
       if (rejected_ != nullptr) rejected_->Increment();
+      if (ledger_ != nullptr) ledger_->ForTenant(req.tenant)->CountRejected();
       return Status::ResourceExhausted(
           "QueryScheduler::Submit: pending lane full");
     }
@@ -153,6 +216,10 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   outcome.dispatch_index =
       dispatch_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
+  // Resolve the tenant's ledger once; every charge below is lock-free.
+  obs::TenantLedger* tenant =
+      ledger_ != nullptr ? ledger_->ForTenant(req.tenant) : nullptr;
+
   // Root span covering the request from submission; every stage below
   // nests under it, so the Chrome export shows one tree per query.
   trace.BeginSpanAt("query", 0.0);
@@ -170,6 +237,38 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   }
   ticket->state_.store(QueryState::kRunning, std::memory_order_release);
 
+  if (tenant != nullptr) {
+    tenant->ChargeQueueMs(admission_ms);
+    tenant->CountQuery();
+  }
+  // Always-on wall-clock charge for everything from dispatch to the end of
+  // evaluation (the AIMS_PROFILE_SCOPE idea, promoted to the ledger).
+  obs::ScopedCpuCharge cpu_charge(tenant);
+
+  if (req.explain != ExplainMode::kNone) {
+    // The plan is deterministic and block-I/O free; for kAnalyze it is
+    // computed before execution so the breakdown can reconcile against it.
+    Result<core::QueryPlan> plan = catalog_->PlanRangeQuery(
+        req.session, req.channel, req.first_frame, req.last_frame);
+    if (!plan.ok()) {
+      outcome.state = QueryState::kFailed;
+      outcome.status = plan.status();
+      Finish(ticket, std::move(outcome));
+      return;
+    }
+    outcome.plan = std::move(*plan);
+    if (req.explain == ExplainMode::kExplain) {
+      // EXPLAIN without ANALYZE: the plan IS the answer. No evaluation, no
+      // device reads; blocks_needed still tells the client what a run
+      // would cost.
+      outcome.state = QueryState::kComplete;
+      outcome.answer.count = req.last_frame - req.first_frame + 1;
+      outcome.answer.blocks_needed = outcome.plan->predicted_blocks;
+      Finish(ticket, std::move(outcome));
+      return;
+    }
+  }
+
   const double exec_start_ms = trace.ElapsedMs();
   constexpr size_t kNoSpan = static_cast<size_t>(-1);
   size_t lock_span = trace.BeginSpan("shard_lock");
@@ -177,6 +276,7 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   // The interval between observer callbacks is exactly one block fetch, so
   // each callback stamps the previous fetch as a closed block_io span.
   double io_start_ms = 0.0;
+  double lock_acquired_ms = exec_start_ms;
   enum class StopReason { kNone, kCancel, kDeadline, kTarget };
   StopReason stop = StopReason::kNone;
 
@@ -184,6 +284,7 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
     trace.EndSpan(lock_span);
     refine_span = trace.BeginSpan("refinement");
     io_start_ms = trace.ElapsedMs();
+    lock_acquired_ms = io_start_ms;
   };
   auto observer =
       [&](const core::ProgressiveRangeStep& step) -> core::StepControl {
@@ -213,7 +314,8 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
 
   if (refine_span != kNoSpan) trace.EndSpan(refine_span);
   trace.CloseOpenSpans();
-  if (exec_ms_ != nullptr) exec_ms_->Record(trace.ElapsedMs() - exec_start_ms);
+  const double exec_end_ms = trace.ElapsedMs();
+  if (exec_ms_ != nullptr) exec_ms_->Record(exec_end_ms - exec_start_ms);
 
   if (!result.ok()) {
     // The originating StatusCode (NotFound, OutOfRange, IoError, ...)
@@ -248,11 +350,40 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   } else {
     outcome.state = QueryState::kComplete;
   }
+
+  // Per-stage breakdown for every executed evaluation: ANALYZE surfaces it
+  // to the client, and the slow-query log needs the actuals either way.
+  QueryBreakdown breakdown;
+  breakdown.admission_wait_ms = admission_ms;
+  breakdown.shard_lock_wait_ms = lock_acquired_ms - exec_start_ms;
+  breakdown.refinement_ms = exec_end_ms - lock_acquired_ms;
+  breakdown.exec_ms = exec_end_ms - exec_start_ms;
+  breakdown.blocks_read = answer.blocks_read;
+  breakdown.bytes_read = answer.blocks_read * catalog_->block_size_bytes();
+  breakdown.error_bound_trajectory.reserve(progressive.steps.size());
+  for (const core::ProgressiveRangeStep& step : progressive.steps) {
+    breakdown.error_bound_trajectory.push_back(step.sum_error_bound);
+  }
+  if (outcome.plan.has_value()) {
+    breakdown.predicted_blocks = outcome.plan->predicted_blocks;
+    // A complete evaluation must touch exactly the planned blocks — the
+    // plan and the execution walk the same deterministic schedule.
+    breakdown.reconciled = progressive.complete &&
+                           breakdown.blocks_read == breakdown.predicted_blocks;
+  }
+  outcome.breakdown = std::move(breakdown);
+
+  if (tenant != nullptr) {
+    tenant->ChargeRead(answer.blocks_read,
+                       answer.blocks_read * catalog_->block_size_bytes());
+  }
   Finish(ticket, std::move(outcome));
 }
 
 void QueryScheduler::Finish(const QueryTicketPtr& ticket,
                             QueryOutcome outcome) {
+  const double total_ms = ticket->trace_.ElapsedMs();
+  if (outcome.breakdown.has_value()) outcome.breakdown->total_ms = total_ms;
   switch (outcome.state) {
     case QueryState::kComplete:
       if (completed_ != nullptr) completed_->Increment();
@@ -272,6 +403,18 @@ void QueryScheduler::Finish(const QueryTicketPtr& ticket,
   ticket->trace_.CloseOpenSpans();
   outcome.trace = ticket->trace_;
   if (tracer_ != nullptr) tracer_->Record(ticket->trace_);
+
+  if (slow_query_threshold_ms_ > 0.0 && total_ms >= slow_query_threshold_ms_) {
+    if (slow_queries_ != nullptr) slow_queries_->Increment();
+    if (ledger_ != nullptr) {
+      ledger_->ForTenant(ticket->request_.tenant)->CountSlowQuery();
+    }
+    // Log() never blocks: under overload the record is dropped and the
+    // logger's drop counter ticks instead.
+    if (slow_log_ != nullptr) {
+      slow_log_->Log(QueryRecordJson(ticket->request_, outcome));
+    }
+  }
 
   ticket->state_.store(outcome.state, std::memory_order_release);
   {

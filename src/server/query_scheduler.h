@@ -11,6 +11,8 @@
 
 #include "common/status.h"
 #include "core/aims.h"
+#include "obs/cost_ledger.h"
+#include "obs/log.h"
 #include "server/metrics.h"
 #include "server/sharded_catalog.h"
 #include "server/thread_pool.h"
@@ -48,6 +50,13 @@ enum class QueryPriority {
   kBatch,        ///< Throughput work; served by the promotion rule.
 };
 
+/// \brief Introspection mode of a query (EXPLAIN / EXPLAIN ANALYZE).
+enum class ExplainMode {
+  kNone,     ///< Execute normally; no plan attached.
+  kExplain,  ///< Return the plan only — zero block I/O, no evaluation.
+  kAnalyze,  ///< Execute AND attach plan + per-stage actuals, reconciled.
+};
+
 /// \brief A typed range-statistics query over one stored channel.
 struct QueryRequest {
   GlobalSessionId session = 0;
@@ -62,6 +71,13 @@ struct QueryRequest {
   /// value (0 = run to exactness). A query stopped this way is complete:
   /// it delivered the accuracy that was asked for.
   double target_error_bound = 0.0;
+  /// EXPLAIN/ANALYZE: kExplain returns QueryOutcome::plan without touching
+  /// a block; kAnalyze executes and attaches plan + breakdown, reconciled.
+  ExplainMode explain = ExplainMode::kNone;
+  /// Tenant charged for this query's costs (set by AimsServer::SubmitQuery
+  /// from the requesting client; 0 when submitted directly to the
+  /// scheduler without a tenant).
+  ClientId tenant = 0;
 };
 
 /// \brief Terminal (and transient) states of a scheduled query.
@@ -89,6 +105,32 @@ struct QueryAnswer {
   size_t blocks_needed = 0;
 };
 
+/// \brief Actual per-stage breakdown of one executed query — the ANALYZE
+/// side, reconciled against the plan's prediction. Times come from the
+/// same measurements the trace spans record.
+struct QueryBreakdown {
+  /// Submission to dispatch (time spent in the admission lane).
+  double admission_wait_ms = 0.0;
+  /// Waiting on the shard's shared lock.
+  double shard_lock_wait_ms = 0.0;
+  /// The whole progressive refinement loop (all block I/O included).
+  double refinement_ms = 0.0;
+  /// Dispatch to evaluation end (lock wait + refinement).
+  double exec_ms = 0.0;
+  /// Submission to completion.
+  double total_ms = 0.0;
+  size_t blocks_read = 0;
+  /// blocks_read * the catalog's block size — bytes moved off the device.
+  size_t bytes_read = 0;
+  /// The plan's predicted block count (0 when no plan was computed).
+  size_t predicted_blocks = 0;
+  /// True when a plan was computed, the query ran to completion, and
+  /// blocks_read == predicted_blocks — the EXPLAIN/ANALYZE contract.
+  bool reconciled = false;
+  /// Guaranteed sum error bound after each refinement step.
+  std::vector<double> error_bound_trajectory;
+};
+
 /// \brief Everything a finished query reports back.
 struct QueryOutcome {
   QueryState state = QueryState::kPending;
@@ -104,7 +146,19 @@ struct QueryOutcome {
   uint64_t dispatch_index = 0;
   /// Span decomposition of this request's latency.
   Trace trace;
+  /// The predicted plan (engaged for kExplain and kAnalyze requests).
+  std::optional<core::QueryPlan> plan;
+  /// Actual per-stage breakdown (engaged for every executed evaluation;
+  /// absent for kExplain-only and for queries cancelled before dispatch).
+  std::optional<QueryBreakdown> breakdown;
 };
+
+/// \brief One self-describing JSON record of a finished query: request
+/// identity, state, the plan (null unless EXPLAIN/ANALYZE), and the
+/// actuals (null unless executed). The slow-query log emits exactly this;
+/// the EXPLAIN ANALYZE golden test pins its schema.
+std::string QueryRecordJson(const QueryRequest& request,
+                            const QueryOutcome& outcome);
 
 /// \brief Shared handle to one submitted query. Cheap to copy (shared_ptr
 /// wrapped), safe to poll/cancel/wait from any thread.
@@ -178,9 +232,19 @@ class QueryScheduler {
   /// \param pool shared executor (not owned).
   /// \param tracer optional span sink (may be null).
   /// \param metrics optional registry (may be null).
+  /// \param ledger optional per-tenant cost ledger (may be null): each
+  /// query charges its tenant's queue wait, evaluation time, and block
+  /// reads.
+  /// \param slow_log optional slow-query sink (may be null).
+  /// \param slow_query_threshold_ms queries slower than this end to end
+  /// are counted in scheduler.slow_queries and emitted (plan + actuals) to
+  /// \p slow_log; 0 disables the slow-query path entirely.
   QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
                  SchedulerConfig config = {}, Tracer* tracer = nullptr,
-                 MetricsRegistry* metrics = nullptr);
+                 MetricsRegistry* metrics = nullptr,
+                 obs::CostLedger* ledger = nullptr,
+                 obs::AsyncLogger* slow_log = nullptr,
+                 double slow_query_threshold_ms = 0.0);
 
   /// Waits for every admitted query to finish (the pool must still be
   /// running or already drained).
@@ -215,6 +279,9 @@ class QueryScheduler {
   ThreadPool* pool_;
   SchedulerConfig config_;
   Tracer* tracer_;
+  obs::CostLedger* ledger_;
+  obs::AsyncLogger* slow_log_;
+  double slow_query_threshold_ms_;
 
   mutable std::mutex queues_mutex_;
   std::deque<QueryTicketPtr> interactive_;
@@ -234,6 +301,7 @@ class QueryScheduler {
   Counter* partial_deadline_ = nullptr;
   Counter* cancelled_ = nullptr;
   Counter* failed_ = nullptr;
+  Counter* slow_queries_ = nullptr;
   Gauge* pending_gauge_ = nullptr;
   Histogram* admission_wait_ms_ = nullptr;
   Histogram* exec_ms_ = nullptr;

@@ -15,6 +15,22 @@ AimsServer::AimsServer(ServerConfig config)
       // null-checks as the entire instrumentation cost.
       metrics_(std::make_unique<MetricsRegistry>()),
       tracer_(std::make_unique<Tracer>(config.obs.trace_capacity)),
+      cost_ledger_(std::make_unique<obs::CostLedger>()),
+      // Slow-query logging needs both a threshold and a destination; with
+      // either missing, the scheduler still counts slow queries but the
+      // logger is never built.
+      slow_log_stream_([&]() -> std::unique_ptr<std::ofstream> {
+        if (config.obs.slow_query_threshold_ms <= 0.0 ||
+            config.obs.slow_query_log_path.empty()) {
+          return nullptr;
+        }
+        return std::make_unique<std::ofstream>(
+            config.obs.slow_query_log_path, std::ios::out | std::ios::trunc);
+      }()),
+      slow_log_(slow_log_stream_ != nullptr
+                    ? std::make_unique<obs::AsyncLogger>(
+                          slow_log_stream_.get(), config.obs.slow_query_log)
+                    : nullptr),
       catalog_(std::make_unique<ShardedCatalog>(
           config.num_shards, config.system,
           config.obs.enable_metrics ? metrics_.get() : nullptr)),
@@ -22,11 +38,14 @@ AimsServer::AimsServer(ServerConfig config)
       ingest_(std::make_unique<IngestService>(
           catalog_.get(), pool_.get(), config.admission,
           config.obs.enable_metrics ? metrics_.get() : nullptr,
-          config.obs.enable_tracing ? tracer_.get() : nullptr)),
+          config.obs.enable_tracing ? tracer_.get() : nullptr,
+          config.obs.enable_cost_ledger ? cost_ledger_.get() : nullptr)),
       scheduler_(std::make_unique<QueryScheduler>(
           catalog_.get(), pool_.get(), config.scheduler,
           config.obs.enable_tracing ? tracer_.get() : nullptr,
-          config.obs.enable_metrics ? metrics_.get() : nullptr)),
+          config.obs.enable_metrics ? metrics_.get() : nullptr,
+          config.obs.enable_cost_ledger ? cost_ledger_.get() : nullptr,
+          slow_log_.get(), config.obs.slow_query_threshold_ms)),
       recognition_(std::make_unique<RecognitionService>(
           &vocabulary_, config.recognizer,
           config.obs.enable_metrics ? metrics_.get() : nullptr)) {
@@ -120,7 +139,11 @@ Result<SubmitQueryResponse> AimsServer::SubmitQuery(
     }
   }
   SubmitQueryResponse response;
-  AIMS_ASSIGN_OR_RETURN(response.ticket, scheduler_->Submit(request.query));
+  // The session check above makes the client id trustworthy, so it becomes
+  // the ledger's attribution key for everything the query consumes.
+  QueryRequest query = request.query;
+  query.tenant = request.client;
+  AIMS_ASSIGN_OR_RETURN(response.ticket, scheduler_->Submit(std::move(query)));
   return response;
 }
 
@@ -150,6 +173,12 @@ Result<StreamSamplesResponse> AimsServer::StreamSamples(
     trace->BeginSpan("stream_samples");
   }
   Trace* trace_ptr = trace.has_value() ? &*trace : nullptr;
+  obs::TenantLedger* tenant =
+      config_.obs.enable_cost_ledger
+          ? cost_ledger_->ForTenant(request.client)
+          : nullptr;
+  if (tenant != nullptr) tenant->CountStreamBatch();
+  obs::ScopedCpuCharge cpu_charge(tenant);
   for (const streams::Frame& frame : request.frames) {
     auto event = recognition_->PushFrame(request.client, frame, trace_ptr);
     if (!event.ok()) {
@@ -170,6 +199,32 @@ Result<GetHealthResponse> AimsServer::GetHealth(
   response.health =
       request.force_refresh ? reporter_->SnapshotNow() : reporter_->Latest();
   response.reporter_running = reporter_->running();
+  return response;
+}
+
+Result<GetTenantUsageResponse> AimsServer::GetTenantUsage(
+    const GetTenantUsageRequest& request) {
+  if (!config_.obs.enable_cost_ledger) {
+    return Status::FailedPrecondition(
+        "GetTenantUsage: cost ledger disabled "
+        "(ObsConfig::enable_cost_ledger)");
+  }
+  GetTenantUsageResponse response;
+  if (request.client.has_value()) {
+    std::optional<obs::TenantUsage> usage =
+        cost_ledger_->Usage(*request.client);
+    if (!usage.has_value()) {
+      return Status::NotFound(
+          "GetTenantUsage: ledger has no charges for client");
+    }
+    response.tenants.push_back(TenantUsageEntry{*request.client, *usage});
+    response.total = *usage;
+    return response;
+  }
+  for (const auto& [client, usage] : cost_ledger_->Snapshot()) {
+    response.tenants.push_back(TenantUsageEntry{client, usage});
+    response.total.Accumulate(usage);
+  }
   return response;
 }
 
@@ -204,6 +259,9 @@ void AimsServer::Shutdown() {
   reporter_->Stop();
   ingest_->Drain();
   scheduler_->Drain();
+  // All queries have published by now, so stopping the logger (join +
+  // final flush) makes every slow-query record durable before teardown.
+  if (slow_log_ != nullptr) slow_log_->Stop();
   pool_->Shutdown();
 }
 

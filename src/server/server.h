@@ -1,10 +1,13 @@
 #pragma once
 
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "obs/cost_ledger.h"
+#include "obs/log.h"
 #include "obs/stats_reporter.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
@@ -59,6 +62,23 @@ struct ObsConfig {
   /// > 0 starts the periodic reporter thread on this cadence (overriding
   /// reporter.interval_ms); 0 leaves health evaluation on-demand only.
   double reporter_interval_ms = 0.0;
+  /// Charge per-tenant resource usage (CPU-ns, block I/O, queue
+  /// occupancy) on every ingest/query/stream path; exposed through
+  /// GetTenantUsage and the aims_tenant_* Prometheus family. Off, the
+  /// services run with a null ledger and GetTenantUsage fails with
+  /// FailedPrecondition.
+  bool enable_cost_ledger = true;
+  /// > 0 makes the scheduler emit a slow-query record (plan + actuals,
+  /// JSON-lines) for every query whose end-to-end latency reaches this
+  /// threshold. 0 disables slow-query logging.
+  double slow_query_threshold_ms = 0.0;
+  /// Where slow-query records go. Empty with a positive threshold still
+  /// counts slow queries (metrics + ledger) but writes no log.
+  std::string slow_query_log_path;
+  /// Ring sizing / drain cadence / rate limit of the async slow-query
+  /// logger (see obs/log.h). Producers never block; overload drops
+  /// records and ticks the logger's drop counters instead.
+  obs::AsyncLogConfig slow_query_log;
 };
 
 /// \brief Server-wide configuration.
@@ -126,6 +146,13 @@ class AimsServer {
   /// Result envelope is for uniformity with the rest of the API.
   Result<GetHealthResponse> GetHealth(const GetHealthRequest& request);
 
+  /// \brief Reports per-tenant attributed resource usage. Needs no open
+  /// session (usage outlives sessions). FailedPrecondition when the cost
+  /// ledger is disabled; NotFound when a specific client was requested and
+  /// the ledger has never charged it.
+  Result<GetTenantUsageResponse> GetTenantUsage(
+      const GetTenantUsageRequest& request);
+
   // ---- Raw subsystem accessors: test/bench instrumentation only. ----
   // Application code goes through the typed API above; these exist so
   // tests and benches can reach into shard devices, metrics, and queues.
@@ -138,6 +165,12 @@ class AimsServer {
   Tracer& tracer() { return *tracer_; }
   obs::StatsReporter& reporter() { return *reporter_; }
   ThreadPool& pool() { return *pool_; }
+  /// Always constructed (like the registry and tracer); services only see
+  /// it when ObsConfig::enable_cost_ledger is set.
+  obs::CostLedger& cost_ledger() { return *cost_ledger_; }
+  /// The async slow-query logger, or null when slow-query logging is not
+  /// configured (threshold 0 or empty path).
+  obs::AsyncLogger* slow_query_log() { return slow_log_.get(); }
   const ServerConfig& config() const { return config_; }
 
   /// \brief Drains admitted ingests and queries, then stops the executor.
@@ -152,6 +185,11 @@ class AimsServer {
   ServerConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<obs::CostLedger> cost_ledger_;
+  // Stream before logger before scheduler: the scheduler's destructor may
+  // still publish records, and the logger flushes into the stream.
+  std::unique_ptr<std::ofstream> slow_log_stream_;
+  std::unique_ptr<obs::AsyncLogger> slow_log_;
   std::unique_ptr<ShardedCatalog> catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<IngestService> ingest_;

@@ -19,7 +19,8 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
-                               MetricsRegistry* metrics) {
+                               MetricsRegistry* metrics)
+    : config_(config) {
   AIMS_CHECK(num_shards >= 1);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -38,7 +39,8 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
 
 Result<GlobalSessionId> ShardedCatalog::Ingest(
     ClientId client, const std::string& name,
-    const streams::Recording& recording, obs::Trace* trace) {
+    const streams::Recording& recording, obs::Trace* trace,
+    IngestIoStats* io_stats) {
   size_t shard_index = ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
@@ -48,8 +50,16 @@ Result<GlobalSessionId> ShardedCatalog::Ingest(
     if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (trace != nullptr) trace->EndSpan(lock_span);
+    // Writes are serialized by the exclusive lock, so the device's write-
+    // counter delta across this ingest is attributable to it exactly.
+    const size_t writes_before = shard.system.device().writes();
     AIMS_ASSIGN_OR_RETURN(
         local, shard.system.IngestRecording(name, recording, trace));
+    if (io_stats != nullptr) {
+      io_stats->blocks_written = shard.system.device().writes() - writes_before;
+      io_stats->bytes_written =
+          io_stats->blocks_written * config_.block_size_bytes;
+    }
   }
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
@@ -175,6 +185,31 @@ size_t ShardedCatalog::total_blocks_read() const {
     total += shard->system.device().reads();
   }
   return total;
+}
+
+size_t ShardedCatalog::total_blocks_written() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->system.device().writes();
+  }
+  return total;
+}
+
+Result<core::QueryPlan> ShardedCatalog::PlanRangeQuery(GlobalSessionId id,
+                                                       size_t channel,
+                                                       size_t first_frame,
+                                                       size_t last_frame) const {
+  const Shard* shard = ShardFor(id);
+  if (shard == nullptr) {
+    return Status::NotFound("ShardedCatalog::PlanRangeQuery: no such shard");
+  }
+  std::shared_lock<std::shared_mutex> lock(shard->mutex);
+  AIMS_ASSIGN_OR_RETURN(core::QueryPlan plan,
+                        shard->system.PlanRangeQuery(LocalId(id), channel,
+                                                     first_frame, last_frame));
+  plan.session = id;
+  return plan;
 }
 
 }  // namespace aims::server

@@ -68,12 +68,23 @@ class ShardedCatalog {
 
   // ---- Write path (exclusive lock on one shard) -------------------------
 
+  /// \brief Device I/O one ingest performed, measured under the shard's
+  /// exclusive lock (writes are serialized per shard, so the counter delta
+  /// is exactly this ingest's) — the cost-attribution input for charging
+  /// the acting tenant's CostLedger.
+  struct IngestIoStats {
+    size_t blocks_written = 0;
+    size_t bytes_written = 0;
+  };
+
   /// \brief Ingests a recording into \p client's shard. \p trace
   /// (optional) gains a "shard_lock" span covering the exclusive-lock wait
   /// plus the per-channel transform/write spans recorded by the system.
+  /// \p io_stats (optional) receives the ingest's exact block-write I/O.
   Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
                                  const streams::Recording& recording,
-                                 obs::Trace* trace = nullptr);
+                                 obs::Trace* trace = nullptr,
+                                 IngestIoStats* io_stats = nullptr);
 
   // ---- Read path (shared lock on one shard) -----------------------------
 
@@ -96,12 +107,24 @@ class ShardedCatalog {
       size_t last_frame, const core::ProgressiveObserver& observer = {},
       const std::function<void()>& on_shard_locked = {}) const;
 
+  /// \brief EXPLAIN under the shard's shared lock: the deterministic plan
+  /// a progressive evaluation of this range would follow, with zero block
+  /// I/O. The returned plan's `session` field carries the global id.
+  Result<core::QueryPlan> PlanRangeQuery(GlobalSessionId id, size_t channel,
+                                         size_t first_frame,
+                                         size_t last_frame) const;
+
   /// All sessions across all shards (shard order, then local order).
   std::vector<core::SessionInfo> ListSessions() const;
 
   size_t total_sessions() const;
   /// Device read counter summed over shards.
   size_t total_blocks_read() const;
+  /// Device write counter summed over shards.
+  size_t total_blocks_written() const;
+  /// Block size every shard's device was built with (bytes moved per
+  /// block I/O — the ledger's bytes-from-blocks conversion factor).
+  size_t block_size_bytes() const { return config_.block_size_bytes; }
 
   /// \brief Test/admin access to one shard's block device (fault
   /// injection, counter resets). The fault-injection setters are atomic,
@@ -117,6 +140,7 @@ class ShardedCatalog {
 
   const Shard* ShardFor(GlobalSessionId id) const;
 
+  core::AimsConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Counter* ingest_count_ = nullptr;
   Counter* query_count_ = nullptr;

@@ -18,9 +18,7 @@ BlockId BlockDevice::Allocate() {
 }
 
 void BlockDevice::ChargeAccess() const {
-  double cost_ms = cost_model_.seek_ms +
-                   cost_model_.transfer_ms_per_kb *
-                       static_cast<double>(block_size_bytes_) / 1024.0;
+  double cost_ms = cost_model_.AccessCostMs(block_size_bytes_);
   // atomic<double>::fetch_add is C++20; relaxed is enough for a statistic.
   simulated_ms_.fetch_add(cost_ms, std::memory_order_relaxed);
   if (cost_model_.simulate_io_wait) {

@@ -36,6 +36,15 @@ struct DiskCostModel {
   /// can measure how well a configuration overlaps I/O waits — the only
   /// source of shard-scaling speedup on a single-core host.
   bool simulate_io_wait = false;
+
+  /// \brief Modeled cost of one access to a block of \p block_size_bytes —
+  /// the exact formula the device charges per Read/Write, exposed so
+  /// planners (EXPLAIN) can predict a query's I/O cost without touching
+  /// the device: predicted_io_ms = blocks * AccessCostMs(block_size).
+  double AccessCostMs(size_t block_size_bytes) const {
+    return seek_ms +
+           transfer_ms_per_kb * static_cast<double>(block_size_bytes) / 1024.0;
+  }
 };
 
 /// \brief Fixed-block in-memory device with read/write counters.

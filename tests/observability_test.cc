@@ -270,6 +270,50 @@ TEST(PrometheusExportTest, EveryRegisteredHistogramExposesQuantiles) {
   }
 }
 
+TEST(PrometheusExportTest, ExtendedOverloadEmitsTracerAndTenantFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("demo.requests")->Increment(1);
+
+  Tracer tracer(2);
+  for (uint64_t i = 1; i <= 3; ++i) tracer.Record(Trace(i));  // one evicted
+
+  CostLedger ledger;
+  TenantLedger* tenant = ledger.ForTenant(7);
+  tenant->ChargeCpuNs(1234);
+  tenant->ChargeRead(4, 2048);
+  tenant->ChargeQueueMs(2.5);
+  tenant->CountQuery();
+
+  const std::string base = PrometheusExport(registry);
+  const std::string out = PrometheusExport(registry, &tracer, &ledger);
+
+  // The single-arg export (pinned by the golden file) stays untouched; the
+  // extended overload appends the new families after it.
+  EXPECT_EQ(out.compare(0, base.size(), base), 0);
+
+  // Tracer family, including the trace-window coverage gauge that makes
+  // ring eviction visible: operators can tell how far back traces reach.
+  EXPECT_NE(out.find("aims_tracer_traces_recorded_total 3"), std::string::npos);
+  EXPECT_NE(out.find("aims_tracer_traces_dropped_total 1"), std::string::npos);
+  EXPECT_NE(out.find("aims_tracer_traces_retained 2"), std::string::npos);
+  EXPECT_NE(out.find("aims_tracer_oldest_trace_age_ms "), std::string::npos);
+
+  // Tenant family: one labelled sample per tenant per dimension.
+  EXPECT_NE(out.find("aims_tenant_cpu_ns_total{tenant=\"7\"} 1234"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_tenant_blocks_read_total{tenant=\"7\"} 4"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_tenant_bytes_read_total{tenant=\"7\"} 2048"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_tenant_queries_total{tenant=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_tenant_queue_ms_total{tenant=\"7\"} 2.5"),
+            std::string::npos);
+
+  // Null extras degrade to the base export exactly.
+  EXPECT_EQ(PrometheusExport(registry, nullptr, nullptr), base);
+}
+
 TEST(PrometheusExportTest, QuantilesInterpolateWithinBuckets) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("h", {10.0, 20.0});
@@ -367,6 +411,31 @@ TEST(TracerTest, RingBufferEvictsOldestAndCountsDrops) {
   tracer.Clear();
   EXPECT_EQ(tracer.Snapshot().size(), 0u);
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, SurfacesRetainedCountAndOldestTraceAge) {
+  Tracer tracer(4);
+  EXPECT_EQ(tracer.retained(), 0u);
+  EXPECT_EQ(tracer.OldestRetainedAgeMs(), 0.0) << "empty ring has no window";
+
+  tracer.Record(Trace(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (uint64_t i = 2; i <= 4; ++i) tracer.Record(Trace(i));
+  EXPECT_EQ(tracer.retained(), 4u);
+  // The oldest retained trace is the 50ms-old one — its age IS the
+  // trace-window coverage an operator sees.
+  const double full_window = tracer.OldestRetainedAgeMs();
+  EXPECT_GE(full_window, 50.0);
+
+  // Eviction narrows the window: dropping trace 1 makes the just-recorded
+  // trace 2 the oldest, so the reported coverage shrinks.
+  tracer.Record(Trace(5));
+  EXPECT_EQ(tracer.retained(), 4u);
+  EXPECT_LT(tracer.OldestRetainedAgeMs(), full_window);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.retained(), 0u);
+  EXPECT_EQ(tracer.OldestRetainedAgeMs(), 0.0);
 }
 
 // ---- End-to-end traces through the server ---------------------------------
@@ -599,6 +668,41 @@ TEST(StatsReporterTest, HealthLevelsFromSaturationAndLatency) {
   EXPECT_STREQ(HealthLevelName(HealthLevel::kOk), "Ok");
   EXPECT_STREQ(HealthLevelName(HealthLevel::kDegraded), "Degraded");
   EXPECT_STREQ(HealthLevelName(HealthLevel::kSaturated), "Saturated");
+}
+
+TEST(StatsReporterTest, SlowQueryRateDegradesHealth) {
+  MetricsRegistry registry;
+  Counter* slow = registry.GetCounter("scheduler.slow_queries");
+
+  StatsReporterConfig config;
+  config.slow_query_rate_per_sec = 1.0;
+  StatsReporter reporter(&registry, config);
+
+  // First window establishes the baseline; no rate yet, health Ok.
+  HealthSnapshot first = reporter.SnapshotNow();
+  EXPECT_EQ(first.level, HealthLevel::kOk);
+  EXPECT_EQ(first.slow_query_per_sec, 0.0);
+
+  // A burst of slow queries inside a short window is a rate far above
+  // 1/s: the reporter must call that Degraded, not Ok — persistent slow
+  // queries are an early saturation signal even while p99 still looks fine.
+  slow->Increment(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  HealthSnapshot burst = reporter.SnapshotNow();
+  EXPECT_GT(burst.slow_query_per_sec, config.slow_query_rate_per_sec);
+  EXPECT_EQ(burst.level, HealthLevel::kDegraded);
+  bool mentioned = false;
+  for (const std::string& reason : burst.reasons) {
+    if (reason.find("slow_queries") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned) << "reasons must name the slow-query counter";
+
+  // Threshold 0 disables the input entirely.
+  StatsReporter relaxed(&registry, {});
+  relaxed.SnapshotNow();
+  slow->Increment(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(relaxed.SnapshotNow().level, HealthLevel::kOk);
 }
 
 TEST(StatsReporterTest, BackgroundThreadPublishesSnapshots) {

@@ -1,0 +1,266 @@
+// EXPLAIN / ANALYZE for offline queries: the plan is deterministic and
+// block-I/O free, the analyzed execution reconciles exactly against it,
+// and the slow-query log carries the full record end to end. The golden
+// test pins the JSON record schema byte-for-byte (wall-clock values
+// normalized); regenerate with
+//   AIMS_REGEN_GOLDEN=1 ./query_explain_test
+// after an intentional schema change.
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace aims {
+namespace {
+
+using server::AimsServer;
+using server::ExplainMode;
+using server::QueryOutcome;
+using server::QueryRequest;
+using server::QueryState;
+using server::ServerConfig;
+
+streams::Recording MakeRecording(size_t frames, size_t channels) {
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] = std::sin(0.1 * static_cast<double>(f * (c + 1)));
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+ServerConfig SmallServerConfig() {
+  ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  config.system.block_size_bytes = 64;  // many blocks -> non-trivial plans
+  return config;
+}
+
+QueryRequest RaggedQuery(server::GlobalSessionId session, ExplainMode mode) {
+  QueryRequest query;
+  query.session = session;
+  query.channel = 0;
+  query.first_frame = 7;
+  query.last_frame = 246;
+  query.explain = mode;
+  return query;
+}
+
+TEST(ExplainTest, ExplainReturnsPlanWithoutBlockIo) {
+  AimsServer server(SmallServerConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  const size_t reads_before = server.catalog().total_blocks_read();
+  auto submitted =
+      server.SubmitQuery({1, RaggedQuery(ingest->session, ExplainMode::kExplain)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+  EXPECT_EQ(server.catalog().total_blocks_read(), reads_before)
+      << "EXPLAIN must not read a single block";
+  ASSERT_TRUE(outcome.plan.has_value());
+  EXPECT_FALSE(outcome.breakdown.has_value()) << "no execution, no actuals";
+
+  const core::QueryPlan& plan = *outcome.plan;
+  EXPECT_EQ(plan.session, ingest->session);
+  EXPECT_GT(plan.predicted_blocks, 1u);
+  EXPECT_EQ(plan.schedule.size(), plan.predicted_blocks);
+  EXPECT_EQ(plan.block_size_bytes, 64u);
+  // Cost prediction is schedule length times the device's per-access cost.
+  const double per_access =
+      server.config().system.disk_cost.AccessCostMs(plan.block_size_bytes);
+  EXPECT_DOUBLE_EQ(plan.predicted_io_ms,
+                   static_cast<double>(plan.predicted_blocks) * per_access);
+  // Levels are distinct and ascending; the schedule is sorted by
+  // descending query energy with the block index as the tie-break.
+  for (size_t i = 1; i < plan.wavelet_levels.size(); ++i) {
+    EXPECT_LT(plan.wavelet_levels[i - 1], plan.wavelet_levels[i]);
+  }
+  for (size_t i = 1; i < plan.schedule.size(); ++i) {
+    const auto& prev = plan.schedule[i - 1];
+    const auto& cur = plan.schedule[i];
+    EXPECT_TRUE(prev.query_energy > cur.query_energy ||
+                (prev.query_energy == cur.query_energy &&
+                 prev.logical_block < cur.logical_block))
+        << "schedule order violated at step " << i;
+  }
+  // The answer envelope still tells the client what a run would cost.
+  EXPECT_EQ(outcome.answer.blocks_needed, plan.predicted_blocks);
+  EXPECT_EQ(outcome.answer.blocks_read, 0u);
+}
+
+TEST(ExplainTest, PlanIsDeterministic) {
+  AimsServer server(SmallServerConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  auto first = server.catalog().PlanRangeQuery(ingest->session, 0, 7, 246);
+  auto second = server.catalog().PlanRangeQuery(ingest->session, 0, 7, 246);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->ToJson(), second->ToJson());
+}
+
+TEST(ExplainTest, ExplainOfMissingSessionFailsWithPlanStatus) {
+  AimsServer server(SmallServerConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  QueryRequest query = RaggedQuery(/*session=*/999, ExplainMode::kExplain);
+  query.last_frame = 10;
+  auto submitted = server.SubmitQuery({1, query});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  EXPECT_EQ(outcome.state, QueryState::kFailed);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(outcome.plan.has_value());
+}
+
+TEST(AnalyzeTest, AnalyzeReconcilesPredictedAgainstActualExactly) {
+  AimsServer server(SmallServerConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  auto submitted =
+      server.SubmitQuery({1, RaggedQuery(ingest->session, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+  ASSERT_TRUE(outcome.plan.has_value());
+  ASSERT_TRUE(outcome.breakdown.has_value());
+  const server::QueryBreakdown& actual = *outcome.breakdown;
+
+  // The acceptance bar: a complete analyzed run touches exactly the blocks
+  // the plan predicted — plan and execution walk one deterministic order.
+  EXPECT_EQ(actual.blocks_read, outcome.plan->predicted_blocks);
+  EXPECT_EQ(actual.predicted_blocks, outcome.plan->predicted_blocks);
+  EXPECT_TRUE(actual.reconciled);
+
+  EXPECT_EQ(actual.bytes_read,
+            actual.blocks_read * server.catalog().block_size_bytes());
+  // One error-bound sample per refinement step, ending exact.
+  ASSERT_EQ(actual.error_bound_trajectory.size(), actual.blocks_read);
+  EXPECT_NEAR(actual.error_bound_trajectory.back(), 0.0, 1e-9);
+  for (size_t i = 1; i < actual.error_bound_trajectory.size(); ++i) {
+    EXPECT_LE(actual.error_bound_trajectory[i],
+              actual.error_bound_trajectory[i - 1] + 1e-12)
+        << "error bound must be non-increasing";
+  }
+  // Stage times are sane: every stage fits inside the total.
+  EXPECT_GE(actual.total_ms, actual.exec_ms);
+  EXPECT_GE(actual.exec_ms, actual.refinement_ms);
+  EXPECT_GE(actual.shard_lock_wait_ms, 0.0);
+  EXPECT_GE(actual.admission_wait_ms, 0.0);
+
+  // ANALYZE answers must match the plain execution bit for bit.
+  auto plain =
+      server.SubmitQuery({1, RaggedQuery(ingest->session, ExplainMode::kNone)});
+  ASSERT_TRUE(plain.ok());
+  QueryOutcome plain_outcome = plain->ticket->Wait();
+  ASSERT_EQ(plain_outcome.state, QueryState::kComplete);
+  EXPECT_EQ(plain_outcome.answer.sum, outcome.answer.sum);
+  EXPECT_EQ(plain_outcome.answer.blocks_read, outcome.answer.blocks_read);
+  EXPECT_FALSE(plain_outcome.plan.has_value());
+}
+
+// ---- Golden slow-query record --------------------------------------------
+
+/// Zeroes the values of wall-clock keys (and only those) so the record is
+/// deterministic; every planned/counted field keeps its real value.
+std::string NormalizeWallClock(const std::string& record) {
+  static const std::regex kClockKey(
+      "\"(admission_wait_ms|shard_lock_wait_ms|refinement_ms|exec_ms|"
+      "total_ms)\":[0-9.eE+-]+");
+  return std::regex_replace(record, kClockKey, "\"$1\":0");
+}
+
+TEST(SlowQueryRecordTest, MatchesGoldenFile) {
+  AimsServer server(SmallServerConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  auto submitted =
+      server.SubmitQuery({1, RaggedQuery(ingest->session, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+
+  const std::string actual = NormalizeWallClock(
+      server::QueryRecordJson(RaggedQuery(ingest->session, ExplainMode::kAnalyze),
+                              outcome));
+
+  const std::string golden_path =
+      std::string(AIMS_TEST_DATA_DIR) + "/explain_analyze_golden.json";
+  if (std::getenv("AIMS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    out << actual << "\n";
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "missing golden file " << golden_path;
+  std::string expected;
+  std::getline(golden, expected);
+  EXPECT_EQ(actual, expected)
+      << "slow-query record schema drifted; regenerate deliberately with "
+         "AIMS_REGEN_GOLDEN=1 if the change is intentional";
+}
+
+TEST(SlowQueryLogTest, ThresholdedRecordsReachTheLogFile) {
+  const std::string log_path =
+      testing::TempDir() + "/aims_slow_queries.jsonl";
+  std::remove(log_path.c_str());
+  {
+    ServerConfig config = SmallServerConfig();
+    // Every query is "slow" at a sub-microsecond threshold, so the log
+    // captures each one deterministically.
+    config.obs.slow_query_threshold_ms = 1e-6;
+    config.obs.slow_query_log_path = log_path;
+    AimsServer server(config);
+    ASSERT_TRUE(server.OpenSession({1}).ok());
+    auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+    ASSERT_TRUE(ingest.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto submitted = server.SubmitQuery(
+          {1, RaggedQuery(ingest->session, ExplainMode::kAnalyze)});
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_EQ(submitted->ticket->Wait().state, QueryState::kComplete);
+    }
+    EXPECT_EQ(server.metrics().GetCounter("scheduler.slow_queries")->value(),
+              3u);
+    server.Shutdown();  // joins the logger: records are durable after this
+  }
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good());
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(log, line)) {
+    EXPECT_NE(line.find("\"type\":\"query\""), std::string::npos);
+    EXPECT_NE(line.find("\"tenant\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"reconciled\":true"), std::string::npos);
+    EXPECT_NE(line.find("\"plan\":{"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace aims
