@@ -37,5 +37,8 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke: bench_query_cost (asserts ledger overhead < 2%) =="
   "./${BUILD_DIR}/bench/bench_query_cost" "${ARTIFACT_DIR}" \
     > "${ARTIFACT_DIR}/bench_query_cost.txt"
+  echo "== bench smoke: bench_block_cache (asserts >= 3x hot p50 win) =="
+  "./${BUILD_DIR}/bench/bench_block_cache" \
+    > "${ARTIFACT_DIR}/bench_block_cache.json"
   echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
 fi

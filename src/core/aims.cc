@@ -22,6 +22,10 @@ AimsSystem::AimsSystem(AimsConfig config)
       filter_(signal::WaveletFilter::Make(config.filter)),
       device_(std::make_unique<storage::BlockDevice>(config.block_size_bytes,
                                                      config.disk_cost)),
+      cache_(config.block_cache.capacity_bytes > 0
+                 ? std::make_unique<storage::BlockCache>(device_.get(),
+                                                         config.block_cache)
+                 : nullptr),
       measure_(/*rank=*/0) {}
 
 Result<SessionId> AimsSystem::IngestRecording(
@@ -81,7 +85,7 @@ Result<SessionId> AimsSystem::IngestRecording(
     stored.store = std::make_unique<storage::WaveletStore>(
         device_.get(),
         std::make_unique<storage::SubtreeTilingAllocator>(padded, block_items),
-        padded);
+        padded, cache_.get());
     for (double v : coeffs) stored.energy += v * v;
     AIMS_RETURN_NOT_OK(stored.store->Put(coeffs));
     if (trace != nullptr) trace->EndSpan(write_span);
@@ -195,6 +199,9 @@ std::string QueryPlan::ToJson() const {
     out += std::to_string(wavelet_levels[i]);
   }
   out += "],\"predicted_blocks\":" + std::to_string(predicted_blocks) +
+         ",\"predicted_cached_blocks\":" +
+         std::to_string(predicted_cached_blocks) +
+         ",\"predicted_cold_blocks\":" + std::to_string(predicted_cold_blocks) +
          ",\"block_size_bytes\":" + std::to_string(block_size_bytes) +
          ",\"predicted_io_ms\":" + obs::TrimmedDouble(predicted_io_ms) +
          ",\"schedule\":[";
@@ -203,7 +210,8 @@ std::string QueryPlan::ToJson() const {
     if (i > 0) out += ',';
     out += "{\"block\":" + std::to_string(fetch.logical_block) +
            ",\"coefficients\":" + std::to_string(fetch.num_coefficients) +
-           ",\"query_energy\":" + obs::TrimmedDouble(fetch.query_energy) + '}';
+           ",\"query_energy\":" + obs::TrimmedDouble(fetch.query_energy) +
+           ",\"cached\":" + (fetch.cached ? "true" : "false") + '}';
   }
   out += "]}";
   return out;
@@ -245,14 +253,20 @@ Result<QueryPlan> AimsSystem::PlanRangeQuery(SessionId id, size_t channel,
   plan.wavelet_levels.assign(levels.begin(), levels.end());
   plan.predicted_blocks = order.size();
   plan.block_size_bytes = config_.block_size_bytes;
-  plan.predicted_io_ms =
-      static_cast<double>(order.size()) *
-      config_.disk_cost.AccessCostMs(config_.block_size_bytes);
   plan.schedule.reserve(order.size());
   for (const ScheduledBlock& work : order) {
+    // Residency probe only — Contains never perturbs the cache's LRU
+    // order, so EXPLAIN stays free of side effects.
+    const bool cached = stored.store->IsBlockCached(work.block);
+    if (cached) ++plan.predicted_cached_blocks;
     plan.schedule.push_back(QueryPlanBlockFetch{
-        work.block, work.coefficients.size(), work.query_energy});
+        work.block, work.coefficients.size(), work.query_energy, cached});
   }
+  plan.predicted_cold_blocks =
+      plan.predicted_blocks - plan.predicted_cached_blocks;
+  plan.predicted_io_ms =
+      static_cast<double>(plan.predicted_cold_blocks) *
+      config_.disk_cost.AccessCostMs(config_.block_size_bytes);
   return plan;
 }
 
@@ -332,9 +346,13 @@ Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
   ProgressiveRangeResult result;
   result.total_blocks_needed = order.size();
   size_t blocks_read = 0;
+  size_t cache_hits = 0;
   for (const ScheduledBlock& work : order) {
-    AIMS_ASSIGN_OR_RETURN(auto contents, stored.store->FetchBlock(work.block));
+    bool hit = false;
+    AIMS_ASSIGN_OR_RETURN(auto contents,
+                          stored.store->FetchBlock(work.block, &hit));
     ++blocks_read;
+    if (hit) ++cache_hits;
     for (const auto& [idx, value] : contents) {
       remaining_data_energy -= value * value;
       for (const auto& [qidx, q] : work.coefficients) {
@@ -344,6 +362,7 @@ Result<ProgressiveRangeResult> AimsSystem::QueryRangeProgressive(
     remaining_query_energy -= work.query_energy;
     ProgressiveRangeStep step;
     step.blocks_read = blocks_read;
+    step.cache_hits = cache_hits;
     step.sum_estimate = centered_sum + stored.mean * count;
     step.mean_estimate = step.sum_estimate / count;
     step.sum_error_bound =

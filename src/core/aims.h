@@ -13,6 +13,7 @@
 #include "recognition/vocabulary.h"
 #include "signal/dwpt.h"
 #include "signal/wavelet_filter.h"
+#include "storage/block_cache.h"
 #include "storage/block_device.h"
 #include "storage/wavelet_store.h"
 #include "streams/sample.h"
@@ -46,6 +47,11 @@ struct AimsConfig {
   /// Disk cost model for the block device. Set simulate_io_wait to make
   /// block I/O take real wall-clock time (server concurrency benches).
   storage::DiskCostModel disk_cost;
+  /// Read-through block cache over the device. capacity_bytes == 0 (the
+  /// default) disables caching entirely; when nonzero every wavelet-store
+  /// read routes through a sharded LRU cache and repeated fetches of a hot
+  /// block cost CPU instead of a simulated seek.
+  storage::BlockCacheConfig block_cache;
 };
 
 /// \brief Catalog entry for a stored session.
@@ -66,13 +72,19 @@ struct RangeStatistics {
   double mean = 0.0;
   double sum = 0.0;
   size_t count = 0;
-  /// Blocks read from the device to answer this query.
+  /// Blocks read from the *device* to answer this query — cache hits (when
+  /// a block cache is configured) do not count, so this is the cold-I/O
+  /// cost a tenant is billed for.
   size_t blocks_read = 0;
 };
 
-/// \brief One step of a progressive facade range query (one block I/O).
+/// \brief One step of a progressive facade range query (one block fetch —
+/// a device I/O when cold, a cache lookup when hot).
 struct ProgressiveRangeStep {
   size_t blocks_read = 0;
+  /// Of blocks_read, how many were served by the block cache without
+  /// touching the device. Cumulative, like blocks_read.
+  size_t cache_hits = 0;
   double sum_estimate = 0.0;
   double mean_estimate = 0.0;
   /// Guaranteed bound on |sum_estimate - exact sum| (Cauchy-Schwarz over
@@ -89,6 +101,9 @@ struct QueryPlanBlockFetch {
   /// The block's share of the query energy — the "importance" that put it
   /// at this position in the schedule.
   double query_energy = 0.0;
+  /// Whether the block was resident in the block cache when the plan was
+  /// computed (always false without a cache).
+  bool cached = false;
 };
 
 /// \brief The EXPLAIN side of a progressive range query: what the lazy
@@ -112,11 +127,21 @@ struct QueryPlan {
   /// approximation root; level k >= 1 is the detail band at depth k
   /// (coefficient indices [2^(k-1), 2^k)), finer as k grows.
   std::vector<size_t> wavelet_levels;
-  /// Blocks a run-to-exactness evaluation reads (== schedule.size()).
+  /// Blocks a run-to-exactness evaluation fetches (== schedule.size()).
   size_t predicted_blocks = 0;
+  /// Of predicted_blocks, how many were resident in the block cache at
+  /// planning time (0 without a cache). A fetch of a cached block costs
+  /// CPU, not I/O.
+  size_t predicted_cached_blocks = 0;
+  /// predicted_blocks - predicted_cached_blocks: device reads a
+  /// run-to-exactness evaluation performs. ANALYZE reconciles its actual
+  /// cold read count against this exactly (residency can only grow during
+  /// the run, and the run itself only adds blocks from its own schedule).
+  size_t predicted_cold_blocks = 0;
   /// Block size the store places coefficients on (bytes moved per fetch).
   size_t block_size_bytes = 0;
-  /// predicted_blocks * DiskCostModel::AccessCostMs(block_size_bytes).
+  /// predicted_cold_blocks * DiskCostModel::AccessCostMs(block_size_bytes)
+  /// — cache hits are free at the I/O layer.
   double predicted_io_ms = 0.0;
   /// The refinement schedule: blocks in decreasing query-energy order
   /// ("most valuable I/O's first"), ties broken by block index.
@@ -251,6 +276,11 @@ class AimsSystem {
   const storage::BlockDevice& device() const { return *device_; }
   storage::BlockDevice* mutable_device() { return device_.get(); }
 
+  /// The block cache over the device, or nullptr when the config disabled
+  /// it (block_cache.capacity_bytes == 0).
+  const storage::BlockCache* block_cache() const { return cache_.get(); }
+  storage::BlockCache* mutable_block_cache() { return cache_.get(); }
+
   // ---- On-line query ----------------------------------------------------
 
   /// \brief Registers a motion template for online recognition. Fails with
@@ -295,6 +325,8 @@ class AimsSystem {
   AimsConfig config_;
   signal::WaveletFilter filter_;
   std::unique_ptr<storage::BlockDevice> device_;
+  /// Declared after device_ (construction order): the cache fronts it.
+  std::unique_ptr<storage::BlockCache> cache_;
   std::vector<StoredSession> sessions_;
 
   recognition::Vocabulary vocabulary_;

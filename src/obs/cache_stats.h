@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file cache_stats.h
+/// \brief Point-in-time counters of one block cache (or an aggregate over
+/// several). Lives in obs — not storage — so the exporters can emit the
+/// aims_cache_* Prometheus family and GetHealth can carry cache health
+/// without obs depending on the storage layer (storage links obs, so the
+/// reverse edge would be a cycle).
+
+namespace aims::obs {
+
+/// \brief Snapshot of a block cache's accounting counters. Produced by
+/// storage::BlockCache::Stats() and summed across catalog shards by
+/// server::ShardedCatalog::TotalCacheStats().
+struct CacheStats {
+  /// Lookups served from the cache (no device I/O).
+  uint64_t hits = 0;
+  /// Lookups that went to the device (read-through).
+  uint64_t misses = 0;
+  /// Entries evicted to stay within the byte budget.
+  uint64_t evictions = 0;
+  /// Entries dropped because their block was overwritten (write-through
+  /// invalidation), keeping the cache coherent with the device.
+  uint64_t invalidations = 0;
+  /// Entries admitted after a miss.
+  uint64_t insertions = 0;
+  /// Payload bytes currently resident.
+  uint64_t bytes_cached = 0;
+  /// Blocks currently resident.
+  uint64_t blocks_cached = 0;
+  /// Configured byte budget (summed across instances when aggregated).
+  uint64_t capacity_bytes = 0;
+
+  /// Field-wise sum, for catalog-wide aggregates over per-shard caches.
+  void Accumulate(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    invalidations += other.invalidations;
+    insertions += other.insertions;
+    bytes_cached += other.bytes_cached;
+    blocks_cached += other.blocks_cached;
+    capacity_bytes += other.capacity_bytes;
+  }
+
+  /// hits / (hits + misses), or 0 before the first lookup.
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+}  // namespace aims::obs

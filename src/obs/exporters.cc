@@ -115,13 +115,39 @@ void AppendTenantFamily(std::string* out, const CostLedger& ledger) {
   }
 }
 
+void AppendCacheFamily(std::string* out, const CacheStats& cache) {
+  struct Dim {
+    const char* name;
+    const char* type;
+    uint64_t CacheStats::* field;
+  };
+  static constexpr Dim kDims[] = {
+      {"aims_cache_hits_total", "counter", &CacheStats::hits},
+      {"aims_cache_misses_total", "counter", &CacheStats::misses},
+      {"aims_cache_evictions_total", "counter", &CacheStats::evictions},
+      {"aims_cache_invalidations_total", "counter",
+       &CacheStats::invalidations},
+      {"aims_cache_insertions_total", "counter", &CacheStats::insertions},
+      {"aims_cache_bytes", "gauge", &CacheStats::bytes_cached},
+      {"aims_cache_blocks", "gauge", &CacheStats::blocks_cached},
+      {"aims_cache_capacity_bytes", "gauge", &CacheStats::capacity_bytes},
+  };
+  for (const Dim& dim : kDims) {
+    *out += std::string("# TYPE ") + dim.name + " " + dim.type + "\n";
+    *out += std::string(dim.name) + " " + std::to_string(cache.*dim.field) +
+            "\n";
+  }
+}
+
 }  // namespace
 
 std::string PrometheusExport(const MetricsRegistry& registry,
-                             const Tracer* tracer, const CostLedger* ledger) {
+                             const Tracer* tracer, const CostLedger* ledger,
+                             const CacheStats* cache) {
   std::string out = PrometheusExport(registry);
   if (tracer != nullptr) AppendTracerFamily(&out, *tracer);
   if (ledger != nullptr) AppendTenantFamily(&out, *ledger);
+  if (cache != nullptr) AppendCacheFamily(&out, *cache);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/cache_stats.h"
 #include "obs/cost_ledger.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -33,10 +34,14 @@ std::string PrometheusExport(const MetricsRegistry& registry);
 /// retained count, and the oldest retained trace's age, so dashboards can
 /// see the trace window's actual coverage, not just that eviction happened
 /// — and the cost ledger as the `aims_tenant_*` family, one
-/// `{tenant="<id>"}` labelled series per tenant per cost dimension.
+/// `{tenant="<id>"}` labelled series per tenant per cost dimension — and
+/// a block-cache snapshot (e.g. ShardedCatalog::TotalCacheStats()) as the
+/// `aims_cache_*` family: hit/miss/eviction/invalidation/insertion
+/// counters plus resident-bytes/blocks and capacity gauges.
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer,
-                             const CostLedger* ledger = nullptr);
+                             const CostLedger* ledger = nullptr,
+                             const CacheStats* cache = nullptr);
 
 /// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
 /// "aims_scheduler_exec_ms". Exposed for tests and dashboards.

@@ -13,13 +13,14 @@ namespace aims::propolyne {
 
 Result<BlockedCube> BlockedCube::Make(
     const DataCube* cube, storage::BlockDevice* device,
-    std::vector<size_t> virtual_block_sizes) {
+    std::vector<size_t> virtual_block_sizes, storage::BlockCache* cache) {
   AIMS_CHECK(cube != nullptr && device != nullptr);
+  AIMS_CHECK(cache == nullptr || cache->device() == device);
   const CubeSchema& schema = cube->schema();
   if (virtual_block_sizes.size() != schema.num_dims()) {
     return Status::InvalidArgument("BlockedCube: virtual block arity");
   }
-  BlockedCube blocked(cube, device);
+  BlockedCube blocked(cube, device, cache);
   blocked.virtual_block_sizes_ = virtual_block_sizes;
   blocked.block_size_items_ = 1;
   for (size_t b : virtual_block_sizes) blocked.block_size_items_ *= b;
@@ -66,7 +67,10 @@ Result<BlockedCube> BlockedCube::Make(
       std::memcpy(payload.data() + slot * sizeof(double), &v, sizeof(double));
     }
     blocked.device_blocks_[b] = device->Allocate();
-    AIMS_RETURN_NOT_OK(device->Write(blocked.device_blocks_[b], payload));
+    AIMS_RETURN_NOT_OK(
+        cache != nullptr
+            ? cache->Write(blocked.device_blocks_[b], payload)
+            : device->Write(blocked.device_blocks_[b], payload));
   }
   return blocked;
 }
@@ -132,10 +136,15 @@ Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
   // upper-bounds the unread coefficients' energy.
   double remaining_data_energy = cube_->wavelet_energy();
   size_t blocks_read = 0;
+  size_t cache_hits = 0;
   for (const auto& [block, work] : order) {
+    bool hit = false;
     AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          device_->Read(device_blocks_[block]));
+                          cache_ != nullptr
+                              ? cache_->Read(device_blocks_[block], &hit)
+                              : device_->Read(device_blocks_[block]));
     ++blocks_read;
+    if (hit) ++cache_hits;
     // Decode only the needed slots.
     const std::vector<size_t>& contents = block_contents_[block];
     double block_data_energy = 0.0;
@@ -157,6 +166,7 @@ Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
     remaining_data_energy -= block_data_energy;
     BlockStep step;
     step.blocks_read = blocks_read;
+    step.cache_hits = cache_hits;
     step.estimate = acc;
     step.error_bound = std::sqrt(std::max(remaining_query_energy, 0.0)) *
                        std::sqrt(std::max(remaining_data_energy, 0.0));
@@ -168,7 +178,7 @@ Result<BlockProgressiveResult> BlockedCube::EvaluateProgressive(
     }
   }
   if (result.steps.empty()) {
-    result.steps.push_back(BlockStep{0, 0.0, 0.0});
+    result.steps.push_back(BlockStep{0, 0, 0.0, 0.0});
   } else if (result.complete) {
     result.steps.back().error_bound = 0.0;  // everything needed was read
   }

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "propolyne/datacube.h"
 #include "propolyne/evaluator.h"
+#include "storage/block_cache.h"
 #include "storage/block_device.h"
 
 /// \file block_propolyne.h
@@ -36,6 +37,9 @@ enum class BlockImportance {
 /// \brief One step of a block-progressive evaluation.
 struct BlockStep {
   size_t blocks_read = 0;
+  /// Of blocks_read, how many were served by a configured BlockCache (no
+  /// device I/O). Cumulative, like blocks_read.
+  size_t cache_hits = 0;
   double estimate = 0.0;
   double error_bound = 0.0;
 };
@@ -60,10 +64,13 @@ class BlockedCube {
  public:
   /// Places \p cube's wavelet coefficients on \p device using per-dimension
   /// error-tree tiling with the given virtual block sizes (their product is
-  /// the real block item count; items are 8-byte doubles).
+  /// the real block item count; items are 8-byte doubles). When \p cache is
+  /// set (not owned, must front the same device) block writes and
+  /// progressive-evaluation reads route through it.
   static Result<BlockedCube> Make(const DataCube* cube,
                                   storage::BlockDevice* device,
-                                  std::vector<size_t> virtual_block_sizes);
+                                  std::vector<size_t> virtual_block_sizes,
+                                  storage::BlockCache* cache = nullptr);
 
   /// \brief Evaluates a query progressively at block granularity.
   /// The device's read counter advances once per fetched block. When
@@ -83,14 +90,16 @@ class BlockedCube {
   size_t block_size_items() const { return block_size_items_; }
 
  private:
-  BlockedCube(const DataCube* cube, storage::BlockDevice* device)
-      : cube_(cube), device_(device), evaluator_(cube) {}
+  BlockedCube(const DataCube* cube, storage::BlockDevice* device,
+              storage::BlockCache* cache)
+      : cube_(cube), device_(device), cache_(cache), evaluator_(cube) {}
 
   /// Logical block id of a flat (row-major) wavelet coefficient index.
   size_t BlockOfFlat(size_t flat) const;
 
   const DataCube* cube_;
   storage::BlockDevice* device_;
+  storage::BlockCache* cache_ = nullptr;
   Evaluator evaluator_;
   std::vector<size_t> virtual_block_sizes_;
   std::vector<size_t> per_dim_blocks_;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cache_stats.h"
 #include "obs/cost_ledger.h"
 #include "obs/stats_reporter.h"
 #include "recognition/isolator.h"
@@ -91,6 +92,9 @@ struct GetHealthResponse {
   /// Whether the periodic reporter thread is running (false means the
   /// snapshot was computed on demand).
   bool reporter_running = false;
+  /// Catalog-wide block-cache counters (summed over shards). All zero when
+  /// caching is disabled or ObsConfig::enable_cache_stats is off.
+  obs::CacheStats cache;
 };
 
 /// \brief Asks the server what each tenant has consumed: CPU time, block

@@ -48,6 +48,7 @@ std::string QueryRecordJson(const QueryRequest& request,
   out += ",\"count\":" + std::to_string(answer.count);
   out += ",\"error_bound\":" + TrimmedDouble(answer.error_bound);
   out += ",\"blocks_read\":" + std::to_string(answer.blocks_read);
+  out += ",\"cache_hits\":" + std::to_string(answer.cache_hits);
   out += ",\"blocks_needed\":" + std::to_string(answer.blocks_needed) + "}";
   out += ",\"plan\":";
   out += outcome.plan.has_value() ? outcome.plan->ToJson() : "null";
@@ -60,8 +61,12 @@ std::string QueryRecordJson(const QueryRequest& request,
     out += ",\"exec_ms\":" + TrimmedDouble(b.exec_ms);
     out += ",\"total_ms\":" + TrimmedDouble(b.total_ms);
     out += ",\"blocks_read\":" + std::to_string(b.blocks_read);
+    out += ",\"blocks_fetched\":" + std::to_string(b.blocks_fetched);
+    out += ",\"cache_hits\":" + std::to_string(b.cache_hits);
     out += ",\"bytes_read\":" + std::to_string(b.bytes_read);
     out += ",\"predicted_blocks\":" + std::to_string(b.predicted_blocks);
+    out += ",\"predicted_cold_blocks\":" +
+           std::to_string(b.predicted_cold_blocks);
     out += ",\"reconciled\":";
     out += b.reconciled ? "true" : "false";
     out += ",\"error_bound_trajectory\":[";
@@ -286,11 +291,18 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
     io_start_ms = trace.ElapsedMs();
     lock_acquired_ms = io_start_ms;
   };
+  // Per-step capture so the failure path knows how many fetches (and of
+  // those, cache hits) happened before the error — the result object never
+  // materializes on that path.
+  size_t observed_fetches = 0;
+  size_t observed_hits = 0;
   auto observer =
       [&](const core::ProgressiveRangeStep& step) -> core::StepControl {
     const double now_ms = trace.ElapsedMs();
     trace.AddSpan("block_io", io_start_ms, now_ms);
     io_start_ms = now_ms;
+    observed_fetches = step.blocks_read;
+    observed_hits = step.cache_hits;
     if (ticket->cancel_requested()) {
       stop = StopReason::kCancel;
       return core::StepControl::kStop;
@@ -322,6 +334,17 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
     // rides through the outcome envelope unchanged.
     outcome.state = QueryState::kFailed;
     outcome.status = result.status();
+    if (tenant != nullptr) {
+      // The completed steps' cold reads hit the device and were charged
+      // there; an IoError means one more read failed after seeking (the
+      // device charges the failed access too), so bill it. Validation
+      // failures (NotFound, OutOfRange) read nothing extra.
+      size_t cold = observed_fetches - observed_hits;
+      if (result.status().code() == StatusCode::kIoError) ++cold;
+      if (cold > 0) {
+        tenant->ChargeRead(cold, cold * catalog_->block_size_bytes());
+      }
+    }
     Finish(ticket, std::move(outcome));
     return;
   }
@@ -336,6 +359,7 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
     answer.mean = last.mean_estimate;
     answer.error_bound = last.sum_error_bound;
     answer.blocks_read = last.blocks_read;
+    answer.cache_hits = last.cache_hits;
   }
 
   if (progressive.complete || stop == StopReason::kTarget) {
@@ -358,24 +382,36 @@ void QueryScheduler::Execute(const QueryTicketPtr& ticket) {
   breakdown.shard_lock_wait_ms = lock_acquired_ms - exec_start_ms;
   breakdown.refinement_ms = exec_end_ms - lock_acquired_ms;
   breakdown.exec_ms = exec_end_ms - exec_start_ms;
-  breakdown.blocks_read = answer.blocks_read;
-  breakdown.bytes_read = answer.blocks_read * catalog_->block_size_bytes();
+  // blocks_read is the COLD device-read count: total fetches minus the
+  // fetches the block cache absorbed. With caching off they coincide.
+  breakdown.blocks_fetched = answer.blocks_read;
+  breakdown.cache_hits = answer.cache_hits;
+  breakdown.blocks_read = answer.blocks_read - answer.cache_hits;
+  breakdown.bytes_read = breakdown.blocks_read * catalog_->block_size_bytes();
   breakdown.error_bound_trajectory.reserve(progressive.steps.size());
   for (const core::ProgressiveRangeStep& step : progressive.steps) {
     breakdown.error_bound_trajectory.push_back(step.sum_error_bound);
   }
   if (outcome.plan.has_value()) {
     breakdown.predicted_blocks = outcome.plan->predicted_blocks;
+    breakdown.predicted_cold_blocks = outcome.plan->predicted_cold_blocks;
     // A complete evaluation must touch exactly the planned blocks — the
-    // plan and the execution walk the same deterministic schedule.
-    breakdown.reconciled = progressive.complete &&
-                           breakdown.blocks_read == breakdown.predicted_blocks;
+    // plan and the execution walk the same deterministic schedule — and its
+    // cold reads must match the plan's residency-based prediction exactly
+    // (residency only grows under the shard lock, and only with blocks
+    // from this very schedule).
+    breakdown.reconciled =
+        progressive.complete &&
+        breakdown.blocks_fetched == breakdown.predicted_blocks &&
+        breakdown.blocks_read == breakdown.predicted_cold_blocks;
   }
   outcome.breakdown = std::move(breakdown);
 
   if (tenant != nullptr) {
-    tenant->ChargeRead(answer.blocks_read,
-                       answer.blocks_read * catalog_->block_size_bytes());
+    // Hits cost CPU (already covered by the ScopedCpuCharge), not I/O:
+    // only cold reads reach the tenant's I/O ledger.
+    const size_t cold = answer.blocks_read - answer.cache_hits;
+    tenant->ChargeRead(cold, cold * catalog_->block_size_bytes());
   }
   Finish(ticket, std::move(outcome));
 }

@@ -100,7 +100,11 @@ struct QueryAnswer {
   size_t count = 0;
   /// Guaranteed bound on |sum - exact sum|; 0 when exact.
   double error_bound = 0.0;
+  /// Refinement steps taken (block fetches — cache hits included, so this
+  /// matches the evaluation's trajectory length regardless of residency).
   size_t blocks_read = 0;
+  /// Of blocks_read, fetches served by the block cache (no device I/O).
+  size_t cache_hits = 0;
   /// Blocks a run-to-exactness evaluation would read.
   size_t blocks_needed = 0;
 };
@@ -119,13 +123,23 @@ struct QueryBreakdown {
   double exec_ms = 0.0;
   /// Submission to completion.
   double total_ms = 0.0;
+  /// Cold device reads — block fetches the cache could not serve (equal to
+  /// blocks_fetched when caching is off). This is what the tenant's ledger
+  /// is charged for.
   size_t blocks_read = 0;
+  /// Total refinement steps (cold reads + cache hits).
+  size_t blocks_fetched = 0;
+  /// Of blocks_fetched, fetches served by the block cache.
+  size_t cache_hits = 0;
   /// blocks_read * the catalog's block size — bytes moved off the device.
   size_t bytes_read = 0;
   /// The plan's predicted block count (0 when no plan was computed).
   size_t predicted_blocks = 0;
-  /// True when a plan was computed, the query ran to completion, and
-  /// blocks_read == predicted_blocks — the EXPLAIN/ANALYZE contract.
+  /// The plan's predicted cold (device-read) block count.
+  size_t predicted_cold_blocks = 0;
+  /// True when a plan was computed, the query ran to completion,
+  /// blocks_fetched == predicted_blocks, AND blocks_read ==
+  /// predicted_cold_blocks — the cache-aware EXPLAIN/ANALYZE contract.
   bool reconciled = false;
   /// Guaranteed sum error bound after each refinement step.
   std::vector<double> error_bound_trajectory;

@@ -199,6 +199,9 @@ Result<GetHealthResponse> AimsServer::GetHealth(
   response.health =
       request.force_refresh ? reporter_->SnapshotNow() : reporter_->Latest();
   response.reporter_running = reporter_->running();
+  if (config_.obs.enable_cache_stats) {
+    response.cache = catalog_->TotalCacheStats();
+  }
   return response;
 }
 

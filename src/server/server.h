@@ -79,6 +79,10 @@ struct ObsConfig {
   /// logger (see obs/log.h). Producers never block; overload drops
   /// records and ticks the logger's drop counters instead.
   obs::AsyncLogConfig slow_query_log;
+  /// Include the catalog-wide block-cache counters in GetHealth responses
+  /// (all-zero when ServerConfig::system.block_cache is disabled). Off,
+  /// the health response's cache section stays default-initialized.
+  bool enable_cache_stats = true;
 };
 
 /// \brief Server-wide configuration.
@@ -89,7 +93,11 @@ struct ServerConfig {
   /// Executor width.
   size_t num_threads = 4;
   /// Per-shard AimsSystem configuration (wavelet family, block size,
-  /// disk cost model...).
+  /// disk cost model, block-cache capacity...). Set
+  /// system.block_cache.capacity_bytes > 0 to give every shard a sharded
+  /// read-through block cache; hot progressive queries then cost CPU
+  /// instead of simulated seeks, and tenants are billed only for cold
+  /// reads.
   core::AimsConfig system;
   /// Ingest admission/retry policy.
   IngestAdmissionPolicy admission;

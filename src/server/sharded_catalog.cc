@@ -44,26 +44,30 @@ Result<GlobalSessionId> ShardedCatalog::Ingest(
   size_t shard_index = ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
-  core::SessionId local;
-  {
+  Result<core::SessionId> local = [&]() -> Result<core::SessionId> {
     size_t lock_span = 0;
     if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (trace != nullptr) trace->EndSpan(lock_span);
     // Writes are serialized by the exclusive lock, so the device's write-
     // counter delta across this ingest is attributable to it exactly.
+    // io_stats is filled whatever the outcome: a fault mid-ingest has
+    // already performed (and charged) its writes, and the tenant's ledger
+    // must reflect them.
     const size_t writes_before = shard.system.device().writes();
-    AIMS_ASSIGN_OR_RETURN(
-        local, shard.system.IngestRecording(name, recording, trace));
+    Result<core::SessionId> result =
+        shard.system.IngestRecording(name, recording, trace);
     if (io_stats != nullptr) {
       io_stats->blocks_written = shard.system.device().writes() - writes_before;
       io_stats->bytes_written =
           io_stats->blocks_written * config_.block_size_bytes;
     }
-  }
+    return result;
+  }();
+  AIMS_RETURN_NOT_OK(local.status());
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
-  return MakeGlobalId(shard_index, local);
+  return MakeGlobalId(shard_index, *local);
 }
 
 const ShardedCatalog::Shard* ShardedCatalog::ShardFor(
@@ -176,6 +180,21 @@ size_t ShardedCatalog::total_sessions() const {
 storage::BlockDevice* ShardedCatalog::mutable_shard_device(size_t shard) {
   AIMS_CHECK(shard < shards_.size());
   return shards_[shard]->system.mutable_device();
+}
+
+storage::BlockCache* ShardedCatalog::mutable_shard_cache(size_t shard) {
+  AIMS_CHECK(shard < shards_.size());
+  return shards_[shard]->system.mutable_block_cache();
+}
+
+obs::CacheStats ShardedCatalog::TotalCacheStats() const {
+  obs::CacheStats total;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    const storage::BlockCache* cache = shard->system.block_cache();
+    if (cache != nullptr) total.Accumulate(cache->Stats());
+  }
+  return total;
 }
 
 size_t ShardedCatalog::total_blocks_read() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/aims.h"
+#include "obs/cache_stats.h"
 #include "obs/tracer.h"
 #include "server/metrics.h"
 
@@ -80,7 +81,9 @@ class ShardedCatalog {
   /// \brief Ingests a recording into \p client's shard. \p trace
   /// (optional) gains a "shard_lock" span covering the exclusive-lock wait
   /// plus the per-channel transform/write spans recorded by the system.
-  /// \p io_stats (optional) receives the ingest's exact block-write I/O.
+  /// \p io_stats (optional) receives the ingest's exact block-write I/O —
+  /// filled even when the ingest fails partway, so a write fault's device
+  /// I/O still reaches the tenant's cost ledger.
   Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
                                  const streams::Recording& recording,
                                  obs::Trace* trace = nullptr,
@@ -126,10 +129,20 @@ class ShardedCatalog {
   /// block I/O — the ledger's bytes-from-blocks conversion factor).
   size_t block_size_bytes() const { return config_.block_size_bytes; }
 
+  /// \brief Block-cache counters summed across shards (all zero when the
+  /// config disabled caching) — the aims_cache_* Prometheus family and the
+  /// GetHealth cache section.
+  obs::CacheStats TotalCacheStats() const;
+
   /// \brief Test/admin access to one shard's block device (fault
   /// injection, counter resets). The fault-injection setters are atomic,
   /// so this is safe to call while the shard is serving traffic.
   storage::BlockDevice* mutable_shard_device(size_t shard);
+
+  /// \brief Test/admin access to one shard's block cache, or nullptr when
+  /// caching is disabled. Clear() is internally synchronized; use it (e.g.
+  /// benches forcing a cold start) rather than mutating entries.
+  storage::BlockCache* mutable_shard_cache(size_t shard);
 
  private:
   struct Shard {

@@ -1,0 +1,115 @@
+#include "storage/block_cache.h"
+
+#include "common/macros.h"
+
+namespace aims::storage {
+
+BlockCache::BlockCache(BlockDevice* device, BlockCacheConfig config)
+    : device_(device),
+      config_(config),
+      shard_capacity_bytes_(config.capacity_bytes /
+                            std::max<size_t>(config.num_shards, 1)),
+      shards_(std::max<size_t>(config.num_shards, 1)) {
+  AIMS_CHECK(device_ != nullptr);
+}
+
+Result<std::vector<uint8_t>> BlockCache::Read(BlockId id, bool* hit) const {
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, kRelaxed);
+      if (hit != nullptr) *hit = true;
+      return it->second->payload;
+    }
+  }
+  // Miss: read through outside the lock so one slow device access (8 ms
+  // simulated seek) never serializes the whole shard.
+  misses_.fetch_add(1, kRelaxed);
+  if (hit != nullptr) *hit = false;
+  AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, device_->Read(id));
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // A concurrent miss on the same block may have admitted it already;
+    // its copy is identical (reads race only with reads), so keep it.
+    if (shard.index.find(id) == shard.index.end()) {
+      InsertLocked(shard, id, payload);
+    }
+  }
+  return payload;
+}
+
+void BlockCache::InsertLocked(Shard& shard, BlockId id,
+                              const std::vector<uint8_t>& payload) const {
+  if (payload.size() > shard_capacity_bytes_) return;  // would evict a shard
+  while (!shard.lru.empty() &&
+         shard.bytes + payload.size() > shard_capacity_bytes_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.payload.size();
+    bytes_cached_.fetch_sub(victim.payload.size(), kRelaxed);
+    blocks_cached_.fetch_sub(1, kRelaxed);
+    evictions_.fetch_add(1, kRelaxed);
+    shard.index.erase(victim.id);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{id, payload});
+  shard.index[id] = shard.lru.begin();
+  shard.bytes += payload.size();
+  bytes_cached_.fetch_add(payload.size(), kRelaxed);
+  blocks_cached_.fetch_add(1, kRelaxed);
+  insertions_.fetch_add(1, kRelaxed);
+}
+
+Status BlockCache::Write(BlockId id, const std::vector<uint8_t>& payload) {
+  // Invalidate before the device write: whatever the write's outcome, the
+  // cache never holds bytes the device does not.
+  Invalidate(id);
+  return device_->Write(id, payload);
+}
+
+void BlockCache::Invalidate(BlockId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->payload.size();
+  bytes_cached_.fetch_sub(it->second->payload.size(), kRelaxed);
+  blocks_cached_.fetch_sub(1, kRelaxed);
+  invalidations_.fetch_add(1, kRelaxed);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+bool BlockCache::Contains(BlockId id) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.find(id) != shard.index.end();
+}
+
+void BlockCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bytes_cached_.fetch_sub(shard.bytes, kRelaxed);
+    blocks_cached_.fetch_sub(shard.lru.size(), kRelaxed);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+obs::CacheStats BlockCache::Stats() const {
+  obs::CacheStats stats;
+  stats.hits = hits_.load(kRelaxed);
+  stats.misses = misses_.load(kRelaxed);
+  stats.evictions = evictions_.load(kRelaxed);
+  stats.invalidations = invalidations_.load(kRelaxed);
+  stats.insertions = insertions_.load(kRelaxed);
+  stats.bytes_cached = bytes_cached_.load(kRelaxed);
+  stats.blocks_cached = blocks_cached_.load(kRelaxed);
+  stats.capacity_bytes = config_.capacity_bytes;
+  return stats;
+}
+
+}  // namespace aims::storage

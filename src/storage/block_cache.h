@@ -1,0 +1,137 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/cache_stats.h"
+#include "storage/block_device.h"
+
+/// \file block_cache.h
+/// \brief Sharded read-through LRU cache over a BlockDevice. The paper
+/// measures query cost in blocks touched (Sec. 3.2.1) and the dominant
+/// server workload is hot-working-set: many progressive queries refining
+/// the same recent recordings, each re-reading the same wavelet blocks at
+/// a full simulated seek apiece. The cache sits between the block
+/// consumers (WaveletStore, BlockedCube, the relation representations) and
+/// the device so a resident block costs CPU, not I/O.
+///
+/// Design:
+///   * N mutex-guarded shards keyed by BlockId (id % N), so concurrent
+///     readers on different blocks rarely contend on one lock;
+///   * a byte budget split evenly across shards, enforced per shard with
+///     LRU eviction (accounting actual payload bytes, not block capacity);
+///   * write-through invalidation: Write forwards to the device and drops
+///     any cached copy first, so the cache can never serve stale bytes —
+///     re-ingest (WaveletStore re-Put) goes through this path;
+///   * per-instance hit/miss/eviction/invalidation/bytes counters,
+///     exported as obs::CacheStats (the aims_cache_* Prometheus family).
+///
+/// Concurrency contract: Read and Contains are safe from many threads at
+/// once (shard mutexes + the device's concurrent-read contract). Write and
+/// Invalidate mutate the device's block table and therefore inherit the
+/// device's requirement of external exclusive synchronization against all
+/// other calls — the server's per-shard writer locks provide exactly that,
+/// which is what makes the invalidation correct: no reader can race a
+/// block's overwrite.
+
+namespace aims::storage {
+
+/// \brief Sizing of one BlockCache.
+struct BlockCacheConfig {
+  /// Total payload-byte budget across all shards. 0 disables caching:
+  /// every Read passes through to the device and nothing is retained
+  /// (AimsSystem skips constructing a cache entirely in that case).
+  size_t capacity_bytes = 0;
+  /// Mutex-guarded shards; blocks map to shards by id modulo this count.
+  /// Clamped to at least 1. Each shard's budget is capacity_bytes / N, so
+  /// keep capacity well above num_shards * block_size or small shards will
+  /// thrash.
+  size_t num_shards = 8;
+};
+
+/// \brief Read-through LRU block cache (see file comment for the design
+/// and the concurrency contract).
+class BlockCache {
+ public:
+  /// \param device the backing device (not owned).
+  BlockCache(BlockDevice* device, BlockCacheConfig config);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// \brief Returns the block's payload, from the cache when resident,
+  /// otherwise from the device (charging its access cost) with the result
+  /// admitted under the byte budget. \p hit (optional) reports whether
+  /// this exact call was served from the cache — per-call truth, unlike a
+  /// counter delta, which races under concurrency.
+  Result<std::vector<uint8_t>> Read(BlockId id, bool* hit = nullptr) const;
+
+  /// \brief Write-through: drops any cached copy of \p id, then forwards
+  /// to the device. Invalidate-before-write means no stale entry can
+  /// survive regardless of the device write's outcome. Requires exclusive
+  /// synchronization (the device's Write contract).
+  Status Write(BlockId id, const std::vector<uint8_t>& payload);
+
+  /// \brief Drops the cached copy of \p id, if any.
+  void Invalidate(BlockId id);
+
+  /// \brief Residency probe for planners (EXPLAIN predicts cold vs cached
+  /// from this). Deliberately does NOT touch the LRU order: planning a
+  /// query must not perturb what the cache retains.
+  bool Contains(BlockId id) const;
+
+  /// \brief Drops every entry (counters keep accumulating).
+  void Clear();
+
+  /// \brief Snapshot of the accounting counters.
+  obs::CacheStats Stats() const;
+
+  size_t capacity_bytes() const { return config_.capacity_bytes; }
+  size_t num_shards() const { return shards_.size(); }
+  const BlockDevice* device() const { return device_; }
+  BlockDevice* mutable_device() { return device_; }
+
+ private:
+  struct Entry {
+    BlockId id = 0;
+    std::vector<uint8_t> payload;
+  };
+  /// One shard: an LRU list (front = most recent) plus an index into it.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<BlockId, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(BlockId id) const {
+    return shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+  /// Inserts under the shard's lock, evicting LRU entries to the budget.
+  /// Payloads larger than one shard's whole budget are not admitted.
+  void InsertLocked(Shard& shard, BlockId id,
+                    const std::vector<uint8_t>& payload) const;
+
+  BlockDevice* device_;
+  BlockCacheConfig config_;
+  size_t shard_capacity_bytes_;
+  /// Shards are mutable because Read is const (like the device's atomic
+  /// counters): caching is an accounting detail, not observable state.
+  mutable std::vector<Shard> shards_;
+
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> invalidations_{0};
+  mutable std::atomic<uint64_t> insertions_{0};
+  mutable std::atomic<uint64_t> bytes_cached_{0};
+  mutable std::atomic<uint64_t> blocks_cached_{0};
+};
+
+}  // namespace aims::storage

@@ -47,6 +47,9 @@ Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
   }
   if (ConsumeFault(&fail_writes_)) {
     writes_.fetch_add(1, std::memory_order_relaxed);
+    // A failed write still seeks and spins: charge it (and wait, under
+    // simulate_io_wait) so simulated_ms stays reconciled with the counters.
+    ChargeAccess();
     return Status::IoError("BlockDevice::Write: injected fault");
   }
   blocks_[id] = payload;
@@ -61,6 +64,9 @@ Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) const {
   }
   if (ConsumeFault(&fail_reads_)) {
     reads_.fetch_add(1, std::memory_order_relaxed);
+    // A failed read costs a full access too — the seek happened even if
+    // the transfer did not come back.
+    ChargeAccess();
     return Status::IoError("BlockDevice::Read: injected fault");
   }
   reads_.fetch_add(1, std::memory_order_relaxed);

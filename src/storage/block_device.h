@@ -79,7 +79,8 @@ class BlockDevice {
   void ResetCounters();
 
   /// \brief Fault injection: the next \p count Read calls fail with
-  /// IoError (after bumping the read counter, like a real failed seek).
+  /// IoError (after bumping the read counter and charging the access cost,
+  /// like a real failed seek).
   /// Used by the failure-path tests to verify that every layer above the
   /// device propagates storage errors instead of crashing or mis-answering.
   void FailNextReads(size_t count) {

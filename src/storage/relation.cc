@@ -50,10 +50,25 @@ double GetF64(const std::vector<uint8_t>& page, size_t offset) {
   return v;
 }
 
+/// Routes one block read/write through the cache when one is configured;
+/// shared by both relation families so their I/O paths stay uniform.
+Result<std::vector<uint8_t>> CachedRead(BlockDevice* device, BlockCache* cache,
+                                        BlockId id) {
+  if (cache != nullptr) return cache->Read(id);
+  return device->Read(id);
+}
+
+Status CachedWrite(BlockDevice* device, BlockCache* cache, BlockId id,
+                   const std::vector<uint8_t>& payload) {
+  if (cache != nullptr) return cache->Write(id, payload);
+  return device->Write(id, payload);
+}
+
 /// Packs fixed-size records into device pages sequentially.
 class PagedFile {
  public:
-  explicit PagedFile(BlockDevice* device) : device_(device) {}
+  explicit PagedFile(BlockDevice* device, BlockCache* cache = nullptr)
+      : device_(device), cache_(cache) {}
 
   /// Appends one encoded record (must fit a page).
   Status Append(const std::vector<uint8_t>& record) {
@@ -71,7 +86,7 @@ class PagedFile {
   Status FlushPage() {
     if (current_.empty()) return Status::OK();
     BlockId id = device_->Allocate();
-    AIMS_RETURN_NOT_OK(device_->Write(id, current_));
+    AIMS_RETURN_NOT_OK(CachedWrite(device_, cache_, id, current_));
     pages_.push_back(id);
     current_.clear();
     return Status::OK();
@@ -92,7 +107,7 @@ class PagedFile {
     AIMS_CHECK(rpp > 0 && index < num_records_);
     size_t page = index / rpp;
     *offset = (index % rpp) * record_size_;
-    return device_->Read(pages_[page]);
+    return CachedRead(device_, cache_, pages_[page]);
   }
 
   /// Page index of a record, for planning multi-record reads.
@@ -101,11 +116,12 @@ class PagedFile {
   }
   Result<std::vector<uint8_t>> ReadPage(size_t page) const {
     AIMS_CHECK(page < pages_.size());
-    return device_->Read(pages_[page]);
+    return CachedRead(device_, cache_, pages_[page]);
   }
 
  private:
   BlockDevice* device_;
+  BlockCache* cache_;
   std::vector<BlockId> pages_;
   std::vector<uint8_t> current_;
   size_t record_size_ = 0;
@@ -130,7 +146,9 @@ Status CheckLoaded(size_t num_frames, size_t frame, size_t channels,
 
 class TuplePerSampleRelation : public SensorRelation {
  public:
-  explicit TuplePerSampleRelation(BlockDevice* device) : file_(device) {}
+  explicit TuplePerSampleRelation(BlockDevice* device,
+                                  BlockCache* cache = nullptr)
+      : file_(device, cache) {}
   RepresentationKind kind() const override {
     return RepresentationKind::kTuplePerSample;
   }
@@ -208,7 +226,9 @@ class TuplePerSampleRelation : public SensorRelation {
 
 class TuplePerFrameRelation : public SensorRelation {
  public:
-  explicit TuplePerFrameRelation(BlockDevice* device) : file_(device) {}
+  explicit TuplePerFrameRelation(BlockDevice* device,
+                                 BlockCache* cache = nullptr)
+      : file_(device, cache) {}
   RepresentationKind kind() const override {
     return RepresentationKind::kTuplePerFrame;
   }
@@ -270,8 +290,9 @@ class TuplePerFrameRelation : public SensorRelation {
 /// raw doubles back to back (the Teradata BYTE-column layout).
 class ChannelMajorRelation : public SensorRelation {
  public:
-  ChannelMajorRelation(BlockDevice* device, bool with_header)
-      : device_(device), with_header_(with_header) {}
+  ChannelMajorRelation(BlockDevice* device, bool with_header,
+                       BlockCache* cache = nullptr)
+      : device_(device), cache_(cache), with_header_(with_header) {}
   RepresentationKind kind() const override {
     return with_header_ ? RepresentationKind::kChunkPerSensor
                         : RepresentationKind::kBlobPerChannel;
@@ -296,7 +317,7 @@ class ChannelMajorRelation : public SensorRelation {
           PutF64(&page, recording.frames[f].values[c]);
         }
         BlockId id = device_->Allocate();
-        AIMS_RETURN_NOT_OK(device_->Write(id, page));
+        AIMS_RETURN_NOT_OK(CachedWrite(device_, cache_, id, page));
         pages_[c].push_back(id);
       }
     }
@@ -310,7 +331,7 @@ class ChannelMajorRelation : public SensorRelation {
     for (size_t c = 0; c < num_channels_; ++c) {
       size_t chunk = frame / chunk_samples_;
       AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
-                            device_->Read(pages_[c][chunk]));
+                            CachedRead(device_, cache_, pages_[c][chunk]));
       out[c] = GetF64(data, header + 8 * (frame % chunk_samples_));
     }
     return out;
@@ -328,7 +349,8 @@ class ChannelMajorRelation : public SensorRelation {
     for (size_t f = first_frame; f <= last_frame; ++f) {
       size_t chunk = f / chunk_samples_;
       if (chunk != previous_chunk) {
-        AIMS_ASSIGN_OR_RETURN(data, device_->Read(pages_[channel][chunk]));
+        AIMS_ASSIGN_OR_RETURN(data,
+                              CachedRead(device_, cache_, pages_[channel][chunk]));
         previous_chunk = chunk;
       }
       out.push_back(GetF64(data, header + 8 * (f % chunk_samples_)));
@@ -338,6 +360,7 @@ class ChannelMajorRelation : public SensorRelation {
 
  private:
   BlockDevice* device_;
+  BlockCache* cache_;
   bool with_header_;
   size_t chunk_samples_ = 0;
   std::vector<std::vector<BlockId>> pages_;  // per channel
@@ -346,18 +369,20 @@ class ChannelMajorRelation : public SensorRelation {
 }  // namespace
 
 std::unique_ptr<SensorRelation> MakeRelation(RepresentationKind kind,
-                                             BlockDevice* device) {
+                                             BlockDevice* device,
+                                             BlockCache* cache) {
   switch (kind) {
     case RepresentationKind::kTuplePerSample:
-      return std::make_unique<TuplePerSampleRelation>(device);
+      return std::make_unique<TuplePerSampleRelation>(device, cache);
     case RepresentationKind::kTuplePerFrame:
-      return std::make_unique<TuplePerFrameRelation>(device);
+      return std::make_unique<TuplePerFrameRelation>(device, cache);
     case RepresentationKind::kChunkPerSensor:
       return std::make_unique<ChannelMajorRelation>(device,
-                                                    /*with_header=*/true);
+                                                    /*with_header=*/true, cache);
     case RepresentationKind::kBlobPerChannel:
       return std::make_unique<ChannelMajorRelation>(device,
-                                                    /*with_header=*/false);
+                                                    /*with_header=*/false,
+                                                    cache);
   }
   return nullptr;
 }

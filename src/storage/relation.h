@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/block_cache.h"
 #include "storage/block_device.h"
 #include "streams/sample.h"
 
@@ -70,7 +71,11 @@ class SensorRelation {
 };
 
 /// \brief Creates a relation of the given kind over \p device (not owned).
+/// When \p cache is set (not owned, must front the same device) all page
+/// reads and writes route through it, so repeated lookups of a hot page
+/// are served from memory.
 std::unique_ptr<SensorRelation> MakeRelation(RepresentationKind kind,
-                                             BlockDevice* device);
+                                             BlockDevice* device,
+                                             BlockCache* cache = nullptr);
 
 }  // namespace aims::storage

@@ -9,9 +9,10 @@ namespace aims::storage {
 
 WaveletStore::WaveletStore(BlockDevice* device,
                            std::unique_ptr<CoefficientAllocator> allocator,
-                           size_t n)
-    : device_(device), allocator_(std::move(allocator)), n_(n) {
+                           size_t n, BlockCache* cache)
+    : device_(device), allocator_(std::move(allocator)), n_(n), cache_(cache) {
   AIMS_CHECK(device_ != nullptr);
+  AIMS_CHECK(cache_ == nullptr || cache_->device() == device_);
   block_contents_.resize(allocator_->num_blocks());
   for (size_t i = 0; i < n_; ++i) {
     size_t b = allocator_->BlockOf(i);
@@ -35,8 +36,15 @@ Status WaveletStore::Put(const std::vector<double>& coefficients) {
       double v = coefficients[block_contents_[b][slot]];
       std::memcpy(payload.data() + slot * sizeof(double), &v, sizeof(double));
     }
-    device_blocks_[b] = device_->Allocate();
-    AIMS_RETURN_NOT_OK(device_->Write(device_blocks_[b], payload));
+    // Allocate lazily and record the allocation before attempting the
+    // write: if the write faults, the retry finds the block already
+    // allocated and reuses it instead of orphaning it. A re-Put likewise
+    // overwrites the existing blocks rather than growing the device.
+    if (b >= num_allocated_) {
+      device_blocks_[b] = device_->Allocate();
+      num_allocated_ = b + 1;
+    }
+    AIMS_RETURN_NOT_OK(WriteBlock(device_blocks_[b], payload));
   }
   populated_ = true;
   return Status::OK();
@@ -58,7 +66,7 @@ Result<std::unordered_map<size_t, double>> WaveletStore::Fetch(
   std::unordered_map<size_t, double> out;
   for (size_t b : blocks) {
     AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          device_->Read(device_blocks_[b]));
+                          ReadBlock(device_blocks_[b]));
     for (size_t slot = 0; slot < block_contents_[b].size(); ++slot) {
       size_t idx = block_contents_[b][slot];
       if (wanted.count(idx)) {
@@ -86,7 +94,8 @@ std::vector<size_t> WaveletStore::BlocksFor(
 }
 
 Result<std::vector<std::pair<size_t, double>>> WaveletStore::FetchBlock(
-    size_t logical_block) const {
+    size_t logical_block, bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
   if (!populated_) {
     return Status::FailedPrecondition("WaveletStore::FetchBlock before Put");
   }
@@ -94,7 +103,7 @@ Result<std::vector<std::pair<size_t, double>>> WaveletStore::FetchBlock(
     return Status::OutOfRange("WaveletStore::FetchBlock: no such block");
   }
   AIMS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                        device_->Read(device_blocks_[logical_block]));
+                        ReadBlock(device_blocks_[logical_block], cache_hit));
   std::vector<std::pair<size_t, double>> out;
   const std::vector<size_t>& contents = block_contents_[logical_block];
   out.reserve(contents.size());
@@ -104,6 +113,27 @@ Result<std::vector<std::pair<size_t, double>>> WaveletStore::FetchBlock(
     out.emplace_back(contents[slot], v);
   }
   return out;
+}
+
+bool WaveletStore::IsBlockCached(size_t logical_block) const {
+  if (cache_ == nullptr || !populated_ ||
+      logical_block >= block_contents_.size()) {
+    return false;
+  }
+  return cache_->Contains(device_blocks_[logical_block]);
+}
+
+Result<std::vector<uint8_t>> WaveletStore::ReadBlock(BlockId id,
+                                                     bool* cache_hit) const {
+  if (cache_ != nullptr) return cache_->Read(id, cache_hit);
+  if (cache_hit != nullptr) *cache_hit = false;
+  return device_->Read(id);
+}
+
+Status WaveletStore::WriteBlock(BlockId id,
+                                const std::vector<uint8_t>& payload) {
+  if (cache_ != nullptr) return cache_->Write(id, payload);
+  return device_->Write(id, payload);
 }
 
 }  // namespace aims::storage

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "storage/allocation.h"
+#include "storage/block_cache.h"
 #include "storage/block_device.h"
 
 /// \file wavelet_store.h
@@ -23,10 +24,18 @@ class WaveletStore {
   /// \param device shared block device (not owned).
   /// \param allocator placement policy (owned).
   /// \param n coefficient count (power of two).
+  /// \param cache optional read-through block cache over \p device (not
+  /// owned); when set, all block reads and writes route through it so
+  /// repeated fetches of a hot block cost CPU instead of a simulated seek,
+  /// and re-Put invalidates stale cached copies.
   WaveletStore(BlockDevice* device,
-               std::unique_ptr<CoefficientAllocator> allocator, size_t n);
+               std::unique_ptr<CoefficientAllocator> allocator, size_t n,
+               BlockCache* cache = nullptr);
 
-  /// Writes all coefficients to their blocks.
+  /// Writes all coefficients to their blocks. Device blocks are allocated
+  /// on first use and reused on later calls, so a re-Put (re-ingest of a
+  /// session) or a retry after a mid-Put write fault overwrites in place
+  /// instead of leaking the previous allocation.
   Status Put(const std::vector<double>& coefficients);
 
   /// Fetches the requested coefficients, reading each containing block
@@ -41,23 +50,39 @@ class WaveletStore {
   /// Logical blocks holding the given indices (deduplicated, ascending).
   std::vector<size_t> BlocksFor(const std::vector<size_t>& indices) const;
 
-  /// Reads one logical block (one device I/O) and returns every
-  /// (coefficient index, value) pair stored on it — the primitive for
-  /// block-progressive query evaluation.
+  /// Reads one logical block (one device I/O when cold, none when cached)
+  /// and returns every (coefficient index, value) pair stored on it — the
+  /// primitive for block-progressive query evaluation. \p cache_hit
+  /// (optional) reports whether a configured cache served this call.
   Result<std::vector<std::pair<size_t, double>>> FetchBlock(
-      size_t logical_block) const;
+      size_t logical_block, bool* cache_hit = nullptr) const;
+
+  /// Whether the logical block is currently resident in the configured
+  /// cache (always false without one). Residency probe for EXPLAIN's
+  /// cold-vs-cached prediction; does not perturb the cache's LRU order.
+  bool IsBlockCached(size_t logical_block) const;
 
   const CoefficientAllocator& allocator() const { return *allocator_; }
   size_t n() const { return n_; }
 
  private:
+  /// Reads a device block through the cache when one is configured.
+  Result<std::vector<uint8_t>> ReadBlock(BlockId id,
+                                         bool* cache_hit = nullptr) const;
+  /// Writes a device block, invalidating any cached copy first.
+  Status WriteBlock(BlockId id, const std::vector<uint8_t>& payload);
+
   BlockDevice* device_;
   std::unique_ptr<CoefficientAllocator> allocator_;
   size_t n_;
+  BlockCache* cache_;
   /// Logical block -> sorted coefficient indices living there.
   std::vector<std::vector<size_t>> block_contents_;
-  /// Logical block -> device block id (assigned at Put).
+  /// Logical block -> device block id (assigned lazily by Put).
   std::vector<BlockId> device_blocks_;
+  /// Prefix of device_blocks_ already backed by a device allocation; Put
+  /// allocates only past this watermark, so retries reuse blocks.
+  size_t num_allocated_ = 0;
   bool populated_ = false;
 };
 

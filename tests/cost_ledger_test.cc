@@ -166,6 +166,66 @@ TEST(CostLedgerConcurrencyTest, AttributesBlockIoAcrossConcurrentTenants) {
   }
 }
 
+// Regression: a write fault used to void the whole ingest's attribution —
+// the blocks written before (and by) the failed write never reached the
+// tenant's ledger, so failed ingests consumed device time for free.
+TEST(CostLedgerFailureTest, FailedIngestStillChargesItsWrites) {
+  ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  config.system.block_size_bytes = 64;
+  AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+
+  server.catalog().mutable_shard_device(0)->FailNextWrites(1);
+  auto failed = server.IngestRecording({1, "will-fail", MakeRecording(128, 1)});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+
+  auto usage = server.GetTenantUsage({1});
+  ASSERT_TRUE(usage.ok());
+  // The failed write itself was a device access (seek + charge), and it is
+  // the tenant's: attribution must match the device counter exactly.
+  EXPECT_GT(usage->total.blocks_written, 0u);
+  EXPECT_EQ(usage->total.blocks_written,
+            server.catalog().total_blocks_written());
+  EXPECT_EQ(usage->total.bytes_written,
+            usage->total.blocks_written * config.system.block_size_bytes);
+}
+
+// Regression companion on the read side: a query killed by a read fault
+// must charge the fetches that did happen plus the failed read itself.
+TEST(CostLedgerFailureTest, FailedQueryChargesTheFailedRead) {
+  ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 2;
+  config.system.block_size_bytes = 64;
+  AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(128, 1)});
+  ASSERT_TRUE(ingest.ok());
+  const size_t reads_before = server.catalog().total_blocks_read();
+
+  server.catalog().mutable_shard_device(0)->FailNextReads(1);
+  QueryRequest query;
+  query.session = ingest->session;
+  query.channel = 0;
+  query.first_frame = 3;
+  query.last_frame = 120;
+  auto submitted = server.SubmitQuery({1, query});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  EXPECT_EQ(outcome.state, QueryState::kFailed);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kIoError);
+
+  auto usage = server.GetTenantUsage({1});
+  ASSERT_TRUE(usage.ok());
+  const size_t device_read_delta =
+      server.catalog().total_blocks_read() - reads_before;
+  EXPECT_GT(device_read_delta, 0u);
+  EXPECT_EQ(usage->total.blocks_read, device_read_delta);
+}
+
 TEST(GetTenantUsageApiTest, SpecificClientAndErrorEnvelopes) {
   ServerConfig config;
   config.num_shards = 1;

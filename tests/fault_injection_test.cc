@@ -2,6 +2,8 @@
 // through every layer — WaveletStore, BlockedCube, the AimsSystem facade —
 // never as crashes, silent wrong answers, or corrupted state.
 
+#include <chrono>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -37,6 +39,53 @@ TEST(FaultInjection, DeviceWriteFaultSurfacesAsIoError) {
   device.FailNextWrites(1);
   EXPECT_EQ(device.Write(id, {9}).code(), StatusCode::kIoError);
   EXPECT_TRUE(device.Write(id, {9}).ok());
+}
+
+TEST(FaultAccounting, FailedAccessesChargeSimulatedCost) {
+  storage::DiskCostModel model;
+  model.seek_ms = 8.0;
+  model.transfer_ms_per_kb = 0.0;
+  storage::BlockDevice device(64, model);
+  storage::BlockId id = device.Allocate();
+  ASSERT_TRUE(device.Write(id, {1}).ok());
+  EXPECT_DOUBLE_EQ(device.simulated_ms(), 8.0);
+
+  // Regression: injected faults used to return before ChargeAccess(), so a
+  // failed read was free and simulated_ms disagreed with reads()+writes().
+  device.FailNextReads(1);
+  EXPECT_FALSE(device.Read(id).ok());
+  EXPECT_EQ(device.reads(), 1u);
+  EXPECT_DOUBLE_EQ(device.simulated_ms(), 16.0);
+
+  device.FailNextWrites(1);
+  EXPECT_FALSE(device.Write(id, {2}).ok());
+  EXPECT_EQ(device.writes(), 2u);
+  EXPECT_DOUBLE_EQ(device.simulated_ms(), 24.0);
+  // The invariant the fix restores: every counted access was charged.
+  double per_access = model.AccessCostMs(device.block_size_bytes());
+  EXPECT_DOUBLE_EQ(device.simulated_ms(),
+                   static_cast<double>(device.reads() + device.writes()) *
+                       per_access);
+}
+
+TEST(FaultAccounting, FailedReadWaitsUnderSimulatedIo) {
+  storage::DiskCostModel model;
+  model.seek_ms = 20.0;
+  model.transfer_ms_per_kb = 0.0;
+  model.simulate_io_wait = true;
+  storage::BlockDevice device(64, model);
+  storage::BlockId id = device.Allocate();
+  ASSERT_TRUE(device.Write(id, {1}).ok());
+  device.FailNextReads(1);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(device.Read(id).ok());
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  // A failed seek still takes the seek's wall-clock time (generous margin
+  // for scheduler jitter).
+  EXPECT_GE(elapsed_ms, 15.0);
 }
 
 TEST(FaultInjection, WaveletStorePropagatesFetchFaults) {

@@ -314,6 +314,59 @@ TEST(PrometheusExportTest, ExtendedOverloadEmitsTracerAndTenantFamilies) {
   EXPECT_EQ(PrometheusExport(registry, nullptr, nullptr), base);
 }
 
+TEST(PrometheusExportTest, CacheFamilyExportsCountersAndGauges) {
+  MetricsRegistry registry;
+  CacheStats cache;
+  cache.hits = 90;
+  cache.misses = 10;
+  cache.evictions = 3;
+  cache.invalidations = 2;
+  cache.insertions = 10;
+  cache.bytes_cached = 4096;
+  cache.blocks_cached = 8;
+  cache.capacity_bytes = 8192;
+
+  const std::string base = PrometheusExport(registry);
+  const std::string out = PrometheusExport(registry, nullptr, nullptr, &cache);
+  EXPECT_EQ(out.compare(0, base.size(), base), 0);
+
+  EXPECT_NE(out.find("# TYPE aims_cache_hits_total counter\n"
+                     "aims_cache_hits_total 90"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_cache_misses_total 10"), std::string::npos);
+  EXPECT_NE(out.find("aims_cache_evictions_total 3"), std::string::npos);
+  EXPECT_NE(out.find("aims_cache_invalidations_total 2"), std::string::npos);
+  EXPECT_NE(out.find("aims_cache_insertions_total 10"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE aims_cache_bytes gauge\n"
+                     "aims_cache_bytes 4096"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_cache_blocks 8"), std::string::npos);
+  EXPECT_NE(out.find("aims_cache_capacity_bytes 8192"), std::string::npos);
+
+  // A null cache leaves the export without the family at all.
+  EXPECT_EQ(PrometheusExport(registry, nullptr, nullptr, nullptr).find(
+                "aims_cache_"),
+            std::string::npos);
+}
+
+TEST(CacheStatsTest, AccumulateAndHitRate) {
+  CacheStats a;
+  a.hits = 3;
+  a.misses = 1;
+  a.bytes_cached = 100;
+  CacheStats b;
+  b.hits = 1;
+  b.misses = 3;
+  b.blocks_cached = 2;
+  a.Accumulate(b);
+  EXPECT_EQ(a.hits, 4u);
+  EXPECT_EQ(a.misses, 4u);
+  EXPECT_EQ(a.bytes_cached, 100u);
+  EXPECT_EQ(a.blocks_cached, 2u);
+  EXPECT_DOUBLE_EQ(a.HitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(CacheStats{}.HitRate(), 0.0) << "no accesses, no rate";
+}
+
 TEST(PrometheusExportTest, QuantilesInterpolateWithinBuckets) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("h", {10.0, 20.0});

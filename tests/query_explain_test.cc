@@ -181,6 +181,73 @@ TEST(AnalyzeTest, AnalyzeReconcilesPredictedAgainstActualExactly) {
   EXPECT_FALSE(plain_outcome.plan.has_value());
 }
 
+// With a block cache the plan must predict residency (cold vs cached) and
+// the reconciliation must hold against the *device* reads, not the fetch
+// count: a fully-hot rerun does zero block I/O and still reconciles.
+TEST(AnalyzeTest, CacheAwarePlanAndReconciliation) {
+  ServerConfig config = SmallServerConfig();
+  config.system.block_cache.capacity_bytes = 1 << 20;
+  config.system.block_cache.num_shards = 4;
+  AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  // Ingest writes through the cache (invalidate, not populate): run 1 is
+  // entirely cold and the plan must say so.
+  auto cold = server.SubmitQuery(
+      {1, RaggedQuery(ingest->session, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(cold.ok());
+  QueryOutcome cold_outcome = cold->ticket->Wait();
+  ASSERT_EQ(cold_outcome.state, QueryState::kComplete);
+  ASSERT_TRUE(cold_outcome.plan.has_value());
+  ASSERT_TRUE(cold_outcome.breakdown.has_value());
+  const core::QueryPlan& cold_plan = *cold_outcome.plan;
+  const server::QueryBreakdown& cold_actual = *cold_outcome.breakdown;
+  EXPECT_EQ(cold_plan.predicted_cached_blocks, 0u);
+  EXPECT_EQ(cold_plan.predicted_cold_blocks, cold_plan.predicted_blocks);
+  EXPECT_EQ(cold_actual.blocks_fetched, cold_plan.predicted_blocks);
+  EXPECT_EQ(cold_actual.blocks_read, cold_plan.predicted_blocks);
+  EXPECT_EQ(cold_actual.cache_hits, 0u);
+  EXPECT_TRUE(cold_actual.reconciled);
+
+  // Run 2 over the same range: every scheduled block is now resident, the
+  // plan predicts zero cold I/O, and the execution performs exactly that.
+  const size_t device_reads_before = server.catalog().total_blocks_read();
+  auto hot = server.SubmitQuery(
+      {1, RaggedQuery(ingest->session, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(hot.ok());
+  QueryOutcome hot_outcome = hot->ticket->Wait();
+  ASSERT_EQ(hot_outcome.state, QueryState::kComplete);
+  ASSERT_TRUE(hot_outcome.plan.has_value());
+  ASSERT_TRUE(hot_outcome.breakdown.has_value());
+  const core::QueryPlan& hot_plan = *hot_outcome.plan;
+  const server::QueryBreakdown& hot_actual = *hot_outcome.breakdown;
+  EXPECT_EQ(hot_plan.predicted_blocks, cold_plan.predicted_blocks);
+  EXPECT_EQ(hot_plan.predicted_cached_blocks, hot_plan.predicted_blocks);
+  EXPECT_EQ(hot_plan.predicted_cold_blocks, 0u);
+  EXPECT_DOUBLE_EQ(hot_plan.predicted_io_ms, 0.0);
+  EXPECT_EQ(hot_actual.blocks_fetched, hot_plan.predicted_blocks);
+  EXPECT_EQ(hot_actual.cache_hits, hot_plan.predicted_blocks);
+  EXPECT_EQ(hot_actual.blocks_read, 0u);
+  EXPECT_TRUE(hot_actual.reconciled);
+  EXPECT_EQ(server.catalog().total_blocks_read(), device_reads_before)
+      << "a fully-hot analyzed run must not touch the device";
+
+  // Same answer either way, and the ledger billed only the cold run.
+  EXPECT_EQ(hot_outcome.answer.sum, cold_outcome.answer.sum);
+  auto usage = server.GetTenantUsage({1});
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage->total.blocks_read, cold_actual.blocks_read);
+
+  // Clearing the cache makes the next plan cold again.
+  server.catalog().mutable_shard_cache(0)->Clear();
+  auto replan = server.catalog().PlanRangeQuery(ingest->session, 0, 7, 246);
+  ASSERT_TRUE(replan.ok());
+  EXPECT_EQ(replan->predicted_cold_blocks, replan->predicted_blocks);
+  EXPECT_EQ(replan->predicted_cached_blocks, 0u);
+}
+
 // ---- Golden slow-query record --------------------------------------------
 
 /// Zeroes the values of wall-clock keys (and only those) so the record is

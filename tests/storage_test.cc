@@ -209,6 +209,57 @@ TEST(WaveletStoreTest, ErrorsOnMisuse) {
   EXPECT_FALSE(store.Fetch({n}).ok());  // out of range
 }
 
+TEST(WaveletStoreTest, RePutReusesDeviceBlocks) {
+  const size_t n = 256;
+  BlockDevice device(64 * sizeof(double));
+  WaveletStore store(&device,
+                     std::make_unique<SubtreeTilingAllocator>(n, 64), n);
+  Rng rng(13);
+  ASSERT_TRUE(store.Put(RandomSignal(n, &rng)).ok());
+  const size_t blocks_after_first = device.num_blocks();
+
+  // Regression: Put used to Allocate() a fresh run of blocks on every call,
+  // leaking the previous run. A second Put must overwrite in place.
+  std::vector<double> second = RandomSignal(n, &rng);
+  ASSERT_TRUE(store.Put(second).ok());
+  EXPECT_EQ(device.num_blocks(), blocks_after_first);
+
+  auto fetched = store.Fetch({0, 42, 255});
+  ASSERT_TRUE(fetched.ok());
+  for (size_t idx : {size_t{0}, size_t{42}, size_t{255}}) {
+    EXPECT_DOUBLE_EQ(fetched.ValueOrDie().at(idx), second[idx]);
+  }
+}
+
+TEST(WaveletStoreTest, FailedPutRetryDoesNotLeakBlocks) {
+  const size_t n = 256;
+  Rng rng(14);
+  std::vector<double> coeffs = RandomSignal(n, &rng);
+
+  // Reference: how many blocks one clean Put allocates.
+  BlockDevice clean_device(64 * sizeof(double));
+  WaveletStore clean_store(
+      &clean_device, std::make_unique<SubtreeTilingAllocator>(n, 64), n);
+  ASSERT_TRUE(clean_store.Put(coeffs).ok());
+  const size_t clean_blocks = clean_device.num_blocks();
+
+  BlockDevice device(64 * sizeof(double));
+  WaveletStore store(&device,
+                     std::make_unique<SubtreeTilingAllocator>(n, 64), n);
+  // Fail partway through the first Put: some blocks are allocated and
+  // written, then the store reports IoError.
+  device.FailNextWrites(1);
+  EXPECT_EQ(store.Put(coeffs).code(), StatusCode::kIoError);
+
+  // The retry must reuse what the failed attempt allocated — the total
+  // footprint ends identical to a clean single Put, and the data is whole.
+  ASSERT_TRUE(store.Put(coeffs).ok());
+  EXPECT_EQ(device.num_blocks(), clean_blocks);
+  auto fetched = store.Fetch({0, 100, 255});
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_DOUBLE_EQ(fetched.ValueOrDie().at(100), coeffs[100]);
+}
+
 TEST(RangeSumIoTest, TilingReducesBlocksForRangeSums) {
   // End-to-end: Haar range-sum coefficient sets against both allocators.
   const size_t n = 4096;
