@@ -33,7 +33,7 @@ void Run() {
       schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
       field.values);
   AIMS_CHECK(cube.ok());
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube.ValueOrDie(), &device, {8, 8});
   AIMS_CHECK(blocked.ok());
   std::printf("cube: 128x128, %zu blocks of %zu coefficients\n\n",

@@ -19,7 +19,7 @@
 namespace aims {
 namespace {
 
-using storage::BlockDevice;
+using storage::MemBlockDevice;
 using storage::MakeRelation;
 using storage::RepresentationKind;
 
@@ -56,7 +56,7 @@ void Run() {
   }
 
   for (RepresentationKind kind : kinds) {
-    BlockDevice device(512);
+    MemBlockDevice device(512);
     auto relation = MakeRelation(kind, &device);
     AIMS_CHECK(relation->Load(session).ok());
     size_t load_pages = device.num_blocks();

@@ -10,6 +10,9 @@
 #   AIMS_BENCH_SMOKE=1 scripts/check.sh     # also run the server/obs bench
 #                                           # smoke (artifacts in
 #                                           # ${BUILD_DIR}/bench-artifacts)
+#   AIMS_CRASH_SMOKE=<N> scripts/check.sh   # also run N SIGKILL+recover
+#                                           # rounds (scripts/crash_smoke.sh;
+#                                           # stats JSON in bench-artifacts)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,5 +43,14 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke: bench_block_cache (asserts >= 3x hot p50 win) =="
   "./${BUILD_DIR}/bench/bench_block_cache" \
     > "${ARTIFACT_DIR}/bench_block_cache.json"
+  echo "== bench smoke: bench_durability (asserts >= 2x group-commit win) =="
+  "./${BUILD_DIR}/bench/bench_durability" \
+    > "${ARTIFACT_DIR}/bench_durability.json"
   echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
+fi
+
+if [[ "${AIMS_CRASH_SMOKE:-0}" != "0" ]]; then
+  mkdir -p "${BUILD_DIR}/bench-artifacts"
+  scripts/crash_smoke.sh "${BUILD_DIR}/tests/crash_ingest_helper" \
+    "${AIMS_CRASH_SMOKE}" "${BUILD_DIR}/bench-artifacts/crash_smoke.json"
 fi

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke loop: SIGKILL the ingest helper at armed points
+# inside the WAL commit path, over and over against ONE durable store,
+# recovering on every reopen. After each kill the helper's verify mode
+# reopens the store, asserts every acknowledged ingest survived, and
+# reports recovery stats; the per-iteration reports are collected into a
+# JSON artifact. Any lost ack or unexpected helper exit fails the run.
+#
+# Usage: scripts/crash_smoke.sh <helper-binary> <iterations> <out-json>
+#   helper-binary  build/tests/crash_ingest_helper
+#   iterations     how many kill+recover rounds (crash mode cycles
+#                  payload -> precommit -> postcommit)
+#   out-json       where to write the collected recovery stats
+set -euo pipefail
+
+HELPER="$1"
+ITERATIONS="$2"
+OUT_JSON="$3"
+
+STORE="$(mktemp -d "${TMPDIR:-/tmp}/aims_crash_smoke.XXXXXX")"
+trap 'rm -rf "${STORE}"' EXIT
+
+MODES=(payload precommit postcommit)
+RUNS=""
+
+for ((i = 0; i < ITERATIONS; ++i)); do
+  mode="${MODES[$((i % ${#MODES[@]}))]}"
+  echo "== crash smoke ${i}: kill during ${mode} =="
+  status=0
+  "${HELPER}" "${STORE}" "${mode}" 1 || status=$?
+  # The helper must die by SIGKILL (bash reports 128+9); anything else
+  # means the crash hook failed or the harness broke.
+  if [[ "${status}" -ne 137 ]]; then
+    echo "crash smoke: helper exited ${status}, expected SIGKILL (137)" >&2
+    exit 1
+  fi
+  report="$("${HELPER}" "${STORE}" verify 0)"
+  echo "   recovered: ${report}"
+  RUNS+="${RUNS:+,
+    }{\"iteration\": ${i}, \"crash_mode\": \"${mode}\", \"recovery\": ${report}}"
+done
+
+mkdir -p "$(dirname "${OUT_JSON}")"
+cat > "${OUT_JSON}" <<EOF
+{
+  "smoke": "crash_recovery",
+  "iterations": ${ITERATIONS},
+  "runs": [
+    ${RUNS}
+  ]
+}
+EOF
+echo "== crash smoke: ${ITERATIONS} kill+recover rounds, zero acked ingests lost =="
+echo "== recovery stats in ${OUT_JSON} =="

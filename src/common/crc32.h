@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+/// ranges. The durable storage layer checksums every page slot and WAL
+/// record with it, so torn writes and media corruption are detected on
+/// read instead of surfacing as silently wrong coefficients.
+
+namespace aims {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+/// \brief Extends a running CRC-32 with \p len bytes. Seed new
+/// computations with Crc32() below; chain by passing the previous result.
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// \brief CRC-32 of one contiguous byte range.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace aims

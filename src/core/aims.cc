@@ -1,11 +1,20 @@
 #include "core/aims.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 #include "obs/json_util.h"
 #include "obs/profile.h"
@@ -17,18 +26,212 @@
 
 namespace aims::core {
 
+namespace {
+
+/// Little serialization helpers for the catalog blob / snapshot formats
+/// (host byte order, like the rest of the durable layer's files).
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+void PutF64(std::vector<uint8_t>* out, double v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+/// Bounds-checked forward reader over a serialized blob. Underflow trips
+/// the sticky ok flag instead of reading garbage; callers check once.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Copy(void* dst, size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, data + pos, n);
+    pos += n;
+    return true;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+};
+
+constexpr uint32_t kSnapshotMagic = 0x50414E53u;  // "SNAP"
+constexpr uint32_t kSnapshotVersion = 1;
+/// Guard against a corrupt length field allocating gigabytes at parse.
+constexpr uint64_t kMaxCatalogField = 1u << 30;
+
+Status WriteFileDurably(const std::string& dir, const std::string& name,
+                        const std::vector<uint8_t>& bytes) {
+  const std::string tmp = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("WriteFileDurably: cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IoError("WriteFileDurably: write " + tmp + ": " +
+                                      std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IoError("WriteFileDurably: fsync " + tmp + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  // Atomic replace: readers see either the old snapshot or the new one,
+  // never a torn mix. The directory fsync makes the rename itself stick.
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::IoError("WriteFileDurably: rename to " + final_path + ": " +
+                           std::strerror(errno));
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 AimsSystem::AimsSystem(AimsConfig config)
     : config_(config),
       filter_(signal::WaveletFilter::Make(config.filter)),
-      device_(std::make_unique<storage::BlockDevice>(config.block_size_bytes,
-                                                     config.disk_cost)),
-      cache_(config.block_cache.capacity_bytes > 0
-                 ? std::make_unique<storage::BlockCache>(device_.get(),
-                                                         config.block_cache)
-                 : nullptr),
-      measure_(/*rank=*/0) {}
+      measure_(/*rank=*/0) {
+  if (config_.durability.path.empty()) {
+    device_ = std::make_unique<storage::MemBlockDevice>(
+        config_.block_size_bytes, config_.disk_cost);
+    if (config_.block_cache.capacity_bytes > 0) {
+      cache_ = std::make_unique<storage::BlockCache>(device_.get(),
+                                                     config_.block_cache);
+    }
+    return;
+  }
+  init_status_ = OpenDurable();
+  if (!init_status_.ok()) {
+    // Keep the accessors (device(), block_cache()) valid even after a
+    // failed open; every mutating call refuses with init_status_.
+    wal_.reset();
+    file_device_ = nullptr;
+    sessions_.clear();
+    if (device_ == nullptr) {
+      device_ = std::make_unique<storage::MemBlockDevice>(
+          config_.block_size_bytes, config_.disk_cost);
+    }
+  }
+}
+
+Status AimsSystem::OpenDurable() {
+  const std::string& dir = config_.durability.path;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("OpenDurable: cannot create " + dir + ": " +
+                           ec.message());
+  }
+  AIMS_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::durable::FileBlockDevice> device,
+      storage::durable::FileBlockDevice::Open(
+          dir + "/pages.aims", config_.block_size_bytes, config_.disk_cost));
+  file_device_ = device.get();
+  device_ = std::move(device);
+
+  // The buffer pool is mandatory on the durable path: write-back staging
+  // is what keeps uncommitted pages off the page file (no-steal). A
+  // caller-configured cache is switched to write-back; otherwise one is
+  // created with the durability budget.
+  storage::BlockCacheConfig cache_config = config_.block_cache;
+  if (cache_config.capacity_bytes == 0) {
+    cache_config.capacity_bytes = config_.durability.buffer_pool_bytes;
+  }
+  cache_config.write_back = true;
+  cache_ = std::make_unique<storage::BlockCache>(device_.get(), cache_config);
+
+  storage::durable::WalConfig wal_config;
+  wal_config.sync_mode = config_.durability.sync_mode;
+  wal_config.group_commit_ms = config_.durability.group_commit_ms;
+  wal_config.simulated_sync_ms = config_.durability.simulated_sync_ms;
+  AIMS_ASSIGN_OR_RETURN(
+      storage::durable::WriteAheadLog::Opened opened,
+      storage::durable::WriteAheadLog::Open(dir + "/wal.aims", wal_config));
+  wal_ = std::move(opened.wal);
+
+  // Recovery: checkpoint state first, then redo every committed WAL group
+  // the snapshot predates. Groups the snapshot already covers (a crash
+  // between snapshot write and log truncation) are skipped by txn id, so
+  // replay is idempotent.
+  AIMS_RETURN_NOT_OK(LoadSnapshot());
+  for (const storage::durable::RecoveredTxn& txn : opened.committed) {
+    if (txn.txn_id <= applied_txn_) continue;
+    for (const auto& [id, payload] : txn.block_puts) {
+      // The slot allocation itself is not logged; re-derive it. Committed
+      // payloads always land on blocks that were allocated before the
+      // commit, so extending to cover the id reconstructs the same state.
+      while (device_->num_blocks() <= id) device_->Allocate();
+      AIMS_RETURN_NOT_OK(device_->Write(id, payload));
+    }
+    for (const std::vector<uint8_t>& blob : txn.catalog_blobs) {
+      AIMS_RETURN_NOT_OK(ApplyCatalogBlob(blob));
+    }
+    applied_txn_ = txn.txn_id;
+  }
+  // Make the recovered state durable before dropping the records that
+  // produced it, then start from a clean log.
+  AIMS_RETURN_NOT_OK(file_device_->SyncPages());
+  AIMS_RETURN_NOT_OK(WriteSnapshot());
+  return wal_->Truncate();
+}
 
 Result<SessionId> AimsSystem::IngestRecording(
+    const std::string& name, const streams::Recording& recording,
+    obs::Trace* trace) {
+  AIMS_RETURN_NOT_OK(init_status_);
+  if (durable()) {
+    AIMS_ASSIGN_OR_RETURN(StagedIngest staged,
+                          IngestRecordingStaged(name, recording, trace));
+    AIMS_RETURN_NOT_OK(WaitDurable(staged));
+    AIMS_RETURN_NOT_OK(ApplyDurable(staged));
+    return staged.id;
+  }
+  AIMS_ASSIGN_OR_RETURN(StoredSession session,
+                        BuildSession(name, recording, trace));
+  sessions_.push_back(std::move(session));
+  return sessions_.back().info.id;
+}
+
+Result<AimsSystem::StoredSession> AimsSystem::BuildSession(
     const std::string& name, const streams::Recording& recording,
     obs::Trace* trace) {
   if (recording.num_frames() < 2) {
@@ -91,8 +294,239 @@ Result<SessionId> AimsSystem::IngestRecording(
     if (trace != nullptr) trace->EndSpan(write_span);
     session.channels.push_back(std::move(stored));
   }
+  return session;
+}
+
+Result<AimsSystem::StagedIngest> AimsSystem::IngestRecordingStaged(
+    const std::string& name, const streams::Recording& recording,
+    obs::Trace* trace) {
+  AIMS_RETURN_NOT_OK(init_status_);
+  if (!durable()) {
+    return Status::FailedPrecondition(
+        "IngestRecordingStaged: requires the durable backend");
+  }
+  // Phase 1 (exclusive): transform + stage. The buffer pool is in
+  // write-back mode, so every Put below parks its blocks dirty in the
+  // cache — no page-file I/O happens before the commit record is durable.
+  AIMS_ASSIGN_OR_RETURN(StoredSession session,
+                        BuildSession(name, recording, trace));
+  StagedIngest staged;
+  staged.id = session.info.id;
+  for (const StoredChannel& channel : session.channels) {
+    const std::vector<storage::BlockId>& ids = channel.store->device_blocks();
+    staged.blocks.insert(staged.blocks.end(), ids.begin(), ids.end());
+  }
+  pending_commits_.fetch_add(1, std::memory_order_relaxed);
+  // Failed staging rolls the pool back: the dirty entries are dropped and
+  // nothing was logged as committed, so the ingest simply never happened.
+  auto fail = [&](Status status) {
+    cache_->DropDirty(staged.blocks);
+    pending_commits_.fetch_sub(1, std::memory_order_relaxed);
+    return status;
+  };
+  Result<uint64_t> txn = wal_->BeginTxn();
+  if (!txn.ok()) return fail(txn.status());
+  staged.txn_id = *txn;
+  for (storage::BlockId id : staged.blocks) {
+    // The staged payload is pinned dirty in the pool, so this is a cache
+    // hit, never device I/O.
+    Result<std::vector<uint8_t>> payload = cache_->Read(id);
+    if (!payload.ok()) return fail(payload.status());
+    Status status = wal_->AppendBlockPut(staged.txn_id, id, *payload);
+    if (!status.ok()) return fail(status);
+  }
+  Status status = wal_->AppendCatalog(staged.txn_id, SerializeSession(session));
+  if (!status.ok()) return fail(status);
+  Result<uint64_t> ticket = wal_->AppendCommit(staged.txn_id);
+  if (!ticket.ok()) return fail(ticket.status());
+  staged.ticket = *ticket;
+  if (staged.txn_id > applied_txn_) applied_txn_ = staged.txn_id;
   sessions_.push_back(std::move(session));
-  return sessions_.back().info.id;
+  return staged;
+}
+
+Status AimsSystem::WaitDurable(const StagedIngest& staged) {
+  if (!durable()) {
+    return Status::FailedPrecondition("WaitDurable: not a durable system");
+  }
+  return wal_->WaitDurable(staged.ticket);
+}
+
+Status AimsSystem::ApplyDurable(const StagedIngest& staged) {
+  if (!durable()) {
+    return Status::FailedPrecondition("ApplyDurable: not a durable system");
+  }
+  // Commit-time write-back: the transaction flushes exactly its own
+  // blocks. An error is reported but loses nothing — the group is in the
+  // WAL, and recovery replays it on the next open.
+  Status flush = cache_->FlushBlocks(staged.blocks);
+  pending_commits_.fetch_sub(1, std::memory_order_relaxed);
+  AIMS_RETURN_NOT_OK(flush);
+  if (config_.durability.checkpoint_wal_bytes > 0 &&
+      wal_->lag_bytes() > config_.durability.checkpoint_wal_bytes &&
+      pending_commits_.load(std::memory_order_relaxed) == 0) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status AimsSystem::Checkpoint() {
+  AIMS_RETURN_NOT_OK(init_status_);
+  if (!durable()) {
+    return Status::FailedPrecondition("Checkpoint: not a durable system");
+  }
+  if (pending_commits_.load(std::memory_order_relaxed) != 0) {
+    return Status::FailedPrecondition(
+        "Checkpoint: an ingest is between its staged phases");
+  }
+  // Order is the recovery contract: pages on stable storage, then the
+  // catalog snapshot naming them, and only then may the log forget the
+  // records that produced both.
+  AIMS_RETURN_NOT_OK(file_device_->SyncPages());
+  AIMS_RETURN_NOT_OK(WriteSnapshot());
+  return wal_->Truncate();
+}
+
+obs::WalStats AimsSystem::WalStats() const {
+  return wal_ != nullptr ? wal_->Stats() : obs::WalStats{};
+}
+
+std::vector<uint8_t> AimsSystem::SerializeSession(
+    const StoredSession& session) const {
+  std::vector<uint8_t> out;
+  PutU64(&out, session.info.name.size());
+  out.insert(out.end(), session.info.name.begin(), session.info.name.end());
+  PutU64(&out, session.info.num_frames);
+  PutF64(&out, session.info.sample_rate_hz);
+  PutU64(&out, session.channels.size());
+  for (size_t c = 0; c < session.channels.size(); ++c) {
+    const StoredChannel& channel = session.channels[c];
+    PutU64(&out, c < session.info.best_basis_nodes.size()
+                     ? session.info.best_basis_nodes[c]
+                     : 0);
+    PutF64(&out, channel.mean);
+    PutU64(&out, channel.padded_len);
+    PutF64(&out, channel.energy);
+    const std::vector<storage::BlockId>& ids = channel.store->device_blocks();
+    PutU64(&out, ids.size());
+    for (storage::BlockId id : ids) PutU32(&out, id);
+  }
+  return out;
+}
+
+Status AimsSystem::ApplyCatalogBlob(const std::vector<uint8_t>& blob) {
+  ByteReader reader{blob.data(), blob.size()};
+  StoredSession session;
+  session.info.id = static_cast<SessionId>(sessions_.size());
+  const uint64_t name_len = reader.U64();
+  if (!reader.ok || name_len > kMaxCatalogField ||
+      blob.size() - reader.pos < name_len) {
+    return Status::IoError("ApplyCatalogBlob: malformed catalog entry");
+  }
+  session.info.name.assign(reinterpret_cast<const char*>(blob.data()) +
+                               reader.pos,
+                           name_len);
+  reader.pos += name_len;
+  session.info.num_frames = reader.U64();
+  session.info.sample_rate_hz = reader.F64();
+  const uint64_t num_channels = reader.U64();
+  if (!reader.ok || num_channels > kMaxCatalogField) {
+    return Status::IoError("ApplyCatalogBlob: malformed catalog entry");
+  }
+  session.info.num_channels = num_channels;
+  const size_t block_items = config_.block_size_bytes / sizeof(double);
+  for (uint64_t c = 0; c < num_channels; ++c) {
+    session.info.best_basis_nodes.push_back(reader.U64());
+    StoredChannel channel;
+    channel.mean = reader.F64();
+    channel.padded_len = reader.U64();
+    channel.energy = reader.F64();
+    const uint64_t num_blocks = reader.U64();
+    if (!reader.ok || num_blocks > kMaxCatalogField ||
+        channel.padded_len > kMaxCatalogField ||
+        !signal::IsPowerOfTwo(channel.padded_len)) {
+      return Status::IoError("ApplyCatalogBlob: malformed channel entry");
+    }
+    std::vector<storage::BlockId> ids(num_blocks);
+    for (uint64_t b = 0; b < num_blocks; ++b) ids[b] = reader.U32();
+    if (!reader.ok) {
+      return Status::IoError("ApplyCatalogBlob: malformed channel entry");
+    }
+    for (storage::BlockId id : ids) {
+      if (id >= device_->num_blocks()) {
+        return Status::IoError(
+            "ApplyCatalogBlob: catalog references unknown device block " +
+            std::to_string(id));
+      }
+    }
+    auto allocator = std::make_unique<storage::SubtreeTilingAllocator>(
+        channel.padded_len, block_items);
+    if (allocator->num_blocks() != ids.size()) {
+      return Status::IoError(
+          "ApplyCatalogBlob: block list does not match the allocation");
+    }
+    channel.store = std::make_unique<storage::WaveletStore>(
+        device_.get(), std::move(allocator), channel.padded_len, cache_.get(),
+        std::move(ids));
+    session.channels.push_back(std::move(channel));
+  }
+  sessions_.push_back(std::move(session));
+  return Status::OK();
+}
+
+Status AimsSystem::WriteSnapshot() const {
+  std::vector<uint8_t> out;
+  PutU32(&out, kSnapshotMagic);
+  PutU32(&out, kSnapshotVersion);
+  PutU64(&out, applied_txn_);
+  PutU64(&out, sessions_.size());
+  for (const StoredSession& session : sessions_) {
+    std::vector<uint8_t> blob = SerializeSession(session);
+    PutU64(&out, blob.size());
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return WriteFileDurably(config_.durability.path, "catalog.snap", out);
+}
+
+Status AimsSystem::LoadSnapshot() {
+  const std::string path = config_.durability.path + "/catalog.snap";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();  // first open: nothing checkpointed yet
+  std::vector<uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  constexpr size_t kHeader = 4 + 4 + 8 + 8;
+  if (buf.size() < kHeader + sizeof(uint32_t)) {
+    return Status::IoError("LoadSnapshot: truncated snapshot " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (Crc32(buf.data(), buf.size() - sizeof(uint32_t)) != stored_crc) {
+    return Status::IoError("LoadSnapshot: snapshot checksum mismatch in " +
+                           path);
+  }
+  ByteReader reader{buf.data(), buf.size() - sizeof(uint32_t)};
+  if (reader.U32() != kSnapshotMagic || reader.U32() != kSnapshotVersion) {
+    return Status::IoError("LoadSnapshot: not a snapshot file: " + path);
+  }
+  applied_txn_ = reader.U64();
+  const uint64_t num_sessions = reader.U64();
+  if (!reader.ok || num_sessions > kMaxCatalogField) {
+    return Status::IoError("LoadSnapshot: malformed snapshot " + path);
+  }
+  for (uint64_t s = 0; s < num_sessions; ++s) {
+    const uint64_t blob_len = reader.U64();
+    if (!reader.ok || blob_len > kMaxCatalogField ||
+        reader.size - reader.pos < blob_len) {
+      return Status::IoError("LoadSnapshot: malformed snapshot " + path);
+    }
+    std::vector<uint8_t> blob(buf.begin() + reader.pos,
+                              buf.begin() + reader.pos + blob_len);
+    reader.pos += blob_len;
+    AIMS_RETURN_NOT_OK(ApplyCatalogBlob(blob));
+  }
+  return Status::OK();
 }
 
 Result<SessionInfo> AimsSystem::GetSession(SessionId id) const {

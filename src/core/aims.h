@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "common/status.h"
 #include "obs/tracer.h"
+#include "obs/wal_stats.h"
 #include "propolyne/evaluator.h"
 #include "recognition/isolator.h"
 #include "recognition/vocabulary.h"
@@ -15,6 +17,8 @@
 #include "signal/wavelet_filter.h"
 #include "storage/block_cache.h"
 #include "storage/block_device.h"
+#include "storage/file_block_device.h"
+#include "storage/wal.h"
 #include "storage/wavelet_store.h"
 #include "streams/sample.h"
 
@@ -35,6 +39,34 @@ namespace aims::core {
 /// \brief Identifier of one stored session.
 using SessionId = uint32_t;
 
+/// \brief Durable-storage configuration. With an empty path (the default)
+/// the system is the original in-memory simulator: nothing survives the
+/// process. With a path, blocks live in a checksummed page file, every
+/// ingest is an atomic WAL transaction, and construction recovers
+/// whatever a previous incarnation committed.
+struct DurabilityConfig {
+  /// Directory for the store (created if absent): pages.aims (the page
+  /// file), wal.aims (the log), catalog.snap (the checkpoint snapshot).
+  std::string path;
+  /// Whether commits fsync (survive power loss) or merely append to the
+  /// OS page cache (survive process crash only).
+  storage::durable::WalSyncMode sync_mode =
+      storage::durable::WalSyncMode::kFsync;
+  /// Group-commit window (ms): how long a commit waits for concurrent
+  /// commits to share its fsync. 0 syncs per commit.
+  double group_commit_ms = 0.0;
+  /// Modeled extra latency per physical WAL sync (see WalConfig).
+  double simulated_sync_ms = 0.0;
+  /// Auto-checkpoint once the WAL grows past this many bytes (pages
+  /// synced, catalog snapshot written, log truncated). 0 disables
+  /// automatic checkpoints; Checkpoint() can always be called explicitly.
+  size_t checkpoint_wal_bytes = 1 << 20;
+  /// Byte budget for the write-back buffer pool the durable path requires
+  /// when AimsConfig::block_cache is disabled. Ignored when the caller
+  /// configured a cache (which is then switched to write-back mode).
+  size_t buffer_pool_bytes = 4u << 20;
+};
+
 /// \brief System-wide configuration.
 struct AimsConfig {
   /// Wavelet family used for storage and offline queries. db2+ enables SUM
@@ -52,6 +84,9 @@ struct AimsConfig {
   /// read routes through a sharded LRU cache and repeated fetches of a hot
   /// block cost CPU instead of a simulated seek.
   storage::BlockCacheConfig block_cache;
+  /// Durable storage (file-backed device + WAL + recovery-on-open). The
+  /// default — an empty path — keeps the in-memory simulator.
+  DurabilityConfig durability;
 };
 
 /// \brief Catalog entry for a stored session.
@@ -186,6 +221,15 @@ class AimsSystem {
  public:
   explicit AimsSystem(AimsConfig config = {});
 
+  /// \brief Outcome of opening/recovering the durable store, when one is
+  /// configured (always OK for the in-memory backend). Constructors cannot
+  /// fail, so a failed open parks its status here; every mutating call
+  /// refuses while this is non-OK.
+  const Status& init_status() const { return init_status_; }
+
+  /// \brief Whether this system runs on the durable backend.
+  bool durable() const { return wal_ != nullptr; }
+
   // ---- Acquisition + storage -------------------------------------------
 
   /// \brief Ingests a multi-channel recording: per-channel mean-centering,
@@ -193,9 +237,56 @@ class AimsSystem {
   /// \p trace (optional) gains one "transform" and one "block_write" span
   /// per channel, nesting under whatever span the caller has open — the
   /// storage half of an end-to-end ingest trace.
+  /// On the durable backend this is the sequential convenience form of the
+  /// staged protocol below: the call returns only after the ingest's WAL
+  /// commit is durable and its pages are written back.
   Result<SessionId> IngestRecording(const std::string& name,
                                     const streams::Recording& recording,
                                     obs::Trace* trace = nullptr);
+
+  /// \brief One durable ingest in flight between the staged phases.
+  struct StagedIngest {
+    SessionId id = 0;
+    uint64_t txn_id = 0;
+    /// WAL durability ticket for WaitDurable.
+    uint64_t ticket = 0;
+    /// Device blocks the ingest staged dirty in the buffer pool.
+    std::vector<storage::BlockId> blocks;
+  };
+
+  /// \brief Durable backend only — phase 1 of the two-phase ingest:
+  /// transform, stage every block dirty in the buffer pool (no device
+  /// I/O), log the whole ingest as one WAL record group, and append its
+  /// commit record. The session is visible to queries from here on.
+  /// Requires exclusive synchronization, like IngestRecording — but it
+  /// never blocks on a sync, which is the point: the caller releases its
+  /// exclusive lock, then calls WaitDurable, so concurrent ingests can
+  /// share one group-commit fsync.
+  Result<StagedIngest> IngestRecordingStaged(const std::string& name,
+                                             const streams::Recording& recording,
+                                             obs::Trace* trace = nullptr);
+
+  /// \brief Phase 2: blocks until the staged ingest's commit is on stable
+  /// storage. Safe to call concurrently from many threads (no lock
+  /// needed); one caller leads the shared fsync, the rest ride it.
+  Status WaitDurable(const StagedIngest& staged);
+
+  /// \brief Phase 3: writes the staged dirty pages back to the page file
+  /// and may auto-checkpoint. Requires exclusive synchronization. A
+  /// failure here loses nothing — the WAL holds the committed group, and
+  /// reopening replays it.
+  Status ApplyDurable(const StagedIngest& staged);
+
+  /// \brief Forces a checkpoint: pages fsync'd, catalog snapshot written
+  /// atomically, WAL truncated. Requires exclusive synchronization and no
+  /// ingest between its staged phases (FailedPrecondition otherwise).
+  Status Checkpoint();
+
+  /// \brief WAL counters (zero-valued struct on the in-memory backend).
+  obs::WalStats WalStats() const;
+
+  /// The write-ahead log, or nullptr on the in-memory backend.
+  const storage::durable::WriteAheadLog* wal() const { return wal_.get(); }
 
   /// Catalog lookup.
   Result<SessionInfo> GetSession(SessionId id) const;
@@ -322,11 +413,42 @@ class AimsSystem {
     std::vector<StoredChannel> channels;
   };
 
+  /// Builds one session's stores (transform + Put through the cache) but
+  /// does not publish it — shared by the in-memory ingest and the durable
+  /// staged ingest.
+  Result<StoredSession> BuildSession(const std::string& name,
+                                     const streams::Recording& recording,
+                                     obs::Trace* trace);
+  /// Opens or recovers the durable store (ctor helper; result goes to
+  /// init_status_).
+  Status OpenDurable();
+  /// Serializes one session's catalog entry for the WAL / snapshot.
+  std::vector<uint8_t> SerializeSession(const StoredSession& session) const;
+  /// Appends the session a serialized catalog entry describes, attaching
+  /// its WaveletStores to already-written device blocks.
+  Status ApplyCatalogBlob(const std::vector<uint8_t>& blob);
+  /// Writes the catalog snapshot atomically (tmp + fsync + rename).
+  Status WriteSnapshot() const;
+  /// Loads the catalog snapshot, if one exists.
+  Status LoadSnapshot();
+
   AimsConfig config_;
   signal::WaveletFilter filter_;
   std::unique_ptr<storage::BlockDevice> device_;
   /// Declared after device_ (construction order): the cache fronts it.
   std::unique_ptr<storage::BlockCache> cache_;
+  /// Downcast alias of device_ on the durable backend (for SyncPages).
+  storage::durable::FileBlockDevice* file_device_ = nullptr;
+  std::unique_ptr<storage::durable::WriteAheadLog> wal_;
+  Status init_status_;
+  /// Ingests between IngestRecordingStaged and the end of ApplyDurable;
+  /// checkpoints are refused while nonzero (their pages may be dirty or
+  /// their commits not yet durable).
+  std::atomic<size_t> pending_commits_{0};
+  /// Largest transaction id whose effects are in sessions_ — recorded in
+  /// the snapshot so recovery replays only younger WAL groups (a crash
+  /// between snapshot write and log truncation must not double-apply).
+  uint64_t applied_txn_ = 0;
   std::vector<StoredSession> sessions_;
 
   recognition::Vocabulary vocabulary_;

@@ -139,15 +139,44 @@ void AppendCacheFamily(std::string* out, const CacheStats& cache) {
   }
 }
 
+void AppendWalFamily(std::string* out, const WalStats& wal) {
+  struct Dim {
+    const char* name;
+    const char* type;
+    uint64_t WalStats::* field;
+  };
+  // The recovery trio are gauges, not counters: they describe the LAST
+  // recovery-on-open, resetting at each open rather than accumulating.
+  static constexpr Dim kDims[] = {
+      {"aims_wal_records_total", "counter", &WalStats::records},
+      {"aims_wal_commits_total", "counter", &WalStats::commits},
+      {"aims_wal_syncs_total", "counter", &WalStats::syncs},
+      {"aims_wal_max_commits_per_sync", "gauge",
+       &WalStats::max_commits_per_sync},
+      {"aims_wal_bytes_appended_total", "counter", &WalStats::bytes_appended},
+      {"aims_wal_lag_bytes", "gauge", &WalStats::lag_bytes},
+      {"aims_wal_checkpoints_total", "counter", &WalStats::checkpoints},
+      {"aims_wal_recovered_txns", "gauge", &WalStats::recovered_txns},
+      {"aims_wal_recovered_records", "gauge", &WalStats::recovered_records},
+      {"aims_wal_discarded_bytes", "gauge", &WalStats::discarded_bytes},
+  };
+  for (const Dim& dim : kDims) {
+    *out += std::string("# TYPE ") + dim.name + " " + dim.type + "\n";
+    *out += std::string(dim.name) + " " + std::to_string(wal.*dim.field) +
+            "\n";
+  }
+}
+
 }  // namespace
 
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer, const CostLedger* ledger,
-                             const CacheStats* cache) {
+                             const CacheStats* cache, const WalStats* wal) {
   std::string out = PrometheusExport(registry);
   if (tracer != nullptr) AppendTracerFamily(&out, *tracer);
   if (ledger != nullptr) AppendTenantFamily(&out, *ledger);
   if (cache != nullptr) AppendCacheFamily(&out, *cache);
+  if (wal != nullptr) AppendWalFamily(&out, *wal);
   return out;
 }
 

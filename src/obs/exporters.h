@@ -6,6 +6,7 @@
 #include "obs/cost_ledger.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "obs/wal_stats.h"
 
 /// \file exporters.h
 /// \brief Standard-format exporters over the obs primitives, so AIMS dumps
@@ -37,11 +38,16 @@ std::string PrometheusExport(const MetricsRegistry& registry);
 /// `{tenant="<id>"}` labelled series per tenant per cost dimension — and
 /// a block-cache snapshot (e.g. ShardedCatalog::TotalCacheStats()) as the
 /// `aims_cache_*` family: hit/miss/eviction/invalidation/insertion
-/// counters plus resident-bytes/blocks and capacity gauges.
+/// counters plus resident-bytes/blocks and capacity gauges — and a WAL
+/// snapshot (e.g. ShardedCatalog::TotalWalStats()) as the `aims_wal_*`
+/// family: record/commit/sync/checkpoint counters, the group-commit
+/// batch-size high-water mark, the current lag in bytes, and the last
+/// recovery's replay/discard accounting.
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer,
                              const CostLedger* ledger = nullptr,
-                             const CacheStats* cache = nullptr);
+                             const CacheStats* cache = nullptr,
+                             const WalStats* wal = nullptr);
 
 /// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
 /// "aims_scheduler_exec_ms". Exposed for tests and dashboards.

@@ -132,6 +132,24 @@ HealthSnapshot StatsReporter::ComputeLocked() {
       break;
     }
   }
+  if (config_.wal_lag_budget_bytes > 0.0) {
+    for (const auto& [name, gauge] : registry_->Gauges()) {
+      if (name != config_.wal_lag_gauge) continue;
+      snap.wal_lag_saturation = static_cast<double>(gauge->value()) /
+                                config_.wal_lag_budget_bytes;
+      if (snap.wal_lag_saturation >= 0.75) {
+        std::snprintf(reason, sizeof(reason),
+                      "%s at %.0f%% of checkpoint budget", name.c_str(),
+                      snap.wal_lag_saturation * 100.0);
+        snap.reasons.push_back(reason);
+        HealthLevel level = snap.wal_lag_saturation >= 1.0
+                                ? HealthLevel::kSaturated
+                                : HealthLevel::kDegraded;
+        snap.level = std::max(snap.level, level);
+      }
+      break;
+    }
+  }
   {
     auto it = snap.rates.find(config_.slow_query_counter);
     if (it != snap.rates.end()) snap.slow_query_per_sec = it->second.per_sec;

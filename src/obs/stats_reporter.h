@@ -39,6 +39,17 @@ struct StatsReporterConfig {
   /// Capacity the gauge is divided by. Degraded at >= 75% of capacity,
   /// saturated at >= 100%. 0 disables the saturation check.
   double saturation_capacity = 0.0;
+  /// Gauge read as the WAL lag in bytes — committed log the page files
+  /// have not yet absorbed via checkpoint (ShardedCatalog publishes it
+  /// after every durable ingest). Ignored when not registered or the
+  /// budget is 0.
+  std::string wal_lag_gauge = "storage.wal_lag_bytes";
+  /// Checkpoint byte budget the WAL-lag gauge is divided by. A lag well
+  /// past the auto-checkpoint threshold means checkpoints are failing or
+  /// falling behind ingest — recovery time grows with every committed
+  /// byte. Degraded at >= 75% of budget, saturated at >= 100%. 0 disables
+  /// the check.
+  double wal_lag_budget_bytes = 0.0;
   /// Counter of queries over the server's slow-query threshold, judged as
   /// a rate over the snapshot window.
   std::string slow_query_counter = "scheduler.slow_queries";
@@ -79,6 +90,8 @@ struct HealthSnapshot {
   std::vector<std::string> reasons;
   /// saturation_gauge value / saturation_capacity (0 when disabled).
   double queue_saturation = 0.0;
+  /// wal_lag_gauge value / wal_lag_budget_bytes (0 when disabled).
+  double wal_lag_saturation = 0.0;
   /// p99 of latency_histogram in ms (0 when disabled/unregistered).
   double p99_ms = 0.0;
   /// Rate of slow_query_counter over the window (0 when unregistered).

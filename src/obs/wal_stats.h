@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file wal_stats.h
+/// \brief Point-in-time counters of one write-ahead log (or an aggregate
+/// over several). Lives in obs — not storage — for the same reason
+/// CacheStats does: the exporters emit the aims_wal_* Prometheus family
+/// and GetHealth carries durability health without obs depending on the
+/// storage layer (storage links obs, so the reverse edge would be a
+/// cycle).
+
+namespace aims::obs {
+
+/// \brief Snapshot of a WAL's accounting counters. Produced by
+/// storage::durable::WriteAheadLog::Stats() and summed across catalog
+/// shards by server::ShardedCatalog::TotalWalStats().
+struct WalStats {
+  /// Records appended (begin/payload/catalog/commit all count).
+  uint64_t records = 0;
+  /// Commit records appended (== acknowledged atomic groups).
+  uint64_t commits = 0;
+  /// Physical sync operations performed (fsync/fdatasync). With group
+  /// commit, commits / syncs is the mean batch size.
+  uint64_t syncs = 0;
+  /// Largest number of commits one sync made durable — the group-commit
+  /// batch-size high-water mark.
+  uint64_t max_commits_per_sync = 0;
+  /// Bytes appended since the log was opened (monotonic).
+  uint64_t bytes_appended = 0;
+  /// Current log length past the header — the WAL lag: bytes of committed
+  /// work the page file has not yet absorbed via checkpoint. Grows between
+  /// checkpoints, drops to zero at each one.
+  uint64_t lag_bytes = 0;
+  /// Checkpoints taken (log truncations after the pages were made clean).
+  uint64_t checkpoints = 0;
+  /// Committed record groups replayed by the last recovery-on-open.
+  uint64_t recovered_txns = 0;
+  /// Records replayed by the last recovery-on-open.
+  uint64_t recovered_records = 0;
+  /// Bytes of uncommitted/torn tail discarded by the last recovery.
+  uint64_t discarded_bytes = 0;
+
+  /// Field-wise sum, for catalog-wide aggregates over per-shard logs.
+  /// max_commits_per_sync aggregates as a max (it is a high-water mark).
+  void Accumulate(const WalStats& other) {
+    records += other.records;
+    commits += other.commits;
+    syncs += other.syncs;
+    if (other.max_commits_per_sync > max_commits_per_sync) {
+      max_commits_per_sync = other.max_commits_per_sync;
+    }
+    bytes_appended += other.bytes_appended;
+    lag_bytes += other.lag_bytes;
+    checkpoints += other.checkpoints;
+    recovered_txns += other.recovered_txns;
+    recovered_records += other.recovered_records;
+    discarded_bytes += other.discarded_bytes;
+  }
+};
+
+}  // namespace aims::obs

@@ -7,6 +7,7 @@
 #include "obs/cache_stats.h"
 #include "obs/cost_ledger.h"
 #include "obs/stats_reporter.h"
+#include "obs/wal_stats.h"
 #include "recognition/isolator.h"
 #include "server/query_scheduler.h"
 #include "server/sharded_catalog.h"
@@ -95,6 +96,10 @@ struct GetHealthResponse {
   /// Catalog-wide block-cache counters (summed over shards). All zero when
   /// caching is disabled or ObsConfig::enable_cache_stats is off.
   obs::CacheStats cache;
+  /// Catalog-wide WAL counters (summed over shards; the group-commit
+  /// batch high-water mark is a max). All zero on the in-memory backend
+  /// or when ObsConfig::enable_wal_stats is off.
+  obs::WalStats wal;
 };
 
 /// \brief Asks the server what each tenant has consumed: CPU time, block

@@ -202,6 +202,9 @@ Result<GetHealthResponse> AimsServer::GetHealth(
   if (config_.obs.enable_cache_stats) {
     response.cache = catalog_->TotalCacheStats();
   }
+  if (config_.obs.enable_wal_stats && catalog_->durable()) {
+    response.wal = catalog_->TotalWalStats();
+  }
   return response;
 }
 

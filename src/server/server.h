@@ -83,6 +83,10 @@ struct ObsConfig {
   /// (all-zero when ServerConfig::system.block_cache is disabled). Off,
   /// the health response's cache section stays default-initialized.
   bool enable_cache_stats = true;
+  /// Include the catalog-wide WAL counters in GetHealth responses
+  /// (zero-valued on the in-memory backend). Off, the health response's
+  /// wal section stays default-initialized.
+  bool enable_wal_stats = true;
 };
 
 /// \brief Server-wide configuration.

@@ -24,7 +24,17 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
   AIMS_CHECK(num_shards >= 1);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config));
+    // Every shard gets its own durable store (its own page file + WAL)
+    // under the configured base path, so per-shard commits never contend
+    // on one log file and recovery parallelizes naturally by shard.
+    core::AimsConfig shard_config = config;
+    if (!shard_config.durability.path.empty()) {
+      shard_config.durability.path += "/shard_" + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<Shard>(shard_config));
+    shards_.back()->wal_lag.store(
+        shards_.back()->system.WalStats().lag_bytes,
+        std::memory_order_relaxed);
   }
   if (metrics != nullptr) {
     ingest_count_ = metrics->GetCounter("catalog.ingest.count");
@@ -34,7 +44,33 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
         "catalog.ingest.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
     query_latency_ms_ = metrics->GetHistogram(
         "catalog.query.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+    if (durable()) {
+      wal_lag_gauge_ = metrics->GetGauge("storage.wal_lag_bytes");
+      PublishWalLag();
+    }
   }
+}
+
+Status ShardedCatalog::init_status() const {
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    AIMS_RETURN_NOT_OK(shard->system.init_status());
+  }
+  return Status::OK();
+}
+
+bool ShardedCatalog::durable() const {
+  // All shards share one config, so the first answers for every one.
+  return shards_.front()->system.durable();
+}
+
+void ShardedCatalog::PublishWalLag() {
+  if (wal_lag_gauge_ == nullptr) return;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->wal_lag.load(std::memory_order_relaxed);
+  }
+  wal_lag_gauge_->Set(static_cast<int64_t>(total));
 }
 
 Result<GlobalSessionId> ShardedCatalog::Ingest(
@@ -44,30 +80,85 @@ Result<GlobalSessionId> ShardedCatalog::Ingest(
   size_t shard_index = ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
-  Result<core::SessionId> local = [&]() -> Result<core::SessionId> {
-    size_t lock_span = 0;
-    if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    if (trace != nullptr) trace->EndSpan(lock_span);
-    // Writes are serialized by the exclusive lock, so the device's write-
-    // counter delta across this ingest is attributable to it exactly.
-    // io_stats is filled whatever the outcome: a fault mid-ingest has
-    // already performed (and charged) its writes, and the tenant's ledger
-    // must reflect them.
-    const size_t writes_before = shard.system.device().writes();
-    Result<core::SessionId> result =
-        shard.system.IngestRecording(name, recording, trace);
-    if (io_stats != nullptr) {
-      io_stats->blocks_written = shard.system.device().writes() - writes_before;
-      io_stats->bytes_written =
-          io_stats->blocks_written * config_.block_size_bytes;
-    }
-    return result;
-  }();
+  // durable() reads a pointer set once at construction — safe lock-free.
+  Result<core::SessionId> local =
+      shard.system.durable()
+          ? IngestDurable(shard, name, recording, trace, io_stats)
+          : IngestInMemory(shard, name, recording, trace, io_stats);
   AIMS_RETURN_NOT_OK(local.status());
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
   return MakeGlobalId(shard_index, *local);
+}
+
+Result<core::SessionId> ShardedCatalog::IngestInMemory(
+    Shard& shard, const std::string& name,
+    const streams::Recording& recording, obs::Trace* trace,
+    IngestIoStats* io_stats) {
+  size_t lock_span = 0;
+  if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (trace != nullptr) trace->EndSpan(lock_span);
+  // Writes are serialized by the exclusive lock, so the device's write-
+  // counter delta across this ingest is attributable to it exactly.
+  // io_stats is filled whatever the outcome: a fault mid-ingest has
+  // already performed (and charged) its writes, and the tenant's ledger
+  // must reflect them.
+  const size_t writes_before = shard.system.device().writes();
+  Result<core::SessionId> result =
+      shard.system.IngestRecording(name, recording, trace);
+  if (io_stats != nullptr) {
+    io_stats->blocks_written = shard.system.device().writes() - writes_before;
+    io_stats->bytes_written =
+        io_stats->blocks_written * config_.block_size_bytes;
+  }
+  return result;
+}
+
+Result<core::SessionId> ShardedCatalog::IngestDurable(
+    Shard& shard, const std::string& name,
+    const streams::Recording& recording, obs::Trace* trace,
+    IngestIoStats* io_stats) {
+  if (io_stats != nullptr) *io_stats = IngestIoStats{};
+  core::AimsSystem::StagedIngest staged;
+  {
+    size_t lock_span = 0;
+    if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (trace != nullptr) trace->EndSpan(lock_span);
+    // Failed staging performs no device writes (the dirty pages are
+    // dropped from the buffer pool), so io_stats stays zero on error.
+    AIMS_ASSIGN_OR_RETURN(
+        staged, shard.system.IngestRecordingStaged(name, recording, trace));
+  }
+  // The sync wait runs with the shard lock RELEASED: concurrent ingests
+  // into this shard reach their own WaitDurable and share one group-commit
+  // fsync instead of serializing syncs behind the exclusive lock.
+  size_t sync_span = 0;
+  if (trace != nullptr) sync_span = trace->BeginSpan("wal_sync");
+  Status durable = shard.system.WaitDurable(staged);
+  if (trace != nullptr) trace->EndSpan(sync_span);
+  // Not durable -> not acknowledged. The WAL's sync error is sticky, so
+  // the shard refuses further commits rather than silently degrading.
+  AIMS_RETURN_NOT_OK(durable);
+  {
+    size_t lock_span = 0;
+    if (trace != nullptr) lock_span = trace->BeginSpan("shard_apply_lock");
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (trace != nullptr) trace->EndSpan(lock_span);
+    AIMS_RETURN_NOT_OK(shard.system.ApplyDurable(staged));
+    shard.wal_lag.store(shard.system.WalStats().lag_bytes,
+                        std::memory_order_relaxed);
+  }
+  // Staged ingests attribute I/O by their own block list, not a counter
+  // delta: another ingest's write-back may run between the two exclusive
+  // sections, and a delta would cross-charge tenants.
+  if (io_stats != nullptr) {
+    io_stats->blocks_written = staged.blocks.size();
+    io_stats->bytes_written = staged.blocks.size() * config_.block_size_bytes;
+  }
+  PublishWalLag();
+  return staged.id;
 }
 
 const ShardedCatalog::Shard* ShardedCatalog::ShardFor(
@@ -185,6 +276,15 @@ storage::BlockDevice* ShardedCatalog::mutable_shard_device(size_t shard) {
 storage::BlockCache* ShardedCatalog::mutable_shard_cache(size_t shard) {
   AIMS_CHECK(shard < shards_.size());
   return shards_[shard]->system.mutable_block_cache();
+}
+
+obs::WalStats ShardedCatalog::TotalWalStats() const {
+  obs::WalStats total;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total.Accumulate(shard->system.WalStats());
+  }
+  return total;
 }
 
 obs::CacheStats ShardedCatalog::TotalCacheStats() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "core/aims.h"
 #include "obs/cache_stats.h"
 #include "obs/tracer.h"
+#include "obs/wal_stats.h"
 #include "server/metrics.h"
 
 /// \file sharded_catalog.h
@@ -50,6 +52,17 @@ class ShardedCatalog {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// \brief First failure among the shards' durable-store opens (always OK
+  /// on the in-memory backend). A shard whose recovery failed refuses
+  /// every mutating call with this status; callers that want fail-fast
+  /// semantics check here right after construction.
+  Status init_status() const;
+
+  /// \brief Whether the shards run on the durable backend. When
+  /// AimsConfig::durability.path is set, each shard gets its own store
+  /// under `<path>/shard_<i>` so per-shard WALs never contend on one file.
+  bool durable() const;
+
   /// Deterministic tenant placement: clients map to shards round-robin by
   /// id, so a session's shard never depends on arrival order.
   size_t ShardForClient(ClientId client) const {
@@ -84,6 +97,13 @@ class ShardedCatalog {
   /// \p io_stats (optional) receives the ingest's exact block-write I/O —
   /// filled even when the ingest fails partway, so a write fault's device
   /// I/O still reaches the tenant's cost ledger.
+  ///
+  /// On the durable backend this runs the staged protocol: stage + WAL
+  /// append under the exclusive lock, wait for the commit sync with the
+  /// lock released (trace span "wal_sync") so concurrent ingests share one
+  /// group-commit fsync, then re-lock ("shard_apply_lock") for page
+  /// write-back. The ingest is acknowledged only after its commit record
+  /// is on stable storage.
   Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
                                  const streams::Recording& recording,
                                  obs::Trace* trace = nullptr,
@@ -134,6 +154,12 @@ class ShardedCatalog {
   /// GetHealth cache section.
   obs::CacheStats TotalCacheStats() const;
 
+  /// \brief WAL counters summed across shards (zero-valued struct on the
+  /// in-memory backend) — the aims_wal_* Prometheus family and the
+  /// GetHealth durability section. max_commits_per_sync aggregates as the
+  /// max over shards (it is a high-water mark, not a total).
+  obs::WalStats TotalWalStats() const;
+
   /// \brief Test/admin access to one shard's block device (fault
   /// injection, counter resets). The fault-injection setters are atomic,
   /// so this is safe to call while the shard is serving traffic.
@@ -148,16 +174,39 @@ class ShardedCatalog {
   struct Shard {
     mutable std::shared_mutex mutex;
     core::AimsSystem system;
+    /// Last published WAL lag of this shard (bytes), updated after every
+    /// ApplyDurable so the "storage.wal_lag_bytes" gauge can be recomputed
+    /// without taking every other shard's lock.
+    std::atomic<uint64_t> wal_lag{0};
     explicit Shard(const core::AimsConfig& config) : system(config) {}
   };
 
   const Shard* ShardFor(GlobalSessionId id) const;
+
+  /// In-memory ingest: one exclusive-lock section, I/O attributed by the
+  /// device write-counter delta.
+  Result<core::SessionId> IngestInMemory(Shard& shard, const std::string& name,
+                                         const streams::Recording& recording,
+                                         obs::Trace* trace,
+                                         IngestIoStats* io_stats);
+  /// Durable ingest via the staged protocol: stage + WAL-append under the
+  /// exclusive lock, wait for the (group-)commit sync with the lock
+  /// released, then re-lock to write the pages back — concurrent ingests
+  /// into the same shard share one fsync instead of serializing syncs.
+  Result<core::SessionId> IngestDurable(Shard& shard, const std::string& name,
+                                        const streams::Recording& recording,
+                                        obs::Trace* trace,
+                                        IngestIoStats* io_stats);
+  /// Re-publishes the catalog-wide WAL-lag gauge from the per-shard
+  /// atomics (no-op without a metrics registry or on the mem backend).
+  void PublishWalLag();
 
   core::AimsConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Counter* ingest_count_ = nullptr;
   Counter* query_count_ = nullptr;
   Counter* blocks_read_ = nullptr;
+  Gauge* wal_lag_gauge_ = nullptr;
   Histogram* ingest_latency_ms_ = nullptr;
   Histogram* query_latency_ms_ = nullptr;
 };

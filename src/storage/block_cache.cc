@@ -35,38 +35,117 @@ Result<std::vector<uint8_t>> BlockCache::Read(BlockId id, bool* hit) const {
     // A concurrent miss on the same block may have admitted it already;
     // its copy is identical (reads race only with reads), so keep it.
     if (shard.index.find(id) == shard.index.end()) {
-      InsertLocked(shard, id, payload);
+      InsertLocked(shard, id, payload, /*dirty=*/false);
     }
   }
   return payload;
 }
 
-void BlockCache::InsertLocked(Shard& shard, BlockId id,
-                              const std::vector<uint8_t>& payload) const {
-  if (payload.size() > shard_capacity_bytes_) return;  // would evict a shard
-  while (!shard.lru.empty() &&
-         shard.bytes + payload.size() > shard_capacity_bytes_) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.payload.size();
-    bytes_cached_.fetch_sub(victim.payload.size(), kRelaxed);
+void BlockCache::EvictToBudgetLocked(Shard& shard) const {
+  // Walk from the LRU tail, evicting clean entries only: dirty entries
+  // are the sole copy of staged data and are pinned until FlushBlocks.
+  auto it = shard.lru.end();
+  while (shard.bytes > shard_capacity_bytes_ && it != shard.lru.begin()) {
+    --it;
+    if (it->dirty) continue;
+    shard.bytes -= it->payload.size();
+    bytes_cached_.fetch_sub(it->payload.size(), kRelaxed);
     blocks_cached_.fetch_sub(1, kRelaxed);
     evictions_.fetch_add(1, kRelaxed);
-    shard.index.erase(victim.id);
-    shard.lru.pop_back();
+    shard.index.erase(it->id);
+    it = shard.lru.erase(it);
   }
-  shard.lru.push_front(Entry{id, payload});
+}
+
+void BlockCache::InsertLocked(Shard& shard, BlockId id,
+                              const std::vector<uint8_t>& payload,
+                              bool dirty) const {
+  if (!dirty && payload.size() > shard_capacity_bytes_) {
+    return;  // a clean payload that would evict a whole shard
+  }
+  shard.lru.push_front(Entry{id, payload, dirty});
   shard.index[id] = shard.lru.begin();
   shard.bytes += payload.size();
   bytes_cached_.fetch_add(payload.size(), kRelaxed);
   blocks_cached_.fetch_add(1, kRelaxed);
   insertions_.fetch_add(1, kRelaxed);
+  if (dirty) dirty_blocks_.fetch_add(1, kRelaxed);
+  EvictToBudgetLocked(shard);
 }
 
 Status BlockCache::Write(BlockId id, const std::vector<uint8_t>& payload) {
+  if (config_.write_back) {
+    // Buffer-pool staging: the payload parks in the cache as a dirty
+    // pinned entry and reaches the device only via FlushBlocks, once its
+    // transaction's commit record is durable (no-steal).
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      shard.bytes -= entry.payload.size();
+      bytes_cached_.fetch_sub(entry.payload.size(), kRelaxed);
+      if (!entry.dirty) dirty_blocks_.fetch_add(1, kRelaxed);
+      entry.payload = payload;
+      entry.dirty = true;
+      shard.bytes += payload.size();
+      bytes_cached_.fetch_add(payload.size(), kRelaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      EvictToBudgetLocked(shard);
+    } else {
+      InsertLocked(shard, id, payload, /*dirty=*/true);
+    }
+    return Status::OK();
+  }
   // Invalidate before the device write: whatever the write's outcome, the
   // cache never holds bytes the device does not.
   Invalidate(id);
   return device_->Write(id, payload);
+}
+
+Status BlockCache::FlushBlocks(const std::vector<BlockId>& ids) {
+  for (BlockId id : ids) {
+    Shard& shard = ShardFor(id);
+    std::vector<uint8_t> payload;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.index.find(id);
+      if (it == shard.index.end() || !it->second->dirty) continue;
+      payload = it->second->payload;
+    }
+    // The device write happens outside the shard lock; the exclusive
+    // synchronization FlushBlocks requires means nothing can change the
+    // entry underneath us.
+    AIMS_RETURN_NOT_OK(device_->Write(id, payload));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end() && it->second->dirty) {
+      it->second->dirty = false;
+      dirty_blocks_.fetch_sub(1, kRelaxed);
+      EvictToBudgetLocked(shard);
+    }
+  }
+  return Status::OK();
+}
+
+void BlockCache::DropDirty(const std::vector<BlockId>& ids) {
+  for (BlockId id : ids) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(id);
+    if (it == shard.index.end() || !it->second->dirty) continue;
+    shard.bytes -= it->second->payload.size();
+    bytes_cached_.fetch_sub(it->second->payload.size(), kRelaxed);
+    blocks_cached_.fetch_sub(1, kRelaxed);
+    dirty_blocks_.fetch_sub(1, kRelaxed);
+    invalidations_.fetch_add(1, kRelaxed);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
+size_t BlockCache::DirtyBlocks() const {
+  return dirty_blocks_.load(kRelaxed);
 }
 
 void BlockCache::Invalidate(BlockId id) {
@@ -77,6 +156,7 @@ void BlockCache::Invalidate(BlockId id) {
   shard.bytes -= it->second->payload.size();
   bytes_cached_.fetch_sub(it->second->payload.size(), kRelaxed);
   blocks_cached_.fetch_sub(1, kRelaxed);
+  if (it->second->dirty) dirty_blocks_.fetch_sub(1, kRelaxed);
   invalidations_.fetch_add(1, kRelaxed);
   shard.lru.erase(it->second);
   shard.index.erase(it);
@@ -91,11 +171,19 @@ bool BlockCache::Contains(BlockId id) const {
 void BlockCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    bytes_cached_.fetch_sub(shard.bytes, kRelaxed);
-    blocks_cached_.fetch_sub(shard.lru.size(), kRelaxed);
-    shard.lru.clear();
-    shard.index.clear();
-    shard.bytes = 0;
+    // Dirty entries survive a Clear: they are the only copy of staged
+    // data, so "cool the cache" must never mean "lose the pool".
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->dirty) {
+        ++it;
+        continue;
+      }
+      shard.bytes -= it->payload.size();
+      bytes_cached_.fetch_sub(it->payload.size(), kRelaxed);
+      blocks_cached_.fetch_sub(1, kRelaxed);
+      shard.index.erase(it->id);
+      it = shard.lru.erase(it);
+    }
   }
 }
 

@@ -52,6 +52,15 @@ struct BlockCacheConfig {
   /// keep capacity well above num_shards * block_size or small shards will
   /// thrash.
   size_t num_shards = 8;
+  /// Buffer-pool mode for the durable backend. When true, Write does NOT
+  /// reach the device: the payload is admitted as a *dirty* entry (pinned
+  /// against eviction and Clear — it is the only copy) and reaches the
+  /// device only through FlushBlocks, after the owning transaction's WAL
+  /// commit is durable. This is what makes the page file no-steal: an
+  /// uncommitted page can never be on disk. Dirty admissions bypass the
+  /// byte budget (clean entries are evicted first; the pool may run over
+  /// budget until the next flush).
+  bool write_back = false;
 };
 
 /// \brief Read-through LRU block cache (see file comment for the design
@@ -71,13 +80,32 @@ class BlockCache {
   /// counter delta, which races under concurrency.
   Result<std::vector<uint8_t>> Read(BlockId id, bool* hit = nullptr) const;
 
-  /// \brief Write-through: drops any cached copy of \p id, then forwards
-  /// to the device. Invalidate-before-write means no stale entry can
-  /// survive regardless of the device write's outcome. Requires exclusive
-  /// synchronization (the device's Write contract).
+  /// \brief Write-through (default): drops any cached copy of \p id, then
+  /// forwards to the device. Invalidate-before-write means no stale entry
+  /// can survive regardless of the device write's outcome. In write-back
+  /// mode the payload is instead admitted as a dirty pinned entry and no
+  /// device I/O happens (see BlockCacheConfig::write_back). Requires
+  /// exclusive synchronization (the device's Write contract).
   Status Write(BlockId id, const std::vector<uint8_t>& payload);
 
-  /// \brief Drops the cached copy of \p id, if any.
+  /// \brief Writes the listed blocks' dirty entries to the device and
+  /// marks them clean (evictable again); blocks without a dirty entry are
+  /// skipped. The commit-time write-back step: callers pass exactly the
+  /// blocks their transaction staged, never "all dirty blocks" — flushing
+  /// a stranger's uncommitted pages would break no-steal. Requires
+  /// exclusive synchronization. Stops at the first device error, leaving
+  /// the remaining entries dirty (the WAL still has them).
+  Status FlushBlocks(const std::vector<BlockId>& ids);
+
+  /// \brief Drops the listed blocks' dirty entries without writing them —
+  /// the rollback of a failed staging. Clean entries are untouched.
+  void DropDirty(const std::vector<BlockId>& ids);
+
+  /// \brief Dirty (staged, unflushed) entries currently pinned.
+  size_t DirtyBlocks() const;
+
+  /// \brief Drops the cached copy of \p id, if any — including a dirty
+  /// one (only DropDirty should do that to a dirty entry).
   void Invalidate(BlockId id);
 
   /// \brief Residency probe for planners (EXPLAIN predicts cold vs cached
@@ -85,7 +113,9 @@ class BlockCache {
   /// query must not perturb what the cache retains.
   bool Contains(BlockId id) const;
 
-  /// \brief Drops every entry (counters keep accumulating).
+  /// \brief Drops every *clean* entry (counters keep accumulating). Dirty
+  /// entries survive: in write-back mode they are the only copy of staged
+  /// data, so cooling the cache must not lose them.
   void Clear();
 
   /// \brief Snapshot of the accounting counters.
@@ -100,6 +130,9 @@ class BlockCache {
   struct Entry {
     BlockId id = 0;
     std::vector<uint8_t> payload;
+    /// Staged by a write-back Write, not yet on the device. Dirty entries
+    /// are pinned: never evicted, never dropped by Clear.
+    bool dirty = false;
   };
   /// One shard: an LRU list (front = most recent) plus an index into it.
   struct Shard {
@@ -112,10 +145,14 @@ class BlockCache {
   Shard& ShardFor(BlockId id) const {
     return shards_[static_cast<size_t>(id) % shards_.size()];
   }
-  /// Inserts under the shard's lock, evicting LRU entries to the budget.
-  /// Payloads larger than one shard's whole budget are not admitted.
+  /// Inserts under the shard's lock, evicting clean LRU entries to the
+  /// budget. Clean payloads larger than one shard's whole budget are not
+  /// admitted; dirty ones always are (they have nowhere else to live).
   void InsertLocked(Shard& shard, BlockId id,
-                    const std::vector<uint8_t>& payload) const;
+                    const std::vector<uint8_t>& payload, bool dirty) const;
+  /// Evicts clean entries from the LRU tail until the shard fits its
+  /// budget or only dirty entries remain.
+  void EvictToBudgetLocked(Shard& shard) const;
 
   BlockDevice* device_;
   BlockCacheConfig config_;
@@ -132,6 +169,7 @@ class BlockCache {
   mutable std::atomic<uint64_t> insertions_{0};
   mutable std::atomic<uint64_t> bytes_cached_{0};
   mutable std::atomic<uint64_t> blocks_cached_{0};
+  mutable std::atomic<uint64_t> dirty_blocks_{0};
 };
 
 }  // namespace aims::storage

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 
 namespace aims::storage {
@@ -10,11 +11,6 @@ namespace aims::storage {
 BlockDevice::BlockDevice(size_t block_size_bytes, DiskCostModel cost_model)
     : block_size_bytes_(block_size_bytes), cost_model_(cost_model) {
   AIMS_CHECK(block_size_bytes > 0);
-}
-
-BlockId BlockDevice::Allocate() {
-  blocks_.emplace_back();
-  return static_cast<BlockId>(blocks_.size() - 1);
 }
 
 void BlockDevice::ChargeAccess() const {
@@ -39,7 +35,7 @@ bool BlockDevice::ConsumeFault(std::atomic<size_t>* pending) {
 }
 
 Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
-  if (id >= blocks_.size()) {
+  if (id >= num_blocks()) {
     return Status::OutOfRange("BlockDevice::Write: no such block");
   }
   if (payload.size() > block_size_bytes_) {
@@ -52,14 +48,21 @@ Status BlockDevice::Write(BlockId id, const std::vector<uint8_t>& payload) {
     ChargeAccess();
     return Status::IoError("BlockDevice::Write: injected fault");
   }
-  blocks_[id] = payload;
   writes_.fetch_add(1, std::memory_order_relaxed);
   ChargeAccess();
-  return Status::OK();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  if (ConsumeFault(&corrupt_writes_) && !payload.empty()) {
+    // Media rot: the stored bytes differ from what was checksummed. The
+    // write reports success; only a later read can notice.
+    std::vector<uint8_t> corrupted = payload;
+    corrupted[corrupted.size() / 2] ^= 0x04;
+    return DoWrite(id, corrupted, crc);
+  }
+  return DoWrite(id, payload, crc);
 }
 
 Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) const {
-  if (id >= blocks_.size()) {
+  if (id >= num_blocks()) {
     return Status::OutOfRange("BlockDevice::Read: no such block");
   }
   if (ConsumeFault(&fail_reads_)) {
@@ -71,13 +74,42 @@ Result<std::vector<uint8_t>> BlockDevice::Read(BlockId id) const {
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
   ChargeAccess();
-  return blocks_[id];
+  return DoRead(id);
 }
 
 void BlockDevice::ResetCounters() {
   reads_.store(0, std::memory_order_relaxed);
   writes_.store(0, std::memory_order_relaxed);
   simulated_ms_.store(0.0, std::memory_order_relaxed);
+  // A reset device is a clean device: pending injected faults must not
+  // leak into the next test or bench phase.
+  fail_reads_.store(0, std::memory_order_relaxed);
+  fail_writes_.store(0, std::memory_order_relaxed);
+  corrupt_writes_.store(0, std::memory_order_relaxed);
+}
+
+MemBlockDevice::MemBlockDevice(size_t block_size_bytes,
+                               DiskCostModel cost_model)
+    : BlockDevice(block_size_bytes, cost_model) {}
+
+BlockId MemBlockDevice::DoAllocate() {
+  blocks_.emplace_back();
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+Status MemBlockDevice::DoWrite(BlockId id, const std::vector<uint8_t>& payload,
+                               uint32_t payload_crc) {
+  blocks_[id] = Block{payload, payload_crc};
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> MemBlockDevice::DoRead(BlockId id) const {
+  const Block& block = blocks_[id];
+  if (!block.payload.empty() &&
+      Crc32(block.payload.data(), block.payload.size()) != block.crc) {
+    return Status::IoError("MemBlockDevice::Read: checksum mismatch");
+  }
+  return block.payload;
 }
 
 }  // namespace aims::storage

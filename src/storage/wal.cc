@@ -1,0 +1,465 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace aims::storage::durable {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415741u;  // "AWAL"
+constexpr uint32_t kWalVersion = 1;
+constexpr uint64_t kFileHeaderSize = 16;
+/// Header field: highest txn id ever issued, written at checkpoint
+/// truncation so ids keep advancing once the records are gone.
+constexpr size_t kTxnHighWaterOffset = 8;
+
+// Record framing: crc u32 | type u8 | pad u8[3] | txn_id u64 |
+// payload_size u32 | payload. The CRC covers everything after itself.
+constexpr size_t kRecordHeaderSize = 20;
+constexpr size_t kCrcOffset = 0;
+constexpr size_t kTypeOffset = 4;
+constexpr size_t kTxnOffset = 8;
+constexpr size_t kSizeOffset = 16;
+/// Upper bound on one record's payload — a scan-time sanity check so a
+/// corrupt length field cannot make recovery allocate gigabytes.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+constexpr uint8_t kBegin = 1;
+constexpr uint8_t kBlockPut = 2;
+constexpr uint8_t kCatalog = 3;
+constexpr uint8_t kCommit = 4;
+
+Status ErrnoError(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status PwriteFully(int fd, const void* data, size_t len, uint64_t offset) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, p + done, len - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("WriteAheadLog: pwrite failed");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(int fd, uint64_t size) {
+  std::vector<uint8_t> buf(size);
+  size_t done = 0;
+  while (done < buf.size()) {
+    ssize_t n = ::pread(fd, buf.data() + done, buf.size() - done,
+                        static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("WriteAheadLog: pread failed");
+    }
+    if (n == 0) {
+      buf.resize(done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return buf;
+}
+
+template <typename T>
+T LoadField(const uint8_t* base, size_t offset) {
+  T value;
+  std::memcpy(&value, base + offset, sizeof(T));
+  return value;
+}
+
+// ---- Crash hooks (see wal.h) ---------------------------------------------
+std::atomic<int> g_crash_after_payload_appends{-1};
+std::atomic<bool> g_crash_before_commit_append{false};
+std::atomic<bool> g_crash_after_commit_durable{false};
+
+/// Dies like a power cut: no atexit, no buffers flushed, no destructors.
+[[noreturn]] void CrashNow() {
+  std::raise(SIGKILL);
+  std::abort();  // unreachable; SIGKILL cannot be handled
+}
+
+void MaybeCrashAfterPayloadAppend() {
+  if (g_crash_after_payload_appends.load(std::memory_order_relaxed) < 0) {
+    return;
+  }
+  if (g_crash_after_payload_appends.fetch_sub(1, std::memory_order_relaxed) ==
+      1) {
+    CrashNow();
+  }
+}
+
+}  // namespace
+
+namespace testing {
+
+void SetCrashAfterPayloadAppends(int count) {
+  g_crash_after_payload_appends.store(count, std::memory_order_relaxed);
+}
+void SetCrashBeforeCommitAppend(bool enabled) {
+  g_crash_before_commit_append.store(enabled, std::memory_order_relaxed);
+}
+void SetCrashAfterCommitDurable(bool enabled) {
+  g_crash_after_commit_durable.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace testing
+
+Result<WriteAheadLog::Opened> WriteAheadLog::Open(const std::string& path,
+                                                  WalConfig config) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoError("WriteAheadLog::Open: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("WriteAheadLog::Open: fstat " + path);
+    ::close(fd);
+    return status;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  Opened opened;
+  if (file_size == 0) {
+    uint8_t header[kFileHeaderSize] = {};
+    std::memcpy(header, &kWalMagic, sizeof(kWalMagic));
+    std::memcpy(header + 4, &kWalVersion, sizeof(kWalVersion));
+    Status status = PwriteFully(fd, header, sizeof(header), 0);
+    if (status.ok() && ::fsync(fd) != 0) {
+      status = ErrnoError("WriteAheadLog::Open: fsync " + path);
+    }
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    opened.wal = std::unique_ptr<WriteAheadLog>(
+        new WriteAheadLog(path, fd, config, kFileHeaderSize));
+    return opened;
+  }
+
+  Result<std::vector<uint8_t>> read = ReadWholeFile(fd, file_size);
+  if (!read.ok()) {
+    ::close(fd);
+    return read.status();
+  }
+  const std::vector<uint8_t>& buf = *read;
+  if (buf.size() < kFileHeaderSize ||
+      LoadField<uint32_t>(buf.data(), 0) != kWalMagic ||
+      LoadField<uint32_t>(buf.data(), 4) != kWalVersion) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "WriteAheadLog::Open: not a WAL file: " + path);
+  }
+
+  // Scan: valid records accumulate into per-transaction pending groups; a
+  // commit record promotes its group to the committed list. The first
+  // incomplete or checksum-failing record marks the torn tail — everything
+  // from there on is a casualty of the crash and is truncated off.
+  struct Pending {
+    RecoveredTxn txn;
+    uint64_t bytes = 0;
+    uint64_t records = 0;
+  };
+  std::unordered_map<uint64_t, Pending> pending;
+  uint64_t pos = kFileHeaderSize;
+  uint64_t max_txn = 0;
+  uint64_t committed_records = 0;
+  while (pos + kRecordHeaderSize <= buf.size()) {
+    const uint8_t* rec = buf.data() + pos;
+    const uint32_t stored_crc = LoadField<uint32_t>(rec, kCrcOffset);
+    const uint8_t type = rec[kTypeOffset];
+    const uint64_t txn_id = LoadField<uint64_t>(rec, kTxnOffset);
+    const uint32_t payload_size = LoadField<uint32_t>(rec, kSizeOffset);
+    if (payload_size > kMaxRecordPayload ||
+        pos + kRecordHeaderSize + payload_size > buf.size()) {
+      break;  // torn tail: length field garbage or record cut short
+    }
+    const uint32_t crc = Crc32(rec + kTypeOffset,
+                               kRecordHeaderSize - kTypeOffset + payload_size);
+    if (crc != stored_crc) break;  // torn tail: record content damaged
+    const uint8_t* payload = rec + kRecordHeaderSize;
+    const uint64_t record_bytes = kRecordHeaderSize + payload_size;
+    if (txn_id > max_txn) max_txn = txn_id;
+    Pending& group = pending[txn_id];
+    group.txn.txn_id = txn_id;
+    group.bytes += record_bytes;
+    group.records += 1;
+    switch (type) {
+      case kBegin:
+        break;
+      case kBlockPut: {
+        if (payload_size < sizeof(uint32_t)) break;  // malformed; skip
+        const BlockId id = LoadField<uint32_t>(payload, 0);
+        group.txn.block_puts.emplace_back(
+            id, std::vector<uint8_t>(payload + sizeof(uint32_t),
+                                     payload + payload_size));
+        break;
+      }
+      case kCatalog:
+        group.txn.catalog_blobs.emplace_back(payload, payload + payload_size);
+        break;
+      case kCommit: {
+        committed_records += group.records;
+        opened.committed.push_back(std::move(group.txn));
+        pending.erase(txn_id);
+        break;
+      }
+      default:
+        break;  // unknown type from a future version: ignore the record
+    }
+    pos += record_bytes;
+  }
+
+  const uint64_t torn_bytes = buf.size() - pos;
+  uint64_t uncommitted_bytes = 0;
+  for (const auto& [txn_id, group] : pending) uncommitted_bytes += group.bytes;
+  if (torn_bytes > 0) {
+    // Physically remove the torn tail so later appends never interleave
+    // with garbage. Uncommitted-but-intact records can stay: replay
+    // ignores them and the next checkpoint truncation sweeps them away.
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0 || ::fsync(fd) != 0) {
+      Status status =
+          ErrnoError("WriteAheadLog::Open: cannot truncate torn tail of " +
+                     path);
+      ::close(fd);
+      return status;
+    }
+  }
+
+  opened.wal = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, config, pos));
+  opened.wal->next_txn_ =
+      std::max(max_txn, LoadField<uint64_t>(buf.data(), kTxnHighWaterOffset)) +
+      1;
+  opened.wal->recovery_.recovered_txns = opened.committed.size();
+  opened.wal->recovery_.recovered_records = committed_records;
+  opened.wal->recovery_.discarded_bytes = torn_bytes + uncommitted_bytes;
+  return opened;
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, int fd, WalConfig config,
+                             uint64_t file_size)
+    : path_(std::move(path)), fd_(fd), config_(config), file_size_(file_size) {
+  lag_bytes_.store(file_size - kFileHeaderSize, std::memory_order_relaxed);
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WriteAheadLog::AppendRecord(uint8_t type, uint64_t txn_id,
+                                   const uint8_t* payload,
+                                   size_t payload_size) {
+  // Same bound the recovery scan enforces: a record the scanner would
+  // reject as garbage must never be appendable in the first place.
+  if (payload_size > kMaxRecordPayload) {
+    return Status::InvalidArgument(
+        "WriteAheadLog: record payload exceeds " +
+        std::to_string(kMaxRecordPayload) + " bytes");
+  }
+  std::vector<uint8_t> rec(kRecordHeaderSize + payload_size);
+  rec[kTypeOffset] = type;
+  std::memcpy(rec.data() + kTxnOffset, &txn_id, sizeof(txn_id));
+  const uint32_t size32 = static_cast<uint32_t>(payload_size);
+  std::memcpy(rec.data() + kSizeOffset, &size32, sizeof(size32));
+  if (payload_size > 0) {
+    std::memcpy(rec.data() + kRecordHeaderSize, payload, payload_size);
+  }
+  const uint32_t crc =
+      Crc32(rec.data() + kTypeOffset, rec.size() - kTypeOffset);
+  std::memcpy(rec.data() + kCrcOffset, &crc, sizeof(crc));
+
+  std::lock_guard<std::mutex> lock(append_mutex_);
+  AIMS_RETURN_NOT_OK(PwriteFully(fd_, rec.data(), rec.size(), file_size_));
+  file_size_ += rec.size();
+  records_.fetch_add(1, std::memory_order_relaxed);
+  bytes_appended_.fetch_add(rec.size(), std::memory_order_relaxed);
+  lag_bytes_.store(file_size_ - kFileHeaderSize, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::BeginTxn() {
+  uint64_t txn_id;
+  {
+    std::lock_guard<std::mutex> lock(append_mutex_);
+    txn_id = next_txn_++;
+  }
+  AIMS_RETURN_NOT_OK(AppendRecord(kBegin, txn_id, nullptr, 0));
+  return txn_id;
+}
+
+Status WriteAheadLog::AppendBlockPut(uint64_t txn_id, BlockId id,
+                                     const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> body(sizeof(uint32_t) + payload.size());
+  const uint32_t id32 = id;
+  std::memcpy(body.data(), &id32, sizeof(id32));
+  if (!payload.empty()) {
+    std::memcpy(body.data() + sizeof(id32), payload.data(), payload.size());
+  }
+  AIMS_RETURN_NOT_OK(AppendRecord(kBlockPut, txn_id, body.data(), body.size()));
+  MaybeCrashAfterPayloadAppend();
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendCatalog(uint64_t txn_id,
+                                    const std::vector<uint8_t>& blob) {
+  AIMS_RETURN_NOT_OK(AppendRecord(kCatalog, txn_id, blob.data(), blob.size()));
+  MaybeCrashAfterPayloadAppend();
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::AppendCommit(uint64_t txn_id) {
+  if (g_crash_before_commit_append.load(std::memory_order_relaxed)) {
+    CrashNow();
+  }
+  // The commit record and its ticket must be ordered identically for every
+  // committer, so both happen inside one append critical section — a
+  // ticket is durable exactly when a sync covers its record.
+  std::vector<uint8_t> rec(kRecordHeaderSize);
+  rec[kTypeOffset] = kCommit;
+  std::memcpy(rec.data() + kTxnOffset, &txn_id, sizeof(txn_id));
+  const uint32_t size32 = 0;
+  std::memcpy(rec.data() + kSizeOffset, &size32, sizeof(size32));
+  const uint32_t crc =
+      Crc32(rec.data() + kTypeOffset, rec.size() - kTypeOffset);
+  std::memcpy(rec.data() + kCrcOffset, &crc, sizeof(crc));
+
+  std::lock_guard<std::mutex> lock(append_mutex_);
+  AIMS_RETURN_NOT_OK(PwriteFully(fd_, rec.data(), rec.size(), file_size_));
+  file_size_ += rec.size();
+  records_.fetch_add(1, std::memory_order_relaxed);
+  bytes_appended_.fetch_add(rec.size(), std::memory_order_relaxed);
+  lag_bytes_.store(file_size_ - kFileHeaderSize, std::memory_order_relaxed);
+  return appended_commits_.fetch_add(1, std::memory_order_release) + 1;
+}
+
+namespace {
+/// The post-commit-pre-apply kill point: the commit is durable, nothing
+/// has been acknowledged or written back yet.
+void MaybeCrashAfterCommitDurable() {
+  if (g_crash_after_commit_durable.load(std::memory_order_relaxed)) {
+    CrashNow();
+  }
+}
+}  // namespace
+
+Status WriteAheadLog::WaitDurable(uint64_t ticket) {
+  if (config_.sync_mode == WalSyncMode::kNone) {
+    MaybeCrashAfterCommitDurable();
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  while (synced_commits_ < ticket) {
+    if (!sync_error_.ok()) return sync_error_;
+    if (sync_in_progress_) {
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // Become the sync leader: wait out the group-commit window so
+    // concurrent committers can append behind this ticket, then one fsync
+    // covers every commit appended before it started.
+    sync_in_progress_ = true;
+    const uint64_t prev_synced = synced_commits_;
+    lock.unlock();
+    if (config_.group_commit_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(config_.group_commit_ms));
+    }
+    const uint64_t covered =
+        appended_commits_.load(std::memory_order_acquire);
+    if (config_.simulated_sync_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.simulated_sync_ms));
+    }
+    Status status = Status::OK();
+    if (::fsync(fd_) != 0) {
+      status = ErrnoError("WriteAheadLog: fsync " + path_);
+    }
+    lock.lock();
+    sync_in_progress_ = false;
+    if (!status.ok()) {
+      sync_error_ = status;
+      sync_cv_.notify_all();
+      return status;
+    }
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t batch = covered - prev_synced;
+    uint64_t seen = max_commits_per_sync_.load(std::memory_order_relaxed);
+    while (batch > seen && !max_commits_per_sync_.compare_exchange_weak(
+                               seen, batch, std::memory_order_relaxed)) {
+    }
+    synced_commits_ = covered;
+    sync_cv_.notify_all();
+  }
+  MaybeCrashAfterCommitDurable();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Commit(uint64_t txn_id) {
+  AIMS_ASSIGN_OR_RETURN(uint64_t ticket, AppendCommit(txn_id));
+  return WaitDurable(ticket);
+}
+
+Status WriteAheadLog::Truncate() {
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+  std::lock_guard<std::mutex> sync_lock(sync_mutex_);
+  // Persist the txn-id high-water mark BEFORE dropping the records that
+  // carry it. Recovery takes max(header mark, scanned ids) + 1, so ids
+  // never restart after a checkpoint — a reused id would fall under the
+  // snapshot's applied-txn mark and make recovery skip a committed group
+  // (an acknowledged ingest silently lost on the third open).
+  const uint64_t high_water = next_txn_ - 1;
+  AIMS_RETURN_NOT_OK(
+      PwriteFully(fd_, &high_water, sizeof(high_water), kTxnHighWaterOffset));
+  if (config_.sync_mode == WalSyncMode::kFsync && ::fsync(fd_) != 0) {
+    return ErrnoError("WriteAheadLog::Truncate: fsync " + path_);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderSize)) != 0) {
+    return ErrnoError("WriteAheadLog::Truncate: ftruncate " + path_);
+  }
+  if (config_.sync_mode == WalSyncMode::kFsync && ::fsync(fd_) != 0) {
+    return ErrnoError("WriteAheadLog::Truncate: fsync " + path_);
+  }
+  file_size_ = kFileHeaderSize;
+  lag_bytes_.store(0, std::memory_order_relaxed);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::lag_bytes() const {
+  return lag_bytes_.load(std::memory_order_relaxed);
+}
+
+obs::WalStats WriteAheadLog::Stats() const {
+  obs::WalStats stats = recovery_;
+  stats.records = records_.load(std::memory_order_relaxed);
+  stats.commits = appended_commits_.load(std::memory_order_relaxed);
+  stats.syncs = syncs_.load(std::memory_order_relaxed);
+  stats.max_commits_per_sync =
+      max_commits_per_sync_.load(std::memory_order_relaxed);
+  stats.bytes_appended = bytes_appended_.load(std::memory_order_relaxed);
+  stats.lag_bytes = lag_bytes_.load(std::memory_order_relaxed);
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace aims::storage::durable

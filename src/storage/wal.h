@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/wal_stats.h"
+#include "storage/block_device.h"
+
+/// \file wal.h
+/// \brief Redo-only write-ahead log with atomic record groups and group
+/// commit. Every durable mutation (an ingest's block payloads plus its
+/// catalog entry) is logged as one transaction — begin, payload records,
+/// commit — each record CRC-32 framed. A commit is acknowledged only after
+/// the log is synced to stable storage; recovery at Open replays committed
+/// groups in commit order and discards the torn tail and any group that
+/// never reached its commit record. The page file is no-steal: no data
+/// page is written before its group's commit record is durable, so redo
+/// records are sufficient and undo is never needed.
+///
+/// Group commit: when `group_commit_ms > 0`, the first committer to need a
+/// sync becomes the leader, waits out the window so concurrent commits can
+/// append behind it, then performs ONE fsync covering all of them — the
+/// classic throughput lever when fsync dominates ingest (high-rate
+/// acquisition, Sec. 2.1).
+///
+/// On-disk layout (host byte order, like the page file):
+///
+///   offset 0    file header: magic u32, version u32, txn-id high-water
+///               mark u64 (written at checkpoint truncation so ids never
+///               restart once their records are gone)
+///   then        records: crc u32 (over everything after it), type u8,
+///               pad u8[3], txn_id u64, payload_size u32, payload bytes
+///
+/// Append calls are thread-safe (serialized internally); WaitDurable may
+/// be called from many threads at once — that is the whole point.
+
+namespace aims::storage::durable {
+
+/// \brief How (whether) commits are forced to stable storage.
+enum class WalSyncMode {
+  /// fsync the log on every commit (batched under group commit) — the
+  /// durable default: an acknowledged commit survives power loss.
+  kFsync,
+  /// Never sync: commits are acknowledged once appended to the OS page
+  /// cache. Survives process crash (the kill tests) but not power loss;
+  /// for benchmarks isolating the sync cost.
+  kNone,
+};
+
+/// \brief Tuning of one WriteAheadLog.
+struct WalConfig {
+  WalSyncMode sync_mode = WalSyncMode::kFsync;
+  /// Group-commit window: how long a sync leader waits for concurrent
+  /// commits to pile in before issuing the shared fsync. 0 syncs each
+  /// commit immediately (still one fsync may cover several commits when
+  /// they race, but nobody waits on purpose).
+  double group_commit_ms = 0.0;
+  /// Modeled extra latency per physical sync, serialized with the fsync —
+  /// stands in for real sync cost on hosts where fsync is nearly free
+  /// (tmpfs), so group-commit experiments measure a realistic ratio.
+  double simulated_sync_ms = 0.0;
+};
+
+/// \brief One committed transaction reconstructed by recovery.
+struct RecoveredTxn {
+  uint64_t txn_id = 0;
+  /// Block writes in append order: (device block id, payload).
+  std::vector<std::pair<BlockId, std::vector<uint8_t>>> block_puts;
+  /// Opaque catalog mutations in append order (serialized by the core
+  /// layer; the WAL does not interpret them).
+  std::vector<std::vector<uint8_t>> catalog_blobs;
+};
+
+/// \brief The write-ahead log (see the file comment for the contract).
+class WriteAheadLog {
+ public:
+  /// \brief Result of Open: the log plus every committed transaction the
+  /// existing file contained, in commit order. The caller replays them
+  /// (writing pages, applying catalog blobs), makes the pages durable, and
+  /// then calls Truncate — recovery effects must be on stable storage
+  /// before the records that produced them are dropped.
+  struct Opened {
+    std::unique_ptr<WriteAheadLog> wal;
+    std::vector<RecoveredTxn> committed;
+  };
+
+  /// \brief Opens (creating if absent) the log at \p path, scanning any
+  /// existing records. A torn tail — an incomplete or checksum-failing
+  /// record — is truncated off; groups without a commit record are
+  /// dropped. Both show up in Stats() as discarded bytes.
+  static Result<Opened> Open(const std::string& path, WalConfig config = {});
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// \brief Starts a record group; returns its transaction id.
+  Result<uint64_t> BeginTxn();
+
+  /// \brief Logs one block write (the payload that will reach device block
+  /// \p id once the group commits).
+  Status AppendBlockPut(uint64_t txn_id, BlockId id,
+                        const std::vector<uint8_t>& payload);
+
+  /// \brief Logs one opaque catalog mutation for the group.
+  Status AppendCatalog(uint64_t txn_id, const std::vector<uint8_t>& blob);
+
+  /// \brief Appends the group's commit record and returns a durability
+  /// ticket for WaitDurable. Split from the wait so callers can release
+  /// exclusive resources (the shard lock) before blocking — which is what
+  /// lets concurrent commits share one group-commit fsync.
+  Result<uint64_t> AppendCommit(uint64_t txn_id);
+
+  /// \brief Blocks until every commit up to \p ticket is on stable storage
+  /// (per the sync mode). Safe — and intended — to be called from many
+  /// threads concurrently; one becomes the sync leader, the rest ride its
+  /// fsync.
+  Status WaitDurable(uint64_t ticket);
+
+  /// \brief AppendCommit + WaitDurable, for single-threaded callers.
+  Status Commit(uint64_t txn_id);
+
+  /// \brief Checkpoint truncation: empties the log. Caller contract: every
+  /// committed group's effects are already on stable storage (pages
+  /// synced, catalog snapshot written) and no transaction is in flight.
+  Status Truncate();
+
+  /// \brief Bytes of committed-but-not-checkpointed log — the WAL lag.
+  uint64_t lag_bytes() const;
+
+  /// \brief Snapshot of the accounting counters (the aims_wal_* family).
+  obs::WalStats Stats() const;
+
+  const std::string& path() const { return path_; }
+  const WalConfig& config() const { return config_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, WalConfig config,
+                uint64_t file_size);
+
+  /// Builds and appends one framed record; updates size/record counters.
+  Status AppendRecord(uint8_t type, uint64_t txn_id, const uint8_t* payload,
+                      size_t payload_size);
+
+  std::string path_;
+  int fd_ = -1;
+  WalConfig config_;
+
+  /// Serializes appends (one writer at a time keeps records contiguous).
+  std::mutex append_mutex_;
+  uint64_t file_size_ = 0;   ///< Guarded by append_mutex_.
+  uint64_t next_txn_ = 1;    ///< Guarded by append_mutex_.
+
+  /// Commit tickets: appended_commits_ is published by AppendCommit (under
+  /// append_mutex_) and read by the sync leader without it.
+  std::atomic<uint64_t> appended_commits_{0};
+
+  /// Group-commit state, guarded by sync_mutex_.
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+  uint64_t synced_commits_ = 0;
+  /// Sticky sync failure: once an fsync fails the log stops acknowledging.
+  Status sync_error_;
+
+  /// Accounting (relaxed atomics; read by Stats from any thread).
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> max_commits_per_sync_{0};
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> lag_bytes_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  obs::WalStats recovery_;  ///< recovered_*/discarded from Open, immutable.
+};
+
+namespace testing {
+
+/// \brief Crash hooks for the kill-the-process recovery tests. Each
+/// arms a point inside the commit path at which the *current process*
+/// raises SIGKILL — no cleanup, no flush, exactly what a power cut looks
+/// like to the file system. Only the crash helper binary arms these.
+
+/// After \p count more payload (block/catalog) records are appended, die
+/// mid-group. Negative disarms.
+void SetCrashAfterPayloadAppends(int count);
+/// Die at the next AppendCommit, before the commit record is written.
+void SetCrashBeforeCommitAppend(bool enabled);
+/// Die right after the next commit becomes durable, before the caller can
+/// apply pages or acknowledge — the post-commit-pre-checkpoint point.
+void SetCrashAfterCommitDurable(bool enabled);
+
+}  // namespace testing
+
+}  // namespace aims::storage::durable

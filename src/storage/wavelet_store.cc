@@ -25,6 +25,17 @@ WaveletStore::WaveletStore(BlockDevice* device,
   }
 }
 
+WaveletStore::WaveletStore(BlockDevice* device,
+                           std::unique_ptr<CoefficientAllocator> allocator,
+                           size_t n, BlockCache* cache,
+                           std::vector<BlockId> device_blocks)
+    : WaveletStore(device, std::move(allocator), n, cache) {
+  AIMS_CHECK(device_blocks.size() == block_contents_.size());
+  device_blocks_ = std::move(device_blocks);
+  num_allocated_ = device_blocks_.size();
+  populated_ = true;
+}
+
 Status WaveletStore::Put(const std::vector<double>& coefficients) {
   if (coefficients.size() != n_) {
     return Status::InvalidArgument("WaveletStore::Put: size mismatch");

@@ -32,6 +32,16 @@ class WaveletStore {
                std::unique_ptr<CoefficientAllocator> allocator, size_t n,
                BlockCache* cache = nullptr);
 
+  /// \brief Attach ctor: adopts an already-written allocation instead of
+  /// Put-ting fresh data — the recovery/reopen path of the durable
+  /// backend. \p device_blocks maps logical block -> device block id,
+  /// exactly as a previous instance's device_blocks() reported (one entry
+  /// per allocator block, all already populated on \p device). Fetches
+  /// work immediately; a later Put overwrites the same blocks in place.
+  WaveletStore(BlockDevice* device,
+               std::unique_ptr<CoefficientAllocator> allocator, size_t n,
+               BlockCache* cache, std::vector<BlockId> device_blocks);
+
   /// Writes all coefficients to their blocks. Device blocks are allocated
   /// on first use and reused on later calls, so a re-Put (re-ingest of a
   /// session) or a retry after a mid-Put write fault overwrites in place
@@ -64,6 +74,11 @@ class WaveletStore {
 
   const CoefficientAllocator& allocator() const { return *allocator_; }
   size_t n() const { return n_; }
+
+  /// \brief Logical block -> device block id (empty before the first Put).
+  /// The durable layer logs and checkpoints against device ids, and feeds
+  /// this list back to the attach ctor on reopen.
+  const std::vector<BlockId>& device_blocks() const { return device_blocks_; }
 
  private:
   /// Reads a device block through the cache when one is configured.

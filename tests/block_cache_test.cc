@@ -19,7 +19,7 @@ std::vector<uint8_t> Payload(uint8_t seed, size_t n) {
 }
 
 TEST(BlockCacheTest, ReadThroughHitAndMissAccounting) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{/*capacity_bytes=*/1024,
                                              /*num_shards=*/1});
   BlockId id = device.Allocate();
@@ -51,7 +51,7 @@ TEST(BlockCacheTest, ReadThroughHitAndMissAccounting) {
 }
 
 TEST(BlockCacheTest, FailedDeviceReadPropagatesAndCachesNothing) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{1024, 1});
   BlockId id = device.Allocate();
   ASSERT_TRUE(device.Write(id, Payload(3, 8)).ok());
@@ -71,7 +71,7 @@ TEST(BlockCacheTest, FailedDeviceReadPropagatesAndCachesNothing) {
 }
 
 TEST(BlockCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   // Room for exactly three 16-byte payloads in the single shard.
   BlockCache cache(&device, BlockCacheConfig{/*capacity_bytes=*/48,
                                              /*num_shards=*/1});
@@ -107,7 +107,7 @@ TEST(BlockCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
 }
 
 TEST(BlockCacheTest, ContainsDoesNotTouchLruOrder) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{32, 1});
   BlockId a = device.Allocate();
   BlockId b = device.Allocate();
@@ -127,7 +127,7 @@ TEST(BlockCacheTest, ContainsDoesNotTouchLruOrder) {
 }
 
 TEST(BlockCacheTest, OversizedPayloadIsNotAdmitted) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   // Two shards: each shard's budget is 16 bytes, below the 32-byte payload.
   BlockCache cache(&device, BlockCacheConfig{32, 2});
   BlockId id = device.Allocate();
@@ -139,7 +139,7 @@ TEST(BlockCacheTest, OversizedPayloadIsNotAdmitted) {
 }
 
 TEST(BlockCacheTest, WriteInvalidatesBeforeReachingDevice) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{1024, 1});
   BlockId id = device.Allocate();
   ASSERT_TRUE(cache.Write(id, Payload(1, 8)).ok());
@@ -161,7 +161,7 @@ TEST(BlockCacheTest, WriteInvalidatesBeforeReachingDevice) {
 }
 
 TEST(BlockCacheTest, FailedWriteStillInvalidates) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{1024, 1});
   BlockId id = device.Allocate();
   ASSERT_TRUE(cache.Write(id, Payload(1, 8)).ok());
@@ -176,7 +176,7 @@ TEST(BlockCacheTest, FailedWriteStillInvalidates) {
 }
 
 TEST(BlockCacheTest, ClearDropsEverythingButKeepsCounters) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{1024, 4});
   std::vector<BlockId> ids;
   for (uint8_t i = 0; i < 6; ++i) {
@@ -195,7 +195,7 @@ TEST(BlockCacheTest, ClearDropsEverythingButKeepsCounters) {
 }
 
 TEST(BlockCacheTest, ShardingKeepsPerShardBudgets) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   // Two shards, 32 bytes each. Even-id blocks land on shard 0, odd on 1.
   BlockCache cache(&device, BlockCacheConfig{64, 2});
   EXPECT_EQ(cache.num_shards(), 2u);
@@ -221,7 +221,7 @@ TEST(BlockCacheTest, ShardingKeepsPerShardBudgets) {
 // (the write path) under an exclusive lock. Run under TSan this verifies
 // the cache's internal synchronization adds no races of its own.
 TEST(BlockCacheTest, ConcurrentReadsAndInvalidateAreClean) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockCache cache(&device, BlockCacheConfig{4096, 4});
   std::vector<BlockId> ids;
   for (uint8_t i = 0; i < 8; ++i) {

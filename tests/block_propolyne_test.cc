@@ -26,7 +26,7 @@ DataCube MakeCube(uint64_t seed, std::vector<size_t> shape = {64, 64}) {
 
 TEST(BlockedCubeTest, MakeValidation) {
   DataCube cube = MakeCube(1);
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   EXPECT_FALSE(BlockedCube::Make(&cube, &device, {8}).ok());  // arity
   EXPECT_FALSE(
       BlockedCube::Make(&cube, &device, {16, 16}).ok());  // exceeds device
@@ -38,7 +38,7 @@ TEST(BlockedCubeTest, MakeValidation) {
 
 TEST(BlockedCubeTest, ExactMatchesInMemoryEvaluator) {
   DataCube cube = MakeCube(2);
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
   Evaluator reference(&cube);
@@ -58,7 +58,7 @@ TEST(BlockedCubeTest, ExactMatchesInMemoryEvaluator) {
 
 TEST(BlockedCubeTest, ProgressiveBoundsHoldAndShrink) {
   DataCube cube = MakeCube(4);
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
   RangeSumQuery query = RangeSumQuery::Count({5, 9}, {50, 60});
@@ -77,7 +77,7 @@ TEST(BlockedCubeTest, ProgressiveBoundsHoldAndShrink) {
 
 TEST(BlockedCubeTest, ReadsOnlyNeededBlocks) {
   DataCube cube = MakeCube(5);
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
   device.ResetCounters();
@@ -92,7 +92,7 @@ TEST(BlockedCubeTest, ReadsOnlyNeededBlocks) {
 
 TEST(BlockedCubeTest, ImportanceOrderingFrontLoadsAccuracy) {
   DataCube cube = MakeCube(6, {128, 128});
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
   RangeSumQuery query = RangeSumQuery::Count({7, 13}, {100, 117});
@@ -115,7 +115,7 @@ TEST(BlockedCubeTest, ImportanceOrderingFrontLoadsAccuracy) {
 
 TEST(BlockedCubeTest, BothImportanceFunctionsReachExact) {
   DataCube cube = MakeCube(7);
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked = BlockedCube::Make(&cube, &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
   RangeSumQuery query = RangeSumQuery::Count({3, 4}, {55, 61});

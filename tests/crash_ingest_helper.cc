@@ -1,0 +1,114 @@
+// Crash-injection child for the recovery tests and the CI crash-smoke
+// loop. Opens (or recovers) the durable store at <dir>, performs <clean>
+// fully-acknowledged ingests — appending each session's name to
+// <dir>/acks.txt only AFTER IngestRecording returned OK — then, in the
+// crash modes, arms a WAL crash hook and starts one more ingest, inside
+// which the process raises SIGKILL. Exit codes other than death-by-signal
+// mean the harness itself failed:
+//
+//   usage: crash_ingest_helper <dir> <mode> <clean-ingest-count>
+//   modes: clean      ingest and ack, exit 0 (no crash)
+//          payload    die mid-group, after a payload record append
+//          precommit  die just before the commit record is appended
+//          postcommit die after the commit is durable, before pages are
+//                     written back or the caller is acknowledged
+//          verify     no ingest: recover, check every acked session is
+//                     present, print recovery stats as one JSON line
+//                     (exit 6 if an acknowledged ingest is missing)
+//
+// Re-running on the same directory continues: the ingest seed is the
+// recovered session count, so every session ever committed is
+// SessionName(0..n-1) in order — which is exactly what the parent checks.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/aims.h"
+#include "crash_test_common.h"
+#include "storage/wal.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: crash_ingest_helper <dir> <mode> <clean-count>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const std::string mode = argv[2];
+  const int clean = std::atoi(argv[3]);
+
+  aims::core::AimsConfig config;
+  config.durability.path = dir;
+  aims::core::AimsSystem system(config);
+  if (!system.init_status().ok()) {
+    std::cerr << "open failed: " << system.init_status().ToString() << "\n";
+    return 3;
+  }
+
+  if (mode == "verify") {
+    auto sessions = system.ListSessions();
+    size_t acked = 0;
+    size_t missing = 0;
+    std::ifstream acks_in(dir + "/acks.txt");
+    std::string ack;
+    while (std::getline(acks_in, ack)) {
+      if (ack.empty()) continue;
+      ++acked;
+      bool found = false;
+      for (const auto& session : sessions) found |= (session.name == ack);
+      if (!found) {
+        ++missing;
+        std::cerr << "acknowledged ingest " << ack << " lost\n";
+      }
+    }
+    const aims::obs::WalStats stats = system.WalStats();
+    std::cout << "{\"sessions\": " << sessions.size()
+              << ", \"acked\": " << acked
+              << ", \"acked_missing\": " << missing
+              << ", \"recovered_txns\": " << stats.recovered_txns
+              << ", \"recovered_records\": " << stats.recovered_records
+              << ", \"discarded_bytes\": " << stats.discarded_bytes
+              << ", \"checkpoints\": " << stats.checkpoints << "}\n";
+    return missing == 0 ? 0 : 6;
+  }
+
+  std::ofstream acks(dir + "/acks.txt", std::ios::app);
+  if (!acks) {
+    std::cerr << "cannot open acks file\n";
+    return 3;
+  }
+
+  uint32_t seed = static_cast<uint32_t>(system.ListSessions().size());
+  for (int i = 0; i < clean; ++i, ++seed) {
+    auto id = system.IngestRecording(aims::crashtest::SessionName(seed),
+                                     aims::crashtest::MakeRecording(seed));
+    if (!id.ok()) {
+      std::cerr << "ingest failed: " << id.status().ToString() << "\n";
+      return 4;
+    }
+    // The ack is the durability contract under test: it is written only
+    // after the ingest returned OK, i.e. after its commit record was made
+    // durable. flush() pushes it to the OS, which survives SIGKILL.
+    acks << aims::crashtest::SessionName(seed) << "\n" << std::flush;
+  }
+
+  if (mode == "clean") return 0;
+  if (mode == "payload") {
+    aims::storage::durable::testing::SetCrashAfterPayloadAppends(1);
+  } else if (mode == "precommit") {
+    aims::storage::durable::testing::SetCrashBeforeCommitAppend(true);
+  } else if (mode == "postcommit") {
+    aims::storage::durable::testing::SetCrashAfterCommitDurable(true);
+  } else {
+    std::cerr << "unknown mode " << mode << "\n";
+    return 2;
+  }
+
+  // The armed hook raises SIGKILL inside this call; it must not return.
+  auto id = system.IngestRecording(aims::crashtest::SessionName(seed),
+                                   aims::crashtest::MakeRecording(seed));
+  std::cerr << "crash hook did not fire (ingest "
+            << (id.ok() ? "succeeded" : id.status().ToString()) << ")\n";
+  return 5;
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "streams/sample.h"
+
+/// \file crash_test_common.h
+/// \brief Deterministic workload shared by crash_recovery_test (the
+/// parent) and crash_ingest_helper (the child that gets SIGKILLed). Both
+/// processes regenerate the identical recording from a seed, so the parent
+/// can verify a recovered session's bytes without any side channel.
+
+namespace aims::crashtest {
+
+inline std::string SessionName(uint32_t seed) {
+  return "crash_" + std::to_string(seed);
+}
+
+/// Recording for ingest number \p seed — a pure function of the seed, with
+/// a seed-dependent length so sessions are distinguishable by shape too.
+inline streams::Recording MakeRecording(uint32_t seed) {
+  const size_t frames = 120 + 16 * (seed % 4);
+  const size_t channels = 2;
+  streams::Recording rec;
+  rec.sample_rate_hz = 50.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = static_cast<double>(f) / 50.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] =
+          std::sin(0.07 * static_cast<double>(f + 1) *
+                   static_cast<double>(c + 1) + static_cast<double>(seed)) +
+          0.5 * std::cos(0.19 * static_cast<double>(f) -
+                         static_cast<double>(seed));
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+}  // namespace aims::crashtest

@@ -2,7 +2,10 @@
 // through every layer — WaveletStore, BlockedCube, the AimsSystem facade —
 // never as crashes, silent wrong answers, or corrupted state.
 
+#include <unistd.h>
+
 #include <chrono>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +14,7 @@
 #include "propolyne/block_propolyne.h"
 #include "storage/allocation.h"
 #include "storage/block_device.h"
+#include "storage/file_block_device.h"
 #include "storage/wavelet_store.h"
 #include "synth/cyberglove.h"
 #include "synth/olap_data.h"
@@ -20,7 +24,7 @@ namespace aims {
 namespace {
 
 TEST(FaultInjection, DeviceReadFaultSurfacesAsIoError) {
-  storage::BlockDevice device(64);
+  storage::MemBlockDevice device(64);
   storage::BlockId id = device.Allocate();
   ASSERT_TRUE(device.Write(id, {1, 2, 3}).ok());
   device.FailNextReads(1);
@@ -34,7 +38,7 @@ TEST(FaultInjection, DeviceReadFaultSurfacesAsIoError) {
 }
 
 TEST(FaultInjection, DeviceWriteFaultSurfacesAsIoError) {
-  storage::BlockDevice device(64);
+  storage::MemBlockDevice device(64);
   storage::BlockId id = device.Allocate();
   device.FailNextWrites(1);
   EXPECT_EQ(device.Write(id, {9}).code(), StatusCode::kIoError);
@@ -45,7 +49,7 @@ TEST(FaultAccounting, FailedAccessesChargeSimulatedCost) {
   storage::DiskCostModel model;
   model.seek_ms = 8.0;
   model.transfer_ms_per_kb = 0.0;
-  storage::BlockDevice device(64, model);
+  storage::MemBlockDevice device(64, model);
   storage::BlockId id = device.Allocate();
   ASSERT_TRUE(device.Write(id, {1}).ok());
   EXPECT_DOUBLE_EQ(device.simulated_ms(), 8.0);
@@ -73,7 +77,7 @@ TEST(FaultAccounting, FailedReadWaitsUnderSimulatedIo) {
   model.seek_ms = 20.0;
   model.transfer_ms_per_kb = 0.0;
   model.simulate_io_wait = true;
-  storage::BlockDevice device(64, model);
+  storage::MemBlockDevice device(64, model);
   storage::BlockId id = device.Allocate();
   ASSERT_TRUE(device.Write(id, {1}).ok());
   device.FailNextReads(1);
@@ -90,7 +94,7 @@ TEST(FaultAccounting, FailedReadWaitsUnderSimulatedIo) {
 
 TEST(FaultInjection, WaveletStorePropagatesFetchFaults) {
   const size_t n = 256;
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   storage::WaveletStore store(
       &device, std::make_unique<storage::SubtreeTilingAllocator>(n, 64), n);
   Rng rng(1);
@@ -105,7 +109,7 @@ TEST(FaultInjection, WaveletStorePropagatesFetchFaults) {
 
 TEST(FaultInjection, WaveletStorePutFaultLeavesStatusClean) {
   const size_t n = 64;
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   storage::WaveletStore store(
       &device, std::make_unique<storage::SubtreeTilingAllocator>(n, 16), n);
   device.FailNextWrites(1);
@@ -121,7 +125,7 @@ TEST(FaultInjection, BlockedCubePropagatesProgressiveFaults) {
       schema, signal::WaveletFilter::Make(signal::WaveletKind::kDb2),
       field.values);
   ASSERT_TRUE(cube.ok());
-  storage::BlockDevice device(64 * sizeof(double));
+  storage::MemBlockDevice device(64 * sizeof(double));
   auto blocked =
       propolyne::BlockedCube::Make(&cube.ValueOrDie(), &device, {8, 8});
   ASSERT_TRUE(blocked.ok());
@@ -155,6 +159,61 @@ TEST(FaultInjection, FacadeQueriesPropagateFaults) {
   EXPECT_FALSE(system.ReadChannel(id.ValueOrDie(), 0).ok());
   auto clean = system.ReadChannel(id.ValueOrDie(), 0);
   EXPECT_TRUE(clean.ok());
+}
+
+TEST(FaultInjection, ResetCountersClearsPendingFaults) {
+  // Regression: ResetCounters used to zero only the I/O counters, leaving
+  // armed-but-unconsumed faults to fire in whatever ran next (a bench
+  // phase, an unrelated test sharing the device).
+  storage::MemBlockDevice device(64);
+  storage::BlockId id = device.Allocate();
+  ASSERT_TRUE(device.Write(id, {1, 2, 3}).ok());
+  device.FailNextReads(5);
+  device.FailNextWrites(5);
+  device.CorruptNextWrites(5);
+  device.ResetCounters();
+  EXPECT_EQ(device.reads(), 0u);
+  EXPECT_EQ(device.writes(), 0u);
+  // No leftover fault or corruption fires: clean write, clean read-back.
+  ASSERT_TRUE(device.Write(id, {4, 5, 6}).ok());
+  auto read = device.Read(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.ValueOrDie(), (std::vector<uint8_t>{4, 5, 6}));
+}
+
+/// CorruptNextWrites contract, identical on every backend: the write
+/// "succeeds" (the disk doesn't know it rotted), the next read DETECTS the
+/// mismatch as IoError, and a clean rewrite fully repairs the block.
+void ExerciseCorruptionInjection(storage::BlockDevice* device) {
+  storage::BlockId id = device->Allocate();
+  ASSERT_TRUE(device->Write(id, {10, 20, 30, 40}).ok());
+  device->CorruptNextWrites(1);
+  ASSERT_TRUE(device->Write(id, {1, 2, 3, 4}).ok());
+  auto read = device->Read(id);
+  ASSERT_FALSE(read.ok()) << device->backend_name()
+                          << ": corrupted payload returned as data";
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  // The injection was one-shot; a clean rewrite restores the block.
+  ASSERT_TRUE(device->Write(id, {1, 2, 3, 4}).ok());
+  auto repaired = device->Read(id);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.ValueOrDie(), (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(FaultInjection, CorruptNextWritesDetectedOnMemBackend) {
+  storage::MemBlockDevice device(64);
+  ExerciseCorruptionInjection(&device);
+}
+
+TEST(FaultInjection, CorruptNextWritesDetectedOnFileBackend) {
+  std::string dir = ::testing::TempDir() + "aims_fault_file_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto opened =
+      storage::durable::FileBlockDevice::Open(dir + "/pages.aims", 64);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExerciseCorruptionInjection(opened.ValueOrDie().get());
 }
 
 TEST(FaultInjection, IngestSurvivesWriteFaultWithCleanError) {

@@ -29,7 +29,7 @@ class RelationTest : public ::testing::TestWithParam<RepresentationKind> {};
 
 TEST_P(RelationTest, FrameLookupReturnsExactValues) {
   streams::Recording rec = MakeRecording(300, 28, 1);
-  BlockDevice device(512);
+  MemBlockDevice device(512);
   auto relation = MakeRelation(GetParam(), &device);
   ASSERT_TRUE(relation->Load(rec).ok());
   EXPECT_EQ(relation->num_frames(), 300u);
@@ -47,7 +47,7 @@ TEST_P(RelationTest, FrameLookupReturnsExactValues) {
 
 TEST_P(RelationTest, ChannelScanReturnsExactValues) {
   streams::Recording rec = MakeRecording(257, 7, 2);  // odd sizes on purpose
-  BlockDevice device(512);
+  MemBlockDevice device(512);
   auto relation = MakeRelation(GetParam(), &device);
   ASSERT_TRUE(relation->Load(rec).ok());
   auto scan = relation->ChannelScan(3, 10, 200);
@@ -60,7 +60,7 @@ TEST_P(RelationTest, ChannelScanReturnsExactValues) {
 
 TEST_P(RelationTest, QueryValidation) {
   streams::Recording rec = MakeRecording(50, 4, 3);
-  BlockDevice device(512);
+  MemBlockDevice device(512);
   auto relation = MakeRelation(GetParam(), &device);
   EXPECT_FALSE(relation->FrameLookup(0).ok());  // before Load
   ASSERT_TRUE(relation->Load(rec).ok());
@@ -87,7 +87,7 @@ TEST(RelationIoPattern, TuplePerFrameWinsFrameLookups) {
   // The paper's finding: frame-oriented queries favor storing all sensors
   // of a tick together.
   streams::Recording rec = MakeRecording(400, 28, 4);
-  BlockDevice frame_device(512), sample_device(512), chunk_device(512);
+  MemBlockDevice frame_device(512), sample_device(512), chunk_device(512);
   auto per_frame =
       MakeRelation(RepresentationKind::kTuplePerFrame, &frame_device);
   auto per_sample =
@@ -111,7 +111,7 @@ TEST(RelationIoPattern, TuplePerFrameWinsFrameLookups) {
 
 TEST(RelationIoPattern, ChannelMajorWinsChannelScans) {
   streams::Recording rec = MakeRecording(400, 28, 5);
-  BlockDevice frame_device(512), blob_device(512);
+  MemBlockDevice frame_device(512), blob_device(512);
   auto per_frame =
       MakeRelation(RepresentationKind::kTuplePerFrame, &frame_device);
   auto blob = MakeRelation(RepresentationKind::kBlobPerChannel, &blob_device);

@@ -18,7 +18,7 @@ namespace {
 using ::aims::testutil::RandomSignal;
 
 TEST(BlockDeviceTest, ReadWriteAndCounters) {
-  BlockDevice device(64);
+  MemBlockDevice device(64);
   BlockId id = device.Allocate();
   ASSERT_TRUE(device.Write(id, {1, 2, 3}).ok());
   auto read = device.Read(id);
@@ -32,7 +32,7 @@ TEST(BlockDeviceTest, ReadWriteAndCounters) {
 }
 
 TEST(BlockDeviceTest, ErrorsOnBadAccess) {
-  BlockDevice device(8);
+  MemBlockDevice device(8);
   EXPECT_FALSE(device.Read(0).ok());
   EXPECT_FALSE(device.Write(0, {}).ok());
   BlockId id = device.Allocate();
@@ -169,7 +169,7 @@ TEST(TensorAllocatorTest, ProductStructure) {
 
 TEST(WaveletStoreTest, PutFetchRoundTrip) {
   const size_t n = 256;
-  BlockDevice device(64 * sizeof(double));
+  MemBlockDevice device(64 * sizeof(double));
   auto store = WaveletStore(
       &device, std::make_unique<SubtreeTilingAllocator>(n, 64), n);
   Rng rng(10);
@@ -185,7 +185,7 @@ TEST(WaveletStoreTest, PutFetchRoundTrip) {
 
 TEST(WaveletStoreTest, FetchReadsEachBlockOnce) {
   const size_t n = 256;
-  BlockDevice device(64 * sizeof(double));
+  MemBlockDevice device(64 * sizeof(double));
   WaveletStore store(&device,
                      std::make_unique<SubtreeTilingAllocator>(n, 64), n);
   Rng rng(11);
@@ -200,7 +200,7 @@ TEST(WaveletStoreTest, FetchReadsEachBlockOnce) {
 
 TEST(WaveletStoreTest, ErrorsOnMisuse) {
   const size_t n = 64;
-  BlockDevice device(16 * sizeof(double));
+  MemBlockDevice device(16 * sizeof(double));
   WaveletStore store(&device,
                      std::make_unique<SubtreeTilingAllocator>(n, 16), n);
   EXPECT_FALSE(store.Fetch({0}).ok());  // before Put
@@ -211,7 +211,7 @@ TEST(WaveletStoreTest, ErrorsOnMisuse) {
 
 TEST(WaveletStoreTest, RePutReusesDeviceBlocks) {
   const size_t n = 256;
-  BlockDevice device(64 * sizeof(double));
+  MemBlockDevice device(64 * sizeof(double));
   WaveletStore store(&device,
                      std::make_unique<SubtreeTilingAllocator>(n, 64), n);
   Rng rng(13);
@@ -237,13 +237,13 @@ TEST(WaveletStoreTest, FailedPutRetryDoesNotLeakBlocks) {
   std::vector<double> coeffs = RandomSignal(n, &rng);
 
   // Reference: how many blocks one clean Put allocates.
-  BlockDevice clean_device(64 * sizeof(double));
+  MemBlockDevice clean_device(64 * sizeof(double));
   WaveletStore clean_store(
       &clean_device, std::make_unique<SubtreeTilingAllocator>(n, 64), n);
   ASSERT_TRUE(clean_store.Put(coeffs).ok());
   const size_t clean_blocks = clean_device.num_blocks();
 
-  BlockDevice device(64 * sizeof(double));
+  MemBlockDevice device(64 * sizeof(double));
   WaveletStore store(&device,
                      std::make_unique<SubtreeTilingAllocator>(n, 64), n);
   // Fail partway through the first Put: some blocks are allocated and
