@@ -144,7 +144,7 @@ ReconciliationResult VerifyReconciliation() {
   AIMS_CHECK(server.OpenSession({1}).ok());
   auto ingest = server.IngestRecording({1, "hot", MakeRecording(kFrames)});
   AIMS_CHECK(ingest.ok());
-  server.catalog().mutable_shard_cache(0)->Clear();
+  AIMS_CHECK(server.ClearCache({}).ok());
 
   auto analyze = [&](const Range& range) {
     server::QueryRequest query = RangeQuery(ingest->session, range);

@@ -75,9 +75,10 @@ int main() {
     auto stored = server.IngestRecording({clients[i], "session", sessions[i]});
     AIMS_CHECK(stored.ok());
     ids[i] = stored->session;
-    std::printf("client %llu -> session %llu on shard %zu (%zu frames)\n",
+    std::printf("client %llu -> session %llu (router epoch %llu, %zu frames)\n",
                 static_cast<unsigned long long>(clients[i]),
-                static_cast<unsigned long long>(ids[i]), opened->shard,
+                static_cast<unsigned long long>(ids[i]),
+                static_cast<unsigned long long>(opened->router_epoch),
                 stored->num_frames);
   }
 

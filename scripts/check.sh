@@ -46,6 +46,9 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke: bench_durability (asserts >= 2x group-commit win) =="
   "./${BUILD_DIR}/bench/bench_durability" \
     > "${ARTIFACT_DIR}/bench_durability.json"
+  echo "== bench smoke: bench_rebalance (asserts >= 70% throughput under live migration) =="
+  "./${BUILD_DIR}/bench/bench_rebalance" \
+    > "${ARTIFACT_DIR}/bench_rebalance.json"
   echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
 fi
 

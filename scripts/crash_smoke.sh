@@ -6,10 +6,16 @@
 # reports recovery stats; the per-iteration reports are collected into a
 # JSON artifact. Any lost ack or unexpected helper exit fails the run.
 #
+# A second loop does the same against a 2-shard sharded catalog, killing
+# the helper MID-TENANT-MIGRATION (inside the routing journal's
+# begin/copy/route-move appends) and verifying the exactly-one-owner
+# recovery invariant after every kill.
+#
 # Usage: scripts/crash_smoke.sh <helper-binary> <iterations> <out-json>
 #   helper-binary  build/tests/crash_ingest_helper
-#   iterations     how many kill+recover rounds (crash mode cycles
-#                  payload -> precommit -> postcommit)
+#   iterations     how many kill+recover rounds per loop (the ingest loop
+#                  cycles payload -> precommit -> postcommit; the
+#                  migration loop varies the armed payload-append count)
 #   out-json       where to write the collected recovery stats
 set -euo pipefail
 
@@ -18,7 +24,8 @@ ITERATIONS="$2"
 OUT_JSON="$3"
 
 STORE="$(mktemp -d "${TMPDIR:-/tmp}/aims_crash_smoke.XXXXXX")"
-trap 'rm -rf "${STORE}"' EXIT
+MSTORE="$(mktemp -d "${TMPDIR:-/tmp}/aims_crash_msmoke.XXXXXX")"
+trap 'rm -rf "${STORE}" "${MSTORE}"' EXIT
 
 MODES=(payload precommit postcommit)
 RUNS=""
@@ -40,6 +47,28 @@ for ((i = 0; i < ITERATIONS; ++i)); do
     }{\"iteration\": ${i}, \"crash_mode\": \"${mode}\", \"recovery\": ${report}}"
 done
 
+# Mid-migration kill loop: vary the armed payload-append count so the
+# SIGKILL lands at different points of the migration protocol (the
+# journaled begin record, a copy's block puts, the route-move record).
+MRUNS=""
+for ((i = 0; i < ITERATIONS; ++i)); do
+  # 1..8 walks the kill point through the whole protocol: the journaled
+  # begin record, the copy's block puts, and past the route-move record
+  # (where recovery places the session on the TARGET — still one owner).
+  appends=$((1 + i % 8))
+  echo "== crash smoke (migration) ${i}: kill after ${appends} payload append(s) =="
+  status=0
+  "${HELPER}" "${MSTORE}" mcrash "${appends}" || status=$?
+  if [[ "${status}" -ne 137 ]]; then
+    echo "crash smoke: migration helper exited ${status}, expected SIGKILL (137)" >&2
+    exit 1
+  fi
+  report="$("${HELPER}" "${MSTORE}" mverify 0)"
+  echo "   recovered: ${report}"
+  MRUNS+="${MRUNS:+,
+    }{\"iteration\": ${i}, \"payload_appends\": ${appends}, \"recovery\": ${report}}"
+done
+
 mkdir -p "$(dirname "${OUT_JSON}")"
 cat > "${OUT_JSON}" <<EOF
 {
@@ -47,8 +76,11 @@ cat > "${OUT_JSON}" <<EOF
   "iterations": ${ITERATIONS},
   "runs": [
     ${RUNS}
+  ],
+  "migration_runs": [
+    ${MRUNS}
   ]
 }
 EOF
-echo "== crash smoke: ${ITERATIONS} kill+recover rounds, zero acked ingests lost =="
+echo "== crash smoke: ${ITERATIONS} ingest + ${ITERATIONS} mid-migration kill+recover rounds, zero acked ingests lost, one owner per session =="
 echo "== recovery stats in ${OUT_JSON} =="

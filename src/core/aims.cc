@@ -887,10 +887,9 @@ Result<propolyne::DataCube> AimsSystem::BuildChannelCube(
                                                    std::move(dense));
 }
 
-Status AimsSystem::ExportSession(SessionId id,
-                                 const std::string& path) const {
+Result<streams::Recording> AimsSystem::MaterializeSession(SessionId id) const {
   if (id >= sessions_.size()) {
-    return Status::NotFound("ExportSession: unknown session id");
+    return Status::NotFound("MaterializeSession: unknown session id");
   }
   const SessionInfo& info = sessions_[id].info;
   streams::Recording recording;
@@ -909,6 +908,12 @@ Status AimsSystem::ExportSession(SessionId id,
     }
     recording.Append(std::move(frame));
   }
+  return recording;
+}
+
+Status AimsSystem::ExportSession(SessionId id,
+                                 const std::string& path) const {
+  AIMS_ASSIGN_OR_RETURN(streams::Recording recording, MaterializeSession(id));
   return streams::WriteBinary(recording, path);
 }
 

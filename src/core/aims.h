@@ -346,8 +346,15 @@ class AimsSystem {
   Result<propolyne::DataCube> BuildChannelCube(
       const std::vector<SessionId>& ids, const CubeSpec& spec) const;
 
+  /// \brief Reconstructs a stored session as an in-memory Recording —
+  /// every channel read back from its wavelet blocks, frame timestamps
+  /// regenerated from the sample rate. This is the copy step of session
+  /// export and of cross-shard migration: the result can be re-ingested
+  /// elsewhere and answers the same queries.
+  Result<streams::Recording> MaterializeSession(SessionId id) const;
+
   /// \brief Exports a stored session to the binary recording container
-  /// (reconstructing every channel from its wavelet blocks).
+  /// (MaterializeSession + WriteBinary).
   Status ExportSession(SessionId id, const std::string& path) const;
 
   /// \brief Ingests a recording previously written by ExportSession (or

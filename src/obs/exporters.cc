@@ -167,16 +167,63 @@ void AppendWalFamily(std::string* out, const WalStats& wal) {
   }
 }
 
+void AppendShardFamily(std::string* out,
+                       const std::vector<ShardStatsEntry>& shards) {
+  // One labelled series per shard per probe, family-major like the tenant
+  // family so each family gets exactly one # TYPE header.
+  struct UintDim {
+    const char* name;
+    const char* type;
+    uint64_t ShardStatsEntry::* field;
+  };
+  static constexpr UintDim kUintDims[] = {
+      {"aims_shard_sessions", "gauge", &ShardStatsEntry::sessions},
+      {"aims_shard_tenants", "gauge", &ShardStatsEntry::tenants},
+      {"aims_shard_ingests_total", "counter", &ShardStatsEntry::ingests},
+      {"aims_shard_queries_total", "counter", &ShardStatsEntry::queries},
+      {"aims_shard_wal_lag_bytes", "gauge", &ShardStatsEntry::wal_lag_bytes},
+  };
+  for (const UintDim& dim : kUintDims) {
+    *out += std::string("# TYPE ") + dim.name + " " + dim.type + "\n";
+    for (const ShardStatsEntry& s : shards) {
+      *out += std::string(dim.name) + "{shard=\"" + std::to_string(s.shard) +
+              "\"} " + std::to_string(s.*dim.field) + "\n";
+    }
+  }
+  struct DoubleDim {
+    const char* name;
+    double ShardStatsEntry::* field;
+  };
+  static constexpr DoubleDim kDoubleDims[] = {
+      {"aims_shard_lock_wait_p50_ms", &ShardStatsEntry::lock_wait_p50_ms},
+      {"aims_shard_lock_wait_p99_ms", &ShardStatsEntry::lock_wait_p99_ms},
+  };
+  for (const DoubleDim& dim : kDoubleDims) {
+    *out += std::string("# TYPE ") + dim.name + " gauge\n";
+    for (const ShardStatsEntry& s : shards) {
+      *out += std::string(dim.name) + "{shard=\"" + std::to_string(s.shard) +
+              "\"} " + TrimmedDouble(s.*dim.field) + "\n";
+    }
+  }
+  *out += "# TYPE aims_shard_queue_depth gauge\n";
+  for (const ShardStatsEntry& s : shards) {
+    *out += "aims_shard_queue_depth{shard=\"" + std::to_string(s.shard) +
+            "\"} " + std::to_string(s.queue_depth) + "\n";
+  }
+}
+
 }  // namespace
 
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer, const CostLedger* ledger,
-                             const CacheStats* cache, const WalStats* wal) {
+                             const CacheStats* cache, const WalStats* wal,
+                             const std::vector<ShardStatsEntry>* shards) {
   std::string out = PrometheusExport(registry);
   if (tracer != nullptr) AppendTracerFamily(&out, *tracer);
   if (ledger != nullptr) AppendTenantFamily(&out, *ledger);
   if (cache != nullptr) AppendCacheFamily(&out, *cache);
   if (wal != nullptr) AppendWalFamily(&out, *wal);
+  if (shards != nullptr) AppendShardFamily(&out, *shards);
   return out;
 }
 

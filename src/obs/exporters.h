@@ -2,9 +2,12 @@
 
 #include <string>
 
+#include <vector>
+
 #include "obs/cache_stats.h"
 #include "obs/cost_ledger.h"
 #include "obs/metrics.h"
+#include "obs/shard_stats.h"
 #include "obs/tracer.h"
 #include "obs/wal_stats.h"
 
@@ -42,12 +45,18 @@ std::string PrometheusExport(const MetricsRegistry& registry);
 /// snapshot (e.g. ShardedCatalog::TotalWalStats()) as the `aims_wal_*`
 /// family: record/commit/sync/checkpoint counters, the group-commit
 /// batch-size high-water mark, the current lag in bytes, and the last
-/// recovery's replay/discard accounting.
+/// recovery's replay/discard accounting — and per-shard health probes
+/// (e.g. ShardedCatalog::ShardStats()) as the `aims_shard_*` family, one
+/// `{shard="<i>"}` labelled series per shard per probe: session/tenant
+/// placement, ingest/query totals, lock-wait p50/p99, WAL lag, and queue
+/// depth.
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer,
                              const CostLedger* ledger = nullptr,
                              const CacheStats* cache = nullptr,
-                             const WalStats* wal = nullptr);
+                             const WalStats* wal = nullptr,
+                             const std::vector<ShardStatsEntry>* shards =
+                                 nullptr);
 
 /// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
 /// "aims_scheduler_exec_ms". Exposed for tests and dashboards.

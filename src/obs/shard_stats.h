@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file shard_stats.h
+/// \brief Per-shard health snapshot published by the server's catalog —
+/// the input of the `aims_shard_*` Prometheus family and the shard-health
+/// section of GetShardStats. Defined in obs (like CacheStats/WalStats) so
+/// the exporter can consume it without depending on the server layer.
+
+namespace aims::obs {
+
+/// \brief One shard's health probe at snapshot time.
+struct ShardStatsEntry {
+  uint64_t shard = 0;
+  /// Sessions whose primary route points at this shard.
+  uint64_t sessions = 0;
+  /// Distinct tenants with at least one session on this shard.
+  uint64_t tenants = 0;
+  /// Ingests / queries served by this shard since construction.
+  uint64_t ingests = 0;
+  uint64_t queries = 0;
+  /// Shard-lock wait quantiles (ms) over the shard's lifetime — the
+  /// "is one shard's lock hot" probe.
+  double lock_wait_p50_ms = 0.0;
+  double lock_wait_p99_ms = 0.0;
+  /// Committed-but-uncheckpointed WAL bytes (0 on the in-memory backend).
+  uint64_t wal_lag_bytes = 0;
+  /// Operations currently waiting for or holding the shard lock — the
+  /// shard's queue depth at snapshot time.
+  int64_t queue_depth = 0;
+};
+
+}  // namespace aims::obs

@@ -150,6 +150,25 @@ HealthSnapshot StatsReporter::ComputeLocked() {
       break;
     }
   }
+  for (const auto& [name, gauge] : registry_->Gauges()) {
+    if (name != config_.shard_lock_gauge) continue;
+    // The gauge carries microseconds (integer gauges would flatten sub-ms
+    // lock waits to zero); the snapshot and target speak milliseconds.
+    snap.shard_lock_p99_ms = static_cast<double>(gauge->value()) / 1000.0;
+    if (config_.shard_lock_p99_target_ms > 0.0 &&
+        snap.shard_lock_p99_ms > config_.shard_lock_p99_target_ms) {
+      std::snprintf(reason, sizeof(reason),
+                    "shard lock-wait p99 %.2f ms over target %.2f ms",
+                    snap.shard_lock_p99_ms, config_.shard_lock_p99_target_ms);
+      snap.reasons.push_back(reason);
+      HealthLevel level =
+          snap.shard_lock_p99_ms > 2.0 * config_.shard_lock_p99_target_ms
+              ? HealthLevel::kSaturated
+              : HealthLevel::kDegraded;
+      snap.level = std::max(snap.level, level);
+    }
+    break;
+  }
   {
     auto it = snap.rates.find(config_.slow_query_counter);
     if (it != snap.rates.end()) snap.slow_query_per_sec = it->second.per_sec;

@@ -50,6 +50,16 @@ struct StatsReporterConfig {
   /// byte. Degraded at >= 75% of budget, saturated at >= 100%. 0 disables
   /// the check.
   double wal_lag_budget_bytes = 0.0;
+  /// Gauge read as the max-over-shards shard-lock-wait p99 in
+  /// MICROseconds (the catalog publishes it after every ingest and shard-
+  /// stats snapshot). Ignored when not registered or the target is 0.
+  std::string shard_lock_gauge = "catalog.shard_lock_p99_us";
+  /// Target for the shard-lock p99 in milliseconds. One shard whose
+  /// writers queue behind a hot lock degrades every tenant placed there —
+  /// the per-shard probe catches it while server-wide p99 still looks
+  /// fine. Degraded when p99 exceeds the target, saturated at 2x. 0
+  /// disables the check.
+  double shard_lock_p99_target_ms = 0.0;
   /// Counter of queries over the server's slow-query threshold, judged as
   /// a rate over the snapshot window.
   std::string slow_query_counter = "scheduler.slow_queries";
@@ -94,6 +104,9 @@ struct HealthSnapshot {
   double wal_lag_saturation = 0.0;
   /// p99 of latency_histogram in ms (0 when disabled/unregistered).
   double p99_ms = 0.0;
+  /// Max-over-shards shard-lock-wait p99 in ms (0 when the shard-lock
+  /// gauge is unregistered).
+  double shard_lock_p99_ms = 0.0;
   /// Rate of slow_query_counter over the window (0 when unregistered).
   double slow_query_per_sec = 0.0;
   /// Every registered counter with its per-second rate over the window.

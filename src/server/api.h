@@ -6,9 +6,11 @@
 
 #include "obs/cache_stats.h"
 #include "obs/cost_ledger.h"
+#include "obs/shard_stats.h"
 #include "obs/stats_reporter.h"
 #include "obs/wal_stats.h"
 #include "recognition/isolator.h"
+#include "server/data_migrator.h"
 #include "server/query_scheduler.h"
 #include "server/sharded_catalog.h"
 #include "streams/sample.h"
@@ -36,8 +38,11 @@ struct OpenSessionRequest {
 
 struct OpenSessionResponse {
   ClientId client = 0;
-  /// Catalog shard this client's recordings land on.
-  size_t shard = 0;
+  /// Routing generation at open time — provenance/debugging only.
+  /// Placement is deliberately NOT exposed: which physical shard a
+  /// client's recordings land on is the router's concern and can change
+  /// (live rebalancing) without the client noticing.
+  uint64_t router_epoch = 0;
 };
 
 /// \brief Stores one fully materialized recording (blocking convenience
@@ -123,6 +128,62 @@ struct GetTenantUsageResponse {
   /// Sum over \c tenants — the server-wide attributed total.
   obs::TenantUsage total;
 };
+
+/// \brief Asks the server for its per-shard health probes: placement
+/// counts, lock-wait quantiles, WAL lag, queue depth — the admin-facing
+/// view of the routing layer. Shard indices appear here (and only here):
+/// this is the operator surface, not the client surface.
+struct GetShardStatsRequest {};
+
+struct GetShardStatsResponse {
+  /// Current routing generation (bumped by pins / topology changes /
+  /// committed migrations).
+  uint64_t router_epoch = 0;
+  /// One entry per shard, in shard order.
+  std::vector<obs::ShardStatsEntry> shards;
+};
+
+/// \brief Asks the server to rebalance tenant placement. Two modes:
+///   * explicit move — both \c client and \c target_shard set: migrate
+///     exactly that tenant there;
+///   * planner-driven — neither set: derive hot-tenant moves from the cost
+///     ledger's per-tenant load (FailedPrecondition when the ledger is
+///     disabled).
+/// The returned plan describes what will run; with \c dry_run the plan is
+/// returned without executing. Execution is asynchronous — poll
+/// RebalanceStatus. AlreadyExists when a rebalance is still running.
+struct TriggerRebalanceRequest {
+  std::optional<ClientId> client;
+  std::optional<size_t> target_shard;
+  bool dry_run = false;
+};
+
+struct TriggerRebalanceResponse {
+  RebalancePlan plan;
+  /// False for dry runs and empty plans.
+  bool started = false;
+};
+
+/// \brief Polls the progress of the asynchronous rebalance.
+struct RebalanceStatusRequest {};
+
+struct RebalanceStatusResponse {
+  bool running = false;
+  /// Moves of the current (or most recent) rebalance and how many have
+  /// completed.
+  std::vector<RebalanceMove> moves;
+  size_t completed_moves = 0;
+  /// The migrator's per-tenant progress for the move in flight.
+  MigrationStatus migration;
+  /// First failure of the run, if any (the run stops at it).
+  std::string error;
+  uint64_t router_epoch = 0;
+};
+
+// AdminFaultRequest/Response and ClearCacheRequest/Response — the typed
+// fault-injection and cache-admin envelopes — are defined next to the
+// catalog (sharded_catalog.h) and re-exported through this header; they
+// are part of the same façade surface.
 
 /// \brief Closes the client's session (and recognition stream, if open).
 struct CloseSessionRequest {

@@ -34,6 +34,7 @@ AimsServer::AimsServer(ServerConfig config)
       catalog_(std::make_unique<ShardedCatalog>(
           config.num_shards, config.system,
           config.obs.enable_metrics ? metrics_.get() : nullptr)),
+      migrator_(std::make_unique<DataMigrator>(catalog_.get())),
       pool_(std::make_unique<ThreadPool>(config.num_threads)),
       ingest_(std::make_unique<IngestService>(
           catalog_.get(), pool_.get(), config.admission,
@@ -92,7 +93,9 @@ Result<OpenSessionResponse> AimsServer::OpenSession(
   }
   OpenSessionResponse response;
   response.client = request.client;
-  response.shard = catalog_->ShardForClient(request.client);
+  // Placement-opaque by design: the response carries no shard index. The
+  // router decides (and may later change) where this client's data lives.
+  response.router_epoch = catalog_->router().epoch();
   return response;
 }
 
@@ -232,6 +235,114 @@ Result<GetTenantUsageResponse> AimsServer::GetTenantUsage(
     response.total.Accumulate(usage);
   }
   return response;
+}
+
+Result<GetShardStatsResponse> AimsServer::GetShardStats(
+    const GetShardStatsRequest& request) {
+  (void)request;
+  GetShardStatsResponse response;
+  response.router_epoch = catalog_->router().epoch();
+  response.shards = catalog_->ShardStats();
+  return response;
+}
+
+Result<TriggerRebalanceResponse> AimsServer::TriggerRebalance(
+    const TriggerRebalanceRequest& request) {
+  TriggerRebalanceResponse response;
+
+  // Build the plan: one explicit move, or planner-derived from the ledger.
+  if (request.client.has_value() != request.target_shard.has_value()) {
+    return Status::InvalidArgument(
+        "TriggerRebalance: set both client and target_shard (explicit "
+        "move) or neither (planner-driven)");
+  }
+  if (request.client.has_value()) {
+    if (*request.target_shard >= catalog_->num_shards()) {
+      return Status::InvalidArgument("TriggerRebalance: no such shard");
+    }
+    RebalanceMove move;
+    move.client = *request.client;
+    move.from_shard = catalog_->router().ShardForClient(*request.client);
+    move.to_shard = *request.target_shard;
+    if (move.from_shard != move.to_shard) response.plan.moves.push_back(move);
+  } else {
+    if (!config_.obs.enable_cost_ledger) {
+      return Status::FailedPrecondition(
+          "TriggerRebalance: planner mode needs the cost ledger "
+          "(ObsConfig::enable_cost_ledger)");
+    }
+    RebalancePlanner planner;
+    response.plan = planner.Plan(cost_ledger_->Snapshot(), catalog_->router(),
+                                 catalog_->num_shards());
+  }
+  if (request.dry_run || response.plan.moves.empty()) return response;
+
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    if (rebalance_.running) {
+      return Status::AlreadyExists(
+          "TriggerRebalance: a rebalance is already running");
+    }
+    if (shut_down_) {
+      return Status::FailedPrecondition("TriggerRebalance: server shut down");
+    }
+    rebalance_ = RebalanceRun{};
+    rebalance_.running = true;
+    rebalance_.moves = response.plan.moves;
+  }
+  // Execute asynchronously: the moves run sequentially on the executor
+  // (one migration at a time by design) while this call returns
+  // immediately. Shutdown drains the pool, so the run always finishes or
+  // fails before teardown.
+  std::vector<RebalanceMove> moves = response.plan.moves;
+  bool submitted = pool_->Submit([this, moves]() {
+    for (const RebalanceMove& move : moves) {
+      Status status = migrator_->MigrateTenant(move.client, move.to_shard);
+      std::lock_guard<std::mutex> lock(rebalance_mutex_);
+      if (!status.ok()) {
+        rebalance_.error = status.message();
+        rebalance_.running = false;
+        return;
+      }
+      ++rebalance_.completed;
+    }
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    rebalance_.running = false;
+  });
+  if (!submitted) {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    rebalance_.running = false;
+    return Status::FailedPrecondition(
+        "TriggerRebalance: executor rejected the rebalance task");
+  }
+  response.started = true;
+  return response;
+}
+
+Result<RebalanceStatusResponse> AimsServer::RebalanceStatus(
+    const RebalanceStatusRequest& request) {
+  (void)request;
+  RebalanceStatusResponse response;
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    response.running = rebalance_.running;
+    response.moves = rebalance_.moves;
+    response.completed_moves = rebalance_.completed;
+    response.error = rebalance_.error;
+  }
+  response.migration = migrator_->status();
+  response.router_epoch = catalog_->router().epoch();
+  return response;
+}
+
+Result<AdminFaultResponse> AimsServer::AdminFault(
+    const AdminFaultRequest& request) {
+  return catalog_->ApplyFault(request);
+}
+
+Result<ClearCacheResponse> AimsServer::ClearCache(
+    const ClearCacheRequest& request) {
+  return catalog_->ClearCache(request);
 }
 
 Result<CloseSessionResponse> AimsServer::CloseSession(

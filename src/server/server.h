@@ -11,6 +11,7 @@
 #include "obs/stats_reporter.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
+#include "server/data_migrator.h"
 #include "server/ingest_service.h"
 #include "server/metrics.h"
 #include "server/query_scheduler.h"
@@ -165,11 +166,39 @@ class AimsServer {
   Result<GetTenantUsageResponse> GetTenantUsage(
       const GetTenantUsageRequest& request);
 
+  // ---- Admin/operator API (routing, rebalance, fault injection). ----
+
+  /// \brief Per-shard health probes plus the routing epoch. Needs no open
+  /// session.
+  Result<GetShardStatsResponse> GetShardStats(
+      const GetShardStatsRequest& request);
+
+  /// \brief Plans (and, unless dry_run, starts) a tenant rebalance; the
+  /// migration runs asynchronously on the server's executor while the
+  /// affected tenants stay fully serveable. See TriggerRebalanceRequest
+  /// for the two modes. AlreadyExists while a rebalance is running;
+  /// FailedPrecondition for planner mode without a cost ledger.
+  Result<TriggerRebalanceResponse> TriggerRebalance(
+      const TriggerRebalanceRequest& request);
+
+  /// \brief Progress of the current (or most recent) rebalance.
+  Result<RebalanceStatusResponse> RebalanceStatus(
+      const RebalanceStatusRequest& request);
+
+  /// \brief Typed fault injection / counter reset against one shard's
+  /// device (replaces reaching into catalog().mutable_shard_device()).
+  Result<AdminFaultResponse> AdminFault(const AdminFaultRequest& request);
+
+  /// \brief Clears one shard's (or every shard's) block cache (replaces
+  /// reaching into catalog().mutable_shard_cache()).
+  Result<ClearCacheResponse> ClearCache(const ClearCacheRequest& request);
+
   // ---- Raw subsystem accessors: test/bench instrumentation only. ----
   // Application code goes through the typed API above; these exist so
   // tests and benches can reach into shard devices, metrics, and queues.
 
   ShardedCatalog& catalog() { return *catalog_; }
+  DataMigrator& migrator() { return *migrator_; }
   IngestService& ingest() { return *ingest_; }
   QueryScheduler& scheduler() { return *scheduler_; }
   RecognitionService& recognition() { return *recognition_; }
@@ -203,6 +232,9 @@ class AimsServer {
   std::unique_ptr<std::ofstream> slow_log_stream_;
   std::unique_ptr<obs::AsyncLogger> slow_log_;
   std::unique_ptr<ShardedCatalog> catalog_;
+  // Declared before the pool: rebalance tasks run on the pool and touch
+  // the migrator, and the pool joins its workers before either dies.
+  std::unique_ptr<DataMigrator> migrator_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<IngestService> ingest_;
   std::unique_ptr<QueryScheduler> scheduler_;
@@ -212,6 +244,16 @@ class AimsServer {
 
   mutable std::mutex sessions_mutex_;
   std::unordered_map<ClientId, SessionState> sessions_;
+
+  /// Asynchronous-rebalance bookkeeping (guarded by rebalance_mutex_).
+  struct RebalanceRun {
+    bool running = false;
+    std::vector<RebalanceMove> moves;
+    size_t completed = 0;
+    std::string error;
+  };
+  mutable std::mutex rebalance_mutex_;
+  RebalanceRun rebalance_;
 
   bool shut_down_ = false;
 };

@@ -1,7 +1,12 @@
 #include "server/sharded_catalog.h"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <mutex>
+#include <set>
+#include <unordered_set>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -16,12 +21,131 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Low 48 bits of an opaque id — the monotone mint counter (the high 16
+/// carry the routing epoch at mint time, provenance only).
+constexpr uint64_t kCounterMask = 0xffffffffffffull;
+
+// ---- Routing-journal record encoding -------------------------------------
+// One catalog blob per mutation, framed by the WriteAheadLog exactly like
+// the shards' own catalog records (host byte order):
+//   type u8, then the type's fixed-width fields.
+
+enum RouteRecordType : uint8_t {
+  kRouteAdd = 1,        // u64 gid, u64 client, u32 shard, u32 local
+  kMigrationBegin = 2,  // u64 client, u32 target
+  kRouteMove = 3,       // u64 gid, u32 target shard, u32 target local
+  kMigrationCommit = 4, // u64 client, u32 target
+};
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<uint8_t> EncodeRouteAdd(GlobalSessionId id, ClientId client,
+                                    size_t shard, core::SessionId local) {
+  std::vector<uint8_t> blob;
+  blob.push_back(kRouteAdd);
+  PutU64(&blob, id);
+  PutU64(&blob, client);
+  PutU32(&blob, static_cast<uint32_t>(shard));
+  PutU32(&blob, static_cast<uint32_t>(local));
+  return blob;
+}
+
+std::vector<uint8_t> EncodeMigrationBegin(ClientId client, size_t target) {
+  std::vector<uint8_t> blob;
+  blob.push_back(kMigrationBegin);
+  PutU64(&blob, client);
+  PutU32(&blob, static_cast<uint32_t>(target));
+  return blob;
+}
+
+std::vector<uint8_t> EncodeRouteMove(GlobalSessionId id, size_t target_shard,
+                                     core::SessionId target_local) {
+  std::vector<uint8_t> blob;
+  blob.push_back(kRouteMove);
+  PutU64(&blob, id);
+  PutU32(&blob, static_cast<uint32_t>(target_shard));
+  PutU32(&blob, static_cast<uint32_t>(target_local));
+  return blob;
+}
+
+std::vector<uint8_t> EncodeMigrationCommit(ClientId client, size_t target) {
+  std::vector<uint8_t> blob;
+  blob.push_back(kMigrationCommit);
+  PutU64(&blob, client);
+  PutU32(&blob, static_cast<uint32_t>(target));
+  return blob;
+}
+
+/// Bumps the shard's queue-depth gauge for the duration of one operation
+/// (waiting for the lock counts — that is what queue depth means).
+struct ShardOpScope {
+  explicit ShardOpScope(std::atomic<int64_t>& depth) : depth_(depth) {
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ShardOpScope() { depth_.fetch_sub(1, std::memory_order_relaxed); }
+  std::atomic<int64_t>& depth_;
+};
+
 }  // namespace
 
+/// RAII in-flight-ingest marker. Opens BEFORE placement resolves; the
+/// migrator pins the tenant first and then waits for the gate to drain, so
+/// every ingest that resolved placement pre-pin has registered its route
+/// by the time the migrator enumerates the tenant's sessions.
+class ShardedCatalog::IngestGate {
+ public:
+  IngestGate(ShardedCatalog* catalog, ClientId client)
+      : catalog_(catalog), client_(client) {
+    std::lock_guard<std::mutex> lock(catalog_->inflight_mutex_);
+    ++catalog_->inflight_[client_];
+  }
+  ~IngestGate() {
+    {
+      std::lock_guard<std::mutex> lock(catalog_->inflight_mutex_);
+      auto it = catalog_->inflight_.find(client_);
+      if (it != catalog_->inflight_.end() && --it->second == 0) {
+        catalog_->inflight_.erase(it);
+      }
+    }
+    catalog_->inflight_cv_.notify_all();
+  }
+  IngestGate(const IngestGate&) = delete;
+  IngestGate& operator=(const IngestGate&) = delete;
+
+ private:
+  ShardedCatalog* catalog_;
+  ClientId client_;
+};
+
 ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
-                               MetricsRegistry* metrics)
-    : config_(config) {
+                               MetricsRegistry* metrics,
+                               ShardRouterConfig router_config)
+    : config_(config),
+      router_(std::make_unique<ShardRouter>(num_shards, router_config)) {
   AIMS_CHECK(num_shards >= 1);
+  std::vector<double> lock_bounds = MetricsRegistry::DefaultLatencyBoundsMs();
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     // Every shard gets its own durable store (its own page file + WAL)
@@ -31,10 +155,15 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
     if (!shard_config.durability.path.empty()) {
       shard_config.durability.path += "/shard_" + std::to_string(i);
     }
-    shards_.push_back(std::make_unique<Shard>(shard_config));
+    shards_.push_back(std::make_unique<Shard>(shard_config, lock_bounds));
     shards_.back()->wal_lag.store(
         shards_.back()->system.WalStats().lag_bytes,
         std::memory_order_relaxed);
+  }
+  if (durable()) {
+    // The shards have recovered their own stores; now recover the route
+    // table that makes their sessions addressable.
+    journal_status_ = OpenAndReplayJournal(config_.durability.path);
   }
   if (metrics != nullptr) {
     ingest_count_ = metrics->GetCounter("catalog.ingest.count");
@@ -44,6 +173,10 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
         "catalog.ingest.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
     query_latency_ms_ = metrics->GetHistogram(
         "catalog.query.latency_ms", MetricsRegistry::DefaultLatencyBoundsMs());
+    // Max-over-shards lock-wait p99 in MICROseconds (integer gauges would
+    // flatten sub-ms waits to zero in ms) — the StatsReporter's shard-
+    // health input.
+    shard_lock_p99_gauge_ = metrics->GetGauge("catalog.shard_lock_p99_us");
     if (durable()) {
       wal_lag_gauge_ = metrics->GetGauge("storage.wal_lag_bytes");
       PublishWalLag();
@@ -51,12 +184,14 @@ ShardedCatalog::ShardedCatalog(size_t num_shards, core::AimsConfig config,
   }
 }
 
+ShardedCatalog::~ShardedCatalog() = default;
+
 Status ShardedCatalog::init_status() const {
   for (const auto& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard->mutex);
     AIMS_RETURN_NOT_OK(shard->system.init_status());
   }
-  return Status::OK();
+  return journal_status_;
 }
 
 bool ShardedCatalog::durable() const {
@@ -73,31 +208,98 @@ void ShardedCatalog::PublishWalLag() {
   wal_lag_gauge_->Set(static_cast<int64_t>(total));
 }
 
+void ShardedCatalog::PublishShardHealth() {
+  if (shard_lock_p99_gauge_ == nullptr) return;
+  double max_p99_ms = 0.0;
+  for (const auto& shard : shards_) {
+    max_p99_ms = std::max(max_p99_ms, shard->lock_wait_ms.ApproxQuantile(0.99));
+  }
+  shard_lock_p99_gauge_->Set(static_cast<int64_t>(max_p99_ms * 1000.0 + 0.5));
+}
+
+GlobalSessionId ShardedCatalog::MintSessionId() {
+  uint64_t counter =
+      next_session_counter_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t epoch = router_->epoch() & 0xffffull;
+  return (epoch << 48) | (counter & kCounterMask);
+}
+
+void ShardedCatalog::RegisterRoute(GlobalSessionId id, ClientId client,
+                                   size_t shard, core::SessionId local) {
+  std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+  Route route;
+  route.client = client;
+  route.shard = static_cast<uint32_t>(shard);
+  route.local = local;
+  routes_[id] = route;
+  client_sessions_[client].push_back(id);
+}
+
+Result<ShardedCatalog::Route> ShardedCatalog::FindRoute(
+    GlobalSessionId id) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    return Status::NotFound("ShardedCatalog: unknown session id");
+  }
+  return it->second;
+}
+
+template <typename Fn>
+auto ShardedCatalog::ReadOnShard(const Shard& shard, Fn&& fn) const {
+  ShardOpScope scope(shard.active_ops);
+  auto wait_start = std::chrono::steady_clock::now();
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  shard.lock_wait_ms.Record(MsSince(wait_start));
+  return fn(shard.system);
+}
+
+// ---- Ingest ---------------------------------------------------------------
+
 Result<GlobalSessionId> ShardedCatalog::Ingest(
     ClientId client, const std::string& name,
     const streams::Recording& recording, obs::Trace* trace,
     IngestIoStats* io_stats) {
-  size_t shard_index = ShardForClient(client);
+  if (durable() && !journal_status_.ok()) return journal_status_;
+  IngestGate gate(this, client);
+  size_t shard_index = router_->ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
-  // durable() reads a pointer set once at construction — safe lock-free.
   Result<core::SessionId> local =
-      shard.system.durable()
-          ? IngestDurable(shard, name, recording, trace, io_stats)
-          : IngestInMemory(shard, name, recording, trace, io_stats);
+      IngestOnShard(shard, name, recording, trace, io_stats);
   AIMS_RETURN_NOT_OK(local.status());
+  GlobalSessionId id = MintSessionId();
+  // The route must be durable before the ingest is acknowledged: an acked
+  // session that recovery cannot address again would be a lost ack.
+  AIMS_RETURN_NOT_OK(JournalRouteAdd(id, client, shard_index, *local));
+  RegisterRoute(id, client, shard_index, *local);
+  shard.ingests.fetch_add(1, std::memory_order_relaxed);
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
-  return MakeGlobalId(shard_index, *local);
+  PublishShardHealth();
+  return id;
+}
+
+Result<core::SessionId> ShardedCatalog::IngestOnShard(
+    Shard& shard, const std::string& name,
+    const streams::Recording& recording, obs::Trace* trace,
+    IngestIoStats* io_stats) {
+  // durable() reads a pointer set once at construction — safe lock-free.
+  return shard.system.durable()
+             ? IngestDurable(shard, name, recording, trace, io_stats)
+             : IngestInMemory(shard, name, recording, trace, io_stats);
 }
 
 Result<core::SessionId> ShardedCatalog::IngestInMemory(
     Shard& shard, const std::string& name,
     const streams::Recording& recording, obs::Trace* trace,
     IngestIoStats* io_stats) {
+  ShardOpScope scope(shard.active_ops);
   size_t lock_span = 0;
   if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
+  auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.lock_wait_ms.Record(MsSince(wait_start));
   if (trace != nullptr) trace->EndSpan(lock_span);
   // Writes are serialized by the exclusive lock, so the device's write-
   // counter delta across this ingest is attributable to it exactly.
@@ -120,11 +322,14 @@ Result<core::SessionId> ShardedCatalog::IngestDurable(
     const streams::Recording& recording, obs::Trace* trace,
     IngestIoStats* io_stats) {
   if (io_stats != nullptr) *io_stats = IngestIoStats{};
+  ShardOpScope scope(shard.active_ops);
   core::AimsSystem::StagedIngest staged;
   {
     size_t lock_span = 0;
     if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
+    auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.lock_wait_ms.Record(MsSince(wait_start));
     if (trace != nullptr) trace->EndSpan(lock_span);
     // Failed staging performs no device writes (the dirty pages are
     // dropped from the buffer pool), so io_stats stays zero on error.
@@ -144,7 +349,9 @@ Result<core::SessionId> ShardedCatalog::IngestDurable(
   {
     size_t lock_span = 0;
     if (trace != nullptr) lock_span = trace->BeginSpan("shard_apply_lock");
+    auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.lock_wait_ms.Record(MsSince(wait_start));
     if (trace != nullptr) trace->EndSpan(lock_span);
     AIMS_RETURN_NOT_OK(shard.system.ApplyDurable(staged));
     shard.wal_lag.store(shard.system.WalStats().lag_bytes,
@@ -161,34 +368,39 @@ Result<core::SessionId> ShardedCatalog::IngestDurable(
   return staged.id;
 }
 
-const ShardedCatalog::Shard* ShardedCatalog::ShardFor(
-    GlobalSessionId id) const {
-  size_t shard_index = ShardOf(id);
-  if (shard_index >= shards_.size()) return nullptr;
-  return shards_[shard_index].get();
-}
+// ---- Reads (dual-read aware) ----------------------------------------------
 
 Result<core::SessionInfo> ShardedCatalog::GetSession(GlobalSessionId id) const {
-  const Shard* shard = ShardFor(id);
-  if (shard == nullptr) {
-    return Status::NotFound("ShardedCatalog::GetSession: no such shard");
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
+  Result<core::SessionInfo> result = ReadOnShard(
+      *shards_[route.shard],
+      [&](const core::AimsSystem& sys) { return sys.GetSession(route.local); });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(*shards_[route.fallback_shard],
+                         [&](const core::AimsSystem& sys) {
+                           return sys.GetSession(route.fallback_local);
+                         });
   }
-  std::shared_lock<std::shared_mutex> lock(shard->mutex);
-  return shard->system.GetSession(LocalId(id));
+  return result;
 }
 
 Result<std::vector<double>> ShardedCatalog::ReadChannel(GlobalSessionId id,
                                                         size_t channel) const {
-  const Shard* shard = ShardFor(id);
-  if (shard == nullptr) {
-    return Status::NotFound("ShardedCatalog::ReadChannel: no such shard");
-  }
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
   auto start = std::chrono::steady_clock::now();
-  Result<std::vector<double>> result = [&]() -> Result<std::vector<double>> {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    return shard->system.ReadChannel(LocalId(id), channel);
-  }();
+  Result<std::vector<double>> result =
+      ReadOnShard(*shards_[route.shard], [&](const core::AimsSystem& sys) {
+        return sys.ReadChannel(route.local, channel);
+      });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(*shards_[route.fallback_shard],
+                         [&](const core::AimsSystem& sys) {
+                           return sys.ReadChannel(route.fallback_local,
+                                                  channel);
+                         });
+  }
   if (result.ok()) {
+    shards_[route.shard]->queries.fetch_add(1, std::memory_order_relaxed);
     if (query_count_ != nullptr) query_count_->Increment();
     if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
   }
@@ -198,18 +410,21 @@ Result<std::vector<double>> ShardedCatalog::ReadChannel(GlobalSessionId id,
 Result<core::RangeStatistics> ShardedCatalog::QueryRange(
     GlobalSessionId id, size_t channel, size_t first_frame,
     size_t last_frame) const {
-  const Shard* shard = ShardFor(id);
-  if (shard == nullptr) {
-    return Status::NotFound("ShardedCatalog::QueryRange: no such shard");
-  }
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
   auto start = std::chrono::steady_clock::now();
   Result<core::RangeStatistics> result =
-      [&]() -> Result<core::RangeStatistics> {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    return shard->system.QueryRange(LocalId(id), channel, first_frame,
-                                    last_frame);
-  }();
+      ReadOnShard(*shards_[route.shard], [&](const core::AimsSystem& sys) {
+        return sys.QueryRange(route.local, channel, first_frame, last_frame);
+      });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(
+        *shards_[route.fallback_shard], [&](const core::AimsSystem& sys) {
+          return sys.QueryRange(route.fallback_local, channel, first_frame,
+                                last_frame);
+        });
+  }
   if (result.ok()) {
+    shards_[route.shard]->queries.fetch_add(1, std::memory_order_relaxed);
     if (query_count_ != nullptr) query_count_->Increment();
     if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
     // Note: under concurrency RangeStatistics::blocks_read is a device-
@@ -225,21 +440,24 @@ Result<core::ProgressiveRangeResult> ShardedCatalog::QueryRangeProgressive(
     GlobalSessionId id, size_t channel, size_t first_frame, size_t last_frame,
     const core::ProgressiveObserver& observer,
     const std::function<void()>& on_shard_locked) const {
-  const Shard* shard = ShardFor(id);
-  if (shard == nullptr) {
-    return Status::NotFound(
-        "ShardedCatalog::QueryRangeProgressive: no such shard");
-  }
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
   auto start = std::chrono::steady_clock::now();
   Result<core::ProgressiveRangeResult> result =
-      [&]() -> Result<core::ProgressiveRangeResult> {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    if (on_shard_locked) on_shard_locked();
-    return shard->system.QueryRangeProgressive(LocalId(id), channel,
-                                               first_frame, last_frame,
-                                               observer);
-  }();
+      ReadOnShard(*shards_[route.shard], [&](const core::AimsSystem& sys) {
+        if (on_shard_locked) on_shard_locked();
+        return sys.QueryRangeProgressive(route.local, channel, first_frame,
+                                         last_frame, observer);
+      });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(
+        *shards_[route.fallback_shard], [&](const core::AimsSystem& sys) {
+          if (on_shard_locked) on_shard_locked();
+          return sys.QueryRangeProgressive(route.fallback_local, channel,
+                                           first_frame, last_frame, observer);
+        });
+  }
   if (result.ok()) {
+    shards_[route.shard]->queries.fetch_add(1, std::memory_order_relaxed);
     if (query_count_ != nullptr) query_count_->Increment();
     if (query_latency_ms_ != nullptr) query_latency_ms_->Record(MsSince(start));
     if (blocks_read_ != nullptr && !result->steps.empty()) {
@@ -249,33 +467,68 @@ Result<core::ProgressiveRangeResult> ShardedCatalog::QueryRangeProgressive(
   return result;
 }
 
-std::vector<core::SessionInfo> ShardedCatalog::ListSessions() const {
-  std::vector<core::SessionInfo> out;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    std::vector<core::SessionInfo> sessions = shard->system.ListSessions();
-    out.insert(out.end(), sessions.begin(), sessions.end());
+Result<core::QueryPlan> ShardedCatalog::PlanRangeQuery(GlobalSessionId id,
+                                                       size_t channel,
+                                                       size_t first_frame,
+                                                       size_t last_frame) const {
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
+  Result<core::QueryPlan> plan =
+      ReadOnShard(*shards_[route.shard], [&](const core::AimsSystem& sys) {
+        return sys.PlanRangeQuery(route.local, channel, first_frame,
+                                  last_frame);
+      });
+  if (!plan.ok() && route.dual) {
+    plan = ReadOnShard(
+        *shards_[route.fallback_shard], [&](const core::AimsSystem& sys) {
+          return sys.PlanRangeQuery(route.fallback_local, channel, first_frame,
+                                    last_frame);
+        });
+  }
+  AIMS_RETURN_NOT_OK(plan.status());
+  plan->session = id;
+  return plan;
+}
+
+// ---- Catalog-wide introspection -------------------------------------------
+
+std::vector<CatalogSessionEntry> ShardedCatalog::ListSessions() const {
+  std::vector<std::pair<GlobalSessionId, Route>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    snapshot.assign(routes_.begin(), routes_.end());
+  }
+  // Mint-counter order == ingest order (the epoch bits in the high word
+  // are provenance, not ordering).
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) {
+              return (a.first & kCounterMask) < (b.first & kCounterMask);
+            });
+  std::vector<CatalogSessionEntry> out;
+  out.reserve(snapshot.size());
+  for (const auto& [id, route] : snapshot) {
+    Result<core::SessionInfo> info = ReadOnShard(
+        *shards_[route.shard], [&](const core::AimsSystem& sys) {
+          return sys.GetSession(route.local);
+        });
+    if (!info.ok() && route.dual) {
+      info = ReadOnShard(*shards_[route.fallback_shard],
+                         [&](const core::AimsSystem& sys) {
+                           return sys.GetSession(route.fallback_local);
+                         });
+    }
+    if (!info.ok()) continue;  // defensive: routes never dangle by design
+    CatalogSessionEntry entry;
+    entry.id = id;
+    entry.client = route.client;
+    entry.info = *info;
+    out.push_back(std::move(entry));
   }
   return out;
 }
 
 size_t ShardedCatalog::total_sessions() const {
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    total += shard->system.ListSessions().size();
-  }
-  return total;
-}
-
-storage::BlockDevice* ShardedCatalog::mutable_shard_device(size_t shard) {
-  AIMS_CHECK(shard < shards_.size());
-  return shards_[shard]->system.mutable_device();
-}
-
-storage::BlockCache* ShardedCatalog::mutable_shard_cache(size_t shard) {
-  AIMS_CHECK(shard < shards_.size());
-  return shards_[shard]->system.mutable_block_cache();
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return routes_.size();
 }
 
 obs::WalStats ShardedCatalog::TotalWalStats() const {
@@ -315,20 +568,435 @@ size_t ShardedCatalog::total_blocks_written() const {
   return total;
 }
 
-Result<core::QueryPlan> ShardedCatalog::PlanRangeQuery(GlobalSessionId id,
-                                                       size_t channel,
-                                                       size_t first_frame,
-                                                       size_t last_frame) const {
-  const Shard* shard = ShardFor(id);
-  if (shard == nullptr) {
-    return Status::NotFound("ShardedCatalog::PlanRangeQuery: no such shard");
+std::vector<obs::ShardStatsEntry> ShardedCatalog::ShardStats() const {
+  std::vector<obs::ShardStatsEntry> out(shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    std::vector<std::unordered_set<ClientId>> tenants(shards_.size());
+    for (const auto& [id, route] : routes_) {
+      (void)id;
+      out[route.shard].sessions += 1;
+      tenants[route.shard].insert(route.client);
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      out[i].tenants = tenants[i].size();
+    }
   }
-  std::shared_lock<std::shared_mutex> lock(shard->mutex);
-  AIMS_ASSIGN_OR_RETURN(core::QueryPlan plan,
-                        shard->system.PlanRangeQuery(LocalId(id), channel,
-                                                     first_frame, last_frame));
-  plan.session = id;
-  return plan;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    out[i].shard = i;
+    out[i].ingests = shard.ingests.load(std::memory_order_relaxed);
+    out[i].queries = shard.queries.load(std::memory_order_relaxed);
+    out[i].lock_wait_p50_ms = shard.lock_wait_ms.ApproxQuantile(0.5);
+    out[i].lock_wait_p99_ms = shard.lock_wait_ms.ApproxQuantile(0.99);
+    out[i].wal_lag_bytes = shard.wal_lag.load(std::memory_order_relaxed);
+    out[i].queue_depth = shard.active_ops.load(std::memory_order_relaxed);
+  }
+  // Snapshotting health is the natural point to refresh the gauge the
+  // reporter watches.
+  const_cast<ShardedCatalog*>(this)->PublishShardHealth();
+  return out;
+}
+
+// ---- Typed admin surface ---------------------------------------------------
+
+Result<AdminFaultResponse> ShardedCatalog::ApplyFault(
+    const AdminFaultRequest& request) {
+  if (request.shard >= shards_.size()) {
+    return Status::InvalidArgument("ApplyFault: no such shard");
+  }
+  storage::BlockDevice* device = shards_[request.shard]->system.mutable_device();
+  // Reset first: it also clears pending faults, so reset+arm in one
+  // request behaves as "clean slate, then arm".
+  if (request.reset_counters) device->ResetCounters();
+  if (request.clear_faults) {
+    device->FailNextReads(0);
+    device->FailNextWrites(0);
+  }
+  if (request.fail_next_reads > 0) device->FailNextReads(request.fail_next_reads);
+  if (request.fail_next_writes > 0) {
+    device->FailNextWrites(request.fail_next_writes);
+  }
+  AdminFaultResponse response;
+  response.shard = request.shard;
+  return response;
+}
+
+Result<ClearCacheResponse> ShardedCatalog::ClearCache(
+    const ClearCacheRequest& request) {
+  ClearCacheResponse response;
+  auto clear_one = [&](size_t i) {
+    storage::BlockCache* cache = shards_[i]->system.mutable_block_cache();
+    if (cache != nullptr) {
+      cache->Clear();
+      ++response.shards_cleared;
+    }
+  };
+  if (request.shard.has_value()) {
+    if (*request.shard >= shards_.size()) {
+      return Status::InvalidArgument("ClearCache: no such shard");
+    }
+    clear_one(*request.shard);
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) clear_one(i);
+  }
+  return response;
+}
+
+storage::BlockDevice* ShardedCatalog::mutable_shard_device(size_t shard) {
+  AIMS_CHECK(shard < shards_.size());
+  return shards_[shard]->system.mutable_device();
+}
+
+storage::BlockCache* ShardedCatalog::mutable_shard_cache(size_t shard) {
+  AIMS_CHECK(shard < shards_.size());
+  return shards_[shard]->system.mutable_block_cache();
+}
+
+// ---- Live migration --------------------------------------------------------
+
+Result<std::vector<GlobalSessionId>> ShardedCatalog::BeginTenantMigration(
+    ClientId client, size_t target_shard) {
+  if (target_shard >= shards_.size()) {
+    return Status::InvalidArgument("BeginTenantMigration: no such shard");
+  }
+  if (durable() && !journal_status_.ok()) return journal_status_;
+  // Pin first: every ingest that resolves placement from here on lands on
+  // the target. Then journal the begin record, so recovery knows the
+  // target shard may hold partial copies.
+  router_->SetPin(client, target_shard);
+  Status journaled = JournalMigrationBegin(client, target_shard);
+  if (!journaled.ok()) {
+    router_->ClearPin(client);
+    return journaled;
+  }
+  // Wait out ingests that resolved placement before the pin. They are
+  // acknowledged normally (redirected-in-time or drained, never dropped);
+  // after the drain the tenant's session set is stable under this
+  // enumeration.
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [&] {
+      return inflight_.find(client) == inflight_.end();
+    });
+  }
+  std::vector<GlobalSessionId> to_move;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = client_sessions_.find(client);
+    if (it != client_sessions_.end()) {
+      for (GlobalSessionId id : it->second) {
+        if (routes_.at(id).shard != target_shard) to_move.push_back(id);
+      }
+    }
+  }
+  return to_move;
+}
+
+Status ShardedCatalog::MigrateSession(GlobalSessionId id, size_t target_shard) {
+  if (target_shard >= shards_.size()) {
+    return Status::InvalidArgument("MigrateSession: no such shard");
+  }
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
+  if (route.shard == target_shard) return Status::OK();
+  // 1. Materialize the source copy under the source's SHARED lock —
+  //    concurrent queries keep running against it throughout.
+  Shard& source = *shards_[route.shard];
+  std::string name;
+  Result<streams::Recording> materialized = ReadOnShard(
+      source, [&](const core::AimsSystem& sys) -> Result<streams::Recording> {
+        AIMS_ASSIGN_OR_RETURN(core::SessionInfo info,
+                              sys.GetSession(route.local));
+        name = info.name;
+        return sys.MaterializeSession(route.local);
+      });
+  AIMS_RETURN_NOT_OK(materialized.status());
+  // 2. Ingest the copy into the target. On the durable backend this is the
+  //    full staged WAL protocol: the copy is on stable storage before we
+  //    proceed. No catalog metrics, no tenant attribution — migration is an
+  //    infrastructure move, not tenant activity.
+  AIMS_ASSIGN_OR_RETURN(
+      core::SessionId target_local,
+      IngestOnShard(*shards_[target_shard], name, *materialized,
+                    /*trace=*/nullptr, /*io_stats=*/nullptr));
+  // 3. Journal the owner flip. Once this record is durable, recovery
+  //    resolves the session to the target — and only then does the live
+  //    route flip, so crash-before and crash-after both leave exactly one
+  //    owner.
+  AIMS_RETURN_NOT_OK(JournalRouteMove(id, target_shard, target_local));
+  // 4. Enter the dual-read window: primary = target, fallback = source.
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) {
+      return Status::NotFound("MigrateSession: route vanished mid-migration");
+    }
+    Route& live = it->second;
+    live.fallback_shard = live.shard;
+    live.fallback_local = live.local;
+    live.shard = static_cast<uint32_t>(target_shard);
+    live.local = target_local;
+    live.dual = true;
+  }
+  return Status::OK();
+}
+
+Status ShardedCatalog::CommitTenantMigration(ClientId client,
+                                             size_t target_shard) {
+  // Atomic routing flip: close every dual-read window of the tenant in one
+  // exclusive critical section — after this, reads resolve to the target
+  // only and the source copies are unreachable (logical source cleanup;
+  // physical block reclamation is a compaction concern, not a routing one).
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = client_sessions_.find(client);
+    if (it != client_sessions_.end()) {
+      for (GlobalSessionId id : it->second) {
+        Route& route = routes_.at(id);
+        route.dual = false;
+        route.fallback_shard = 0;
+        route.fallback_local = 0;
+      }
+    }
+  }
+  // The commit record makes the pin durable: recovery re-pins the tenant,
+  // so post-restart ingests keep landing where the data lives.
+  AIMS_RETURN_NOT_OK(JournalMigrationCommit(client, target_shard));
+  router_->BumpEpoch();
+  return Status::OK();
+}
+
+void ShardedCatalog::AbortTenantMigration(ClientId client) {
+  // Already-moved sessions stay on the target (their copies are durable
+  // and journaled there); just close the dual windows and drop the pin.
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = client_sessions_.find(client);
+    if (it != client_sessions_.end()) {
+      for (GlobalSessionId id : it->second) {
+        Route& route = routes_.at(id);
+        route.dual = false;
+        route.fallback_shard = 0;
+        route.fallback_local = 0;
+      }
+    }
+  }
+  router_->ClearPin(client);
+}
+
+// ---- Routing journal -------------------------------------------------------
+
+Status ShardedCatalog::JournalAppend(const std::vector<uint8_t>& blob) {
+  if (journal_ == nullptr) return Status::OK();
+  AIMS_ASSIGN_OR_RETURN(uint64_t txn, journal_->BeginTxn());
+  AIMS_RETURN_NOT_OK(journal_->AppendCatalog(txn, blob));
+  // Commit = append + WaitDurable; concurrent journal commits share one
+  // group-commit fsync like the shard WALs do.
+  return journal_->Commit(txn);
+}
+
+Status ShardedCatalog::JournalRouteAdd(GlobalSessionId id, ClientId client,
+                                       size_t shard, core::SessionId local) {
+  return JournalAppend(EncodeRouteAdd(id, client, shard, local));
+}
+
+Status ShardedCatalog::JournalMigrationBegin(ClientId client,
+                                             size_t target_shard) {
+  return JournalAppend(EncodeMigrationBegin(client, target_shard));
+}
+
+Status ShardedCatalog::JournalRouteMove(GlobalSessionId id, size_t target_shard,
+                                        core::SessionId target_local) {
+  return JournalAppend(EncodeRouteMove(id, target_shard, target_local));
+}
+
+Status ShardedCatalog::JournalMigrationCommit(ClientId client,
+                                              size_t target_shard) {
+  return JournalAppend(EncodeMigrationCommit(client, target_shard));
+}
+
+Status ShardedCatalog::OpenAndReplayJournal(const std::string& base_path) {
+  namespace durable = storage::durable;
+  durable::WalConfig wal_config;
+  wal_config.sync_mode = config_.durability.sync_mode;
+  wal_config.group_commit_ms = config_.durability.group_commit_ms;
+  wal_config.simulated_sync_ms = config_.durability.simulated_sync_ms;
+  const std::string path = base_path + "/routes.wal";
+
+  AIMS_ASSIGN_OR_RETURN(durable::WriteAheadLog::Opened opened,
+                        durable::WriteAheadLog::Open(path, wal_config));
+
+  // Replay. The journal is tiny relative to the shard WALs (fixed-width
+  // routing records only), so a full linear replay at open is cheap.
+  uint64_t max_counter = 0;
+  // client -> targets of migrations that began and never committed. A
+  // set, not a single slot: a tenant can crash one migration and later
+  // start another — the first target's partial copies stay unowned
+  // forever and must stay excluded from adoption on every future reopen.
+  std::unordered_map<ClientId, std::set<size_t>> open_migrations;
+  std::set<std::pair<uint32_t, core::SessionId>> moved_away;
+  std::vector<std::pair<ClientId, size_t>> pins;
+  for (const durable::RecoveredTxn& txn : opened.committed) {
+    for (const std::vector<uint8_t>& blob : txn.catalog_blobs) {
+      if (blob.empty()) continue;
+      const uint8_t* p = blob.data() + 1;
+      switch (blob[0]) {
+        case kRouteAdd: {
+          if (blob.size() < 1 + 8 + 8 + 4 + 4) break;
+          GlobalSessionId id = GetU64(p);
+          ClientId client = GetU64(p + 8);
+          uint32_t shard = GetU32(p + 16);
+          uint32_t local = GetU32(p + 20);
+          if (shard >= shards_.size()) break;  // stale vs. shrunken topology
+          Route route;
+          route.client = client;
+          route.shard = shard;
+          route.local = static_cast<core::SessionId>(local);
+          routes_[id] = route;
+          max_counter = std::max(max_counter, id & kCounterMask);
+          break;
+        }
+        case kMigrationBegin: {
+          if (blob.size() < 1 + 8 + 4) break;
+          open_migrations[GetU64(p)].insert(GetU32(p + 8));
+          break;
+        }
+        case kRouteMove: {
+          if (blob.size() < 1 + 8 + 4 + 4) break;
+          GlobalSessionId id = GetU64(p);
+          uint32_t target_shard = GetU32(p + 8);
+          uint32_t target_local = GetU32(p + 12);
+          if (target_shard >= shards_.size()) break;
+          auto it = routes_.find(id);
+          if (it == routes_.end()) break;
+          // The source copy is superseded; remember it so orphan adoption
+          // below does not resurrect it as a second owner.
+          moved_away.insert({it->second.shard, it->second.local});
+          it->second.shard = target_shard;
+          it->second.local = static_cast<core::SessionId>(target_local);
+          break;
+        }
+        case kMigrationCommit: {
+          if (blob.size() < 1 + 8 + 4) break;
+          ClientId client = GetU64(p);
+          uint32_t target = GetU32(p + 8);
+          // Only the committed target's copies became route-owned; an
+          // earlier crashed migration's target (other set entries) keeps
+          // its exclusion.
+          auto open_it = open_migrations.find(client);
+          if (open_it != open_migrations.end()) {
+            open_it->second.erase(target);
+            if (open_it->second.empty()) open_migrations.erase(open_it);
+          }
+          if (target < shards_.size()) pins.emplace_back(client, target);
+          break;
+        }
+        default:
+          break;  // forward-compatible: unknown record types are skipped
+      }
+    }
+  }
+
+  // Validate every recovered route against what shard recovery actually
+  // restored; a route whose session is gone (deleted store, external
+  // tampering) is dropped rather than left dangling.
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    const Route& route = it->second;
+    bool exists =
+        shards_[route.shard]->system.GetSession(route.local).ok();
+    it = exists ? std::next(it) : routes_.erase(it);
+  }
+
+  next_session_counter_.store(max_counter + 1, std::memory_order_relaxed);
+
+  // Orphan adoption: a shard session with no durable route belongs to an
+  // ingest that committed on the shard WAL but crashed before its route
+  // record — it was never acknowledged. Adopt it under the lost-and-found
+  // tenant (client 0) with a fresh id so the data stays reachable. Two
+  // exclusions keep "exactly one owner" true: source copies superseded by
+  // a RouteMove, and any shard that is the target of a migration that
+  // began but never committed (its unreferenced sessions may be partial
+  // copies of sessions the source still owns).
+  std::unordered_set<size_t> open_targets;
+  for (const auto& [client, targets] : open_migrations) {
+    (void)client;
+    open_targets.insert(targets.begin(), targets.end());
+  }
+  std::set<std::pair<uint32_t, core::SessionId>> referenced;
+  for (const auto& [id, route] : routes_) {
+    (void)id;
+    referenced.insert({route.shard, route.local});
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (open_targets.count(i) != 0) continue;
+    for (const core::SessionInfo& info : shards_[i]->system.ListSessions()) {
+      std::pair<uint32_t, core::SessionId> key{static_cast<uint32_t>(i),
+                                               info.id};
+      if (referenced.count(key) != 0 || moved_away.count(key) != 0) continue;
+      GlobalSessionId id = MintSessionId();
+      Route route;
+      route.client = 0;
+      route.shard = static_cast<uint32_t>(i);
+      route.local = info.id;
+      routes_[id] = route;
+    }
+  }
+
+  // Restore pins (each bump advances the epoch past every committed
+  // migration's generation).
+  for (const auto& [client, target] : pins) router_->SetPin(client, target);
+
+  // Rebuild the by-client index in mint order.
+  std::vector<std::pair<GlobalSessionId, const Route*>> ordered;
+  ordered.reserve(routes_.size());
+  for (const auto& [id, route] : routes_) ordered.emplace_back(id, &route);
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return (a.first & kCounterMask) < (b.first & kCounterMask);
+  });
+  for (const auto& [id, route] : ordered) {
+    client_sessions_[route->client].push_back(id);
+  }
+
+  // Compact: rewrite the journal as one snapshot transaction in a fresh
+  // file, then atomically rename it over the old log. Crash before the
+  // rename leaves the old journal intact; crash after leaves the complete
+  // snapshot — either way recovery sees a consistent log.
+  const std::string tmp_path = path + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove(tmp_path, ec);  // stale tmp from an earlier crash
+  AIMS_ASSIGN_OR_RETURN(durable::WriteAheadLog::Opened compacted,
+                        durable::WriteAheadLog::Open(tmp_path, wal_config));
+  AIMS_ASSIGN_OR_RETURN(uint64_t txn, compacted.wal->BeginTxn());
+  for (const auto& [id, route] : ordered) {
+    AIMS_RETURN_NOT_OK(compacted.wal->AppendCatalog(
+        txn, EncodeRouteAdd(id, route->client, route->shard, route->local)));
+  }
+  for (const auto& [client, target] : pins) {
+    AIMS_RETURN_NOT_OK(compacted.wal->AppendCatalog(
+        txn, EncodeMigrationCommit(client, target)));
+  }
+  // Open migrations survive compaction: their targets may hold partial
+  // copies of sessions the source still owns, and the no-adoption
+  // exclusion above must keep holding on every future reopen — otherwise
+  // the second reopen would adopt those copies as second owners.
+  for (const auto& [client, targets] : open_migrations) {
+    for (size_t target : targets) {
+      AIMS_RETURN_NOT_OK(compacted.wal->AppendCatalog(
+          txn, EncodeMigrationBegin(client, target)));
+    }
+  }
+  AIMS_RETURN_NOT_OK(compacted.wal->Commit(txn));
+  compacted.wal.reset();  // close before the rename
+  opened.wal.reset();
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return Status::IoError("routing journal compaction rename failed: " +
+                           ec.message());
+  }
+  AIMS_ASSIGN_OR_RETURN(durable::WriteAheadLog::Opened reopened,
+                        durable::WriteAheadLog::Open(path, wal_config));
+  journal_ = std::move(reopened.wal);
+  return Status::OK();
 }
 
 }  // namespace aims::server

@@ -1,84 +1,129 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/aims.h"
 #include "obs/cache_stats.h"
+#include "obs/shard_stats.h"
 #include "obs/tracer.h"
 #include "obs/wal_stats.h"
 #include "server/metrics.h"
+#include "server/shard_router.h"
+#include "storage/wal.h"
 
 /// \file sharded_catalog.h
 /// \brief Horizontal partitioning of the session catalog across N
 /// independent AimsSystem instances ("shards"), each guarded by a
-/// reader/writer lock. Ingest takes one shard's exclusive lock; the whole
-/// off-line query path (catalog lookups, channel reads, wavelet-domain
-/// range queries) runs under shared locks on AimsSystem's const read path.
-/// Two properties follow:
+/// reader/writer lock — now behind a *placement-opaque* routing layer:
 ///
-///   * ingests to different shards proceed concurrently, and
-///   * queries never block other queries — only an ingest into the *same*
-///     shard serializes with them,
+///   * Placement comes from the ShardRouter's consistent-hash ring (plus
+///     tenant pins), never from `client % N` — shard count can change
+///     without rehashing the world.
+///   * `GlobalSessionId`s are opaque: router epoch in the high 16 bits, a
+///     monotone session counter in the low 48. No shard index is encoded,
+///     so an id stays valid when the DataMigrator moves its session.
+///   * A route table maps every id to its current {shard, local id}, with
+///     a dual-read window during migration: reads try the migration
+///     target first and fall back to the source copy.
+///   * On the durable backend, the route table is backed by a routing
+///     journal — a second WriteAheadLog (`routes.wal`, same record
+///     framing as the shard WALs) replayed at open, so a crash mid-
+///     migration recovers every session to exactly one owner.
 ///
-/// which is what lets throughput scale with shards/cores (CPU-bound) or
-/// with overlapped block-I/O waits (disk-bound; see
-/// DiskCostModel::simulate_io_wait) instead of serializing every operation
-/// behind one global lock.
+/// The original concurrency properties are unchanged: ingest takes one
+/// shard's exclusive lock, the whole off-line query path runs under shared
+/// locks on AimsSystem's const read path, so ingests to different shards
+/// proceed concurrently and queries never block other queries.
 
 namespace aims::server {
 
-/// \brief Identifier of one tenant (client) of the service runtime.
-using ClientId = uint64_t;
-
-/// \brief System-wide session id: shard index in the high 32 bits, the
-/// shard-local core::SessionId in the low 32.
+/// \brief System-wide session id, minted by the catalog: routing epoch in
+/// the high 16 bits (provenance only — never used for placement), a
+/// monotone counter in the low 48. Opaque to clients; 0 is never minted.
 using GlobalSessionId = uint64_t;
 
-/// \brief N AimsSystem shards behind reader/writer locks.
+/// \brief One catalog entry as reported by ListSessions: the opaque id,
+/// the owning tenant, and the core-level session metadata. Deliberately
+/// carries no shard index.
+struct CatalogSessionEntry {
+  GlobalSessionId id = 0;
+  ClientId client = 0;
+  core::SessionInfo info;
+};
+
+/// \brief Typed fault-injection/admin request against one shard's block
+/// device — the façade replacement for the removed raw device accessor.
+/// The underlying setters are atomic, so this is safe while the shard
+/// serves traffic.
+struct AdminFaultRequest {
+  size_t shard = 0;
+  /// Arm the next N device reads / writes to fail with IoError (0 leaves
+  /// the corresponding fault state unchanged; see clear_faults).
+  size_t fail_next_reads = 0;
+  size_t fail_next_writes = 0;
+  /// Disarm any pending injected faults without touching the counters.
+  bool clear_faults = false;
+  /// Zero the device I/O counters AND clear any pending faults.
+  bool reset_counters = false;
+};
+
+struct AdminFaultResponse {
+  size_t shard = 0;
+};
+
+/// \brief Typed cache-clear request — the façade replacement for the
+/// removed raw cache accessor. Clearing is internally synchronized.
+struct ClearCacheRequest {
+  /// A specific shard, or nullopt for every shard.
+  std::optional<size_t> shard;
+};
+
+struct ClearCacheResponse {
+  /// Shards whose cache was actually cleared (0 when caching is off).
+  size_t shards_cleared = 0;
+};
+
+/// \brief N AimsSystem shards behind reader/writer locks, addressed
+/// through the consistent-hash router and the opaque route table.
 class ShardedCatalog {
  public:
   /// \param num_shards shard count (at least 1); every shard gets its own
   /// block device and catalog built from \p config.
   /// \param metrics optional registry for latency histograms and
   /// operation counters (may be null).
+  /// \param router_config consistent-hash ring tuning.
   explicit ShardedCatalog(size_t num_shards, core::AimsConfig config = {},
-                          MetricsRegistry* metrics = nullptr);
+                          MetricsRegistry* metrics = nullptr,
+                          ShardRouterConfig router_config = {});
+  ~ShardedCatalog();
 
   size_t num_shards() const { return shards_.size(); }
 
-  /// \brief First failure among the shards' durable-store opens (always OK
-  /// on the in-memory backend). A shard whose recovery failed refuses
-  /// every mutating call with this status; callers that want fail-fast
-  /// semantics check here right after construction.
+  /// \brief First failure among the shards' durable-store opens or the
+  /// routing-journal open (always OK on the in-memory backend). A catalog
+  /// whose recovery failed refuses mutating calls with this status.
   Status init_status() const;
 
   /// \brief Whether the shards run on the durable backend. When
   /// AimsConfig::durability.path is set, each shard gets its own store
-  /// under `<path>/shard_<i>` so per-shard WALs never contend on one file.
+  /// under `<path>/shard_<i>` and the catalog keeps its routing journal at
+  /// `<path>/routes.wal`.
   bool durable() const;
 
-  /// Deterministic tenant placement: clients map to shards round-robin by
-  /// id, so a session's shard never depends on arrival order.
-  size_t ShardForClient(ClientId client) const {
-    return static_cast<size_t>(client % shards_.size());
-  }
-
-  static GlobalSessionId MakeGlobalId(size_t shard, core::SessionId local) {
-    return (static_cast<GlobalSessionId>(shard) << 32) |
-           static_cast<GlobalSessionId>(local);
-  }
-  static size_t ShardOf(GlobalSessionId id) {
-    return static_cast<size_t>(id >> 32);
-  }
-  static core::SessionId LocalId(GlobalSessionId id) {
-    return static_cast<core::SessionId>(id & 0xffffffffu);
-  }
+  /// \brief The placement authority (ring + pins + epoch). Admin surface:
+  /// clients never need it, but the migrator, planner, and tests do.
+  const ShardRouter& router() const { return *router_; }
+  ShardRouter* mutable_router() { return router_.get(); }
 
   // ---- Write path (exclusive lock on one shard) -------------------------
 
@@ -91,19 +136,20 @@ class ShardedCatalog {
     size_t bytes_written = 0;
   };
 
-  /// \brief Ingests a recording into \p client's shard. \p trace
-  /// (optional) gains a "shard_lock" span covering the exclusive-lock wait
-  /// plus the per-channel transform/write spans recorded by the system.
-  /// \p io_stats (optional) receives the ingest's exact block-write I/O —
-  /// filled even when the ingest fails partway, so a write fault's device
-  /// I/O still reaches the tenant's cost ledger.
+  /// \brief Ingests a recording into the shard the router places \p client
+  /// on. \p trace (optional) gains a "shard_lock" span covering the
+  /// exclusive-lock wait plus the per-channel transform/write spans
+  /// recorded by the system. \p io_stats (optional) receives the ingest's
+  /// exact block-write I/O — filled even when the ingest fails partway, so
+  /// a write fault's device I/O still reaches the tenant's cost ledger.
   ///
   /// On the durable backend this runs the staged protocol: stage + WAL
   /// append under the exclusive lock, wait for the commit sync with the
   /// lock released (trace span "wal_sync") so concurrent ingests share one
   /// group-commit fsync, then re-lock ("shard_apply_lock") for page
-  /// write-back. The ingest is acknowledged only after its commit record
-  /// is on stable storage.
+  /// write-back. The ingest is acknowledged only after its commit record —
+  /// AND its route-journal entry — are on stable storage, which is what
+  /// makes "acknowledged" imply "survives a crash with its route intact".
   Result<GlobalSessionId> Ingest(ClientId client, const std::string& name,
                                  const streams::Recording& recording,
                                  obs::Trace* trace = nullptr,
@@ -137,8 +183,8 @@ class ShardedCatalog {
                                          size_t first_frame,
                                          size_t last_frame) const;
 
-  /// All sessions across all shards (shard order, then local order).
-  std::vector<core::SessionInfo> ListSessions() const;
+  /// All sessions across all shards, in id (= ingest) order.
+  std::vector<CatalogSessionEntry> ListSessions() const;
 
   size_t total_sessions() const;
   /// Device read counter summed over shards.
@@ -157,17 +203,66 @@ class ShardedCatalog {
   /// \brief WAL counters summed across shards (zero-valued struct on the
   /// in-memory backend) — the aims_wal_* Prometheus family and the
   /// GetHealth durability section. max_commits_per_sync aggregates as the
-  /// max over shards (it is a high-water mark, not a total).
+  /// max over shards (it is a high-water mark, not a total). Includes the
+  /// routing journal's own counters.
   obs::WalStats TotalWalStats() const;
 
-  /// \brief Test/admin access to one shard's block device (fault
-  /// injection, counter resets). The fault-injection setters are atomic,
-  /// so this is safe to call while the shard is serving traffic.
+  // ---- Shard health ------------------------------------------------------
+
+  /// \brief Per-shard health probes: session/tenant placement, lock-wait
+  /// quantiles, WAL lag, queue depth. Feeds GetShardStats and the
+  /// `aims_shard_*` Prometheus family, and refreshes the
+  /// "catalog.shard_lock_p99_us" gauge the StatsReporter watches.
+  std::vector<obs::ShardStatsEntry> ShardStats() const;
+
+  // ---- Typed admin surface ----------------------------------------------
+
+  /// \brief Fault injection / counter reset against one shard's device.
+  /// InvalidArgument on a bad shard index.
+  Result<AdminFaultResponse> ApplyFault(const AdminFaultRequest& request);
+
+  /// \brief Clears one shard's (or every shard's) block cache.
+  Result<ClearCacheResponse> ClearCache(const ClearCacheRequest& request);
+
+  // ---- Live migration (called by the DataMigrator) -----------------------
+
+  /// \brief Starts moving \p client to \p target_shard: pins the tenant so
+  /// new ingests land on the target, journals the migration-begin record,
+  /// waits for in-flight ingests that resolved placement before the pin to
+  /// drain (they are acknowledged, never dropped), then returns the ids of
+  /// the tenant's sessions not yet on the target. On error the pin is
+  /// rolled back.
+  Result<std::vector<GlobalSessionId>> BeginTenantMigration(
+      ClientId client, size_t target_shard);
+
+  /// \brief Copies one session to \p target_shard and flips its route into
+  /// the dual-read window (primary = target, fallback = source). The copy
+  /// is materialized under the source's *shared* lock — concurrent queries
+  /// keep running — and the owner flip is journaled only after the target
+  /// copy is durable, so a crash leaves exactly one owner. The copy
+  /// bypasses catalog metrics and carries no tenant attribution: migration
+  /// is an infrastructure move, not tenant activity.
+  Status MigrateSession(GlobalSessionId id, size_t target_shard);
+
+  /// \brief Ends the dual-read window for every session of \p client
+  /// (atomic routing flip to target-only), journals the commit record
+  /// (which also makes the pin durable), and bumps the routing epoch.
+  Status CommitTenantMigration(ClientId client, size_t target_shard);
+
+  /// \brief Abandons an in-progress migration: already-moved sessions stay
+  /// on the target (their copies are durable there), dual-read windows are
+  /// closed, and the pin is dropped so future ingests fall back to the
+  /// ring.
+  void AbortTenantMigration(ClientId client);
+
+  // ---- Deprecated raw accessors (one-PR shim) ----------------------------
+
+  /// \deprecated Use ApplyFault — the typed admin surface. Kept one PR so
+  /// out-of-tree callers can migrate; will be removed.
   storage::BlockDevice* mutable_shard_device(size_t shard);
 
-  /// \brief Test/admin access to one shard's block cache, or nullptr when
-  /// caching is disabled. Clear() is internally synchronized; use it (e.g.
-  /// benches forcing a cold start) rather than mutating entries.
+  /// \deprecated Use ClearCache — the typed admin surface. Kept one PR so
+  /// out-of-tree callers can migrate; will be removed.
   storage::BlockCache* mutable_shard_cache(size_t shard);
 
  private:
@@ -178,10 +273,42 @@ class ShardedCatalog {
     /// ApplyDurable so the "storage.wal_lag_bytes" gauge can be recomputed
     /// without taking every other shard's lock.
     std::atomic<uint64_t> wal_lag{0};
-    explicit Shard(const core::AimsConfig& config) : system(config) {}
+    /// Health probes: operation counters, lock-queue depth, and the
+    /// lock-wait histogram (standalone — not registry-owned, so per-shard
+    /// series never pollute the registry's flat namespace). Mutable: the
+    /// const read path records into them too.
+    mutable std::atomic<uint64_t> ingests{0};
+    mutable std::atomic<uint64_t> queries{0};
+    mutable std::atomic<int64_t> active_ops{0};
+    mutable obs::Histogram lock_wait_ms;
+    Shard(const core::AimsConfig& config, std::vector<double> bounds)
+        : system(config), lock_wait_ms(std::move(bounds)) {}
   };
 
-  const Shard* ShardFor(GlobalSessionId id) const;
+  /// \brief Current placement of one session. `dual` marks the migration
+  /// dual-read window: primary is the target copy, fallback the source.
+  struct Route {
+    ClientId client = 0;
+    uint32_t shard = 0;
+    core::SessionId local = 0;
+    bool dual = false;
+    uint32_t fallback_shard = 0;
+    core::SessionId fallback_local = 0;
+  };
+
+  /// RAII in-flight-ingest marker: BeginTenantMigration waits for these to
+  /// drain after pinning, so its session enumeration is complete.
+  class IngestGate;
+
+  Result<Route> FindRoute(GlobalSessionId id) const;
+
+  /// Mints the next opaque id: current router epoch (high 16) | counter.
+  GlobalSessionId MintSessionId();
+
+  /// Runs \p fn under \p shard's shared lock with lock-wait timing and
+  /// queue-depth accounting.
+  template <typename Fn>
+  auto ReadOnShard(const Shard& shard, Fn&& fn) const;
 
   /// In-memory ingest: one exclusive-lock section, I/O attributed by the
   /// device write-counter delta.
@@ -197,16 +324,66 @@ class ShardedCatalog {
                                         const streams::Recording& recording,
                                         obs::Trace* trace,
                                         IngestIoStats* io_stats);
+  /// Shard-level ingest dispatch (no routing, no metrics) — the normal
+  /// ingest path and the migrator's copy step share it.
+  Result<core::SessionId> IngestOnShard(Shard& shard, const std::string& name,
+                                        const streams::Recording& recording,
+                                        obs::Trace* trace,
+                                        IngestIoStats* io_stats);
+
   /// Re-publishes the catalog-wide WAL-lag gauge from the per-shard
   /// atomics (no-op without a metrics registry or on the mem backend).
   void PublishWalLag();
+  /// Re-publishes the max-over-shards lock-wait p99 gauge.
+  void PublishShardHealth();
+
+  /// Inserts a freshly minted route (and its by-client index entry).
+  void RegisterRoute(GlobalSessionId id, ClientId client, size_t shard,
+                     core::SessionId local);
+
+  // ---- Routing journal (durable backend only) ---------------------------
+
+  /// Appends one record as its own committed journal transaction; the
+  /// append is durable when this returns OK. No-op in-memory.
+  Status JournalAppend(const std::vector<uint8_t>& blob);
+  Status JournalRouteAdd(GlobalSessionId id, ClientId client, size_t shard,
+                         core::SessionId local);
+  Status JournalMigrationBegin(ClientId client, size_t target_shard);
+  Status JournalRouteMove(GlobalSessionId id, size_t target_shard,
+                          core::SessionId target_local);
+  Status JournalMigrationCommit(ClientId client, size_t target_shard);
+
+  /// Opens `<path>/routes.wal`, replays it into the route table (validated
+  /// against what shard recovery actually restored), adopts orphaned shard
+  /// sessions that never got a durable route (their ingests were never
+  /// acknowledged), and rewrites the journal as one compact snapshot
+  /// transaction. Sets init error state on failure.
+  Status OpenAndReplayJournal(const std::string& base_path);
 
   core::AimsConfig config_;
+  std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Route table + by-client index, guarded by routes_mutex_.
+  mutable std::shared_mutex routes_mutex_;
+  std::unordered_map<GlobalSessionId, Route> routes_;
+  std::unordered_map<ClientId, std::vector<GlobalSessionId>> client_sessions_;
+  std::atomic<uint64_t> next_session_counter_{1};
+
+  /// In-flight ingest gate (see IngestGate).
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::unordered_map<ClientId, size_t> inflight_;
+
+  /// Routing journal; null on the in-memory backend.
+  std::unique_ptr<storage::durable::WriteAheadLog> journal_;
+  Status journal_status_;
+
   Counter* ingest_count_ = nullptr;
   Counter* query_count_ = nullptr;
   Counter* blocks_read_ = nullptr;
   Gauge* wal_lag_gauge_ = nullptr;
+  Gauge* shard_lock_p99_gauge_ = nullptr;
   Histogram* ingest_latency_ms_ = nullptr;
   Histogram* query_latency_ms_ = nullptr;
 };

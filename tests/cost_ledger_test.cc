@@ -177,7 +177,9 @@ TEST(CostLedgerFailureTest, FailedIngestStillChargesItsWrites) {
   AimsServer server(config);
   ASSERT_TRUE(server.OpenSession({1}).ok());
 
-  server.catalog().mutable_shard_device(0)->FailNextWrites(1);
+  server::AdminFaultRequest fault;
+  fault.fail_next_writes = 1;
+  ASSERT_TRUE(server.AdminFault(fault).ok());
   auto failed = server.IngestRecording({1, "will-fail", MakeRecording(128, 1)});
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
@@ -206,7 +208,9 @@ TEST(CostLedgerFailureTest, FailedQueryChargesTheFailedRead) {
   ASSERT_TRUE(ingest.ok());
   const size_t reads_before = server.catalog().total_blocks_read();
 
-  server.catalog().mutable_shard_device(0)->FailNextReads(1);
+  server::AdminFaultRequest fault;
+  fault.fail_next_reads = 1;
+  ASSERT_TRUE(server.AdminFault(fault).ok());
   QueryRequest query;
   query.session = ingest->session;
   query.channel = 0;

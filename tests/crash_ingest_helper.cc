@@ -6,8 +6,8 @@
 // which the process raises SIGKILL. Exit codes other than death-by-signal
 // mean the harness itself failed:
 //
-//   usage: crash_ingest_helper <dir> <mode> <clean-ingest-count>
-//   modes: clean      ingest and ack, exit 0 (no crash)
+//   usage: crash_ingest_helper <dir> <mode> <count>
+//   modes: clean      ingest <count> and ack, exit 0 (no crash)
 //          payload    die mid-group, after a payload record append
 //          precommit  die just before the commit record is appended
 //          postcommit die after the commit is durable, before pages are
@@ -16,6 +16,19 @@
 //                     present, print recovery stats as one JSON line
 //                     (exit 6 if an acknowledged ingest is missing)
 //
+// Migration modes (2-shard durable ShardedCatalog on the same <dir>,
+// exercising the routing journal's exactly-one-owner recovery):
+//          mcrash     ingest one more acked session for the migrating
+//                     tenant, arm the payload-append crash hook with
+//                     <count>, then start a live tenant migration; the
+//                     process SIGKILLs itself mid-protocol (inside the
+//                     begin/copy/route-move journal appends, depending on
+//                     <count>)
+//          mverify    recover, check every acked session is readable and
+//                     owned by EXACTLY ONE route (exit 6 on a lost ack,
+//                     exit 7 on a double owner), print stats as one JSON
+//                     line
+//
 // Re-running on the same directory continues: the ingest seed is the
 // recovered session count, so every session ever committed is
 // SessionName(0..n-1) in order — which is exactly what the parent checks.
@@ -23,20 +36,122 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "core/aims.h"
 #include "crash_test_common.h"
+#include "server/data_migrator.h"
+#include "server/sharded_catalog.h"
 #include "storage/wal.h"
+
+namespace {
+
+// The tenant the migration modes move back and forth. Any fixed id works:
+// source/target are derived from the router, never assumed.
+constexpr aims::server::ClientId kTenant = 42;
+
+// Migration-mode crash round: add one acked session so there is always
+// something to move, arm the global payload-append hook, migrate. The
+// hook fires inside the migration protocol (the begin record, a copy
+// block put, or the route-move record, depending on the armed count) and
+// the process never returns from MigrateTenant.
+int RunMigrationCrash(const std::string& dir, int payload_appends) {
+  aims::core::AimsConfig config;
+  config.durability.path = dir;
+  aims::server::ShardedCatalog catalog(2, config);
+  if (!catalog.init_status().ok()) {
+    std::cerr << "open failed: " << catalog.init_status().ToString() << "\n";
+    return 3;
+  }
+  std::ofstream acks(dir + "/macks.txt", std::ios::app);
+  if (!acks) {
+    std::cerr << "cannot open acks file\n";
+    return 3;
+  }
+  const uint32_t seed = static_cast<uint32_t>(catalog.total_sessions());
+  auto id = catalog.Ingest(kTenant, aims::crashtest::SessionName(seed),
+                           aims::crashtest::MakeRecording(seed));
+  if (!id.ok()) {
+    std::cerr << "ingest failed: " << id.status().ToString() << "\n";
+    return 4;
+  }
+  acks << aims::crashtest::SessionName(seed) << "\n" << std::flush;
+
+  // A crashed round never commits, so no pin survives recovery and the
+  // ring places the tenant on its home shard; migrate to the other one.
+  const size_t source = catalog.router().ShardForClient(kTenant);
+  const size_t target = 1 - source;
+  aims::storage::durable::testing::SetCrashAfterPayloadAppends(payload_appends);
+  aims::server::DataMigrator migrator(&catalog);
+  aims::Status status = migrator.MigrateTenant(kTenant, target);
+  std::cerr << "crash hook did not fire (migration "
+            << (status.ok() ? "succeeded" : status.ToString()) << ")\n";
+  return 5;
+}
+
+// Migration-mode verify: recover the catalog (shard WALs + routing
+// journal), then check the exactly-one-owner invariant — every
+// acknowledged session is present EXACTLY once and answers reads.
+int RunMigrationVerify(const std::string& dir) {
+  aims::core::AimsConfig config;
+  config.durability.path = dir;
+  aims::server::ShardedCatalog catalog(2, config);
+  if (!catalog.init_status().ok()) {
+    std::cerr << "open failed: " << catalog.init_status().ToString() << "\n";
+    return 3;
+  }
+  std::map<std::string, size_t> owners;
+  size_t unreadable = 0;
+  for (const auto& entry : catalog.ListSessions()) {
+    owners[entry.info.name] += 1;
+    auto channel = catalog.ReadChannel(entry.id, 0);
+    if (!channel.ok() || channel->size() != entry.info.num_frames) {
+      ++unreadable;
+      std::cerr << "session " << entry.info.name << " unreadable\n";
+    }
+  }
+  size_t acked = 0, missing = 0, doubled = 0;
+  std::ifstream acks_in(dir + "/macks.txt");
+  std::string ack;
+  while (std::getline(acks_in, ack)) {
+    if (ack.empty()) continue;
+    ++acked;
+    auto it = owners.find(ack);
+    if (it == owners.end()) {
+      ++missing;
+      std::cerr << "acknowledged ingest " << ack << " lost\n";
+    } else if (it->second != 1) {
+      ++doubled;
+      std::cerr << "acknowledged ingest " << ack << " has " << it->second
+                << " owners\n";
+    }
+  }
+  auto shard_stats = catalog.ShardStats();
+  std::cout << "{\"sessions\": " << catalog.total_sessions()
+            << ", \"acked\": " << acked << ", \"acked_missing\": " << missing
+            << ", \"double_owned\": " << doubled
+            << ", \"unreadable\": " << unreadable
+            << ", \"shard0_sessions\": " << shard_stats[0].sessions
+            << ", \"shard1_sessions\": " << shard_stats[1].sessions << "}\n";
+  if (missing > 0 || unreadable > 0) return 6;
+  if (doubled > 0) return 7;
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 4) {
-    std::cerr << "usage: crash_ingest_helper <dir> <mode> <clean-count>\n";
+    std::cerr << "usage: crash_ingest_helper <dir> <mode> <count>\n";
     return 2;
   }
   const std::string dir = argv[1];
   const std::string mode = argv[2];
   const int clean = std::atoi(argv[3]);
+
+  if (mode == "mcrash") return RunMigrationCrash(dir, clean);
+  if (mode == "mverify") return RunMigrationVerify(dir);
 
   aims::core::AimsConfig config;
   config.durability.path = dir;

@@ -559,16 +559,25 @@ TEST(DurableCatalog, PerShardStoresSurviveReopen) {
     server::ShardedCatalog catalog(2, config);
     ASSERT_TRUE(catalog.init_status().ok());
     ASSERT_TRUE(catalog.durable());
-    auto a = catalog.Ingest(/*client=*/0, "c0", MakeRecording(200, 1, 7));
+    // Pick one tenant per shard (placement is the router's, not modulo).
+    server::ClientId on_shard0 = 0, on_shard1 = 0;
+    for (server::ClientId c = 0; c < 64; ++c) {
+      (catalog.router().ShardForClient(c) == 0 ? on_shard0 : on_shard1) = c;
+    }
+    ASSERT_NE(catalog.router().ShardForClient(on_shard0),
+              catalog.router().ShardForClient(on_shard1));
+    auto a = catalog.Ingest(on_shard0, "c0", MakeRecording(200, 1, 7));
     ASSERT_TRUE(a.ok()) << a.status().ToString();
-    auto b = catalog.Ingest(/*client=*/1, "c1", MakeRecording(200, 1, 8));
+    auto b = catalog.Ingest(on_shard1, "c1", MakeRecording(200, 1, 8));
     ASSERT_TRUE(b.ok());
-    // Clients 0 and 1 land on different shards -> different stores.
     EXPECT_TRUE(std::filesystem::exists(dir + "/shard_0/pages.aims"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/shard_1/pages.aims"));
+    // Shard WALs only — the routing journal keeps its own books.
     obs::WalStats total = catalog.TotalWalStats();
     EXPECT_EQ(total.commits, 2u);
   }
+  // Reopen replays both shard stores AND the routing journal: the same
+  // opaque ids resolve to the same sessions.
   server::ShardedCatalog reopened(2, config);
   ASSERT_TRUE(reopened.init_status().ok());
   EXPECT_EQ(reopened.total_sessions(), 2u);

@@ -816,6 +816,63 @@ TEST(AimsServerFacadeTest, GetHealthReportsThroughTypedApi) {
   EXPECT_FALSE(after->reporter_running);
 }
 
+TEST(PrometheusExportTest, ShardFamilyExportsLabelledSeries) {
+  MetricsRegistry registry;
+  std::vector<ShardStatsEntry> shards(2);
+  shards[0].shard = 0;
+  shards[0].sessions = 3;
+  shards[0].tenants = 2;
+  shards[0].ingests = 5;
+  shards[0].queries = 11;
+  shards[0].lock_wait_p99_ms = 1.25;
+  shards[0].wal_lag_bytes = 4096;
+  shards[0].queue_depth = 1;
+  shards[1].shard = 1;
+  shards[1].sessions = 1;
+  std::string out = PrometheusExport(registry, nullptr, nullptr, nullptr,
+                                     nullptr, &shards);
+  EXPECT_NE(out.find("# TYPE aims_shard_sessions gauge"), std::string::npos);
+  EXPECT_NE(out.find("aims_shard_sessions{shard=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(out.find("aims_shard_sessions{shard=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("aims_shard_tenants{shard=\"0\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("aims_shard_ingests_total{shard=\"0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_shard_queries_total{shard=\"0\"} 11"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_shard_lock_wait_p99_ms{shard=\"0\"} 1.25"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_shard_wal_lag_bytes{shard=\"0\"} 4096"),
+            std::string::npos);
+  EXPECT_NE(out.find("aims_shard_queue_depth{shard=\"0\"} 1"),
+            std::string::npos);
+  // Omitted entirely when no snapshot is passed.
+  EXPECT_EQ(PrometheusExport(registry, nullptr).find("aims_shard_"),
+            std::string::npos);
+}
+
+TEST(StatsReporterTest, JudgesShardLockP99AgainstTarget) {
+  MetricsRegistry registry;
+  Gauge* p99_us = registry.GetGauge("catalog.shard_lock_p99_us");
+  StatsReporterConfig config;
+  config.shard_lock_p99_target_ms = 2.0;
+  StatsReporter reporter(&registry, config);
+
+  p99_us->Set(500);  // 0.5 ms, under target
+  HealthSnapshot snap = reporter.SnapshotNow();
+  EXPECT_EQ(snap.level, HealthLevel::kOk);
+  EXPECT_DOUBLE_EQ(snap.shard_lock_p99_ms, 0.5);
+
+  p99_us->Set(3000);  // 3 ms: degraded
+  snap = reporter.SnapshotNow();
+  EXPECT_EQ(snap.level, HealthLevel::kDegraded);
+  ASSERT_EQ(snap.reasons.size(), 1u);
+  EXPECT_NE(snap.reasons[0].find("shard lock-wait p99"), std::string::npos);
+
+  p99_us->Set(9000);  // 9 ms: over 2x target
+  snap = reporter.SnapshotNow();
+  EXPECT_EQ(snap.level, HealthLevel::kSaturated);
+}
+
 // ---- Profiler -------------------------------------------------------------
 
 TEST(ProfilerTest, StageHistogramsRecordWhenCompiledIn) {

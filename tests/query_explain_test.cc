@@ -241,7 +241,7 @@ TEST(AnalyzeTest, CacheAwarePlanAndReconciliation) {
   EXPECT_EQ(usage->total.blocks_read, cold_actual.blocks_read);
 
   // Clearing the cache makes the next plan cold again.
-  server.catalog().mutable_shard_cache(0)->Clear();
+  ASSERT_TRUE(server.ClearCache({}).ok());
   auto replan = server.catalog().PlanRangeQuery(ingest->session, 0, 7, 246);
   ASSERT_TRUE(replan.ok());
   EXPECT_EQ(replan->predicted_cold_blocks, replan->predicted_blocks);

@@ -435,7 +435,8 @@ TEST(AimsServerFacadeTest, StatusCodesRoundTripThroughEnvelopes) {
   EXPECT_EQ(outcome.status.code(), StatusCode::kOutOfRange);
 
   QueryRequest bad_session;
-  bad_session.session = ShardedCatalog::MakeGlobalId(0, 12345);
+  // Ids are opaque: any value the catalog never minted is simply unknown.
+  bad_session.session = 0x12345678ull;
   bad_session.last_frame = 10;
   auto missing = server.SubmitQuery({7, bad_session});
   ASSERT_TRUE(missing.ok());

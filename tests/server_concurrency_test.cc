@@ -50,18 +50,41 @@ double ChannelSum(const streams::Recording& rec, size_t channel) {
   return sum;
 }
 
-TEST(ShardedCatalogTest, GlobalIdRoundTrip) {
-  GlobalSessionId id = ShardedCatalog::MakeGlobalId(3, 41);
-  EXPECT_EQ(ShardedCatalog::ShardOf(id), 3u);
-  EXPECT_EQ(ShardedCatalog::LocalId(id), 41u);
+TEST(ShardedCatalogTest, SessionIdsAreOpaqueAndDistinct) {
+  ShardedCatalog catalog(4);
+  streams::Recording rec = MakeRecording(16, 1, 1.0);
+  auto a = catalog.Ingest(0, "a", rec);
+  auto b = catalog.Ingest(9, "b", rec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*a, 0u);  // 0 is never minted.
+  // Ids resolve through the route table, not by decoding bits: an id the
+  // catalog never minted is NotFound even if its bit pattern "looks like"
+  // a plausible shard/local encoding.
+  EXPECT_EQ(catalog.GetSession(0x0003000000000029ull).status().code(),
+            StatusCode::kNotFound);
 }
 
-TEST(ShardedCatalogTest, ClientsSpreadAcrossShards) {
+TEST(ShardedCatalogTest, PlacementComesFromTheRouter) {
   ShardedCatalog catalog(4);
   EXPECT_EQ(catalog.num_shards(), 4u);
-  EXPECT_EQ(catalog.ShardForClient(0), 0u);
-  EXPECT_EQ(catalog.ShardForClient(5), 1u);
-  EXPECT_EQ(catalog.ShardForClient(7), 3u);
+  streams::Recording rec = MakeRecording(16, 1, 1.0);
+  // Wherever the ring puts a tenant, its sessions land there — and the
+  // placement is a router decision, not `client % num_shards`.
+  for (ClientId client : {ClientId{0}, ClientId{5}, ClientId{7}}) {
+    size_t placed = catalog.router().ShardForClient(client);
+    EXPECT_LT(placed, 4u);
+    auto id = catalog.Ingest(client, "probe", rec);
+    ASSERT_TRUE(id.ok());
+    EXPECT_TRUE(catalog.GetSession(*id).ok());
+  }
+  // The ring is deterministic: an identical router reproduces placement.
+  ShardRouter twin(4);
+  for (ClientId client = 0; client < 64; ++client) {
+    EXPECT_EQ(catalog.router().ShardForClient(client),
+              twin.ShardForClient(client));
+  }
 }
 
 TEST(ShardedCatalogTest, ParallelIngestAndQueryConsistent) {
@@ -247,7 +270,10 @@ TEST(IngestServiceTest, RetriesTransientWriteFaults) {
   policy.max_attempts = 3;
   IngestService service(&catalog, &pool, policy, &metrics);
 
-  catalog.mutable_shard_device(0)->FailNextWrites(1);
+  AdminFaultRequest fault;
+  fault.shard = catalog.router().ShardForClient(0);
+  fault.fail_next_writes = 1;
+  ASSERT_TRUE(catalog.ApplyFault(fault).ok());
   Result<GlobalSessionId> outcome = Status::Internal("callback never ran");
   std::promise<void> done;
   ASSERT_TRUE(service
@@ -274,7 +300,10 @@ TEST(IngestServiceTest, PersistentFaultExhaustsAttemptsAndFails) {
   policy.max_attempts = 2;
   IngestService service(&catalog, &pool, policy, &metrics);
 
-  catalog.mutable_shard_device(0)->FailNextWrites(1000);
+  AdminFaultRequest fault;
+  fault.shard = catalog.router().ShardForClient(0);
+  fault.fail_next_writes = 1000;
+  ASSERT_TRUE(catalog.ApplyFault(fault).ok());
   Result<GlobalSessionId> outcome = Status::Internal("callback never ran");
   std::promise<void> done;
   ASSERT_TRUE(service
@@ -291,7 +320,10 @@ TEST(IngestServiceTest, PersistentFaultExhaustsAttemptsAndFails) {
   EXPECT_EQ(metrics.GetCounter("ingest.retries")->value(), 1u);
   EXPECT_EQ(metrics.GetCounter("ingest.failed")->value(), 1u);
   EXPECT_EQ(catalog.total_sessions(), 0u);
-  catalog.mutable_shard_device(0)->FailNextWrites(0);
+  AdminFaultRequest disarm;
+  disarm.shard = fault.shard;
+  disarm.clear_faults = true;
+  ASSERT_TRUE(catalog.ApplyFault(disarm).ok());
 }
 
 TEST(RecognitionServiceTest, ConcurrentClientStreams) {

@@ -1,0 +1,128 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/shard_router.h"
+
+/// \file shard_router_test.cc
+/// \brief Pins the consistent-hash contract the placement-opaque API rests
+/// on: deterministic placement, reasonable spread across shards, the
+/// minimal-remap property on scale-out (N -> N+1 moves only ~1/(N+1) of
+/// tenants, all of them TO the new shard), and pin/epoch semantics the
+/// live migrator depends on.
+
+namespace aims::server {
+namespace {
+
+TEST(ShardRouterTest, PlacementIsDeterministic) {
+  ShardRouter a(4);
+  ShardRouter b(4);
+  for (ClientId client = 0; client < 512; ++client) {
+    size_t shard = a.ShardForClient(client);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, b.ShardForClient(client));
+    EXPECT_EQ(shard, a.RingShardForClient(client));  // no pins set
+  }
+}
+
+TEST(ShardRouterTest, DistinctSeedsBuildDistinctRings) {
+  ShardRouterConfig other;
+  other.hash_seed = 0x1234567812345678ull;
+  ShardRouter a(4);
+  ShardRouter b(4, other);
+  size_t differing = 0;
+  for (ClientId client = 0; client < 512; ++client) {
+    differing += a.ShardForClient(client) != b.ShardForClient(client);
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(ShardRouterTest, TenantsSpreadAcrossAllShards) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kTenants = 4096;
+  ShardRouter router(kShards);
+  std::map<size_t, size_t> counts;
+  for (ClientId client = 0; client < kTenants; ++client) {
+    counts[router.ShardForClient(client)]++;
+  }
+  ASSERT_EQ(counts.size(), kShards);
+  // 128 vnodes/shard keeps the split well away from degenerate: no shard
+  // owns less than half or more than double its fair share.
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, kTenants / (2 * kShards)) << "shard " << shard;
+    EXPECT_LT(count, kTenants / kShards * 2) << "shard " << shard;
+  }
+}
+
+// The property that justifies a ring over `client % N`: growing N -> N+1
+// remaps only the tenants whose ring successor became a new-shard point —
+// about 1/(N+1) of them, bounded here at 2/(N+1) — and every remapped
+// tenant moves TO the new shard (a ring never shuffles tenants between
+// old shards).
+TEST(ShardRouterTest, ScaleOutRemapsFewTenantsAndOnlyOntoTheNewShard) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kTenants = 10000;
+  ShardRouter router(kShards);
+  std::vector<size_t> before(kTenants);
+  for (ClientId client = 0; client < kTenants; ++client) {
+    before[client] = router.ShardForClient(client);
+  }
+  router.AddShard();
+  ASSERT_EQ(router.num_shards(), kShards + 1);
+  size_t remapped = 0;
+  for (ClientId client = 0; client < kTenants; ++client) {
+    size_t after = router.ShardForClient(client);
+    if (after != before[client]) {
+      ++remapped;
+      EXPECT_EQ(after, kShards) << "tenant " << client
+                                << " moved between pre-existing shards";
+    }
+  }
+  EXPECT_GT(remapped, 0u);
+  EXPECT_LE(remapped, 2 * kTenants / (kShards + 1));
+}
+
+TEST(ShardRouterTest, PinsOverrideTheRingAndBumpTheEpoch) {
+  ShardRouter router(4);
+  const ClientId client = 17;
+  const size_t ring_shard = router.RingShardForClient(client);
+  const size_t pinned = (ring_shard + 1) % 4;
+  const uint64_t epoch0 = router.epoch();
+  EXPECT_EQ(epoch0, 1u);
+  EXPECT_FALSE(router.PinOf(client).has_value());
+
+  router.SetPin(client, pinned);
+  EXPECT_EQ(router.ShardForClient(client), pinned);
+  EXPECT_EQ(router.RingShardForClient(client), ring_shard);  // ring untouched
+  ASSERT_TRUE(router.PinOf(client).has_value());
+  EXPECT_EQ(*router.PinOf(client), pinned);
+  EXPECT_GT(router.epoch(), epoch0);
+  ASSERT_EQ(router.Pins().size(), 1u);
+  EXPECT_EQ(router.Pins()[0].first, client);
+
+  const uint64_t epoch1 = router.epoch();
+  router.ClearPin(client);
+  EXPECT_EQ(router.ShardForClient(client), ring_shard);
+  EXPECT_FALSE(router.PinOf(client).has_value());
+  EXPECT_GT(router.epoch(), epoch1);
+}
+
+TEST(ShardRouterTest, PinsSurviveScaleOut) {
+  ShardRouter router(2);
+  router.SetPin(42, 1);
+  router.AddShard();
+  EXPECT_EQ(router.ShardForClient(42), 1u);
+  ASSERT_TRUE(router.PinOf(42).has_value());
+}
+
+TEST(ShardRouterTest, ExplicitEpochBump) {
+  ShardRouter router(2);
+  const uint64_t before = router.epoch();
+  EXPECT_EQ(router.BumpEpoch(), before + 1);
+  EXPECT_EQ(router.epoch(), before + 1);
+}
+
+}  // namespace
+}  // namespace aims::server
