@@ -16,6 +16,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -94,18 +97,10 @@ struct SweepPoint {
   double ops_per_sec = 0.0;
 };
 
-/// Runs the mixed workload against a fresh server with \p num_shards
-/// shards; every client is its own thread, as in a real multi-tenant
-/// deployment, and speaks the typed API.
-SweepPoint RunShardConfig(size_t num_shards,
-                          const std::vector<std::vector<Recording>>& work) {
-  server::ServerConfig config;
-  config.num_shards = num_shards;
-  config.num_threads = kClients;
-  config.system = BenchSystemConfig();
-  server::AimsServer srv(config);
-
-  auto start = std::chrono::steady_clock::now();
+/// Drives the mixed ingest + query workload, one thread per client, all
+/// through the typed API. Shared by the timed sweep and the admin smoke.
+void DriveClients(server::AimsServer& srv,
+                  const std::vector<std::vector<Recording>>& work) {
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([c, &srv, &work] {
@@ -131,6 +126,21 @@ SweepPoint RunShardConfig(size_t num_shards,
     });
   }
   for (auto& t : clients) t.join();
+}
+
+/// Runs the mixed workload against a fresh server with \p num_shards
+/// shards; every client is its own thread, as in a real multi-tenant
+/// deployment, and speaks the typed API.
+SweepPoint RunShardConfig(size_t num_shards,
+                          const std::vector<std::vector<Recording>>& work) {
+  server::ServerConfig config;
+  config.num_shards = num_shards;
+  config.num_threads = kClients;
+  config.system = BenchSystemConfig();
+  server::AimsServer srv(config);
+
+  auto start = std::chrono::steady_clock::now();
+  DriveClients(srv, work);
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -143,6 +153,44 @@ SweepPoint RunShardConfig(size_t num_shards,
   point.ops_per_sec =
       static_cast<double>(point.ingests + point.queries) / seconds;
   return point;
+}
+
+/// Admin-plane smoke hook for scripts/check.sh: when AIMS_ADMIN_PORT_FILE
+/// is set, stand up a server with the loopback admin endpoint on an
+/// ephemeral port, run the mixed workload once so every metric family has
+/// data, publish the bound port to the file, then hold the server alive
+/// until the harness drops a "<portfile>.done" sentinel (or 30s pass).
+/// This is what lets an external curl hit /metrics and /healthz against a
+/// live, loaded server.
+void MaybeRunAdminSmoke(const std::vector<std::vector<Recording>>& work) {
+  const char* port_file = std::getenv("AIMS_ADMIN_PORT_FILE");
+  if (port_file == nullptr || *port_file == '\0') return;
+
+  server::ServerConfig config;
+  config.num_shards = 4;
+  config.num_threads = kClients;
+  config.system = BenchSystemConfig();
+  config.obs.admin_port = 0;  // ephemeral; real port published below
+  config.obs.reporter_interval_ms = 50.0;
+  config.obs.reporter.saturation_capacity =
+      static_cast<double>(config.admission.queue_capacity);
+  server::AimsServer srv(config);
+  AIMS_CHECK(srv.admin_status().ok());
+  AIMS_CHECK(srv.admin_http() != nullptr);
+
+  std::fprintf(stderr, "bench_server: admin smoke on port %d...\n",
+               srv.admin_http()->port());
+  DriveClients(srv, work);
+
+  {
+    std::ofstream out(port_file);
+    out << srv.admin_http()->port() << "\n";
+  }
+  const std::string done_file = std::string(port_file) + ".done";
+  for (int i = 0; i < 300 && !std::filesystem::exists(done_file); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  srv.Shutdown();
 }
 
 struct RecognitionPoint {
@@ -214,6 +262,8 @@ int main() {
 
   std::fprintf(stderr, "bench_server: generating client workloads...\n");
   auto work = aims::MakeClientWorkloads();
+
+  aims::MaybeRunAdminSmoke(work);
 
   std::vector<SweepPoint> sweep;
   for (size_t shards : {1u, 2u, 4u, 8u}) {

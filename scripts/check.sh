@@ -32,8 +32,57 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   ARTIFACT_DIR="${BUILD_DIR}/bench-artifacts"
   mkdir -p "${ARTIFACT_DIR}"
-  echo "== bench smoke: bench_server =="
-  "./${BUILD_DIR}/bench/bench_server" > "${ARTIFACT_DIR}/bench_server.json"
+  echo "== bench smoke: bench_server (+ live admin endpoint curl) =="
+  # The admin smoke handshake: bench_server stands up a loaded server with
+  # the loopback admin plane, publishes the ephemeral port to a file, and
+  # holds the server alive until we drop the .done sentinel. In between we
+  # scrape /metrics and /healthz over real HTTP and validate the
+  # Prometheus exposition.
+  PORT_FILE="$(mktemp "${TMPDIR:-/tmp}/aims_admin_port.XXXXXX")"
+  rm -f "${PORT_FILE}" "${PORT_FILE}.done"
+  AIMS_ADMIN_PORT_FILE="${PORT_FILE}" "./${BUILD_DIR}/bench/bench_server" \
+    > "${ARTIFACT_DIR}/bench_server.json" &
+  BENCH_PID=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${PORT_FILE}" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${PORT_FILE}" ]]; then
+    echo "bench smoke: admin port file never appeared" >&2
+    kill "${BENCH_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  ADMIN_PORT="$(cat "${PORT_FILE}")"
+  echo "   admin plane live on 127.0.0.1:${ADMIN_PORT}"
+  curl -sf "http://127.0.0.1:${ADMIN_PORT}/metrics" \
+    > "${ARTIFACT_DIR}/admin_metrics.prom"
+  curl -sf "http://127.0.0.1:${ADMIN_PORT}/healthz" \
+    > "${ARTIFACT_DIR}/admin_healthz.json"
+  # Exposition validity: every family used below is present, and every
+  # non-comment line is "name{labels} value" with a numeric value.
+  for family in aims_build_info aims_uptime_seconds \
+      aims_catalog_ingest_count aims_shard_sessions; do
+    if ! grep -q "^${family}" "${ARTIFACT_DIR}/admin_metrics.prom"; then
+      echo "bench smoke: /metrics is missing family ${family}" >&2
+      exit 1
+    fi
+  done
+  awk '
+    /^#/ { next }
+    !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]/ {
+      print "bench smoke: bad exposition line: " $0 > "/dev/stderr"
+      bad = 1
+    }
+    END { exit bad }
+  ' "${ARTIFACT_DIR}/admin_metrics.prom"
+  grep -q '"level":' "${ARTIFACT_DIR}/admin_healthz.json" || {
+    echo "bench smoke: /healthz body has no health level" >&2
+    exit 1
+  }
+  touch "${PORT_FILE}.done"
+  wait "${BENCH_PID}"
+  rm -f "${PORT_FILE}" "${PORT_FILE}.done"
+  echo "   /metrics and /healthz scraped live (artifacts saved)"
   echo "== bench smoke: bench_observability =="
   "./${BUILD_DIR}/bench/bench_observability" "${ARTIFACT_DIR}" \
     > "${ARTIFACT_DIR}/bench_observability.json"

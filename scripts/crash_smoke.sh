@@ -41,6 +41,14 @@ for ((i = 0; i < ITERATIONS; ++i)); do
     echo "crash smoke: helper exited ${status}, expected SIGKILL (137)" >&2
     exit 1
   fi
+  # The black-box contract: the flight recorder's periodically-persisted
+  # bundle must have survived the SIGKILL. (Later rounds rotate it to
+  # .prev on reopen; either file proves survival.)
+  if [[ ! -f "${STORE}/flightrecord.json" &&
+        ! -f "${STORE}/flightrecord.json.prev" ]]; then
+    echo "crash smoke: no flight-record bundle survived the SIGKILL" >&2
+    exit 1
+  fi
   report="$("${HELPER}" "${STORE}" verify 0)"
   echo "   recovered: ${report}"
   RUNS+="${RUNS:+,
@@ -70,6 +78,15 @@ for ((i = 0; i < ITERATIONS; ++i)); do
 done
 
 mkdir -p "$(dirname "${OUT_JSON}")"
+# Preserve the last surviving bundles as artifacts next to the stats.
+for bundle in "${STORE}/flightrecord.json" "${STORE}/flightrecord.json.prev"; do
+  [[ -f "${bundle}" ]] &&
+    cp "${bundle}" "$(dirname "${OUT_JSON}")/crash_$(basename "${bundle}")"
+done
+if [[ -f "${MSTORE}/flightrecord.json" ]]; then
+  cp "${MSTORE}/flightrecord.json" \
+    "$(dirname "${OUT_JSON}")/crash_migration_flightrecord.json"
+fi
 cat > "${OUT_JSON}" <<EOF
 {
   "smoke": "crash_recovery",
@@ -83,4 +100,5 @@ cat > "${OUT_JSON}" <<EOF
 }
 EOF
 echo "== crash smoke: ${ITERATIONS} ingest + ${ITERATIONS} mid-migration kill+recover rounds, zero acked ingests lost, one owner per session =="
+echo "== flight-record bundle survived every SIGKILL =="
 echo "== recovery stats in ${OUT_JSON} =="

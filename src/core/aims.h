@@ -288,6 +288,13 @@ class AimsSystem {
   /// The write-ahead log, or nullptr on the in-memory backend.
   const storage::durable::WriteAheadLog* wal() const { return wal_.get(); }
 
+  /// \brief Arms the WAL's group-commit sync sections on \p handle (see
+  /// WriteAheadLog::SetWatchdog). No-op on the in-memory backend; the
+  /// handle must outlive this system.
+  void SetWalWatchdog(obs::Watchdog::Handle* handle) {
+    if (wal_ != nullptr) wal_->SetWatchdog(handle);
+  }
+
   /// Catalog lookup.
   Result<SessionInfo> GetSession(SessionId id) const;
   std::vector<SessionInfo> ListSessions() const;

@@ -1,11 +1,39 @@
 #include "obs/exporters.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "obs/json_util.h"
 
+// Configure-time identity; the build system defines both. Fallbacks keep
+// ad-hoc compiles (and IDE indexers) working.
+#ifndef AIMS_VERSION_STRING
+#define AIMS_VERSION_STRING "unknown"
+#endif
+#ifndef AIMS_GIT_SHA_STRING
+#define AIMS_GIT_SHA_STRING "unknown"
+#endif
+
 namespace aims::obs {
+
+namespace {
+
+// Static-initialized at obs load: process start for uptime purposes.
+const std::chrono::steady_clock::time_point kProcessEpoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const char* BuildVersion() { return AIMS_VERSION_STRING; }
+
+const char* BuildGitSha() { return AIMS_GIT_SHA_STRING; }
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kProcessEpoch)
+      .count();
+}
 
 namespace {
 
@@ -46,6 +74,13 @@ std::string PrometheusName(const std::string& name) {
 
 std::string PrometheusExport(const MetricsRegistry& registry) {
   std::string out;
+  // Identity first: every scrape says what binary produced it and for how
+  // long it has been up, before any registry content.
+  out += "# TYPE aims_build_info gauge\n";
+  out += std::string("aims_build_info{version=\"") + BuildVersion() +
+         "\",git_sha=\"" + BuildGitSha() + "\"} 1\n";
+  out += "# TYPE aims_uptime_seconds gauge\n";
+  out += "aims_uptime_seconds " + TrimmedDouble(ProcessUptimeSeconds()) + "\n";
   for (const auto& [name, c] : registry.Counters()) {
     std::string prom = PrometheusName(name);
     out += "# TYPE " + prom + " counter\n";

@@ -28,9 +28,21 @@
 
 namespace aims::obs {
 
+/// \brief Version baked in at configure time (CMake project VERSION), or
+/// "unknown" outside the CMake build.
+const char* BuildVersion();
+/// \brief Abbreviated git commit baked in at configure time, or "unknown"
+/// when the build happened outside a git checkout.
+const char* BuildGitSha();
+/// \brief Seconds since this process's obs library was initialized —
+/// the `aims_uptime_seconds` gauge. Monotonic (steady clock).
+double ProcessUptimeSeconds();
+
 /// \brief Prometheus text exposition of every registered metric, in the
 /// registry's stable name-sorted order. Metric names are sanitized
-/// (non-alphanumeric -> '_') and prefixed "aims_".
+/// (non-alphanumeric -> '_') and prefixed "aims_". The exposition leads
+/// with the `aims_build_info{version,git_sha}` identity series and the
+/// `aims_uptime_seconds` gauge, so every scrape is self-identifying.
 std::string PrometheusExport(const MetricsRegistry& registry);
 
 /// \brief Extended exposition: the registry as above, then (when non-null)

@@ -1,0 +1,415 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/json_util.h"
+
+namespace aims::obs {
+
+namespace {
+
+// Fatal-signal plumbing. The handler may run on any thread at any point,
+// so everything it touches is a process-global published with atomics: the
+// pre-serialized bundle (pointer + size into one of the recorder's two
+// stable buffers) and a fixed-size path. The handler performs only
+// async-signal-safe calls (open/write/close), then re-raises.
+std::atomic<const char*> g_signal_data{nullptr};
+std::atomic<size_t> g_signal_size{0};
+char g_signal_path[512] = {0};
+std::atomic<bool> g_signal_installed{false};
+
+void FatalSignalHandler(int signo) {
+  const char* data = g_signal_data.load(std::memory_order_acquire);
+  const size_t size = g_signal_size.load(std::memory_order_acquire);
+  if (data != nullptr && size > 0 && g_signal_path[0] != '\0') {
+    int fd = ::open(g_signal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      size_t off = 0;
+      while (off < size) {
+        ssize_t n = ::write(fd, data + off, size - off);
+        if (n <= 0) break;
+        off += static_cast<size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default action; re-raise so the process
+  // still dies with the original signal (exit code / core unchanged).
+  ::raise(signo);
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendWalJson(std::string* out, const WalStats& wal) {
+  *out += "{\"records\":" + std::to_string(wal.records) +
+          ",\"commits\":" + std::to_string(wal.commits) +
+          ",\"syncs\":" + std::to_string(wal.syncs) +
+          ",\"max_commits_per_sync\":" +
+          std::to_string(wal.max_commits_per_sync) +
+          ",\"bytes_appended\":" + std::to_string(wal.bytes_appended) +
+          ",\"lag_bytes\":" + std::to_string(wal.lag_bytes) +
+          ",\"checkpoints\":" + std::to_string(wal.checkpoints) +
+          ",\"recovered_txns\":" + std::to_string(wal.recovered_txns) +
+          ",\"recovered_records\":" + std::to_string(wal.recovered_records) +
+          ",\"discarded_bytes\":" + std::to_string(wal.discarded_bytes) + "}";
+}
+
+void AppendCacheJson(std::string* out, const CacheStats& cache) {
+  *out += "{\"hits\":" + std::to_string(cache.hits) +
+          ",\"misses\":" + std::to_string(cache.misses) +
+          ",\"evictions\":" + std::to_string(cache.evictions) +
+          ",\"invalidations\":" + std::to_string(cache.invalidations) +
+          ",\"insertions\":" + std::to_string(cache.insertions) +
+          ",\"bytes_cached\":" + std::to_string(cache.bytes_cached) +
+          ",\"blocks_cached\":" + std::to_string(cache.blocks_cached) +
+          ",\"capacity_bytes\":" + std::to_string(cache.capacity_bytes) + "}";
+}
+
+void AppendShardJson(std::string* out, const ShardStatsEntry& shard) {
+  *out += "{\"shard\":" + std::to_string(shard.shard) +
+          ",\"sessions\":" + std::to_string(shard.sessions) +
+          ",\"tenants\":" + std::to_string(shard.tenants) +
+          ",\"ingests\":" + std::to_string(shard.ingests) +
+          ",\"queries\":" + std::to_string(shard.queries) +
+          ",\"wal_lag_bytes\":" + std::to_string(shard.wal_lag_bytes) +
+          ",\"lock_wait_p50_ms\":";
+  AppendJsonDouble(out, shard.lock_wait_p50_ms);
+  *out += ",\"lock_wait_p99_ms\":";
+  AppendJsonDouble(out, shard.lock_wait_p99_ms);
+  *out += ",\"queue_depth\":" + std::to_string(shard.queue_depth) + "}";
+}
+
+void AppendWatchdogJson(std::string* out,
+                        const Watchdog::ThreadStatus& status) {
+  *out += "{\"name\":\"" + JsonEscape(status.name) + "\",\"armed\":";
+  *out += status.armed ? "true" : "false";
+  *out += ",\"stalled\":";
+  *out += status.stalled ? "true" : "false";
+  *out += ",\"ms_since_beat\":";
+  AppendJsonDouble(out, status.ms_since_beat);
+  *out += ",\"deadline_ms\":";
+  AppendJsonDouble(out, status.deadline_ms);
+  *out += "}";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.health_capacity < 1) config_.health_capacity = 1;
+  if (config_.trace_capacity < 1) config_.trace_capacity = 1;
+  if (config_.slow_query_capacity < 1) config_.slow_query_capacity = 1;
+  if (config_.event_capacity < 1) config_.event_capacity = 1;
+  if (!config_.bundle_path.empty() &&
+      ::access(config_.bundle_path.c_str(), F_OK) == 0) {
+    // A previous incarnation left a bundle — post-mortem evidence. Move it
+    // aside so this incarnation's dumps/persists never clobber it.
+    const std::string preserved = config_.bundle_path + ".prev";
+    if (::rename(config_.bundle_path.c_str(), preserved.c_str()) == 0) {
+      previous_bundle_path_ = preserved;
+    } else {
+      previous_bundle_path_ = config_.bundle_path;
+    }
+    RecordEvent("previous bundle preserved at " + previous_bundle_path_);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  Stop();
+  if (signal_installed_) {
+    // Leave the handler registered (it is process-global) but detach the
+    // buffers so it can never read freed memory; a later recorder may
+    // re-install and re-point them.
+    g_signal_data.store(nullptr, std::memory_order_release);
+    g_signal_size.store(0, std::memory_order_release);
+    g_signal_installed.store(false, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::SetContextProvider(
+    std::function<FlightContext()> provider) {
+  context_provider_ = std::move(provider);
+}
+
+void FlightRecorder::RecordHealth(const HealthSnapshot& snapshot) {
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_.push_back(snapshot);
+    while (health_.size() > config_.health_capacity) health_.pop_front();
+    trigger = snapshot.level == HealthLevel::kSaturated &&
+              prev_level_ != HealthLevel::kSaturated;
+    prev_level_ = snapshot.level;
+  }
+  // Dump outside the ring lock (it re-enters for the render).
+  if (trigger) (void)Dump("health transition to Saturated");
+}
+
+void FlightRecorder::RecordEvictedTrace(const Trace& trace) {
+  std::string json = trace.ToJson();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++evicted_trace_total_;
+  evicted_traces_.push_back(std::move(json));
+  while (evicted_traces_.size() > config_.trace_capacity) {
+    evicted_traces_.pop_front();
+  }
+}
+
+void FlightRecorder::RecordSlowQuery(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slow_query_total_;
+  slow_queries_.push_back(json_line);
+  while (slow_queries_.size() > config_.slow_query_capacity) {
+    slow_queries_.pop_front();
+  }
+}
+
+void FlightRecorder::RecordEvent(const std::string& what) {
+  char stamp[48];
+  std::snprintf(stamp, sizeof(stamp), "t=%.1fms ", MsSince(epoch_));
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(stamp + what);
+  while (events_.size() > config_.event_capacity) events_.pop_front();
+}
+
+std::string FlightRecorder::Render(const std::string& reason) {
+  FlightContext context;
+  if (context_provider_) context = context_provider_();
+  const double uptime_ms = MsSince(epoch_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RenderLocked(reason, uptime_ms, context);
+}
+
+std::string FlightRecorder::RenderBundle(const std::string& reason) {
+  return Render(reason);
+}
+
+std::string FlightRecorder::RenderLocked(const std::string& reason,
+                                         double uptime_ms,
+                                         const FlightContext& context) {
+  std::string out = "{\"bundle\":\"aims_flightrecord\",\"schema_version\":1,";
+  out += "\"reason\":\"" + JsonEscape(reason) + "\",\"uptime_ms\":";
+  AppendJsonDouble(&out, uptime_ms);
+  out += ",\"dumps\":" + std::to_string(dumps_.load(std::memory_order_relaxed));
+  out += ",\"persists\":" +
+         std::to_string(persists_.load(std::memory_order_relaxed));
+  out += ",\"previous_bundle\":";
+  out += previous_bundle_path_.empty()
+             ? "null"
+             : "\"" + JsonEscape(previous_bundle_path_) + "\"";
+  out += ",\"health\":[";
+  for (size_t i = 0; i < health_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += HealthSnapshotJson(health_[i]);
+  }
+  out += "],\"evicted_traces_total\":" + std::to_string(evicted_trace_total_);
+  out += ",\"evicted_traces\":[";
+  for (size_t i = 0; i < evicted_traces_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += evicted_traces_[i];
+  }
+  out += "],\"slow_queries_total\":" + std::to_string(slow_query_total_);
+  out += ",\"slow_queries\":[";
+  for (size_t i = 0; i < slow_queries_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += slow_queries_[i];
+  }
+  out += "],\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(events_[i]) + '"';
+  }
+  out += "],\"wal\":";
+  if (context.has_wal) {
+    AppendWalJson(&out, context.wal);
+  } else {
+    out += "null";
+  }
+  out += ",\"cache\":";
+  if (context.has_cache) {
+    AppendCacheJson(&out, context.cache);
+  } else {
+    out += "null";
+  }
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < context.shards.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendShardJson(&out, context.shards[i]);
+  }
+  out += "],\"watchdog\":[";
+  for (size_t i = 0; i < context.watchdog.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendWatchdogJson(&out, context.watchdog[i]);
+  }
+  out += "]}";
+
+  if (signal_installed_) {
+    // Refresh the pre-serialized fatal-signal copy: write the spare
+    // buffer, then publish it. The previously published buffer stays
+    // intact until the publish after next, so a handler racing one
+    // refresh still reads a complete bundle.
+    std::string& buffer = signal_buffers_[signal_next_];
+    buffer = out;
+    g_signal_data.store(buffer.data(), std::memory_order_release);
+    g_signal_size.store(buffer.size(), std::memory_order_release);
+    signal_next_ ^= 1;
+  }
+  return out;
+}
+
+Status FlightRecorder::WriteBundleFile(const std::string& json) {
+  // tmp + fsync + rename: a reader (or a crash) never sees a torn bundle.
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const std::string tmp = config_.bundle_path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("flight recorder: open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < json.size()) {
+    ssize_t n = ::write(fd, json.data() + off, json.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("flight recorder: write " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("flight recorder: fsync " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), config_.bundle_path.c_str()) != 0) {
+    return Status::IoError("flight recorder: rename to " +
+                           config_.bundle_path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> FlightRecorder::Dump(const std::string& reason) {
+  RecordEvent("dump: " + reason);
+  const std::string json = Render(reason);
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.bundle_path.empty()) return std::string();
+  AIMS_RETURN_NOT_OK(WriteBundleFile(json));
+  return config_.bundle_path;
+}
+
+void FlightRecorder::Start() {
+  if (config_.persist_interval_ms <= 0.0 || config_.bundle_path.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { PersistLoop(); });
+}
+
+void FlightRecorder::Stop() {
+  std::thread to_join;
+  bool was_running = false;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (running_) {
+      stop_requested_ = true;
+      to_join = std::move(thread_);
+      running_ = false;
+      was_running = true;
+    }
+  }
+  wake_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  if (was_running) {
+    // One final persist: the black box's last written state covers the
+    // shutdown itself.
+    (void)WriteBundleFile(Render("shutdown"));
+    persists_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool FlightRecorder::running() const {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  return running_;
+}
+
+void FlightRecorder::PersistLoop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.persist_interval_ms));
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_requested_) {
+    if (wake_cv_.wait_for(lock, interval, [&] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    (void)WriteBundleFile(Render("periodic persist"));
+    persists_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+Status FlightRecorder::InstallFatalSignalHandler() {
+  if (config_.bundle_path.empty()) {
+    return Status::FailedPrecondition(
+        "flight recorder: fatal-signal handler needs a bundle path");
+  }
+  bool expected = false;
+  if (!g_signal_installed.compare_exchange_strong(expected, true)) {
+    return Status::AlreadyExists(
+        "flight recorder: a fatal-signal handler is already installed in "
+        "this process");
+  }
+  std::snprintf(g_signal_path, sizeof(g_signal_path), "%s",
+                config_.bundle_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    signal_installed_ = true;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = FatalSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // One shot: the handler runs once, the default action is already
+  // restored when it re-raises.
+  action.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+  // Seed the buffer: even a crash before the first health snapshot leaves
+  // a (sparse) bundle behind.
+  (void)Render("fatal-signal seed");
+  return Status::OK();
+}
+
+size_t FlightRecorder::health_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_.size();
+}
+
+size_t FlightRecorder::traces_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_traces_.size();
+}
+
+size_t FlightRecorder::slow_queries_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_queries_.size();
+}
+
+}  // namespace aims::obs

@@ -116,20 +116,32 @@ bool AsyncLogger::Log(std::string line) {
   return true;
 }
 
-void AsyncLogger::DrainOnceLocked() {
+void AsyncLogger::Flush() {
+  // Snapshot the claim cursor first: every record whose CAS on
+  // enqueue_pos_ won before this line is part of the flush contract, even
+  // if its producer has not yet stored the cell's sequence (the publish
+  // store). A drain that only takes what is poppable right now would
+  // silently lose such a record at shutdown — the producer was told
+  // "accepted" (Log() returned true), no drop counter moved, and the line
+  // never reaches the sink. So: drain until the dequeue cursor catches the
+  // snapshot, yielding past momentarily-unpublished cells.
+  const uint64_t target = enqueue_pos_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(drain_mutex_);
   std::string line;
   bool wrote = false;
-  while (TryPop(&line)) {
-    *sink_ << line << '\n';
-    published_.fetch_add(1, std::memory_order_relaxed);
-    wrote = true;
+  while (dequeue_pos_.load(std::memory_order_relaxed) < target) {
+    if (TryPop(&line)) {
+      *sink_ << line << '\n';
+      published_.fetch_add(1, std::memory_order_relaxed);
+      wrote = true;
+    } else {
+      // Claimed but not yet published: the producer is mid-store between
+      // its CAS and its sequence release. It finishes in a bounded number
+      // of its instructions; yield until it does.
+      std::this_thread::yield();
+    }
   }
   if (wrote) sink_->flush();
-}
-
-void AsyncLogger::Flush() {
-  std::lock_guard<std::mutex> lock(drain_mutex_);
-  DrainOnceLocked();
 }
 
 void AsyncLogger::DrainLoop() {

@@ -62,14 +62,19 @@ class AsyncLogger {
   /// dropped because the ring is full or the rate limit tripped.
   bool Log(std::string line);
 
-  /// \brief Drains everything currently enqueued into the sink on the
-  /// calling thread and flushes it. Records published concurrently with
-  /// the flush may or may not be included.
+  /// \brief Blocks until every record ADMITTED before this call (every
+  /// Log() that returned true) is in the sink, then flushes it. Records
+  /// whose producers are mid-publish are waited for (bounded: a producer
+  /// finishes its publish in a handful of instructions), so a Flush
+  /// ordered after a successful Log never loses that record. Records
+  /// admitted concurrently with the flush may or may not be included.
   void Flush();
 
-  /// \brief Stops and joins the drain thread after a final drain
-  /// (idempotent). Log() keeps accepting records afterwards; they sit in
-  /// the ring until a Flush() or are lost — stop last.
+  /// \brief Stops and joins the drain thread, then runs one final
+  /// blocking Flush (idempotent) — every record accepted before Stop()
+  /// reaches the sink; none are silently dropped at shutdown. Log() keeps
+  /// accepting records afterwards; they sit in the ring until a Flush()
+  /// or are lost — stop last.
   void Stop();
 
   bool running() const;
@@ -99,8 +104,6 @@ class AsyncLogger {
   bool TryPop(std::string* line);
   bool RateAdmit();
   void DrainLoop();
-  /// Moves every poppable record to the sink; caller holds drain_mutex_.
-  void DrainOnceLocked();
 
   std::ostream* sink_;
   AsyncLogConfig config_;

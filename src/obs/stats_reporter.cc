@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "common/macros.h"
+#include "obs/json_util.h"
 
 namespace aims::obs {
 
@@ -15,6 +17,61 @@ double MsSince(std::chrono::steady_clock::time_point start,
 }
 
 }  // namespace
+
+std::string HealthSnapshotJson(const HealthSnapshot& snapshot) {
+  std::string out = "{\"sequence\":" + std::to_string(snapshot.sequence) +
+                    ",\"uptime_ms\":";
+  AppendJsonDouble(&out, snapshot.uptime_ms);
+  out += ",\"window_ms\":";
+  AppendJsonDouble(&out, snapshot.window_ms);
+  out += ",\"level\":\"";
+  out += HealthLevelName(snapshot.level);
+  out += "\",\"reasons\":[";
+  for (size_t i = 0; i < snapshot.reasons.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(snapshot.reasons[i]) + '"';
+  }
+  out += "],\"queue_saturation\":";
+  AppendJsonDouble(&out, snapshot.queue_saturation);
+  out += ",\"wal_lag_saturation\":";
+  AppendJsonDouble(&out, snapshot.wal_lag_saturation);
+  out += ",\"p99_ms\":";
+  AppendJsonDouble(&out, snapshot.p99_ms);
+  out += ",\"shard_lock_p99_ms\":";
+  AppendJsonDouble(&out, snapshot.shard_lock_p99_ms);
+  out += ",\"slow_query_per_sec\":";
+  AppendJsonDouble(&out, snapshot.slow_query_per_sec);
+  out += ",\"last_transition\":";
+  if (snapshot.last_transition.has_value()) {
+    const HealthTransition& t = *snapshot.last_transition;
+    out += "{\"sequence\":" + std::to_string(t.sequence) + ",\"uptime_ms\":";
+    AppendJsonDouble(&out, t.uptime_ms);
+    out += ",\"from\":\"";
+    out += HealthLevelName(t.from);
+    out += "\",\"to\":\"";
+    out += HealthLevelName(t.to);
+    out += "\",\"reasons\":[";
+    for (size_t i = 0; i < t.reasons.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"' + JsonEscape(t.reasons[i]) + '"';
+    }
+    out += "]}";
+  } else {
+    out += "null";
+  }
+  out += ",\"rates\":{";
+  bool first = true;
+  for (const auto& [name, rate] : snapshot.rates) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) +
+           "\":{\"value\":" + std::to_string(rate.value) + ",\"per_sec\":";
+    AppendJsonDouble(&out, rate.per_sec);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
 
 const char* HealthLevelName(HealthLevel level) {
   switch (level) {
@@ -66,10 +123,22 @@ bool StatsReporter::running() const {
   return running_;
 }
 
+void StatsReporter::SetSnapshotHook(
+    std::function<void(const HealthSnapshot&)> hook) {
+  snapshot_hook_ = std::move(hook);
+}
+
+void StatsReporter::SetWatchdogHandle(Watchdog::Handle* handle) {
+  watchdog_ = handle;
+}
+
 void StatsReporter::Loop() {
   const auto interval = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(config_.interval_ms));
+  // Armed only while the loop runs: a reporter that was never started (or
+  // was stopped) is idle, not stalled.
+  Watchdog::Scope heartbeat(watchdog_);
   std::unique_lock<std::mutex> lock(thread_mutex_);
   while (!stop_requested_) {
     // Interruptible interval wait: Stop() returns within one wakeup.
@@ -77,21 +146,38 @@ void StatsReporter::Loop() {
       return;
     }
     lock.unlock();
+    if (watchdog_ != nullptr) watchdog_->Beat();
     SnapshotNow();
     lock.lock();
   }
 }
 
 HealthSnapshot StatsReporter::SnapshotNow() {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  latest_ = ComputeLocked();
-  return latest_;
+  HealthSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    latest_ = ComputeLocked();
+    snap = latest_;
+  }
+  // Hook outside the lock: it may render/dump (flight recorder) and must
+  // not serialize against concurrent Latest() readers.
+  if (snapshot_hook_) snapshot_hook_(snap);
+  return snap;
 }
 
 HealthSnapshot StatsReporter::Latest() {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  if (latest_.sequence == 0) latest_ = ComputeLocked();
-  return latest_;
+  HealthSnapshot snap;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (latest_.sequence == 0) {
+      latest_ = ComputeLocked();
+      fresh = true;
+    }
+    snap = latest_;
+  }
+  if (fresh && snapshot_hook_) snapshot_hook_(snap);
+  return snap;
 }
 
 HealthSnapshot StatsReporter::ComputeLocked() {
@@ -199,6 +285,17 @@ HealthSnapshot StatsReporter::ComputeLocked() {
       break;
     }
   }
+  if (snap.level != prev_level_) {
+    HealthTransition transition;
+    transition.sequence = snap.sequence;
+    transition.uptime_ms = snap.uptime_ms;
+    transition.from = prev_level_;
+    transition.to = snap.level;
+    transition.reasons = snap.reasons;
+    last_transition_ = std::move(transition);
+    prev_level_ = snap.level;
+  }
+  snap.last_transition = last_transition_;
   return snap;
 }
 

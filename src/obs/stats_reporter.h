@@ -3,13 +3,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 /// \file stats_reporter.h
 /// \brief Periodic introspection over a MetricsRegistry: a background
@@ -87,6 +90,22 @@ struct CounterRate {
   double per_sec = 0.0;
 };
 
+/// \brief The most recent change of the derived health level — what
+/// /healthz and the flight recorder report as the WHY behind the current
+/// WHAT. Captured at the snapshot where the level changed; carries that
+/// snapshot's violated inputs.
+struct HealthTransition {
+  /// Sequence of the snapshot that changed the level.
+  uint64_t sequence = 0;
+  /// Reporter uptime (ms) when the transition happened.
+  double uptime_ms = 0.0;
+  HealthLevel from = HealthLevel::kOk;
+  HealthLevel to = HealthLevel::kOk;
+  /// The threshold breaches in force at transition time (empty when the
+  /// transition was a recovery to Ok).
+  std::vector<std::string> reasons;
+};
+
 /// \brief One periodic (or on-demand) evaluation of the registry.
 struct HealthSnapshot {
   /// 1-based snapshot sequence number; 0 means "no snapshot yet".
@@ -109,9 +128,17 @@ struct HealthSnapshot {
   double shard_lock_p99_ms = 0.0;
   /// Rate of slow_query_counter over the window (0 when unregistered).
   double slow_query_per_sec = 0.0;
+  /// The most recent level change, carried on every snapshot since (empty
+  /// until the level first leaves its initial Ok).
+  std::optional<HealthTransition> last_transition;
   /// Every registered counter with its per-second rate over the window.
   std::map<std::string, CounterRate> rates;
 };
+
+/// \brief One JSON object for a snapshot — the /healthz body and the
+/// flight-record bundle's health entries. Includes the last transition
+/// (or null) and the full per-counter rate map.
+std::string HealthSnapshotJson(const HealthSnapshot& snapshot);
 
 /// \brief Background snapshot thread + on-demand evaluation.
 ///
@@ -143,6 +170,16 @@ class StatsReporter {
   /// (so callers never see an empty sequence-0 report once they ask).
   HealthSnapshot Latest();
 
+  /// \brief Observer of every freshly computed snapshot (the flight
+  /// recorder's health feed). Runs on the snapshotting thread with no
+  /// reporter lock held. Set before Start(); not synchronized against
+  /// concurrent snapshots.
+  void SetSnapshotHook(std::function<void(const HealthSnapshot&)> hook);
+
+  /// \brief Heartbeat slot the periodic loop beats each iteration (armed
+  /// while the loop runs). Set before Start(); may be null.
+  void SetWatchdogHandle(Watchdog::Handle* handle);
+
   bool running() const;
   const StatsReporterConfig& config() const { return config_; }
 
@@ -162,6 +199,14 @@ class StatsReporter {
   uint64_t sequence_ = 0;
   std::map<std::string, uint64_t> prev_counters_;
   std::chrono::steady_clock::time_point prev_time_;
+  /// Level of the previous snapshot + the last change, for
+  /// HealthSnapshot::last_transition (guarded by snapshot_mutex_).
+  HealthLevel prev_level_ = HealthLevel::kOk;
+  std::optional<HealthTransition> last_transition_;
+
+  /// Set-before-Start wiring (unsynchronized by contract).
+  std::function<void(const HealthSnapshot&)> snapshot_hook_;
+  Watchdog::Handle* watchdog_ = nullptr;
 
   mutable std::mutex thread_mutex_;
   std::condition_variable wake_cv_;

@@ -25,12 +25,21 @@ std::string Trace::ToJson() const {
   return out;
 }
 
+void Tracer::SetEvictionSink(std::function<void(const Trace&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eviction_sink_ = std::move(sink);
+}
+
 void Tracer::Record(Trace trace) {
   trace.CloseOpenSpans();
   std::lock_guard<std::mutex> lock(mutex_);
   ++total_recorded_;
   traces_.push_back(std::move(trace));
   while (traces_.size() > capacity_) {
+    // The sink (flight recorder) sees the trace BEFORE it leaves the ring,
+    // and the dropped counter moves exactly once per eviction either way —
+    // capture never changes the accounting.
+    if (eviction_sink_) eviction_sink_(traces_.front());
     traces_.pop_front();
     ++dropped_;
   }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -148,8 +149,15 @@ class Tracer {
 
   /// \brief Stores a finished trace (closing any still-open spans). When
   /// the ring is full the oldest retained trace is evicted and counted in
-  /// dropped().
+  /// dropped(); an eviction sink, when set, observes it on its way out.
   void Record(Trace trace);
+
+  /// \brief Observer of every trace the ring evicts (the flight
+  /// recorder's last-chance capture). Runs under the tracer's mutex on
+  /// the recording thread: keep it cheap and NEVER call back into the
+  /// tracer from it. Eviction accounting (dropped()) is unchanged by the
+  /// sink. Set during wiring, before concurrent recording starts.
+  void SetEvictionSink(std::function<void(const Trace&)> sink);
 
   /// \brief Server-wide request-id source, shared by every traced
   /// subsystem so exported timelines never collide on id.
@@ -187,6 +195,8 @@ class Tracer {
   std::deque<Trace> traces_;
   uint64_t total_recorded_ = 0;
   uint64_t dropped_ = 0;
+  /// Guarded by mutex_; invoked under it (see SetEvictionSink).
+  std::function<void(const Trace&)> eviction_sink_;
 };
 
 }  // namespace aims::obs

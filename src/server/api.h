@@ -185,6 +185,26 @@ struct RebalanceStatusResponse {
 // catalog (sharded_catalog.h) and re-exported through this header; they
 // are part of the same façade surface.
 
+/// \brief Asks the server's flight recorder to capture a bundle now.
+///
+/// The typed twin of `GET /debug/flightrecord` on the admin plane: the
+/// recorder snapshots its ring buffers (health history, evicted traces,
+/// slow queries, events) plus live WAL/cache/shard/watchdog context.
+struct DumpFlightRecordRequest {
+  /// Free-text reason stamped into the bundle (shows up in post-mortems).
+  std::string reason = "api request";
+  /// When true and the recorder has a bundle path, also persist the
+  /// bundle to disk; when false the bundle is only rendered in-memory.
+  bool write_file = true;
+};
+
+struct DumpFlightRecordResponse {
+  /// Path the bundle was written to; empty for in-memory-only dumps.
+  std::string path;
+  /// The rendered bundle JSON.
+  std::string bundle_json;
+};
+
 /// \brief Closes the client's session (and recognition stream, if open).
 struct CloseSessionRequest {
   ClientId client = 0;

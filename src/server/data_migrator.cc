@@ -28,6 +28,10 @@ Status DataMigrator::MigrateTenant(ClientId client, size_t target_shard) {
     return Status::FailedPrecondition(
         "DataMigrator: a migration is already in progress");
   }
+  // Armed for the whole run: a migration is episodic supervised work — a
+  // copy wedged on one session must trip the watchdog, an idle migrator
+  // must not.
+  obs::Watchdog::Scope supervised(watchdog_);
   MigrationStatus progress;
   progress.state = MigrationStatus::State::kRunning;
   progress.client = client;
@@ -62,6 +66,7 @@ Status DataMigrator::MigrateTenant(ClientId client, size_t target_shard) {
     if (!moved.ok()) return fail(moved);
     ++progress.sessions_moved;
     SetStatus(progress);
+    if (watchdog_ != nullptr) watchdog_->Beat();
   }
 
   // Atomic routing flip + durable pin; the tenant now lives wholly on the

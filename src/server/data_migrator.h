@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/cost_ledger.h"
+#include "obs/watchdog.h"
 #include "server/shard_router.h"
 #include "server/sharded_catalog.h"
 
@@ -53,6 +54,12 @@ class DataMigrator {
 
   MigrationStatus status() const;
 
+  /// \brief Heartbeat slot armed for the span of each MigrateTenant run
+  /// and beaten after every migrated session, so a migration wedged on one
+  /// session's copy (shard lock, WAL) is a watchdog stall. The handle must
+  /// outlive the migrator; null (default) disables.
+  void SetWatchdog(obs::Watchdog::Handle* handle) { watchdog_ = handle; }
+
  private:
   void SetStatus(const MigrationStatus& status);
 
@@ -60,6 +67,8 @@ class DataMigrator {
   std::mutex run_mutex_;  ///< Held for a whole MigrateTenant run.
   mutable std::mutex status_mutex_;
   MigrationStatus status_;
+  /// Set at wiring time, before migrations run.
+  obs::Watchdog::Handle* watchdog_ = nullptr;
 };
 
 /// \brief One proposed tenant move.

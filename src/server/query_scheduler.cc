@@ -99,14 +99,16 @@ QueryScheduler::QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
                                MetricsRegistry* metrics,
                                obs::CostLedger* ledger,
                                obs::AsyncLogger* slow_log,
-                               double slow_query_threshold_ms)
+                               double slow_query_threshold_ms,
+                               obs::FlightRecorder* recorder)
     : catalog_(catalog),
       pool_(pool),
       config_(config),
       tracer_(tracer),
       ledger_(ledger),
       slow_log_(slow_log),
-      slow_query_threshold_ms_(slow_query_threshold_ms) {
+      slow_query_threshold_ms_(slow_query_threshold_ms),
+      recorder_(recorder) {
   AIMS_CHECK(catalog != nullptr && pool != nullptr);
   if (metrics != nullptr) {
     submitted_ = metrics->GetCounter("scheduler.submitted");
@@ -445,10 +447,14 @@ void QueryScheduler::Finish(const QueryTicketPtr& ticket,
     if (ledger_ != nullptr) {
       ledger_->ForTenant(ticket->request_.tenant)->CountSlowQuery();
     }
-    // Log() never blocks: under overload the record is dropped and the
-    // logger's drop counter ticks instead.
-    if (slow_log_ != nullptr) {
-      slow_log_->Log(QueryRecordJson(ticket->request_, outcome));
+    if (slow_log_ != nullptr || recorder_ != nullptr) {
+      std::string record = QueryRecordJson(ticket->request_, outcome);
+      // The black box keeps its own bounded copy: it survives into the
+      // post-mortem bundle after the log's sink is gone.
+      if (recorder_ != nullptr) recorder_->RecordSlowQuery(record);
+      // Log() never blocks: under overload the record is dropped and the
+      // logger's drop counter ticks instead.
+      if (slow_log_ != nullptr) slow_log_->Log(std::move(record));
     }
   }
 

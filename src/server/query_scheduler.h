@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/aims.h"
 #include "obs/cost_ledger.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "server/metrics.h"
 #include "server/sharded_catalog.h"
@@ -253,12 +254,17 @@ class QueryScheduler {
   /// \param slow_query_threshold_ms queries slower than this end to end
   /// are counted in scheduler.slow_queries and emitted (plan + actuals) to
   /// \p slow_log; 0 disables the slow-query path entirely.
+  /// \param recorder optional flight recorder (may be null): slow-query
+  /// records also land in its bounded ring, so the post-mortem bundle
+  /// carries the most recent offenders even when the async log's sink is
+  /// long gone.
   QueryScheduler(const ShardedCatalog* catalog, ThreadPool* pool,
                  SchedulerConfig config = {}, Tracer* tracer = nullptr,
                  MetricsRegistry* metrics = nullptr,
                  obs::CostLedger* ledger = nullptr,
                  obs::AsyncLogger* slow_log = nullptr,
-                 double slow_query_threshold_ms = 0.0);
+                 double slow_query_threshold_ms = 0.0,
+                 obs::FlightRecorder* recorder = nullptr);
 
   /// Waits for every admitted query to finish (the pool must still be
   /// running or already drained).
@@ -296,6 +302,7 @@ class QueryScheduler {
   obs::CostLedger* ledger_;
   obs::AsyncLogger* slow_log_;
   double slow_query_threshold_ms_;
+  obs::FlightRecorder* recorder_;
 
   mutable std::mutex queues_mutex_;
   std::deque<QueryTicketPtr> interactive_;

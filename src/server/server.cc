@@ -1,11 +1,49 @@
 #include "server/server.h"
 
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/exporters.h"
+#include "obs/json_util.h"
 
 namespace aims::server {
+
+namespace {
+
+/// One tenant's attributed costs as a JSON object (the /tenants body).
+std::string TenantUsageJson(ClientId client, const obs::TenantUsage& usage) {
+  std::string out = "{\"tenant\":" + std::to_string(client);
+  out += ",\"cpu_ns\":" + std::to_string(usage.cpu_ns);
+  out += ",\"blocks_read\":" + std::to_string(usage.blocks_read);
+  out += ",\"blocks_written\":" + std::to_string(usage.blocks_written);
+  out += ",\"bytes_read\":" + std::to_string(usage.bytes_read);
+  out += ",\"bytes_written\":" + std::to_string(usage.bytes_written);
+  out += ",\"queue_ms\":" + obs::TrimmedDouble(usage.queue_ms);
+  out += ",\"queries\":" + std::to_string(usage.queries);
+  out += ",\"ingests\":" + std::to_string(usage.ingests);
+  out += ",\"stream_batches\":" + std::to_string(usage.stream_batches);
+  out += ",\"slow_queries\":" + std::to_string(usage.slow_queries);
+  out += ",\"rejected\":" + std::to_string(usage.rejected);
+  out += "}";
+  return out;
+}
+
+/// Maps a typed-API failure onto the admin plane: the status message as a
+/// JSON error body, NotFound as 404 and everything else as 503 (the admin
+/// plane has no write paths, so failures are "not here" or "not now").
+obs::AdminResponse AdminError(const Status& status) {
+  obs::AdminResponse response;
+  response.status = status.code() == StatusCode::kNotFound ? 404 : 503;
+  response.body =
+      "{\"error\":\"" + obs::JsonEscape(status.message()) + "\"}\n";
+  return response;
+}
+
+}  // namespace
 
 AimsServer::AimsServer(ServerConfig config)
     : config_(config),
@@ -31,6 +69,19 @@ AimsServer::AimsServer(ServerConfig config)
                     ? std::make_unique<obs::AsyncLogger>(
                           slow_log_stream_.get(), config.obs.slow_query_log)
                     : nullptr),
+      // The black box. An unset bundle path defaults next to the durable
+      // store (the natural "where the post-mortem lives" place); on the
+      // in-memory backend it stays empty and the recorder renders bundles
+      // without persisting them.
+      recorder_([&]() -> std::unique_ptr<obs::FlightRecorder> {
+        if (!config.obs.enable_flight_recorder) return nullptr;
+        obs::FlightRecorderConfig fr = config.obs.flight_recorder;
+        if (fr.bundle_path.empty() && !config.system.durability.path.empty()) {
+          fr.bundle_path =
+              config.system.durability.path + "/flightrecord.json";
+        }
+        return std::make_unique<obs::FlightRecorder>(fr);
+      }()),
       catalog_(std::make_unique<ShardedCatalog>(
           config.num_shards, config.system,
           config.obs.enable_metrics ? metrics_.get() : nullptr)),
@@ -46,7 +97,8 @@ AimsServer::AimsServer(ServerConfig config)
           config.obs.enable_tracing ? tracer_.get() : nullptr,
           config.obs.enable_metrics ? metrics_.get() : nullptr,
           config.obs.enable_cost_ledger ? cost_ledger_.get() : nullptr,
-          slow_log_.get(), config.obs.slow_query_threshold_ms)),
+          slow_log_.get(), config.obs.slow_query_threshold_ms,
+          recorder_.get())),
       recognition_(std::make_unique<RecognitionService>(
           &vocabulary_, config.recognizer,
           config.obs.enable_metrics ? metrics_.get() : nullptr)) {
@@ -56,7 +108,83 @@ AimsServer::AimsServer(ServerConfig config)
   }
   reporter_ =
       std::make_unique<obs::StatsReporter>(metrics_.get(), reporter_config);
+
+  // Watchdog: always constructed (supervised sections register
+  // unconditionally and tests drive CheckNow); the checker thread only
+  // runs when a cadence was configured.
+  obs::WatchdogConfig watchdog_config;
+  if (config.obs.watchdog_interval_ms > 0.0) {
+    watchdog_config.check_interval_ms = config.obs.watchdog_interval_ms;
+  }
+  watchdog_config.deadline_ms = config.obs.watchdog_deadline_ms;
+  watchdog_ = std::make_unique<obs::Watchdog>(
+      watchdog_config, config.obs.enable_metrics
+                           ? metrics_->GetCounter("watchdog.stalls_total")
+                           : nullptr);
+  pool_->SetWatchdog(watchdog_->Register("thread_pool"));
+  reporter_->SetWatchdogHandle(watchdog_->Register("stats_reporter"));
+  catalog_->SetWalWatchdog(watchdog_->Register("wal_sync"));
+  migrator_->SetWatchdog(watchdog_->Register("migrator"));
+
+  if (recorder_ != nullptr) {
+    // Every rendered bundle carries point-in-time WAL/cache/shard/watchdog
+    // context next to the retained history.
+    recorder_->SetContextProvider([this] {
+      obs::FlightContext context;
+      if (catalog_->durable()) {
+        context.has_wal = true;
+        context.wal = catalog_->TotalWalStats();
+      }
+      context.has_cache = true;
+      context.cache = catalog_->TotalCacheStats();
+      context.shards = catalog_->ShardStats();
+      context.watchdog = watchdog_->Status();
+      return context;
+    });
+    // Feeds: the tracer's evictions, the reporter's health snapshots, the
+    // watchdog's stall episodes (the latter also trigger a dump).
+    if (config.obs.enable_tracing) {
+      tracer_->SetEvictionSink([recorder = recorder_.get()](
+                                   const Trace& trace) {
+        recorder->RecordEvictedTrace(trace);
+      });
+    }
+    reporter_->SetSnapshotHook(
+        [recorder = recorder_.get()](const obs::HealthSnapshot& snapshot) {
+          recorder->RecordHealth(snapshot);
+        });
+    watchdog_->SetStallCallback(
+        [recorder = recorder_.get()](const obs::Watchdog::ThreadStatus& s) {
+          (void)recorder->Dump("watchdog stall: " + s.name);
+        });
+    if (!recorder_->previous_bundle_path().empty()) {
+      // Recovery-on-open: point at the previous incarnation's evidence
+      // instead of silently clobbering it.
+      std::fprintf(stderr,
+                   "aims: previous flight-record bundle preserved at %s\n",
+                   recorder_->previous_bundle_path().c_str());
+    }
+    if (config.obs.flight_fatal_signal_handler) {
+      // Best-effort: a second server in the process (or a sanitizer that
+      // owns these signals) simply goes without the crash hook.
+      (void)recorder_->InstallFatalSignalHandler();
+    }
+    recorder_->Start();
+  }
+
+  if (config.obs.watchdog_interval_ms > 0.0) watchdog_->Start();
   if (config.obs.reporter_interval_ms > 0.0) reporter_->Start();
+
+  if (config.obs.admin_port >= 0) {
+    obs::AdminHttpConfig admin_config = config.obs.admin;
+    admin_config.port = config.obs.admin_port;
+    admin_ = std::make_unique<obs::AdminHttpServer>(admin_config);
+    WireAdminRoutes();
+    // A failed bind (port in use) degrades to "no admin plane", recorded
+    // in admin_status_ — the data plane never pays for the operator port.
+    admin_status_ = admin_->Start();
+    if (!admin_status_.ok()) admin_.reset();
+  }
 }
 
 AimsServer::~AimsServer() { Shutdown(); }
@@ -335,6 +463,21 @@ Result<RebalanceStatusResponse> AimsServer::RebalanceStatus(
   return response;
 }
 
+Result<DumpFlightRecordResponse> AimsServer::DumpFlightRecord(
+    const DumpFlightRecordRequest& request) {
+  if (recorder_ == nullptr) {
+    return Status::FailedPrecondition(
+        "DumpFlightRecord: flight recorder disabled "
+        "(ObsConfig::enable_flight_recorder)");
+  }
+  DumpFlightRecordResponse response;
+  if (request.write_file && !recorder_->bundle_path().empty()) {
+    AIMS_ASSIGN_OR_RETURN(response.path, recorder_->Dump(request.reason));
+  }
+  response.bundle_json = recorder_->RenderBundle(request.reason);
+  return response;
+}
+
 Result<AdminFaultResponse> AimsServer::AdminFault(
     const AdminFaultRequest& request) {
   return catalog_->ApplyFault(request);
@@ -365,20 +508,153 @@ Result<CloseSessionResponse> AimsServer::CloseSession(
   return response;
 }
 
+void AimsServer::WireAdminRoutes() {
+  // /metrics: the extended Prometheus exposition, honoring the same
+  // enable flags as the typed API — a disabled subsystem simply
+  // contributes no families.
+  admin_->Route("/metrics", [this](const obs::AdminRequest&) {
+    obs::AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    std::optional<obs::CacheStats> cache;
+    std::optional<obs::WalStats> wal;
+    if (config_.obs.enable_cache_stats) cache = catalog_->TotalCacheStats();
+    if (config_.obs.enable_wal_stats && catalog_->durable()) {
+      wal = catalog_->TotalWalStats();
+    }
+    std::vector<obs::ShardStatsEntry> shards = catalog_->ShardStats();
+    response.body = obs::PrometheusExport(
+        *metrics_, config_.obs.enable_tracing ? tracer_.get() : nullptr,
+        config_.obs.enable_cost_ledger ? cost_ledger_.get() : nullptr,
+        cache.has_value() ? &*cache : nullptr,
+        wal.has_value() ? &*wal : nullptr, &shards);
+    return response;
+  });
+
+  // /healthz: 200 while Ok/Degraded, 503 once Saturated — the load
+  // balancer contract. "?refresh" (or any query naming it) forces an
+  // on-demand evaluation; so does a reporter that has never snapshotted.
+  admin_->Route("/healthz", [this](const obs::AdminRequest& request) {
+    obs::AdminResponse response;
+    obs::HealthSnapshot snapshot =
+        request.query.find("refresh") != std::string::npos
+            ? reporter_->SnapshotNow()
+            : reporter_->Latest();
+    if (snapshot.sequence == 0) snapshot = reporter_->SnapshotNow();
+    if (snapshot.level == obs::HealthLevel::kSaturated) response.status = 503;
+    response.body = obs::HealthSnapshotJson(snapshot) + "\n";
+    return response;
+  });
+
+  // /shards: the GetShardStats surface as JSON.
+  admin_->Route("/shards", [this](const obs::AdminRequest&) {
+    obs::AdminResponse response;
+    std::string body =
+        "{\"router_epoch\":" + std::to_string(catalog_->router().epoch()) +
+        ",\"shards\":[";
+    bool first = true;
+    for (const obs::ShardStatsEntry& s : catalog_->ShardStats()) {
+      if (!first) body += ",";
+      first = false;
+      body += "{\"shard\":" + std::to_string(s.shard) +
+              ",\"sessions\":" + std::to_string(s.sessions) +
+              ",\"tenants\":" + std::to_string(s.tenants) +
+              ",\"ingests\":" + std::to_string(s.ingests) +
+              ",\"queries\":" + std::to_string(s.queries) +
+              ",\"lock_wait_p50_ms\":" +
+              obs::TrimmedDouble(s.lock_wait_p50_ms) +
+              ",\"lock_wait_p99_ms\":" +
+              obs::TrimmedDouble(s.lock_wait_p99_ms) +
+              ",\"wal_lag_bytes\":" + std::to_string(s.wal_lag_bytes) +
+              ",\"queue_depth\":" + std::to_string(s.queue_depth) + "}";
+    }
+    response.body = body + "]}\n";
+    return response;
+  });
+
+  // /tenants and /tenants/<id>: the GetTenantUsage surface as JSON
+  // (404 for an uncharged tenant, 503 while the ledger is disabled).
+  auto tenants = [this](std::optional<ClientId> client) {
+    GetTenantUsageRequest request;
+    request.client = client;
+    Result<GetTenantUsageResponse> result = GetTenantUsage(request);
+    if (!result.ok()) return AdminError(result.status());
+    obs::AdminResponse response;
+    std::string body = "{\"tenants\":[";
+    bool first = true;
+    for (const TenantUsageEntry& entry : result->tenants) {
+      if (!first) body += ",";
+      first = false;
+      body += TenantUsageJson(entry.client, entry.usage);
+    }
+    body += "],\"total\":";
+    body += TenantUsageJson(0, result->total);
+    response.body = body + "}\n";
+    return response;
+  };
+  admin_->Route("/tenants", [tenants](const obs::AdminRequest&) {
+    return tenants(std::nullopt);
+  });
+  admin_->RoutePrefix("/tenants/", [tenants](const obs::AdminRequest& req) {
+    const std::string suffix = req.path.substr(sizeof("/tenants/") - 1);
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(suffix.c_str(), &end, 10);
+    if (suffix.empty() || end == nullptr || *end != '\0') {
+      obs::AdminResponse response;
+      response.status = 400;
+      response.body = "{\"error\":\"bad tenant id\"}\n";
+      return response;
+    }
+    return tenants(static_cast<ClientId>(id));
+  });
+
+  // /traces: the retained traces as Chrome trace_event JSON — load the
+  // body straight into Perfetto.
+  admin_->Route("/traces", [this](const obs::AdminRequest&) {
+    obs::AdminResponse response;
+    if (!config_.obs.enable_tracing) {
+      response.status = 404;
+      response.body = "{\"error\":\"tracing disabled\"}\n";
+      return response;
+    }
+    response.body = obs::ChromeTraceExport(*tracer_);
+    return response;
+  });
+
+  // /debug/flightrecord: the black box rendered on demand (in-memory:
+  // this is the only way to read it while the process lives).
+  admin_->Route("/debug/flightrecord", [this](const obs::AdminRequest&) {
+    obs::AdminResponse response;
+    if (recorder_ == nullptr) {
+      response.status = 404;
+      response.body = "{\"error\":\"flight recorder disabled\"}\n";
+      return response;
+    }
+    response.body = recorder_->RenderBundle("http request");
+    return response;
+  });
+}
+
 void AimsServer::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   // Order matters: admitted ingests and queries must finish while the pool
   // is still running; only then may the workers be joined. Services and
   // catalog are destroyed after the pool, so in-flight tasks never dangle.
-  // The reporter goes first so its thread never reads the registry while
-  // the rest of the teardown is in flight.
+  // The admin listener goes first (its handlers read everything below),
+  // then the watchdog (so winding-down components are never judged
+  // stalled), then the reporter so its thread never reads the registry
+  // while the rest of the teardown is in flight.
+  if (admin_ != nullptr) admin_->Stop();
+  if (watchdog_ != nullptr) watchdog_->Stop();
   reporter_->Stop();
   ingest_->Drain();
   scheduler_->Drain();
   // All queries have published by now, so stopping the logger (join +
   // final flush) makes every slow-query record durable before teardown.
   if (slow_log_ != nullptr) slow_log_->Stop();
+  // The recorder's shutdown bundle captures post-drain state; it stops
+  // before the pool so the final persist sees the workers' last beats.
+  if (recorder_ != nullptr) recorder_->Stop();
   pool_->Shutdown();
 }
 

@@ -6,9 +6,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/admin_http.h"
 #include "obs/cost_ledger.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/stats_reporter.h"
+#include "obs/watchdog.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
 #include "server/data_migrator.h"
@@ -88,6 +91,37 @@ struct ObsConfig {
   /// (zero-valued on the in-memory backend). Off, the health response's
   /// wal section stays default-initialized.
   bool enable_wal_stats = true;
+  /// Admin HTTP plane on 127.0.0.1: >= 0 enables (0 picks an ephemeral
+  /// port — read it back from admin_http()->port()), < 0 (default)
+  /// disables. Serves /metrics, /healthz, /shards, /tenants[/<id>],
+  /// /traces, /debug/flightrecord — all read paths with bounded admission.
+  int admin_port = -1;
+  /// Listener tuning (handler pool width, pending cap, socket timeouts).
+  /// The port field inside is overridden by admin_port.
+  obs::AdminHttpConfig admin;
+  /// Black-box flight recorder: retains recent health snapshots, evicted
+  /// traces, and slow-query records; dumps one post-mortem bundle on
+  /// Saturated transitions, watchdog stalls, and explicit requests. Off,
+  /// no recorder exists and DumpFlightRecord fails FailedPrecondition.
+  bool enable_flight_recorder = true;
+  /// Ring capacities / bundle placement / persist cadence. An empty
+  /// bundle_path defaults to "<durability.path>/flightrecord.json" on the
+  /// durable backend (in-memory rendering only otherwise); set
+  /// persist_interval_ms > 0 to keep the on-disk bundle at most one
+  /// interval stale — what makes it survive SIGKILL.
+  obs::FlightRecorderConfig flight_recorder;
+  /// Install SIGSEGV/SIGABRT handlers that write the pre-serialized
+  /// bundle with async-signal-safe calls and re-raise. Opt-in: sanitizer
+  /// builds and embedders often want those signals for themselves.
+  bool flight_fatal_signal_handler = false;
+  /// > 0 starts the watchdog checker thread on this cadence. 0 (default)
+  /// leaves stall checking on demand (Watchdog::CheckNow) — the
+  /// supervised sections still register and heartbeat either way.
+  double watchdog_interval_ms = 0.0;
+  /// Deadline for the supervised threads (pool, reporter, WAL sync
+  /// leaders, migrator): an armed heartbeat older than this is a stall —
+  /// counted in watchdog.stalls_total and dumped by the flight recorder.
+  double watchdog_deadline_ms = 5000.0;
 };
 
 /// \brief Server-wide configuration.
@@ -185,6 +219,13 @@ class AimsServer {
   Result<RebalanceStatusResponse> RebalanceStatus(
       const RebalanceStatusRequest& request);
 
+  /// \brief Renders (and, unless the request says otherwise, writes) the
+  /// flight recorder's post-mortem bundle on demand — the typed-API
+  /// trigger next to the HTTP and automatic ones. FailedPrecondition when
+  /// the recorder is disabled.
+  Result<DumpFlightRecordResponse> DumpFlightRecord(
+      const DumpFlightRecordRequest& request);
+
   /// \brief Typed fault injection / counter reset against one shard's
   /// device (replaces reaching into catalog().mutable_shard_device()).
   Result<AdminFaultResponse> AdminFault(const AdminFaultRequest& request);
@@ -212,6 +253,15 @@ class AimsServer {
   /// The async slow-query logger, or null when slow-query logging is not
   /// configured (threshold 0 or empty path).
   obs::AsyncLogger* slow_query_log() { return slow_log_.get(); }
+  /// The black-box recorder, or null when disabled.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  /// Always constructed; its checker thread runs only when
+  /// ObsConfig::watchdog_interval_ms > 0.
+  obs::Watchdog& watchdog() { return *watchdog_; }
+  /// The admin HTTP listener, or null when ObsConfig::admin_port < 0.
+  obs::AdminHttpServer* admin_http() { return admin_.get(); }
+  /// OK, or why the admin listener failed to start (port in use, ...).
+  const Status& admin_status() const { return admin_status_; }
   const ServerConfig& config() const { return config_; }
 
   /// \brief Drains admitted ingests and queries, then stops the executor.
@@ -223,6 +273,10 @@ class AimsServer {
     bool recognition = false;
   };
 
+  /// Builds the admin plane's routing table (called once at construction
+  /// when admin_port >= 0; all routes are read paths over the members).
+  void WireAdminRoutes();
+
   ServerConfig config_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
@@ -231,6 +285,10 @@ class AimsServer {
   // still publish records, and the logger flushes into the stream.
   std::unique_ptr<std::ofstream> slow_log_stream_;
   std::unique_ptr<obs::AsyncLogger> slow_log_;
+  // The black box outlives (is declared before) every component that
+  // feeds it — scheduler, tracer sink, reporter hook, watchdog callback.
+  // Shutdown stops its persist thread before those wind down.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<ShardedCatalog> catalog_;
   // Declared before the pool: rebalance tasks run on the pool and touch
   // the migrator, and the pool joins its workers before either dies.
@@ -241,6 +299,14 @@ class AimsServer {
   recognition::Vocabulary vocabulary_;
   std::unique_ptr<RecognitionService> recognition_;
   std::unique_ptr<obs::StatsReporter> reporter_;
+  // The watchdog owns every heartbeat handle; Shutdown() silences all
+  // beaters (pool joined, reporter stopped, drains done) before members
+  // are destroyed, so its position only needs to follow what its STALL
+  // CALLBACK reads (the recorder). Admin listener last: its handlers read
+  // everything above, so it is destroyed (and stopped) first.
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::AdminHttpServer> admin_;
+  Status admin_status_;
 
   mutable std::mutex sessions_mutex_;
   std::unordered_map<ClientId, SessionState> sessions_;

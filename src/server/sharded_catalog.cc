@@ -531,6 +531,14 @@ size_t ShardedCatalog::total_sessions() const {
   return routes_.size();
 }
 
+void ShardedCatalog::SetWalWatchdog(obs::Watchdog::Handle* handle) {
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    shard->system.SetWalWatchdog(handle);
+  }
+  if (journal_ != nullptr) journal_->SetWatchdog(handle);
+}
+
 obs::WalStats ShardedCatalog::TotalWalStats() const {
   obs::WalStats total;
   for (const auto& shard : shards_) {

@@ -215,6 +215,14 @@ class ShardedCatalog {
   /// "catalog.shard_lock_p99_us" gauge the StatsReporter watches.
   std::vector<obs::ShardStatsEntry> ShardStats() const;
 
+  /// \brief Arms every shard WAL's (and the routing journal's) group-
+  /// commit sync sections on one shared heartbeat slot: concurrent sync
+  /// leaders each open a scope, so the handle stays armed while ANY fsync
+  /// is in flight and a wedged device shows up as a watchdog stall. No-op
+  /// on the in-memory backend. Wire before traffic; the handle must
+  /// outlive the catalog.
+  void SetWalWatchdog(obs::Watchdog::Handle* handle);
+
   // ---- Typed admin surface ----------------------------------------------
 
   /// \brief Fault injection / counter reset against one shard's device.

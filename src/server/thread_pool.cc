@@ -39,6 +39,17 @@ void ThreadPool::Shutdown() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // A joined pool is idle, not stalled: hand the arm back.
+  obs::Watchdog::Handle* handle =
+      watchdog_.exchange(nullptr, std::memory_order_acq_rel);
+  if (handle != nullptr) handle->Disarm();
+}
+
+void ThreadPool::SetWatchdog(obs::Watchdog::Handle* handle) {
+  if (handle != nullptr) handle->Arm();
+  obs::Watchdog::Handle* previous =
+      watchdog_.exchange(handle, std::memory_order_acq_rel);
+  if (previous != nullptr) previous->Disarm();
 }
 
 size_t ThreadPool::queued() const {
@@ -51,12 +62,19 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return !queue_.empty() || shutting_down_; });
+      // Bounded wait instead of an open-ended one so an IDLE worker still
+      // heartbeats: only a pool where every worker is wedged goes quiet.
+      while (queue_.empty() && !shutting_down_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(500));
+        BeatWatchdog();
+      }
       if (queue_.empty()) return;  // Shutting down and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    BeatWatchdog();
     task();
+    BeatWatchdog();
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -7,6 +8,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/watchdog.h"
 
 /// \file thread_pool.h
 /// \brief Fixed-size task executor for the service runtime. The paper's
@@ -47,14 +50,27 @@ class ThreadPool {
   /// Tasks enqueued but not yet started (diagnostic).
   size_t queued() const;
 
+  /// \brief Shared heartbeat slot for the whole pool: arms it, and every
+  /// worker beats it when it wakes and around each task. One wedged task
+  /// does not trip the deadline while its siblings still make progress —
+  /// only a pool with NO worker beating (all stuck or deadlocked) reads
+  /// as a stall. The handle must outlive the pool; null detaches.
+  void SetWatchdog(obs::Watchdog::Handle* handle);
+
  private:
   void WorkerLoop();
+  void BeatWatchdog() {
+    obs::Watchdog::Handle* handle =
+        watchdog_.load(std::memory_order_acquire);
+    if (handle != nullptr) handle->Beat();
+  }
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
+  std::atomic<obs::Watchdog::Handle*> watchdog_{nullptr};
 };
 
 }  // namespace aims::server

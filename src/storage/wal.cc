@@ -380,19 +380,27 @@ Status WriteAheadLog::WaitDurable(uint64_t ticket) {
     sync_in_progress_ = true;
     const uint64_t prev_synced = synced_commits_;
     lock.unlock();
-    if (config_.group_commit_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(config_.group_commit_ms));
-    }
-    const uint64_t covered =
-        appended_commits_.load(std::memory_order_acquire);
-    if (config_.simulated_sync_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          config_.simulated_sync_ms));
-    }
+    uint64_t covered = 0;
     Status status = Status::OK();
-    if (::fsync(fd_) != 0) {
-      status = ErrnoError("WriteAheadLog: fsync " + path_);
+    {
+      // The leader episode — window sleep + (simulated) sync + fsync — is
+      // the section a wedged device turns into a hang; arm the watchdog
+      // around exactly it. Scoped arming composes across concurrent
+      // leaders on other shards sharing the handle.
+      obs::Watchdog::Scope sync_scope(
+          watchdog_.load(std::memory_order_acquire));
+      if (config_.group_commit_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.group_commit_ms));
+      }
+      covered = appended_commits_.load(std::memory_order_acquire);
+      if (config_.simulated_sync_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.simulated_sync_ms));
+      }
+      if (::fsync(fd_) != 0) {
+        status = ErrnoError("WriteAheadLog: fsync " + path_);
+      }
     }
     lock.lock();
     sync_in_progress_ = false;

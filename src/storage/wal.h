@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "obs/wal_stats.h"
+#include "obs/watchdog.h"
 #include "storage/block_device.h"
 
 /// \file wal.h
@@ -139,6 +140,15 @@ class WriteAheadLog {
   /// \brief Snapshot of the accounting counters (the aims_wal_* family).
   obs::WalStats Stats() const;
 
+  /// \brief Heartbeat slot armed around each sync leader's group-commit
+  /// episode (window sleep + fsync), so a wedged fsync is a watchdog
+  /// stall, not a silent hang. May be null (default); the handle must
+  /// outlive the log. Scoped arming composes across shards sharing one
+  /// handle — concurrent leaders each add to the arm count.
+  void SetWatchdog(obs::Watchdog::Handle* handle) {
+    watchdog_.store(handle, std::memory_order_release);
+  }
+
   const std::string& path() const { return path_; }
   const WalConfig& config() const { return config_; }
 
@@ -179,6 +189,9 @@ class WriteAheadLog {
   std::atomic<uint64_t> lag_bytes_{0};
   std::atomic<uint64_t> checkpoints_{0};
   obs::WalStats recovery_;  ///< recovered_*/discarded from Open, immutable.
+
+  /// Set at wiring time, read by sync leaders (see SetWatchdog).
+  std::atomic<obs::Watchdog::Handle*> watchdog_{nullptr};
 };
 
 namespace testing {

@@ -1,0 +1,275 @@
+// The admin HTTP plane: the dependency-free loopback listener itself
+// (routing, parse errors, bounded admission) and its wiring into
+// AimsServer (/metrics, /healthz with the 200 -> 503 saturation flip,
+// /shards, /tenants, /traces, /debug/flightrecord). The client side here
+// is a minimal raw-socket GET — the same wire a curl smoke test speaks.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/admin_http.h"
+#include "server/server.h"
+
+namespace aims {
+namespace {
+
+using obs::AdminHttpConfig;
+using obs::AdminHttpServer;
+using obs::AdminRequest;
+using obs::AdminResponse;
+
+struct HttpReply {
+  int status = -1;  ///< -1: connect/read failed entirely.
+  std::string head;
+  std::string body;
+};
+
+/// One blocking HTTP/1.1 GET against 127.0.0.1:port. Reads to EOF — the
+/// admin plane always answers Connection: close.
+HttpReply Get(int port, const std::string& target,
+              const std::string& method = "GET") {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) != 0 || raw.size() < 12) return reply;
+  reply.status = std::atoi(raw.substr(9, 3).c_str());
+  size_t split = raw.find("\r\n\r\n");
+  reply.head = raw.substr(0, split == std::string::npos ? raw.size() : split);
+  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  return reply;
+}
+
+TEST(AdminHttpServerTest, RoutesParseErrorsAndEphemeralPort) {
+  AdminHttpServer server{AdminHttpConfig{}};  // port 0: ephemeral
+  server.Route("/ping", [](const AdminRequest& request) {
+    AdminResponse response;
+    response.body = "{\"path\":\"" + request.path + "\",\"query\":\"" +
+                    request.query + "\"}\n";
+    return response;
+  });
+  server.RoutePrefix("/items/", [](const AdminRequest& request) {
+    AdminResponse response;
+    response.body = "prefix:" + request.path;
+    return response;
+  });
+  EXPECT_EQ(server.port(), -1) << "no port before Start()";
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0) << "ephemeral port resolved";
+  EXPECT_TRUE(server.running());
+
+  // Exact route, with the query split off the path.
+  HttpReply ping = Get(server.port(), "/ping?x=1");
+  EXPECT_EQ(ping.status, 200);
+  EXPECT_NE(ping.body.find("\"path\":\"/ping\""), std::string::npos);
+  EXPECT_NE(ping.body.find("\"query\":\"x=1\""), std::string::npos);
+  EXPECT_NE(ping.head.find("Connection: close"), std::string::npos);
+
+  // Prefix route sees the full path; unknown path 404; non-GET 405.
+  EXPECT_EQ(Get(server.port(), "/items/42").body, "prefix:/items/42");
+  EXPECT_EQ(Get(server.port(), "/nope").status, 404);
+  EXPECT_EQ(Get(server.port(), "/ping", "POST").status, 405);
+  EXPECT_GE(server.requests(), 4u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(AdminHttpServerTest, OverloadAnswersCanned503InsteadOfQueueing) {
+  AdminHttpConfig config;
+  config.handler_threads = 1;
+  config.max_pending = 2;
+  AdminHttpServer server(config);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  server.Route("/block", [&](const AdminRequest&) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    AdminResponse response;
+    response.body = "{}\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // One handler wedged + two queued: every further connection must get the
+  // canned 503 immediately instead of queueing behind the data... plane.
+  std::atomic<int> served{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&] {
+      HttpReply reply = Get(server.port(), "/block");
+      if (reply.status == 200) served.fetch_add(1);
+      if (reply.status == 503) rejected.fetch_add(1);
+    });
+  }
+  // The rejects arrive while the gate is still closed — that is the point.
+  for (int i = 0; i < 1000 && server.rejected() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(server.rejected(), 1u);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (std::thread& t : clients) t.join();
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_GE(served.load(), 1) << "admitted connections still complete";
+  EXPECT_EQ(served.load() + rejected.load(), 8);
+  server.Stop();
+}
+
+// ---- The wired server endpoints -------------------------------------------
+
+server::ServerConfig AdminServerConfig() {
+  server::ServerConfig config;
+  config.num_shards = 2;
+  config.num_threads = 2;
+  config.obs.admin_port = 0;  // ephemeral
+  return config;
+}
+
+TEST(AdminEndpointsTest, MetricsHealthzShardsTenantsTracesAndFlightRecord) {
+  server::ServerConfig config = AdminServerConfig();
+  config.obs.reporter.saturation_capacity = 4.0;
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.admin_status().ok());
+  ASSERT_NE(server.admin_http(), nullptr);
+  const int port = server.admin_http()->port();
+  ASSERT_GT(port, 0);
+
+  // Generate a little attributed work so the surfaces are non-trivial.
+  ASSERT_TRUE(server.OpenSession({7}).ok());
+
+  // /metrics: valid exposition with the identity prologue and families
+  // from the extended exporter.
+  HttpReply metrics = Get(port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.head.find("text/plain"), std::string::npos);
+  EXPECT_EQ(metrics.body.rfind("# TYPE aims_build_info gauge", 0), 0u);
+  EXPECT_NE(metrics.body.find("aims_uptime_seconds "), std::string::npos);
+  EXPECT_NE(metrics.body.find("aims_shard_sessions{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("aims_tracer_traces_recorded_total"),
+            std::string::npos);
+
+  // /healthz: 200 while healthy...
+  HttpReply healthy = Get(port, "/healthz");
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_NE(healthy.body.find("\"level\":\"Ok\""), std::string::npos);
+
+  // ...and 503 the moment the watched queue saturates (the load-balancer
+  // flip the ISSUE's acceptance demands).
+  server.metrics().GetGauge("ingest.queue_depth")->Set(5);  // > capacity 4
+  HttpReply saturated = Get(port, "/healthz?refresh=1");
+  EXPECT_EQ(saturated.status, 503);
+  EXPECT_NE(saturated.body.find("\"level\":\"Saturated\""),
+            std::string::npos);
+  server.metrics().GetGauge("ingest.queue_depth")->Set(0);
+  EXPECT_EQ(Get(port, "/healthz?refresh=1").status, 200);
+
+  // /shards: every shard present, with the routing epoch.
+  HttpReply shards = Get(port, "/shards");
+  EXPECT_EQ(shards.status, 200);
+  EXPECT_NE(shards.body.find("\"router_epoch\":"), std::string::npos);
+  EXPECT_NE(shards.body.find("\"shard\":0"), std::string::npos);
+  EXPECT_NE(shards.body.find("\"shard\":1"), std::string::npos);
+
+  // /tenants: the ledger surface; a specific uncharged tenant is 404 and
+  // a malformed id is 400.
+  HttpReply tenants = Get(port, "/tenants");
+  EXPECT_EQ(tenants.status, 200);
+  EXPECT_NE(tenants.body.find("\"total\":"), std::string::npos);
+  EXPECT_EQ(Get(port, "/tenants/999999").status, 404);
+  EXPECT_EQ(Get(port, "/tenants/notanumber").status, 400);
+
+  // /traces: Chrome trace JSON, loadable as-is.
+  HttpReply traces = Get(port, "/traces");
+  EXPECT_EQ(traces.status, 200);
+  EXPECT_NE(traces.body.find("\"traceEvents\""), std::string::npos);
+
+  // /debug/flightrecord: the black box rendered on demand.
+  HttpReply flight = Get(port, "/debug/flightrecord");
+  EXPECT_EQ(flight.status, 200);
+  EXPECT_NE(flight.body.find("\"bundle\":\"aims_flightrecord\""),
+            std::string::npos);
+
+  server.Shutdown();
+}
+
+TEST(AdminEndpointsTest, DisabledSubsystemsDegradeCleanly) {
+  server::ServerConfig config = AdminServerConfig();
+  config.obs.enable_tracing = false;
+  config.obs.enable_cost_ledger = false;
+  config.obs.enable_flight_recorder = false;
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.admin_status().ok());
+  const int port = server.admin_http()->port();
+
+  EXPECT_EQ(Get(port, "/metrics").status, 200);
+  EXPECT_EQ(Get(port, "/traces").status, 404);
+  EXPECT_EQ(Get(port, "/debug/flightrecord").status, 404);
+  EXPECT_EQ(Get(port, "/tenants").status, 503) << "ledger disabled";
+  EXPECT_EQ(server.flight_recorder(), nullptr);
+
+  // The typed twin fails the same way.
+  EXPECT_EQ(server.DumpFlightRecord({}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdminEndpointsTest, AdminDisabledByDefaultAndTypedDumpWorks) {
+  server::ServerConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  server::AimsServer server(config);
+  EXPECT_EQ(server.admin_http(), nullptr) << "admin_port defaults to off";
+  EXPECT_TRUE(server.admin_status().ok());
+
+  // The typed dump renders in-memory (no durable dir: no bundle path).
+  auto dumped = server.DumpFlightRecord({"typed-api test", true});
+  ASSERT_TRUE(dumped.ok());
+  EXPECT_TRUE(dumped->path.empty());
+  EXPECT_NE(dumped->bundle_json.find("\"bundle\":\"aims_flightrecord\""),
+            std::string::npos);
+  EXPECT_NE(dumped->bundle_json.find("typed-api test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aims

@@ -33,19 +33,43 @@
 // recovered session count, so every session ever committed is
 // SessionName(0..n-1) in order — which is exactly what the parent checks.
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/aims.h"
 #include "crash_test_common.h"
+#include "obs/flight_recorder.h"
 #include "server/data_migrator.h"
 #include "server/sharded_catalog.h"
 #include "storage/wal.h"
 
 namespace {
+
+// Crash modes run the black-box flight recorder on a tight persist
+// cadence, then block until its first periodic write has landed: the
+// SIGKILL below gives the process no chance to flush anything at death,
+// so the on-disk bundle the smoke script asserts on must already be
+// there. Verify modes deliberately construct NO recorder — reopening one
+// would rotate the very bundle under inspection aside.
+aims::obs::FlightRecorder* StartCrashRecorder(const std::string& dir,
+                                              const std::string& mode) {
+  aims::obs::FlightRecorderConfig config;
+  config.bundle_path = dir + "/flightrecord.json";
+  config.persist_interval_ms = 2.0;
+  // Leaked on purpose: the process dies by SIGKILL, never by destructor.
+  auto* recorder = new aims::obs::FlightRecorder(config);
+  recorder->RecordEvent("crash round armed: mode=" + mode);
+  recorder->Start();
+  while (recorder->persists() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return recorder;
+}
 
 // The tenant the migration modes move back and forth. Any fixed id works:
 // source/target are derived from the router, never assumed.
@@ -77,6 +101,8 @@ int RunMigrationCrash(const std::string& dir, int payload_appends) {
     return 4;
   }
   acks << aims::crashtest::SessionName(seed) << "\n" << std::flush;
+
+  StartCrashRecorder(dir, "mcrash");
 
   // A crashed round never commits, so no pin survives recovery and the
   // ring places the tenant on its home shard; migrate to the other one.
@@ -209,6 +235,7 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "clean") return 0;
+  StartCrashRecorder(dir, mode);
   if (mode == "payload") {
     aims::storage::durable::testing::SetCrashAfterPayloadAppends(1);
   } else if (mode == "precommit") {

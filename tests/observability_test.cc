@@ -225,6 +225,44 @@ TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsPointersValid) {
 
 // ---- Prometheus export ----------------------------------------------------
 
+// The identity prologue varies per build (version/git sha) and per call
+// (uptime); pin those three values to placeholders so golden and prefix
+// comparisons stay exact without freezing the build identity in the test.
+std::string NormalizeIdentity(std::string out) {
+  const std::string kInfo = "aims_build_info{";
+  size_t start = out.find(kInfo);
+  if (start != std::string::npos) {
+    size_t end = out.find('\n', start);
+    out.replace(start, end - start,
+                "aims_build_info{version=\"<version>\",git_sha=\"<git_sha>\"}"
+                " 1");
+  }
+  const std::string kUptime = "\naims_uptime_seconds ";
+  size_t value = out.find(kUptime);
+  if (value != std::string::npos) {
+    value += kUptime.size();
+    size_t end = out.find('\n', value);
+    out.replace(value, end - value, "<uptime>");
+  }
+  return out;
+}
+
+TEST(PrometheusExportTest, ExpositionLeadsWithBuildIdentityAndUptime) {
+  MetricsRegistry registry;
+  const std::string out = PrometheusExport(registry);
+  // The identity series come first, so every scrape is self-identifying
+  // even from an empty registry.
+  EXPECT_EQ(out.rfind("# TYPE aims_build_info gauge\naims_build_info{", 0), 0u)
+      << out;
+  EXPECT_NE(out.find("# TYPE aims_uptime_seconds gauge\naims_uptime_seconds "),
+            std::string::npos);
+  EXPECT_NE(out.find("version=\"" + std::string(BuildVersion()) + "\""),
+            std::string::npos);
+  EXPECT_NE(out.find("git_sha=\"" + std::string(BuildGitSha()) + "\""),
+            std::string::npos);
+  EXPECT_GE(ProcessUptimeSeconds(), 0.0);
+}
+
 TEST(PrometheusExportTest, MatchesGoldenFile) {
   MetricsRegistry registry;
   registry.GetCounter("demo.requests")->Increment(42);
@@ -241,7 +279,7 @@ TEST(PrometheusExportTest, MatchesGoldenFile) {
   ASSERT_TRUE(golden.good()) << "missing tests/testdata/prometheus_golden.txt";
   std::stringstream expected;
   expected << golden.rdbuf();
-  EXPECT_EQ(PrometheusExport(registry), expected.str());
+  EXPECT_EQ(NormalizeIdentity(PrometheusExport(registry)), expected.str());
 }
 
 TEST(PrometheusExportTest, NameSanitization) {
@@ -284,8 +322,9 @@ TEST(PrometheusExportTest, ExtendedOverloadEmitsTracerAndTenantFamilies) {
   tenant->ChargeQueueMs(2.5);
   tenant->CountQuery();
 
-  const std::string base = PrometheusExport(registry);
-  const std::string out = PrometheusExport(registry, &tracer, &ledger);
+  const std::string base = NormalizeIdentity(PrometheusExport(registry));
+  const std::string out =
+      NormalizeIdentity(PrometheusExport(registry, &tracer, &ledger));
 
   // The single-arg export (pinned by the golden file) stays untouched; the
   // extended overload appends the new families after it.
@@ -311,7 +350,8 @@ TEST(PrometheusExportTest, ExtendedOverloadEmitsTracerAndTenantFamilies) {
             std::string::npos);
 
   // Null extras degrade to the base export exactly.
-  EXPECT_EQ(PrometheusExport(registry, nullptr, nullptr), base);
+  EXPECT_EQ(NormalizeIdentity(PrometheusExport(registry, nullptr, nullptr)),
+            base);
 }
 
 TEST(PrometheusExportTest, CacheFamilyExportsCountersAndGauges) {
@@ -326,8 +366,9 @@ TEST(PrometheusExportTest, CacheFamilyExportsCountersAndGauges) {
   cache.blocks_cached = 8;
   cache.capacity_bytes = 8192;
 
-  const std::string base = PrometheusExport(registry);
-  const std::string out = PrometheusExport(registry, nullptr, nullptr, &cache);
+  const std::string base = NormalizeIdentity(PrometheusExport(registry));
+  const std::string out =
+      NormalizeIdentity(PrometheusExport(registry, nullptr, nullptr, &cache));
   EXPECT_EQ(out.compare(0, base.size(), base), 0);
 
   EXPECT_NE(out.find("# TYPE aims_cache_hits_total counter\n"
@@ -489,6 +530,28 @@ TEST(TracerTest, SurfacesRetainedCountAndOldestTraceAge) {
   tracer.Clear();
   EXPECT_EQ(tracer.retained(), 0u);
   EXPECT_EQ(tracer.OldestRetainedAgeMs(), 0.0);
+}
+
+TEST(TracerTest, EvictionSinkObservesEvictedTracesAndAccountingIsExact) {
+  Tracer tracer(4);
+  std::vector<uint64_t> evicted_ids;
+  tracer.SetEvictionSink(
+      [&](const Trace& trace) { evicted_ids.push_back(trace.request_id()); });
+
+  for (uint64_t i = 1; i <= 10; ++i) {
+    Trace trace(i);
+    trace.BeginSpan("work");
+    tracer.Record(std::move(trace));
+  }
+  // The sink saw exactly the evicted traces, oldest first, and the
+  // dropped counter is unchanged by its presence.
+  ASSERT_EQ(evicted_ids.size(), 6u);
+  for (size_t i = 0; i < evicted_ids.size(); ++i) {
+    EXPECT_EQ(evicted_ids[i], i + 1);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.retained(), 4u);
 }
 
 // ---- End-to-end traces through the server ---------------------------------
@@ -721,6 +784,47 @@ TEST(StatsReporterTest, HealthLevelsFromSaturationAndLatency) {
   EXPECT_STREQ(HealthLevelName(HealthLevel::kOk), "Ok");
   EXPECT_STREQ(HealthLevelName(HealthLevel::kDegraded), "Degraded");
   EXPECT_STREQ(HealthLevelName(HealthLevel::kSaturated), "Saturated");
+}
+
+TEST(StatsReporterTest, SnapshotsCarryTheLastHealthTransition) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("ingest.queue_depth");
+  StatsReporterConfig config;
+  config.saturation_capacity = 4.0;
+  StatsReporter reporter(&registry, config);
+
+  // No level change yet: no transition to report.
+  EXPECT_FALSE(reporter.SnapshotNow().last_transition.has_value());
+
+  depth->Set(5);  // over capacity -> Saturated
+  HealthSnapshot saturated = reporter.SnapshotNow();
+  ASSERT_TRUE(saturated.last_transition.has_value());
+  EXPECT_EQ(saturated.last_transition->from, HealthLevel::kOk);
+  EXPECT_EQ(saturated.last_transition->to, HealthLevel::kSaturated);
+  EXPECT_EQ(saturated.last_transition->sequence, saturated.sequence);
+  EXPECT_FALSE(saturated.last_transition->reasons.empty())
+      << "the transition carries the violated inputs";
+
+  // A steady level keeps carrying the SAME transition (the WHY behind the
+  // current WHAT), not a fresh one per snapshot.
+  HealthSnapshot still = reporter.SnapshotNow();
+  ASSERT_TRUE(still.last_transition.has_value());
+  EXPECT_EQ(still.last_transition->sequence, saturated.sequence);
+
+  // Recovery is a transition too — back to Ok, with no breaches in force.
+  depth->Set(0);
+  HealthSnapshot recovered = reporter.SnapshotNow();
+  EXPECT_EQ(recovered.level, HealthLevel::kOk);
+  ASSERT_TRUE(recovered.last_transition.has_value());
+  EXPECT_EQ(recovered.last_transition->from, HealthLevel::kSaturated);
+  EXPECT_EQ(recovered.last_transition->to, HealthLevel::kOk);
+  EXPECT_TRUE(recovered.last_transition->reasons.empty());
+
+  // The JSON body names the transition for /healthz consumers.
+  const std::string json = HealthSnapshotJson(recovered);
+  EXPECT_NE(json.find("\"last_transition\""), std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"Saturated\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"Ok\""), std::string::npos);
 }
 
 TEST(StatsReporterTest, SlowQueryRateDegradesHealth) {
