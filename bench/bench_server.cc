@@ -172,6 +172,9 @@ void MaybeRunAdminSmoke(const std::vector<std::vector<Recording>>& work) {
   config.system = BenchSystemConfig();
   config.obs.admin_port = 0;  // ephemeral; real port published below
   config.obs.reporter_interval_ms = 50.0;
+  // Self-scrape the registry into the metrics history so the harness's
+  // /api/v1/query_range curl sees a live timeline, not an empty matrix.
+  config.obs.history_scrape_interval_ms = 50.0;
   config.obs.reporter.saturation_capacity =
       static_cast<double>(config.admission.queue_capacity);
   server::AimsServer srv(config);

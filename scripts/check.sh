@@ -79,10 +79,39 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
     echo "bench smoke: /healthz body has no health level" >&2
     exit 1
   }
+  # Metrics history: range-query the self-scraped TSDB over the loaded
+  # server and validate the Prometheus matrix shape carries real points.
+  # Retry for a few seconds: the port is published moments after the
+  # server starts, and date +%s truncation can place "end" before the
+  # scraper's first samples.
+  QUERY_RANGE_OK=0
+  for _ in $(seq 1 20); do
+    NOW_S="$(date +%s)"
+    curl -sfG "http://127.0.0.1:${ADMIN_PORT}/api/v1/query_range" \
+      --data-urlencode "query=ingest.completed" \
+      --data-urlencode "start=$((NOW_S - 120))" \
+      --data-urlencode "end=$((NOW_S + 1))" \
+      --data-urlencode "step=1" \
+      > "${ARTIFACT_DIR}/admin_query_range.json" || true
+    if grep -q '"status":"success"' "${ARTIFACT_DIR}/admin_query_range.json" &&
+        grep -q '"resultType":"matrix"' \
+          "${ARTIFACT_DIR}/admin_query_range.json" &&
+        grep -Eq '"values":\[\[[0-9]' \
+          "${ARTIFACT_DIR}/admin_query_range.json"; then
+      QUERY_RANGE_OK=1
+      break
+    fi
+    sleep 0.5
+  done
+  if [[ "${QUERY_RANGE_OK}" != "1" ]]; then
+    echo "bench smoke: query_range never returned a matrix with points" >&2
+    cat "${ARTIFACT_DIR}/admin_query_range.json" >&2 || true
+    exit 1
+  fi
   touch "${PORT_FILE}.done"
   wait "${BENCH_PID}"
   rm -f "${PORT_FILE}" "${PORT_FILE}.done"
-  echo "   /metrics and /healthz scraped live (artifacts saved)"
+  echo "   /metrics, /healthz, and /api/v1/query_range scraped live (artifacts saved)"
   echo "== bench smoke: bench_observability =="
   "./${BUILD_DIR}/bench/bench_observability" "${ARTIFACT_DIR}" \
     > "${ARTIFACT_DIR}/bench_observability.json"

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -29,6 +30,8 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 414:
+      return "URI Too Long";
     case 431:
       return "Request Header Fields Too Large";
     case 503:
@@ -229,13 +232,51 @@ void AdminHttpServer::HandlerLoop() {
 
 bool AdminHttpServer::ReadRequestHead(int fd, std::string* head) {
   char buffer[1024];
+  const auto start = std::chrono::steady_clock::now();
   while (head->find("\r\n\r\n") == std::string::npos) {
     if (head->size() >= config_.max_request_bytes) {
+      slow_clients_.fetch_add(1, std::memory_order_relaxed);
       AdminResponse too_large;
       too_large.status = 431;
       too_large.body = "{\"error\":\"request head too large\"}\n";
       WriteResponse(fd, too_large);
       return false;
+    }
+    // Request-line cap, checked before the full head cap: a target that
+    // has not even finished its first line by this many bytes is hostile.
+    if (head->find("\r\n") == std::string::npos &&
+        head->size() >= config_.max_request_line_bytes) {
+      slow_clients_.fetch_add(1, std::memory_order_relaxed);
+      AdminResponse too_long;
+      too_long.status = 414;
+      too_long.body = "{\"error\":\"request line too long\"}\n";
+      WriteResponse(fd, too_long);
+      return false;
+    }
+    // Total-deadline enforcement: the per-recv SO_RCVTIMEO bounds one
+    // stall, but a trickling client resets it with every byte. Poll with
+    // the REMAINING budget so the whole head read is wall-clock bounded;
+    // on expiry close without a response (the 408 a slowloris client is
+    // waiting for would itself be a write to a hostile peer).
+    if (config_.read_deadline_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const double remaining_ms = config_.read_deadline_ms - elapsed_ms;
+      if (remaining_ms <= 0.0) {
+        slow_clients_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int wait_ms = static_cast<int>(remaining_ms) + 1;
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready <= 0) {
+        slow_clients_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // deadline expired with no readable data
+      }
     }
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n <= 0) return false;  // timeout, reset, or premature close
@@ -326,6 +367,55 @@ void AdminHttpServer::WriteResponse(int fd, const AdminResponse& response) {
   out += "Connection: close\r\n\r\n";
   out += response.body;
   WriteAll(fd, out.data(), out.size());
+}
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]);
+      const int lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape passes through literally
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseQueryParams(const std::string& query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        params[UrlDecode(pair)] = "";
+      } else {
+        params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return params;
 }
 
 }  // namespace aims::obs

@@ -46,6 +46,16 @@ struct AdminHttpConfig {
   double io_timeout_ms = 2000.0;
   /// Request-head size cap; larger requests get 431 and a close.
   size_t max_request_bytes = 8192;
+  /// Total wall-clock budget for reading one request head. The per-recv
+  /// socket timeout alone does not stop a slowloris client that trickles
+  /// one byte per almost-timeout; this deadline bounds the WHOLE read, so
+  /// a slow client costs a handler at most this long before the server
+  /// closes (no response) and counts it in slow_clients(). 0 disables.
+  double read_deadline_ms = 5000.0;
+  /// Request-line size cap (method + target + version). A target longer
+  /// than this gets 414 and a close — keeps a hostile query string from
+  /// consuming the whole head budget.
+  size_t max_request_line_bytes = 2048;
 };
 
 /// \brief Parsed request head, as much of it as the admin plane needs.
@@ -104,6 +114,11 @@ class AdminHttpServer {
   uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  /// Connections closed for blowing the read deadline (slowloris-style
+  /// trickle) or an oversized request line/head.
+  uint64_t slow_clients() const {
+    return slow_clients_.load(std::memory_order_relaxed);
+  }
 
   const AdminHttpConfig& config() const { return config_; }
 
@@ -134,11 +149,21 @@ class AdminHttpServer {
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> slow_clients_{0};
 
   mutable std::mutex thread_mutex_;
   std::thread accept_thread_;
   std::vector<std::thread> handlers_;
   bool running_ = false;
 };
+
+/// \brief Percent-decodes a URL component ('+' -> space, %XX -> byte;
+/// malformed escapes pass through literally). Exposed for tests.
+std::string UrlDecode(const std::string& text);
+
+/// \brief Splits a raw query string ("a=1&b=x%20y") into decoded key/value
+/// pairs; a key without '=' maps to "". Later duplicates win. Exposed for
+/// handlers (/api/v1/query_range) and tests.
+std::map<std::string, std::string> ParseQueryParams(const std::string& query);
 
 }  // namespace aims::obs

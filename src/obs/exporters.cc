@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/json_util.h"
+#include "obs/timeseries.h"
 
 // Configure-time identity; the build system defines both. Fallbacks keep
 // ad-hoc compiles (and IDE indexers) working.
@@ -81,6 +82,20 @@ std::string PrometheusExport(const MetricsRegistry& registry) {
          "\",git_sha=\"" + BuildGitSha() + "\"} 1\n";
   out += "# TYPE aims_uptime_seconds gauge\n";
   out += "aims_uptime_seconds " + TrimmedDouble(ProcessUptimeSeconds()) + "\n";
+  // Process resource prologue, self-sampled from /proc/self: absent (not
+  // zero) on platforms without it, so a missing series means "can't know"
+  // rather than "idle".
+  const ProcessStats process = ReadProcessStats();
+  if (process.ok) {
+    out += "# TYPE aims_process_rss_bytes gauge\n";
+    out += "aims_process_rss_bytes " + std::to_string(process.rss_bytes) +
+           "\n";
+    out += "# TYPE aims_process_open_fds gauge\n";
+    out += "aims_process_open_fds " + std::to_string(process.open_fds) + "\n";
+    out += "# TYPE aims_process_cpu_seconds_total counter\n";
+    out += "aims_process_cpu_seconds_total " +
+           TrimmedDouble(process.cpu_seconds) + "\n";
+  }
   for (const auto& [name, c] : registry.Counters()) {
     std::string prom = PrometheusName(name);
     out += "# TYPE " + prom + " counter\n";
@@ -93,8 +108,20 @@ std::string PrometheusExport(const MetricsRegistry& registry) {
     out += "# TYPE " + prom + "_max gauge\n";
     out += prom + "_max " + std::to_string(g->max()) + "\n";
   }
-  for (const auto& [name, h] : registry.Histograms()) {
+  const auto histograms = registry.Histograms();
+  for (const auto& [name, h] : histograms) {
     AppendHistogram(&out, PrometheusName(name), *h);
+  }
+  // Overflow accounting, family-major after all histograms: how many
+  // observations landed past each histogram's last finite bound, where the
+  // companion quantile gauges clamp instead of interpolating.
+  if (!histograms.empty()) {
+    out += "# TYPE aims_histogram_overflow_total counter\n";
+    for (const auto& [name, h] : histograms) {
+      out += "aims_histogram_overflow_total{histogram=\"" +
+             PrometheusName(name) + "\"} " +
+             std::to_string(h->overflow_count()) + "\n";
+    }
   }
   return out;
 }
@@ -252,13 +279,15 @@ void AppendShardFamily(std::string* out,
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer, const CostLedger* ledger,
                              const CacheStats* cache, const WalStats* wal,
-                             const std::vector<ShardStatsEntry>* shards) {
+                             const std::vector<ShardStatsEntry>* shards,
+                             const std::vector<SloStatus>* slo) {
   std::string out = PrometheusExport(registry);
   if (tracer != nullptr) AppendTracerFamily(&out, *tracer);
   if (ledger != nullptr) AppendTenantFamily(&out, *ledger);
   if (cache != nullptr) AppendCacheFamily(&out, *cache);
   if (wal != nullptr) AppendWalFamily(&out, *wal);
   if (shards != nullptr) AppendShardFamily(&out, *shards);
+  if (slo != nullptr) AppendSloFamily(&out, *slo);
   return out;
 }
 

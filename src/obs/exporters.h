@@ -8,6 +8,7 @@
 #include "obs/cost_ledger.h"
 #include "obs/metrics.h"
 #include "obs/shard_stats.h"
+#include "obs/slo.h"
 #include "obs/tracer.h"
 #include "obs/wal_stats.h"
 
@@ -41,8 +42,13 @@ double ProcessUptimeSeconds();
 /// \brief Prometheus text exposition of every registered metric, in the
 /// registry's stable name-sorted order. Metric names are sanitized
 /// (non-alphanumeric -> '_') and prefixed "aims_". The exposition leads
-/// with the `aims_build_info{version,git_sha}` identity series and the
-/// `aims_uptime_seconds` gauge, so every scrape is self-identifying.
+/// with the `aims_build_info{version,git_sha}` identity series, the
+/// `aims_uptime_seconds` gauge, and (where /proc/self is readable) the
+/// self-sampled `aims_process_rss_bytes` / `aims_process_open_fds` /
+/// `aims_process_cpu_seconds_total` resource series, so every scrape is
+/// self-identifying and self-describing. After the histograms it appends
+/// `aims_histogram_overflow_total{histogram=...}`, counting observations
+/// past each histogram's last finite bound (where quantile gauges clamp).
 std::string PrometheusExport(const MetricsRegistry& registry);
 
 /// \brief Extended exposition: the registry as above, then (when non-null)
@@ -61,14 +67,17 @@ std::string PrometheusExport(const MetricsRegistry& registry);
 /// (e.g. ShardedCatalog::ShardStats()) as the `aims_shard_*` family, one
 /// `{shard="<i>"}` labelled series per shard per probe: session/tenant
 /// placement, ingest/query totals, lock-wait p50/p99, WAL lag, and queue
-/// depth.
+/// depth — and the latest SLO judgements (e.g. SloEngine::Latest()) as the
+/// `aims_slo_*` family: objective, fast/slow burn rates, and the 0/1
+/// burning flag, one `{objective="<name>"}` labelled series each.
 std::string PrometheusExport(const MetricsRegistry& registry,
                              const Tracer* tracer,
                              const CostLedger* ledger = nullptr,
                              const CacheStats* cache = nullptr,
                              const WalStats* wal = nullptr,
                              const std::vector<ShardStatsEntry>* shards =
-                                 nullptr);
+                                 nullptr,
+                             const std::vector<SloStatus>* slo = nullptr);
 
 /// \brief One Prometheus-sanitized metric name: "scheduler.exec_ms" ->
 /// "aims_scheduler_exec_ms". Exposed for tests and dashboards.

@@ -91,6 +91,31 @@ void AppendShardJson(std::string* out, const ShardStatsEntry& shard) {
   *out += ",\"queue_depth\":" + std::to_string(shard.queue_depth) + "}";
 }
 
+void AppendSloJson(std::string* out, const SloStatus& slo) {
+  *out += "{\"name\":\"" + JsonEscape(slo.name) + "\",\"kind\":\"" +
+          SloKindName(slo.kind) + "\",\"objective\":";
+  AppendJsonDouble(out, slo.objective);
+  *out += ",\"series\":\"" + JsonEscape(slo.series) + "\",\"fast_burn\":";
+  AppendJsonDouble(out, slo.fast_burn);
+  *out += ",\"slow_burn\":";
+  AppendJsonDouble(out, slo.slow_burn);
+  *out += ",\"burning\":";
+  *out += slo.burning ? "true" : "false";
+  *out += ",\"reason\":\"" + JsonEscape(slo.reason) + "\"}";
+}
+
+void AppendSloHistoryJson(std::string* out, const SloHistoryEntry& entry) {
+  *out += "{\"objective\":\"" + JsonEscape(entry.objective) +
+          "\",\"series\":\"" + JsonEscape(entry.series) + "\",\"samples\":[";
+  for (size_t i = 0; i < entry.samples.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += "[" + std::to_string(entry.samples[i].t_ms) + ",";
+    AppendJsonDouble(out, entry.samples[i].value);
+    *out += "]";
+  }
+  *out += "]}";
+}
+
 void AppendWatchdogJson(std::string* out,
                         const Watchdog::ThreadStatus& status) {
   *out += "{\"name\":\"" + JsonEscape(status.name) + "\",\"armed\":";
@@ -252,6 +277,16 @@ std::string FlightRecorder::RenderLocked(const std::string& reason,
   for (size_t i = 0; i < context.watchdog.size(); ++i) {
     if (i > 0) out += ',';
     AppendWatchdogJson(&out, context.watchdog[i]);
+  }
+  out += "],\"slo\":[";
+  for (size_t i = 0; i < context.slo.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendSloJson(&out, context.slo[i]);
+  }
+  out += "],\"slo_history\":[";
+  for (size_t i = 0; i < context.slo_history.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendSloHistoryJson(&out, context.slo_history[i]);
   }
   out += "]}";
 

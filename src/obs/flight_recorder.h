@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "obs/cache_stats.h"
 #include "obs/shard_stats.h"
+#include "obs/slo.h"
 #include "obs/stats_reporter.h"
 #include "obs/tracer.h"
 #include "obs/wal_stats.h"
@@ -22,7 +23,8 @@
 /// \brief The server's black box: an always-on bounded recorder that
 /// retains the last N health snapshots, the traces the tracer ring
 /// evicted, the most recent slow-query records, and (via a context
-/// provider) current WAL / cache / shard stats — and on trigger writes the
+/// provider) current WAL / cache / shard stats plus SLO judgements with
+/// the burning series' history windows — and on trigger writes the
 /// whole thing as ONE post-mortem bundle JSON next to the durable dir.
 /// Triggers: the health level transitioning to Saturated, a watchdog
 /// stall, an explicit HTTP / typed-API request, or (opt-in) a fatal
@@ -56,6 +58,15 @@ struct FlightRecorderConfig {
   double persist_interval_ms = 0.0;
 };
 
+/// \brief Recent metrics-history window for one burning SLO's series,
+/// embedded in the bundle so a post-mortem sees the trajectory that
+/// tripped the objective, not just the final burn rate.
+struct SloHistoryEntry {
+  std::string objective;
+  std::string series;
+  std::vector<gorilla::Sample> samples;
+};
+
 /// \brief Point-in-time system context pulled into every rendered bundle.
 /// The provider runs on the rendering thread; keep it lock-cheap.
 struct FlightContext {
@@ -65,6 +76,11 @@ struct FlightContext {
   CacheStats cache;
   std::vector<ShardStatsEntry> shards;
   std::vector<Watchdog::ThreadStatus> watchdog;
+  /// Latest SLO judgements (SloEngine::Latest()); empty = no objectives.
+  std::vector<SloStatus> slo;
+  /// History windows for the burning objectives only (bounded by the
+  /// provider — the server caps samples per entry).
+  std::vector<SloHistoryEntry> slo_history;
 };
 
 /// \brief Bounded black-box recorder + post-mortem bundle writer.

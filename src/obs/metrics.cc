@@ -43,7 +43,9 @@ double Histogram::ApproxQuantile(double p) const {
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= target) {
       double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      // The +inf bucket has no upper edge; report its lower edge.
+      // Overflow bucket: no upper edge to interpolate toward, so clamp to
+      // the last finite bound instead of extrapolating past the end.
+      // overflow_count() exposes how many observations force this clamp.
       if (i == bounds_.size()) return lo;
       double hi = bounds_[i];
       double within =

@@ -91,9 +91,21 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   size_t num_buckets() const { return buckets_.size(); }
 
+  /// \brief Observations that landed in the +inf overflow bucket — values
+  /// past the last finite bound, where quantile interpolation has no upper
+  /// edge to work with. Exported as aims_histogram_overflow_total so a
+  /// clamped quantile (see ApproxQuantile) is visible as a clamp, not
+  /// mistaken for a true reading.
+  uint64_t overflow_count() const {
+    return buckets_.empty() ? 0 : bucket_count(buckets_.size() - 1);
+  }
+
   /// \brief Approximate p-quantile (p in [0,1]) interpolated from the fixed
-  /// buckets assuming observations are uniform within a bucket; the +inf
-  /// bucket reports the last finite bound. Good enough for "p99 ingest
+  /// buckets assuming observations are uniform within a bucket. When the
+  /// estimate lands in the +inf overflow bucket there is no upper edge to
+  /// interpolate toward, so the result is CLAMPED to the last finite bound
+  /// (never an unbounded or past-the-end extrapolation); overflow_count()
+  /// says how often that clamp is in play. Good enough for "p99 ingest
   /// latency" style reporting.
   double ApproxQuantile(double p) const;
 

@@ -1,0 +1,167 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/json_util.h"
+
+namespace aims::obs {
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kLatencyQuantile:
+      return "latency_quantile";
+    case SloKind::kErrorRatio:
+      return "error_ratio";
+    case SloKind::kAvailability:
+      return "availability";
+  }
+  return "error_ratio";
+}
+
+SloEngine::SloEngine(const MetricsTimeSeries* store, MetricsRegistry* registry,
+                     std::vector<SloObjective> objectives)
+    : store_(store), objectives_(std::move(objectives)) {
+  AIMS_CHECK(store_ != nullptr);
+  if (registry != nullptr && !objectives_.empty()) {
+    burning_gauge_ = registry->GetGauge("slo.burning");
+    breach_transitions_ = registry->GetCounter("slo.breach_transitions_total");
+  }
+}
+
+void SloEngine::SetBreachHook(std::function<void(const SloStatus&)> hook) {
+  breach_hook_ = std::move(hook);
+}
+
+namespace {
+
+/// Burn rate over one window ending at now: bad-event fraction divided by
+/// the error budget (1 - objective). A burn of 1.0 spends the budget
+/// exactly at the promised pace; the alert threshold is a multiple of it.
+double BurnOver(const MetricsTimeSeries& store, const SloObjective& slo,
+                int64_t now_ms, double window_ms) {
+  const int64_t start = now_ms - static_cast<int64_t>(window_ms);
+  const double budget = std::max(1.0 - slo.objective, 1e-9);
+  double bad_fraction = 0.0;
+  switch (slo.kind) {
+    case SloKind::kLatencyQuantile: {
+      // Scrapes are a uniform cadence, so the violating-sample fraction
+      // approximates the violating-time fraction.
+      const std::vector<gorilla::Sample> samples =
+          store.Query(slo.series, start, now_ms);
+      if (samples.empty()) return 0.0;
+      size_t violating = 0;
+      for (const gorilla::Sample& s : samples) {
+        if (s.value > slo.latency_target_ms) ++violating;
+      }
+      bad_fraction =
+          static_cast<double>(violating) / static_cast<double>(samples.size());
+      break;
+    }
+    case SloKind::kErrorRatio:
+    case SloKind::kAvailability: {
+      const double total = IncreaseOver(store, slo.total_series, start, now_ms);
+      if (total <= 0.0) return 0.0;
+      const double bad = IncreaseOver(store, slo.series, start, now_ms);
+      bad_fraction = std::clamp(bad / total, 0.0, 1.0);
+      break;
+    }
+  }
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+std::vector<SloStatus> SloEngine::Evaluate(int64_t now_ms) {
+  std::vector<SloStatus> statuses;
+  statuses.reserve(objectives_.size());
+  for (const SloObjective& slo : objectives_) {
+    SloStatus status;
+    status.name = slo.name;
+    status.kind = slo.kind;
+    status.objective = slo.objective;
+    status.series = slo.series;
+    status.fast_window_ms = slo.fast_window_ms;
+    status.slow_window_ms = slo.slow_window_ms;
+    status.fast_burn = BurnOver(*store_, slo, now_ms, slo.fast_window_ms);
+    status.slow_burn = BurnOver(*store_, slo, now_ms, slo.slow_window_ms);
+    // Both windows must burn: the fast window reacts, the slow window
+    // confirms it is not a blip.
+    status.burning = status.fast_burn >= slo.burn_threshold &&
+                     status.slow_burn >= slo.burn_threshold;
+    if (status.burning) {
+      char reason[192];
+      std::snprintf(reason, sizeof(reason),
+                    "SLO %s burning: %.1fx budget over %.0fs, %.1fx over "
+                    "%.0fs (threshold %.1fx)",
+                    slo.name.c_str(), status.fast_burn,
+                    slo.fast_window_ms / 1000.0, status.slow_burn,
+                    slo.slow_window_ms / 1000.0, slo.burn_threshold);
+      status.reason = reason;
+    }
+    statuses.push_back(std::move(status));
+  }
+
+  std::vector<SloStatus> newly_burning;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (was_burning_.size() != statuses.size()) {
+      was_burning_.assign(statuses.size(), false);
+    }
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      if (statuses[i].burning && !was_burning_[i]) {
+        newly_burning.push_back(statuses[i]);
+      }
+      was_burning_[i] = statuses[i].burning;
+    }
+    latest_ = statuses;
+  }
+
+  int64_t burning = 0;
+  for (const SloStatus& s : statuses) {
+    if (s.burning) ++burning;
+  }
+  if (burning_gauge_ != nullptr) burning_gauge_->Set(burning);
+  if (breach_transitions_ != nullptr && !newly_burning.empty()) {
+    breach_transitions_->Increment(newly_burning.size());
+  }
+  // Hook outside the lock: it renders/dumps (flight recorder).
+  if (breach_hook_) {
+    for (const SloStatus& s : newly_burning) breach_hook_(s);
+  }
+  return statuses;
+}
+
+std::vector<SloStatus> SloEngine::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_;
+}
+
+void AppendSloFamily(std::string* out, const std::vector<SloStatus>& slos) {
+  if (slos.empty()) return;
+  struct DoubleDim {
+    const char* name;
+    double SloStatus::* field;
+  };
+  static constexpr DoubleDim kDoubleDims[] = {
+      {"aims_slo_objective", &SloStatus::objective},
+      {"aims_slo_burn_rate_fast", &SloStatus::fast_burn},
+      {"aims_slo_burn_rate_slow", &SloStatus::slow_burn},
+  };
+  for (const DoubleDim& dim : kDoubleDims) {
+    *out += std::string("# TYPE ") + dim.name + " gauge\n";
+    for (const SloStatus& s : slos) {
+      *out += std::string(dim.name) + "{objective=\"" + s.name + "\"} " +
+              TrimmedDouble(s.*dim.field) + "\n";
+    }
+  }
+  *out += "# TYPE aims_slo_burning gauge\n";
+  for (const SloStatus& s : slos) {
+    *out += "aims_slo_burning{objective=\"" + s.name + "\"} " +
+            std::string(s.burning ? "1" : "0") + "\n";
+  }
+}
+
+}  // namespace aims::obs

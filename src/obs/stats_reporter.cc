@@ -132,6 +132,11 @@ void StatsReporter::SetWatchdogHandle(Watchdog::Handle* handle) {
   watchdog_ = handle;
 }
 
+void StatsReporter::SetHealthInput(
+    std::function<void(HealthSnapshot*)> input) {
+  health_input_ = std::move(input);
+}
+
 void StatsReporter::Loop() {
   const auto interval = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
@@ -284,6 +289,14 @@ HealthSnapshot StatsReporter::ComputeLocked() {
       }
       break;
     }
+  }
+  // External contributors (the SLO engine) weigh in before transition
+  // bookkeeping, so an SLO-only breach is a real level change with its
+  // reason captured in last_transition like any built-in check.
+  if (health_input_) {
+    const HealthLevel before = snap.level;
+    health_input_(&snap);
+    snap.level = std::max(snap.level, before);
   }
   if (snap.level != prev_level_) {
     HealthTransition transition;

@@ -180,6 +180,14 @@ class StatsReporter {
   /// while the loop runs). Set before Start(); may be null.
   void SetWatchdogHandle(Watchdog::Handle* handle);
 
+  /// \brief External health contributor, consulted at the end of every
+  /// snapshot computation before transition bookkeeping: the callback may
+  /// append reasons and raise (never lower) the level — the server wires
+  /// the SLO engine here so a burning objective degrades /healthz with an
+  /// SLO reason. Set before Start(); runs with the reporter's snapshot
+  /// lock held, so it must not call back into this reporter.
+  void SetHealthInput(std::function<void(HealthSnapshot*)> input);
+
   bool running() const;
   const StatsReporterConfig& config() const { return config_; }
 
@@ -206,6 +214,7 @@ class StatsReporter {
 
   /// Set-before-Start wiring (unsynchronized by contract).
   std::function<void(const HealthSnapshot&)> snapshot_hook_;
+  std::function<void(HealthSnapshot*)> health_input_;
   Watchdog::Handle* watchdog_ = nullptr;
 
   mutable std::mutex thread_mutex_;

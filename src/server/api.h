@@ -8,6 +8,7 @@
 #include "obs/cost_ledger.h"
 #include "obs/shard_stats.h"
 #include "obs/stats_reporter.h"
+#include "obs/timeseries.h"
 #include "obs/wal_stats.h"
 #include "recognition/isolator.h"
 #include "server/data_migrator.h"
@@ -127,6 +128,37 @@ struct GetTenantUsageResponse {
   std::vector<TenantUsageEntry> tenants;
   /// Sum over \c tenants — the server-wide attributed total.
   obs::TenantUsage total;
+};
+
+/// \brief Range-queries the server's self-hosted metrics history: "what
+/// did <series> look like over [start, end] at <step> resolution under
+/// <func>?" — the typed twin of `GET /api/v1/query_range` on the admin
+/// plane. Needs no open session. The history store retains a bounded
+/// window (ObsConfig::history), so points older than retention are gone;
+/// absence of history is an empty answer, not an error.
+struct QueryMetricsHistoryRequest {
+  /// Stored series name, e.g. "catalog.ingest_count" or
+  /// "scheduler.exec_ms.p99" (histograms are stored as derived
+  /// .p50/.p95/.p99/.count series).
+  std::string series;
+  /// Aggregation per step window: avg/min/max/last/rate/delta/quantile
+  /// (see obs::RangeFunc).
+  obs::RangeFunc func = obs::RangeFunc::kAvg;
+  /// Quantile for kQuantile, in [0,1].
+  double quantile = 0.99;
+  /// Window, in the scraper's clock (unix ms). end_ms 0 means "now".
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+  /// Step stride; each point t_i aggregates (t_i - step, t_i].
+  int64_t step_ms = 1000;
+};
+
+struct QueryMetricsHistoryResponse {
+  std::string series;
+  obs::RangeFunc func = obs::RangeFunc::kAvg;
+  /// Evaluated points, time-ascending; windows with no samples are
+  /// omitted (Prometheus matrix semantics).
+  std::vector<obs::RangePoint> points;
 };
 
 /// \brief Asks the server for its per-shard health probes: placement

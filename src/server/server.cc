@@ -1,5 +1,8 @@
 #include "server/server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -109,6 +112,36 @@ AimsServer::AimsServer(ServerConfig config)
   reporter_ =
       std::make_unique<obs::StatsReporter>(metrics_.get(), reporter_config);
 
+  // Metrics history: the store, the scraper feeding it, and (with
+  // objectives configured) the SLO engine evaluated after every scrape.
+  if (config.obs.enable_metrics_history) {
+    history_ = std::make_unique<obs::MetricsTimeSeries>(config.obs.history);
+    obs::MetricsScraperConfig scraper_config;
+    if (config.obs.history_scrape_interval_ms > 0.0) {
+      scraper_config.interval_ms = config.obs.history_scrape_interval_ms;
+    }
+    scraper_ = std::make_unique<obs::MetricsScraper>(
+        metrics_.get(), history_.get(), scraper_config);
+    if (!config.obs.slos.empty()) {
+      slo_ = std::make_unique<obs::SloEngine>(
+          history_.get(),
+          config.obs.enable_metrics ? metrics_.get() : nullptr,
+          config.obs.slos);
+      scraper_->SetPostScrapeHook(
+          [this](int64_t now_ms) { slo_->Evaluate(now_ms); });
+      // A burning objective degrades the derived health signal with the
+      // engine's reason — the SLO judges trajectories the reporter's
+      // instantaneous checks cannot see.
+      reporter_->SetHealthInput([this](obs::HealthSnapshot* snap) {
+        for (const obs::SloStatus& s : slo_->Latest()) {
+          if (!s.burning) continue;
+          snap->reasons.push_back(s.reason);
+          snap->level = std::max(snap->level, obs::HealthLevel::kDegraded);
+        }
+      });
+    }
+  }
+
   // Watchdog: always constructed (supervised sections register
   // unconditionally and tests drive CheckNow); the checker thread only
   // runs when a cadence was configured.
@@ -125,6 +158,9 @@ AimsServer::AimsServer(ServerConfig config)
   reporter_->SetWatchdogHandle(watchdog_->Register("stats_reporter"));
   catalog_->SetWalWatchdog(watchdog_->Register("wal_sync"));
   migrator_->SetWatchdog(watchdog_->Register("migrator"));
+  if (scraper_ != nullptr) {
+    scraper_->SetWatchdogHandle(watchdog_->Register("metrics_scraper"));
+  }
 
   if (recorder_ != nullptr) {
     // Every rendered bundle carries point-in-time WAL/cache/shard/watchdog
@@ -139,6 +175,31 @@ AimsServer::AimsServer(ServerConfig config)
       context.cache = catalog_->TotalCacheStats();
       context.shards = catalog_->ShardStats();
       context.watchdog = watchdog_->Status();
+      if (slo_ != nullptr) {
+        context.slo = slo_->Latest();
+        // Embed each burning series' recent window (capped so a bundle
+        // stays bounded): the post-mortem sees the trajectory that
+        // tripped the objective, not just the final burn rate.
+        constexpr size_t kMaxEmbeddedSamples = 512;
+        const int64_t now_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+        for (const obs::SloStatus& s : context.slo) {
+          if (!s.burning) continue;
+          obs::SloHistoryEntry entry;
+          entry.objective = s.name;
+          entry.series = s.series;
+          entry.samples = history_->Query(
+              s.series, now_ms - static_cast<int64_t>(s.slow_window_ms),
+              now_ms);
+          if (entry.samples.size() > kMaxEmbeddedSamples) {
+            entry.samples.erase(entry.samples.begin(),
+                                entry.samples.end() - kMaxEmbeddedSamples);
+          }
+          context.slo_history.push_back(std::move(entry));
+        }
+      }
       return context;
     });
     // Feeds: the tracer's evictions, the reporter's health snapshots, the
@@ -153,6 +214,15 @@ AimsServer::AimsServer(ServerConfig config)
         [recorder = recorder_.get()](const obs::HealthSnapshot& snapshot) {
           recorder->RecordHealth(snapshot);
         });
+    if (slo_ != nullptr) {
+      // Every not-burning -> burning edge lands in the event ring; the
+      // bundle's context (wired above) then embeds the burning series'
+      // history window.
+      slo_->SetBreachHook(
+          [recorder = recorder_.get()](const obs::SloStatus& s) {
+            recorder->RecordEvent(s.reason);
+          });
+    }
     watchdog_->SetStallCallback(
         [recorder = recorder_.get()](const obs::Watchdog::ThreadStatus& s) {
           (void)recorder->Dump("watchdog stall: " + s.name);
@@ -174,6 +244,9 @@ AimsServer::AimsServer(ServerConfig config)
 
   if (config.obs.watchdog_interval_ms > 0.0) watchdog_->Start();
   if (config.obs.reporter_interval_ms > 0.0) reporter_->Start();
+  if (scraper_ != nullptr && config.obs.history_scrape_interval_ms > 0.0) {
+    scraper_->Start();
+  }
 
   if (config.obs.admin_port >= 0) {
     obs::AdminHttpConfig admin_config = config.obs.admin;
@@ -365,6 +438,33 @@ Result<GetTenantUsageResponse> AimsServer::GetTenantUsage(
   return response;
 }
 
+Result<QueryMetricsHistoryResponse> AimsServer::QueryMetricsHistory(
+    const QueryMetricsHistoryRequest& request) {
+  if (history_ == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryMetricsHistory: metrics history disabled "
+        "(ObsConfig::enable_metrics_history)");
+  }
+  obs::RangeQuery query;
+  query.series = request.series;
+  query.func = request.func;
+  query.quantile = request.quantile;
+  query.start_ms = request.start_ms;
+  query.end_ms =
+      request.end_ms != 0
+          ? request.end_ms
+          : std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+  query.step_ms = request.step_ms;
+  QueryMetricsHistoryResponse response;
+  response.series = request.series;
+  response.func = request.func;
+  AIMS_ASSIGN_OR_RETURN(response.points,
+                        obs::EvaluateRangeQuery(*history_, query));
+  return response;
+}
+
 Result<GetShardStatsResponse> AimsServer::GetShardStats(
     const GetShardStatsRequest& request) {
   (void)request;
@@ -522,11 +622,14 @@ void AimsServer::WireAdminRoutes() {
       wal = catalog_->TotalWalStats();
     }
     std::vector<obs::ShardStatsEntry> shards = catalog_->ShardStats();
+    std::vector<obs::SloStatus> slo;
+    if (slo_ != nullptr) slo = slo_->Latest();
     response.body = obs::PrometheusExport(
         *metrics_, config_.obs.enable_tracing ? tracer_.get() : nullptr,
         config_.obs.enable_cost_ledger ? cost_ledger_.get() : nullptr,
         cache.has_value() ? &*cache : nullptr,
-        wal.has_value() ? &*wal : nullptr, &shards);
+        wal.has_value() ? &*wal : nullptr, &shards,
+        slo_ != nullptr ? &slo : nullptr);
     return response;
   });
 
@@ -620,6 +723,94 @@ void AimsServer::WireAdminRoutes() {
     return response;
   });
 
+  // /api/v1/query_range: the metrics-history surface in Prometheus's
+  // range-query API shape, so existing dashboards/scripts can point a
+  // Prometheus HTTP client at AIMS itself. Times are unix SECONDS (float
+  // ok), the query is "<series>" or "<func>(<series>)" with the
+  // obs::ParseRangeFunc vocabulary, and the answer is a one-series
+  // matrix: {"status":"success","data":{"resultType":"matrix",...}}.
+  admin_->Route("/api/v1/query_range", [this](const obs::AdminRequest& req) {
+    obs::AdminResponse response;
+    auto error = [&response](int status, const std::string& message) {
+      response.status = status;
+      response.body = "{\"status\":\"error\",\"errorType\":\"bad_data\","
+                      "\"error\":\"" +
+                      obs::JsonEscape(message) + "\"}\n";
+      return response;
+    };
+    if (history_ == nullptr) {
+      return error(404, "metrics history disabled");
+    }
+    const std::map<std::string, std::string> params =
+        obs::ParseQueryParams(req.query);
+    auto get = [&params](const char* key) -> const std::string* {
+      auto it = params.find(key);
+      return it == params.end() ? nullptr : &it->second;
+    };
+    const std::string* query_expr = get("query");
+    const std::string* start = get("start");
+    const std::string* end = get("end");
+    if (query_expr == nullptr || query_expr->empty() || start == nullptr ||
+        end == nullptr) {
+      return error(400, "query, start, and end are required");
+    }
+    obs::RangeQuery query;
+    // "<func>(<series>)" selects the aggregation; a bare series name
+    // averages each window.
+    std::string expr = *query_expr;
+    const size_t paren = expr.find('(');
+    if (paren != std::string::npos && expr.back() == ')') {
+      if (!obs::ParseRangeFunc(expr.substr(0, paren), &query.func)) {
+        return error(400, "unknown function: " + expr.substr(0, paren));
+      }
+      expr = expr.substr(paren + 1, expr.size() - paren - 2);
+    }
+    query.series = expr;
+    // Unix seconds (fractional ok) -> ms. Strict: the whole string must be
+    // one finite number ("nan"/"inf" would cast to int64 as UB).
+    auto parse_ms = [](const std::string& text, int64_t* out) {
+      char* parse_end = nullptr;
+      const double seconds = std::strtod(text.c_str(), &parse_end);
+      if (parse_end == text.c_str() || *parse_end != '\0' ||
+          !std::isfinite(seconds)) {
+        return false;
+      }
+      *out = static_cast<int64_t>(seconds * 1000.0);
+      return true;
+    };
+    if (!parse_ms(*start, &query.start_ms)) return error(400, "bad start");
+    if (!parse_ms(*end, &query.end_ms)) return error(400, "bad end");
+    if (const std::string* step = get("step")) {
+      if (!parse_ms(*step, &query.step_ms) || query.step_ms <= 0) {
+        return error(400, "bad step");
+      }
+    }
+    if (const std::string* quantile = get("quantile")) {
+      query.quantile = std::strtod(quantile->c_str(), nullptr);
+    }
+    Result<std::vector<obs::RangePoint>> points =
+        obs::EvaluateRangeQuery(*history_, query);
+    if (!points.ok()) return error(400, points.status().message());
+    std::string body =
+        "{\"status\":\"success\",\"data\":{\"resultType\":\"matrix\","
+        "\"result\":[";
+    if (!points->empty()) {
+      body += "{\"metric\":{\"__name__\":\"" + obs::JsonEscape(query.series) +
+              "\"},\"values\":[";
+      bool first = true;
+      for (const obs::RangePoint& point : *points) {
+        if (!first) body += ',';
+        first = false;
+        body += "[" +
+                obs::TrimmedDouble(static_cast<double>(point.t_ms) / 1000.0) +
+                ",\"" + obs::TrimmedDouble(point.value) + "\"]";
+      }
+      body += "]}";
+    }
+    response.body = body + "]}}\n";
+    return response;
+  });
+
   // /debug/flightrecord: the black box rendered on demand (in-memory:
   // this is the only way to read it while the process lives).
   admin_->Route("/debug/flightrecord", [this](const obs::AdminRequest&) {
@@ -646,6 +837,9 @@ void AimsServer::Shutdown() {
   // while the rest of the teardown is in flight.
   if (admin_ != nullptr) admin_->Stop();
   if (watchdog_ != nullptr) watchdog_->Stop();
+  // The scraper stops before the reporter: its post-scrape hook raises
+  // health through the SLO engine, which the reporter reads.
+  if (scraper_ != nullptr) scraper_->Stop();
   reporter_->Stop();
   ingest_->Drain();
   scheduler_->Drain();

@@ -10,7 +10,9 @@
 #include "obs/cost_ledger.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
+#include "obs/slo.h"
 #include "obs/stats_reporter.h"
+#include "obs/timeseries.h"
 #include "obs/watchdog.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
@@ -122,6 +124,26 @@ struct ObsConfig {
   /// leaders, migrator): an armed heartbeat older than this is a stall —
   /// counted in watchdog.stalls_total and dumped by the flight recorder.
   double watchdog_deadline_ms = 5000.0;
+  /// Self-hosted metrics history: a Gorilla-compressed in-memory TSDB over
+  /// this server's own registry, queryable through QueryMetricsHistory and
+  /// GET /api/v1/query_range. Off, neither exists (FailedPrecondition /
+  /// 404) and no scraper runs.
+  bool enable_metrics_history = true;
+  /// History store sizing/retention (chunk length, age and per-stripe byte
+  /// budgets, lock striping) — see obs/timeseries.h.
+  obs::MetricsTimeSeriesConfig history;
+  /// > 0 starts the scraper thread sampling the registry into the history
+  /// store on this cadence (with its own watchdog heartbeat). 0 (default)
+  /// leaves history collection on demand — tests and embedders call
+  /// metrics_scraper()->ScrapeOnce() to build deterministic timelines.
+  double history_scrape_interval_ms = 0.0;
+  /// Declarative SLOs evaluated as multi-window burn rates over the
+  /// history store after every scrape. A burning objective degrades
+  /// GetHealth with an SLO reason, shows up in the aims_slo_* family on
+  /// /metrics, and flight-records a breach event whose bundle embeds the
+  /// burning series' recent window. Ignored (engine not built) when
+  /// metrics history is disabled.
+  std::vector<obs::SloObjective> slos;
 };
 
 /// \brief Server-wide configuration.
@@ -200,6 +222,15 @@ class AimsServer {
   Result<GetTenantUsageResponse> GetTenantUsage(
       const GetTenantUsageRequest& request);
 
+  /// \brief Range-queries the self-hosted metrics history: step-aligned
+  /// windows of one stored series under an aggregation (avg/min/max/last/
+  /// rate/delta/quantile). Needs no open session. FailedPrecondition when
+  /// metrics history is disabled; InvalidArgument on a bad func/step/
+  /// range. An unknown series returns an empty point list, not an error.
+  /// The HTTP twin is GET /api/v1/query_range on the admin plane.
+  Result<QueryMetricsHistoryResponse> QueryMetricsHistory(
+      const QueryMetricsHistoryRequest& request);
+
   // ---- Admin/operator API (routing, rebalance, fault injection). ----
 
   /// \brief Per-shard health probes plus the routing epoch. Needs no open
@@ -255,6 +286,15 @@ class AimsServer {
   obs::AsyncLogger* slow_query_log() { return slow_log_.get(); }
   /// The black-box recorder, or null when disabled.
   obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  /// The metrics-history store, or null when disabled.
+  obs::MetricsTimeSeries* metrics_history() { return history_.get(); }
+  /// The registry->history scraper, or null when metrics history is
+  /// disabled. Its thread runs only when history_scrape_interval_ms > 0;
+  /// ScrapeOnce works either way.
+  obs::MetricsScraper* metrics_scraper() { return scraper_.get(); }
+  /// The SLO burn-rate engine, or null when metrics history is disabled
+  /// or no objectives are configured.
+  obs::SloEngine* slo_engine() { return slo_.get(); }
   /// Always constructed; its checker thread runs only when
   /// ObsConfig::watchdog_interval_ms > 0.
   obs::Watchdog& watchdog() { return *watchdog_; }
@@ -285,6 +325,12 @@ class AimsServer {
   // still publish records, and the logger flushes into the stream.
   std::unique_ptr<std::ofstream> slow_log_stream_;
   std::unique_ptr<obs::AsyncLogger> slow_log_;
+  // History store + SLO engine before the recorder: the recorder's
+  // context provider reads both, and the engine reads the store. The
+  // scraper (whose thread writes the store and drives the engine) is
+  // declared with the reporter further down, so it stops first.
+  std::unique_ptr<obs::MetricsTimeSeries> history_;
+  std::unique_ptr<obs::SloEngine> slo_;
   // The black box outlives (is declared before) every component that
   // feeds it — scheduler, tracer sink, reporter hook, watchdog callback.
   // Shutdown stops its persist thread before those wind down.
@@ -299,6 +345,10 @@ class AimsServer {
   recognition::Vocabulary vocabulary_;
   std::unique_ptr<RecognitionService> recognition_;
   std::unique_ptr<obs::StatsReporter> reporter_;
+  // After the reporter (destroyed before it): the scraper's post-scrape
+  // hook drives the SLO engine, whose breach hook feeds the recorder —
+  // everything it touches is declared above and so outlives it.
+  std::unique_ptr<obs::MetricsScraper> scraper_;
   // The watchdog owns every heartbeat handle; Shutdown() silences all
   // beaters (pool joined, reporter stopped, drains done) before members
   // are destroyed, so its position only needs to follow what its STALL

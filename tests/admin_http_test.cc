@@ -1,8 +1,9 @@
 // The admin HTTP plane: the dependency-free loopback listener itself
-// (routing, parse errors, bounded admission) and its wiring into
-// AimsServer (/metrics, /healthz with the 200 -> 503 saturation flip,
-// /shards, /tenants, /traces, /debug/flightrecord). The client side here
-// is a minimal raw-socket GET — the same wire a curl smoke test speaks.
+// (routing, parse errors, bounded admission, slowloris/oversize defenses)
+// and its wiring into AimsServer (/metrics, /healthz with the 200 -> 503
+// saturation flip, /shards, /tenants, /traces, /debug/flightrecord,
+// /api/v1/query_range over the metrics history). The client side here is
+// a minimal raw-socket GET — the same wire a curl smoke test speaks.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -29,6 +30,8 @@ using obs::AdminHttpConfig;
 using obs::AdminHttpServer;
 using obs::AdminRequest;
 using obs::AdminResponse;
+using obs::ParseQueryParams;
+using obs::UrlDecode;
 
 struct HttpReply {
   int status = -1;  ///< -1: connect/read failed entirely.
@@ -156,6 +159,136 @@ TEST(AdminHttpServerTest, OverloadAnswersCanned503InsteadOfQueueing) {
   server.Stop();
 }
 
+// Connects and sends \p raw verbatim (no trailing CRLFCRLF added), then
+// reads to EOF. Lets tests speak broken HTTP.
+HttpReply SendRaw(int port, const std::string& raw) {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  (void)::send(fd, raw.data(), raw.size(), 0);
+  std::string got;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    got.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (got.rfind("HTTP/1.1 ", 0) == 0 && got.size() >= 12) {
+    reply.status = std::atoi(got.substr(9, 3).c_str());
+  }
+  reply.body = got;
+  return reply;
+}
+
+TEST(AdminHttpServerTest, MalformedRequestLineIs400) {
+  AdminHttpServer server{AdminHttpConfig{}};
+  ASSERT_TRUE(server.Start().ok());
+  HttpReply reply = SendRaw(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_NE(reply.body.find("malformed request line"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminHttpServerTest, OversizedHeadIs431AndCounted) {
+  AdminHttpConfig config;
+  config.max_request_bytes = 512;
+  AdminHttpServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  // A valid short request line followed by an endless header: the head cap
+  // must cut it off with 431 before the full 8k default would.
+  std::string raw = "GET /ping HTTP/1.1\r\nX-Filler: ";
+  raw.append(2048, 'a');
+  HttpReply reply = SendRaw(server.port(), raw);
+  EXPECT_EQ(reply.status, 431);
+  EXPECT_GE(server.slow_clients(), 1u);
+  server.Stop();
+}
+
+TEST(AdminHttpServerTest, OversizedRequestLineIs414) {
+  AdminHttpConfig config;
+  config.max_request_line_bytes = 256;
+  AdminHttpServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  // A hostile query string that never finishes its first line.
+  std::string raw = "GET /metrics?junk=";
+  raw.append(1024, 'x');
+  HttpReply reply = SendRaw(server.port(), raw);
+  EXPECT_EQ(reply.status, 414);
+  EXPECT_GE(server.slow_clients(), 1u);
+  server.Stop();
+}
+
+TEST(AdminHttpServerTest, SlowlorisClientIsClosedAtTheDeadlineWithNoReply) {
+  AdminHttpConfig config;
+  config.read_deadline_ms = 200.0;
+  config.io_timeout_ms = 5000.0;  // per-recv timeout alone would NOT save us
+  AdminHttpServer server(config);
+  server.Route("/ping", [](const AdminRequest&) { return AdminResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Trickle one byte every 40ms — each arrival resets a naive per-recv
+  // timeout, so only the total wall-clock deadline can end this.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const auto start = std::chrono::steady_clock::now();
+  const std::string request = "GET /ping HTTP/1.1\r\n";
+  std::string got;
+  for (size_t i = 0; i < request.size(); ++i) {
+    if (::send(fd, &request[i], 1, 0) <= 0) break;  // server closed on us
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    char buffer[256];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n == 0) break;  // orderly close observed
+    if (n > 0) got.append(buffer, static_cast<size_t>(n));
+  }
+  // Drain whatever remains until EOF (bounded by the socket close).
+  char buffer[256];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    got.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_TRUE(got.empty()) << "a slow client earns a close, not a response";
+  EXPECT_LT(elapsed_ms, 2000.0) << "closed at ~the 200ms deadline, not the "
+                                   "5s io timeout";
+  EXPECT_GE(server.slow_clients(), 1u);
+
+  // The server is still fully alive for honest clients.
+  EXPECT_EQ(Get(server.port(), "/ping").status, 200);
+  server.Stop();
+}
+
+TEST(UrlCodecTest, DecodeAndQueryParams) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("rate%28x%29"), "rate(x)");
+  EXPECT_EQ(UrlDecode("100%"), "100%") << "malformed escape passes through";
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+  EXPECT_EQ(UrlDecode(""), "");
+
+  auto params = ParseQueryParams("query=rate%28a.b%29&start=1&flag&start=2");
+  EXPECT_EQ(params.at("query"), "rate(a.b)");
+  EXPECT_EQ(params.at("start"), "2") << "later duplicates win";
+  EXPECT_EQ(params.at("flag"), "");
+  EXPECT_TRUE(ParseQueryParams("").empty());
+}
+
 // ---- The wired server endpoints -------------------------------------------
 
 server::ServerConfig AdminServerConfig() {
@@ -252,6 +385,77 @@ TEST(AdminEndpointsTest, DisabledSubsystemsDegradeCleanly) {
   // The typed twin fails the same way.
   EXPECT_EQ(server.DumpFlightRecord({}).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(AdminEndpointsTest, QueryRangeServesPrometheusMatrixOverHistory) {
+  server::ServerConfig config = AdminServerConfig();
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.admin_status().ok());
+  const int port = server.admin_http()->port();
+  ASSERT_NE(server.metrics_scraper(), nullptr);
+
+  // Deterministic history: 60 scrapes at 1s cadence ending near now.
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const int64_t t0 = now_ms - 60 * 1000;
+  obs::Counter* ticks = server.metrics().GetCounter("qr.ticks");
+  for (int i = 0; i < 60; ++i) {
+    ticks->Increment(2);
+    server.metrics_scraper()->ScrapeOnce(t0 + i * 1000);
+  }
+
+  const std::string window = "&start=" + std::to_string(t0 / 1000 + 10) +
+                             "&end=" + std::to_string(t0 / 1000 + 59) +
+                             "&step=10";
+  // Bare series: avg per window, Prometheus matrix shape.
+  HttpReply bare = Get(port, "/api/v1/query_range?query=qr.ticks" + window);
+  EXPECT_EQ(bare.status, 200);
+  EXPECT_NE(bare.body.find("\"status\":\"success\""), std::string::npos);
+  EXPECT_NE(bare.body.find("\"resultType\":\"matrix\""), std::string::npos);
+  EXPECT_NE(bare.body.find("\"__name__\":\"qr.ticks\""), std::string::npos);
+  EXPECT_NE(bare.body.find("\"values\":[["), std::string::npos);
+
+  // func(series) form, URL-encoded parens, rate() over the counter.
+  HttpReply rate = Get(port, "/api/v1/query_range?query=rate%28qr.ticks%29" +
+                                 window);
+  EXPECT_EQ(rate.status, 200);
+  EXPECT_NE(rate.body.find("\"values\":[["), std::string::npos);
+  // 2/tick at 1s cadence: every window's rate is 2 (TrimmedDouble "2").
+  EXPECT_NE(rate.body.find(",\"2\"]"), std::string::npos) << rate.body;
+
+  // An unknown series is an empty matrix, not an error.
+  HttpReply unknown =
+      Get(port, "/api/v1/query_range?query=never.scraped" + window);
+  EXPECT_EQ(unknown.status, 200);
+  EXPECT_NE(unknown.body.find("\"result\":[]"), std::string::npos);
+
+  // Error paths: missing params, unknown func, bad step.
+  EXPECT_EQ(Get(port, "/api/v1/query_range").status, 400);
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x").status, 400);
+  EXPECT_EQ(
+      Get(port, "/api/v1/query_range?query=bogus%28x%29" + window).status,
+      400);
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x&start=1&end=2&step=0")
+                .status,
+            400);
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x&start=nan-sense&end=2")
+                .status,
+            400);
+  server.Shutdown();
+}
+
+TEST(AdminEndpointsTest, QueryRangeIs404WhenHistoryDisabled) {
+  server::ServerConfig config = AdminServerConfig();
+  config.obs.enable_metrics_history = false;
+  server::AimsServer server(config);
+  ASSERT_TRUE(server.admin_status().ok());
+  HttpReply reply = Get(server.admin_http()->port(),
+                        "/api/v1/query_range?query=x&start=1&end=2");
+  EXPECT_EQ(reply.status, 404);
+  EXPECT_NE(reply.body.find("metrics history disabled"), std::string::npos);
+  server.Shutdown();
 }
 
 TEST(AdminEndpointsTest, AdminDisabledByDefaultAndTypedDumpWorks) {

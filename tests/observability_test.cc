@@ -226,8 +226,9 @@ TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsPointersValid) {
 // ---- Prometheus export ----------------------------------------------------
 
 // The identity prologue varies per build (version/git sha) and per call
-// (uptime); pin those three values to placeholders so golden and prefix
-// comparisons stay exact without freezing the build identity in the test.
+// (uptime, process RSS/fds/CPU); pin those values to placeholders so golden
+// and prefix comparisons stay exact without freezing the build identity or
+// the process's live resource usage in the test.
 std::string NormalizeIdentity(std::string out) {
   const std::string kInfo = "aims_build_info{";
   size_t start = out.find(kInfo);
@@ -237,13 +238,19 @@ std::string NormalizeIdentity(std::string out) {
                 "aims_build_info{version=\"<version>\",git_sha=\"<git_sha>\"}"
                 " 1");
   }
-  const std::string kUptime = "\naims_uptime_seconds ";
-  size_t value = out.find(kUptime);
-  if (value != std::string::npos) {
-    value += kUptime.size();
+  auto mask_value = [&out](const std::string& series,
+                           const std::string& placeholder) {
+    const std::string key = "\n" + series + " ";
+    size_t value = out.find(key);
+    if (value == std::string::npos) return;
+    value += key.size();
     size_t end = out.find('\n', value);
-    out.replace(value, end - value, "<uptime>");
-  }
+    out.replace(value, end - value, placeholder);
+  };
+  mask_value("aims_uptime_seconds", "<uptime>");
+  mask_value("aims_process_rss_bytes", "<rss>");
+  mask_value("aims_process_open_fds", "<fds>");
+  mask_value("aims_process_cpu_seconds_total", "<cpu>");
   return out;
 }
 
