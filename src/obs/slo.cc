@@ -139,6 +139,28 @@ std::vector<SloStatus> SloEngine::Latest() const {
   return latest_;
 }
 
+namespace {
+
+/// Prometheus text-format label-value escaping: backslash, double quote,
+/// and newline must be escaped or the series — and every family after it
+/// — fails to parse. Objective names are operator-configured free text,
+/// so escape rather than trust.
+std::string PromLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void AppendSloFamily(std::string* out, const std::vector<SloStatus>& slos) {
   if (slos.empty()) return;
   struct DoubleDim {
@@ -153,14 +175,14 @@ void AppendSloFamily(std::string* out, const std::vector<SloStatus>& slos) {
   for (const DoubleDim& dim : kDoubleDims) {
     *out += std::string("# TYPE ") + dim.name + " gauge\n";
     for (const SloStatus& s : slos) {
-      *out += std::string(dim.name) + "{objective=\"" + s.name + "\"} " +
-              TrimmedDouble(s.*dim.field) + "\n";
+      *out += std::string(dim.name) + "{objective=\"" + PromLabelEscape(s.name) +
+              "\"} " + TrimmedDouble(s.*dim.field) + "\n";
     }
   }
   *out += "# TYPE aims_slo_burning gauge\n";
   for (const SloStatus& s : slos) {
-    *out += "aims_slo_burning{objective=\"" + s.name + "\"} " +
-            std::string(s.burning ? "1" : "0") + "\n";
+    *out += "aims_slo_burning{objective=\"" + PromLabelEscape(s.name) +
+            "\"} " + std::string(s.burning ? "1" : "0") + "\n";
   }
 }
 

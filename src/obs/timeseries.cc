@@ -46,6 +46,11 @@ void MetricsTimeSeries::Append(const std::string& series, int64_t t_ms,
   ++stripe.samples_appended;
   if (s.active.count() >= config_.chunk_max_samples) {
     SealAndRetainLocked(stripe, s, t_ms);
+  } else if (++stripe.appends_since_retention >= kRetentionAppendPeriod) {
+    // Seals are the main retention trigger, but a stripe whose hot series
+    // never seal (small active chunks, quiet neighbours) must still expire
+    // its neighbours' old sealed chunks.
+    ApplyAgeRetentionLocked(stripe, t_ms);
   }
 }
 
@@ -60,19 +65,7 @@ void MetricsTimeSeries::SealAndRetainLocked(Stripe& stripe, Series& s,
   s.sealed.push_back(std::move(chunk));
   s.active = gorilla::GorillaEncoder();
 
-  // Age retention: drop sealed chunks (any series in this stripe) whose
-  // newest sample fell out of the window.
-  if (config_.retention_ms > 0.0) {
-    const int64_t cutoff =
-        now_ms - static_cast<int64_t>(config_.retention_ms);
-    for (auto& [name, other] : stripe.series) {
-      while (!other.sealed.empty() && other.sealed.front().end_ms < cutoff) {
-        stripe.sealed_bytes -= other.sealed.front().bytes.size();
-        other.sealed.pop_front();
-        ++stripe.chunks_dropped_age;
-      }
-    }
-  }
+  ApplyAgeRetentionLocked(stripe, now_ms);
   // Size retention: while over budget, drop the stripe's globally oldest
   // sealed chunk. O(series) per drop — sealing is rare (once per
   // chunk_max_samples appends).
@@ -91,6 +84,22 @@ void MetricsTimeSeries::SealAndRetainLocked(Stripe& stripe, Series& s,
       stripe.sealed_bytes -= oldest->sealed.front().bytes.size();
       oldest->sealed.pop_front();
       ++stripe.chunks_dropped_size;
+    }
+  }
+}
+
+void MetricsTimeSeries::ApplyAgeRetentionLocked(Stripe& stripe,
+                                                int64_t now_ms) {
+  stripe.appends_since_retention = 0;
+  if (config_.retention_ms <= 0.0) return;
+  // Drop sealed chunks (any series in this stripe) whose newest sample
+  // fell out of the window.
+  const int64_t cutoff = now_ms - static_cast<int64_t>(config_.retention_ms);
+  for (auto& [name, other] : stripe.series) {
+    while (!other.sealed.empty() && other.sealed.front().end_ms < cutoff) {
+      stripe.sealed_bytes -= other.sealed.front().bytes.size();
+      other.sealed.pop_front();
+      ++stripe.chunks_dropped_age;
     }
   }
 }
@@ -225,6 +234,23 @@ Result<std::vector<RangePoint>> EvaluateRangeQuery(
   }
   if (query.end_ms < query.start_ms) {
     return Status::InvalidArgument("range query: end before start");
+  }
+  // start/end/step come straight off an HTTP query string: bound the
+  // magnitudes (so the window arithmetic below cannot overflow int64) and
+  // the window count (so a degenerate range like end=9e15&step=0.001
+  // cannot pin a handler thread evaluating ~1e19 windows).
+  if (query.start_ms < -kMaxRangeQueryTimestampMs ||
+      query.start_ms > kMaxRangeQueryTimestampMs ||
+      query.end_ms > kMaxRangeQueryTimestampMs ||
+      query.step_ms > kMaxRangeQueryTimestampMs) {
+    return Status::InvalidArgument(
+        "range query: timestamp or step out of range");
+  }
+  if ((query.end_ms - query.start_ms) / query.step_ms >=
+      kMaxRangeQueryPoints) {
+    return Status::InvalidArgument(
+        "range query: range/step spans more than " +
+        std::to_string(kMaxRangeQueryPoints) + " points");
   }
   // One store read covers every window: the first window reaches one step
   // before the range start.
@@ -404,24 +430,31 @@ int64_t MetricsScraper::ScrapeOnce(int64_t at_ms) {
 }
 
 void MetricsScraper::Start() {
-  std::lock_guard<std::mutex> lock(thread_mutex_);
-  if (running_) return;
-  stop_requested_ = false;
-  running_ = true;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (running_) return;
+    stop_requested_ = false;
+    running_ = true;
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
 void MetricsScraper::Stop() {
-  std::thread to_join;
+  // The lifecycle mutex spans the join: a Start racing this Stop waits
+  // until the old loop thread has observed the stop and exited, instead
+  // of respawning while it still runs (which would leave this join
+  // waiting on a thread that never sees its stop flag).
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   {
     std::lock_guard<std::mutex> lock(thread_mutex_);
     if (!running_) return;
     stop_requested_ = true;
-    to_join = std::move(thread_);
-    running_ = false;
   }
   wake_cv_.notify_all();
-  if (to_join.joinable()) to_join.join();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  running_ = false;
 }
 
 bool MetricsScraper::running() const {

@@ -112,12 +112,23 @@ class MetricsTimeSeries {
     uint64_t chunks_dropped_age = 0;
     uint64_t chunks_dropped_size = 0;
     uint64_t out_of_order_dropped = 0;
+    /// Appends since the last age-retention sweep; age retention also runs
+    /// every kRetentionAppendPeriod appends, not only at seal time, so a
+    /// quiet series' sealed chunks still expire while its stripe stays hot.
+    uint32_t appends_since_retention = 0;
   };
+
+  /// Non-seal appends between opportunistic age-retention sweeps. The
+  /// sweep is O(series in stripe), so amortize it.
+  static constexpr uint32_t kRetentionAppendPeriod = 64;
 
   Stripe& StripeFor(const std::string& series) const;
   /// Caller holds the stripe mutex. Seals s.active into s.sealed and
   /// applies both retention policies across the stripe.
   void SealAndRetainLocked(Stripe& stripe, Series& s, int64_t now_ms);
+  /// Caller holds the stripe mutex. Drops every series' sealed chunks
+  /// whose newest sample fell out of the age window ending at now_ms.
+  void ApplyAgeRetentionLocked(Stripe& stripe, int64_t now_ms);
 
   MetricsTimeSeriesConfig config_;
   mutable std::vector<Stripe> stripes_;
@@ -158,10 +169,22 @@ struct RangePoint {
   double value = 0.0;
 };
 
+/// \brief Most step windows one range query may evaluate (Prometheus's
+/// own limit). Bounds the evaluation loop: start/end/step arrive straight
+/// from an HTTP query string, and without a cap a degenerate range pins a
+/// handler thread for ~forever.
+inline constexpr int64_t kMaxRangeQueryPoints = 11000;
+/// \brief Timestamp magnitude bound for range queries: |start|, |end|,
+/// and step must not exceed this (epoch-ms ~ year 33000). Keeps the
+/// window arithmetic (t += step, start - step) free of int64 overflow.
+inline constexpr int64_t kMaxRangeQueryTimestampMs = 1'000'000'000'000'000;
+
 /// \brief Evaluates \p query over \p store. Windows with no samples
 /// produce no point (Prometheus omits them too). InvalidArgument on a
-/// non-positive step or an inverted range; an unknown series yields an
-/// empty result, not an error — absence of history is an answer.
+/// non-positive step, an inverted range, a timestamp or step beyond
+/// kMaxRangeQueryTimestampMs, or a range spanning more than
+/// kMaxRangeQueryPoints windows; an unknown series yields an empty
+/// result, not an error — absence of history is an answer.
 Result<std::vector<RangePoint>> EvaluateRangeQuery(
     const MetricsTimeSeries& store, const RangeQuery& query);
 
@@ -238,6 +261,10 @@ class MetricsScraper {
   Watchdog::Handle* watchdog_ = nullptr;
   std::atomic<uint64_t> scrapes_{0};
 
+  /// Serializes Start/Stop end to end (including the join), so a Start
+  /// racing a Stop cannot respawn the loop before the old thread has
+  /// observed the stop and been joined. thread_ is guarded by this mutex.
+  std::mutex lifecycle_mutex_;
   mutable std::mutex thread_mutex_;
   std::condition_variable wake_cv_;
   std::thread thread_;

@@ -135,7 +135,10 @@ struct GetTenantUsageResponse {
 /// <func>?" — the typed twin of `GET /api/v1/query_range` on the admin
 /// plane. Needs no open session. The history store retains a bounded
 /// window (ObsConfig::history), so points older than retention are gone;
-/// absence of history is an empty answer, not an error.
+/// absence of history is an empty answer, not an error. The range is
+/// bounded like Prometheus: more than obs::kMaxRangeQueryPoints step
+/// windows, or a timestamp/step beyond obs::kMaxRangeQueryTimestampMs,
+/// is InvalidArgument — so pick a start near now, not 0.
 struct QueryMetricsHistoryRequest {
   /// Stored series name, e.g. "catalog.ingest_count" or
   /// "scheduler.exec_ms.p99" (histograms are stored as derived

@@ -767,7 +767,10 @@ void AimsServer::WireAdminRoutes() {
     }
     query.series = expr;
     // Unix seconds (fractional ok) -> ms. Strict: the whole string must be
-    // one finite number ("nan"/"inf" would cast to int64 as UB).
+    // one finite number ("nan"/"inf" would cast to int64 as UB), and the
+    // magnitude must stay within the range-query timestamp bound — which
+    // also keeps the double->int64 cast defined (the bound is far below
+    // where the cast becomes UB).
     auto parse_ms = [](const std::string& text, int64_t* out) {
       char* parse_end = nullptr;
       const double seconds = std::strtod(text.c_str(), &parse_end);
@@ -775,7 +778,12 @@ void AimsServer::WireAdminRoutes() {
           !std::isfinite(seconds)) {
         return false;
       }
-      *out = static_cast<int64_t>(seconds * 1000.0);
+      const double ms = seconds * 1000.0;
+      if (ms < -static_cast<double>(obs::kMaxRangeQueryTimestampMs) ||
+          ms > static_cast<double>(obs::kMaxRangeQueryTimestampMs)) {
+        return false;
+      }
+      *out = static_cast<int64_t>(ms);
       return true;
     };
     if (!parse_ms(*start, &query.start_ms)) return error(400, "bad start");

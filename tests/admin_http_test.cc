@@ -443,6 +443,28 @@ TEST(AdminEndpointsTest, QueryRangeServesPrometheusMatrixOverHistory) {
   EXPECT_EQ(Get(port, "/api/v1/query_range?query=x&start=nan-sense&end=2")
                 .status,
             400);
+  // Abusive ranges are rejected up front, not evaluated window by window:
+  // a caller-controlled start/end/step must not pin a handler thread.
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x"
+                      "&start=0&end=9e15&step=0.001")
+                .status,
+            400)
+      << "~1e19 windows must be a 400, not an eternal loop";
+  // A unix-ms timestamp passed where seconds are expected (an honest
+  // mixup) exceeds the timestamp bound and fails fast too.
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x&start=0"
+                      "&end=" + std::to_string(now_ms) + "000&step=1")
+                .status,
+            400);
+  // Magnitudes past the int64-safe bound are a 400, never UB in the cast.
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x"
+                      "&start=-1e300&end=2&step=1")
+                .status,
+            400);
+  EXPECT_EQ(Get(port, "/api/v1/query_range?query=x"
+                      "&start=1&end=1e300&step=1")
+                .status,
+            400);
   server.Shutdown();
 }
 

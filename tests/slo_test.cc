@@ -214,6 +214,34 @@ TEST(SloFamilyTest, ExpositionIsFamilyMajorWithObjectiveLabels) {
   EXPECT_EQ(PrometheusExport(registry).find("aims_slo_"), std::string::npos);
 }
 
+TEST(SloFamilyTest, HostileObjectiveNamesAreEscapedInLabelValues) {
+  // An operator-configured name carrying quote/backslash/newline must not
+  // corrupt the exposition — one bad label value would break every family
+  // parsed after it.
+  std::vector<SloStatus> statuses(1);
+  statuses[0].name = "api \"p99\" \\ two\nlines";
+  statuses[0].objective = 0.99;
+
+  std::string out;
+  AppendSloFamily(&out, statuses);
+  EXPECT_NE(out.find("aims_slo_objective{objective="
+                     "\"api \\\"p99\\\" \\\\ two\\nlines\"} 0.99\n"),
+            std::string::npos)
+      << out;
+  // No raw newline or unescaped quote survives inside a label value: every
+  // line is either a # TYPE header or "<name>{objective=...} <value>".
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t nl = out.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    const std::string line = out.substr(start, nl - start);
+    EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                line.find("{objective=\"") != std::string::npos)
+        << "corrupted exposition line: " << line;
+    start = nl + 1;
+  }
+}
+
 // ---- The full chain on a live server --------------------------------------
 
 TEST(SloServerChainTest, ForcedBurnDegradesHealthExportsAndEmbedsHistory) {

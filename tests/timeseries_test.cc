@@ -104,6 +104,29 @@ TEST(MetricsTimeSeriesTest, AgeRetentionDropsChunksWhoseNewestSampleExpired) {
   EXPECT_FALSE(store.Query("s", 3000, 3100).empty());
 }
 
+TEST(MetricsTimeSeriesTest, QuietSeriesChunksExpireWithoutASeal) {
+  MetricsTimeSeriesConfig config = SmallConfig();
+  config.retention_ms = 1000.0;
+  MetricsTimeSeries store(config);
+  // Two sealed "quiet" chunks (t=0..1500), then the series goes silent.
+  for (int i = 0; i < 16; ++i) {
+    store.Append("quiet", i * 100, static_cast<double>(i));
+  }
+  ASSERT_FALSE(store.Query("quiet", 0, 1500).empty());
+  // Neighbours keep appending far in the future but never fill a chunk
+  // (three samples per series), so no append ever seals. The periodic
+  // sweep must still expire quiet's sealed chunks.
+  for (int k = 0; k < 32; ++k) {
+    const std::string series = "busy" + std::to_string(k);
+    for (int j = 0; j < 3; ++j) {
+      store.Append(series, 10000 + j * 100, static_cast<double>(j));
+    }
+  }
+  EXPECT_TRUE(store.Query("quiet", 0, 10000).empty())
+      << "sealed chunks outlived retention with no seal to trigger a sweep";
+  EXPECT_GT(store.Stats().chunks_dropped_age, 0u);
+}
+
 TEST(MetricsTimeSeriesTest, SizeRetentionDropsTheOldestSealedChunkFirst) {
   MetricsTimeSeriesConfig config = SmallConfig();
   // A few sealed chunks at most — but comfortably more than one chunk of
@@ -325,6 +348,39 @@ TEST(RangeQueryTest, InvalidQueriesAreErrorsUnknownSeriesIsNot) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(RangeQueryTest, DegenerateRangesAreRejectedBeforeEvaluation) {
+  MetricsTimeSeries store = MakeRampStore();
+  RangeQuery query;
+  query.series = "ramp";
+  // start/end/step arrive straight off an HTTP query string; a degenerate
+  // pair must be rejected up front, not evaluated window by window.
+  query.start_ms = 0;
+  query.end_ms = kMaxRangeQueryTimestampMs;
+  query.step_ms = 1;
+  EXPECT_FALSE(EvaluateRangeQuery(store, query).ok()) << "~1e15 windows";
+
+  // Exactly at the point cap works; one window more does not.
+  query.step_ms = 1000;
+  query.end_ms = (kMaxRangeQueryPoints - 1) * 1000;
+  EXPECT_TRUE(EvaluateRangeQuery(store, query).ok());
+  query.end_ms = kMaxRangeQueryPoints * 1000;
+  EXPECT_FALSE(EvaluateRangeQuery(store, query).ok());
+
+  // Timestamps or steps past the epoch-ms sanity bound are rejected
+  // before any window arithmetic can overflow int64.
+  query.end_ms = kMaxRangeQueryTimestampMs + 1;
+  query.start_ms = query.end_ms - 1000;
+  EXPECT_FALSE(EvaluateRangeQuery(store, query).ok()) << "end too large";
+  query.start_ms = -(kMaxRangeQueryTimestampMs + 1);
+  query.end_ms = 0;
+  query.step_ms = kMaxRangeQueryTimestampMs;
+  EXPECT_FALSE(EvaluateRangeQuery(store, query).ok()) << "start too small";
+  query.start_ms = 0;
+  query.end_ms = 1000;
+  query.step_ms = kMaxRangeQueryTimestampMs + 1;
+  EXPECT_FALSE(EvaluateRangeQuery(store, query).ok()) << "step too large";
+}
+
 TEST(RangeQueryTest, FuncNamesRoundTripThroughTheParser) {
   for (RangeFunc func :
        {RangeFunc::kAvg, RangeFunc::kMin, RangeFunc::kMax, RangeFunc::kLast,
@@ -424,6 +480,40 @@ TEST(MetricsScraperTest, BackgroundThreadScrapesOnItsCadence) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_EQ(scraper.scrapes(), at_stop) << "thread really stopped";
   EXPECT_FALSE(store.Query("tick", 0, INT64_MAX).empty());
+}
+
+TEST(MetricsScraperTest, StartStopCyclesNeverLeakOrHang) {
+  // Start/Stop are serialized across the join: a Start arriving while a
+  // Stop is mid-join must not respawn the loop before the old thread has
+  // observed its stop flag (which would leave two loops running and the
+  // join waiting forever).
+  MetricsRegistry registry;
+  registry.GetCounter("tick")->Increment();
+  MetricsTimeSeries store;
+  MetricsScraperConfig config;
+  config.interval_ms = 1.0;
+  config.include_process = false;
+  MetricsScraper scraper(&registry, &store, config);
+  for (int i = 0; i < 20; ++i) {
+    scraper.Start();
+    scraper.Start();  // idempotent while running
+    scraper.Stop();
+    EXPECT_FALSE(scraper.running());
+  }
+  // Contending starters and stoppers settle without deadlock.
+  std::thread contender([&scraper] {
+    for (int i = 0; i < 20; ++i) {
+      scraper.Start();
+      scraper.Stop();
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    scraper.Start();
+    scraper.Stop();
+  }
+  contender.join();
+  scraper.Stop();
+  EXPECT_FALSE(scraper.running());
 }
 
 }  // namespace
