@@ -1,0 +1,216 @@
+// bench_tslife — the raw-sample lifecycle end to end.
+//
+// Three legs against one AimsServer, each with an acceptance bar:
+//
+//   compression  ADC-quantized sensor sessions are ingested and sealed
+//                into Gorilla segments beside the wavelet blocks; the
+//                bench reports raw vs sealed bytes and asserts the
+//                codec earns its keep (>= kMinCompressionRatio).
+//   aggregate    a continuous aggregate is registered, then the same
+//                range query is timed through the registry (hit) and
+//                past it (miss). Every hit must show aggregate_hit in
+//                its plan and read ZERO blocks — the whole point of
+//                maintaining the answer at ingest commit.
+//   retention    a tenant policy downsamples everything older than a
+//                minute; one injected-clock sweep must shrink the
+//                segment footprint while honoring the NMSE bound.
+//
+// Results go to stdout as JSON (progress notes to stderr) so CI can
+// archive the artifact; any violated bar aborts via AIMS_CHECK.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "server/server.h"
+
+namespace aims {
+namespace {
+
+using server::AimsServer;
+using server::ExplainMode;
+using server::QueryOutcome;
+using server::QueryRequest;
+using server::QueryState;
+using server::ServerConfig;
+
+constexpr int kSchemaVersion = 1;
+
+constexpr size_t kSessions = 6;
+constexpr size_t kFrames = 4096;
+constexpr size_t kChannels = 4;
+constexpr double kRateHz = 100.0;
+constexpr size_t kQueryReps = 64;
+constexpr double kMinCompressionRatio = 4.0;
+
+/// A plausible glove channel: slow correlated motion quantized to a
+/// 12-bit ADC grid. Quantization is what makes Gorilla's XOR stage see
+/// repeated mantissa bits — raw doubles from sin() alone share almost
+/// nothing bit-to-bit.
+streams::Recording MakeSensorRecording(uint32_t seed) {
+  streams::Recording rec;
+  rec.sample_rate_hz = kRateHz;
+  for (size_t f = 0; f < kFrames; ++f) {
+    const double t = static_cast<double>(f) / kRateHz;
+    streams::Frame frame;
+    frame.timestamp = t;
+    frame.values.resize(kChannels);
+    for (size_t c = 0; c < kChannels; ++c) {
+      const double x =
+          std::sin(2.0 * M_PI * (0.4 + 0.15 * static_cast<double>(c)) * t +
+                   0.7 * static_cast<double>(seed)) +
+          0.2 * std::sin(2.0 * M_PI * 2.5 * t);
+      frame.values[c] = std::round(x * 2048.0) / 2048.0;
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+double TimedQueryMs(AimsServer* server, const QueryRequest& query,
+                    QueryOutcome* outcome) {
+  auto start = std::chrono::steady_clock::now();
+  auto submitted = server->SubmitQuery({1, query});
+  AIMS_CHECK(submitted.ok());
+  *outcome = submitted.ValueOrDie().ticket->Wait();
+  AIMS_CHECK(outcome->state == QueryState::kComplete);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+}  // namespace aims
+
+int main() {
+  using aims::QueryOutcome;
+  using aims::QueryRequest;
+
+  aims::ServerConfig config;
+  config.num_shards = 2;
+  config.num_threads = 2;
+  aims::AimsServer server(config);
+  AIMS_CHECK(server.OpenSession({1}).ok());
+
+  // ---- Leg 1: segment compression at ingest ----
+  std::fprintf(stderr, "bench_tslife: sealing %zu sessions...\n",
+               aims::kSessions);
+  std::vector<aims::server::GlobalSessionId> sessions;
+  auto ingest_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < aims::kSessions; ++i) {
+    auto ingested = server.IngestRecording(
+        {1, "sensor_" + std::to_string(i),
+         aims::MakeSensorRecording(static_cast<uint32_t>(i))});
+    AIMS_CHECK(ingested.ok());
+    sessions.push_back(ingested.ValueOrDie().session);
+  }
+  const double ingest_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - ingest_start)
+                               .count();
+
+  uint64_t raw_bytes = 0;
+  uint64_t segments = 0;
+  for (auto session : sessions) {
+    auto metas = server.catalog().ListSegments(session);
+    AIMS_CHECK(metas.ok());
+    for (const auto& meta : metas.ValueOrDie()) {
+      raw_bytes += static_cast<uint64_t>(meta.count) * 16;
+      ++segments;
+    }
+  }
+  const uint64_t sealed_bytes = server.catalog().TotalSegmentBytes();
+  AIMS_CHECK(segments > 0);
+  AIMS_CHECK(sealed_bytes > 0);
+  const double ratio = static_cast<double>(raw_bytes) /
+                       static_cast<double>(sealed_bytes);
+  std::fprintf(stderr, "bench_tslife: %llu segments, ratio %.2fx\n",
+               static_cast<unsigned long long>(segments), ratio);
+  AIMS_CHECK(ratio >= aims::kMinCompressionRatio);
+
+  // ---- Leg 2: aggregate hit vs the block path ----
+  std::fprintf(stderr, "bench_tslife: timing aggregate hits...\n");
+  const size_t first = 64, last = 4000;
+  auto registered = server.RegisterAggregate({1, 0, first, last});
+  AIMS_CHECK(registered.ok());
+  AIMS_CHECK(registered.ValueOrDie().sessions_backfilled == aims::kSessions);
+
+  QueryRequest query;
+  query.session = sessions[0];
+  query.channel = 0;
+  query.first_frame = first;
+  query.last_frame = last;
+  query.explain = aims::ExplainMode::kAnalyze;
+
+  auto direct = server.catalog().QueryRange(sessions[0], 0, first, last);
+  AIMS_CHECK(direct.ok());
+
+  std::vector<double> hit_ms, miss_ms;
+  const size_t reads_before = server.catalog().total_blocks_read();
+  for (size_t i = 0; i < aims::kQueryReps; ++i) {
+    QueryOutcome outcome;
+    hit_ms.push_back(aims::TimedQueryMs(&server, query, &outcome));
+    AIMS_CHECK(outcome.plan.has_value() && outcome.plan->aggregate_hit);
+    AIMS_CHECK(outcome.answer.blocks_read == 0);
+    AIMS_CHECK(outcome.answer.sum == direct.ValueOrDie().sum);
+  }
+  AIMS_CHECK(server.catalog().total_blocks_read() == reads_before);
+
+  QueryRequest cold = query;
+  cold.last_frame = last - 1;  // one frame off the registration: full plan
+  for (size_t i = 0; i < aims::kQueryReps; ++i) {
+    QueryOutcome outcome;
+    miss_ms.push_back(aims::TimedQueryMs(&server, cold, &outcome));
+    AIMS_CHECK(outcome.plan.has_value() && !outcome.plan->aggregate_hit);
+  }
+
+  const double hit_p50 = aims::Percentile(hit_ms, 50.0);
+  const double miss_p50 = aims::Percentile(miss_ms, 50.0);
+
+  // ---- Leg 3: one retention sweep under an injected clock ----
+  std::fprintf(stderr, "bench_tslife: retention sweep...\n");
+  aims::storage::tslife::RetentionPolicy policy;
+  policy.downsample_age_seconds = 60.0;
+  policy.nmse_bound = 0.05;
+  AIMS_CHECK(server.SetRetentionPolicy({std::nullopt, policy, false}).ok());
+  auto sweep_start = std::chrono::steady_clock::now();
+  auto swept =
+      server.TriggerRetentionSweep({static_cast<int64_t>(3600) * 1000000});
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - sweep_start)
+                              .count();
+  AIMS_CHECK(swept.ok());
+  const auto& stats = swept.ValueOrDie().stats;
+  AIMS_CHECK(stats.segments_downsampled > 0);
+  AIMS_CHECK(stats.bytes_after < stats.bytes_before);
+  AIMS_CHECK(stats.max_nmse <= policy.nmse_bound);
+
+  std::printf("{\n  \"bench\": \"bench_tslife\",\n");
+  std::printf("  \"schema_version\": %d,\n", aims::kSchemaVersion);
+  std::printf(
+      "  \"config\": {\"sessions\": %zu, \"frames\": %zu, \"channels\": %zu, "
+      "\"query_reps\": %zu},\n",
+      aims::kSessions, aims::kFrames, aims::kChannels, aims::kQueryReps);
+  std::printf(
+      "  \"compression\": {\"segments\": %llu, \"raw_bytes\": %llu, "
+      "\"sealed_bytes\": %llu, \"ratio\": %.2f, \"ingest_ms\": %.1f},\n",
+      static_cast<unsigned long long>(segments),
+      static_cast<unsigned long long>(raw_bytes),
+      static_cast<unsigned long long>(sealed_bytes), ratio, ingest_ms);
+  std::printf(
+      "  \"aggregate\": {\"hit_p50_ms\": %.4f, \"miss_p50_ms\": %.4f, "
+      "\"speedup\": %.1f, \"hit_blocks_read\": 0},\n",
+      hit_p50, miss_p50, miss_p50 / std::max(hit_p50, 1e-9));
+  std::printf(
+      "  \"retention\": {\"downsampled\": %llu, \"skipped\": %llu, "
+      "\"bytes_before\": %llu, \"bytes_after\": %llu, \"max_nmse\": %.5f, "
+      "\"sweep_ms\": %.2f}\n}\n",
+      static_cast<unsigned long long>(stats.segments_downsampled),
+      static_cast<unsigned long long>(stats.segments_skipped),
+      static_cast<unsigned long long>(stats.bytes_before),
+      static_cast<unsigned long long>(stats.bytes_after), stats.max_nmse,
+      sweep_ms);
+  return 0;
+}

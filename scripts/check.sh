@@ -127,6 +127,9 @@ if [[ "${AIMS_BENCH_SMOKE:-0}" == "1" ]]; then
   echo "== bench smoke: bench_rebalance (asserts >= 70% throughput under live migration) =="
   "./${BUILD_DIR}/bench/bench_rebalance" \
     > "${ARTIFACT_DIR}/bench_rebalance.json"
+  echo "== bench smoke: bench_tslife (asserts >= 4x segment compression, zero-I/O aggregate hits) =="
+  "./${BUILD_DIR}/bench/bench_tslife" \
+    > "${ARTIFACT_DIR}/bench_tslife.json"
   echo "== bench smoke artifacts in ${ARTIFACT_DIR} =="
 fi
 

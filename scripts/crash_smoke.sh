@@ -14,7 +14,8 @@
 # Usage: scripts/crash_smoke.sh <helper-binary> <iterations> <out-json>
 #   helper-binary  build/tests/crash_ingest_helper
 #   iterations     how many kill+recover rounds per loop (the ingest loop
-#                  cycles payload -> precommit -> postcommit; the
+#                  cycles payload -> precommit -> postcommit -> segment,
+#                  the last one killing mid-raw-segment-seal; the
 #                  migration loop varies the armed payload-append count)
 #   out-json       where to write the collected recovery stats
 set -euo pipefail
@@ -27,7 +28,7 @@ STORE="$(mktemp -d "${TMPDIR:-/tmp}/aims_crash_smoke.XXXXXX")"
 MSTORE="$(mktemp -d "${TMPDIR:-/tmp}/aims_crash_msmoke.XXXXXX")"
 trap 'rm -rf "${STORE}" "${MSTORE}"' EXIT
 
-MODES=(payload precommit postcommit)
+MODES=(payload precommit postcommit segment)
 RUNS=""
 
 for ((i = 0; i < ITERATIONS; ++i)); do

@@ -103,16 +103,41 @@ Status ValidateRecording(const streams::Recording& recording) {
   return Status::OK();
 }
 
+/// Validates one duration-typed config field before it meets a size_t
+/// cast: a NaN, infinite, or negative value makes that cast undefined
+/// behavior, not just a wrong answer.
+Status ValidateDurationField(double seconds, const char* field) {
+  if (!std::isfinite(seconds) || seconds < 0.0) {
+    return Status::InvalidArgument(std::string("Sampler: config field ") +
+                                   field + " must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+/// seconds x rate as a frame count, clamped in double BEFORE the cast — a
+/// finite product beyond size_t range is just as undefined to cast as a
+/// negative one.
+size_t FramesFor(double seconds, double rate_hz, size_t min_frames) {
+  double frames = seconds * rate_hz;
+  constexpr double kCap = 9.0e18;  // < 2^63: exactly castable either way.
+  if (!(frames < kCap)) frames = kCap;
+  const double floor_frames = static_cast<double>(min_frames);
+  if (!(frames > floor_frames)) frames = floor_frames;
+  return static_cast<size_t>(frames);
+}
+
 }  // namespace
 
 Result<SampledStream> FixedSampler::Sample(
     const streams::Recording& recording) const {
   AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  AIMS_RETURN_NOT_OK(
+      ValidateDurationField(config_.pilot_seconds, "pilot_seconds"));
   const size_t channels = recording.num_channels();
   const size_t frames = recording.num_frames();
   size_t pilot_frames = std::min(
-      frames, static_cast<size_t>(config_.pilot_seconds *
-                                  recording.sample_rate_hz));
+      frames,
+      FramesFor(config_.pilot_seconds, recording.sample_rate_hz, 2));
   pilot_frames = std::max<size_t>(pilot_frames, 2);
   // The session rate is the highest per-sensor Nyquist rate: nothing may
   // alias, so everything pays for the busiest sensor. A positive override
@@ -140,11 +165,12 @@ Result<SampledStream> FixedSampler::Sample(
 Result<SampledStream> ModifiedFixedSampler::Sample(
     const streams::Recording& recording) const {
   AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  AIMS_RETURN_NOT_OK(
+      ValidateDurationField(config_.segment_seconds, "segment_seconds"));
   const size_t channels = recording.num_channels();
   const size_t frames = recording.num_frames();
-  size_t segment_frames = std::max<size_t>(
-      4, static_cast<size_t>(config_.segment_seconds *
-                             recording.sample_rate_hz));
+  size_t segment_frames =
+      FramesFor(config_.segment_seconds, recording.sample_rate_hz, 4);
   SampledStream out;
   out.source_rate_hz = recording.sample_rate_hz;
   out.channels.resize(channels);
@@ -212,11 +238,13 @@ std::vector<size_t> GroupedSampler::ClusterRates(
 Result<SampledStream> GroupedSampler::Sample(
     const streams::Recording& recording) const {
   AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  AIMS_RETURN_NOT_OK(
+      ValidateDurationField(config_.pilot_seconds, "pilot_seconds"));
   const size_t channels = recording.num_channels();
   const size_t frames = recording.num_frames();
   size_t pilot_frames = std::min(
-      frames, static_cast<size_t>(config_.pilot_seconds *
-                                  recording.sample_rate_hz));
+      frames,
+      FramesFor(config_.pilot_seconds, recording.sample_rate_hz, 2));
   pilot_frames = std::max<size_t>(pilot_frames, 2);
   std::vector<double> rates(channels);
   for (size_t c = 0; c < channels; ++c) {
@@ -243,11 +271,12 @@ Result<SampledStream> GroupedSampler::Sample(
 Result<SampledStream> AdaptiveSampler::Sample(
     const streams::Recording& recording) const {
   AIMS_RETURN_NOT_OK(ValidateRecording(recording));
+  AIMS_RETURN_NOT_OK(
+      ValidateDurationField(config_.window_seconds, "window_seconds"));
   const size_t channels = recording.num_channels();
   const size_t frames = recording.num_frames();
-  size_t window_frames = std::max<size_t>(
-      4, static_cast<size_t>(config_.window_seconds *
-                             recording.sample_rate_hz));
+  size_t window_frames =
+      FramesFor(config_.window_seconds, recording.sample_rate_hz, 4);
   SampledStream out;
   out.source_rate_hz = recording.sample_rate_hz;
   out.channels.resize(channels);

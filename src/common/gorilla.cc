@@ -1,6 +1,6 @@
-#include "obs/gorilla.h"
+#include "common/gorilla.h"
 
-namespace aims::obs::gorilla {
+namespace aims::gorilla {
 
 namespace {
 
@@ -217,4 +217,4 @@ Result<std::vector<Sample>> GorillaDecode(const uint8_t* data, size_t size,
   return out;
 }
 
-}  // namespace aims::obs::gorilla
+}  // namespace aims::gorilla

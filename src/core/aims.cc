@@ -18,6 +18,7 @@
 #include "common/macros.h"
 #include "obs/json_util.h"
 #include "obs/profile.h"
+#include "propolyne/incremental.h"
 #include "signal/dwt.h"
 #include "signal/lazy_wavelet.h"
 #include "signal/polynomial.h"
@@ -78,7 +79,10 @@ struct ByteReader {
 };
 
 constexpr uint32_t kSnapshotMagic = 0x50414E53u;  // "SNAP"
-constexpr uint32_t kSnapshotVersion = 1;
+/// v1: sessions only. v2 appends the sealed-segment section (raw-sample
+/// lifecycle); v1 snapshots still load (their systems simply predate
+/// segments).
+constexpr uint32_t kSnapshotVersion = 2;
 /// Guard against a corrupt length field allocating gigabytes at parse.
 constexpr uint64_t kMaxCatalogField = 1u << 30;
 
@@ -205,6 +209,13 @@ Status AimsSystem::OpenDurable() {
     for (const std::vector<uint8_t>& blob : txn.catalog_blobs) {
       AIMS_RETURN_NOT_OK(ApplyCatalogBlob(blob));
     }
+    // Segment ops after catalog blobs: an ingest group's puts name the
+    // session its own catalog record just created.
+    for (const std::vector<uint8_t>& blob : txn.segment_blobs) {
+      AIMS_ASSIGN_OR_RETURN(storage::tslife::SegmentOp op,
+                            storage::tslife::DecodeSegmentOp(blob));
+      AIMS_RETURN_NOT_OK(ApplySegmentOp(op));
+    }
     applied_txn_ = txn.txn_id;
   }
   // Make the recovered state durable before dropping the records that
@@ -216,24 +227,25 @@ Status AimsSystem::OpenDurable() {
 
 Result<SessionId> AimsSystem::IngestRecording(
     const std::string& name, const streams::Recording& recording,
-    obs::Trace* trace) {
+    obs::Trace* trace, std::vector<StandingRangeUpdate>* updates) {
   AIMS_RETURN_NOT_OK(init_status_);
   if (durable()) {
-    AIMS_ASSIGN_OR_RETURN(StagedIngest staged,
-                          IngestRecordingStaged(name, recording, trace));
+    AIMS_ASSIGN_OR_RETURN(
+        StagedIngest staged,
+        IngestRecordingStaged(name, recording, trace, updates));
     AIMS_RETURN_NOT_OK(WaitDurable(staged));
     AIMS_RETURN_NOT_OK(ApplyDurable(staged));
     return staged.id;
   }
   AIMS_ASSIGN_OR_RETURN(StoredSession session,
-                        BuildSession(name, recording, trace));
+                        BuildSession(name, recording, trace, updates));
   sessions_.push_back(std::move(session));
   return sessions_.back().info.id;
 }
 
 Result<AimsSystem::StoredSession> AimsSystem::BuildSession(
     const std::string& name, const streams::Recording& recording,
-    obs::Trace* trace) {
+    obs::Trace* trace, std::vector<StandingRangeUpdate>* updates) {
   if (recording.num_frames() < 2) {
     return Status::InvalidArgument("IngestRecording: too few frames");
   }
@@ -252,8 +264,33 @@ Result<AimsSystem::StoredSession> AimsSystem::BuildSession(
     return Status::InvalidArgument("IngestRecording: block size too small");
   }
 
+  // Raw-sample lifecycle: segment timestamps on the microsecond grid
+  // (frame timestamps are seconds; ms would alias above 1 kHz).
+  std::vector<int64_t> t_us;
+  if (config_.tslife.enabled) {
+    t_us.reserve(recording.num_frames());
+    for (const streams::Frame& frame : recording.frames) {
+      t_us.push_back(
+          static_cast<int64_t>(std::llround(frame.timestamp * 1e6)));
+    }
+  }
+
   for (size_t c = 0; c < recording.num_channels(); ++c) {
     std::vector<double> channel = recording.Channel(c);
+
+    // Seal the channel's *raw* samples (pre-centering, pre-padding) into
+    // Gorilla segments beside the wavelet blocks — tier 0 of the storage
+    // lifecycle, bit-exact against the ingested values.
+    if (config_.tslife.enabled) {
+      std::vector<storage::tslife::Segment> segments =
+          storage::tslife::BuildSegments(c, t_us, channel,
+                                         recording.sample_rate_hz,
+                                         config_.tslife.segment_max_samples);
+      for (storage::tslife::Segment& seg : segments) {
+        session.segments.Put(std::move(seg));
+      }
+    }
+
     StoredChannel stored;
     stored.padded_len = padded;
     // Mean-center so zero padding does not create an artificial step; the
@@ -283,6 +320,31 @@ Result<AimsSystem::StoredSession> AimsSystem::BuildSession(
     AIMS_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                           signal::ForwardDwt(filter_, padded_channel));
     if (trace != nullptr) trace->EndSpan(transform_span);
+
+    // Continuous aggregates: evaluate the standing queries against the
+    // coefficients while they are still in memory — same math (and the
+    // same floating-point accumulation order) as QueryRange against block
+    // storage, but zero block I/O.
+    if (updates != nullptr) {
+      for (const StandingRangeQuery& q : standing_queries_) {
+        if (q.channel != c || q.first_frame > q.last_frame ||
+            q.last_frame >= recording.num_frames()) {
+          continue;
+        }
+        AIMS_ASSIGN_OR_RETURN(
+            double centered,
+            propolyne::IncrementalRangeSum(filter_, padded, q.first_frame,
+                                           q.last_frame, coeffs));
+        StandingRangeUpdate update;
+        update.handle = q.handle;
+        update.session = session.info.id;
+        update.count = q.last_frame - q.first_frame + 1;
+        update.sum = centered + mean * static_cast<double>(update.count);
+        update.mean = update.sum / static_cast<double>(update.count);
+        updates->push_back(update);
+      }
+    }
+
     size_t write_span = 0;
     if (trace != nullptr) write_span = trace->BeginSpan("block_write");
     stored.store = std::make_unique<storage::WaveletStore>(
@@ -299,7 +361,7 @@ Result<AimsSystem::StoredSession> AimsSystem::BuildSession(
 
 Result<AimsSystem::StagedIngest> AimsSystem::IngestRecordingStaged(
     const std::string& name, const streams::Recording& recording,
-    obs::Trace* trace) {
+    obs::Trace* trace, std::vector<StandingRangeUpdate>* updates) {
   AIMS_RETURN_NOT_OK(init_status_);
   if (!durable()) {
     return Status::FailedPrecondition(
@@ -309,7 +371,7 @@ Result<AimsSystem::StagedIngest> AimsSystem::IngestRecordingStaged(
   // write-back mode, so every Put below parks its blocks dirty in the
   // cache — no page-file I/O happens before the commit record is durable.
   AIMS_ASSIGN_OR_RETURN(StoredSession session,
-                        BuildSession(name, recording, trace));
+                        BuildSession(name, recording, trace, updates));
   StagedIngest staged;
   staged.id = session.info.id;
   for (const StoredChannel& channel : session.channels) {
@@ -337,6 +399,18 @@ Result<AimsSystem::StagedIngest> AimsSystem::IngestRecordingStaged(
   }
   Status status = wal_->AppendCatalog(staged.txn_id, SerializeSession(session));
   if (!status.ok()) return fail(status);
+  // The session's sealed raw segments ride the same record group: a crash
+  // after the commit record recovers them together with the catalog entry
+  // (no acked ingest loses its raw samples), a crash before it loses the
+  // whole ingest atomically.
+  for (const auto& [key, seg] : session.segments.segments()) {
+    (void)key;
+    Status seg_status = wal_->AppendSegment(
+        staged.txn_id,
+        storage::tslife::EncodeSegmentOp(storage::tslife::SegmentOp::Kind::kPut,
+                                         session.info.id, seg));
+    if (!seg_status.ok()) return fail(seg_status);
+  }
   Result<uint64_t> ticket = wal_->AppendCommit(staged.txn_id);
   if (!ticket.ok()) return fail(ticket.status());
   staged.ticket = *ticket;
@@ -485,6 +559,22 @@ Status AimsSystem::WriteSnapshot() const {
     PutU64(&out, blob.size());
     out.insert(out.end(), blob.begin(), blob.end());
   }
+  // v2 segment section: every sealed segment as a kPut op, so recovery
+  // rebuilds the stores by replaying them through ApplySegmentOp.
+  uint64_t num_segments = 0;
+  for (const StoredSession& session : sessions_) {
+    num_segments += session.segments.size();
+  }
+  PutU64(&out, num_segments);
+  for (const StoredSession& session : sessions_) {
+    for (const auto& [key, seg] : session.segments.segments()) {
+      (void)key;
+      std::vector<uint8_t> blob = storage::tslife::EncodeSegmentOp(
+          storage::tslife::SegmentOp::Kind::kPut, session.info.id, seg);
+      PutU64(&out, blob.size());
+      out.insert(out.end(), blob.begin(), blob.end());
+    }
+  }
   PutU32(&out, Crc32(out.data(), out.size()));
   return WriteFileDurably(config_.durability.path, "catalog.snap", out);
 }
@@ -507,7 +597,9 @@ Status AimsSystem::LoadSnapshot() {
                            path);
   }
   ByteReader reader{buf.data(), buf.size() - sizeof(uint32_t)};
-  if (reader.U32() != kSnapshotMagic || reader.U32() != kSnapshotVersion) {
+  const uint32_t magic = reader.U32();
+  const uint32_t version = reader.U32();
+  if (magic != kSnapshotMagic || version < 1 || version > kSnapshotVersion) {
     return Status::IoError("LoadSnapshot: not a snapshot file: " + path);
   }
   applied_txn_ = reader.U64();
@@ -526,6 +618,25 @@ Status AimsSystem::LoadSnapshot() {
     reader.pos += blob_len;
     AIMS_RETURN_NOT_OK(ApplyCatalogBlob(blob));
   }
+  if (version >= 2) {
+    const uint64_t num_segments = reader.U64();
+    if (!reader.ok || num_segments > kMaxCatalogField) {
+      return Status::IoError("LoadSnapshot: malformed snapshot " + path);
+    }
+    for (uint64_t i = 0; i < num_segments; ++i) {
+      const uint64_t blob_len = reader.U64();
+      if (!reader.ok || blob_len > kMaxCatalogField ||
+          reader.size - reader.pos < blob_len) {
+        return Status::IoError("LoadSnapshot: malformed snapshot " + path);
+      }
+      AIMS_ASSIGN_OR_RETURN(
+          storage::tslife::SegmentOp op,
+          storage::tslife::DecodeSegmentOp(buf.data() + reader.pos,
+                                           blob_len));
+      reader.pos += blob_len;
+      AIMS_RETURN_NOT_OK(ApplySegmentOp(op));
+    }
+  }
   return Status::OK();
 }
 
@@ -541,6 +652,242 @@ std::vector<SessionInfo> AimsSystem::ListSessions() const {
   out.reserve(sessions_.size());
   for (const StoredSession& s : sessions_) out.push_back(s.info);
   return out;
+}
+
+Result<std::vector<storage::tslife::SegmentMeta>> AimsSystem::ListSegments(
+    SessionId id) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ListSegments: unknown session id");
+  }
+  std::vector<storage::tslife::SegmentMeta> out;
+  out.reserve(sessions_[id].segments.size());
+  for (const auto& [key, seg] : sessions_[id].segments.segments()) {
+    (void)key;
+    out.push_back(seg.meta);
+  }
+  return out;
+}
+
+Result<std::vector<gorilla::Sample>> AimsSystem::ReadRawSamples(
+    SessionId id, size_t channel) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ReadRawSamples: unknown session id");
+  }
+  const StoredSession& session = sessions_[id];
+  if (channel >= session.info.num_channels) {
+    return Status::OutOfRange("ReadRawSamples: channel out of range");
+  }
+  return session.segments.ReadChannel(channel);
+}
+
+size_t AimsSystem::SegmentBytes() const {
+  size_t total = 0;
+  for (const StoredSession& s : sessions_) total += s.segments.total_bytes();
+  return total;
+}
+
+Result<std::vector<storage::tslife::Segment>> AimsSystem::ExportSegments(
+    SessionId id) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ExportSegments: unknown session id");
+  }
+  std::vector<storage::tslife::Segment> out;
+  out.reserve(sessions_[id].segments.size());
+  for (const auto& [key, seg] : sessions_[id].segments.segments()) {
+    (void)key;
+    out.push_back(seg);
+  }
+  return out;
+}
+
+Status AimsSystem::ReplaceSegments(
+    SessionId id, std::vector<storage::tslife::Segment> segments) {
+  AIMS_RETURN_NOT_OK(init_status_);
+  if (id >= sessions_.size()) {
+    return Status::NotFound("ReplaceSegments: unknown session id");
+  }
+  using Kind = storage::tslife::SegmentOp::Kind;
+  std::vector<storage::tslife::SegmentOp> ops;
+  ops.reserve(sessions_[id].segments.size() + segments.size());
+  // Drops first, then puts: a re-put of a surviving (channel, seq) key
+  // lands after its drop in replay order, so the new payload wins.
+  for (const auto& [key, seg] : sessions_[id].segments.segments()) {
+    (void)seg;
+    storage::tslife::SegmentOp op;
+    op.kind = Kind::kDrop;
+    op.session = id;
+    op.segment.meta.channel = key.first;
+    op.segment.meta.seq = key.second;
+    ops.push_back(std::move(op));
+  }
+  for (storage::tslife::Segment& seg : segments) {
+    storage::tslife::SegmentOp op;
+    op.kind = Kind::kPut;
+    op.session = id;
+    op.segment = std::move(seg);
+    ops.push_back(std::move(op));
+  }
+  return CommitSegmentOps(ops);
+}
+
+Result<storage::tslife::SweepStats> AimsSystem::SweepRetention(
+    const storage::tslife::RetentionPolicy& policy, int64_t now_us,
+    const std::vector<SessionId>* sessions) {
+  AIMS_RETURN_NOT_OK(init_status_);
+  using Kind = storage::tslife::SegmentOp::Kind;
+  using SegmentKey = std::pair<size_t, uint64_t>;
+  storage::tslife::SweepStats stats;
+  std::vector<storage::tslife::SegmentOp> ops;
+  std::vector<SessionId> all;
+  if (sessions == nullptr) {
+    all.resize(sessions_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    sessions = &all;
+  }
+  for (const SessionId sid : *sessions) {
+    if (sid >= sessions_.size()) continue;
+    const storage::tslife::SegmentStore& store = sessions_[sid].segments;
+    stats.bytes_before += store.total_bytes();
+    uint64_t projected = store.total_bytes();
+    // Sweep decisions are staged here and committed as one WAL group at
+    // the end; a segment is either dropped, replaced by a downsampled
+    // payload, or untouched.
+    std::set<SegmentKey> drops;
+    std::map<SegmentKey, storage::tslife::Segment> replacements;
+
+    // Age tiers: ages are measured against the segment's own data time,
+    // so a sweep at a given now_us is deterministic.
+    for (const auto& [key, seg] : store.segments()) {
+      ++stats.segments_scanned;
+      const double age_s = static_cast<double>(now_us - seg.meta.t1_us) / 1e6;
+      if (policy.drop_age_seconds > 0.0 && age_s >= policy.drop_age_seconds) {
+        drops.insert(key);
+        projected -= seg.bytes.size();
+        continue;
+      }
+      if (policy.downsample_age_seconds > 0.0 &&
+          age_s >= policy.downsample_age_seconds && seg.meta.tier == 0) {
+        Result<storage::tslife::Segment> down =
+            storage::tslife::DownsampleSegment(seg, policy);
+        if (down.ok() && down->bytes.size() < seg.bytes.size()) {
+          projected -= seg.bytes.size() - down->bytes.size();
+          if (down->meta.nmse > stats.max_nmse) {
+            stats.max_nmse = down->meta.nmse;
+          }
+          replacements[key] = std::move(*down);
+        } else {
+          ++stats.segments_skipped;
+        }
+      }
+    }
+
+    // Byte budget: oldest data first, downsampling before dropping.
+    if (policy.max_bytes > 0 && projected > policy.max_bytes) {
+      std::vector<std::pair<SegmentKey, const storage::tslife::Segment*>>
+          order;
+      order.reserve(store.size());
+      for (const auto& [key, seg] : store.segments()) {
+        order.emplace_back(key, &seg);
+      }
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second->meta.t1_us != b.second->meta.t1_us) {
+                    return a.second->meta.t1_us < b.second->meta.t1_us;
+                  }
+                  return a.first < b.first;
+                });
+      for (const auto& [key, seg] : order) {
+        if (projected <= policy.max_bytes) break;
+        if (drops.count(key) || replacements.count(key) ||
+            seg->meta.tier != 0) {
+          continue;
+        }
+        Result<storage::tslife::Segment> down =
+            storage::tslife::DownsampleSegment(*seg, policy);
+        if (down.ok() && down->bytes.size() < seg->bytes.size()) {
+          projected -= seg->bytes.size() - down->bytes.size();
+          if (down->meta.nmse > stats.max_nmse) {
+            stats.max_nmse = down->meta.nmse;
+          }
+          replacements[key] = std::move(*down);
+        } else {
+          ++stats.segments_skipped;
+        }
+      }
+      for (const auto& [key, seg] : order) {
+        if (projected <= policy.max_bytes) break;
+        if (drops.count(key)) continue;
+        auto rit = replacements.find(key);
+        const uint64_t current = rit != replacements.end()
+                                     ? rit->second.bytes.size()
+                                     : seg->bytes.size();
+        if (rit != replacements.end()) replacements.erase(rit);
+        drops.insert(key);
+        projected -= current;
+      }
+    }
+
+    for (const SegmentKey& key : drops) {
+      storage::tslife::SegmentOp op;
+      op.kind = Kind::kDrop;
+      op.session = sid;
+      op.segment.meta.channel = key.first;
+      op.segment.meta.seq = key.second;
+      ops.push_back(std::move(op));
+      ++stats.segments_dropped;
+    }
+    for (auto& [key, seg] : replacements) {
+      (void)key;
+      storage::tslife::SegmentOp op;
+      op.kind = Kind::kPut;
+      op.session = sid;
+      op.segment = std::move(seg);
+      ops.push_back(std::move(op));
+      ++stats.segments_downsampled;
+    }
+    stats.bytes_after += projected;
+  }
+  AIMS_RETURN_NOT_OK(CommitSegmentOps(ops));
+  return stats;
+}
+
+void AimsSystem::SetStandingQueries(std::vector<StandingRangeQuery> queries) {
+  standing_queries_ = std::move(queries);
+}
+
+Status AimsSystem::ApplySegmentOp(const storage::tslife::SegmentOp& op) {
+  if (op.session >= sessions_.size()) {
+    return Status::IoError("ApplySegmentOp: op references unknown session " +
+                           std::to_string(op.session));
+  }
+  storage::tslife::SegmentStore& store = sessions_[op.session].segments;
+  if (op.kind == storage::tslife::SegmentOp::Kind::kPut) {
+    store.Put(op.segment);
+  } else {
+    store.Drop(op.segment.meta.channel, op.segment.meta.seq);
+  }
+  return Status::OK();
+}
+
+Status AimsSystem::CommitSegmentOps(
+    const std::vector<storage::tslife::SegmentOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  if (durable()) {
+    // One WAL record group for the whole batch: recovery sees all of a
+    // sweep / migration import or none of it.
+    AIMS_ASSIGN_OR_RETURN(uint64_t txn_id, wal_->BeginTxn());
+    for (const storage::tslife::SegmentOp& op : ops) {
+      AIMS_RETURN_NOT_OK(
+          wal_->AppendSegment(txn_id, storage::tslife::EncodeSegmentOp(op)));
+    }
+    AIMS_ASSIGN_OR_RETURN(uint64_t ticket, wal_->AppendCommit(txn_id));
+    AIMS_RETURN_NOT_OK(wal_->WaitDurable(ticket));
+    if (txn_id > applied_txn_) applied_txn_ = txn_id;
+  }
+  for (const storage::tslife::SegmentOp& op : ops) {
+    AIMS_RETURN_NOT_OK(ApplySegmentOp(op));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<double>> AimsSystem::ReadChannel(SessionId id,
@@ -638,6 +985,7 @@ std::string QueryPlan::ToJson() const {
          ",\"predicted_cold_blocks\":" + std::to_string(predicted_cold_blocks) +
          ",\"block_size_bytes\":" + std::to_string(block_size_bytes) +
          ",\"predicted_io_ms\":" + obs::TrimmedDouble(predicted_io_ms) +
+         ",\"aggregate_hit\":" + (aggregate_hit ? "true" : "false") +
          ",\"schedule\":[";
   for (size_t i = 0; i < schedule.size(); ++i) {
     const QueryPlanBlockFetch& fetch = schedule[i];

@@ -18,6 +18,7 @@
 #include "storage/block_cache.h"
 #include "storage/block_device.h"
 #include "storage/file_block_device.h"
+#include "storage/tslife.h"
 #include "storage/wal.h"
 #include "storage/wavelet_store.h"
 #include "streams/sample.h"
@@ -87,6 +88,10 @@ struct AimsConfig {
   /// Durable storage (file-backed device + WAL + recovery-on-open). The
   /// default — an empty path — keeps the in-memory simulator.
   DurabilityConfig durability;
+  /// Raw-sample lifecycle: Gorilla-compressed segments sealed beside the
+  /// wavelet blocks at ingest, downsampled and dropped by retention
+  /// sweeps (see storage/tslife.h).
+  storage::tslife::TsLifeConfig tslife;
 };
 
 /// \brief Catalog entry for a stored session.
@@ -181,6 +186,10 @@ struct QueryPlan {
   /// The refinement schedule: blocks in decreasing query-energy order
   /// ("most valuable I/O's first"), ties broken by block index.
   std::vector<QueryPlanBlockFetch> schedule;
+  /// True when a registered continuous aggregate answers this exact range
+  /// without evaluation: every predicted_* count is 0 and the schedule is
+  /// empty — the whole point of standing queries.
+  bool aggregate_hit = false;
 
   /// \brief One JSON object mirroring the fields above (schedule inline),
   /// used by EXPLAIN responses and slow-query log records.
@@ -217,6 +226,28 @@ struct ProgressiveRangeResult {
 /// recognizer control) require external exclusive synchronization.
 /// aims::server::ShardedCatalog wraps instances with reader/writer locks
 /// to enforce exactly this.
+/// \brief One standing ProPolyne range query whose result is incrementally
+/// maintained at ingest time (the core half of continuous aggregates; the
+/// server's registry owns handles, per-client filtering, and serving).
+struct StandingRangeQuery {
+  /// Registry-assigned identity, opaque to the core.
+  uint64_t handle = 0;
+  size_t channel = 0;
+  size_t first_frame = 0;
+  size_t last_frame = 0;
+};
+
+/// \brief One maintained result: the standing query evaluated against a
+/// freshly ingested session, bit-identical to what QueryRange would
+/// compute from block storage for the same range.
+struct StandingRangeUpdate {
+  uint64_t handle = 0;
+  SessionId session = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+
 class AimsSystem {
  public:
   explicit AimsSystem(AimsConfig config = {});
@@ -240,9 +271,13 @@ class AimsSystem {
   /// On the durable backend this is the sequential convenience form of the
   /// staged protocol below: the call returns only after the ingest's WAL
   /// commit is durable and its pages are written back.
-  Result<SessionId> IngestRecording(const std::string& name,
-                                    const streams::Recording& recording,
-                                    obs::Trace* trace = nullptr);
+  /// \p updates (optional) receives one StandingRangeUpdate per registered
+  /// standing query that applies to this session — evaluated from the
+  /// in-memory coefficients, no block I/O.
+  Result<SessionId> IngestRecording(
+      const std::string& name, const streams::Recording& recording,
+      obs::Trace* trace = nullptr,
+      std::vector<StandingRangeUpdate>* updates = nullptr);
 
   /// \brief One durable ingest in flight between the staged phases.
   struct StagedIngest {
@@ -262,9 +297,10 @@ class AimsSystem {
   /// never blocks on a sync, which is the point: the caller releases its
   /// exclusive lock, then calls WaitDurable, so concurrent ingests can
   /// share one group-commit fsync.
-  Result<StagedIngest> IngestRecordingStaged(const std::string& name,
-                                             const streams::Recording& recording,
-                                             obs::Trace* trace = nullptr);
+  Result<StagedIngest> IngestRecordingStaged(
+      const std::string& name, const streams::Recording& recording,
+      obs::Trace* trace = nullptr,
+      std::vector<StandingRangeUpdate>* updates = nullptr);
 
   /// \brief Phase 2: blocks until the staged ingest's commit is on stable
   /// storage. Safe to call concurrently from many threads (no lock
@@ -298,6 +334,59 @@ class AimsSystem {
   /// Catalog lookup.
   Result<SessionInfo> GetSession(SessionId id) const;
   std::vector<SessionInfo> ListSessions() const;
+
+  // ---- Raw-sample lifecycle (storage/tslife.h) --------------------------
+
+  /// \brief Segment metadata of one session, in (channel, seq) order.
+  /// Empty when the lifecycle is disabled.
+  Result<std::vector<storage::tslife::SegmentMeta>> ListSegments(
+      SessionId id) const;
+
+  /// \brief Decodes one channel's raw-segment samples, time-ascending.
+  /// Bit-exact against the ingested samples while the segments are still
+  /// tier 0; downsampled tiers return the retained subset.
+  Result<std::vector<gorilla::Sample>> ReadRawSamples(SessionId id,
+                                                      size_t channel) const;
+
+  /// \brief Total sealed-segment bytes across all sessions (the
+  /// aims_tslife_bytes gauge).
+  size_t SegmentBytes() const;
+
+  /// \brief Copies of one session's sealed segments — the migration
+  /// export (re-building segments from wavelet-reconstructed data would
+  /// not preserve the raw tier bit-exactly).
+  Result<std::vector<storage::tslife::Segment>> ExportSegments(
+      SessionId id) const;
+
+  /// \brief Replaces one session's segments wholesale — the migration
+  /// import. Durable backend: logged as one WAL record group (drops of
+  /// the rebuilt segments, puts of the copied ones) committed before the
+  /// in-memory state changes. Requires exclusive synchronization.
+  Status ReplaceSegments(SessionId id,
+                         std::vector<storage::tslife::Segment> segments);
+
+  /// \brief One retention sweep over every session: segments older than
+  /// the policy's tiers are downsampled (NMSE-bounded, recorded per
+  /// segment) or dropped, oldest-first under the byte budget. \p now_us
+  /// is the sweep's clock (injectable — ages are measured against data
+  /// time). Durable backend: the whole sweep commits as one WAL record
+  /// group before the in-memory state changes. Requires exclusive
+  /// synchronization.
+  /// \p sessions (optional) restricts the sweep to those local session
+  /// ids — how the server applies per-tenant policies. Null sweeps all.
+  Result<storage::tslife::SweepStats> SweepRetention(
+      const storage::tslife::RetentionPolicy& policy, int64_t now_us,
+      const std::vector<SessionId>* sessions = nullptr);
+
+  // ---- Continuous aggregates (core half) --------------------------------
+
+  /// \brief Replaces the set of standing range queries evaluated at every
+  /// ingest (see StandingRangeQuery). Requires exclusive synchronization,
+  /// like the ingests that read the set.
+  void SetStandingQueries(std::vector<StandingRangeQuery> queries);
+  const std::vector<StandingRangeQuery>& standing_queries() const {
+    return standing_queries_;
+  }
 
   // ---- Off-line query ---------------------------------------------------
 
@@ -425,14 +514,24 @@ class AimsSystem {
   struct StoredSession {
     SessionInfo info;
     std::vector<StoredChannel> channels;
+    /// Sealed raw-sample segments (empty when the lifecycle is disabled).
+    storage::tslife::SegmentStore segments;
   };
 
   /// Builds one session's stores (transform + Put through the cache) but
   /// does not publish it — shared by the in-memory ingest and the durable
-  /// staged ingest.
+  /// staged ingest. Also seals the raw segments and, when \p updates is
+  /// non-null, evaluates the standing queries against the in-memory
+  /// coefficients.
   Result<StoredSession> BuildSession(const std::string& name,
                                      const streams::Recording& recording,
-                                     obs::Trace* trace);
+                                     obs::Trace* trace,
+                                     std::vector<StandingRangeUpdate>* updates);
+  /// Applies one decoded segment op (put/drop) to the session it names.
+  Status ApplySegmentOp(const storage::tslife::SegmentOp& op);
+  /// Commits \p ops as one WAL record group (durable backend; no-op list
+  /// allowed) and applies them to the in-memory stores.
+  Status CommitSegmentOps(const std::vector<storage::tslife::SegmentOp>& ops);
   /// Opens or recovers the durable store (ctor helper; result goes to
   /// init_status_).
   Status OpenDurable();
@@ -464,6 +563,9 @@ class AimsSystem {
   /// between snapshot write and log truncation must not double-apply).
   uint64_t applied_txn_ = 0;
   std::vector<StoredSession> sessions_;
+  /// Standing queries evaluated at every ingest (exclusive-lock domain,
+  /// like sessions_).
+  std::vector<StandingRangeQuery> standing_queries_;
 
   recognition::Vocabulary vocabulary_;
   recognition::WeightedSvdSimilarity measure_;

@@ -1,111 +1,14 @@
 #pragma once
 
-#include <cstdint>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "common/status.h"
+#include "common/gorilla.h"
 
 /// \file gorilla.h
-/// \brief Gorilla-style time-series compression (Pelkonen et al., VLDB'15):
-/// delta-of-delta timestamp encoding plus XOR float encoding, the codec
-/// Facebook built for exactly the "telemetry at cadence" shape AIMS's
-/// self-scraped metrics have. Standalone and reusable — the encoder sees
-/// only (int64 millisecond timestamp, double value) pairs and a byte
-/// buffer; the MetricsTimeSeries store (obs/timeseries.h) is its first
-/// consumer.
-///
-/// Bit-exactness is part of the contract: values travel as their raw
-/// IEEE-754 bit patterns, so NaN payloads, signed zeros, and ±inf all
-/// round-trip unchanged. Steady series (fixed cadence, slowly moving
-/// values) compress to ~1-2 bits per sample against 16 raw bytes.
+/// \brief Forwarding header. The Gorilla codec started life here (PR 9,
+/// metrics history) and was promoted to common/gorilla.h when the raw
+/// sample segments (storage/tslife.h) became its second user. Existing
+/// `aims::obs::gorilla::X` spellings keep working through this alias;
+/// new code should include common/gorilla.h and use `aims::gorilla`.
 
-namespace aims::obs::gorilla {
-
-/// \brief One point of one series: millisecond timestamp + value.
-struct Sample {
-  int64_t t_ms = 0;
-  double value = 0.0;
-};
-
-/// \brief Append-only bit stream over a byte vector (MSB-first within each
-/// byte, the classic Gorilla layout).
-class BitWriter {
- public:
-  /// Appends the low \p bits bits of \p value, most significant first.
-  void Write(uint64_t value, int bits);
-  void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
-
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
-  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
-  /// Total bits written so far (not rounded up to a byte).
-  size_t bit_count() const { return bit_count_; }
-
- private:
-  std::vector<uint8_t> bytes_;
-  size_t bit_count_ = 0;
-};
-
-/// \brief Sequential reader over a BitWriter's output.
-class BitReader {
- public:
-  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  /// Reads \p bits bits into the low bits of the result. False when the
-  /// stream is exhausted (truncated input), in which case *out is
-  /// unspecified.
-  bool Read(uint64_t* out, int bits);
-  bool ReadBit(bool* out);
-
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t bit_pos_ = 0;
-};
-
-/// \brief Streaming encoder for one chunk of one series.
-///
-/// Timestamps: the first sample stores t0 raw (64 bits); every later
-/// sample stores the delta-of-delta in one of five variable-width classes
-/// ('0' for a repeat of the previous delta — the fixed-cadence fast path —
-/// up to a 64-bit escape for arbitrary jumps). Values: the first value is
-/// stored raw; later values store the XOR against the previous value,
-/// reusing the previous meaningful-bit window when it still fits.
-///
-/// Not thread-safe; the store serializes appends per stripe.
-class GorillaEncoder {
- public:
-  void Append(int64_t t_ms, double value);
-  void Append(const Sample& s) { Append(s.t_ms, s.value); }
-
-  size_t count() const { return count_; }
-  /// Compressed size so far, rounded up to whole bytes.
-  size_t size_bytes() const { return (writer_.bit_count() + 7) / 8; }
-  /// Snapshot of the compressed bytes (the active-chunk read path decodes
-  /// a copy of this together with count()).
-  const std::vector<uint8_t>& bytes() const { return writer_.bytes(); }
-  std::vector<uint8_t> TakeBytes() { return writer_.TakeBytes(); }
-
- private:
-  BitWriter writer_;
-  size_t count_ = 0;
-  int64_t prev_t_ = 0;
-  int64_t prev_delta_ = 0;
-  uint64_t prev_bits_ = 0;
-  /// Previous XOR's meaningful-bit window; leading < 0 marks "no window
-  /// yet" (the first non-zero XOR always emits an explicit window).
-  int prev_leading_ = -1;
-  int prev_trailing_ = 0;
-};
-
-/// \brief Decodes \p count samples from an encoded chunk.
-/// InvalidArgument on a truncated or corrupt stream.
-Result<std::vector<Sample>> GorillaDecode(const uint8_t* data, size_t size,
-                                          size_t count);
-inline Result<std::vector<Sample>> GorillaDecode(
-    const std::vector<uint8_t>& bytes, size_t count) {
-  return GorillaDecode(bytes.data(), bytes.size(), count);
-}
-
-}  // namespace aims::obs::gorilla
+namespace aims::obs {
+namespace gorilla = ::aims::gorilla;
+}  // namespace aims::obs

@@ -1,0 +1,27 @@
+#include "propolyne/incremental.h"
+
+#include "common/macros.h"
+#include "signal/lazy_wavelet.h"
+#include "signal/polynomial.h"
+
+namespace aims::propolyne {
+
+Result<double> IncrementalRangeSum(const signal::WaveletFilter& filter,
+                                   size_t padded_len, size_t first,
+                                   size_t last,
+                                   const std::vector<double>& coeffs) {
+  AIMS_ASSIGN_OR_RETURN(
+      signal::SparseCoefficients query,
+      signal::LazyWaveletTransform(filter, padded_len, first, last,
+                                   signal::Polynomial::Constant(1.0)));
+  // Same iteration order and accumulation shape as QueryRange's fetched
+  // loop: floating-point addition is order-sensitive, and reconciliation
+  // depends on the two paths agreeing to the last bit.
+  double centered_sum = 0.0;
+  for (const auto& [idx, qv] : query.entries) {
+    if (idx < coeffs.size()) centered_sum += qv * coeffs[idx];
+  }
+  return centered_sum;
+}
+
+}  // namespace aims::propolyne

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "signal/wavelet_filter.h"
+
+/// \file incremental.h
+/// \brief The ingest-time half of continuous aggregates: evaluating a
+/// standing ProPolyne range-sum against a channel's freshly computed DWT
+/// coefficients while they are still in memory. The result is bit-identical
+/// to what AimsSystem::QueryRange would later compute from block storage —
+/// the same lazy query transform, the same entry order, the same
+/// multiply-accumulate — so a registry maintained from these values can
+/// answer the registered query with zero block I/O and still reconcile
+/// exactly against an evaluated run.
+
+namespace aims::propolyne {
+
+/// \brief Mean-centered range sum <Q, X> of the standing query
+/// 1_{[first, last]} against the in-memory coefficient vector \p coeffs
+/// (pyramid layout, length \p padded_len). Add channel_mean * count to get
+/// the data-domain sum, exactly as the block-storage query path does.
+/// Propagates the lazy transform's validation (padded_len a power of two,
+/// first <= last < padded_len).
+Result<double> IncrementalRangeSum(const signal::WaveletFilter& filter,
+                                   size_t padded_len, size_t first,
+                                   size_t last,
+                                   const std::vector<double>& coeffs);
+
+}  // namespace aims::propolyne

@@ -240,6 +240,58 @@ struct DumpFlightRecordResponse {
   std::string bundle_json;
 };
 
+/// \brief Registers a continuous aggregate: a standing range query over
+/// \c channel / [\c first_frame, \c last_frame] whose exact result is
+/// incrementally maintained for every session the client ingests (and
+/// backfilled for the sessions it already stored). A later SubmitQuery
+/// matching the range exactly answers from the maintained result with
+/// zero block I/O — EXPLAIN shows an aggregate_hit plan. NotFound without
+/// an open session; InvalidArgument on an inverted range.
+struct RegisterAggregateRequest {
+  ClientId client = 0;
+  size_t channel = 0;
+  size_t first_frame = 0;
+  size_t last_frame = 0;
+};
+
+struct RegisterAggregateResponse {
+  /// Registry handle (pass to UnregisterAggregate).
+  uint64_t handle = 0;
+  /// Already-stored sessions whose result was computed at registration.
+  size_t sessions_backfilled = 0;
+};
+
+/// \brief Drops one continuous aggregate. NotFound on an unknown handle.
+struct UnregisterAggregateRequest {
+  uint64_t handle = 0;
+};
+
+struct UnregisterAggregateResponse {};
+
+/// \brief Sets the retention policy the background sweeper applies: the
+/// server default (client unset) or one tenant's override. With \c clear
+/// set, drops the named tenant's override instead (InvalidArgument when
+/// clearing without a client).
+struct SetRetentionPolicyRequest {
+  /// A specific tenant's override, or nullopt for the server default.
+  std::optional<ClientId> client;
+  storage::tslife::RetentionPolicy policy;
+  bool clear = false;
+};
+
+struct SetRetentionPolicyResponse {};
+
+/// \brief Runs one retention sweep right now on the caller's thread (the
+/// background cadence, if configured, keeps running independently).
+/// \c now_us 0 sweeps against the wall clock; tests inject a time.
+struct TriggerRetentionSweepRequest {
+  int64_t now_us = 0;
+};
+
+struct TriggerRetentionSweepResponse {
+  storage::tslife::SweepStats stats;
+};
+
 /// \brief Closes the client's session (and recognition stream, if open).
 struct CloseSessionRequest {
   ClientId client = 0;

@@ -45,6 +45,8 @@
 
 namespace aims::server {
 
+class ContinuousAggregateRegistry;
+
 /// \brief Admission lane of a query.
 enum class QueryPriority {
   kInteractive,  ///< Latency-sensitive; dispatched first.
@@ -273,6 +275,16 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
+  /// \brief Wires the continuous-aggregate registry (may be null to
+  /// disable). Consulted at the top of every execution: a query whose
+  /// (tenant, session, channel, range) exactly matches a maintained
+  /// aggregate completes from the registered result with ZERO block I/O —
+  /// EXPLAIN shows an aggregate_hit plan and ANALYZE reconciles trivially.
+  /// Set before traffic.
+  void SetAggregateRegistry(ContinuousAggregateRegistry* registry) {
+    aggregates_ = registry;
+  }
+
   /// \brief Admits a query. Returns the ticket, ResourceExhausted when the
   /// lane is full, FailedPrecondition when the executor is shutting down.
   /// Never blocks.
@@ -297,6 +309,7 @@ class QueryScheduler {
 
   const ShardedCatalog* catalog_;
   ThreadPool* pool_;
+  ContinuousAggregateRegistry* aggregates_ = nullptr;
   SchedulerConfig config_;
   Tracer* tracer_;
   obs::CostLedger* ledger_;

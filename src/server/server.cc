@@ -105,6 +105,17 @@ AimsServer::AimsServer(ServerConfig config)
       recognition_(std::make_unique<RecognitionService>(
           &vocabulary_, config.recognizer,
           config.obs.enable_metrics ? metrics_.get() : nullptr)) {
+  // Continuous aggregates: registry over the catalog, fed by the catalog's
+  // ingest-commit hook, consulted by the scheduler before planning.
+  aggregates_ = std::make_unique<ContinuousAggregateRegistry>(
+      catalog_.get(), config.obs.enable_metrics ? metrics_.get() : nullptr);
+  catalog_->SetIngestCommitHook(
+      [this](GlobalSessionId session, ClientId client,
+             const std::vector<core::StandingRangeUpdate>& updates) {
+        aggregates_->OnIngestCommit(session, client, updates);
+      });
+  scheduler_->SetAggregateRegistry(aggregates_.get());
+
   obs::StatsReporterConfig reporter_config = config.obs.reporter;
   if (config.obs.reporter_interval_ms > 0.0) {
     reporter_config.interval_ms = config.obs.reporter_interval_ms;
@@ -161,6 +172,13 @@ AimsServer::AimsServer(ServerConfig config)
   if (scraper_ != nullptr) {
     scraper_->SetWatchdogHandle(watchdog_->Register("metrics_scraper"));
   }
+
+  // Retention sweeper: built after the watchdog so it can register its
+  // heartbeat; its thread starts below only when a cadence was configured.
+  sweeper_ = std::make_unique<RetentionSweeper>(
+      catalog_.get(), config.retention,
+      config.obs.enable_metrics ? metrics_.get() : nullptr, recorder_.get(),
+      watchdog_.get());
 
   if (recorder_ != nullptr) {
     // Every rendered bundle carries point-in-time WAL/cache/shard/watchdog
@@ -243,6 +261,7 @@ AimsServer::AimsServer(ServerConfig config)
   }
 
   if (config.obs.watchdog_interval_ms > 0.0) watchdog_->Start();
+  if (config.retention.interval_ms > 0.0) sweeper_->Start();
   if (config.obs.reporter_interval_ms > 0.0) reporter_->Start();
   if (scraper_ != nullptr && config.obs.history_scrape_interval_ms > 0.0) {
     scraper_->Start();
@@ -588,6 +607,57 @@ Result<ClearCacheResponse> AimsServer::ClearCache(
   return catalog_->ClearCache(request);
 }
 
+Result<RegisterAggregateResponse> AimsServer::RegisterAggregate(
+    const RegisterAggregateRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.count(request.client) == 0) {
+      return Status::NotFound("RegisterAggregate: no open session for client");
+    }
+  }
+  AggregateSpec spec;
+  spec.client = request.client;
+  spec.channel = request.channel;
+  spec.first_frame = request.first_frame;
+  spec.last_frame = request.last_frame;
+  AIMS_ASSIGN_OR_RETURN(RegisteredAggregate registered,
+                        aggregates_->Register(spec));
+  RegisterAggregateResponse response;
+  response.handle = registered.handle;
+  response.sessions_backfilled = registered.sessions_backfilled;
+  return response;
+}
+
+Result<UnregisterAggregateResponse> AimsServer::UnregisterAggregate(
+    const UnregisterAggregateRequest& request) {
+  AIMS_RETURN_NOT_OK(aggregates_->Unregister(request.handle));
+  return UnregisterAggregateResponse{};
+}
+
+Result<SetRetentionPolicyResponse> AimsServer::SetRetentionPolicy(
+    const SetRetentionPolicyRequest& request) {
+  if (request.clear) {
+    if (!request.client.has_value()) {
+      return Status::InvalidArgument(
+          "SetRetentionPolicy: clear requires a client (the default policy "
+          "can be replaced, not cleared)");
+    }
+    sweeper_->ClearTenantPolicy(*request.client);
+  } else if (request.client.has_value()) {
+    sweeper_->SetTenantPolicy(*request.client, request.policy);
+  } else {
+    sweeper_->SetDefaultPolicy(request.policy);
+  }
+  return SetRetentionPolicyResponse{};
+}
+
+Result<TriggerRetentionSweepResponse> AimsServer::TriggerRetentionSweep(
+    const TriggerRetentionSweepRequest& request) {
+  TriggerRetentionSweepResponse response;
+  AIMS_ASSIGN_OR_RETURN(response.stats, sweeper_->SweepNow(request.now_us));
+  return response;
+}
+
 Result<CloseSessionResponse> AimsServer::CloseSession(
     const CloseSessionRequest& request) {
   SessionState state;
@@ -844,6 +914,9 @@ void AimsServer::Shutdown() {
   // stalled), then the reporter so its thread never reads the registry
   // while the rest of the teardown is in flight.
   if (admin_ != nullptr) admin_->Stop();
+  // The sweeper stops while the watchdog is still alive (it disarms its
+  // heartbeat handle), and before the catalog teardown its sweeps lock.
+  if (sweeper_ != nullptr) sweeper_->Stop();
   if (watchdog_ != nullptr) watchdog_->Stop();
   // The scraper stops before the reporter: its post-scrape hook raises
   // health through the SLO engine, which the reporter reads.

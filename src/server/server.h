@@ -16,8 +16,10 @@
 #include "obs/watchdog.h"
 #include "recognition/vocabulary.h"
 #include "server/api.h"
+#include "server/continuous_agg.h"
 #include "server/data_migrator.h"
 #include "server/ingest_service.h"
+#include "server/retention_sweeper.h"
 #include "server/metrics.h"
 #include "server/query_scheduler.h"
 #include "server/recognition_service.h"
@@ -166,6 +168,10 @@ struct ServerConfig {
   SchedulerConfig scheduler;
   /// Recognizer tuning applied to every client stream.
   recognition::StreamRecognizerConfig recognizer;
+  /// Raw-segment retention: sweep cadence and the default policy tiers.
+  /// interval_ms 0 (default) leaves sweeping on demand
+  /// (TriggerRetentionSweep / retention_sweeper()->SweepNow).
+  RetentionSweeperConfig retention;
   /// Metrics/tracing/health wiring.
   ObsConfig obs;
 };
@@ -265,6 +271,30 @@ class AimsServer {
   /// reaching into catalog().mutable_shard_cache()).
   Result<ClearCacheResponse> ClearCache(const ClearCacheRequest& request);
 
+  // ---- Raw-sample lifecycle API (continuous aggregates, retention). ----
+
+  /// \brief Registers a continuous aggregate for the client: the exact
+  /// range result is maintained at every ingest commit and backfilled for
+  /// sessions already stored, so matching queries answer with zero block
+  /// I/O. NotFound without an open session; InvalidArgument on an
+  /// inverted range.
+  Result<RegisterAggregateResponse> RegisterAggregate(
+      const RegisterAggregateRequest& request);
+
+  /// \brief Drops one continuous aggregate. NotFound on an unknown
+  /// handle.
+  Result<UnregisterAggregateResponse> UnregisterAggregate(
+      const UnregisterAggregateRequest& request);
+
+  /// \brief Sets (or, with clear, drops) the retention policy the sweeper
+  /// applies — the server default or one tenant's override.
+  Result<SetRetentionPolicyResponse> SetRetentionPolicy(
+      const SetRetentionPolicyRequest& request);
+
+  /// \brief Runs one retention sweep synchronously and returns its stats.
+  Result<TriggerRetentionSweepResponse> TriggerRetentionSweep(
+      const TriggerRetentionSweepRequest& request);
+
   // ---- Raw subsystem accessors: test/bench instrumentation only. ----
   // Application code goes through the typed API above; these exist so
   // tests and benches can reach into shard devices, metrics, and queues.
@@ -298,6 +328,11 @@ class AimsServer {
   /// Always constructed; its checker thread runs only when
   /// ObsConfig::watchdog_interval_ms > 0.
   obs::Watchdog& watchdog() { return *watchdog_; }
+  /// The continuous-aggregate registry (always constructed).
+  ContinuousAggregateRegistry& aggregates() { return *aggregates_; }
+  /// The retention sweeper (always constructed; its thread runs only when
+  /// ServerConfig::retention.interval_ms > 0).
+  RetentionSweeper& retention_sweeper() { return *sweeper_; }
   /// The admin HTTP listener, or null when ObsConfig::admin_port < 0.
   obs::AdminHttpServer* admin_http() { return admin_.get(); }
   /// OK, or why the admin listener failed to start (port in use, ...).
@@ -335,6 +370,9 @@ class AimsServer {
   // feeds it — scheduler, tracer sink, reporter hook, watchdog callback.
   // Shutdown stops its persist thread before those wind down.
   std::unique_ptr<obs::FlightRecorder> recorder_;
+  // Before the catalog: the catalog's ingest-commit hook targets the
+  // registry, so the registry must outlive it.
+  std::unique_ptr<ContinuousAggregateRegistry> aggregates_;
   std::unique_ptr<ShardedCatalog> catalog_;
   // Declared before the pool: rebalance tasks run on the pool and touch
   // the migrator, and the pool joins its workers before either dies.
@@ -349,6 +387,10 @@ class AimsServer {
   // hook drives the SLO engine, whose breach hook feeds the recorder —
   // everything it touches is declared above and so outlives it.
   std::unique_ptr<obs::MetricsScraper> scraper_;
+  // Retention sweeper: declared before the watchdog (whose handle it
+  // beats) — safe because Shutdown() stops it while the watchdog is still
+  // alive, and a stopped sweeper's destructor never touches its handle.
+  std::unique_ptr<RetentionSweeper> sweeper_;
   // The watchdog owns every heartbeat handle; Shutdown() silences all
   // beaters (pool joined, reporter stopped, drains done) before members
   // are destroyed, so its position only needs to follow what its STALL

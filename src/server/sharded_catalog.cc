@@ -265,14 +265,22 @@ Result<GlobalSessionId> ShardedCatalog::Ingest(
   size_t shard_index = router_->ShardForClient(client);
   Shard& shard = *shards_[shard_index];
   auto start = std::chrono::steady_clock::now();
-  Result<core::SessionId> local =
-      IngestOnShard(shard, name, recording, trace, io_stats);
+  std::vector<core::StandingRangeUpdate> updates;
+  Result<core::SessionId> local = IngestOnShard(
+      shard, name, recording, trace, io_stats,
+      ingest_hook_ != nullptr ? &updates : nullptr);
   AIMS_RETURN_NOT_OK(local.status());
   GlobalSessionId id = MintSessionId();
   // The route must be durable before the ingest is acknowledged: an acked
   // session that recovery cannot address again would be a lost ack.
   AIMS_RETURN_NOT_OK(JournalRouteAdd(id, client, shard_index, *local));
   RegisterRoute(id, client, shard_index, *local);
+  // Continuous aggregates learn the new session only after it is routed
+  // and durable; no shard lock is held here, so the hook may take the
+  // registry's own lock freely.
+  if (ingest_hook_ != nullptr && !updates.empty()) {
+    ingest_hook_(id, client, updates);
+  }
   shard.ingests.fetch_add(1, std::memory_order_relaxed);
   if (ingest_count_ != nullptr) ingest_count_->Increment();
   if (ingest_latency_ms_ != nullptr) ingest_latency_ms_->Record(MsSince(start));
@@ -280,20 +288,28 @@ Result<GlobalSessionId> ShardedCatalog::Ingest(
   return id;
 }
 
+void ShardedCatalog::SetStandingQueries(
+    const std::vector<core::StandingRangeQuery>& queries) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    shard->system.SetStandingQueries(queries);
+  }
+}
+
 Result<core::SessionId> ShardedCatalog::IngestOnShard(
     Shard& shard, const std::string& name,
     const streams::Recording& recording, obs::Trace* trace,
-    IngestIoStats* io_stats) {
+    IngestIoStats* io_stats, std::vector<core::StandingRangeUpdate>* updates) {
   // durable() reads a pointer set once at construction — safe lock-free.
   return shard.system.durable()
-             ? IngestDurable(shard, name, recording, trace, io_stats)
-             : IngestInMemory(shard, name, recording, trace, io_stats);
+             ? IngestDurable(shard, name, recording, trace, io_stats, updates)
+             : IngestInMemory(shard, name, recording, trace, io_stats, updates);
 }
 
 Result<core::SessionId> ShardedCatalog::IngestInMemory(
     Shard& shard, const std::string& name,
     const streams::Recording& recording, obs::Trace* trace,
-    IngestIoStats* io_stats) {
+    IngestIoStats* io_stats, std::vector<core::StandingRangeUpdate>* updates) {
   ShardOpScope scope(shard.active_ops);
   size_t lock_span = 0;
   if (trace != nullptr) lock_span = trace->BeginSpan("shard_lock");
@@ -308,7 +324,7 @@ Result<core::SessionId> ShardedCatalog::IngestInMemory(
   // must reflect them.
   const size_t writes_before = shard.system.device().writes();
   Result<core::SessionId> result =
-      shard.system.IngestRecording(name, recording, trace);
+      shard.system.IngestRecording(name, recording, trace, updates);
   if (io_stats != nullptr) {
     io_stats->blocks_written = shard.system.device().writes() - writes_before;
     io_stats->bytes_written =
@@ -320,7 +336,7 @@ Result<core::SessionId> ShardedCatalog::IngestInMemory(
 Result<core::SessionId> ShardedCatalog::IngestDurable(
     Shard& shard, const std::string& name,
     const streams::Recording& recording, obs::Trace* trace,
-    IngestIoStats* io_stats) {
+    IngestIoStats* io_stats, std::vector<core::StandingRangeUpdate>* updates) {
   if (io_stats != nullptr) *io_stats = IngestIoStats{};
   ShardOpScope scope(shard.active_ops);
   core::AimsSystem::StagedIngest staged;
@@ -333,8 +349,8 @@ Result<core::SessionId> ShardedCatalog::IngestDurable(
     if (trace != nullptr) trace->EndSpan(lock_span);
     // Failed staging performs no device writes (the dirty pages are
     // dropped from the buffer pool), so io_stats stays zero on error.
-    AIMS_ASSIGN_OR_RETURN(
-        staged, shard.system.IngestRecordingStaged(name, recording, trace));
+    AIMS_ASSIGN_OR_RETURN(staged, shard.system.IngestRecordingStaged(
+                                      name, recording, trace, updates));
   }
   // The sync wait runs with the shard lock RELEASED: concurrent ingests
   // into this shard reach their own WaitDurable and share one group-commit
@@ -529,6 +545,106 @@ std::vector<CatalogSessionEntry> ShardedCatalog::ListSessions() const {
 size_t ShardedCatalog::total_sessions() const {
   std::shared_lock<std::shared_mutex> lock(routes_mutex_);
   return routes_.size();
+}
+
+// ---- Raw-sample lifecycle ---------------------------------------------------
+
+Result<std::vector<storage::tslife::SegmentMeta>> ShardedCatalog::ListSegments(
+    GlobalSessionId id) const {
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
+  Result<std::vector<storage::tslife::SegmentMeta>> result = ReadOnShard(
+      *shards_[route.shard], [&](const core::AimsSystem& sys) {
+        return sys.ListSegments(route.local);
+      });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(*shards_[route.fallback_shard],
+                         [&](const core::AimsSystem& sys) {
+                           return sys.ListSegments(route.fallback_local);
+                         });
+  }
+  return result;
+}
+
+Result<std::vector<gorilla::Sample>> ShardedCatalog::ReadRawSamples(
+    GlobalSessionId id, size_t channel) const {
+  AIMS_ASSIGN_OR_RETURN(Route route, FindRoute(id));
+  Result<std::vector<gorilla::Sample>> result = ReadOnShard(
+      *shards_[route.shard], [&](const core::AimsSystem& sys) {
+        return sys.ReadRawSamples(route.local, channel);
+      });
+  if (!result.ok() && route.dual) {
+    result = ReadOnShard(*shards_[route.fallback_shard],
+                         [&](const core::AimsSystem& sys) {
+                           return sys.ReadRawSamples(route.fallback_local,
+                                                     channel);
+                         });
+  }
+  return result;
+}
+
+size_t ShardedCatalog::TotalSegmentBytes() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += ReadOnShard(*shard, [](const core::AimsSystem& sys) {
+      return sys.SegmentBytes();
+    });
+  }
+  return total;
+}
+
+Result<storage::tslife::SweepStats> ShardedCatalog::SweepRetention(
+    const TenantRetentionPolicies& policies, int64_t now_us) {
+  // Snapshot which local sessions belong to override clients, per shard.
+  // The route table is the authority; local sessions with no route (e.g.
+  // migrated-away source copies) fall through to the default policy.
+  std::vector<std::unordered_map<ClientId, std::vector<core::SessionId>>>
+      override_groups(shards_.size());
+  if (!policies.overrides.empty()) {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    for (const auto& [id, route] : routes_) {
+      (void)id;
+      if (policies.overrides.count(route.client) == 0) continue;
+      override_groups[route.shard][route.client].push_back(route.local);
+      if (route.dual) {
+        override_groups[route.fallback_shard][route.client].push_back(
+            route.fallback_local);
+      }
+    }
+  }
+  storage::tslife::SweepStats stats;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    ShardOpScope scope(shard.active_ops);
+    auto wait_start = std::chrono::steady_clock::now();
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.lock_wait_ms.Record(MsSince(wait_start));
+    std::vector<bool> overridden(shard.system.ListSessions().size(), false);
+    for (const auto& [client, locals] : override_groups[i]) {
+      for (const core::SessionId sid : locals) {
+        if (sid < overridden.size()) overridden[sid] = true;
+      }
+      AIMS_ASSIGN_OR_RETURN(
+          storage::tslife::SweepStats shard_stats,
+          shard.system.SweepRetention(policies.overrides.at(client), now_us,
+                                      &locals));
+      stats.Merge(shard_stats);
+    }
+    std::vector<core::SessionId> rest;
+    rest.reserve(overridden.size());
+    for (core::SessionId sid = 0; sid < overridden.size(); ++sid) {
+      if (!overridden[sid]) rest.push_back(sid);
+    }
+    AIMS_ASSIGN_OR_RETURN(
+        storage::tslife::SweepStats shard_stats,
+        shard.system.SweepRetention(policies.default_policy, now_us, &rest));
+    stats.Merge(shard_stats);
+    if (shard.system.durable()) {
+      shard.wal_lag.store(shard.system.WalStats().lag_bytes,
+                          std::memory_order_relaxed);
+    }
+  }
+  PublishWalLag();
+  return stats;
 }
 
 void ShardedCatalog::SetWalWatchdog(obs::Watchdog::Handle* handle) {
@@ -727,6 +843,25 @@ Status ShardedCatalog::MigrateSession(GlobalSessionId id, size_t target_shard) {
       core::SessionId target_local,
       IngestOnShard(*shards_[target_shard], name, *materialized,
                     /*trace=*/nullptr, /*io_stats=*/nullptr));
+  // 2b. Carry the sealed raw segments over verbatim. The target's ingest
+  //     rebuilt tier-0 segments from the materialized samples, but the
+  //     source may hold downsampled tiers (tier/decimation/NMSE metadata)
+  //     and the raw tier must stay bit-exact across moves — so the copied
+  //     segments replace the rebuilt ones wholesale.
+  Result<std::vector<storage::tslife::Segment>> segments = ReadOnShard(
+      source, [&](const core::AimsSystem& sys) {
+        return sys.ExportSegments(route.local);
+      });
+  AIMS_RETURN_NOT_OK(segments.status());
+  {
+    Shard& target = *shards_[target_shard];
+    ShardOpScope scope(target.active_ops);
+    auto wait_start = std::chrono::steady_clock::now();
+    std::unique_lock<std::shared_mutex> lock(target.mutex);
+    target.lock_wait_ms.Record(MsSince(wait_start));
+    AIMS_RETURN_NOT_OK(
+        target.system.ReplaceSegments(target_local, std::move(*segments)));
+  }
   // 3. Journal the owner flip. Once this record is durable, recovery
   //    resolves the session to the target — and only then does the live
   //    route flip, so crash-before and crash-after both leave exactly one

@@ -155,6 +155,23 @@ class ShardedCatalog {
                                  obs::Trace* trace = nullptr,
                                  IngestIoStats* io_stats = nullptr);
 
+  // ---- Continuous aggregates (server push-down / commit hook) -----------
+
+  /// \brief Runs after every acknowledged Ingest (route registered, no
+  /// shard lock held) with the standing-query results the core maintained
+  /// for the new session. The continuous-aggregate registry wires itself
+  /// here. Set before traffic; not fired for migration copies.
+  using IngestCommitHook =
+      std::function<void(GlobalSessionId, ClientId,
+                         const std::vector<core::StandingRangeUpdate>&)>;
+  void SetIngestCommitHook(IngestCommitHook hook) {
+    ingest_hook_ = std::move(hook);
+  }
+
+  /// \brief Replaces every shard's standing-query set (one exclusive lock
+  /// per shard, taken in shard order) — the registry's push-down.
+  void SetStandingQueries(const std::vector<core::StandingRangeQuery>& queries);
+
   // ---- Read path (shared lock on one shard) -----------------------------
 
   Result<core::SessionInfo> GetSession(GlobalSessionId id) const;
@@ -185,6 +202,37 @@ class ShardedCatalog {
 
   /// All sessions across all shards, in id (= ingest) order.
   std::vector<CatalogSessionEntry> ListSessions() const;
+
+  // ---- Raw-sample lifecycle (storage/tslife.h) --------------------------
+
+  /// \brief Segment metadata of one session (dual-read aware, like the
+  /// other reads).
+  Result<std::vector<storage::tslife::SegmentMeta>> ListSegments(
+      GlobalSessionId id) const;
+
+  /// \brief Decodes one channel's raw-segment samples, time-ascending.
+  Result<std::vector<gorilla::Sample>> ReadRawSamples(GlobalSessionId id,
+                                                      size_t channel) const;
+
+  /// \brief Sealed-segment bytes summed over shards (the
+  /// aims_tslife_segment_bytes gauge's source).
+  size_t TotalSegmentBytes() const;
+
+  /// \brief Per-tenant retention tiers: the default policy plus overrides
+  /// for specific clients.
+  struct TenantRetentionPolicies {
+    storage::tslife::RetentionPolicy default_policy;
+    std::unordered_map<ClientId, storage::tslife::RetentionPolicy> overrides;
+  };
+
+  /// \brief One retention sweep over every shard (exclusive lock per
+  /// shard, one WAL record group per shard on the durable backend).
+  /// Sessions of an override client sweep under that client's policy;
+  /// everything else — including unrouted leftovers like migrated-away
+  /// source copies — sweeps under the default. \p now_us is the sweep's
+  /// clock (ages are measured against data time, so tests inject it).
+  Result<storage::tslife::SweepStats> SweepRetention(
+      const TenantRetentionPolicies& policies, int64_t now_us);
 
   size_t total_sessions() const;
   /// Device read counter summed over shards.
@@ -319,25 +367,29 @@ class ShardedCatalog {
   auto ReadOnShard(const Shard& shard, Fn&& fn) const;
 
   /// In-memory ingest: one exclusive-lock section, I/O attributed by the
-  /// device write-counter delta.
-  Result<core::SessionId> IngestInMemory(Shard& shard, const std::string& name,
-                                         const streams::Recording& recording,
-                                         obs::Trace* trace,
-                                         IngestIoStats* io_stats);
+  /// device write-counter delta. \p updates (optional, threaded through to
+  /// the system) receives the standing-query results of the new session.
+  Result<core::SessionId> IngestInMemory(
+      Shard& shard, const std::string& name,
+      const streams::Recording& recording, obs::Trace* trace,
+      IngestIoStats* io_stats, std::vector<core::StandingRangeUpdate>* updates);
   /// Durable ingest via the staged protocol: stage + WAL-append under the
   /// exclusive lock, wait for the (group-)commit sync with the lock
   /// released, then re-lock to write the pages back — concurrent ingests
   /// into the same shard share one fsync instead of serializing syncs.
-  Result<core::SessionId> IngestDurable(Shard& shard, const std::string& name,
-                                        const streams::Recording& recording,
-                                        obs::Trace* trace,
-                                        IngestIoStats* io_stats);
+  Result<core::SessionId> IngestDurable(
+      Shard& shard, const std::string& name,
+      const streams::Recording& recording, obs::Trace* trace,
+      IngestIoStats* io_stats, std::vector<core::StandingRangeUpdate>* updates);
   /// Shard-level ingest dispatch (no routing, no metrics) — the normal
-  /// ingest path and the migrator's copy step share it.
-  Result<core::SessionId> IngestOnShard(Shard& shard, const std::string& name,
-                                        const streams::Recording& recording,
-                                        obs::Trace* trace,
-                                        IngestIoStats* io_stats);
+  /// ingest path and the migrator's copy step share it. The migrator
+  /// passes a null \p updates: a migration copy is not tenant activity and
+  /// must not fire the continuous-aggregate hook.
+  Result<core::SessionId> IngestOnShard(
+      Shard& shard, const std::string& name,
+      const streams::Recording& recording, obs::Trace* trace,
+      IngestIoStats* io_stats,
+      std::vector<core::StandingRangeUpdate>* updates = nullptr);
 
   /// Re-publishes the catalog-wide WAL-lag gauge from the per-shard
   /// atomics (no-op without a metrics registry or on the mem backend).
@@ -386,6 +438,9 @@ class ShardedCatalog {
   /// Routing journal; null on the in-memory backend.
   std::unique_ptr<storage::durable::WriteAheadLog> journal_;
   Status journal_status_;
+
+  /// Continuous-aggregate commit hook (set before traffic; may be empty).
+  IngestCommitHook ingest_hook_;
 
   Counter* ingest_count_ = nullptr;
   Counter* query_count_ = nullptr;

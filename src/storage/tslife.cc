@@ -1,0 +1,298 @@
+#include "storage/tslife.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+#include "signal/resample.h"
+
+namespace aims::storage::tslife {
+
+namespace {
+
+/// Scan-time sanity bound, mirroring the WAL's: a corrupt length field
+/// must never make decode allocate gigabytes.
+constexpr uint64_t kMaxField = 1ull << 30;
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+template <typename T>
+void PutRaw(std::vector<uint8_t>* out, T v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+/// Bounds-checked sequential reader (the catalog-blob idiom).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(std::vector<uint8_t>* out, size_t len) {
+    if (pos_ + len > size_) return false;
+    out->assign(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Linear interpolation of (t, v) pairs back onto query timestamps
+/// \p t_query (both time-ascending), holding flat beyond the ends — the
+/// same reconstruction model acquisition::SampledStream uses, so the
+/// NMSE recorded here is comparable to the sampler reports.
+std::vector<double> Reconstruct(const std::vector<gorilla::Sample>& retained,
+                                const std::vector<int64_t>& t_query) {
+  std::vector<double> out(t_query.size(), 0.0);
+  if (retained.empty()) return out;
+  size_t cursor = 0;
+  for (size_t i = 0; i < t_query.size(); ++i) {
+    const int64_t t = t_query[i];
+    while (cursor + 1 < retained.size() && retained[cursor + 1].t_ms <= t) {
+      ++cursor;
+    }
+    if (t <= retained.front().t_ms) {
+      out[i] = retained.front().value;
+    } else if (cursor + 1 >= retained.size()) {
+      out[i] = retained.back().value;
+    } else {
+      const gorilla::Sample& a = retained[cursor];
+      const gorilla::Sample& b = retained[cursor + 1];
+      const double span = static_cast<double>(b.t_ms - a.t_ms);
+      const double frac =
+          span > 0.0 ? static_cast<double>(t - a.t_ms) / span : 0.0;
+      out[i] = a.value * (1.0 - frac) + b.value * frac;
+    }
+  }
+  return out;
+}
+
+/// MSE over variance; 0/0 is a perfect reconstruction of a constant.
+double Nmse(const std::vector<double>& original,
+            const std::vector<double>& reconstructed) {
+  const size_t n = original.size();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (double x : original) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  double mse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = original[i] - mean;
+    var += d * d;
+    const double e = original[i] - reconstructed[i];
+    mse += e * e;
+  }
+  if (var <= 0.0) return mse > 0.0 ? std::numeric_limits<double>::infinity()
+                                   : 0.0;
+  return mse / var;
+}
+
+}  // namespace
+
+std::vector<Segment> BuildSegments(size_t channel,
+                                   const std::vector<int64_t>& t_us,
+                                   const std::vector<double>& values,
+                                   double rate_hz, size_t segment_max_samples,
+                                   uint64_t first_seq) {
+  AIMS_CHECK(t_us.size() == values.size());
+  std::vector<Segment> out;
+  if (t_us.empty()) return out;
+  const size_t cap = std::max<size_t>(segment_max_samples, 2);
+  uint64_t seq = first_seq;
+  for (size_t start = 0; start < t_us.size(); start += cap, ++seq) {
+    const size_t end = std::min(t_us.size(), start + cap);
+    Segment seg;
+    seg.meta.channel = channel;
+    seg.meta.seq = seq;
+    seg.meta.tier = 0;
+    seg.meta.decimation = 1;
+    seg.meta.count = end - start;
+    seg.meta.t0_us = t_us[start];
+    seg.meta.t1_us = t_us[end - 1];
+    seg.meta.rate_hz = rate_hz;
+    seg.meta.nmse = 0.0;
+    gorilla::GorillaEncoder encoder;
+    for (size_t i = start; i < end; ++i) encoder.Append(t_us[i], values[i]);
+    seg.bytes = encoder.TakeBytes();
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+void SegmentStore::Put(Segment segment) {
+  const auto key = std::make_pair(segment.meta.channel, segment.meta.seq);
+  auto it = segments_.find(key);
+  if (it != segments_.end()) {
+    total_bytes_ -= it->second.bytes.size();
+    total_samples_ -= it->second.meta.count;
+    total_bytes_ += segment.bytes.size();
+    total_samples_ += segment.meta.count;
+    it->second = std::move(segment);
+    return;
+  }
+  total_bytes_ += segment.bytes.size();
+  total_samples_ += segment.meta.count;
+  segments_.emplace(key, std::move(segment));
+}
+
+bool SegmentStore::Drop(size_t channel, uint64_t seq) {
+  auto it = segments_.find(std::make_pair(channel, seq));
+  if (it == segments_.end()) return false;
+  total_bytes_ -= it->second.bytes.size();
+  total_samples_ -= it->second.meta.count;
+  segments_.erase(it);
+  return true;
+}
+
+Result<std::vector<gorilla::Sample>> SegmentStore::ReadChannel(
+    size_t channel) const {
+  std::vector<gorilla::Sample> out;
+  auto it = segments_.lower_bound(std::make_pair(channel, uint64_t{0}));
+  for (; it != segments_.end() && it->first.first == channel; ++it) {
+    AIMS_ASSIGN_OR_RETURN(std::vector<gorilla::Sample> samples,
+                          it->second.Decode());
+    out.insert(out.end(), samples.begin(), samples.end());
+  }
+  return out;
+}
+
+Result<Segment> DownsampleSegment(const Segment& segment,
+                                  const RetentionPolicy& policy) {
+  AIMS_ASSIGN_OR_RETURN(std::vector<gorilla::Sample> samples,
+                        segment.Decode());
+  const size_t n = samples.size();
+  if (n < 8) {
+    return Status::FailedPrecondition(
+        "tslife: segment too short to downsample");
+  }
+  std::vector<int64_t> t_us(n);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    t_us[i] = samples[i].t_ms;
+    values[i] = samples[i].value;
+  }
+  double rate = segment.meta.rate_hz;
+  if (rate <= 0.0) {
+    const double span_s =
+        static_cast<double>(t_us.back() - t_us.front()) / 1e6;
+    rate = span_s > 0.0 ? static_cast<double>(n - 1) / span_s : 0.0;
+  }
+  if (rate <= 0.0) {
+    return Status::FailedPrecondition("tslife: segment has no sample rate");
+  }
+
+  // The paper's adaptive-sampling estimator picks the window's Nyquist
+  // rate; the decimation realizing it is then walked down until the
+  // reconstruction NMSE meets the policy bound.
+  const double nyquist = signal::EstimateNyquistRate(
+      values, rate, policy.spectral, policy.min_rate_hz);
+  size_t decimation = nyquist > 0.0
+                          ? static_cast<size_t>(std::floor(rate / nyquist))
+                          : 1;
+  decimation = std::min(decimation, n - 1);  // keep >= 2 samples
+  for (; decimation >= 2; decimation /= 2) {
+    auto filtered = signal::DecimateAntiAliased(values, decimation);
+    if (!filtered.ok()) continue;
+    std::vector<gorilla::Sample> retained;
+    retained.reserve(filtered->size());
+    size_t i = 0;
+    for (size_t f = 0; f < n; f += decimation, ++i) {
+      retained.push_back(gorilla::Sample{t_us[f], (*filtered)[i]});
+    }
+    const double nmse = Nmse(values, Reconstruct(retained, t_us));
+    if (!(nmse <= policy.nmse_bound)) continue;
+
+    Segment out;
+    out.meta = segment.meta;
+    out.meta.tier += 1;
+    out.meta.decimation *= static_cast<uint32_t>(decimation);
+    out.meta.count = retained.size();
+    out.meta.rate_hz = rate / static_cast<double>(decimation);
+    out.meta.nmse = std::max(segment.meta.nmse, nmse);
+    gorilla::GorillaEncoder encoder;
+    for (const gorilla::Sample& s : retained) encoder.Append(s);
+    out.bytes = encoder.TakeBytes();
+    return out;
+  }
+  return Status::FailedPrecondition(
+      "tslife: no decimation >= 2 meets the NMSE bound");
+}
+
+std::vector<uint8_t> EncodeSegmentOp(SegmentOp::Kind kind, uint64_t session,
+                                     const Segment& segment) {
+  std::vector<uint8_t> out;
+  out.reserve(64 + segment.bytes.size());
+  PutU8(&out, static_cast<uint8_t>(kind));
+  PutRaw<uint64_t>(&out, session);
+  PutRaw<uint64_t>(&out, segment.meta.channel);
+  PutRaw<uint64_t>(&out, segment.meta.seq);
+  PutRaw<uint32_t>(&out, segment.meta.tier);
+  PutRaw<uint32_t>(&out, segment.meta.decimation);
+  PutRaw<uint64_t>(&out, segment.meta.count);
+  PutRaw<int64_t>(&out, segment.meta.t0_us);
+  PutRaw<int64_t>(&out, segment.meta.t1_us);
+  PutRaw<double>(&out, segment.meta.rate_hz);
+  PutRaw<double>(&out, segment.meta.nmse);
+  if (kind == SegmentOp::Kind::kPut) {
+    PutRaw<uint64_t>(&out, segment.bytes.size());
+    out.insert(out.end(), segment.bytes.begin(), segment.bytes.end());
+  }
+  return out;
+}
+
+Result<SegmentOp> DecodeSegmentOp(const uint8_t* data, size_t size) {
+  const auto corrupt = [] {
+    return Status::InvalidArgument("tslife: corrupt segment op");
+  };
+  ByteReader reader(data, size);
+  uint8_t kind = 0;
+  if (!reader.Read(&kind)) return corrupt();
+  if (kind != static_cast<uint8_t>(SegmentOp::Kind::kPut) &&
+      kind != static_cast<uint8_t>(SegmentOp::Kind::kDrop)) {
+    return corrupt();
+  }
+  SegmentOp op;
+  op.kind = static_cast<SegmentOp::Kind>(kind);
+  uint64_t channel = 0, count = 0;
+  if (!reader.Read(&op.session) || !reader.Read(&channel) ||
+      !reader.Read(&op.segment.meta.seq) ||
+      !reader.Read(&op.segment.meta.tier) ||
+      !reader.Read(&op.segment.meta.decimation) || !reader.Read(&count) ||
+      !reader.Read(&op.segment.meta.t0_us) ||
+      !reader.Read(&op.segment.meta.t1_us) ||
+      !reader.Read(&op.segment.meta.rate_hz) ||
+      !reader.Read(&op.segment.meta.nmse)) {
+    return corrupt();
+  }
+  if (channel > kMaxField || count > kMaxField) return corrupt();
+  op.segment.meta.channel = static_cast<size_t>(channel);
+  op.segment.meta.count = static_cast<size_t>(count);
+  if (op.kind == SegmentOp::Kind::kPut) {
+    uint64_t len = 0;
+    if (!reader.Read(&len) || len > kMaxField) return corrupt();
+    if (!reader.ReadBytes(&op.segment.bytes, static_cast<size_t>(len))) {
+      return corrupt();
+    }
+  }
+  if (reader.remaining() != 0) return corrupt();
+  return op;
+}
+
+}  // namespace aims::storage::tslife

@@ -41,6 +41,7 @@ constexpr uint8_t kBegin = 1;
 constexpr uint8_t kBlockPut = 2;
 constexpr uint8_t kCatalog = 3;
 constexpr uint8_t kCommit = 4;
+constexpr uint8_t kSegment = 5;
 
 Status ErrnoError(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
@@ -89,6 +90,7 @@ T LoadField(const uint8_t* base, size_t offset) {
 
 // ---- Crash hooks (see wal.h) ---------------------------------------------
 std::atomic<int> g_crash_after_payload_appends{-1};
+std::atomic<int> g_crash_after_segment_appends{-1};
 std::atomic<bool> g_crash_before_commit_append{false};
 std::atomic<bool> g_crash_after_commit_durable{false};
 
@@ -108,12 +110,25 @@ void MaybeCrashAfterPayloadAppend() {
   }
 }
 
+void MaybeCrashAfterSegmentAppend() {
+  if (g_crash_after_segment_appends.load(std::memory_order_relaxed) < 0) {
+    return;
+  }
+  if (g_crash_after_segment_appends.fetch_sub(1, std::memory_order_relaxed) ==
+      1) {
+    CrashNow();
+  }
+}
+
 }  // namespace
 
 namespace testing {
 
 void SetCrashAfterPayloadAppends(int count) {
   g_crash_after_payload_appends.store(count, std::memory_order_relaxed);
+}
+void SetCrashAfterSegmentAppends(int count) {
+  g_crash_after_segment_appends.store(count, std::memory_order_relaxed);
 }
 void SetCrashBeforeCommitAppend(bool enabled) {
   g_crash_before_commit_append.store(enabled, std::memory_order_relaxed);
@@ -216,6 +231,9 @@ Result<WriteAheadLog::Opened> WriteAheadLog::Open(const std::string& path,
       }
       case kCatalog:
         group.txn.catalog_blobs.emplace_back(payload, payload + payload_size);
+        break;
+      case kSegment:
+        group.txn.segment_blobs.emplace_back(payload, payload + payload_size);
         break;
       case kCommit: {
         committed_records += group.records;
@@ -324,6 +342,14 @@ Status WriteAheadLog::AppendCatalog(uint64_t txn_id,
                                     const std::vector<uint8_t>& blob) {
   AIMS_RETURN_NOT_OK(AppendRecord(kCatalog, txn_id, blob.data(), blob.size()));
   MaybeCrashAfterPayloadAppend();
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendSegment(uint64_t txn_id,
+                                    const std::vector<uint8_t>& blob) {
+  AIMS_RETURN_NOT_OK(AppendRecord(kSegment, txn_id, blob.data(), blob.size()));
+  MaybeCrashAfterPayloadAppend();
+  MaybeCrashAfterSegmentAppend();
   return Status::OK();
 }
 

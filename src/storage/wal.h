@@ -77,6 +77,9 @@ struct RecoveredTxn {
   /// Opaque catalog mutations in append order (serialized by the core
   /// layer; the WAL does not interpret them).
   std::vector<std::vector<uint8_t>> catalog_blobs;
+  /// Opaque raw-segment mutations in append order (serialized by the
+  /// tslife layer; the WAL does not interpret them either).
+  std::vector<std::vector<uint8_t>> segment_blobs;
 };
 
 /// \brief The write-ahead log (see the file comment for the contract).
@@ -113,6 +116,11 @@ class WriteAheadLog {
 
   /// \brief Logs one opaque catalog mutation for the group.
   Status AppendCatalog(uint64_t txn_id, const std::vector<uint8_t>& blob);
+
+  /// \brief Logs one opaque raw-segment mutation (a sealed Gorilla segment
+  /// put, or a retention drop) for the group. Older binaries scanning a
+  /// log with these records simply skip them (unknown-type tolerance).
+  Status AppendSegment(uint64_t txn_id, const std::vector<uint8_t>& blob);
 
   /// \brief Appends the group's commit record and returns a durability
   /// ticket for WaitDurable. Split from the wait so callers can release
@@ -201,9 +209,12 @@ namespace testing {
 /// raises SIGKILL — no cleanup, no flush, exactly what a power cut looks
 /// like to the file system. Only the crash helper binary arms these.
 
-/// After \p count more payload (block/catalog) records are appended, die
-/// mid-group. Negative disarms.
+/// After \p count more payload (block/catalog/segment) records are
+/// appended, die mid-group. Negative disarms.
 void SetCrashAfterPayloadAppends(int count);
+/// After \p count more segment records specifically are appended, die
+/// mid-segment-seal. Negative disarms.
+void SetCrashAfterSegmentAppends(int count);
 /// Die at the next AppendCommit, before the commit record is written.
 void SetCrashBeforeCommitAppend(bool enabled);
 /// Die right after the next commit becomes durable, before the caller can

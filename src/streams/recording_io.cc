@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -13,6 +14,18 @@ namespace aims::streams {
 namespace {
 constexpr char kMagic[4] = {'A', 'I', 'M', 'R'};
 constexpr uint32_t kVersion = 1;
+
+/// Parses one full CSV cell as a double. The entire cell must be consumed:
+/// strtod alone would silently turn "1.2.3" into 1.2 and "abc" or "" into
+/// 0.0, corrupting the recording without any error.
+bool ParseCsvCell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  *out = v;
+  return true;
+}
 }  // namespace
 
 Status WriteCsv(const Recording& recording, const std::string& path) {
@@ -50,7 +63,13 @@ Result<Recording> ReadCsv(const std::string& path) {
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("ReadCsv: empty file " + path);
   }
-  // Count channels from the header.
+  // Count channels from the header. A trailing comma promises a channel
+  // that no data row can fill — reject it here rather than reporting a
+  // confusing "ragged row" on every data row below.
+  if (!line.empty() && line.back() == ',') {
+    return Status::InvalidArgument(
+        "ReadCsv: header has a trailing comma (empty channel name)");
+  }
   size_t channels = 0;
   for (char c : line) {
     if (c == ',') ++channels;
@@ -59,20 +78,37 @@ Result<Recording> ReadCsv(const std::string& path) {
     return Status::InvalidArgument("ReadCsv: header has no channels");
   }
   Recording recording;
+  size_t row_number = 0;  // 1-based data row (header excluded).
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    ++row_number;
     std::stringstream row(line);
     std::string cell;
     Frame frame;
     if (!std::getline(row, cell, ',')) {
-      return Status::InvalidArgument("ReadCsv: malformed row");
+      return Status::InvalidArgument("ReadCsv: malformed row " +
+                                     std::to_string(row_number));
     }
-    frame.timestamp = std::strtod(cell.c_str(), nullptr);
+    if (!ParseCsvCell(cell, &frame.timestamp)) {
+      return Status::InvalidArgument(
+          "ReadCsv: invalid number '" + cell + "' at row " +
+          std::to_string(row_number) + ", column 0 (timestamp)");
+    }
     while (std::getline(row, cell, ',')) {
-      frame.values.push_back(std::strtod(cell.c_str(), nullptr));
+      double value = 0.0;
+      if (!ParseCsvCell(cell, &value)) {
+        return Status::InvalidArgument(
+            "ReadCsv: invalid number '" + cell + "' at row " +
+            std::to_string(row_number) + ", column " +
+            std::to_string(frame.values.size() + 1));
+      }
+      frame.values.push_back(value);
     }
     if (frame.values.size() != channels) {
-      return Status::InvalidArgument("ReadCsv: ragged row");
+      return Status::InvalidArgument(
+          "ReadCsv: ragged row " + std::to_string(row_number) + " (" +
+          std::to_string(frame.values.size()) + " values, header declares " +
+          std::to_string(channels) + ")");
     }
     recording.Append(std::move(frame));
   }

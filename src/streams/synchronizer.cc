@@ -38,8 +38,10 @@ Status StreamSynchronizer::Push(const Sample& sample,
     ++slot.fill_count;
   }
   slot.values[sample.sensor_id] = sample.value;  // Last write wins in a tick.
-  last_value_[sample.sensor_id] = sample.value;
   ever_seen_[sample.sensor_id] = true;
+  // NOTE: last_value_ (the zero-order-hold state) is updated only in
+  // EmitUpTo, from frames as they ship. Updating it here would let a
+  // stale-bridged *earlier* tick fill its hole with this *future* sample.
 
   // Emit every tick that is complete, or old enough to bridge with
   // zero-order hold.

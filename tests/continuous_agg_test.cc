@@ -1,0 +1,306 @@
+// The server half of the raw-sample lifecycle: continuous aggregates
+// (register -> ingest-commit maintenance -> zero-I/O serving, backfill,
+// unregister) and the retention plane (policy API, on-demand and periodic
+// sweeps, per-tenant overrides, migration preserving sealed segments).
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/continuous_agg.h"
+#include "server/retention_sweeper.h"
+#include "server/server.h"
+
+namespace aims {
+namespace {
+
+using server::AimsServer;
+using server::ExplainMode;
+using server::QueryOutcome;
+using server::QueryRequest;
+using server::QueryState;
+using server::ServerConfig;
+
+streams::Recording MakeRecording(size_t frames, size_t channels,
+                                 uint32_t seed = 0, double t0 = 0.0) {
+  streams::Recording rec;
+  rec.sample_rate_hz = 100.0;
+  for (size_t f = 0; f < frames; ++f) {
+    streams::Frame frame;
+    frame.timestamp = t0 + static_cast<double>(f) / 100.0;
+    frame.values.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+      frame.values[c] = std::round(
+          std::sin(0.03 * static_cast<double>(f + seed) *
+                   static_cast<double>(c + 1)) * 2048.0) / 2048.0;
+    }
+    rec.Append(std::move(frame));
+  }
+  return rec;
+}
+
+ServerConfig SmallConfig() {
+  ServerConfig config;
+  config.num_shards = 2;
+  config.num_threads = 2;
+  return config;
+}
+
+QueryRequest RangeQuery(server::GlobalSessionId session, size_t first,
+                        size_t last, ExplainMode mode = ExplainMode::kNone) {
+  QueryRequest query;
+  query.session = session;
+  query.channel = 0;
+  query.first_frame = first;
+  query.last_frame = last;
+  query.explain = mode;
+  return query;
+}
+
+TEST(ContinuousAggregate, ServesRegisteredRangeWithZeroBlockIo) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+
+  auto registered = server.RegisterAggregate({1, 0, 10, 200});
+  ASSERT_TRUE(registered.ok());
+  EXPECT_GT(registered->handle, 0u);
+  EXPECT_EQ(registered->sessions_backfilled, 0u);
+
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  // The maintained answer must be bit-identical to the storage evaluation.
+  auto direct = server.catalog().QueryRange(ingest->session, 0, 10, 200);
+  ASSERT_TRUE(direct.ok());
+
+  const size_t reads_before = server.catalog().total_blocks_read();
+  auto submitted = server.SubmitQuery(
+      {1, RangeQuery(ingest->session, 10, 200, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+
+  EXPECT_EQ(outcome.answer.sum, direct.ValueOrDie().sum);
+  EXPECT_EQ(outcome.answer.mean, direct.ValueOrDie().mean);
+  EXPECT_EQ(outcome.answer.count, direct.ValueOrDie().count);
+  EXPECT_EQ(outcome.answer.blocks_read, 0u);
+  EXPECT_EQ(server.catalog().total_blocks_read(), reads_before)
+      << "an aggregate hit must not read a single block";
+  ASSERT_TRUE(outcome.plan.has_value());
+  EXPECT_TRUE(outcome.plan->aggregate_hit);
+  EXPECT_EQ(outcome.plan->predicted_blocks, 0u);
+  ASSERT_TRUE(outcome.breakdown.has_value());
+  EXPECT_TRUE(outcome.breakdown->reconciled);
+  EXPECT_EQ(outcome.breakdown->blocks_read, 0u);
+
+  // A different range misses the registry and runs the normal plan.
+  auto other = server.SubmitQuery(
+      {1, RangeQuery(ingest->session, 10, 199, ExplainMode::kAnalyze)});
+  ASSERT_TRUE(other.ok());
+  QueryOutcome miss = other->ticket->Wait();
+  ASSERT_EQ(miss.state, QueryState::kComplete);
+  ASSERT_TRUE(miss.plan.has_value());
+  EXPECT_FALSE(miss.plan->aggregate_hit);
+  EXPECT_GT(miss.answer.blocks_read, 0u);
+}
+
+TEST(ContinuousAggregate, BackfillsSessionsIngestedBeforeRegistration) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto a = server.IngestRecording({1, "a", MakeRecording(256, 1, 1)});
+  auto b = server.IngestRecording({1, "b", MakeRecording(256, 1, 2)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto registered = server.RegisterAggregate({1, 0, 0, 255});
+  ASSERT_TRUE(registered.ok());
+  EXPECT_EQ(registered->sessions_backfilled, 2u);
+
+  for (auto session : {a->session, b->session}) {
+    auto direct = server.catalog().QueryRange(session, 0, 0, 255);
+    ASSERT_TRUE(direct.ok());
+    auto submitted = server.SubmitQuery(
+        {1, RangeQuery(session, 0, 255, ExplainMode::kExplain)});
+    ASSERT_TRUE(submitted.ok());
+    QueryOutcome outcome = submitted->ticket->Wait();
+    ASSERT_EQ(outcome.state, QueryState::kComplete);
+    ASSERT_TRUE(outcome.plan.has_value());
+    EXPECT_TRUE(outcome.plan->aggregate_hit);
+    EXPECT_EQ(outcome.answer.sum, direct.ValueOrDie().sum);
+  }
+}
+
+TEST(ContinuousAggregate, UnregisterRestoresTheNormalPath) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto registered = server.RegisterAggregate({1, 0, 0, 100});
+  ASSERT_TRUE(registered.ok());
+  auto ingest = server.IngestRecording({1, "rec", MakeRecording(128, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  ASSERT_TRUE(server.UnregisterAggregate({registered->handle}).ok());
+  auto again = server.UnregisterAggregate({registered->handle});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+
+  auto submitted = server.SubmitQuery(
+      {1, RangeQuery(ingest->session, 0, 100, ExplainMode::kExplain)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+  ASSERT_TRUE(outcome.plan.has_value());
+  EXPECT_FALSE(outcome.plan->aggregate_hit);
+}
+
+TEST(ContinuousAggregate, IsScopedToTheRegisteringTenant) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  ASSERT_TRUE(server.OpenSession({2}).ok());
+  ASSERT_TRUE(server.RegisterAggregate({1, 0, 0, 100}).ok());
+
+  // Tenant 2's identical-shape query over its own session must miss.
+  auto ingest = server.IngestRecording({2, "rec", MakeRecording(128, 1)});
+  ASSERT_TRUE(ingest.ok());
+  auto submitted = server.SubmitQuery(
+      {2, RangeQuery(ingest->session, 0, 100, ExplainMode::kExplain)});
+  ASSERT_TRUE(submitted.ok());
+  QueryOutcome outcome = submitted->ticket->Wait();
+  ASSERT_EQ(outcome.state, QueryState::kComplete);
+  ASSERT_TRUE(outcome.plan.has_value());
+  EXPECT_FALSE(outcome.plan->aggregate_hit);
+}
+
+TEST(ContinuousAggregate, ValidatesRequests) {
+  AimsServer server(SmallConfig());
+  auto no_session = server.RegisterAggregate({1, 0, 0, 10});
+  ASSERT_FALSE(no_session.ok());
+  EXPECT_EQ(no_session.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto inverted = server.RegisterAggregate({1, 0, 20, 10});
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Retention plane ----------------------------------------------------
+
+TEST(RetentionApi, SweepAppliesDefaultAndTenantPolicies) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  ASSERT_TRUE(server.OpenSession({2}).ok());
+  ASSERT_TRUE(server.IngestRecording({1, "one", MakeRecording(256, 1)}).ok());
+  ASSERT_TRUE(server.IngestRecording({2, "two", MakeRecording(256, 1)}).ok());
+  const size_t bytes_raw = server.catalog().TotalSegmentBytes();
+  ASSERT_GT(bytes_raw, 0u);
+
+  // Default policy retains everything; tenant 2's override drops old data.
+  storage::tslife::RetentionPolicy drop_old;
+  drop_old.drop_age_seconds = 1.0;
+  ASSERT_TRUE(server.SetRetentionPolicy({2, drop_old, false}).ok());
+
+  auto sweep = server.TriggerRetentionSweep({3600 * 1000000ll});
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_GT(sweep->stats.segments_scanned, 0u);
+  EXPECT_GT(sweep->stats.segments_dropped, 0u);
+  EXPECT_LT(server.catalog().TotalSegmentBytes(), bytes_raw);
+  EXPECT_GT(server.catalog().TotalSegmentBytes(), 0u)
+      << "the default policy must have retained tenant 1's segments";
+  EXPECT_EQ(server.retention_sweeper().sweeps(), 1u);
+
+  // Clearing the override returns tenant 2 to the (retain-all) default.
+  ASSERT_TRUE(
+      server.SetRetentionPolicy({2, storage::tslife::RetentionPolicy{}, true})
+          .ok());
+  const size_t bytes_after = server.catalog().TotalSegmentBytes();
+  auto second = server.TriggerRetentionSweep({7200 * 1000000ll});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.segments_dropped, 0u);
+  EXPECT_EQ(server.catalog().TotalSegmentBytes(), bytes_after);
+
+  // clear without a client is a bad request.
+  auto bad = server.SetRetentionPolicy(
+      {std::nullopt, storage::tslife::RetentionPolicy{}, true});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetentionApi, PeriodicSweeperRunsAndStops) {
+  ServerConfig config = SmallConfig();
+  config.retention.interval_ms = 5.0;
+  AimsServer server(config);
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  ASSERT_TRUE(server.IngestRecording({1, "r", MakeRecording(128, 1)}).ok());
+  EXPECT_TRUE(server.retention_sweeper().running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.retention_sweeper().sweeps() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(server.retention_sweeper().sweeps(), 2u);
+  server.Shutdown();
+  EXPECT_FALSE(server.retention_sweeper().running());
+}
+
+TEST(RetentionApi, SweepTicksMetricsFamily) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  ASSERT_TRUE(server.IngestRecording({1, "r", MakeRecording(256, 1)}).ok());
+  storage::tslife::RetentionPolicy downsample_old;
+  downsample_old.downsample_age_seconds = 1.0;
+  ASSERT_TRUE(
+      server.SetRetentionPolicy({std::nullopt, downsample_old, false}).ok());
+  ASSERT_TRUE(server.TriggerRetentionSweep({3600 * 1000000ll}).ok());
+  EXPECT_EQ(server.metrics().GetCounter("tslife.sweeps_total")->value(), 1u);
+  EXPECT_GT(
+      server.metrics().GetCounter("tslife.segments_downsampled_total")->value(),
+      0u);
+  EXPECT_GT(server.metrics().GetGauge("tslife.sweep_max_nmse_ppm")->value(),
+            0);
+}
+
+TEST(RetentionApi, MigrationCarriesSealedSegmentsVerbatim) {
+  AimsServer server(SmallConfig());
+  ASSERT_TRUE(server.OpenSession({1}).ok());
+  auto ingest = server.IngestRecording({1, "move", MakeRecording(256, 1)});
+  ASSERT_TRUE(ingest.ok());
+
+  // Tier the segment first so a rebuilt-raw copy would be detectable.
+  storage::tslife::RetentionPolicy downsample_old;
+  downsample_old.downsample_age_seconds = 1.0;
+  ASSERT_TRUE(
+      server.SetRetentionPolicy({std::nullopt, downsample_old, false}).ok());
+  ASSERT_TRUE(server.TriggerRetentionSweep({3600 * 1000000ll}).ok());
+  auto before = server.catalog().ListSegments(ingest->session);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before.ValueOrDie().empty());
+  ASSERT_EQ(before.ValueOrDie()[0].tier, 1u);
+  auto samples_before = server.catalog().ReadRawSamples(ingest->session, 0);
+  ASSERT_TRUE(samples_before.ok());
+
+  const size_t source_shard = server.catalog().router().ShardForClient(1);
+  const size_t target_shard = (source_shard + 1) % 2;
+  Status moved = server.migrator().MigrateTenant(1, target_shard);
+  ASSERT_TRUE(moved.ok()) << moved.message();
+
+  auto after = server.catalog().ListSegments(ingest->session);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.ValueOrDie().size(), before.ValueOrDie().size());
+  EXPECT_EQ(after.ValueOrDie()[0].tier, 1u) << "migration must not rebuild raw";
+  EXPECT_EQ(after.ValueOrDie()[0].decimation, before.ValueOrDie()[0].decimation);
+  EXPECT_DOUBLE_EQ(after.ValueOrDie()[0].nmse, before.ValueOrDie()[0].nmse);
+  auto samples_after = server.catalog().ReadRawSamples(ingest->session, 0);
+  ASSERT_TRUE(samples_after.ok());
+  ASSERT_EQ(samples_after.ValueOrDie().size(),
+            samples_before.ValueOrDie().size());
+  for (size_t i = 0; i < samples_after.ValueOrDie().size(); ++i) {
+    EXPECT_EQ(samples_after.ValueOrDie()[i].value,
+              samples_before.ValueOrDie()[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace aims

@@ -12,9 +12,14 @@
 //          precommit  die just before the commit record is appended
 //          postcommit die after the commit is durable, before pages are
 //                     written back or the caller is acknowledged
+//          segment    die mid-group, after the first sealed raw-sample
+//                     segment record append (the tslife leg of the same
+//                     commit group)
 //          verify     no ingest: recover, check every acked session is
-//                     present, print recovery stats as one JSON line
-//                     (exit 6 if an acknowledged ingest is missing)
+//                     present AND its raw segments decode bit-exact
+//                     against the regenerated recording, print recovery
+//                     stats as one JSON line (exit 6 if an acknowledged
+//                     ingest is missing or its raw samples drifted)
 //
 // Migration modes (2-shard durable ShardedCatalog on the same <dir>,
 // exercising the routing journal's exactly-one-owner recovery):
@@ -191,27 +196,65 @@ int main(int argc, char** argv) {
     auto sessions = system.ListSessions();
     size_t acked = 0;
     size_t missing = 0;
+    size_t segments = 0;
+    size_t raw_mismatches = 0;
     std::ifstream acks_in(dir + "/acks.txt");
     std::string ack;
     while (std::getline(acks_in, ack)) {
       if (ack.empty()) continue;
       ++acked;
-      bool found = false;
-      for (const auto& session : sessions) found |= (session.name == ack);
-      if (!found) {
+      const aims::core::SessionInfo* found = nullptr;
+      for (const auto& session : sessions) {
+        if (session.name == ack) found = &session;
+      }
+      if (found == nullptr) {
         ++missing;
         std::cerr << "acknowledged ingest " << ack << " lost\n";
+        continue;
+      }
+      // An acked ingest's commit group included its sealed raw-sample
+      // segments, so recovery must hand them back bit-exact — a crash
+      // landing between the segment append and the commit record (the
+      // `segment` mode) must never surface a half-sealed channel.
+      const uint32_t seed =
+          static_cast<uint32_t>(std::atoi(ack.c_str() + ack.rfind('_') + 1));
+      const aims::streams::Recording expect = aims::crashtest::MakeRecording(seed);
+      auto metas = system.ListSegments(found->id);
+      if (metas.ok()) segments += metas.ValueOrDie().size();
+      for (size_t c = 0; c < expect.num_channels(); ++c) {
+        auto samples = system.ReadRawSamples(found->id, c);
+        if (!samples.ok() ||
+            samples.ValueOrDie().size() != expect.num_frames()) {
+          ++raw_mismatches;
+          std::cerr << "session " << ack << " channel " << c
+                    << " raw segments incomplete\n";
+          continue;
+        }
+        for (size_t f = 0; f < expect.num_frames(); ++f) {
+          const auto& sample = samples.ValueOrDie()[f];
+          const auto& frame = expect.frames[f];
+          if (sample.t_ms !=
+                  static_cast<int64_t>(std::llround(frame.timestamp * 1e6)) ||
+              sample.value != frame.values[c]) {
+            ++raw_mismatches;
+            std::cerr << "session " << ack << " channel " << c
+                      << " raw sample " << f << " drifted\n";
+            break;
+          }
+        }
       }
     }
     const aims::obs::WalStats stats = system.WalStats();
     std::cout << "{\"sessions\": " << sessions.size()
               << ", \"acked\": " << acked
               << ", \"acked_missing\": " << missing
+              << ", \"segments\": " << segments
+              << ", \"raw_mismatches\": " << raw_mismatches
               << ", \"recovered_txns\": " << stats.recovered_txns
               << ", \"recovered_records\": " << stats.recovered_records
               << ", \"discarded_bytes\": " << stats.discarded_bytes
               << ", \"checkpoints\": " << stats.checkpoints << "}\n";
-    return missing == 0 ? 0 : 6;
+    return (missing == 0 && raw_mismatches == 0) ? 0 : 6;
   }
 
   std::ofstream acks(dir + "/acks.txt", std::ios::app);
@@ -242,6 +285,8 @@ int main(int argc, char** argv) {
     aims::storage::durable::testing::SetCrashBeforeCommitAppend(true);
   } else if (mode == "postcommit") {
     aims::storage::durable::testing::SetCrashAfterCommitDurable(true);
+  } else if (mode == "segment") {
+    aims::storage::durable::testing::SetCrashAfterSegmentAppends(1);
   } else {
     std::cerr << "unknown mode " << mode << "\n";
     return 2;

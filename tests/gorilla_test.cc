@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "obs/gorilla.h"
+#include "common/gorilla.h"
 
 /// \file gorilla_test.cc
 /// \brief The Gorilla codec contract: every stream of (timestamp, value)
@@ -15,7 +15,7 @@
 /// compress at least 8x against the 16-byte raw encoding; and truncated
 /// or short streams decode to InvalidArgument, never to garbage samples.
 
-namespace aims::obs::gorilla {
+namespace aims::gorilla {
 namespace {
 
 uint64_t BitsOf(double v) {
@@ -223,4 +223,4 @@ TEST(GorillaTest, EmptyInputWithNonZeroCountIsAnError) {
 }
 
 }  // namespace
-}  // namespace aims::obs::gorilla
+}  // namespace aims::gorilla

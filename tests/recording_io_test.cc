@@ -65,6 +65,98 @@ TEST(RecordingCsvTest, ErrorsOnBadInput) {
   std::remove(path.c_str());
 }
 
+TEST(RecordingCsvTest, RejectsNonNumericCellsNamingRowAndColumn) {
+  std::string path = TempPath("nonnum.csv");
+  // Regression: strtod without endptr checking used to read "1.2.3" as
+  // 1.2 and "abc" as 0.0 — silent data corruption, not an error.
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0,ch1\n0.0,1.0,2.0\n0.01,1.2.3,2.0\n";
+  }
+  auto bad_value = ReadCsv(path);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_EQ(bad_value.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_value.status().message().find("row 2"), std::string::npos)
+      << bad_value.status().message();
+  EXPECT_NE(bad_value.status().message().find("column 1"), std::string::npos)
+      << bad_value.status().message();
+
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0\nabc,1.0\n";
+  }
+  auto bad_ts = ReadCsv(path);
+  ASSERT_FALSE(bad_ts.ok());
+  EXPECT_NE(bad_ts.status().message().find("timestamp"), std::string::npos);
+
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0\n0.0,\n";  // empty cell
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+
+  // Scientific notation and signs are still fine — the check must reject
+  // garbage, not valid doubles.
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0\n0.0,-1.5e-3\n";
+  }
+  auto sci = ReadCsv(path);
+  ASSERT_TRUE(sci.ok());
+  EXPECT_DOUBLE_EQ(sci.ValueOrDie().frames[0].values[0], -1.5e-3);
+  std::remove(path.c_str());
+}
+
+TEST(RecordingCsvTest, RejectsHeaderTrailingComma) {
+  std::string path = TempPath("trailing.csv");
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0,\n0.0,1.0\n";
+  }
+  auto result = ReadCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("trailing comma"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RecordingCsvTest, RaggedRowErrorNamesTheRow) {
+  std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "timestamp,ch0,ch1\n0.0,1.0,2.0\n\n0.01,1.0,2.0,3.0\n";
+  }
+  auto result = ReadCsv(path);
+  ASSERT_FALSE(result.ok());
+  // Blank lines don't count: the overlong row is data row 2.
+  EXPECT_NE(result.status().message().find("ragged row 2"),
+            std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(RecordingBinaryTest, RejectsTruncatedFrameMidPayload) {
+  std::string path = TempPath("midframe.aimr");
+  Recording rec = MakeRecording(20, 4, 7);
+  ASSERT_TRUE(WriteBinary(rec, path).ok());
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  // Chop off half of the very last frame's values: the reader must fail,
+  // not return 19.5 frames.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() - sizeof(double)));
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(RecordingBinaryTest, RoundTripExact) {
   Recording rec = MakeRecording(333, 28, 2);
   std::string path = TempPath("rec.aimr");

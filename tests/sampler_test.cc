@@ -1,6 +1,7 @@
 #include "acquisition/sampler.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -195,6 +196,53 @@ TEST(SampledStreamTest, ReconstructChannelInterpolates) {
   EXPECT_NEAR(rec[2], 2.0, 1e-9);
   EXPECT_NEAR(rec[4], 4.0, 1e-9);
   EXPECT_NEAR(rec[5], 4.0, 1e-9);  // hold after last sample
+}
+
+TEST(SamplerErrors, RejectsNonFiniteAndNegativeDurations) {
+  // Regression: these fields used to be multiplied by the sample rate and
+  // cast straight to size_t — a NaN or negative value was undefined
+  // behavior, not an error.
+  streams::Recording rec = MakeTestRecording(100.0, 4.0);
+  const double bad[] = {-1.0, std::nan(""),
+                        std::numeric_limits<double>::infinity()};
+  for (double v : bad) {
+    SamplerConfig config;
+    config.pilot_seconds = v;
+    auto fixed = FixedSampler(config).Sample(rec);
+    ASSERT_FALSE(fixed.ok());
+    EXPECT_EQ(fixed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(fixed.status().message().find("pilot_seconds"),
+              std::string::npos)
+        << fixed.status().message();
+    auto grouped = GroupedSampler(config).Sample(rec);
+    ASSERT_FALSE(grouped.ok());
+    EXPECT_EQ(grouped.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SamplerConfig config;
+    config.segment_seconds = std::nan("");
+    auto modified = ModifiedFixedSampler(config).Sample(rec);
+    ASSERT_FALSE(modified.ok());
+    EXPECT_EQ(modified.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(modified.status().message().find("segment_seconds"),
+              std::string::npos)
+        << modified.status().message();
+  }
+  {
+    SamplerConfig config;
+    config.window_seconds = -0.5;
+    auto adaptive = AdaptiveSampler(config).Sample(rec);
+    ASSERT_FALSE(adaptive.ok());
+    EXPECT_EQ(adaptive.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(adaptive.status().message().find("window_seconds"),
+              std::string::npos)
+        << adaptive.status().message();
+  }
+  // A valid config on the same recording still works — the guard must not
+  // reject legitimate values.
+  SamplerConfig good;
+  EXPECT_TRUE(FixedSampler(good).Sample(rec).ok());
+  EXPECT_TRUE(ModifiedFixedSampler(good).Sample(rec).ok());
 }
 
 TEST(SamplerErrors, EmptyRecordingRejected) {

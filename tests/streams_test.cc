@@ -118,6 +118,82 @@ TEST(SynchronizerTest, FlushEmitsPending) {
   EXPECT_DOUBLE_EQ(frames[0].values[0], 1.0);
 }
 
+TEST(SynchronizerTest, StaleBridgeNeverLeaksFutureSamples) {
+  // Regression: the zero-order hold must carry the last *shipped* value.
+  // A sample pushed at a future tick, before an earlier tick's hole is
+  // bridged, must not leak backward in time into that hole.
+  StreamSynchronizer sync(2, 0.1, /*max_gap_ticks=*/2);
+  std::vector<Frame> frames;
+  ASSERT_TRUE(sync.Push({0, 0.01, 1.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({1, 0.02, 5.0}, &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);  // tick 0 shipped: [1, 5]
+  // Sensor 1 reports tick 3 early; ticks 1 and 2 have sensor-1 holes.
+  ASSERT_TRUE(sync.Push({1, 0.35, 99.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({0, 0.11, 2.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({0, 0.21, 3.0}, &frames).ok());
+  // Tick 1 bridged as stale (newest = 3): the hole holds 5.0 (tick 0's
+  // shipped value), never 99.0 (a value from the future).
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(frames[1].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(frames[1].values[1], 5.0);
+  // Once tick 3 itself ships, 99.0 appears — in its own frame only.
+  ASSERT_TRUE(sync.Push({0, 0.31, 4.0}, &frames).ok());
+  sync.Flush(&frames);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_DOUBLE_EQ(frames[2].values[1], 5.0);
+  EXPECT_DOUBLE_EQ(frames[3].values[1], 99.0);
+}
+
+TEST(SynchronizerTest, FlushBridgesInteriorHoles) {
+  StreamSynchronizer sync(2, 0.1, /*max_gap_ticks=*/10);
+  std::vector<Frame> frames;
+  ASSERT_TRUE(sync.Push({0, 0.01, 1.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({1, 0.02, 5.0}, &frames).ok());
+  // Tick 2 has only sensor 0; tick 1 was never touched at all.
+  ASSERT_TRUE(sync.Push({0, 0.21, 3.0}, &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  sync.Flush(&frames);
+  // Flush ships what exists (tick 2); the untouched tick 1 has no pending
+  // slot and produces no frame.
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(frames[1].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(frames[1].values[1], 5.0);
+  EXPECT_EQ(sync.frames_emitted(), 2u);
+}
+
+TEST(SynchronizerTest, LateSampleAfterStaleBridgeIsDroppedNotResurrected) {
+  StreamSynchronizer sync(2, 0.1, /*max_gap_ticks=*/1);
+  std::vector<Frame> frames;
+  ASSERT_TRUE(sync.Push({0, 0.01, 1.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({0, 0.11, 2.0}, &frames).ok());
+  // max_gap 1: tick 0 shipped stale (sensor 1 held at 0, never seen).
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(frames[0].values[1], 0.0);
+  // Sensor 1's reading for tick 0 arrives after the frame shipped.
+  ASSERT_TRUE(sync.Push({1, 0.05, 7.0}, &frames).ok());
+  EXPECT_EQ(frames.size(), 1u);
+  EXPECT_EQ(sync.samples_dropped(), 1u);
+  // And it must not have polluted the hold state of later ticks either.
+  ASSERT_TRUE(sync.Push({0, 0.21, 3.0}, &frames).ok());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(frames[1].values[1], 0.0);
+}
+
+TEST(SynchronizerTest, LastWriteWinsWithinATick) {
+  StreamSynchronizer sync(2, 0.1);
+  std::vector<Frame> frames;
+  // Two sensor-0 samples land in the same tick before it completes: the
+  // later write wins, and the tick ships once, not twice.
+  ASSERT_TRUE(sync.Push({0, 0.01, 1.0}, &frames).ok());
+  ASSERT_TRUE(sync.Push({0, 0.05, 1.5}, &frames).ok());
+  EXPECT_TRUE(frames.empty());
+  ASSERT_TRUE(sync.Push({1, 0.06, 5.0}, &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(frames[0].values[0], 1.5);
+  EXPECT_DOUBLE_EQ(frames[0].values[1], 5.0);
+  EXPECT_EQ(sync.frames_emitted(), 1u);
+}
+
 TEST(DoubleBufferTest, ProducerConsumerHandoff) {
   DoubleBuffer<int> buffer(100);
   std::vector<int> received;
